@@ -1,0 +1,66 @@
+//! Ablation bench (DESIGN.md §5): the paper's at-most-one exchange policy
+//! versus the rejected cascading alternative — throughput and exchange
+//! counts at low skew, where exchanges are most frequent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use asketch::filter::RelaxedHeapFilter;
+use asketch::ASketch;
+use asketch_bench::ablation::CascadingASketch;
+use asketch_bench::workload::Workload;
+use asketch_bench::Config;
+use sketches::CountMin;
+
+fn bench_exchange_policy(c: &mut Criterion) {
+    let cfg = Config {
+        scale: 0.004,
+        ..Config::default()
+    };
+    let mut group = c.benchmark_group("exchange_policy");
+    for skew in [0.0f64, 0.5, 1.0] {
+        let w = Workload::synthetic(&cfg, skew);
+        group.throughput(Throughput::Elements(w.len() as u64));
+        group.bench_with_input(BenchmarkId::new("at_most_one", format!("z={skew}")), &w, |b, w| {
+            b.iter_batched(
+                || {
+                    ASketch::new(
+                        RelaxedHeapFilter::new(32),
+                        CountMin::with_byte_budget(w.spec.seed, 8, 127 * 1024).unwrap(),
+                    )
+                },
+                |mut m| {
+                    for &k in &w.stream {
+                        m.insert(k);
+                    }
+                    m.stats().exchanges
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("cascading", format!("z={skew}")), &w, |b, w| {
+            b.iter_batched(
+                || {
+                    CascadingASketch::new(
+                        32,
+                        CountMin::with_byte_budget(w.spec.seed, 8, 127 * 1024).unwrap(),
+                    )
+                },
+                |mut m| {
+                    for &k in &w.stream {
+                        m.insert(k);
+                    }
+                    m.exchanges
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exchange_policy
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-bench behind §6.1 / Algorithm 3: the vectorized filter
+//! lookup against the scalar scan, and the per-hit cost of each filter
+//! implementation (the `t_f` of Table 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use asketch::filter::{Filter, FilterKind};
+use sketches::lookup;
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_scan");
+    for size in [16usize, 32, 128, 1024] {
+        let ids: Vec<u64> = (0..size as u64).map(|i| i * 2654435761).collect();
+        // Worst case: probe for an absent key (full scan).
+        let absent = u64::MAX - 1;
+        group.bench_with_input(BenchmarkId::new("simd", size), &ids, |b, ids| {
+            b.iter(|| lookup::find_key(std::hint::black_box(ids), absent))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", size), &ids, |b, ids| {
+            b.iter(|| lookup::find_key_scalar(std::hint::black_box(ids), absent))
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_hit");
+    for kind in FilterKind::ALL {
+        let mut f = kind.build(32);
+        for i in 0..32u64 {
+            f.insert(i, 100 + i as i64, 0);
+        }
+        group.bench_function(BenchmarkId::new(kind.name(), 32), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7) % 31 + 1; // hit non-min items, as skewed streams do
+                f.update_existing(std::hint::black_box(i), 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_filter_hit);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench behind Table 1: full ingest+query cycle of the four
+//! methods at the paper's default configuration (Zipf 1.5, 128 KB).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use asketch_bench::workload::Workload;
+use asketch_bench::{Config, MethodKind};
+
+fn bench_headline(c: &mut Criterion) {
+    let cfg = Config {
+        scale: 0.004,
+        queries: 20_000,
+        ..Config::default()
+    };
+    let w = Workload::synthetic(&cfg, 1.5);
+    let mut group = c.benchmark_group("table1_end_to_end");
+    group.throughput(Throughput::Elements((w.len() + w.queries.len()) as u64));
+    for kind in MethodKind::HEADLINE {
+        group.bench_function(BenchmarkId::new(kind.name(), "ingest+query"), |b| {
+            b.iter_batched(
+                || kind.build(128 * 1024, w.spec.seed, 32).unwrap(),
+                |mut m| {
+                    m.ingest(&w.stream);
+                    let mut acc = 0i64;
+                    for &q in &w.queries {
+                        acc = acc.wrapping_add(m.estimate(q));
+                    }
+                    acc
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_headline
+}
+criterion_main!(benches);

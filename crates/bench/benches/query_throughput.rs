@@ -1,0 +1,45 @@
+//! Criterion micro-bench behind Figure 5(b): per-method point-query cost on
+//! a pre-ingested synopsis, frequency-proportional query mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use asketch_bench::workload::Workload;
+use asketch_bench::{Config, MethodKind};
+
+fn bench_queries(c: &mut Criterion) {
+    let cfg = Config {
+        scale: 0.004,
+        queries: 50_000,
+        ..Config::default()
+    };
+    let mut group = c.benchmark_group("query_throughput");
+    for skew in [0.5f64, 1.5, 2.5] {
+        let w = Workload::synthetic(&cfg, skew);
+        group.throughput(Throughput::Elements(w.queries.len() as u64));
+        for kind in MethodKind::HEADLINE {
+            let mut m = kind.build(128 * 1024, w.spec.seed, 32).unwrap();
+            m.ingest(&w.stream);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("z={skew}")),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        let mut acc = 0i64;
+                        for &q in &w.queries {
+                            acc = acc.wrapping_add(m.estimate(q));
+                        }
+                        acc
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench behind Figure 13: SPMD kernel ingest at increasing
+//! widths (ASketch vs Count-Min kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use asketch_bench::workload::Workload;
+use asketch_bench::Config;
+use asketch_parallel::{round_robin_shards, SpmdGroup};
+use sketches::CountMin;
+
+fn bench_spmd(c: &mut Criterion) {
+    let cfg = Config {
+        scale: 0.004,
+        ..Config::default()
+    };
+    let w = Workload::synthetic(&cfg, 1.5);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("spmd_ingest");
+    group.throughput(Throughput::Elements(w.len() as u64));
+    for n in [1usize, 2, 4].into_iter().filter(|&n| n <= 2 * cores) {
+        let shards = round_robin_shards(&w.stream, n);
+        group.bench_with_input(BenchmarkId::new("asketch", n), &shards, |b, shards| {
+            b.iter(|| {
+                SpmdGroup::ingest(shards, |i| {
+                    asketch::AsketchBuilder {
+                        total_bytes: 128 * 1024,
+                        seed: 1 + i as u64,
+                        ..Default::default()
+                    }
+                    .build_count_min()
+                    .unwrap()
+                })
+                .1
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("count_min", n), &shards, |b, shards| {
+            b.iter(|| {
+                SpmdGroup::ingest(shards, |i| {
+                    CountMin::with_byte_budget(1 + i as u64, 8, 128 * 1024).unwrap()
+                })
+                .1
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spmd
+}
+criterion_main!(benches);

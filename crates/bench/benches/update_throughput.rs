@@ -1,0 +1,43 @@
+//! Criterion micro-bench behind Figure 5(a): per-method stream-update cost
+//! at low, real-world, and high skew.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use asketch_bench::workload::Workload;
+use asketch_bench::{Config, MethodKind};
+
+fn bench_updates(c: &mut Criterion) {
+    let cfg = Config {
+        scale: 0.004, // 128k tuples — enough to exercise the exchange paths
+        ..Config::default()
+    };
+    let mut group = c.benchmark_group("update_throughput");
+    for skew in [0.5f64, 1.5, 2.5] {
+        let w = Workload::synthetic(&cfg, skew);
+        group.throughput(Throughput::Elements(w.len() as u64));
+        for kind in MethodKind::HEADLINE {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("z={skew}")),
+                &w,
+                |b, w| {
+                    b.iter_batched(
+                        || kind.build(128 * 1024, w.spec.seed, 32).unwrap(),
+                        |mut m| {
+                            m.ingest(&w.stream);
+                            m
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_updates
+}
+criterion_main!(benches);

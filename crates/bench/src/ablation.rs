@@ -1,0 +1,115 @@
+//! Ablation variants of design choices the paper calls out.
+//!
+//! The shipped ASketch performs **at most one** exchange per sketch
+//! insertion (§5: cascading exchanges "are unnecessary and they introduce
+//! additional errors in the frequency estimation"). [`CascadingASketch`]
+//! implements the rejected alternative — exchanges repeat while the newly
+//! demoted item's sketch estimate still exceeds the filter minimum — so the
+//! exchange-policy bench can quantify exactly what the restriction buys.
+
+use asketch::filter::{Filter, RelaxedHeapFilter};
+use sketches::traits::{FrequencyEstimator, UpdateEstimate};
+use sketches::CountMin;
+
+/// ASketch with the cascading-exchange policy the paper rejects.
+pub struct CascadingASketch {
+    filter: RelaxedHeapFilter,
+    sketch: CountMin,
+    /// Total exchanges performed (cascades count each step).
+    pub exchanges: u64,
+    /// Hard cap per insertion so adversarial inputs cannot livelock.
+    cascade_cap: usize,
+}
+
+impl CascadingASketch {
+    /// Build with the same shape as the default ASketch.
+    pub fn new(filter_items: usize, sketch: CountMin) -> Self {
+        Self {
+            filter: RelaxedHeapFilter::new(filter_items),
+            sketch,
+            exchanges: 0,
+            cascade_cap: 8,
+        }
+    }
+
+    /// Algorithm 1 with the single-exchange restriction removed.
+    pub fn insert(&mut self, key: u64) {
+        if self.filter.update_existing(key, 1).is_some() {
+            return;
+        }
+        if !self.filter.is_full() {
+            self.filter.insert(key, 1, 0);
+            return;
+        }
+        let mut est = self.sketch.update_and_estimate(key, 1);
+        let mut incoming = key;
+        for _ in 0..self.cascade_cap {
+            let min = self.filter.min_count().expect("full filter");
+            if est <= min {
+                break;
+            }
+            let evicted = self.filter.evict_min().expect("non-empty");
+            if evicted.pending() > 0 {
+                self.sketch.update(evicted.key, evicted.pending());
+            }
+            self.filter.insert(incoming, est, est);
+            self.exchanges += 1;
+            // Cascade: the demoted item's (over-estimated) sketch count may
+            // itself beat the new minimum — exactly the paper's concern.
+            est = self.sketch.estimate(evicted.key);
+            incoming = evicted.key;
+            if self.filter.query(incoming).is_some() {
+                break;
+            }
+        }
+    }
+
+    /// Algorithm 2 unchanged.
+    pub fn estimate(&self, key: u64) -> i64 {
+        match self.filter.query(key) {
+            Some(c) => c,
+            None => self.sketch.estimate(key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascading_performs_more_exchanges() {
+        let mk = || CountMin::new(5, 8, 64).unwrap();
+        let mut single = asketch::ASketch::new(RelaxedHeapFilter::new(8), mk());
+        let mut cascading = CascadingASketch::new(8, mk());
+        let mut x = 11u64;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(5);
+            let key = x % 5_000;
+            single.update(key, 1);
+            cascading.insert(key);
+        }
+        assert!(
+            cascading.exchanges >= single.stats().exchanges,
+            "cascading ({}) should not exchange less than single ({})",
+            cascading.exchanges,
+            single.stats().exchanges
+        );
+    }
+
+    #[test]
+    fn cascading_still_one_sided() {
+        let mut c = CascadingASketch::new(4, CountMin::new(3, 4, 64).unwrap());
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 3u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = x % 500;
+            c.insert(key);
+            *truth.entry(key).or_insert(0i64) += 1;
+        }
+        for (&key, &t) in &truth {
+            assert!(c.estimate(key) >= t, "under-count for {key}");
+        }
+    }
+}

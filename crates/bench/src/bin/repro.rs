@@ -1,0 +1,82 @@
+//! `repro` — regenerate every table and figure of the ASketch paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro list              # show available experiments
+//! repro all               # run the whole evaluation
+//! repro table1 fig5a ...  # run selected experiments
+//! ```
+//!
+//! Scale via env: `ASKETCH_SCALE` (1.0 = paper scale, default 1/16),
+//! `ASKETCH_SEED`, `ASKETCH_RUNS`, `ASKETCH_QUERIES`.
+
+use asketch_bench::config::Config;
+use asketch_bench::experiments::{find, registry};
+
+fn print_usage() {
+    eprintln!("usage: repro <list|all|EXPERIMENT...>");
+    eprintln!("experiments:");
+    for (id, desc, _) in registry() {
+        eprintln!("  {id:<8} {desc}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    if args[0] == "list" {
+        for (id, desc, _) in registry() {
+            println!("{id:<8} {desc}");
+        }
+        return;
+    }
+    let cfg = Config::from_env();
+    println!(
+        "# ASketch reproduction — scale {:.4} (stream {} tuples, {} distinct), seed {}, runs {}",
+        cfg.scale,
+        cfg.stream_len(),
+        cfg.distinct(),
+        cfg.seed,
+        cfg.runs
+    );
+    let selected: Vec<(&str, &str, asketch_bench::experiments::ExperimentFn)> =
+        if args.iter().any(|a| a == "all") {
+            registry()
+        } else {
+            args.iter()
+                .map(|a| {
+                    find(a).unwrap_or_else(|| {
+                        eprintln!("unknown experiment: {a}");
+                        print_usage();
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        };
+    let mut failures = 0usize;
+    for (id, desc, f) in selected {
+        println!("\n################ {id}: {desc}");
+        let started = std::time::Instant::now();
+        let out = f(&cfg);
+        for table in &out.tables {
+            println!();
+            table.print();
+        }
+        for note in &out.notes {
+            println!("note: {note}");
+            if note.contains("— FAIL") {
+                failures += 1;
+            }
+        }
+        println!("[{id} finished in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+    if failures > 0 {
+        println!("\n{failures} shape check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("\nall shape checks passed");
+}

@@ -1,0 +1,95 @@
+//! Experiment configuration shared by the `repro` binary and the Criterion
+//! benches.
+
+/// Global experiment knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Workload scale relative to the paper (1.0 = 32 M-tuple streams).
+    /// Default 1/16 so the full suite completes in minutes.
+    pub scale: f64,
+    /// Base RNG seed; every experiment derives per-run seeds from it.
+    pub seed: u64,
+    /// Repetitions for experiments that aggregate over runs (paper: 100).
+    pub runs: usize,
+    /// Number of frequency-estimation queries per accuracy measurement.
+    pub queries: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            scale: 1.0 / 16.0,
+            seed: 20160626, // SIGMOD'16 opening day
+            runs: 20,
+            queries: 100_000,
+        }
+    }
+}
+
+impl Config {
+    /// Read overrides from the environment: `ASKETCH_SCALE`,
+    /// `ASKETCH_SEED`, `ASKETCH_RUNS`, `ASKETCH_QUERIES`.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("ASKETCH_SCALE") {
+            if let Ok(x) = v.parse::<f64>() {
+                assert!(x > 0.0, "ASKETCH_SCALE must be positive");
+                cfg.scale = x;
+            }
+        }
+        if let Ok(v) = std::env::var("ASKETCH_SEED") {
+            if let Ok(x) = v.parse::<u64>() {
+                cfg.seed = x;
+            }
+        }
+        if let Ok(v) = std::env::var("ASKETCH_RUNS") {
+            if let Ok(x) = v.parse::<usize>() {
+                assert!(x > 0, "ASKETCH_RUNS must be positive");
+                cfg.runs = x;
+            }
+        }
+        if let Ok(v) = std::env::var("ASKETCH_QUERIES") {
+            if let Ok(x) = v.parse::<usize>() {
+                assert!(x > 0, "ASKETCH_QUERIES must be positive");
+                cfg.queries = x;
+            }
+        }
+        cfg
+    }
+
+    /// Paper stream length (32 M) at this scale.
+    pub fn stream_len(&self) -> usize {
+        ((32_000_000.0 * self.scale) as usize).max(1000)
+    }
+
+    /// Paper distinct-key count (8 M) at this scale.
+    pub fn distinct(&self) -> u64 {
+        ((8_000_000.0 * self.scale) as u64).max(100)
+    }
+
+    /// Query count, clamped to stay proportionate on tiny scales.
+    pub fn query_count(&self) -> usize {
+        self.queries.min(self.stream_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_scaled_paper_shape() {
+        let c = Config::default();
+        assert_eq!(c.stream_len(), 2_000_000);
+        assert_eq!(c.distinct(), 500_000);
+        assert_eq!(c.query_count(), 100_000);
+    }
+
+    #[test]
+    fn tiny_scale_clamps() {
+        let c = Config { scale: 1e-9, ..Default::default() };
+        assert_eq!(c.stream_len(), 1000);
+        assert_eq!(c.distinct(), 100);
+        assert_eq!(c.query_count(), 1000);
+    }
+}

@@ -1,0 +1,91 @@
+//! Ablation (not a paper artifact): conservative update (Estan & Varghese
+//! \[13\], cited by the paper) as an alternative / complement to ASketch's
+//! filter.
+//!
+//! Conservative update attacks the same problem as ASketch — over-counting
+//! from collisions — from the opposite side: instead of keeping heavy items
+//! *out* of the sketch, it refuses to inflate cells beyond what the current
+//! estimate justifies. The two compose: `ASketch<Filter, CountMinCu>` gets
+//! the filter's exact heavy hitters *and* the quieter tail. The trade-off
+//! is that conservative update forfeits deletion support (Appendix A),
+//! which plain ASketch retains.
+
+use asketch::filter::RelaxedHeapFilter;
+use asketch::ASketch;
+use eval_metrics::{fnum, Stopwatch, Table};
+use sketches::{CountMin, CountMinCu, FrequencyEstimator};
+
+use super::{ExperimentOutput, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS};
+use crate::config::Config;
+use crate::workload::{error_pct_fn, Workload};
+
+fn measure<M: FrequencyEstimator>(mut m: M, w: &Workload) -> (f64, f64) {
+    let sw = Stopwatch::start();
+    for &k in &w.stream {
+        m.insert(k);
+    }
+    let thr = sw.finish(w.len() as u64).per_ms();
+    (thr, error_pct_fn(|q| m.estimate(q), w))
+}
+
+/// Run the conservative-update ablation.
+pub fn run(cfg: &Config) -> ExperimentOutput {
+    let w = Workload::synthetic(cfg, 1.5);
+    let seed = cfg.seed ^ 0xCCCC;
+    let sketch_budget = DEFAULT_BUDGET - DEFAULT_FILTER_ITEMS * 24;
+
+    let mut table = Table::new(
+        "Ablation: conservative update vs the filter (Zipf 1.5, 128KB)",
+        &["Variant", "Updates/ms", "Observed error (%)", "Deletions?"],
+    );
+    let (t_cms, e_cms) = measure(CountMin::with_byte_budget(seed, 8, DEFAULT_BUDGET).unwrap(), &w);
+    table.row(&["Count-Min".into(), fnum(t_cms), fnum(e_cms), "yes".into()]);
+    let (t_cu, e_cu) = measure(CountMinCu::with_byte_budget(seed, 8, DEFAULT_BUDGET).unwrap(), &w);
+    table.row(&["Count-Min + CU".into(), fnum(t_cu), fnum(e_cu), "no".into()]);
+    let (t_ask, e_ask) = measure(
+        ASketch::new(
+            RelaxedHeapFilter::new(DEFAULT_FILTER_ITEMS),
+            CountMin::with_byte_budget(seed, 8, sketch_budget).unwrap(),
+        ),
+        &w,
+    );
+    table.row(&["ASketch".into(), fnum(t_ask), fnum(e_ask), "yes".into()]);
+    let (t_acu, e_acu) = measure(
+        ASketch::new(
+            RelaxedHeapFilter::new(DEFAULT_FILTER_ITEMS),
+            CountMinCu::with_byte_budget(seed, 8, sketch_budget).unwrap(),
+        ),
+        &w,
+    );
+    table.row(&["ASketch + CU".into(), fnum(t_acu), fnum(e_acu), "no".into()]);
+
+    let notes = vec![
+        format!(
+            "shape: conservative update alone improves CMS error ({} -> {}) — {}",
+            fnum(e_cms),
+            fnum(e_cu),
+            if e_cu < e_cms { "PASS" } else { "FAIL" }
+        ),
+        format!(
+            "shape: CU pays for its accuracy with update throughput ({} vs CMS {}) — {}",
+            fnum(t_cu),
+            fnum(t_cms),
+            if t_cu < t_cms { "PASS" } else { "FAIL" }
+        ),
+        format!(
+            "shape: the filter recovers CU's throughput loss while keeping CU-level accuracy \
+             ({} upd/ms at {} error) — {}",
+            fnum(t_acu),
+            fnum(e_acu),
+            if t_acu > t_cu && e_acu <= e_cu * 1.5 { "PASS" } else { "FAIL" }
+        ),
+        format!(
+            "finding: on insert-only skewed streams CU's tail accuracy ({}) exceeds even \
+             ASketch-over-CMS ({}); the filter's remaining edge is exact heavy hitters, top-k, \
+             throughput, and Appendix-A deletion support (CU forfeits deletions)",
+            fnum(e_cu),
+            fnum(e_ask)
+        ),
+    ];
+    ExperimentOutput::new(vec![table], notes)
+}

@@ -1,0 +1,126 @@
+//! One module per paper table/figure. Every experiment consumes a
+//! [`Config`] and returns rendered tables plus free-form notes (paper
+//! reference values, scale caveats).
+
+use eval_metrics::Table;
+
+use crate::config::Config;
+
+pub mod cells;
+pub mod cu;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+/// Output of one experiment.
+pub struct ExperimentOutput {
+    /// Rendered result tables.
+    pub tables: Vec<Table>,
+    /// Paper references, caveats, pass/fail shape checks.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Convenience constructor.
+    pub fn new(tables: Vec<Table>, notes: Vec<String>) -> Self {
+        Self { tables, notes }
+    }
+}
+
+/// An experiment entry point.
+pub type ExperimentFn = fn(&Config) -> ExperimentOutput;
+
+/// The experiment registry: `(id, what it reproduces, entry point)`.
+pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
+    vec![
+        ("table1", "Table 1: headline method comparison (Zipf 1.5, 128KB)", table1::run),
+        ("table2", "Table 2: analytic model vs measurement", table2::run),
+        ("table3", "Table 3: Count-Min misclassification counts", table3::run),
+        ("table4", "Table 4: observed-error improvement over Count-Min", table4::run),
+        ("table5", "Table 5: precision-at-k of top-k queries", table5::run),
+        ("table6", "Table 6: accuracy by filter implementation", table6::run),
+        ("table7", "Appendix Table 7: top-10 accumulative error items", table7::run),
+        ("fig3", "Figure 3: filter selectivity vs skew and filter size", fig3::run),
+        ("fig5a", "Figure 5a: stream throughput vs skew", fig5::run_update),
+        ("fig5b", "Figure 5b: query throughput vs skew", fig5::run_query),
+        ("fig6", "Figure 6: avg relative error of misclassified items", fig6::run),
+        ("fig7", "Figure 7: observed error vs skew (CMS/H-UDAF/ASketch)", fig7::run),
+        ("fig8", "Figure 8: observed error, FCM vs ASketch-FCM", fig8::run),
+        ("fig9", "Figure 9: number of exchanges vs skew", fig9::run),
+        ("fig10", "Figure 10: real-world dataset surrogates", fig10::run),
+        ("fig11", "Figure 11: Space Saving comparison (Kosarak)", fig11::run),
+        ("fig12", "Figure 12: pipeline parallelism throughput", fig12::run),
+        ("fig13", "Figure 13: SPMD kernel scaling", fig13::run),
+        ("fig14", "Figure 14: throughput by filter implementation", fig14::run),
+        ("fig15", "Figure 15: filter-size sensitivity", fig15::run),
+        ("fig16", "Appendix Fig 16: ARE over low-frequency items", fig16::run),
+        ("fig17", "Appendix Fig 17: predicted vs achieved selectivity", fig17::run),
+        ("cells", "Ablation: 32- vs 64-bit counter cells (not a paper artifact)", cells::run),
+        ("cu", "Ablation: conservative update vs the filter (not a paper artifact)", cu::run),
+    ]
+}
+
+/// Look up an experiment by id.
+pub fn find(id: &str) -> Option<(&'static str, &'static str, ExperimentFn)> {
+    registry().into_iter().find(|(name, _, _)| *name == id)
+}
+
+/// The paper's full skew sweep (Figures 3/5/9/12/14): 0 to 3 in halves.
+pub fn full_skews() -> Vec<f64> {
+    vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+}
+
+/// The paper's accuracy-focused sweep (Figures 7/8/16, Tables 4/7):
+/// the real-world skew band 0.8–1.8.
+pub fn accuracy_skews() -> Vec<f64> {
+    vec![0.8, 1.0, 1.2, 1.4, 1.6, 1.8]
+}
+
+/// Default synopsis budget (paper: 128 KB) and filter size (32 items).
+pub const DEFAULT_BUDGET: usize = 128 * 1024;
+/// Default filter capacity in items.
+pub const DEFAULT_FILTER_ITEMS: usize = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_findable() {
+        let reg = registry();
+        let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate experiment ids");
+        assert!(find("table1").is_some());
+        assert!(find("fig17").is_some());
+        assert!(find("nonsense").is_none());
+        assert_eq!(n, 24, "every paper table and figure plus the two ablations");
+    }
+
+    #[test]
+    fn skew_ranges_match_paper() {
+        assert_eq!(full_skews().len(), 7);
+        assert_eq!(accuracy_skews().first(), Some(&0.8));
+        assert_eq!(accuracy_skews().last(), Some(&1.8));
+    }
+}

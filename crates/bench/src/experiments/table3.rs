@@ -1,0 +1,92 @@
+//! Table 3 — misclassification statistics: the maximum number of
+//! low-frequency items reported as heavy hitters by small Count-Min
+//! synopses over repeated runs, versus ASketch (which should show none).
+//!
+//! Paper reference (Zipf 1.5, 32 M stream, 100 runs):
+//! 16 KB → 27, 24 KB → 5, 32 KB → 8 misclassifications for Count-Min;
+//! "in our experiments with ASketch, such misclassifications did not occur".
+//!
+//! Like Figure 11, this experiment uses the paper's 32-bit cell layout:
+//! whether collision noise crosses the heavy-hitter threshold depends
+//! directly on cells-per-byte, so matching the layout matters here.
+
+use asketch::filter::RelaxedHeapFilter;
+use asketch::ASketch;
+use eval_metrics::{find_misclassified, Table};
+use sketches::{CountMin32, FrequencyEstimator};
+
+use super::{ExperimentOutput, DEFAULT_FILTER_ITEMS};
+use crate::config::Config;
+use crate::workload::Workload;
+
+/// Heavy-hitter rank used as the misclassification threshold.
+const HEAVY_K: usize = 32;
+/// A "low-frequency" item has at most this fraction of the threshold count.
+const LIGHT_FACTOR: f64 = 0.1;
+/// Paper's reported CMS maxima per size.
+const PAPER_CMS: [(usize, u32); 3] = [(16, 27), (24, 5), (32, 8)];
+
+fn count_misclassified(estimate: impl Fn(u64) -> i64, w: &Workload) -> usize {
+    let threshold = w.truth.kth_count(HEAVY_K);
+    find_misclassified(
+        w.truth.iter().map(|(key, t)| (key, estimate(key), t)),
+        threshold,
+        LIGHT_FACTOR,
+    )
+    .len()
+}
+
+/// Run Table 3.
+pub fn run(cfg: &Config) -> ExperimentOutput {
+    let w = Workload::synthetic(cfg, 1.5);
+    let mut table = Table::new(
+        format!(
+            "Table 3: max misclassifications over {} runs (Zipf 1.5, heavy-k={HEAVY_K}, 32-bit cells)",
+            cfg.runs
+        ),
+        &["Synopsis", "CMS max", "ASketch max", "Paper CMS max"],
+    );
+    let mut notes = Vec::new();
+    let mut total_cms = 0usize;
+    let mut total_ask = 0usize;
+    for (kb, paper_cms) in PAPER_CMS {
+        let budget = kb * 1024;
+        let mut worst_cms = 0usize;
+        let mut worst_ask = 0usize;
+        for run in 0..cfg.runs {
+            let seed = cfg.seed ^ (run as u64).wrapping_mul(0x9E37_79B9);
+            let mut cms = CountMin32::with_byte_budget(seed, 8, budget).unwrap();
+            for &k in &w.stream {
+                cms.insert(k);
+            }
+            worst_cms = worst_cms.max(count_misclassified(|key| cms.estimate(key), &w));
+            let mut ask = ASketch::new(
+                RelaxedHeapFilter::new(DEFAULT_FILTER_ITEMS),
+                CountMin32::with_byte_budget(seed, 8, budget - DEFAULT_FILTER_ITEMS * 24).unwrap(),
+            );
+            for &k in &w.stream {
+                ask.insert(k);
+            }
+            worst_ask = worst_ask.max(count_misclassified(|key| ask.estimate(key), &w));
+        }
+        total_cms += worst_cms;
+        total_ask += worst_ask;
+        table.row(&[
+            format!("{kb}KB"),
+            worst_cms.to_string(),
+            worst_ask.to_string(),
+            paper_cms.to_string(),
+        ]);
+    }
+    notes.push(format!(
+        "shape: ASketch stays at (near) zero misclassifications while CMS does not improve on it \
+         (CMS {total_cms} vs ASketch {total_ask} across sizes) — {}",
+        if total_ask <= total_cms && total_ask <= 1 { "PASS" } else { "FAIL" }
+    ));
+    notes.push(format!(
+        "runs={}; collision pressure scales with stream size — at ASKETCH_SCALE=1 the CMS counts \
+         approach the paper's tens (paper used 100 runs; set ASKETCH_RUNS=100 to match)",
+        cfg.runs
+    ));
+    ExperimentOutput::new(vec![table], notes)
+}

@@ -1,0 +1,86 @@
+//! Table 5 — precision-at-k of ASketch's top-k frequent-items query, where
+//! `k` equals the filter capacity (paper §7.2.2).
+//!
+//! Paper reference: 0.74 at skew 0.4, 0.96 at 0.6, 0.99 at 0.8, and a
+//! perfect 1.0 for every skew ≥ 1.0.
+//!
+//! As an extension we also report the classic sketch+heap baseline the
+//! paper's §2 describes (Count-Min with an online top-k candidate set):
+//! its ranking is built from noisy over-estimates, whereas ASketch ranks
+//! by the filter's exact counts.
+
+use eval_metrics::{fnum, precision_at_k, Table};
+use sketches::{CountMin, FrequencyEstimator, SketchHeavyHitters, TopK};
+
+use super::{ExperimentOutput, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS};
+use crate::config::Config;
+use crate::methods::{Method, MethodKind};
+use crate::workload::Workload;
+
+/// Paper's reported precision per skew.
+const PAPER: [(f64, f64); 4] = [(0.4, 0.74), (0.6, 0.96), (0.8, 0.99), (1.0, 1.0)];
+
+/// Run Table 5.
+pub fn run(cfg: &Config) -> ExperimentOutput {
+    let k = DEFAULT_FILTER_ITEMS;
+    let mut table = Table::new(
+        format!("Table 5: precision-at-{k} for top-k queries"),
+        &["Skew", "ASketch", "Paper (ASketch)", "CMS+heap (baseline)"],
+    );
+    let mut results = Vec::new();
+    let mut heap_results = Vec::new();
+    for (skew, paper) in PAPER {
+        let w = Workload::synthetic(cfg, skew);
+        let truth: Vec<u64> = w.truth.top_k(k).into_iter().map(|(key, _)| key).collect();
+
+        let mut m = MethodKind::ASketch
+            .build(DEFAULT_BUDGET, w.spec.seed ^ 0xBEEF, k)
+            .unwrap();
+        m.ingest(&w.stream);
+        let reported: Vec<u64> = match &m {
+            Method::ASketch(ask) => ask.top_k(k).into_iter().map(|(key, _)| key).collect(),
+            _ => unreachable!("built as ASketch"),
+        };
+        let p = precision_at_k(&reported, &truth);
+
+        let mut heap = SketchHeavyHitters::new(
+            CountMin::with_byte_budget(w.spec.seed ^ 0xBEEF, 8, DEFAULT_BUDGET - k * 32).unwrap(),
+            k,
+        )
+        .unwrap();
+        for &key in &w.stream {
+            heap.insert(key);
+        }
+        let heap_reported: Vec<u64> = heap.top_k(k).into_iter().map(|(key, _)| key).collect();
+        let hp = precision_at_k(&heap_reported, &truth);
+
+        results.push((skew, p));
+        heap_results.push(hp);
+        table.row(&[format!("{skew:.1}"), fnum(p), fnum(paper), fnum(hp)]);
+    }
+    let high_skew_perfect = results.iter().filter(|(z, _)| *z >= 1.0).all(|(_, p)| *p >= 0.99);
+    let low_skew_decent = results.iter().all(|(_, p)| *p >= 0.5);
+    // At near-uniform skew (0.4) no 32-slot structure ranks reliably and
+    // both baselines degrade; compare where a top-k is meaningful.
+    let competitive = results
+        .iter()
+        .zip(&heap_results)
+        .filter(|((z, _), _)| *z >= 0.6)
+        .all(|((_, p), hp)| *p >= hp - 0.10);
+    let notes = vec![
+        format!(
+            "shape: precision 1.0 at skew >= 1.0 — {}",
+            if high_skew_perfect { "PASS" } else { "FAIL" }
+        ),
+        format!(
+            "shape: precision stays high even at low skew — {}",
+            if low_skew_decent { "PASS" } else { "FAIL" }
+        ),
+        format!(
+            "extension: ASketch's exact-count ranking matches the CMS+heap baseline for skew >= 0.6 — {}",
+            if competitive { "PASS" } else { "FAIL" }
+        ),
+        "unlike CMS+heap, ASketch's reported counts are exact, not noisy over-estimates".into(),
+    ];
+    ExperimentOutput::new(vec![table], notes)
+}

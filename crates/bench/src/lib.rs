@@ -1,0 +1,28 @@
+//! # asketch-bench — the reproduction harness
+//!
+//! One experiment module per paper table/figure ([`experiments`]), a
+//! uniform method wrapper ([`methods`]), workload assembly ([`workload`]),
+//! and the global scale/seed configuration ([`config`]).
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p asketch-bench --release --bin repro -- all
+//! ```
+//!
+//! or a single artifact, e.g. `repro table1`, `repro fig5a`. Scale knobs:
+//! `ASKETCH_SCALE` (1.0 = paper's 32 M-tuple streams; default 1/16),
+//! `ASKETCH_SEED`, `ASKETCH_RUNS`, `ASKETCH_QUERIES`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod config;
+pub mod experiments;
+pub mod methods;
+pub mod workload;
+
+pub use config::Config;
+pub use methods::{Method, MethodKind};
+pub use workload::{run_method, RunResult, Workload};

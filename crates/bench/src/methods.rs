@@ -1,0 +1,224 @@
+//! Uniform wrapper over the five compared methods (paper Table 1 /
+//! Figures 5, 7, 8, 10): Count-Min, FCM, Holistic UDAF, ASketch, and
+//! ASketch-FCM — all constructed against the *same* total byte budget.
+
+use asketch::filter::{FilterKind, RelaxedHeapFilter};
+use asketch::{ASketch, AsketchBuilder};
+use sketches::{CountMin, Fcm, FrequencyEstimator, HolisticUdaf, SketchError};
+
+/// Which method to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Plain Count-Min sketch \[11\].
+    CountMin,
+    /// Frequency-Aware Counting with its MG counter \[34\].
+    Fcm,
+    /// Count-Min behind a run-length aggregation table \[10\].
+    HolisticUdaf,
+    /// ASketch over Count-Min (this paper).
+    ASketch,
+    /// ASketch over the MG-less FCM (this paper, §7.2.1).
+    ASketchFcm,
+}
+
+impl MethodKind {
+    /// The four methods of the headline comparison, in table order.
+    pub const HEADLINE: [MethodKind; 4] = [
+        MethodKind::CountMin,
+        MethodKind::Fcm,
+        MethodKind::HolisticUdaf,
+        MethodKind::ASketch,
+    ];
+
+    /// All five methods (adds ASketch-FCM), in Figure 10 order.
+    pub const ALL: [MethodKind; 5] = [
+        MethodKind::CountMin,
+        MethodKind::ASketch,
+        MethodKind::HolisticUdaf,
+        MethodKind::Fcm,
+        MethodKind::ASketchFcm,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodKind::CountMin => "Count-Min",
+            MethodKind::Fcm => "FCM",
+            MethodKind::HolisticUdaf => "Holistic UDAFs",
+            MethodKind::ASketch => "ASketch",
+            MethodKind::ASketchFcm => "ASketch-FCM",
+        }
+    }
+
+    /// Build the method with a `budget_bytes` total synopsis, `w = 8` hash
+    /// functions, and `filter_items` slots for whichever auxiliary
+    /// structure the method carries (ASketch filter, FCM's MG counter,
+    /// H-UDAF's aggregation table) — the paper's fairness rule.
+    ///
+    /// # Errors
+    /// Propagates budget/dimension errors from the underlying constructors.
+    pub fn build(
+        self,
+        budget_bytes: usize,
+        seed: u64,
+        filter_items: usize,
+    ) -> Result<Method, SketchError> {
+        const DEPTH: usize = 8;
+        let builder = AsketchBuilder {
+            total_bytes: budget_bytes,
+            depth: DEPTH,
+            filter_items,
+            filter_kind: FilterKind::RelaxedHeap,
+            seed,
+        };
+        Ok(match self {
+            MethodKind::CountMin => {
+                Method::CountMin(CountMin::with_byte_budget(seed, DEPTH, budget_bytes)?)
+            }
+            MethodKind::Fcm => Method::Fcm(Fcm::with_byte_budget(
+                seed,
+                DEPTH,
+                budget_bytes,
+                Some(filter_items),
+            )?),
+            MethodKind::HolisticUdaf => Method::HolisticUdaf(HolisticUdaf::with_byte_budget(
+                seed,
+                DEPTH,
+                budget_bytes,
+                filter_items,
+            )?),
+            MethodKind::ASketch => Method::ASketch(ASketch::new(
+                RelaxedHeapFilter::new(filter_items),
+                CountMin::with_byte_budget(seed, DEPTH, builder.sketch_budget()?)?,
+            )),
+            MethodKind::ASketchFcm => Method::ASketchFcm(ASketch::new(
+                RelaxedHeapFilter::new(filter_items),
+                Fcm::with_byte_budget(seed, DEPTH, builder.sketch_budget()?, None)?,
+            )),
+        })
+    }
+}
+
+/// A constructed method instance.
+pub enum Method {
+    /// Plain Count-Min.
+    CountMin(CountMin),
+    /// FCM with MG counter.
+    Fcm(Fcm),
+    /// Holistic UDAF.
+    HolisticUdaf(HolisticUdaf),
+    /// ASketch over Count-Min, monomorphized on the Relaxed-Heap filter so
+    /// measurements carry no virtual-dispatch tax.
+    ASketch(ASketch<RelaxedHeapFilter, CountMin>),
+    /// ASketch over MG-less FCM (same concrete filter).
+    ASketchFcm(ASketch<RelaxedHeapFilter, Fcm>),
+}
+
+impl Method {
+    /// Ingest one tuple.
+    #[inline]
+    pub fn update(&mut self, key: u64, delta: i64) {
+        match self {
+            Method::CountMin(m) => m.update(key, delta),
+            Method::Fcm(m) => m.update(key, delta),
+            Method::HolisticUdaf(m) => m.update(key, delta),
+            Method::ASketch(m) => m.update(key, delta),
+            Method::ASketchFcm(m) => m.update(key, delta),
+        }
+    }
+
+    /// Point estimate.
+    #[inline]
+    pub fn estimate(&self, key: u64) -> i64 {
+        match self {
+            Method::CountMin(m) => m.estimate(key),
+            Method::Fcm(m) => m.estimate(key),
+            Method::HolisticUdaf(m) => m.estimate(key),
+            Method::ASketch(m) => m.estimate(key),
+            Method::ASketchFcm(m) => m.estimate(key),
+        }
+    }
+
+    /// Total synopsis bytes (for fairness assertions).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Method::CountMin(m) => m.size_bytes(),
+            Method::Fcm(m) => m.size_bytes(),
+            Method::HolisticUdaf(m) => m.size_bytes(),
+            Method::ASketch(m) => m.size_bytes(),
+            Method::ASketchFcm(m) => m.size_bytes(),
+        }
+    }
+
+    /// ASketch exchange statistics, when the method has them.
+    pub fn asketch_stats(&self) -> Option<asketch::AsketchStats> {
+        match self {
+            Method::ASketch(m) => Some(m.stats()),
+            Method::ASketchFcm(m) => Some(m.stats()),
+            _ => None,
+        }
+    }
+
+    /// Ingest a whole key stream with unit counts.
+    pub fn ingest(&mut self, keys: &[u64]) {
+        for &k in keys {
+            self.update(k, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methods_build_within_budget() {
+        let budget = 64 * 1024;
+        for kind in MethodKind::ALL {
+            let m = kind.build(budget, 1, 32).unwrap();
+            assert!(
+                m.size_bytes() <= budget,
+                "{} exceeds budget: {} > {budget}",
+                kind.name(),
+                m.size_bytes()
+            );
+            // No more than ~2% of the budget may be wasted by rounding.
+            assert!(
+                m.size_bytes() as f64 >= budget as f64 * 0.98,
+                "{} wastes budget: {}",
+                kind.name(),
+                m.size_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn all_methods_are_one_sided_here() {
+        let mut x = 9u64;
+        let keys: Vec<u64> = (0..20_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(3);
+                x % 1000
+            })
+            .collect();
+        let mut truth = std::collections::HashMap::new();
+        for &k in &keys {
+            *truth.entry(k).or_insert(0i64) += 1;
+        }
+        for kind in [MethodKind::CountMin, MethodKind::HolisticUdaf, MethodKind::ASketch] {
+            let mut m = kind.build(64 * 1024, 7, 32).unwrap();
+            m.ingest(&keys);
+            for (&k, &t) in &truth {
+                assert!(m.estimate(k) >= t, "{} under-counts {k}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn asketch_stats_only_for_asketch() {
+        let m = MethodKind::CountMin.build(32 * 1024, 1, 32).unwrap();
+        assert!(m.asketch_stats().is_none());
+        let m = MethodKind::ASketch.build(32 * 1024, 1, 32).unwrap();
+        assert!(m.asketch_stats().is_some());
+    }
+}

@@ -1,0 +1,197 @@
+//! Closed-form analytic model of ASketch (paper §4, Table 2, Theorem 1,
+//! and the exchange bounds of Appendix C.2).
+//!
+//! These functions let the harness print *predicted* numbers next to
+//! *measured* ones (Figure 17's predicted-vs-achieved selectivity, the
+//! Table 2 model, and the Theorem 1 error bound).
+
+use std::f64::consts::E;
+
+/// Generalized harmonic number `H_{n,z} = Σ_{i=1..n} i^-z`.
+///
+/// Mirrors `streamgen::zipf::harmonic` (cross-checked in tests via the
+/// dev-dependency) so the core crate carries no workload dependency.
+pub fn harmonic(n: u64, z: f64) -> f64 {
+    const EXACT_CUTOFF: u64 = 100_000;
+    if n <= EXACT_CUTOFF {
+        return (1..=n).map(|i| (i as f64).powf(-z)).sum();
+    }
+    let head: f64 = (1..=EXACT_CUTOFF).map(|i| (i as f64).powf(-z)).sum();
+    let a = EXACT_CUTOFF as f64;
+    let b = n as f64;
+    let integral = if (z - 1.0).abs() < 1e-12 {
+        (b / a).ln()
+    } else {
+        (b.powf(1.0 - z) - a.powf(1.0 - z)) / (1.0 - z)
+    };
+    let correction =
+        (b.powf(-z) - a.powf(-z)) / 2.0 + z * (a.powf(-z - 1.0) - b.powf(-z - 1.0)) / 12.0;
+    head + integral + correction
+}
+
+/// Predicted filter selectivity `N₂/N` for a Zipf(`skew`) stream over
+/// `distinct` items with a perfect filter of `filter_items` slots
+/// (paper Figure 3): the probability mass *outside* the top-`|F|` ranks.
+pub fn zipf_filter_selectivity(skew: f64, distinct: u64, filter_items: u64) -> f64 {
+    assert!(distinct > 0);
+    if filter_items >= distinct {
+        return 0.0;
+    }
+    1.0 - harmonic(filter_items, skew) / harmonic(distinct, skew)
+}
+
+/// Count-Min expected error bound: the estimate exceeds the truth by more
+/// than `(e/h)·N` with probability at most `e^{-w}` (paper §3).
+pub fn cms_error_bound(h: usize, n: i64) -> f64 {
+    assert!(h > 0);
+    (E / h as f64) * n as f64
+}
+
+/// Probability that the Count-Min bound fails: `e^{-w}`.
+pub fn cms_error_probability(w: usize) -> f64 {
+    (-(w as f64)).exp()
+}
+
+/// ASketch expected frequency-estimation error under frequency-proportional
+/// querying (paper Table 2): `(e / (h − s_f/w)) · N₂ · (N₂/N)`.
+///
+/// `h_prime` is the reduced row length `h − s_f/w`; `n2` the mass reaching
+/// the sketch; `n` the total mass.
+pub fn asketch_expected_error(h_prime: usize, n2: i64, n: i64) -> f64 {
+    assert!(h_prime > 0 && n > 0);
+    (E / h_prime as f64) * n2 as f64 * (n2 as f64 / n as f64)
+}
+
+/// Theorem 1: bound on the error *increase* for a low-frequency item caused
+/// by shrinking the sketch to make room for the filter:
+/// `ΔE ≤ (e·s_f / (w·h·(h − s_f/w))) · N` with probability ≥ 1 − e^{-w}.
+///
+/// `sf_cells` is the filter size expressed in sketch cells (bytes / cell
+/// size), matching the paper's accounting.
+pub fn theorem1_delta_e(sf_cells: usize, w: usize, h: usize, n: i64) -> f64 {
+    assert!(w > 0 && h > 0);
+    let h_prime = h as f64 - sf_cells as f64 / w as f64;
+    assert!(h_prime > 0.0, "filter larger than the whole synopsis");
+    (E * sf_cells as f64 / (w as f64 * h as f64 * h_prime)) * n as f64
+}
+
+/// Table 2 throughput model: ASketch update cost `t_f + selectivity · t_s`
+/// against plain-sketch cost `t_s`, returned as the predicted speedup
+/// `t_s / (t_f + selectivity · t_s)`.
+pub fn predicted_speedup(tf: f64, ts: f64, selectivity: f64) -> f64 {
+    assert!(tf >= 0.0 && ts > 0.0 && (0.0..=1.0).contains(&selectivity));
+    ts / (tf + selectivity * ts)
+}
+
+/// Appendix C.2 average-case exchange estimate for a uniform stream with no
+/// filter hits: about `N·|F|/h` exchanges for stream size `N`, filter size
+/// `|F|`, and row length `h`.
+pub fn expected_exchanges_uniform(n: u64, filter_items: usize, h: usize) -> f64 {
+    assert!(h > 0);
+    n as f64 * filter_items as f64 / h as f64
+}
+
+/// Lemma 2/3 worst-case exchange bounds: `N/2` without sketch collisions,
+/// `N` with collisions.
+pub fn worst_case_exchanges(n: u64, with_collisions: bool) -> u64 {
+    if with_collisions {
+        n
+    } else {
+        n / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_matches_paper_figure3_anchor() {
+        // Paper §4: "For a skew of 1.5, the top-32 data items account for
+        // 80% of all frequency counts" over 8M distinct items.
+        let sel = zipf_filter_selectivity(1.5, 8_000_000, 32);
+        assert!((0.12..0.28).contains(&sel), "N2/N at z=1.5 |F|=32 was {sel}");
+        // Monotone: more filter slots, less overflow.
+        assert!(
+            zipf_filter_selectivity(1.5, 8_000_000, 128) < sel,
+            "selectivity must fall with filter size"
+        );
+        // Uniform: a 32-item filter catches almost nothing of 8M keys.
+        let uniform = zipf_filter_selectivity(0.0, 8_000_000, 32);
+        assert!(uniform > 0.99999);
+        // Degenerate: filter covering the whole domain.
+        assert_eq!(zipf_filter_selectivity(1.0, 100, 200), 0.0);
+    }
+
+    #[test]
+    fn selectivity_decreases_with_skew() {
+        let mut prev = 1.0;
+        for z in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
+            let s = zipf_filter_selectivity(z, 8_000_000, 32);
+            assert!(s <= prev + 1e-12, "selectivity must fall with skew (z={z})");
+            prev = s;
+        }
+        assert!(prev < 0.01, "at z=3 nearly everything hits the filter");
+    }
+
+    #[test]
+    fn harmonic_agrees_with_streamgen() {
+        for z in [0.0, 0.9, 1.0, 1.5] {
+            for n in [10u64, 1_000, 200_000] {
+                let ours = harmonic(n, z);
+                let theirs = streamgen::zipf::harmonic(n, z);
+                assert!(
+                    (ours - theirs).abs() / theirs.max(1e-12) < 1e-12,
+                    "z={z} n={n}: {ours} vs {theirs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_bounds_sane() {
+        assert!((cms_error_bound(2048, 32_000_000) - E * 32_000_000.0 / 2048.0).abs() < 1e-6);
+        assert!((cms_error_probability(8) - (-8.0f64).exp()).abs() < 1e-15);
+        // ASketch expected error is far below CMS's at high skew.
+        let n = 32_000_000i64;
+        let n2 = (0.2 * n as f64) as i64;
+        let ask = asketch_expected_error(2000, n2, n);
+        let cms = cms_error_bound(2048, n);
+        assert!(ask < cms * 0.1, "ASketch model {ask} not ≪ CMS model {cms}");
+    }
+
+    #[test]
+    fn theorem1_small_for_small_filters() {
+        // A 32-item filter (96 cells at 8B/cell... expressed in cells) barely
+        // dents a 128KB sketch.
+        let w = 8;
+        let h = 2048;
+        let sf_cells = 96;
+        let de = theorem1_delta_e(sf_cells, w, h, 32_000_000);
+        let base = cms_error_bound(h, 32_000_000);
+        assert!(de < base * 0.01, "ΔE {de} should be tiny vs base bound {base}");
+    }
+
+    #[test]
+    #[should_panic(expected = "filter larger")]
+    fn theorem1_rejects_oversized_filter() {
+        let _ = theorem1_delta_e(100_000, 8, 100, 1000);
+    }
+
+    #[test]
+    fn speedup_model() {
+        // Zero filter cost, selectivity 0.2 -> 5x.
+        assert!((predicted_speedup(0.0, 1.0, 0.2) - 5.0).abs() < 1e-12);
+        // Selectivity 1.0 with filter overhead -> slight slowdown.
+        assert!(predicted_speedup(0.1, 1.0, 1.0) < 1.0);
+    }
+
+    #[test]
+    fn exchange_bounds() {
+        // The paper's example: |F|=32, h=4084, w=1, N=32M -> ~250K average.
+        let avg = expected_exchanges_uniform(32_000_000, 32, 4084);
+        assert!((200_000.0..300_000.0).contains(&avg), "got {avg}");
+        assert_eq!(worst_case_exchanges(1000, false), 500);
+        assert_eq!(worst_case_exchanges(1000, true), 1000);
+    }
+}

@@ -1,0 +1,449 @@
+//! The ASketch framework: Algorithm 1 (stream processing), Algorithm 2
+//! (query processing), the at-most-one exchange policy, and the
+//! negative-count updates of Appendix A.
+
+use serde::{Deserialize, Serialize};
+use sketches::traits::{FrequencyEstimator, TopK, UpdateEstimate};
+
+use crate::filter::{Filter, FilterItem};
+
+/// Running counters describing how the stream split between filter and
+/// sketch; the raw material for the paper's Figures 9 and 17.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsketchStats {
+    /// Tuples absorbed by the filter (hits plus free-slot inserts).
+    pub filter_updates: u64,
+    /// Tuples forwarded to the sketch (Algorithm 1, line 8).
+    pub sketch_updates: u64,
+    /// Filter⇄sketch exchanges performed (lines 9–17).
+    pub exchanges: u64,
+    /// Aggregated count absorbed by the filter (`N₁`).
+    pub filter_mass: i64,
+    /// Aggregated count forwarded to the sketch (`N₂`).
+    pub sketch_mass: i64,
+    /// Negative-count updates processed (Appendix A).
+    pub deletions: u64,
+}
+
+impl AsketchStats {
+    /// Achieved filter selectivity `N₂ / N` (paper §4). `None` before any
+    /// update.
+    pub fn filter_selectivity(&self) -> Option<f64> {
+        let n = self.filter_mass + self.sketch_mass;
+        (n > 0).then(|| self.sketch_mass as f64 / n as f64)
+    }
+}
+
+/// Augmented Sketch: a [`Filter`] in front of any [`UpdateEstimate`] sketch.
+///
+/// Generic over both components; the evaluation harness instantiates it
+/// with each of the four filters and with Count-Min / FCM / Count Sketch
+/// back-ends. Use [`crate::AsketchBuilder`] for budget-based construction.
+///
+/// # Example
+///
+/// ```
+/// use asketch::{ASketch, filter::RelaxedHeapFilter};
+/// use sketches::{CountMin, FrequencyEstimator};
+///
+/// let filter = RelaxedHeapFilter::new(32);
+/// let sketch = CountMin::new(42, 8, 2048).unwrap();
+/// let mut ask = ASketch::new(filter, sketch);
+/// for _ in 0..1_000 {
+///     ask.insert(7); // heavy item: aggregates exactly in the filter
+/// }
+/// assert_eq!(ask.estimate(7), 1_000);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ASketch<F, S> {
+    filter: F,
+    sketch: S,
+    stats: AsketchStats,
+}
+
+impl<F: Filter, S: UpdateEstimate> ASketch<F, S> {
+    /// Combine a filter and a sketch into an ASketch.
+    pub fn new(filter: F, sketch: S) -> Self {
+        Self {
+            filter,
+            sketch,
+            stats: AsketchStats::default(),
+        }
+    }
+
+    /// Algorithm 1: insert tuple `(key, u)` with `u > 0`.
+    ///
+    /// Negative `u` is routed to [`Self::delete`]; `u == 0` is a no-op.
+    pub fn update(&mut self, key: u64, u: i64) {
+        if u <= 0 {
+            if u < 0 {
+                self.delete(key, -u);
+            }
+            return;
+        }
+        // Lines 1–3: filter hit — early aggregation, nothing else to do.
+        if self.filter.update_existing(key, u).is_some() {
+            self.stats.filter_updates += 1;
+            self.stats.filter_mass += u;
+            return;
+        }
+        // Lines 4–6: free slot — start monitoring with exact pending count.
+        if !self.filter.is_full() {
+            self.filter.insert(key, u, 0);
+            self.stats.filter_updates += 1;
+            self.stats.filter_mass += u;
+            return;
+        }
+        // Line 8: overflow into the sketch.
+        let est = self.sketch.update_and_estimate(key, u);
+        self.stats.sketch_updates += 1;
+        self.stats.sketch_mass += u;
+        // Lines 9–17: at most ONE exchange. The estimate is an
+        // over-estimate, so promoting on `est > min` keeps the one-sided
+        // guarantee; cascading exchanges would only import hash-collision
+        // noise into the filter (paper §5, "Exchange Policy").
+        let min = self
+            .filter
+            .min_count()
+            .expect("full filter is non-empty");
+        if est > min {
+            let FilterItem {
+                key: evicted,
+                new_count,
+                old_count,
+            } = self.filter.evict_min().expect("full filter is non-empty");
+            let pending = new_count - old_count;
+            if pending > 0 {
+                // Only the mass accumulated *while in the filter* returns to
+                // the sketch; old_count is already in there (Example 2).
+                self.sketch.update(evicted, pending);
+            }
+            self.filter.insert(key, est, est);
+            self.stats.exchanges += 1;
+        }
+    }
+
+    /// Algorithm 2: point frequency query.
+    #[inline]
+    pub fn estimate(&self, key: u64) -> i64 {
+        match self.filter.query(key) {
+            Some(count) => count,
+            None => self.sketch.estimate(key),
+        }
+    }
+
+    /// Convenience: `update(key, 1)`.
+    #[inline]
+    pub fn insert(&mut self, key: u64) {
+        self.update(key, 1);
+    }
+
+    /// Appendix A: process a deletion of `amount > 0` occurrences of `key`.
+    ///
+    /// * Key not in the filter → subtract directly from the sketch.
+    /// * Key in the filter with enough pending mass → absorb in the filter.
+    /// * Otherwise split: the filter's pending mass absorbs what it can and
+    ///   the remainder is subtracted from both `old_count` and the sketch.
+    ///
+    /// No exchange is initiated on the deletion path (the paper defers any
+    /// rebalancing to subsequent positive updates).
+    pub fn delete(&mut self, key: u64, amount: i64) {
+        assert!(amount > 0, "deletion amount must be positive");
+        self.stats.deletions += 1;
+        match self.filter.subtract(key, amount) {
+            None => self.sketch.update(key, -amount),
+            Some(0) => {}
+            Some(spill) => self.sketch.update(key, -spill),
+        }
+    }
+
+    /// Top-k frequent items (paper §7.2.2): for strict streams the filter's
+    /// content *is* the top-|F| candidate set; `k` is capped by the filter
+    /// capacity. Returned heaviest-first.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, i64)> {
+        let mut items: Vec<(u64, i64)> = self
+            .filter
+            .items()
+            .into_iter()
+            .map(|it| (it.key, it.new_count))
+            .collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        items.truncate(k);
+        items
+    }
+
+    /// Exchange/selectivity statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> AsketchStats {
+        self.stats
+    }
+
+    /// The filter component.
+    #[inline]
+    pub fn filter(&self) -> &F {
+        &self.filter
+    }
+
+    /// The sketch component.
+    #[inline]
+    pub fn sketch(&self) -> &S {
+        &self.sketch
+    }
+
+    /// Total bytes of the synopsis (filter + sketch) — the quantity held
+    /// constant across methods in every comparison.
+    pub fn size_bytes(&self) -> usize {
+        self.filter.size_bytes() + self.sketch.size_bytes()
+    }
+
+    /// Flatten the summary into its underlying sketch: every filter item's
+    /// *pending* mass (`new_count − old_count`) is written into the sketch
+    /// and the filter is cleared.
+    ///
+    /// Useful for shipping a summary across machines or merging SPMD
+    /// kernels with [`sketches::Mergeable`]: after flattening, the sketch
+    /// alone carries the full one-sided estimate for every key.
+    pub fn into_sketch(mut self) -> S {
+        for item in self.filter.items() {
+            let pending = item.pending();
+            if pending > 0 {
+                self.sketch.update(item.key, pending);
+            }
+        }
+        self.sketch
+    }
+}
+
+impl<F: Filter, S: UpdateEstimate> FrequencyEstimator for ASketch<F, S> {
+    fn update(&mut self, key: u64, delta: i64) {
+        ASketch::update(self, key, delta);
+    }
+
+    fn estimate(&self, key: u64) -> i64 {
+        ASketch::estimate(self, key)
+    }
+
+    fn size_bytes(&self) -> usize {
+        ASketch::size_bytes(self)
+    }
+}
+
+impl<F: Filter, S: UpdateEstimate> TopK for ASketch<F, S> {
+    fn top_k(&self, k: usize) -> Vec<(u64, i64)> {
+        ASketch::top_k(self, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{FilterKind, RelaxedHeapFilter, VectorFilter};
+    use sketches::CountMin;
+
+    fn small() -> ASketch<RelaxedHeapFilter, CountMin> {
+        ASketch::new(RelaxedHeapFilter::new(4), CountMin::new(1, 4, 64).unwrap())
+    }
+
+    #[test]
+    fn filter_absorbs_until_full() {
+        let mut a = small();
+        for key in 0..4u64 {
+            a.insert(key);
+        }
+        let s = a.stats();
+        assert_eq!(s.filter_updates, 4);
+        assert_eq!(s.sketch_updates, 0);
+        assert_eq!(a.estimate(0), 1);
+    }
+
+    #[test]
+    fn heavy_item_counted_exactly() {
+        let mut a = small();
+        // Fill the filter, then hammer one key.
+        for key in 0..4u64 {
+            a.insert(key);
+        }
+        for _ in 0..10_000 {
+            a.insert(2);
+        }
+        assert_eq!(a.estimate(2), 10_001, "filter-resident count is exact");
+        assert_eq!(a.stats().sketch_updates, 0);
+    }
+
+    #[test]
+    fn exchange_promotes_heavy_overflow() {
+        let mut a = small();
+        for key in 0..4u64 {
+            a.insert(key); // filter = {0,1,2,3} each count 1
+        }
+        // Key 100 overflows into the sketch; its estimate (>=2 after two
+        // inserts) exceeds the filter minimum (1), triggering a promotion.
+        a.insert(100);
+        a.insert(100);
+        assert!(a.stats().exchanges >= 1);
+        assert!(a.filter().query(100).is_some(), "heavy key promoted");
+        assert!(a.estimate(100) >= 2);
+    }
+
+    #[test]
+    fn exchange_writes_back_only_pending_mass() {
+        // Reproduces the paper's Example 2 flow: the demoted item's
+        // old_count must NOT be re-added to the sketch.
+        let mut a = ASketch::new(VectorFilter::new(1), CountMin::new(3, 2, 1 << 12).unwrap());
+        a.insert(7); // filter: (7, new=1, old=0)
+        for _ in 0..5 {
+            a.insert(9); // overflows; eventually promotes 9, demotes 7
+        }
+        // After churn: whatever resides where, estimates stay one-sided and
+        // key 7's count is not double-added.
+        assert!(a.estimate(7) >= 1);
+        assert!(a.estimate(9) >= 5);
+        // The sketch alone holds at most the true total mass of both keys
+        // (no double counting): row sums equal total forwarded mass.
+        let total: i64 = a.sketch().row_sum(0);
+        assert!(total <= 6, "sketch holds {total}, double-count suspected");
+    }
+
+    #[test]
+    fn at_most_one_exchange_per_overflow() {
+        let mut a = small();
+        for key in 0..4u64 {
+            a.insert(key);
+        }
+        let before = a.stats().exchanges;
+        a.insert(50);
+        a.insert(50);
+        a.insert(50);
+        let after = a.stats().exchanges;
+        assert!(after - before <= 3, "each insert may trigger at most one exchange");
+    }
+
+    #[test]
+    fn one_sided_guarantee_under_churn() {
+        let mut a = ASketch::new(RelaxedHeapFilter::new(8), CountMin::new(5, 4, 128).unwrap());
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 44u64;
+        for _ in 0..30_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Zipf-ish mix: a few heavy keys plus a long tail.
+            let key = match x % 10 {
+                0..=3 => x % 4,
+                _ => 100 + x % 2_000,
+            };
+            a.insert(key);
+            *truth.entry(key).or_insert(0i64) += 1;
+        }
+        for (&key, &t) in &truth {
+            assert!(
+                a.estimate(key) >= t,
+                "under-count for key {key}: est {} < true {t}",
+                a.estimate(key)
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_sketch_insertions_bounded_by_true_count() {
+        // Lemma 1: a key appearing t times is inserted into the sketch at
+        // most t times (counting mass, including exchange write-backs).
+        let mut a = small();
+        let t = 1_000;
+        for i in 0..t {
+            a.insert(5);
+            a.insert(1_000 + (i % 7)); // churn to force exchanges
+        }
+        // Key 5's total mass across filter and sketch cannot exceed t plus
+        // collision over-estimation; the *sketch row sums* bound the total
+        // inserted mass, which must be <= total stream mass.
+        let total_inserted = a.sketch().row_sum(0);
+        assert!(total_inserted <= 2 * t as i64);
+    }
+
+    #[test]
+    fn deletion_paths() {
+        let mut a = small();
+        // Path 1: key in filter with enough pending mass.
+        for _ in 0..10 {
+            a.insert(1);
+        }
+        a.delete(1, 4);
+        assert_eq!(a.estimate(1), 6);
+        // Path 2: key not in filter -> direct sketch subtraction.
+        for key in 0..4u64 {
+            if key != 1 {
+                a.insert(key);
+            }
+        }
+        for _ in 0..5 {
+            a.insert(77); // goes to sketch (filter full of heavier items)
+        }
+        let before = a.estimate(77);
+        a.update(77, -2); // negative update routes through delete()
+        assert_eq!(a.estimate(77), before - 2);
+        assert_eq!(a.stats().deletions, 2);
+    }
+
+    #[test]
+    fn deletion_spill_keeps_one_sidedness() {
+        let mut a = ASketch::new(VectorFilter::new(1), CountMin::new(2, 3, 1 << 10).unwrap());
+        // Build a filter item with old_count > 0 via an exchange.
+        a.insert(1);
+        a.insert(2);
+        a.insert(2); // 2 promoted with old=new=est
+        let in_filter = a.filter().query(2).is_some();
+        assert!(in_filter);
+        // Delete more than the pending mass; the spill must reach the sketch.
+        a.insert(2); // pending = 1
+        a.delete(2, 2); // pending 1 absorbs 1, spill 1 -> sketch
+        // True count: 3 inserts - 2 deletions = 1; the estimate must cover it.
+        assert!(a.estimate(2) >= 1);
+    }
+
+    #[test]
+    fn top_k_reports_filter_content() {
+        let mut a = small();
+        for (key, n) in [(1u64, 50), (2, 30), (3, 20), (4, 10)] {
+            for _ in 0..n {
+                a.insert(key);
+            }
+        }
+        let top = a.top_k(2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 2);
+        assert!(a.top_k(100).len() <= 4, "bounded by filter capacity");
+    }
+
+    #[test]
+    fn selectivity_statistic() {
+        let mut a = small();
+        assert_eq!(a.stats().filter_selectivity(), None);
+        for key in 0..4u64 {
+            a.insert(key);
+        }
+        assert_eq!(a.stats().filter_selectivity(), Some(0.0));
+        for i in 0..4 {
+            a.insert(100 + i); // all overflow
+        }
+        let sel = a.stats().filter_selectivity().unwrap();
+        assert!(sel > 0.0 && sel <= 0.5);
+    }
+
+    #[test]
+    fn works_with_boxed_filters() {
+        for kind in FilterKind::ALL {
+            let mut a = ASketch::new(kind.build(8), CountMin::new(3, 4, 256).unwrap());
+            for i in 0..1_000u64 {
+                a.insert(i % 20);
+            }
+            for key in 0..20u64 {
+                assert!(a.estimate(key) >= 50, "{}: key {key}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deletion amount must be positive")]
+    fn zero_deletion_panics() {
+        small().delete(1, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Budget-based construction of ASketch instances.
+//!
+//! The paper's space-accounting rule (§4): given a total synopsis budget
+//! equal to a plain Count-Min of `w × h` cells, ASketch keeps the *same*
+//! number of hash functions `w` and shrinks each row to
+//! `h' = h − s_f / w`, where `s_f` is the filter's byte footprint. Keeping
+//! `w` fixed keeps the error-probability term `e^{-w}` identical; shrinking
+//! `h` absorbs the filter's space.
+
+use serde::{Deserialize, Serialize};
+use sketches::count_min::CELL_BYTES;
+use sketches::{CountMin, Fcm, SketchError};
+
+use crate::asketch::ASketch;
+use crate::filter::{Filter, FilterKind};
+
+/// Builder capturing the paper's experiment parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AsketchBuilder {
+    /// Total synopsis budget in bytes (filter + sketch), e.g. 128 KiB.
+    pub total_bytes: usize,
+    /// Number of sketch hash functions (`w`; the paper fixes 8).
+    pub depth: usize,
+    /// Filter capacity in items (`|F|`; the paper's default is 32).
+    pub filter_items: usize,
+    /// Which filter implementation to use.
+    pub filter_kind: FilterKind,
+    /// Seed for all hash functions.
+    pub seed: u64,
+}
+
+impl Default for AsketchBuilder {
+    /// The paper's default configuration: 128 KB total, `w = 8`,
+    /// Relaxed-Heap filter of 32 items.
+    fn default() -> Self {
+        Self {
+            total_bytes: 128 * 1024,
+            depth: 8,
+            filter_items: 32,
+            filter_kind: FilterKind::RelaxedHeap,
+            seed: 0xA5CE_7C4A_11ED_2016,
+        }
+    }
+}
+
+impl AsketchBuilder {
+    /// Budget remaining for the sketch after the filter takes its share.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::BudgetTooSmall`] when the filter alone
+    /// exceeds the budget.
+    pub fn sketch_budget(&self) -> Result<usize, SketchError> {
+        let filter = self.filter_kind.build(self.filter_items.max(1));
+        let f_bytes = filter.size_bytes();
+        self.total_bytes
+            .checked_sub(f_bytes)
+            .ok_or(SketchError::BudgetTooSmall {
+                needed: f_bytes,
+                available: self.total_bytes,
+            })
+    }
+
+    /// Build ASketch over a Count-Min back-end (the paper's default).
+    ///
+    /// # Errors
+    /// Propagates budget and dimension errors.
+    pub fn build_count_min(
+        &self,
+    ) -> Result<ASketch<Box<dyn Filter + Send>, CountMin>, SketchError> {
+        let filter = self.filter_kind.build(self.filter_items.max(1));
+        let sketch = CountMin::with_byte_budget(self.seed, self.depth, self.sketch_budget()?)?;
+        Ok(ASketch::new(filter, sketch))
+    }
+
+    /// Build ASketch over the modified FCM back-end (ASketch-FCM,
+    /// paper §7.2.1): FCM *without* its MG counter, because the filter
+    /// already separates the heavy items.
+    ///
+    /// # Errors
+    /// Propagates budget and dimension errors.
+    pub fn build_fcm(&self) -> Result<ASketch<Box<dyn Filter + Send>, Fcm>, SketchError> {
+        let filter = self.filter_kind.build(self.filter_items.max(1));
+        let sketch = Fcm::with_byte_budget(self.seed, self.depth, self.sketch_budget()?, None)?;
+        Ok(ASketch::new(filter, sketch))
+    }
+
+    /// Build ASketch over a Count Sketch back-end (Figure 1 names it as a
+    /// compatible sketch). Note Count Sketch's two-sided error: items living
+    /// in the *sketch* may be under-estimated; filter-resident heavy items
+    /// remain exact.
+    ///
+    /// # Errors
+    /// Propagates budget and dimension errors.
+    pub fn build_count_sketch(
+        &self,
+    ) -> Result<ASketch<Box<dyn Filter + Send>, sketches::CountSketch>, SketchError> {
+        let filter = self.filter_kind.build(self.filter_items.max(1));
+        let sketch =
+            sketches::CountSketch::with_byte_budget(self.seed, self.depth, self.sketch_budget()?)?;
+        Ok(ASketch::new(filter, sketch))
+    }
+
+    /// The row length `h'` the Count-Min back-end will receive; exposed so
+    /// tests can verify the `s_f + w·h' = w·h` accounting identity.
+    ///
+    /// # Errors
+    /// Propagates budget errors.
+    pub fn effective_width(&self) -> Result<usize, SketchError> {
+        Ok(self.sketch_budget()? / (self.depth * CELL_BYTES))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches::FrequencyEstimator;
+
+    #[test]
+    fn default_matches_paper() {
+        let b = AsketchBuilder::default();
+        assert_eq!(b.total_bytes, 128 * 1024);
+        assert_eq!(b.depth, 8);
+        assert_eq!(b.filter_items, 32);
+        assert_eq!(b.filter_kind, FilterKind::RelaxedHeap);
+    }
+
+    #[test]
+    fn space_accounting_identity() {
+        // s_f + w·h'·cell = total (up to one row of rounding).
+        let b = AsketchBuilder::default();
+        let ask = b.build_count_min().unwrap();
+        assert!(ask.size_bytes() <= b.total_bytes);
+        assert!(
+            ask.size_bytes() > b.total_bytes - b.depth * CELL_BYTES,
+            "more than one row of budget wasted"
+        );
+        // And the ASketch row is shorter than the plain CMS row.
+        let plain = CountMin::with_byte_budget(b.seed, b.depth, b.total_bytes).unwrap();
+        assert!(ask.sketch().width() < plain.width());
+        assert_eq!(ask.sketch().depth(), plain.depth(), "w preserved");
+    }
+
+    #[test]
+    fn width_matches_h_minus_sf_over_w() {
+        let b = AsketchBuilder::default();
+        let h = CountMin::with_byte_budget(b.seed, b.depth, b.total_bytes)
+            .unwrap()
+            .width();
+        let filter_bytes = b.filter_kind.build(b.filter_items).size_bytes();
+        let expected = h - filter_bytes.div_ceil(b.depth * CELL_BYTES);
+        let got = b.effective_width().unwrap();
+        // Integer rounding may differ by one cell.
+        assert!(
+            (got as i64 - expected as i64).abs() <= 1,
+            "h'={got}, h - s_f/w = {expected}"
+        );
+    }
+
+    #[test]
+    fn all_filter_kinds_build() {
+        for kind in FilterKind::ALL {
+            let b = AsketchBuilder {
+                filter_kind: kind,
+                ..Default::default()
+            };
+            let mut ask = b.build_count_min().unwrap();
+            ask.insert(1);
+            assert!(ask.estimate(1) >= 1);
+        }
+    }
+
+    #[test]
+    fn count_sketch_backend_builds() {
+        let b = AsketchBuilder::default();
+        let mut ask = b.build_count_sketch().unwrap();
+        for _ in 0..500 {
+            ask.insert(3);
+        }
+        // Filter-resident heavy item stays exact even over a two-sided sketch.
+        assert_eq!(ask.estimate(3), 500);
+        assert!(ask.size_bytes() <= b.total_bytes);
+    }
+
+    #[test]
+    fn into_sketch_preserves_one_sidedness() {
+        let b = AsketchBuilder {
+            total_bytes: 16 * 1024,
+            ..Default::default()
+        };
+        let mut ask = b.build_count_min().unwrap();
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 1u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(9);
+            let key = x % 400;
+            ask.insert(key);
+            *truth.entry(key).or_insert(0i64) += 1;
+        }
+        let sketch = ask.into_sketch();
+        for (&key, &t) in &truth {
+            assert!(sketch.estimate(key) >= t, "flattened sketch under-counts {key}");
+        }
+    }
+
+    #[test]
+    fn fcm_backend_builds() {
+        let b = AsketchBuilder::default();
+        let mut ask = b.build_fcm().unwrap();
+        for _ in 0..100 {
+            ask.insert(9);
+        }
+        assert!(ask.estimate(9) >= 100);
+        assert!(ask.size_bytes() <= b.total_bytes);
+    }
+
+    #[test]
+    fn filter_too_large_rejected() {
+        let b = AsketchBuilder {
+            total_bytes: 256,
+            filter_items: 1024,
+            ..Default::default()
+        };
+        assert!(b.build_count_min().is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! The Stream-Summary filter: a sorted doubly-linked list with a hash-table
+//! index, the structure Space Saving \[27\] uses for its monitored set.
+//!
+//! The list keeps items in ascending `new_count` order, so the minimum is
+//! the head in O(1) and an increment moves the item rightward past its new
+//! peers. The paper evaluates this design as a filter and finds it
+//! uncompetitive: per-item space overhead ("up to four pointers per item")
+//! means a given byte budget monitors far fewer items, and the pointer
+//! chasing and hash evaluations cost more than a SIMD scan at these sizes
+//! (Table 6 / Figure 14). It is included for exactly that comparison.
+//!
+//! Links are slab indices, not pointers, so no `unsafe` is needed; the
+//! byte accounting still charges the pointer-equivalent overhead.
+
+use sketches::fast_map::FxHashMap;
+
+use super::{Filter, FilterItem};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct Node {
+    key: u64,
+    new: i64,
+    old: i64,
+    prev: usize,
+    next: usize,
+}
+
+/// Sorted-list filter with hash-map lookup.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StreamSummaryFilter {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Minimum end of the list.
+    head: usize,
+    /// Maximum end of the list.
+    tail: usize,
+    index: FxHashMap<u64, usize>,
+    cap: usize,
+}
+
+impl StreamSummaryFilter {
+    /// Create a filter with room for `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "filter capacity must be positive");
+        Self {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            index: FxHashMap::default(),
+            cap: capacity,
+        }
+    }
+
+    /// Space charged per item: key + two counters + two links, plus the
+    /// hash-map entry (key, slot, control byte overhead approximated at 8).
+    pub const BYTES_PER_ITEM: usize = 8 + 8 + 8 + 8 + 8 + 24;
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Link node `i` immediately after `after` (NIL = new head).
+    fn link_after(&mut self, i: usize, after: usize) {
+        if after == NIL {
+            let old_head = self.head;
+            self.nodes[i].prev = NIL;
+            self.nodes[i].next = old_head;
+            if old_head != NIL {
+                self.nodes[old_head].prev = i;
+            } else {
+                self.tail = i;
+            }
+            self.head = i;
+        } else {
+            let next = self.nodes[after].next;
+            self.nodes[i].prev = after;
+            self.nodes[i].next = next;
+            self.nodes[after].next = i;
+            if next != NIL {
+                self.nodes[next].prev = i;
+            } else {
+                self.tail = i;
+            }
+        }
+    }
+
+    /// Re-position node `i` rightward after its count grew.
+    fn move_right(&mut self, i: usize) {
+        let v = self.nodes[i].new;
+        let first = self.nodes[i].next;
+        if first == NIL || self.nodes[first].new >= v {
+            return; // already in place
+        }
+        self.detach(i);
+        let mut after = first;
+        let mut cur = self.nodes[first].next;
+        while cur != NIL && self.nodes[cur].new < v {
+            after = cur;
+            cur = self.nodes[cur].next;
+        }
+        self.link_after(i, after);
+    }
+
+    /// Re-position node `i` leftward after its count shrank.
+    fn move_left(&mut self, i: usize) {
+        let v = self.nodes[i].new;
+        let prev = self.nodes[i].prev;
+        if prev == NIL || self.nodes[prev].new <= v {
+            return;
+        }
+        self.detach(i);
+        // Walk left past every node larger than v; insert after the first
+        // node that is not.
+        let mut after = self.nodes[prev].prev;
+        while after != NIL && self.nodes[after].new > v {
+            after = self.nodes[after].prev;
+        }
+        self.link_after(i, after);
+    }
+
+    #[cfg(test)]
+    fn assert_sorted(&self) {
+        let mut i = self.head;
+        let mut prev = i64::MIN;
+        let mut count = 0;
+        while i != NIL {
+            assert!(self.nodes[i].new >= prev, "list out of order");
+            prev = self.nodes[i].new;
+            i = self.nodes[i].next;
+            count += 1;
+        }
+        assert_eq!(count, self.index.len(), "list length != index size");
+    }
+}
+
+impl Filter for StreamSummaryFilter {
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn update_existing(&mut self, key: u64, delta: i64) -> Option<i64> {
+        let &i = self.index.get(&key)?;
+        self.nodes[i].new += delta;
+        let v = self.nodes[i].new;
+        self.move_right(i);
+        Some(v)
+    }
+
+    fn insert(&mut self, key: u64, new_count: i64, old_count: i64) {
+        assert!(!self.is_full(), "insert into a full filter");
+        debug_assert!(!self.index.contains_key(&key), "duplicate filter key");
+        let node = Node {
+            key,
+            new: new_count,
+            old: old_count,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = if let Some(slot) = self.free.pop() {
+            self.nodes[slot] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        };
+        // Walk from the head to the sorted position.
+        let mut after = NIL;
+        let mut cur = self.head;
+        while cur != NIL && self.nodes[cur].new < new_count {
+            after = cur;
+            cur = self.nodes[cur].next;
+        }
+        self.link_after(i, after);
+        self.index.insert(key, i);
+    }
+
+    #[inline]
+    fn min_count(&self) -> Option<i64> {
+        (self.head != NIL).then(|| self.nodes[self.head].new)
+    }
+
+    fn evict_min(&mut self) -> Option<FilterItem> {
+        if self.head == NIL {
+            return None;
+        }
+        let i = self.head;
+        self.detach(i);
+        self.free.push(i);
+        let node = &self.nodes[i];
+        self.index.remove(&node.key);
+        Some(FilterItem {
+            key: node.key,
+            new_count: node.new,
+            old_count: node.old,
+        })
+    }
+
+    #[inline]
+    fn query(&self, key: u64) -> Option<i64> {
+        self.index.get(&key).map(|&i| self.nodes[i].new)
+    }
+
+    fn subtract(&mut self, key: u64, amount: i64) -> Option<i64> {
+        debug_assert!(amount > 0);
+        let &i = self.index.get(&key)?;
+        let pending = self.nodes[i].new - self.nodes[i].old;
+        self.nodes[i].new -= amount;
+        let spill = if pending >= amount {
+            0
+        } else {
+            let spill = amount - pending;
+            self.nodes[i].old -= spill;
+            spill
+        };
+        self.move_left(i);
+        Some(spill)
+    }
+
+    fn items(&self) -> Vec<FilterItem> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut i = self.head;
+        while i != NIL {
+            let n = &self.nodes[i];
+            out.push(FilterItem {
+                key: n.key,
+                new_count: n.new,
+                old_count: n.old,
+            });
+            i = n.next;
+        }
+        out
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.cap * Self::BYTES_PER_ITEM
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.index.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_all(|cap| Box::new(StreamSummaryFilter::new(cap)));
+    }
+
+    #[test]
+    fn stays_sorted_under_churn() {
+        let mut f = StreamSummaryFilter::new(8);
+        let mut x = 13u64;
+        for _ in 0..3_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let key = x % 20;
+            if f.update_existing(key, (x % 11 + 1) as i64).is_none() {
+                if f.is_full() {
+                    f.evict_min();
+                }
+                f.insert(key, (x % 11 + 1) as i64, 0);
+            }
+            if x.is_multiple_of(13) {
+                f.subtract(key, 1);
+            }
+            f.assert_sorted();
+        }
+    }
+
+    #[test]
+    fn items_come_out_ascending() {
+        let mut f = StreamSummaryFilter::new(4);
+        f.insert(1, 30, 0);
+        f.insert(2, 10, 0);
+        f.insert(3, 20, 0);
+        let counts: Vec<i64> = f.items().iter().map(|i| i.new_count).collect();
+        assert_eq!(counts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn per_item_space_exceeds_array_filters() {
+        // The defining property the paper exploits: same byte budget, fewer
+        // monitored items.
+        const { assert!(StreamSummaryFilter::BYTES_PER_ITEM > 24) };
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = StreamSummaryFilter::new(0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # asketch — Augmented Sketch (SIGMOD 2016)
+//!
+//! A faithful reproduction of *Augmented Sketch: Faster and More Accurate
+//! Stream Processing* (Roy, Khan & Alonso, SIGMOD 2016).
+//!
+//! ASketch places a tiny, cache-resident **filter** in front of any
+//! frequency sketch. The filter dynamically captures the stream's heaviest
+//! items and aggregates their counts *exactly*; everything else overflows
+//! into the underlying sketch. An exchange policy keeps the filter's
+//! content converged on the true heavy hitters while preserving the
+//! sketch's one-sided (never under-count) guarantee.
+//!
+//! * [`ASketch`] — Algorithms 1 & 2, exchanges, deletions (Appendix A).
+//! * [`filter`] — the four filter designs of §6.1 (Vector/SIMD, strict and
+//!   relaxed heaps, Stream-Summary).
+//! * [`AsketchBuilder`] — the paper's space-accounting rule
+//!   (`s_f + w·h' = w·h`) for budget-based construction.
+//! * [`analysis`] — the closed-form model of §4 / Table 2 / Theorem 1.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use asketch::AsketchBuilder;
+//! use sketches::FrequencyEstimator;
+//!
+//! // 128 KB synopsis, 8 hash functions, 32-item Relaxed-Heap filter —
+//! // the paper's default configuration.
+//! let mut ask = AsketchBuilder::default().build_count_min().unwrap();
+//! for _ in 0..10_000 {
+//!     ask.insert(42);
+//! }
+//! assert_eq!(ask.estimate(42), 10_000); // heavy items are exact
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod asketch;
+pub mod config;
+pub mod filter;
+
+pub use asketch::{ASketch, AsketchStats};
+pub use config::AsketchBuilder;
+pub use filter::{Filter, FilterItem, FilterKind};

@@ -1,0 +1,167 @@
+//! Accuracy metrics from the paper's §7.1 ("Evaluation Metrics").
+
+use serde::{Deserialize, Serialize};
+
+/// One `(estimated, true)` pair for a queried item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EstimatePair {
+    /// Sketch answer.
+    pub estimated: i64,
+    /// Ground-truth count.
+    pub truth: i64,
+}
+
+/// Observed error (paper §7.1): total absolute estimation error as a ratio
+/// of the total true mass of the queried items,
+/// `Σ|est_i − true_i| / Σ true_i`.
+///
+/// Returns `None` when the denominator is zero (no queried mass).
+pub fn observed_error(pairs: &[EstimatePair]) -> Option<f64> {
+    let num: i64 = pairs.iter().map(|p| (p.estimated - p.truth).abs()).sum();
+    let den: i64 = pairs.iter().map(|p| p.truth).sum();
+    (den > 0).then(|| num as f64 / den as f64)
+}
+
+/// Observed error expressed in percent, as printed in the paper's figures.
+pub fn observed_error_pct(pairs: &[EstimatePair]) -> Option<f64> {
+    observed_error(pairs).map(|e| e * 100.0)
+}
+
+/// Average relative error (paper §7.1):
+/// `(1/|Q|) Σ |est_i − true_i| / true_i`.
+///
+/// Pairs with `truth == 0` are skipped (relative error is undefined for
+/// them); returns `None` when no valid pair remains.
+pub fn average_relative_error(pairs: &[EstimatePair]) -> Option<f64> {
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for p in pairs {
+        if p.truth > 0 {
+            sum += (p.estimated - p.truth).abs() as f64 / p.truth as f64;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Precision-at-k (paper §7.2.2): the fraction of the reported top-k that
+/// are true top-k items.
+///
+/// # Panics
+/// Panics when `reported` is empty and `true_topk` is not, with `k` taken
+/// as `true_topk.len()`.
+pub fn precision_at_k(reported: &[u64], true_topk: &[u64]) -> f64 {
+    let k = true_topk.len();
+    if k == 0 {
+        return 1.0;
+    }
+    let truth: std::collections::HashSet<u64> = true_topk.iter().copied().collect();
+    let hits = reported.iter().take(k).filter(|id| truth.contains(id)).count();
+    hits as f64 / k as f64
+}
+
+/// A low-frequency item misreported as a heavy hitter (paper §7.2.1,
+/// "Avoiding Large Estimation Error").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Misclassification {
+    /// The offending key.
+    pub key: u64,
+    /// Its estimated count.
+    pub estimated: i64,
+    /// Its true count.
+    pub truth: i64,
+}
+
+impl Misclassification {
+    /// The relative error this misclassification introduces.
+    pub fn relative_error(&self) -> f64 {
+        debug_assert!(self.truth > 0);
+        (self.estimated - self.truth).abs() as f64 / self.truth as f64
+    }
+}
+
+/// Detect misclassified low-frequency items: items whose *estimate* would
+/// place them among the heavy hitters (at or above the true count of the
+/// `k`-th heaviest item) while their *true* count is below a `light_factor`
+/// fraction of that threshold.
+///
+/// `candidates` is an iterator of `(key, estimated, truth)` triples — in
+/// practice the full distinct-key universe of a synthetic stream.
+pub fn find_misclassified(
+    candidates: impl IntoIterator<Item = (u64, i64, i64)>,
+    heavy_threshold: i64,
+    light_factor: f64,
+) -> Vec<Misclassification> {
+    assert!((0.0..=1.0).contains(&light_factor));
+    let light_cutoff = (heavy_threshold as f64 * light_factor) as i64;
+    candidates
+        .into_iter()
+        .filter(|&(_, est, truth)| est >= heavy_threshold && truth <= light_cutoff && truth > 0)
+        .map(|(key, estimated, truth)| Misclassification { key, estimated, truth })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(estimated: i64, truth: i64) -> EstimatePair {
+        EstimatePair { estimated, truth }
+    }
+
+    #[test]
+    fn observed_error_basic() {
+        let pairs = [p(12, 10), p(10, 10)];
+        assert!((observed_error(&pairs).unwrap() - 0.1).abs() < 1e-12);
+        assert!((observed_error_pct(&pairs).unwrap() - 10.0).abs() < 1e-12);
+        assert_eq!(observed_error(&[]), None);
+        assert_eq!(observed_error(&[p(5, 0)]), None);
+    }
+
+    #[test]
+    fn observed_error_exact_is_zero() {
+        let pairs = [p(3, 3), p(7, 7)];
+        assert_eq!(observed_error(&pairs), Some(0.0));
+    }
+
+    #[test]
+    fn are_skips_zero_truth() {
+        let pairs = [p(20, 10), p(99, 0)];
+        assert!((average_relative_error(&pairs).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(average_relative_error(&[p(5, 0)]), None);
+    }
+
+    #[test]
+    fn are_is_biased_toward_light_items() {
+        // Same absolute error, lighter item -> larger ARE contribution
+        // (the property the paper calls out in §7.1).
+        let heavy = [p(1_000_010, 1_000_000)];
+        let light = [p(11, 1)];
+        assert!(
+            average_relative_error(&light).unwrap() > average_relative_error(&heavy).unwrap() * 1000.0
+        );
+    }
+
+    #[test]
+    fn precision_basics() {
+        assert_eq!(precision_at_k(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(precision_at_k(&[3, 2, 1], &[1, 2, 3]), 1.0, "order-insensitive");
+        assert_eq!(precision_at_k(&[1, 9, 8], &[1, 2, 3]), 1.0 / 3.0);
+        assert_eq!(precision_at_k(&[], &[]), 1.0);
+        assert_eq!(precision_at_k(&[1, 2, 3, 4], &[9, 8]), 0.0, "only first k count");
+    }
+
+    #[test]
+    fn misclassification_detection() {
+        let candidates = vec![
+            (1u64, 1_000i64, 900i64), // true heavy — not misclassified
+            (2, 1_000, 3),            // light item looking heavy — flagged
+            (3, 100, 3),              // light and looks light — fine
+            (4, 1_000, 0),            // never seen: skipped (no rel. error)
+        ];
+        let found = find_misclassified(candidates, 900, 0.1);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, 2);
+        assert!(found[0].relative_error() > 300.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Throughput measurement in the paper's units (items / millisecond).
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// Result of one timed run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Number of operations performed.
+    pub ops: u64,
+    /// Elapsed wall-clock time in nanoseconds.
+    pub elapsed_ns: u128,
+}
+
+impl Throughput {
+    /// Operations per millisecond — the unit of the paper's Figures 5/10/12/13.
+    pub fn per_ms(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.ops as f64 / (self.elapsed_ns as f64 / 1e6)
+    }
+
+    /// Average nanoseconds per operation.
+    pub fn ns_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.elapsed_ns as f64 / self.ops as f64
+    }
+}
+
+/// Time a closure that performs `ops` operations.
+pub fn time_ops<R>(ops: u64, f: impl FnOnce() -> R) -> (Throughput, R) {
+    let start = Instant::now();
+    let r = f();
+    let elapsed = start.elapsed();
+    (
+        Throughput {
+            ops,
+            elapsed_ns: elapsed.as_nanos(),
+        },
+        r,
+    )
+}
+
+/// Run `f` repeatedly (fresh state per run via `setup`) and return the
+/// median throughput of `runs` runs — cheap insurance against scheduler
+/// noise without pulling a full stats framework into the harness binaries.
+pub fn median_throughput<S>(
+    runs: usize,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> u64,
+) -> Throughput {
+    assert!(runs > 0);
+    let mut results: Vec<Throughput> = (0..runs)
+        .map(|_| {
+            let state = setup();
+            let start = Instant::now();
+            let ops = f(state);
+            Throughput {
+                ops,
+                elapsed_ns: start.elapsed().as_nanos(),
+            }
+        })
+        .collect();
+    results.sort_by(|a, b| {
+        a.per_ms()
+            .partial_cmp(&b.per_ms())
+            .expect("throughputs are finite")
+    });
+    results[runs / 2]
+}
+
+/// A convenience stopwatch for multi-phase experiments.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Finish, converting `ops` operations into a [`Throughput`].
+    pub fn finish(self, ops: u64) -> Throughput {
+        Throughput {
+            ops,
+            elapsed_ns: self.start.elapsed().as_nanos(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_ms_math() {
+        let t = Throughput { ops: 5_000, elapsed_ns: 1_000_000 }; // 1 ms
+        assert!((t.per_ms() - 5_000.0).abs() < 1e-9);
+        assert!((t.ns_per_op() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let t = Throughput { ops: 10, elapsed_ns: 0 };
+        assert!(t.per_ms().is_infinite());
+        let t = Throughput { ops: 0, elapsed_ns: 10 };
+        assert_eq!(t.ns_per_op(), 0.0);
+    }
+
+    #[test]
+    fn time_ops_returns_value() {
+        let (t, v) = time_ops(100, || (0..100u64).sum::<u64>());
+        assert_eq!(v, 4950);
+        assert_eq!(t.ops, 100);
+    }
+
+    #[test]
+    fn median_selects_middle() {
+        let mut i = 0;
+        let t = median_throughput(
+            3,
+            || (),
+            |_| {
+                i += 1;
+                // Busy-wait different amounts so runs differ.
+                let until = std::time::Instant::now() + Duration::from_micros(50 * i);
+                while std::time::Instant::now() < until {}
+                1000
+            },
+        );
+        assert_eq!(t.ops, 1000);
+    }
+
+    #[test]
+    fn stopwatch_flows() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(sw.elapsed().as_micros() >= 1000);
+        let t = sw.finish(42);
+        assert_eq!(t.ops, 42);
+        assert!(t.per_ms() < 42_000.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # asketch-parallel — multi-core execution of ASketch
+//!
+//! The two parallel configurations of paper §6:
+//!
+//! * [`pipeline::PipelineASketch`] — §6.2 pipeline parallelism: filter and
+//!   sketch on separate cores connected by message channels.
+//! * [`spmd::SpmdGroup`] — §6.3 SPMD parallelism: one full counting kernel
+//!   per core, commutative query combine.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pipeline;
+pub mod pipeline_hudaf;
+pub mod spmd;
+
+pub use pipeline::PipelineASketch;
+pub use pipeline_hudaf::PipelineHUdaf;
+pub use spmd::{round_robin_shards, SpmdGroup};

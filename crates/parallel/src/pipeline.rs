@@ -1,0 +1,326 @@
+//! Pipeline parallelism (paper §6.2): the filter runs on the caller's core,
+//! the sketch on a dedicated worker thread, with message passing replacing
+//! shared-memory access.
+//!
+//! The caller (the paper's core `C0`) owns the filter and consumes input
+//! tuples; on a filter miss the tuple is *forwarded* to the worker (`C1`)
+//! together with the filter's current minimum count, and `C0` immediately
+//! moves on to the next tuple — the source of the pipeline speedup. When
+//! `C1` sees an estimate exceeding the last minimum it received, it sends
+//! the item back for *promotion*; `C0` applies the promotion when it next
+//! touches the channel, demoting its minimum item's pending mass to `C1`.
+//!
+//! Because promotion decisions are made against a slightly stale minimum,
+//! the filter's content can lag the sequential algorithm's by a few
+//! messages; the one-sided estimate guarantee is unaffected (estimates only
+//! ever *gain* over-count from staleness, never lose mass) and the paper
+//! accepts the same relaxation.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use asketch::filter::Filter;
+use sketches::traits::UpdateEstimate;
+
+/// Messages from the filter core to the sketch core.
+enum ToSketch {
+    /// A tuple that missed the filter, with the filter's current minimum.
+    Forward { key: u64, u: i64, filter_min: i64 },
+    /// Pending mass of a demoted filter item.
+    Demote { key: u64, pending: i64 },
+    /// Negative update for an unmonitored key (Appendix A path).
+    Subtract { key: u64, amount: i64 },
+    /// Answer a point query (channel round-trip keeps FIFO ordering with
+    /// preceding forwards, so the estimate covers them).
+    Estimate { key: u64, reply: Sender<i64> },
+    /// Stop and return the sketch.
+    Shutdown,
+}
+
+/// A promotion suggestion from the sketch core.
+struct Promote {
+    key: u64,
+    est: i64,
+}
+
+/// Pipeline-parallel ASketch: filter on the caller thread, sketch on a
+/// worker thread.
+pub struct PipelineASketch<F: Filter, S: UpdateEstimate + Send + 'static> {
+    filter: F,
+    to_sketch: Sender<ToSketch>,
+    from_sketch: Receiver<Promote>,
+    worker: JoinHandle<S>,
+    /// Exchanges applied (promotions accepted by the filter core).
+    exchanges: u64,
+    /// Tuples forwarded to the sketch core.
+    forwarded: u64,
+}
+
+impl<F: Filter, S: UpdateEstimate + Send + 'static> PipelineASketch<F, S> {
+    /// Spawn the sketch worker and assemble the pipeline.
+    pub fn spawn(filter: F, mut sketch: S) -> Self {
+        let (tx, rx) = channel::unbounded::<ToSketch>();
+        let (ptx, prx) = channel::unbounded::<Promote>();
+        let worker = std::thread::spawn(move || {
+            // Avoid promote storms: remember the last key we suggested so a
+            // hot run of the same key yields one message, not thousands.
+            let mut last_promoted: Option<u64> = None;
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    ToSketch::Forward { key, u, filter_min } => {
+                        let est = sketch.update_and_estimate(key, u);
+                        if est > filter_min && last_promoted != Some(key) {
+                            // Ignore send failures during teardown.
+                            let _ = ptx.send(Promote { key, est });
+                            last_promoted = Some(key);
+                        }
+                    }
+                    ToSketch::Demote { key, pending } => {
+                        sketch.update(key, pending);
+                        last_promoted = None;
+                    }
+                    ToSketch::Subtract { key, amount } => {
+                        sketch.update(key, -amount);
+                    }
+                    ToSketch::Estimate { key, reply } => {
+                        let _ = reply.send(sketch.estimate(key));
+                    }
+                    ToSketch::Shutdown => break,
+                }
+            }
+            sketch
+        });
+        Self {
+            filter,
+            to_sketch: tx,
+            from_sketch: prx,
+            worker,
+            exchanges: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Apply any promotions the sketch core has suggested.
+    fn drain_promotions(&mut self) {
+        while let Ok(Promote { key, est }) = self.from_sketch.try_recv() {
+            // Re-check against the *current* filter state: the suggestion
+            // may be stale or the key may already have been promoted.
+            if self.filter.query(key).is_some() {
+                continue;
+            }
+            let min = self.filter.min_count().expect("filter full before promotion");
+            if est > min {
+                // The suggested estimate is stale: the hot key has usually
+                // received further forwards since the suggestion was made.
+                // Fetch a fresh estimate — channel FIFO guarantees it covers
+                // every update this core has issued — so the filter count
+                // never starts below the sketch's mass for the key.
+                let (tx, rx) = channel::bounded(1);
+                self.to_sketch
+                    .send(ToSketch::Estimate { key, reply: tx })
+                    .expect("sketch worker alive");
+                let fresh = rx.recv().expect("sketch worker answers");
+                let evicted = self.filter.evict_min().expect("non-empty");
+                if evicted.pending() > 0 {
+                    let _ = self.to_sketch.send(ToSketch::Demote {
+                        key: evicted.key,
+                        pending: evicted.pending(),
+                    });
+                }
+                self.filter.insert(key, fresh, fresh);
+                self.exchanges += 1;
+            }
+        }
+    }
+
+    /// Process one tuple (Algorithm 1 with the sketch path asynchronous).
+    pub fn update(&mut self, key: u64, u: i64) {
+        if u <= 0 {
+            if u < 0 {
+                self.delete(key, -u);
+            }
+            return;
+        }
+        if self.filter.update_existing(key, u).is_some() {
+            return;
+        }
+        if !self.filter.is_full() {
+            self.filter.insert(key, u, 0);
+            return;
+        }
+        let filter_min = self.filter.min_count().expect("full filter non-empty");
+        self.to_sketch
+            .send(ToSketch::Forward { key, u, filter_min })
+            .expect("sketch worker alive");
+        self.forwarded += 1;
+        self.drain_promotions();
+    }
+
+    /// Convenience: `update(key, 1)`.
+    #[inline]
+    pub fn insert(&mut self, key: u64) {
+        self.update(key, 1);
+    }
+
+    /// Appendix-A deletion across the pipeline.
+    pub fn delete(&mut self, key: u64, amount: i64) {
+        assert!(amount > 0);
+        match self.filter.subtract(key, amount) {
+            None => {
+                self.to_sketch
+                    .send(ToSketch::Subtract { key, amount })
+                    .expect("sketch worker alive");
+            }
+            Some(0) => {}
+            Some(spill) => {
+                self.to_sketch
+                    .send(ToSketch::Subtract { key, amount: spill })
+                    .expect("sketch worker alive");
+            }
+        }
+    }
+
+    /// Point query. Filter hits answer locally; misses round-trip to the
+    /// sketch core (FIFO with all preceding forwards, so the answer covers
+    /// every update issued before this call).
+    pub fn estimate(&mut self, key: u64) -> i64 {
+        self.drain_promotions();
+        if let Some(c) = self.filter.query(key) {
+            return c;
+        }
+        let (tx, rx) = channel::bounded(1);
+        self.to_sketch
+            .send(ToSketch::Estimate { key, reply: tx })
+            .expect("sketch worker alive");
+        rx.recv().expect("sketch worker answers")
+    }
+
+    /// Number of promotions applied so far.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Number of tuples forwarded to the sketch core.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Shut the worker down and return `(filter, sketch)`.
+    ///
+    /// Dropping a `PipelineASketch` without calling `finish` is also fine:
+    /// closing the channel ends the worker loop and the thread exits on its
+    /// own.
+    pub fn finish(self) -> (F, S) {
+        self.to_sketch.send(ToSketch::Shutdown).expect("worker alive");
+        let sketch = self.worker.join().expect("sketch worker must not panic");
+        (self.filter, sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asketch::filter::RelaxedHeapFilter;
+    use sketches::{CountMin, FrequencyEstimator};
+
+    fn pipeline(cap: usize) -> PipelineASketch<RelaxedHeapFilter, CountMin> {
+        PipelineASketch::spawn(
+            RelaxedHeapFilter::new(cap),
+            CountMin::new(7, 4, 1 << 12).unwrap(),
+        )
+    }
+
+    #[test]
+    fn heavy_items_exact_in_filter() {
+        let mut p = pipeline(4);
+        for _ in 0..10_000 {
+            p.insert(1);
+        }
+        assert_eq!(p.estimate(1), 10_000);
+        assert_eq!(p.forwarded(), 0);
+    }
+
+    #[test]
+    fn overflow_reaches_sketch() {
+        let mut p = pipeline(2);
+        p.insert(1);
+        p.insert(2);
+        for _ in 0..100 {
+            p.insert(3);
+        }
+        assert!(p.estimate(3) >= 100, "must cover all 100 inserts");
+        let (filter, sketch) = p.finish();
+        // Key 3's mass lives in the filter (if promoted) or in the sketch.
+        let covered = filter.query(3).unwrap_or_else(|| sketch.estimate(3));
+        assert!(covered >= 100);
+    }
+
+    #[test]
+    fn promotion_happens_for_hot_overflow() {
+        let mut p = pipeline(2);
+        p.insert(1);
+        p.insert(2);
+        for i in 0..5_000u64 {
+            p.insert(100); // hot key hammering the sketch
+            p.insert(1000 + i % 3); // churn so promotes drain
+        }
+        // Give the worker a moment, then drain.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let est = p.estimate(100);
+        assert!(est >= 5_000);
+        assert!(p.exchanges() >= 1, "hot key must be promoted");
+    }
+
+    #[test]
+    fn one_sided_guarantee_across_pipeline() {
+        let mut p = pipeline(8);
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 17u64;
+        for _ in 0..30_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+            let key = match x % 10 {
+                0..=4 => x % 3,
+                _ => 50 + x % 500,
+            };
+            p.insert(key);
+            *truth.entry(key).or_insert(0i64) += 1;
+        }
+        for (&key, &t) in &truth {
+            let est = p.estimate(key);
+            assert!(est >= t, "pipeline under-counts key {key}: {est} < {t}");
+        }
+    }
+
+    #[test]
+    fn deletions_route_correctly() {
+        let mut p = pipeline(2);
+        for _ in 0..10 {
+            p.insert(1); // in filter
+        }
+        p.delete(1, 3);
+        assert_eq!(p.estimate(1), 7);
+        p.insert(2);
+        for _ in 0..5 {
+            p.insert(3); // overflows
+        }
+        let before = p.estimate(3);
+        p.update(3, -2);
+        assert_eq!(p.estimate(3), before - 2);
+    }
+
+    #[test]
+    fn finish_returns_components() {
+        let mut p = pipeline(2);
+        p.insert(1);
+        let (filter, sketch) = p.finish();
+        assert_eq!(filter.len(), 1);
+        assert_eq!(sketch.estimate(1), 0, "key 1 stayed in the filter");
+    }
+
+    #[test]
+    fn drop_without_finish_does_not_hang() {
+        let mut p = pipeline(2);
+        p.insert(1);
+        drop(p); // must join cleanly
+    }
+}

@@ -1,0 +1,194 @@
+//! Pipeline-parallel Holistic UDAF ("Parallel Hollistic UDAFs" in the
+//! paper's Figure 12): the low-level aggregation table runs on the caller's
+//! core and each wholesale flush is shipped to a sketch worker as one batch
+//! message, so the table core "can immediately start processing next items
+//! from the input stream" while the sketch absorbs the batch.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use sketches::lookup;
+use sketches::traits::FrequencyEstimator;
+use sketches::CountMin;
+
+/// Messages to the sketch worker.
+enum Msg {
+    /// A flushed batch of `(key, count)` aggregates.
+    Batch(Vec<(u64, i64)>),
+    /// Point-query round trip.
+    Estimate { key: u64, reply: Sender<i64> },
+    /// Stop and return the sketch.
+    Shutdown,
+}
+
+const EMPTY_KEY: u64 = u64::MAX;
+
+#[inline]
+fn canon(key: u64) -> u64 {
+    if key == EMPTY_KEY {
+        EMPTY_KEY - 1
+    } else {
+        key
+    }
+}
+
+/// Holistic UDAF with the sketch on a dedicated worker thread.
+pub struct PipelineHUdaf {
+    ids: Vec<u64>,
+    counts: Vec<i64>,
+    fill: usize,
+    to_sketch: Sender<Msg>,
+    worker: JoinHandle<CountMin>,
+    flushes: u64,
+}
+
+impl PipelineHUdaf {
+    /// Spawn the sketch worker with a `table_items`-slot front table.
+    ///
+    /// # Panics
+    /// Panics if `table_items == 0`.
+    pub fn spawn(sketch: CountMin, table_items: usize) -> Self {
+        assert!(table_items > 0, "table must hold at least one item");
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = channel::unbounded();
+        let mut sketch = sketch;
+        let worker = std::thread::spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    Msg::Batch(batch) => {
+                        for (key, count) in batch {
+                            sketch.update(key, count);
+                        }
+                    }
+                    Msg::Estimate { key, reply } => {
+                        let _ = reply.send(sketch.estimate(key));
+                    }
+                    Msg::Shutdown => break,
+                }
+            }
+            sketch
+        });
+        Self {
+            ids: vec![EMPTY_KEY; table_items],
+            counts: vec![0; table_items],
+            fill: 0,
+            to_sketch: tx,
+            worker,
+            flushes: 0,
+        }
+    }
+
+    /// Ship the whole table to the sketch core and clear it.
+    fn flush(&mut self) {
+        if self.fill == 0 {
+            return;
+        }
+        let batch: Vec<(u64, i64)> = (0..self.fill).map(|i| (self.ids[i], self.counts[i])).collect();
+        self.to_sketch.send(Msg::Batch(batch)).expect("worker alive");
+        for i in 0..self.fill {
+            self.ids[i] = EMPTY_KEY;
+            self.counts[i] = 0;
+        }
+        self.fill = 0;
+        self.flushes += 1;
+    }
+
+    /// Ingest one tuple.
+    pub fn update(&mut self, key: u64, delta: i64) {
+        let key = canon(key);
+        if let Some(i) = lookup::find_key(&self.ids[..self.fill], key) {
+            self.counts[i] += delta;
+            return;
+        }
+        if self.fill == self.ids.len() {
+            self.flush();
+        }
+        let i = self.fill;
+        self.ids[i] = key;
+        self.counts[i] = delta;
+        self.fill += 1;
+    }
+
+    /// Convenience: `update(key, 1)`.
+    #[inline]
+    pub fn insert(&mut self, key: u64) {
+        self.update(key, 1);
+    }
+
+    /// Point query: sketch estimate (round trip, FIFO-ordered behind all
+    /// shipped batches) plus any count still pending in the local table.
+    pub fn estimate(&mut self, key: u64) -> i64 {
+        let key = canon(key);
+        let pending = lookup::find_key(&self.ids[..self.fill], key).map_or(0, |i| self.counts[i]);
+        let (tx, rx) = channel::bounded(1);
+        self.to_sketch
+            .send(Msg::Estimate { key, reply: tx })
+            .expect("worker alive");
+        rx.recv().expect("worker answers") + pending
+    }
+
+    /// Wholesale flushes performed so far.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Shut down and return the sketch.
+    pub fn finish(mut self) -> CountMin {
+        self.flush();
+        self.to_sketch.send(Msg::Shutdown).expect("worker alive");
+        self.worker.join().expect("sketch worker must not panic")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline(table: usize) -> PipelineHUdaf {
+        PipelineHUdaf::spawn(CountMin::new(3, 4, 1 << 12).unwrap(), table)
+    }
+
+    #[test]
+    fn aggregates_runs_locally() {
+        let mut p = pipeline(8);
+        for _ in 0..500 {
+            p.insert(7);
+        }
+        assert_eq!(p.flush_count(), 0);
+        assert_eq!(p.estimate(7), 500);
+    }
+
+    #[test]
+    fn flush_ships_batches() {
+        let mut p = pipeline(2);
+        p.insert(1);
+        p.insert(2);
+        p.insert(3); // forces a flush of {1,2}
+        assert_eq!(p.flush_count(), 1);
+        assert_eq!(p.estimate(1), 1);
+        assert_eq!(p.estimate(3), 1);
+    }
+
+    #[test]
+    fn one_sided_across_pipeline() {
+        let mut p = pipeline(4);
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 5u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let key = x % 300;
+            p.insert(key);
+            *truth.entry(key).or_insert(0i64) += 1;
+        }
+        for (&key, &t) in &truth {
+            assert!(p.estimate(key) >= t, "under-count for {key}");
+        }
+    }
+
+    #[test]
+    fn finish_flushes_remainder() {
+        let mut p = pipeline(8);
+        p.insert(9);
+        let sketch = p.finish();
+        assert_eq!(sketch.estimate(9), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! SPMD parallelism (paper §6.3): every core runs a full summary as a
+//! sequential *counting kernel* over its own input stream; point queries
+//! are answered by combining the kernels' responses.
+//!
+//! Frequency counting is commutative, so the combine step is a plain sum —
+//! the sum of per-kernel over-estimates is an over-estimate of the total
+//! count, preserving the one-sided guarantee. This is the configuration of
+//! the paper's Figure 13 (linear scaling of ASketch vs Count-Min kernels
+//! with core count).
+
+use sketches::traits::FrequencyEstimator;
+
+/// A group of independently fed counting kernels.
+pub struct SpmdGroup<K> {
+    kernels: Vec<K>,
+}
+
+impl<K: FrequencyEstimator + Send> SpmdGroup<K> {
+    /// Feed `shards[i]` through a fresh kernel built by `make_kernel(i)`,
+    /// one OS thread per shard, and collect the finished kernels.
+    ///
+    /// Returns the group and the wall-clock nanoseconds of the parallel
+    /// ingest phase (all threads started together, measured to the last
+    /// join), which is what the throughput experiments report.
+    pub fn ingest<F>(shards: &[Vec<u64>], make_kernel: F) -> (Self, u128)
+    where
+        F: Fn(usize) -> K + Sync,
+    {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let start = std::time::Instant::now();
+        let kernels: Vec<K> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| {
+                    let make_kernel = &make_kernel;
+                    scope.spawn(move || {
+                        let mut kernel = make_kernel(i);
+                        for &key in shard {
+                            kernel.update(key, 1);
+                        }
+                        kernel
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kernel thread must not panic"))
+                .collect()
+        });
+        let elapsed = start.elapsed().as_nanos();
+        (Self { kernels }, elapsed)
+    }
+
+    /// Combined point estimate: the sum of every kernel's answer
+    /// (commutative combine, paper §6.3).
+    pub fn estimate(&self, key: u64) -> i64 {
+        self.kernels.iter().map(|k| k.estimate(key)).sum()
+    }
+
+    /// Number of kernels in the group.
+    pub fn width(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Access the individual kernels.
+    pub fn kernels(&self) -> &[K] {
+        &self.kernels
+    }
+}
+
+/// Split one stream into `n` round-robin shards, the multi-stream setting
+/// of §6.3 ("every core is consuming a different stream").
+pub fn round_robin_shards(stream: &[u64], n: usize) -> Vec<Vec<u64>> {
+    assert!(n > 0, "need at least one shard");
+    let mut shards: Vec<Vec<u64>> = (0..n).map(|_| Vec::with_capacity(stream.len() / n + 1)).collect();
+    for (i, &key) in stream.iter().enumerate() {
+        shards[i % n].push(key);
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asketch::AsketchBuilder;
+    use sketches::CountMin;
+
+    #[test]
+    fn shards_partition_the_stream() {
+        let stream: Vec<u64> = (0..10).collect();
+        let shards = round_robin_shards(&stream, 3);
+        assert_eq!(shards.len(), 3);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(shards[0], vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = round_robin_shards(&[1], 0);
+    }
+
+    #[test]
+    fn combined_estimate_covers_truth_cms() {
+        let stream: Vec<u64> = (0..40_000u64).map(|i| i % 100).collect();
+        let shards = round_robin_shards(&stream, 4);
+        let (group, _) = SpmdGroup::ingest(&shards, |i| {
+            CountMin::new(100 + i as u64, 4, 1 << 12).unwrap()
+        });
+        assert_eq!(group.width(), 4);
+        for key in 0..100u64 {
+            assert!(group.estimate(key) >= 400, "key {key} under-counted");
+        }
+    }
+
+    #[test]
+    fn combined_estimate_covers_truth_asketch() {
+        let stream: Vec<u64> = (0..30_000u64)
+            .map(|i| if i % 3 == 0 { 7 } else { i % 500 })
+            .collect();
+        let shards = round_robin_shards(&stream, 3);
+        let (group, _) = SpmdGroup::ingest(&shards, |i| {
+            AsketchBuilder {
+                total_bytes: 16 * 1024,
+                seed: 2000 + i as u64,
+                ..Default::default()
+            }
+            .build_count_min()
+            .unwrap()
+        });
+        let est = group.estimate(7);
+        assert!(est >= 10_000, "heavy key across kernels: {est}");
+    }
+
+    #[test]
+    fn single_kernel_degenerates_to_sequential() {
+        let stream: Vec<u64> = (0..1_000u64).map(|i| i % 10).collect();
+        let (group, _) = SpmdGroup::ingest(&round_robin_shards(&stream, 1), |_| {
+            CountMin::new(5, 4, 1 << 12).unwrap()
+        });
+        for key in 0..10u64 {
+            assert_eq!(group.estimate(key), 100);
+        }
+    }
+}

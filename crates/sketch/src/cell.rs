@@ -1,0 +1,99 @@
+//! Counter-cell abstraction: sketches generic over their per-cell integer
+//! width.
+//!
+//! The paper's C implementation (and the public Count-Min code it reuses)
+//! stores 32-bit counters; this workspace defaults to 64-bit. The width
+//! matters for fidelity: at a fixed byte budget, 32-bit cells double every
+//! row's length `h` and therefore halve the `(e/h)·N` error term. The
+//! [`Cell`] trait lets each sketch be instantiated either way
+//! (`CountMin` = 64-bit alias, `CountMin32` = the paper's layout).
+//!
+//! Narrow cells saturate instead of wrapping on overflow, preserving the
+//! one-sided guarantee even on streams that exceed `i32::MAX` per cell
+//! (over-estimates stay over-estimates; they just stop growing).
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// An integer counter cell.
+pub trait Cell:
+    Copy + Default + Ord + Send + Sync + Serialize + DeserializeOwned + std::fmt::Debug + 'static
+{
+    /// Cell width in bytes.
+    const BYTES: usize;
+
+    /// Widen to `i64` (lossless).
+    fn to_i64(self) -> i64;
+
+    /// Narrow from `i64`, saturating at the cell's bounds.
+    fn from_i64_saturating(v: i64) -> Self;
+
+    /// `self + delta`, saturating at the cell's bounds.
+    fn saturating_add_i64(self, delta: i64) -> Self;
+}
+
+impl Cell for i64 {
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn to_i64(self) -> i64 {
+        self
+    }
+
+    #[inline]
+    fn from_i64_saturating(v: i64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn saturating_add_i64(self, delta: i64) -> Self {
+        self.saturating_add(delta)
+    }
+}
+
+impl Cell for i32 {
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn to_i64(self) -> i64 {
+        self as i64
+    }
+
+    #[inline]
+    fn from_i64_saturating(v: i64) -> Self {
+        v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+    }
+
+    #[inline]
+    fn saturating_add_i64(self, delta: i64) -> Self {
+        Self::from_i64_saturating((self as i64).saturating_add(delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(<i64 as Cell>::BYTES, 8);
+        assert_eq!(<i32 as Cell>::BYTES, 4);
+    }
+
+    #[test]
+    fn i32_saturates() {
+        let max = i32::MAX;
+        assert_eq!(max.saturating_add_i64(10), i32::MAX);
+        assert_eq!(i32::from_i64_saturating(i64::MAX), i32::MAX);
+        assert_eq!(i32::from_i64_saturating(i64::MIN), i32::MIN);
+        assert_eq!(i32::from_i64_saturating(42), 42);
+        assert_eq!(0i32.saturating_add_i64(-5), -5);
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        assert_eq!(123i64.to_i64(), 123);
+        assert_eq!(i64::from_i64_saturating(-9), -9);
+        assert_eq!(5i64.saturating_add_i64(i64::MAX), i64::MAX);
+    }
+}

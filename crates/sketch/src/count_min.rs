@@ -1,0 +1,373 @@
+//! Count-Min sketch (Cormode & Muthukrishnan, 2005).
+//!
+//! The 2-dimensional array of `w` rows (one per pairwise-independent hash
+//! function) by `h` cells. An update adds `delta` to one cell per row; a
+//! point query returns the minimum over the `w` addressed cells.
+//!
+//! Guarantees (strict streams, total count `N`): the estimate never
+//! under-counts, and over-counts by more than `(e/h)·N` with probability at
+//! most `e^-w`.
+//!
+//! This implementation stores the table row-major in a single flat vector
+//! so one update touches `w` cache lines at predictable offsets, supports
+//! negative deltas (item deletion, paper Appendix A), and is generic over
+//! the cell width: [`CountMin`] uses 64-bit counters, [`CountMin32`]
+//! matches the paper's 32-bit C layout (twice the cells per byte, half the
+//! `(e/h)·N` error at equal budgets).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::Cell;
+use crate::hash::HashBank;
+use crate::traits::{FrequencyEstimator, Mergeable, TopK, UpdateEstimate};
+use crate::SketchError;
+
+/// Bytes consumed by one counter cell of the default (64-bit) layout.
+pub const CELL_BYTES: usize = std::mem::size_of::<i64>();
+
+/// Count-Min with 64-bit cells (workspace default).
+pub type CountMin = CountMinG<i64>;
+
+/// Count-Min with 32-bit cells (the paper's layout; saturating).
+pub type CountMin32 = CountMinG<i32>;
+
+/// The Count-Min sketch, generic over its counter-cell width.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(bound = "")]
+pub struct CountMinG<C: Cell = i64> {
+    /// `w` hash functions, each with range `h`.
+    hashes: HashBank,
+    /// Row-major `w × h` counter table.
+    table: Vec<C>,
+    /// Range of each hash function (row length).
+    h: usize,
+    /// Seed the hash bank was derived from (needed to validate merges).
+    seed: u64,
+}
+
+impl<C: Cell> CountMinG<C> {
+    /// Create a sketch with `depth` hash functions (rows) of `width` cells
+    /// each, seeded deterministically.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidDimensions`] when either dimension is 0.
+    pub fn new(seed: u64, depth: usize, width: usize) -> Result<Self, SketchError> {
+        if depth == 0 || width == 0 {
+            return Err(SketchError::InvalidDimensions {
+                what: format!("depth={depth}, width={width}"),
+            });
+        }
+        Ok(Self {
+            hashes: HashBank::new(seed, depth, width),
+            table: vec![C::default(); depth * width],
+            h: width,
+            seed,
+        })
+    }
+
+    /// Create a sketch of `depth` rows fitting within `budget_bytes` of
+    /// counter space (the paper's "synopsis size"). The width is the largest
+    /// `h` with `depth · h · cell_bytes <= budget_bytes`.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::BudgetTooSmall`] if even `h = 1` does not fit.
+    pub fn with_byte_budget(seed: u64, depth: usize, budget_bytes: usize) -> Result<Self, SketchError> {
+        if depth == 0 {
+            return Err(SketchError::InvalidDimensions {
+                what: "depth=0".into(),
+            });
+        }
+        let width = budget_bytes / (depth * C::BYTES);
+        if width == 0 {
+            return Err(SketchError::BudgetTooSmall {
+                needed: depth * C::BYTES,
+                available: budget_bytes,
+            });
+        }
+        Self::new(seed, depth, width)
+    }
+
+    /// Number of hash functions (`w` in the paper).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.hashes.width()
+    }
+
+    /// Range of each hash function (`h` in the paper).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.h
+    }
+
+    /// The seed this sketch was built with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Bytes per counter cell of this instantiation.
+    #[inline]
+    pub fn cell_bytes(&self) -> usize {
+        C::BYTES
+    }
+
+    /// Reset every counter to zero, keeping the hash functions.
+    pub fn clear(&mut self) {
+        self.table.fill(C::default());
+    }
+
+    /// Sum of one row's counters — for a strict stream this equals the total
+    /// stream count `N` (absent saturation), a useful invariant for tests.
+    pub fn row_sum(&self, row: usize) -> i64 {
+        let start = row * self.h;
+        self.table[start..start + self.h].iter().map(|c| c.to_i64()).sum()
+    }
+
+    /// Direct cell read (row, column); exposed for white-box tests and the
+    /// analysis harness.
+    #[inline]
+    pub fn cell(&self, row: usize, col: usize) -> i64 {
+        self.table[row * self.h + col].to_i64()
+    }
+}
+
+impl<C: Cell> FrequencyEstimator for CountMinG<C> {
+    #[inline]
+    fn update(&mut self, key: u64, delta: i64) {
+        for (row, func) in self.hashes.funcs().iter().enumerate() {
+            let idx = row * self.h + func.hash(key);
+            self.table[idx] = self.table[idx].saturating_add_i64(delta);
+        }
+    }
+
+    #[inline]
+    fn estimate(&self, key: u64) -> i64 {
+        let mut est = i64::MAX;
+        for (row, func) in self.hashes.funcs().iter().enumerate() {
+            let v = self.table[row * self.h + func.hash(key)].to_i64();
+            if v < est {
+                est = v;
+            }
+        }
+        est
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.table.len() * C::BYTES
+    }
+}
+
+impl<C: Cell> UpdateEstimate for CountMinG<C> {
+    #[inline]
+    fn update_and_estimate(&mut self, key: u64, delta: i64) -> i64 {
+        let mut est = i64::MAX;
+        for (row, func) in self.hashes.funcs().iter().enumerate() {
+            let idx = row * self.h + func.hash(key);
+            self.table[idx] = self.table[idx].saturating_add_i64(delta);
+            let v = self.table[idx].to_i64();
+            if v < est {
+                est = v;
+            }
+        }
+        est
+    }
+}
+
+impl<C: Cell> Mergeable for CountMinG<C> {
+    fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.seed != other.seed || self.h != other.h || self.depth() != other.depth() {
+            return Err(SketchError::IncompatibleMerge {
+                what: format!(
+                    "CountMin {}x{} seed {} vs {}x{} seed {}",
+                    self.depth(),
+                    self.h,
+                    self.seed,
+                    other.depth(),
+                    other.h,
+                    other.seed
+                ),
+            });
+        }
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a = a.saturating_add_i64(b.to_i64());
+        }
+        Ok(())
+    }
+}
+
+impl<C: Cell> TopK for CountMinG<C> {
+    /// Count-Min has no item directory, so it cannot enumerate heavy
+    /// hitters by itself. Heavy-hitter support for plain CMS requires an
+    /// external heap (paper §2) — the `asketch` crate provides it through
+    /// its filter.
+    fn top_k(&self, _k: usize) -> Vec<(u64, i64)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(CountMin::new(1, 0, 16).is_err());
+        assert!(CountMin::new(1, 4, 0).is_err());
+    }
+
+    #[test]
+    fn byte_budget_sizes_width() {
+        let cms = CountMin::with_byte_budget(1, 8, 128 * 1024).unwrap();
+        assert_eq!(cms.depth(), 8);
+        assert_eq!(cms.width(), 128 * 1024 / (8 * CELL_BYTES));
+        assert!(cms.size_bytes() <= 128 * 1024);
+    }
+
+    #[test]
+    fn narrow_cells_double_width_at_same_budget() {
+        let wide = CountMin::with_byte_budget(1, 8, 128 * 1024).unwrap();
+        let narrow = CountMin32::with_byte_budget(1, 8, 128 * 1024).unwrap();
+        assert_eq!(narrow.width(), 2 * wide.width());
+        assert_eq!(narrow.cell_bytes(), 4);
+        assert!(narrow.size_bytes() <= 128 * 1024);
+    }
+
+    #[test]
+    fn tiny_budget_rejected() {
+        let err = CountMin::with_byte_budget(1, 8, 8).unwrap_err();
+        assert!(matches!(err, SketchError::BudgetTooSmall { .. }));
+    }
+
+    #[test]
+    fn exact_when_no_collisions() {
+        // With a huge table and few keys, estimates are exact.
+        let mut cms = CountMin::new(7, 4, 1 << 16).unwrap();
+        for key in 0..100u64 {
+            for _ in 0..(key + 1) {
+                cms.insert(key);
+            }
+        }
+        for key in 0..100u64 {
+            assert_eq!(cms.estimate(key), (key + 1) as i64);
+        }
+    }
+
+    #[test]
+    fn one_sided_guarantee() {
+        // Even in a tiny, collision-heavy table the estimate never
+        // under-counts on a strict stream — in both cell widths.
+        fn check<C: Cell>() {
+            let mut cms = CountMinG::<C>::new(3, 2, 8).unwrap();
+            let mut truth = std::collections::HashMap::new();
+            let mut x: u64 = 12345;
+            for _ in 0..10_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let key = x % 100;
+                cms.insert(key);
+                *truth.entry(key).or_insert(0i64) += 1;
+            }
+            for (&key, &t) in &truth {
+                assert!(cms.estimate(key) >= t, "under-count for key {key}");
+            }
+        }
+        check::<i64>();
+        check::<i32>();
+    }
+
+    #[test]
+    fn i32_saturates_instead_of_wrapping() {
+        let mut cms = CountMin32::new(1, 1, 1).unwrap();
+        cms.update(0, i64::MAX);
+        assert_eq!(cms.estimate(0), i32::MAX as i64);
+        cms.update(0, 1);
+        assert_eq!(cms.estimate(0), i32::MAX as i64, "stays saturated");
+    }
+
+    #[test]
+    fn error_bound_holds_on_average() {
+        // Markov-style check of the (e/h)·N bound: average over-count over
+        // many keys should be below N/h (the expected value per cell).
+        let h = 512usize;
+        let mut cms = CountMin::new(3, 4, h).unwrap();
+        let n = 100_000u64;
+        let distinct = 10_000u64;
+        for i in 0..n {
+            cms.insert(i % distinct);
+        }
+        let per_key = (n / distinct) as i64;
+        let mut total_over = 0i64;
+        for key in 0..distinct {
+            total_over += cms.estimate(key) - per_key;
+        }
+        let avg_over = total_over as f64 / distinct as f64;
+        let bound = std::f64::consts::E * n as f64 / h as f64;
+        assert!(
+            avg_over < bound,
+            "avg over-count {avg_over} exceeds (e/h)N = {bound}"
+        );
+    }
+
+    #[test]
+    fn update_and_estimate_matches_separate_calls() {
+        let mut a = CountMin::new(9, 4, 64).unwrap();
+        let mut b = CountMin::new(9, 4, 64).unwrap();
+        for key in 0..500u64 {
+            let ea = a.update_and_estimate(key % 37, 2);
+            b.update(key % 37, 2);
+            let eb = b.estimate(key % 37);
+            assert_eq!(ea, eb);
+        }
+    }
+
+    #[test]
+    fn negative_updates_supported() {
+        let mut cms = CountMin::new(5, 4, 1 << 14).unwrap();
+        cms.update(42, 10);
+        cms.update(42, -4);
+        assert_eq!(cms.estimate(42), 6);
+    }
+
+    #[test]
+    fn row_sums_equal_total_count() {
+        let mut cms = CountMin::new(5, 6, 128).unwrap();
+        let mut total = 0i64;
+        for key in 0..1000u64 {
+            let delta = (key % 5) as i64 + 1;
+            cms.update(key, delta);
+            total += delta;
+        }
+        for row in 0..cms.depth() {
+            assert_eq!(cms.row_sum(row), total);
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = CountMin::new(11, 4, 256).unwrap();
+        let mut b = CountMin::new(11, 4, 256).unwrap();
+        a.update(7, 5);
+        b.update(7, 3);
+        b.update(9, 2);
+        a.merge(&b).unwrap();
+        assert!(a.estimate(7) >= 8);
+        assert!(a.estimate(9) >= 2);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched() {
+        let mut a = CountMin::new(1, 4, 256).unwrap();
+        let b = CountMin::new(2, 4, 256).unwrap();
+        assert!(a.merge(&b).is_err());
+        let c = CountMin::new(1, 4, 128).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut cms = CountMin::new(3, 2, 16).unwrap();
+        cms.insert(1);
+        cms.clear();
+        assert_eq!(cms.estimate(1), 0);
+        assert_eq!(cms.row_sum(0), 0);
+    }
+}

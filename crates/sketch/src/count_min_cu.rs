@@ -1,0 +1,241 @@
+//! Count-Min with *conservative update* (Estan & Varghese, 2003 —
+//! reference \[13\] of the ASketch paper).
+//!
+//! On an update, plain Count-Min adds `delta` to all `w` addressed cells;
+//! conservative update raises each cell only as far as needed to keep the
+//! invariant `cell >= estimate(key)`: the new value of every addressed
+//! cell is `max(cell, min_over_addressed + delta)`. Estimates remain
+//! one-sided while over-counting shrinks substantially (typically 1.5–4×
+//! on skewed streams), at the cost of supporting only *inserts* — a
+//! conservative cell can no longer attribute its value to specific items,
+//! so deletions (and therefore the paper's Appendix-A turnstile mode)
+//! are unsupported.
+//!
+//! Included as an extension: the ASketch filter composes with it exactly
+//! as with plain Count-Min (`ASketch<F, CountMinCu>`), giving a stronger
+//! modern baseline than the paper had available.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::Cell;
+use crate::hash::HashBank;
+use crate::traits::{FrequencyEstimator, UpdateEstimate};
+use crate::SketchError;
+
+/// Conservative-update Count-Min with 64-bit cells.
+pub type CountMinCu = CountMinCuG<i64>;
+
+/// Conservative-update Count-Min with 32-bit cells.
+pub type CountMinCu32 = CountMinCuG<i32>;
+
+/// The conservative-update Count-Min sketch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(bound = "")]
+pub struct CountMinCuG<C: Cell = i64> {
+    hashes: HashBank,
+    table: Vec<C>,
+    h: usize,
+    /// Scratch indices reused across updates to avoid re-hashing.
+    #[serde(skip)]
+    scratch: Vec<usize>,
+}
+
+impl<C: Cell> CountMinCuG<C> {
+    /// Create a sketch with `depth` rows of `width` cells.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidDimensions`] when either dimension is 0.
+    pub fn new(seed: u64, depth: usize, width: usize) -> Result<Self, SketchError> {
+        if depth == 0 || width == 0 {
+            return Err(SketchError::InvalidDimensions {
+                what: format!("depth={depth}, width={width}"),
+            });
+        }
+        Ok(Self {
+            hashes: HashBank::new(seed, depth, width),
+            table: vec![C::default(); depth * width],
+            h: width,
+            scratch: vec![0; depth],
+        })
+    }
+
+    /// Create a sketch of `depth` rows fitting within `budget_bytes`.
+    ///
+    /// # Errors
+    /// Returns an error when the budget cannot hold one cell per row.
+    pub fn with_byte_budget(seed: u64, depth: usize, budget_bytes: usize) -> Result<Self, SketchError> {
+        if depth == 0 {
+            return Err(SketchError::InvalidDimensions { what: "depth=0".into() });
+        }
+        let width = budget_bytes / (depth * C::BYTES);
+        if width == 0 {
+            return Err(SketchError::BudgetTooSmall {
+                needed: depth * C::BYTES,
+                available: budget_bytes,
+            });
+        }
+        Self::new(seed, depth, width)
+    }
+
+    /// Number of rows (`w`).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.hashes.width()
+    }
+
+    /// Row length (`h`).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.h
+    }
+}
+
+impl<C: Cell> FrequencyEstimator for CountMinCuG<C> {
+    /// Conservative update: raise each addressed cell to
+    /// `max(cell, current_min + delta)`.
+    ///
+    /// # Panics
+    /// Panics on negative `delta` — conservative update cannot support
+    /// deletions (see module docs).
+    fn update(&mut self, key: u64, delta: i64) {
+        assert!(delta >= 0, "conservative update supports inserts only");
+        if delta == 0 {
+            return;
+        }
+        // Resize scratch if deserialization dropped it.
+        if self.scratch.len() != self.depth() {
+            self.scratch = vec![0; self.depth()];
+        }
+        let mut min = i64::MAX;
+        for (row, func) in self.hashes.funcs().iter().enumerate() {
+            let idx = row * self.h + func.hash(key);
+            self.scratch[row] = idx;
+            let v = self.table[idx].to_i64();
+            if v < min {
+                min = v;
+            }
+        }
+        let target = min.saturating_add(delta);
+        for &idx in &self.scratch {
+            if self.table[idx].to_i64() < target {
+                self.table[idx] = C::from_i64_saturating(target);
+            }
+        }
+    }
+
+    fn estimate(&self, key: u64) -> i64 {
+        let mut est = i64::MAX;
+        for (row, func) in self.hashes.funcs().iter().enumerate() {
+            let v = self.table[row * self.h + func.hash(key)].to_i64();
+            if v < est {
+                est = v;
+            }
+        }
+        est
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.table.len() * C::BYTES
+    }
+}
+
+impl<C: Cell> UpdateEstimate for CountMinCuG<C> {
+    fn update_and_estimate(&mut self, key: u64, delta: i64) -> i64 {
+        self.update(key, delta);
+        self.estimate(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CountMin;
+
+    #[test]
+    fn dimensions_validated() {
+        assert!(CountMinCu::new(1, 0, 4).is_err());
+        assert!(CountMinCu::new(1, 4, 0).is_err());
+        assert!(CountMinCu::with_byte_budget(1, 8, 4).is_err());
+    }
+
+    #[test]
+    fn one_sided_guarantee() {
+        let mut cu = CountMinCu::new(3, 2, 8).unwrap();
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 77u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+            let key = x % 100;
+            cu.insert(key);
+            *truth.entry(key).or_insert(0i64) += 1;
+        }
+        for (&key, &t) in &truth {
+            assert!(cu.estimate(key) >= t, "under-count for {key}");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_plain_cms() {
+        // Cell-for-cell, conservative update's estimates are bounded above
+        // by plain Count-Min's for the same seed and stream.
+        let mut cu = CountMinCu::new(9, 4, 64).unwrap();
+        let mut cms = CountMin::new(9, 4, 64).unwrap();
+        let mut x = 5u64;
+        let mut keys = Vec::new();
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let key = x % 2_000;
+            cu.insert(key);
+            cms.insert(key);
+            keys.push(key);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let mut strictly_better = 0usize;
+        for &key in &keys {
+            assert!(cu.estimate(key) <= cms.estimate(key), "CU must not exceed CMS");
+            if cu.estimate(key) < cms.estimate(key) {
+                strictly_better += 1;
+            }
+        }
+        assert!(
+            strictly_better > keys.len() / 4,
+            "CU should beat CMS on a substantial fraction of keys ({strictly_better}/{})",
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut cu = CountMinCu::new(5, 4, 1 << 14).unwrap();
+        for key in 0..100u64 {
+            cu.update(key, (key as i64) + 1);
+        }
+        for key in 0..100u64 {
+            assert_eq!(cu.estimate(key), (key as i64) + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inserts only")]
+    fn deletion_rejected() {
+        let mut cu = CountMinCu::new(1, 2, 8).unwrap();
+        cu.update(1, -1);
+    }
+
+    #[test]
+    fn zero_delta_noop() {
+        let mut cu = CountMinCu::new(1, 2, 8).unwrap();
+        cu.update(1, 0);
+        assert_eq!(cu.estimate(1), 0);
+    }
+
+    #[test]
+    fn composes_with_asketch_semantics() {
+        // update_and_estimate is what ASketch's overflow path needs.
+        let mut cu = CountMinCu::new(2, 4, 1 << 10).unwrap();
+        let est = cu.update_and_estimate(9, 5);
+        assert_eq!(est, 5);
+        assert_eq!(cu.update_and_estimate(9, 2), 7);
+    }
+}

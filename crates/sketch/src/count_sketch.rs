@@ -1,0 +1,238 @@
+//! Count Sketch (Charikar, Chen & Farach-Colton, 2002).
+//!
+//! Like Count-Min, but each row also applies a pairwise-independent ±1 sign
+//! to the update, and the point estimate is the *median* of the per-row
+//! signed readings rather than the minimum. The estimate is unbiased with
+//! two-sided error `O(‖f‖₂ / √h)` per row.
+//!
+//! Included because the paper positions ASketch as generic over the
+//! underlying sketch (its Figure 1 names Count Sketch explicitly as one of
+//! the compatible back-ends). Note that Count Sketch does **not** provide
+//! the one-sided guarantee, so ASketch-over-CountSketch inherits its
+//! two-sided error for items living in the sketch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::Cell;
+use crate::hash::{HashBank, SplitMix64};
+use crate::traits::{FrequencyEstimator, Mergeable, UpdateEstimate};
+use crate::SketchError;
+
+/// Count Sketch with 64-bit cells (workspace default).
+pub type CountSketch = CountSketchG<i64>;
+
+/// Count Sketch with 32-bit cells (the paper's layout; saturating).
+pub type CountSketch32 = CountSketchG<i32>;
+
+/// The Count Sketch, generic over its counter-cell width.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(bound = "")]
+pub struct CountSketchG<C: Cell = i64> {
+    /// Bucket hash per row.
+    hashes: HashBank,
+    /// Sign hash per row (range 2, mapped to ±1).
+    signs: HashBank,
+    /// Row-major `w × h` counter table.
+    table: Vec<C>,
+    h: usize,
+    seed: u64,
+}
+
+impl<C: Cell> CountSketchG<C> {
+    /// Create a sketch with `depth` rows of `width` cells.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidDimensions`] when either dimension is 0.
+    pub fn new(seed: u64, depth: usize, width: usize) -> Result<Self, SketchError> {
+        if depth == 0 || width == 0 {
+            return Err(SketchError::InvalidDimensions {
+                what: format!("depth={depth}, width={width}"),
+            });
+        }
+        // Derive a distinct seed stream for the sign functions so bucket and
+        // sign hashes are independent.
+        let sign_seed = SplitMix64::new(seed ^ 0xC0FF_EE00_D15E_A5E5).next_u64();
+        Ok(Self {
+            hashes: HashBank::new(seed, depth, width),
+            signs: HashBank::new(sign_seed, depth, 2),
+            table: vec![C::default(); depth * width],
+            h: width,
+            seed,
+        })
+    }
+
+    /// Create a sketch of `depth` rows fitting within `budget_bytes`.
+    ///
+    /// # Errors
+    /// Returns an error when the budget cannot hold one cell per row.
+    pub fn with_byte_budget(seed: u64, depth: usize, budget_bytes: usize) -> Result<Self, SketchError> {
+        if depth == 0 {
+            return Err(SketchError::InvalidDimensions { what: "depth=0".into() });
+        }
+        let width = budget_bytes / (depth * C::BYTES);
+        if width == 0 {
+            return Err(SketchError::BudgetTooSmall {
+                needed: depth * C::BYTES,
+                available: budget_bytes,
+            });
+        }
+        Self::new(seed, depth, width)
+    }
+
+    /// Number of rows (`w`).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.hashes.width()
+    }
+
+    /// Row length (`h`).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.h
+    }
+
+    #[inline]
+    fn sign(&self, row: usize, key: u64) -> i64 {
+        // Map {0,1} to {-1,+1}.
+        (self.signs.hash(row, key) as i64) * 2 - 1
+    }
+
+    /// Reset all counters.
+    pub fn clear(&mut self) {
+        self.table.fill(C::default());
+    }
+}
+
+/// Median of a small scratch vector (length = depth, typically ≤ 8).
+fn median(mut xs: Vec<i64>) -> i64 {
+    xs.sort_unstable();
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        // Average of the two middle elements, rounding toward the larger to
+        // keep a mild over-estimation bias (harmless for strict streams).
+        let a = xs[n / 2 - 1];
+        let b = xs[n / 2];
+        a + (b - a + 1) / 2
+    }
+}
+
+impl<C: Cell> FrequencyEstimator for CountSketchG<C> {
+    #[inline]
+    fn update(&mut self, key: u64, delta: i64) {
+        for row in 0..self.depth() {
+            let idx = row * self.h + self.hashes.hash(row, key);
+            let signed = delta.saturating_mul(self.sign(row, key));
+            self.table[idx] = self.table[idx].saturating_add_i64(signed);
+        }
+    }
+
+    fn estimate(&self, key: u64) -> i64 {
+        let readings: Vec<i64> = (0..self.depth())
+            .map(|row| {
+                self.table[row * self.h + self.hashes.hash(row, key)].to_i64()
+                    * self.sign(row, key)
+            })
+            .collect();
+        median(readings)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.table.len() * C::BYTES
+    }
+}
+
+impl<C: Cell> UpdateEstimate for CountSketchG<C> {}
+
+impl<C: Cell> Mergeable for CountSketchG<C> {
+    fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.seed != other.seed || self.h != other.h || self.depth() != other.depth() {
+            return Err(SketchError::IncompatibleMerge {
+                what: "CountSketch parameter mismatch".into(),
+            });
+        }
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a = a.saturating_add_i64(b.to_i64());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(vec![3]), 3);
+        assert_eq!(median(vec![1, 5, 3]), 3);
+        assert_eq!(median(vec![1, 3]), 2);
+        assert_eq!(median(vec![1, 2]), 2, "rounds toward larger");
+        assert_eq!(median(vec![-5, -1]), -3);
+    }
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut cs = CountSketch::new(3, 5, 1 << 14).unwrap();
+        for key in 0..50u64 {
+            cs.update(key, (key as i64) + 1);
+        }
+        for key in 0..50u64 {
+            assert_eq!(cs.estimate(key), (key as i64) + 1);
+        }
+    }
+
+    #[test]
+    fn unbiasedness_rough_check() {
+        // Heavy collisions; the mean error over keys should hover near zero
+        // because collisions enter with random signs.
+        let mut cs = CountSketch::new(11, 5, 64).unwrap();
+        let per_key = 10i64;
+        let distinct = 2_000u64;
+        for key in 0..distinct {
+            cs.update(key, per_key);
+        }
+        let mean_err: f64 = (0..distinct)
+            .map(|k| (cs.estimate(k) - per_key) as f64)
+            .sum::<f64>()
+            / distinct as f64;
+        assert!(
+            mean_err.abs() < per_key as f64,
+            "mean error {mean_err} suggests bias"
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_survives_noise() {
+        let mut cs = CountSketch::new(5, 5, 256).unwrap();
+        cs.update(999_999, 100_000);
+        for key in 0..5_000u64 {
+            cs.insert(key);
+        }
+        let est = cs.estimate(999_999);
+        assert!(
+            (est - 100_000).abs() < 5_000,
+            "heavy hitter estimate {est} too far off"
+        );
+    }
+
+    #[test]
+    fn merge_roundtrip() {
+        let mut a = CountSketch::new(4, 3, 128).unwrap();
+        let mut b = CountSketch::new(4, 3, 128).unwrap();
+        a.update(1, 10);
+        b.update(1, 7);
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(1), 17);
+        let c = CountSketch::new(5, 3, 128).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn byte_budget_respected() {
+        let cs = CountSketch::with_byte_budget(1, 8, 16 * 1024).unwrap();
+        assert!(cs.size_bytes() <= 16 * 1024);
+        assert!(CountSketch::with_byte_budget(1, 8, 4).is_err());
+    }
+}

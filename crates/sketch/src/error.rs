@@ -1,0 +1,62 @@
+//! Error type for sketch construction and combination.
+
+use std::fmt;
+
+/// Errors raised by sketch constructors and merge operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// A dimension (width, depth, capacity, byte budget) was zero or
+    /// otherwise unusable.
+    InvalidDimensions {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+    /// Two summaries with different shapes or hash seeds were merged.
+    IncompatibleMerge {
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
+    /// A byte budget was too small to hold the requested structure.
+    BudgetTooSmall {
+        /// Bytes requested by the configuration.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::InvalidDimensions { what } => {
+                write!(f, "invalid sketch dimensions: {what}")
+            }
+            SketchError::IncompatibleMerge { what } => {
+                write!(f, "incompatible sketches cannot be merged: {what}")
+            }
+            SketchError::BudgetTooSmall { needed, available } => {
+                write!(
+                    f,
+                    "byte budget too small: need at least {needed} bytes, have {available}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SketchError::BudgetTooSmall {
+            needed: 1024,
+            available: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1024") && s.contains("64"));
+    }
+}

@@ -1,0 +1,104 @@
+//! A fast, DoS-irrelevant hasher for internal hash maps.
+//!
+//! The standard library's SipHash is safe for adversarial inputs but slow
+//! for the integer keys used throughout this workspace. Workload keys here
+//! are generated, not attacker-controlled, so we use an Fx-style
+//! multiply-rotate hash (the rustc hasher) implemented locally to avoid an
+//! external dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fx-style hasher state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn hash_spreads_sequential_keys() {
+        // Sequential integers should land in many distinct 8-bit buckets.
+        let mut buckets = [false; 256];
+        for i in 0..256u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            buckets[(h.finish() >> 56) as usize] = true;
+        }
+        let used = buckets.iter().filter(|&&b| b).count();
+        assert!(used > 128, "only {used}/256 top-byte buckets used");
+    }
+
+    #[test]
+    fn write_bytes_consistent_with_u64() {
+        let mut a = FxHasher::default();
+        a.write_u64(0xDEADBEEF);
+        let mut b = FxHasher::default();
+        b.write(&0xDEADBEEFu64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,362 @@
+//! Frequency-Aware Counting (FCM) — Thomas, Bordawekar, Aggarwal & Yu,
+//! "On Efficient Query Processing of Stream Counts on the Cell Processor",
+//! ICDE 2009. (Reference \[34\] of the ASketch paper.)
+//!
+//! FCM keeps the Count-Min `w × h` table but hashes each item into only a
+//! *subset* of the `w` rows. Two auxiliary pairwise-independent hash
+//! functions map the key to an `offset` and a `gap`; the item's rows are
+//! `offset, offset+gap, offset+2·gap, … (mod w)`. High-frequency items —
+//! detected online by a Misra–Gries counter — use fewer rows (`w/2`) than
+//! low-frequency items (`⌈4w/5⌉`), reducing the collision damage heavy items
+//! inflict on light ones.
+//!
+//! The ASketch paper evaluates two configurations, both supported here:
+//!
+//! * the original FCM with an MG counter sized like the ASketch filter
+//!   ([`Fcm::new`] with `mg_capacity = Some(..)`), and
+//! * the "modified FCM" used *inside* ASketch-FCM, which drops the MG
+//!   counter entirely (`mg_capacity = None`) because the ASketch filter
+//!   already separates the heavy items (paper §7.3).
+//!
+//! Caveat (inherited from FCM itself): an item that changes classification
+//! mid-stream has touched different row subsets over time, so the min over
+//! its *current* subset can in principle under-count. High-set rows are a
+//! prefix of low-set rows under this row-selection rule, which confines the
+//! effect to items that were classified high and later fell out of the MG
+//! counter — rare for genuinely light items.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::Cell;
+use crate::hash::{HashBank, PairwiseHash, SplitMix64};
+use crate::misra_gries::MisraGries;
+use crate::traits::{FrequencyEstimator, UpdateEstimate};
+use crate::SketchError;
+
+/// FCM with 64-bit cells (workspace default).
+pub type Fcm = FcmG<i64>;
+
+/// FCM with 32-bit cells (the paper's layout; saturating).
+pub type Fcm32 = FcmG<i32>;
+
+/// Frequency-Aware Counting sketch, generic over its counter-cell width.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(bound = "")]
+pub struct FcmG<C: Cell = i64> {
+    hashes: HashBank,
+    /// Maps a key to the first row index.
+    offset_hash: PairwiseHash,
+    /// Maps a key to the row stride (adjusted to be coprime with `w`).
+    gap_hash: PairwiseHash,
+    table: Vec<C>,
+    h: usize,
+    /// Rows used for items classified high-frequency.
+    rows_high: usize,
+    /// Rows used for items classified low-frequency.
+    rows_low: usize,
+    /// Online heavy-item detector; `None` for the ASketch-FCM variant.
+    mg: Option<MisraGries>,
+}
+
+/// Greatest common divisor, used to force the row stride coprime with `w`.
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl<C: Cell> FcmG<C> {
+    /// Create an FCM sketch with `depth` rows of `width` cells.
+    ///
+    /// `mg_capacity = Some(c)` attaches a Misra–Gries detector monitoring
+    /// `c` items (its space is *included* in [`FrequencyEstimator::size_bytes`]);
+    /// `None` treats every item as low-frequency (ASketch-FCM variant).
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidDimensions`] for zero dimensions or an
+    /// MG capacity of zero.
+    pub fn new(
+        seed: u64,
+        depth: usize,
+        width: usize,
+        mg_capacity: Option<usize>,
+    ) -> Result<Self, SketchError> {
+        if depth == 0 || width == 0 {
+            return Err(SketchError::InvalidDimensions {
+                what: format!("depth={depth}, width={width}"),
+            });
+        }
+        let mut rng = SplitMix64::new(seed ^ 0xFC0F_FC0F_FC0F_FC0F);
+        let offset_hash = PairwiseHash::from_rng(&mut rng, depth);
+        // Gap drawn from [0, depth); adjusted per key to the next value
+        // coprime with depth (see `rows_of`).
+        let gap_hash = PairwiseHash::from_rng(&mut rng, depth.max(2));
+        // Row counts per the paper: w/2 for high-frequency, 4w/5 for
+        // low-frequency items, both at least 1.
+        let rows_high = (depth / 2).max(1);
+        let rows_low = (4 * depth).div_ceil(5).max(rows_high);
+        let mg = match mg_capacity {
+            Some(c) => Some(MisraGries::new(c)?),
+            None => None,
+        };
+        Ok(Self {
+            hashes: HashBank::new(seed, depth, width),
+            offset_hash,
+            gap_hash,
+            table: vec![C::default(); depth * width],
+            h: width,
+            rows_high,
+            rows_low,
+            mg,
+        })
+    }
+
+    /// Create an FCM fitting within `budget_bytes`, *including* the MG
+    /// counter's space so comparisons against other methods are fair
+    /// (paper Table 1 allocates the same total space to every method).
+    ///
+    /// # Errors
+    /// Returns an error when the budget cannot hold the MG counter plus one
+    /// cell per row.
+    pub fn with_byte_budget(
+        seed: u64,
+        depth: usize,
+        budget_bytes: usize,
+        mg_capacity: Option<usize>,
+    ) -> Result<Self, SketchError> {
+        let mg_bytes = mg_capacity.map_or(0, |c| c * 16);
+        let remaining = budget_bytes.checked_sub(mg_bytes).ok_or(SketchError::BudgetTooSmall {
+            needed: mg_bytes + depth * C::BYTES,
+            available: budget_bytes,
+        })?;
+        let width = remaining / (depth * C::BYTES);
+        if width == 0 {
+            return Err(SketchError::BudgetTooSmall {
+                needed: mg_bytes + depth * C::BYTES,
+                available: budget_bytes,
+            });
+        }
+        Self::new(seed, depth, width, mg_capacity)
+    }
+
+    /// Number of rows (`w`).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.hashes.width()
+    }
+
+    /// Row length (`h`).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.h
+    }
+
+    /// Rows used for high-frequency items.
+    #[inline]
+    pub fn rows_high(&self) -> usize {
+        self.rows_high
+    }
+
+    /// Rows used for low-frequency items.
+    #[inline]
+    pub fn rows_low(&self) -> usize {
+        self.rows_low
+    }
+
+    /// Whether `key` is currently classified as high-frequency.
+    #[inline]
+    pub fn is_high_frequency(&self, key: u64) -> bool {
+        self.mg.as_ref().is_some_and(|mg| mg.contains(key))
+    }
+
+    /// The per-key row-selection parameters: start row and stride
+    /// (adjusted to be coprime with `w` so strides visit distinct rows).
+    #[inline]
+    fn offset_gap(&self, key: u64) -> (usize, usize) {
+        let w = self.depth();
+        let offset = self.offset_hash.hash(key);
+        let mut gap = 1 + self.gap_hash.hash(key) % (w.max(2) - 1).max(1);
+        while gcd(gap, w) != 1 {
+            gap += 1;
+        }
+        (offset, gap)
+    }
+
+    /// The row indices `key` maps to when touching `r` rows.
+    /// (Hot paths inline the equivalent loop; kept for white-box tests.)
+    #[cfg(test)]
+    fn rows_of(&self, key: u64, r: usize) -> impl Iterator<Item = usize> + '_ {
+        let w = self.depth();
+        let (offset, gap) = self.offset_gap(key);
+        (0..r).map(move |i| (offset + i * gap) % w)
+    }
+
+    fn estimate_over(&self, key: u64, r: usize) -> i64 {
+        let w = self.depth();
+        let (offset, gap) = self.offset_gap(key);
+        let mut est = i64::MAX;
+        for i in 0..r {
+            let row = (offset + i * gap) % w;
+            let v = self.table[row * self.h + self.hashes.hash(row, key)].to_i64();
+            if v < est {
+                est = v;
+            }
+        }
+        est
+    }
+}
+
+impl<C: Cell> FrequencyEstimator for FcmG<C> {
+    fn update(&mut self, key: u64, delta: i64) {
+        // Classify first (the MG counter observes every arrival), then hash
+        // into the classification's row subset.
+        let high = if let Some(mg) = self.mg.as_mut() {
+            if delta > 0 {
+                mg.observe(key)
+            } else {
+                mg.contains(key)
+            }
+        } else {
+            false
+        };
+        let r = if high { self.rows_high } else { self.rows_low };
+        let w = self.depth();
+        let (offset, gap) = self.offset_gap(key);
+        for i in 0..r {
+            let row = (offset + i * gap) % w;
+            let idx = row * self.h + self.hashes.hash(row, key);
+            self.table[idx] = self.table[idx].saturating_add_i64(delta);
+        }
+    }
+
+    fn estimate(&self, key: u64) -> i64 {
+        let r = if self.is_high_frequency(key) {
+            self.rows_high
+        } else {
+            self.rows_low
+        };
+        self.estimate_over(key, r)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.table.len() * C::BYTES + self.mg.as_ref().map_or(0, |mg| mg.size_bytes())
+    }
+}
+
+impl<C: Cell> UpdateEstimate for FcmG<C> {
+    /// Single-pass update+estimate over the key's row subset; matters for
+    /// ASketch-FCM, whose overflow path calls this on every forwarded tuple.
+    fn update_and_estimate(&mut self, key: u64, delta: i64) -> i64 {
+        let high = if let Some(mg) = self.mg.as_mut() {
+            if delta > 0 {
+                mg.observe(key)
+            } else {
+                mg.contains(key)
+            }
+        } else {
+            false
+        };
+        let r = if high { self.rows_high } else { self.rows_low };
+        let w = self.depth();
+        let (offset, gap) = self.offset_gap(key);
+        let mut est = i64::MAX;
+        for i in 0..r {
+            let row = (offset + i * gap) % w;
+            let idx = row * self.h + self.hashes.hash(row, key);
+            self.table[idx] = self.table[idx].saturating_add_i64(delta);
+            let v = self.table[idx].to_i64();
+            if v < est {
+                est = v;
+            }
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_works() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(7, 8), 1);
+        assert_eq!(gcd(5, 0), 5);
+    }
+
+    #[test]
+    fn rows_are_distinct() {
+        let fcm = Fcm::new(3, 8, 64, None).unwrap();
+        for key in 0..200u64 {
+            let rows: Vec<usize> = fcm.rows_of(key, fcm.rows_low()).collect();
+            let mut dedup = rows.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), rows.len(), "duplicate rows for key {key}");
+        }
+    }
+
+    #[test]
+    fn high_rows_prefix_of_low_rows() {
+        let fcm = Fcm::new(3, 8, 64, Some(8)).unwrap();
+        for key in 0..50u64 {
+            let high: Vec<usize> = fcm.rows_of(key, fcm.rows_high()).collect();
+            let low: Vec<usize> = fcm.rows_of(key, fcm.rows_low()).collect();
+            assert_eq!(&low[..high.len()], &high[..]);
+        }
+    }
+
+    #[test]
+    fn exact_when_sparse_without_mg() {
+        let mut fcm = Fcm::new(5, 8, 1 << 14, None).unwrap();
+        for key in 0..100u64 {
+            fcm.update(key, (key as i64) + 1);
+        }
+        for key in 0..100u64 {
+            assert_eq!(fcm.estimate(key), (key as i64) + 1);
+        }
+    }
+
+    #[test]
+    fn one_sided_for_stable_classification() {
+        // Without the MG counter every item is permanently low-frequency,
+        // so the one-sided guarantee is unconditional.
+        let mut fcm = Fcm::new(5, 8, 32, None).unwrap();
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 99u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(17);
+            let key = x % 300;
+            fcm.insert(key);
+            *truth.entry(key).or_insert(0i64) += 1;
+        }
+        for (&key, &t) in &truth {
+            assert!(fcm.estimate(key) >= t, "under-count for {key}");
+        }
+    }
+
+    #[test]
+    fn mg_classifies_heavy_items() {
+        let mut fcm = Fcm::new(5, 8, 1 << 12, Some(8)).unwrap();
+        for i in 0..10_000u64 {
+            if i % 3 == 0 {
+                fcm.insert(42);
+            } else {
+                fcm.insert(1000 + i);
+            }
+        }
+        assert!(fcm.is_high_frequency(42));
+        // The heavy key's estimate covers its true count.
+        assert!(fcm.estimate(42) >= (10_000 / 3) as i64);
+    }
+
+    #[test]
+    fn budget_includes_mg() {
+        let with_mg = Fcm::with_byte_budget(1, 8, 64 * 1024, Some(32)).unwrap();
+        let without = Fcm::with_byte_budget(1, 8, 64 * 1024, None).unwrap();
+        assert!(with_mg.width() < without.width(), "MG space must come out of the table");
+        assert!(with_mg.size_bytes() <= 64 * 1024);
+        assert!(Fcm::with_byte_budget(1, 8, 64, Some(32)).is_err());
+    }
+}

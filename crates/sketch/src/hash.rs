@@ -1,0 +1,313 @@
+//! Pairwise-independent hash functions.
+//!
+//! Count-Min and its relatives require, for their error analysis, hash
+//! functions drawn from a *pairwise independent* family. We implement the
+//! classic Carter–Wegman construction over the Mersenne prime
+//! `p = 2^61 - 1`:
+//!
+//! ```text
+//! h_{a,b}(x) = ((a * x + b) mod p) mod m
+//! ```
+//!
+//! with `a` drawn uniformly from `[1, p)` and `b` from `[0, p)`. Reduction
+//! modulo a Mersenne prime needs no division, which keeps the per-update cost
+//! at a handful of multiply/shift/add instructions.
+//!
+//! All randomness is derived deterministically from a user seed through
+//! [`SplitMix64`], so every sketch in this workspace is reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// The Mersenne prime `2^61 - 1` used as the field for Carter–Wegman hashing.
+pub const MERSENNE_P: u64 = (1 << 61) - 1;
+
+/// A tiny, fast, well-distributed PRNG used only for seeding hash functions
+/// and other deterministic parameter choices.
+///
+/// This is the standard SplitMix64 generator (Steele, Lea & Flood). It is
+/// *not* used for workload generation (see the `streamgen` crate for that);
+/// its only job is to expand a single `u64` seed into hash coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Produce the next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Produce a value uniform in `[0, bound)` (bound > 0) by rejection.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection sampling on the top bits; bias is negligible for the
+        // bounds we use (< 2^61), but rejection keeps it exact.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Reduce a 128-bit product modulo the Mersenne prime `2^61 - 1`.
+///
+/// For `p = 2^k - 1`, `x mod p` can be computed as
+/// `(x & p) + (x >> k)`, folded twice to guarantee the result is `< p`.
+#[inline]
+fn mod_mersenne(x: u128) -> u64 {
+    let lo = (x as u64) & MERSENNE_P;
+    let hi = (x >> 61) as u64;
+    let mut r = lo + hi;
+    // One fold can leave a value in [p, 2p); a conditional subtract fixes it.
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    // `hi` itself can exceed p when x is close to 2^128, but our inputs are
+    // products of values < 2^61, so hi < 2^61 and a single pass suffices.
+    r
+}
+
+/// One Carter–Wegman pairwise-independent hash function mapping `u64` keys
+/// to `[0, range)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+    range: u64,
+}
+
+impl PairwiseHash {
+    /// Draw a fresh hash function from the family using `rng`.
+    ///
+    /// # Panics
+    /// Panics if `range == 0`.
+    pub fn from_rng(rng: &mut SplitMix64, range: usize) -> Self {
+        assert!(range > 0, "hash range must be positive");
+        let a = 1 + rng.next_below(MERSENNE_P - 1);
+        let b = rng.next_below(MERSENNE_P);
+        Self {
+            a,
+            b,
+            range: range as u64,
+        }
+    }
+
+    /// Construct with explicit coefficients (used by tests).
+    pub fn with_params(a: u64, b: u64, range: usize) -> Self {
+        assert!(range > 0, "hash range must be positive");
+        assert!((1..MERSENNE_P).contains(&a), "a must lie in [1, p)");
+        assert!(b < MERSENNE_P, "b must lie in [0, p)");
+        Self {
+            a,
+            b,
+            range: range as u64,
+        }
+    }
+
+    /// The output range `m` of this function.
+    #[inline]
+    pub fn range(&self) -> usize {
+        self.range as usize
+    }
+
+    /// Evaluate the hash: `((a*x + b) mod p) mod m`.
+    ///
+    /// Keys are first folded into the field `[0, p)`; this loses nothing for
+    /// the key domains used in this workspace (keys are themselves drawn
+    /// from permutations of much smaller domains).
+    #[inline]
+    pub fn hash(&self, key: u64) -> usize {
+        let x = (key % MERSENNE_P) as u128;
+        let v = mod_mersenne(x * self.a as u128 + self.b as u128);
+        (v % self.range) as usize
+    }
+
+    /// Evaluate the hash to a full 61-bit value (before the final `mod m`).
+    ///
+    /// Used by Count Sketch to derive an unbiased ±1 sign from the same
+    /// pairwise-independent family.
+    #[inline]
+    pub fn hash_full(&self, key: u64) -> u64 {
+        let x = (key % MERSENNE_P) as u128;
+        mod_mersenne(x * self.a as u128 + self.b as u128)
+    }
+}
+
+/// A bank of `w` independent [`PairwiseHash`] functions sharing one range,
+/// as used by the row-per-hash-function sketches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashBank {
+    funcs: Vec<PairwiseHash>,
+}
+
+impl HashBank {
+    /// Create `w` hash functions with output range `range`, derived from
+    /// `seed`.
+    pub fn new(seed: u64, w: usize, range: usize) -> Self {
+        assert!(w > 0, "need at least one hash function");
+        let mut rng = SplitMix64::new(seed);
+        let funcs = (0..w).map(|_| PairwiseHash::from_rng(&mut rng, range)).collect();
+        Self { funcs }
+    }
+
+    /// Number of hash functions in the bank.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// The shared output range.
+    #[inline]
+    pub fn range(&self) -> usize {
+        self.funcs[0].range()
+    }
+
+    /// Evaluate function `i` on `key`.
+    #[inline]
+    pub fn hash(&self, i: usize, key: u64) -> usize {
+        self.funcs[i].hash(key)
+    }
+
+    /// Access the underlying functions.
+    #[inline]
+    pub fn funcs(&self) -> &[PairwiseHash] {
+        &self.funcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_bound_respected() {
+        let mut rng = SplitMix64::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, MERSENNE_P] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn mod_mersenne_matches_naive() {
+        let cases: [u128; 6] = [
+            0,
+            1,
+            MERSENNE_P as u128,
+            (MERSENNE_P as u128) * 2 + 5,
+            (MERSENNE_P as u128 - 1) * (MERSENNE_P as u128 - 1),
+            u64::MAX as u128 * 3,
+        ];
+        for &x in &cases {
+            assert_eq!(mod_mersenne(x) as u128, x % MERSENNE_P as u128, "x={x}");
+        }
+    }
+
+    #[test]
+    fn hash_stays_in_range() {
+        let mut rng = SplitMix64::new(1);
+        for range in [1usize, 2, 7, 64, 4096] {
+            let h = PairwiseHash::from_rng(&mut rng, range);
+            for key in 0..1000u64 {
+                assert!(h.hash(key) < range);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_per_seed() {
+        let h1 = HashBank::new(99, 4, 128);
+        let h2 = HashBank::new(99, 4, 128);
+        for i in 0..4 {
+            for key in [0u64, 1, 17, u64::MAX] {
+                assert_eq!(h1.hash(i, key), h2.hash(i, key));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let h1 = HashBank::new(1, 1, 1 << 20);
+        let h2 = HashBank::new(2, 1, 1 << 20);
+        let collisions = (0..1000u64).filter(|&k| h1.hash(0, k) == h2.hash(0, k)).count();
+        // Two independent functions agree with probability ~2^-20.
+        assert!(collisions < 5, "suspiciously many collisions: {collisions}");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        // Chi-square-style sanity check: hash 100k scrambled keys into 64
+        // buckets and verify no bucket deviates wildly from the mean.
+        // (Sequential keys are deliberately avoided: a linear hash family
+        // maps arithmetic progressions to structured residues, which is
+        // permitted by pairwise independence.)
+        let mut rng = SplitMix64::new(31337);
+        let h = PairwiseHash::from_rng(&mut rng, 64);
+        let mut keygen = SplitMix64::new(555);
+        let mut buckets = [0u32; 64];
+        let n = 100_000u64;
+        for _ in 0..n {
+            buckets[h.hash(keygen.next_u64())] += 1;
+        }
+        let mean = n as f64 / 64.0;
+        for (i, &c) in buckets.iter().enumerate() {
+            let dev = (c as f64 - mean).abs() / mean;
+            assert!(dev < 0.2, "bucket {i} deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_probability_close_to_ideal() {
+        // Empirically estimate Pr[h(x) = h(y)] over many function draws for
+        // a fixed pair (x, y); pairwise independence implies ~1/m.
+        let m = 32usize;
+        let mut rng = SplitMix64::new(2024);
+        let trials = 20_000;
+        let mut collisions = 0;
+        for _ in 0..trials {
+            let h = PairwiseHash::from_rng(&mut rng, m);
+            if h.hash(123_456) == h.hash(987_654_321) {
+                collisions += 1;
+            }
+        }
+        let p = collisions as f64 / trials as f64;
+        let ideal = 1.0 / m as f64;
+        assert!(
+            (p - ideal).abs() < ideal * 0.5,
+            "collision prob {p:.4} far from ideal {ideal:.4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hash range must be positive")]
+    fn zero_range_panics() {
+        let mut rng = SplitMix64::new(0);
+        let _ = PairwiseHash::from_rng(&mut rng, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Sketch + heap heavy-hitter tracking.
+//!
+//! Plain sketches answer point queries but cannot *enumerate* frequent
+//! items; the classic remedy (paper §2, citing Charikar et al. \[7\]) is an
+//! auxiliary top-k candidate set maintained online: every arrival's fresh
+//! estimate is compared against the tracked minimum, evicting it when
+//! beaten. This module provides that construction over any
+//! [`UpdateEstimate`] sketch — both as the natural top-k baseline for
+//! ASketch's filter-based ranking (paper Table 5) and as a reusable
+//! library feature.
+//!
+//! Unlike the ASketch filter, the candidate set stores *sketch estimates*
+//! (over-estimates, frozen at each item's last arrival), so its ranking
+//! inherits all collision noise — the deficiency ASketch's exact filter
+//! counts remove.
+
+use crate::fast_map::FxHashMap;
+use crate::traits::{FrequencyEstimator, TopK, UpdateEstimate};
+use crate::SketchError;
+
+/// A sketch with an online top-`k` candidate set.
+#[derive(Debug, Clone)]
+pub struct SketchHeavyHitters<S> {
+    sketch: S,
+    k: usize,
+    /// key -> estimate as of the key's most recent arrival.
+    tracked: FxHashMap<u64, i64>,
+}
+
+impl<S: UpdateEstimate> SketchHeavyHitters<S> {
+    /// Track the top-`k` items over `sketch`.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidDimensions`] if `k == 0`.
+    pub fn new(sketch: S, k: usize) -> Result<Self, SketchError> {
+        if k == 0 {
+            return Err(SketchError::InvalidDimensions {
+                what: "SketchHeavyHitters k=0".into(),
+            });
+        }
+        Ok(Self {
+            sketch,
+            k,
+            tracked: FxHashMap::default(),
+        })
+    }
+
+    /// Candidate-set capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying sketch.
+    pub fn sketch(&self) -> &S {
+        &self.sketch
+    }
+
+    /// Heap bytes of the candidate set (key + estimate + map overhead per
+    /// tracked item).
+    pub fn tracker_bytes(&self) -> usize {
+        self.k * 32
+    }
+
+    fn evict_min_if_needed(&mut self) {
+        if self.tracked.len() <= self.k {
+            return;
+        }
+        let (&key, _) = self
+            .tracked
+            .iter()
+            .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(b.0)))
+            .expect("non-empty when over capacity");
+        self.tracked.remove(&key);
+    }
+}
+
+impl<S: UpdateEstimate> FrequencyEstimator for SketchHeavyHitters<S> {
+    fn update(&mut self, key: u64, delta: i64) {
+        let est = self.sketch.update_and_estimate(key, delta);
+        if let Some(e) = self.tracked.get_mut(&key) {
+            *e = est;
+            return;
+        }
+        let min = self
+            .tracked
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(i64::MIN);
+        if self.tracked.len() < self.k || est > min {
+            self.tracked.insert(key, est);
+            self.evict_min_if_needed();
+        }
+    }
+
+    fn estimate(&self, key: u64) -> i64 {
+        // Point queries go straight to the sketch (fresher than the frozen
+        // tracked estimate).
+        self.sketch.estimate(key)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.sketch.size_bytes() + self.tracker_bytes()
+    }
+}
+
+impl<S: UpdateEstimate> TopK for SketchHeavyHitters<S> {
+    fn top_k(&self, k: usize) -> Vec<(u64, i64)> {
+        let mut v: Vec<(u64, i64)> = self.tracked.iter().map(|(&k, &e)| (k, e)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CountMin;
+
+    fn hh(k: usize) -> SketchHeavyHitters<CountMin> {
+        SketchHeavyHitters::new(CountMin::new(5, 4, 1 << 12).unwrap(), k).unwrap()
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        assert!(SketchHeavyHitters::new(CountMin::new(1, 2, 4).unwrap(), 0).is_err());
+    }
+
+    #[test]
+    fn tracks_the_heavy_items() {
+        let mut h = hh(4);
+        for round in 0..500 {
+            h.insert(1);
+            h.insert(2);
+            if round % 2 == 0 {
+                h.insert(3);
+            }
+            h.insert(1000 + round); // light churn
+        }
+        let top: Vec<u64> = h.top_k(3).into_iter().map(|(k, _)| k).collect();
+        assert!(top.contains(&1) && top.contains(&2) && top.contains(&3), "{top:?}");
+    }
+
+    #[test]
+    fn candidate_set_bounded() {
+        let mut h = hh(8);
+        for i in 0..10_000u64 {
+            h.insert(i);
+        }
+        assert!(h.top_k(100).len() <= 8);
+    }
+
+    #[test]
+    fn estimates_remain_one_sided() {
+        let mut h = hh(4);
+        for _ in 0..100 {
+            h.insert(7);
+        }
+        assert!(h.estimate(7) >= 100);
+    }
+
+    #[test]
+    fn ranking_orders_by_estimate() {
+        let mut h = hh(4);
+        for (key, n) in [(1u64, 30), (2, 20), (3, 10)] {
+            for _ in 0..n {
+                h.insert(key);
+            }
+        }
+        let top = h.top_k(3);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 2);
+        assert_eq!(top[2].0, 3);
+        assert!(top[0].1 >= 30);
+    }
+
+    #[test]
+    fn size_includes_tracker() {
+        let h = hh(16);
+        assert_eq!(h.size_bytes(), h.sketch().size_bytes() + 16 * 32);
+    }
+}

@@ -1,0 +1,267 @@
+//! Holistic UDAF-style pre-aggregation (Cormode, Johnson, Korn,
+//! Muthukrishnan, Spatscheck & Srivastava, SIGMOD 2004 — reference \[10\]).
+//!
+//! A small *low-level aggregation table* absorbs run-length locality in the
+//! stream: an arriving tuple is merged into the table if its key is present,
+//! claims a free slot if one exists, and otherwise the whole table is
+//! *flushed* into the underlying sketch and the tuple starts a fresh table.
+//! Unlike the ASketch filter, the table has no notion of item frequency —
+//! it is a batching buffer, not a heavy-hitter separator — so
+//!
+//! * it cannot answer queries alone (pending counts must be combined with
+//!   the sketch), and
+//! * at low skew it flushes constantly and becomes pure overhead, which is
+//!   exactly the regime where the paper shows H-UDAF falling behind
+//!   (Figure 5a, skew < 1).
+//!
+//! Key lookup in the table reuses the same vectorized scan as the ASketch
+//! filter (paper §7.1: "for the lookup in the low-level table, we use the
+//! same code that we use for the filter lookup").
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::Cell;
+use crate::count_min::CountMinG;
+use crate::lookup;
+use crate::traits::{FrequencyEstimator, UpdateEstimate};
+use crate::SketchError;
+
+/// Sentinel for an unoccupied table slot.
+const EMPTY_KEY: u64 = u64::MAX;
+
+#[inline]
+fn canon(key: u64) -> u64 {
+    if key == EMPTY_KEY {
+        EMPTY_KEY - 1
+    } else {
+        key
+    }
+}
+
+/// H-UDAF with 64-bit sketch cells (workspace default).
+pub type HolisticUdaf = HolisticUdafG<i64>;
+
+/// H-UDAF with 32-bit sketch cells (the paper's layout).
+pub type HolisticUdaf32 = HolisticUdafG<i32>;
+
+/// Count-Min sketch fronted by a run-length aggregation table, generic
+/// over the sketch's counter-cell width (the aggregation table itself
+/// keeps 64-bit pending counts; it holds only a few dozen entries).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(bound = "")]
+pub struct HolisticUdafG<C: Cell = i64> {
+    ids: Vec<u64>,
+    counts: Vec<i64>,
+    /// Occupied slot count; slots `0..fill` are always the occupied ones
+    /// because the table only grows until it is flushed wholesale.
+    fill: usize,
+    sketch: CountMinG<C>,
+    /// Number of wholesale flushes performed (exposed for experiments).
+    flushes: u64,
+}
+
+/// Bytes per aggregation-table slot (key + count).
+pub const TABLE_SLOT_BYTES: usize = std::mem::size_of::<u64>() + std::mem::size_of::<i64>();
+
+impl<C: Cell> HolisticUdafG<C> {
+    /// Create an H-UDAF summary with a `table_items`-slot aggregation table
+    /// in front of a `depth × width` Count-Min.
+    ///
+    /// # Errors
+    /// Propagates invalid sketch dimensions; rejects a zero-slot table.
+    pub fn new(seed: u64, depth: usize, width: usize, table_items: usize) -> Result<Self, SketchError> {
+        if table_items == 0 {
+            return Err(SketchError::InvalidDimensions {
+                what: "HolisticUdaf table_items=0".into(),
+            });
+        }
+        Ok(Self {
+            ids: vec![EMPTY_KEY; table_items],
+            counts: vec![0; table_items],
+            fill: 0,
+            sketch: CountMinG::new(seed, depth, width)?,
+            flushes: 0,
+        })
+    }
+
+    /// Create a summary fitting `budget_bytes` total: the aggregation table
+    /// takes `table_items · 16` bytes and the sketch receives the rest, so
+    /// the "same total space" comparison against CMS/ASketch is fair.
+    ///
+    /// # Errors
+    /// Returns an error when the remainder cannot hold one sketch cell per
+    /// row.
+    pub fn with_byte_budget(
+        seed: u64,
+        depth: usize,
+        budget_bytes: usize,
+        table_items: usize,
+    ) -> Result<Self, SketchError> {
+        let table_bytes = table_items * TABLE_SLOT_BYTES;
+        let remaining = budget_bytes
+            .checked_sub(table_bytes)
+            .ok_or(SketchError::BudgetTooSmall {
+                needed: table_bytes,
+                available: budget_bytes,
+            })?;
+        let sketch = CountMinG::with_byte_budget(seed, depth, remaining)?;
+        let mut s = Self::new(seed, depth, sketch.width(), table_items)?;
+        s.sketch = sketch;
+        Ok(s)
+    }
+
+    /// Aggregation-table capacity in items.
+    #[inline]
+    pub fn table_capacity(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of wholesale table flushes so far.
+    #[inline]
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// The underlying Count-Min sketch.
+    #[inline]
+    pub fn sketch(&self) -> &CountMinG<C> {
+        &self.sketch
+    }
+
+    /// Push every pending table entry into the sketch and clear the table.
+    pub fn flush(&mut self) {
+        for i in 0..self.fill {
+            self.sketch.update(self.ids[i], self.counts[i]);
+            self.ids[i] = EMPTY_KEY;
+            self.counts[i] = 0;
+        }
+        if self.fill > 0 {
+            self.flushes += 1;
+        }
+        self.fill = 0;
+    }
+
+    /// Pending (not yet flushed) count for `key`.
+    #[inline]
+    fn pending(&self, key: u64) -> i64 {
+        lookup::find_key(&self.ids[..self.fill], key).map_or(0, |i| self.counts[i])
+    }
+}
+
+impl<C: Cell> FrequencyEstimator for HolisticUdafG<C> {
+    fn update(&mut self, key: u64, delta: i64) {
+        let key = canon(key);
+        if let Some(i) = lookup::find_key(&self.ids[..self.fill], key) {
+            self.counts[i] += delta;
+            return;
+        }
+        if self.fill == self.ids.len() {
+            self.flush();
+        }
+        let i = self.fill;
+        self.ids[i] = key;
+        self.counts[i] = delta;
+        self.fill += 1;
+    }
+
+    /// Sketch estimate plus any pending table count. The table alone can
+    /// never answer (paper §7.2.1) — combining keeps the one-sided
+    /// guarantee without forcing a flush on the query path.
+    fn estimate(&self, key: u64) -> i64 {
+        let key = canon(key);
+        self.sketch.estimate(key) + self.pending(key)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.ids.len() * TABLE_SLOT_BYTES + self.sketch.size_bytes()
+    }
+}
+
+impl<C: Cell> UpdateEstimate for HolisticUdafG<C> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_table_rejected() {
+        assert!(HolisticUdaf::new(1, 4, 64, 0).is_err());
+    }
+
+    #[test]
+    fn aggregates_runs_without_touching_sketch() {
+        let mut h = HolisticUdaf::new(1, 4, 1 << 12, 8).unwrap();
+        for _ in 0..100 {
+            h.insert(7);
+        }
+        assert_eq!(h.flush_count(), 0, "run fits in one slot — no flush");
+        assert_eq!(h.sketch().estimate(7), 0, "count still pending");
+        assert_eq!(h.estimate(7), 100, "estimate sees pending counts");
+    }
+
+    #[test]
+    fn flushes_when_full() {
+        let mut h = HolisticUdaf::new(1, 4, 1 << 12, 2).unwrap();
+        h.insert(1);
+        h.insert(2);
+        h.insert(3); // table full of {1,2} -> flush, then 3 pends
+        assert_eq!(h.flush_count(), 1);
+        assert_eq!(h.sketch().estimate(1), 1);
+        assert_eq!(h.sketch().estimate(3), 0);
+        assert_eq!(h.estimate(3), 1);
+    }
+
+    #[test]
+    fn estimates_match_truth_when_sparse() {
+        let mut h = HolisticUdaf::new(3, 4, 1 << 14, 16).unwrap();
+        for key in 0..200u64 {
+            h.update(key, (key % 7) as i64 + 1);
+        }
+        for key in 0..200u64 {
+            assert_eq!(h.estimate(key), (key % 7) as i64 + 1);
+        }
+    }
+
+    #[test]
+    fn one_sided_guarantee_via_combination() {
+        let mut h = HolisticUdaf::new(5, 3, 32, 4).unwrap();
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 3u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let key = x % 200;
+            h.insert(key);
+            *truth.entry(key).or_insert(0i64) += 1;
+        }
+        for (&key, &t) in &truth {
+            assert!(h.estimate(key) >= t, "under-count for key {key}");
+        }
+    }
+
+    #[test]
+    fn manual_flush_idempotent() {
+        let mut h = HolisticUdaf::new(1, 4, 256, 4).unwrap();
+        h.insert(9);
+        h.flush();
+        let f = h.flush_count();
+        h.flush(); // nothing pending
+        assert_eq!(h.flush_count(), f, "empty flush not counted");
+        assert_eq!(h.estimate(9), 1);
+    }
+
+    #[test]
+    fn budget_split_between_table_and_sketch() {
+        let h = HolisticUdaf::with_byte_budget(1, 8, 64 * 1024, 32).unwrap();
+        assert!(h.size_bytes() <= 64 * 1024);
+        let plain = crate::CountMin::with_byte_budget(1, 8, 64 * 1024).unwrap();
+        assert!(h.sketch().width() < plain.width());
+        assert!(HolisticUdaf::with_byte_budget(1, 8, 128, 32).is_err());
+    }
+
+    #[test]
+    fn sentinel_key_usable() {
+        let mut h = HolisticUdaf::new(1, 4, 1 << 10, 4).unwrap();
+        h.insert(u64::MAX);
+        assert_eq!(h.estimate(u64::MAX), 1);
+    }
+}

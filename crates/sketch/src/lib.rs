@@ -1,0 +1,59 @@
+//! # sketches — the frequency-sketch substrate
+//!
+//! Every stream summary the ASketch paper builds on or compares against,
+//! implemented from scratch:
+//!
+//! * [`CountMin`] — Count-Min sketch \[11\], the default ASketch back-end.
+//! * [`CountSketch`] — Count Sketch \[7\], an alternative back-end.
+//! * [`Fcm`] — Frequency-Aware Counting \[34\], with and without its
+//!   Misra–Gries detector.
+//! * [`MisraGries`] — the MG frequent-items counter \[28\].
+//! * [`SpaceSaving`] — Space Saving over a Stream-Summary structure \[27\].
+//! * [`HolisticUdaf`] — run-length pre-aggregation in front of Count-Min
+//!   \[10\].
+//!
+//! Shared infrastructure: pairwise-independent Carter–Wegman hashing
+//! ([`hash`]), the vectorized small-array key scan ([`lookup`]) reused by
+//! the ASketch filter, and a fast internal hash map ([`fast_map`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use sketches::{CountMin, FrequencyEstimator};
+//!
+//! let mut cms = CountMin::with_byte_budget(42, 8, 128 * 1024).unwrap();
+//! for _ in 0..1000 {
+//!     cms.insert(7);
+//! }
+//! assert!(cms.estimate(7) >= 1000); // one-sided guarantee
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+pub mod cell;
+pub mod count_min;
+pub mod count_min_cu;
+pub mod count_sketch;
+pub mod error;
+pub mod fast_map;
+pub mod fcm;
+pub mod hash;
+pub mod heavy_hitters;
+pub mod holistic_udaf;
+pub mod lookup;
+pub mod misra_gries;
+pub mod space_saving;
+pub mod traits;
+
+pub use cell::Cell;
+pub use count_min::{CountMin, CountMin32, CountMinG};
+pub use count_min_cu::{CountMinCu, CountMinCu32, CountMinCuG};
+pub use count_sketch::{CountSketch, CountSketch32, CountSketchG};
+pub use error::SketchError;
+pub use fcm::{Fcm, Fcm32, FcmG};
+pub use heavy_hitters::SketchHeavyHitters;
+pub use holistic_udaf::{HolisticUdaf, HolisticUdaf32, HolisticUdafG};
+pub use misra_gries::MisraGries;
+pub use space_saving::{SpaceSaving, UnmonitoredEstimate};
+pub use traits::{FrequencyEstimator, Mergeable, TopK, Tuple, UpdateEstimate};

@@ -1,0 +1,217 @@
+//! Vectorized linear-scan key lookup.
+//!
+//! The ASketch filter, the Misra–Gries counter used by FCM, and the Holistic
+//! UDAF low-level table all store a *small* array of keys and need a fast
+//! "where is this key?" primitive. The paper implements it as a linear scan
+//! with SSE2 compare + movemask + count-trailing-zeros (Algorithm 3) and
+//! reuses the same code in all three places; we do the same here.
+//!
+//! Keys in this workspace are `u64`, so the x86 path uses the 64-bit-lane
+//! compares (`_mm_cmpeq_epi64` under SSE4.1, `_mm256_cmpeq_epi64` under
+//! AVX2). On other architectures, or when the CPU lacks those features, a
+//! branch-light scalar scan over fixed-size chunks is used; it autovectorizes
+//! well and preserves identical semantics.
+//!
+//! All variants return the index of the **first** occurrence of the key.
+
+/// Find the first index of `key` in `ids`, or `None`.
+///
+/// Dispatches once per call on compile-time/runtime CPU features; for the
+/// filter sizes used by ASketch (8–1024 items) the scan itself dominates.
+#[inline]
+pub fn find_key(ids: &[u64], key: u64) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by runtime AVX2 detection.
+            return unsafe { find_key_avx2(ids, key) };
+        }
+        if std::arch::is_x86_feature_detected!("sse4.1") {
+            // SAFETY: guarded by runtime SSE4.1 detection.
+            return unsafe { find_key_sse41(ids, key) };
+        }
+    }
+    find_key_scalar(ids, key)
+}
+
+/// Portable scan. Chunked so LLVM can unroll/vectorize; exact same result
+/// as the SIMD paths.
+#[inline]
+pub fn find_key_scalar(ids: &[u64], key: u64) -> Option<usize> {
+    const CHUNK: usize = 8;
+    let mut base = 0;
+    let mut chunks = ids.chunks_exact(CHUNK);
+    for chunk in &mut chunks {
+        // Branch-free accumulation of a hit mask for the whole chunk; only
+        // one branch per 8 elements on the (common) miss path.
+        let mut mask: u32 = 0;
+        for (i, &id) in chunk.iter().enumerate() {
+            mask |= ((id == key) as u32) << i;
+        }
+        if mask != 0 {
+            return Some(base + mask.trailing_zeros() as usize);
+        }
+        base += CHUNK;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&id| id == key)
+        .map(|i| base + i)
+}
+
+/// SSE4.1 path: two 64-bit lanes per `__m128i`, four registers per
+/// iteration (8 keys), mirroring the paper's 16-item SSE2 kernel.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.1")]
+unsafe fn find_key_sse41(ids: &[u64], key: u64) -> Option<usize> {
+    use std::arch::x86_64::*;
+    let mut base = 0usize;
+    let mut chunks = ids.chunks_exact(8);
+    for chunk in &mut chunks {
+        // SAFETY: `chunk` is exactly 8 contiguous u64s (64 bytes), so the
+        // four unaligned 16-byte loads stay in bounds; SSE4.1 availability
+        // is guaranteed by the caller's feature check.
+        let m = unsafe {
+            let needle = _mm_set1_epi64x(key as i64);
+            let p = chunk.as_ptr() as *const __m128i;
+            let c0 = _mm_cmpeq_epi64(needle, _mm_loadu_si128(p));
+            let c1 = _mm_cmpeq_epi64(needle, _mm_loadu_si128(p.add(1)));
+            let c2 = _mm_cmpeq_epi64(needle, _mm_loadu_si128(p.add(2)));
+            let c3 = _mm_cmpeq_epi64(needle, _mm_loadu_si128(p.add(3)));
+            // Each 64-bit lane contributes 8 identical byte-mask bits; pack
+            // the four 16-bit movemasks into one u64 hit mask.
+            (_mm_movemask_epi8(c0) as u16 as u64)
+                | ((_mm_movemask_epi8(c1) as u16 as u64) << 16)
+                | ((_mm_movemask_epi8(c2) as u16 as u64) << 32)
+                | ((_mm_movemask_epi8(c3) as u16 as u64) << 48)
+        };
+        if m != 0 {
+            // 8 mask bits per 64-bit lane => lane index = tz / 8.
+            return Some(base + (m.trailing_zeros() as usize) / 8);
+        }
+        base += 8;
+    }
+    find_key_scalar(chunks.remainder(), key).map(|i| base + i)
+}
+
+/// AVX2 path: four 64-bit lanes per `__m256i`, two registers per iteration.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn find_key_avx2(ids: &[u64], key: u64) -> Option<usize> {
+    use std::arch::x86_64::*;
+    let mut base = 0usize;
+    let mut chunks = ids.chunks_exact(8);
+    for chunk in &mut chunks {
+        // SAFETY: `chunk` is exactly 8 contiguous u64s (64 bytes), so both
+        // unaligned 32-byte loads stay in bounds; AVX2 availability is
+        // guaranteed by the caller's feature check.
+        let m = unsafe {
+            let needle = _mm256_set1_epi64x(key as i64);
+            let p = chunk.as_ptr() as *const __m256i;
+            let c0 = _mm256_cmpeq_epi64(needle, _mm256_loadu_si256(p));
+            let c1 = _mm256_cmpeq_epi64(needle, _mm256_loadu_si256(p.add(1)));
+            (_mm256_movemask_epi8(c0) as u32 as u64)
+                | ((_mm256_movemask_epi8(c1) as u32 as u64) << 32)
+        };
+        if m != 0 {
+            return Some(base + (m.trailing_zeros() as usize) / 8);
+        }
+        base += 8;
+    }
+    find_key_scalar(chunks.remainder(), key).map(|i| base + i)
+}
+
+/// Find the index of the minimum value in `counts`, scanning linearly.
+///
+/// Used by the Vector filter (which has no heap) and by the Misra–Gries
+/// counter. Returns `None` on an empty slice. Ties resolve to the first
+/// occurrence.
+#[inline]
+pub fn find_min(counts: &[i64]) -> Option<usize> {
+    if counts.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_v = counts[0];
+    for (i, &v) in counts.iter().enumerate().skip(1) {
+        if v < best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_impls(ids: &[u64], key: u64) -> Vec<Option<usize>> {
+        let mut out = vec![find_key_scalar(ids, key), find_key(ids, key)];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("sse4.1") {
+                out.push(unsafe { find_key_sse41(ids, key) });
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                out.push(unsafe { find_key_avx2(ids, key) });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_slice() {
+        for r in all_impls(&[], 5) {
+            assert_eq!(r, None);
+        }
+    }
+
+    #[test]
+    fn finds_at_every_position() {
+        // Exercise positions spanning chunk boundaries for every impl.
+        for len in [1usize, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 100] {
+            let ids: Vec<u64> = (0..len as u64).map(|i| i + 1000).collect();
+            for pos in 0..len {
+                let key = ids[pos];
+                for r in all_impls(&ids, key) {
+                    assert_eq!(r, Some(pos), "len={len} pos={pos}");
+                }
+            }
+            for r in all_impls(&ids, 1) {
+                assert_eq!(r, None, "len={len} absent key");
+            }
+        }
+    }
+
+    #[test]
+    fn returns_first_occurrence() {
+        let ids = vec![9, 9, 3, 9, 3, 3, 9, 3, 3, 9];
+        for r in all_impls(&ids, 3) {
+            assert_eq!(r, Some(2));
+        }
+        for r in all_impls(&ids, 9) {
+            assert_eq!(r, Some(0));
+        }
+    }
+
+    #[test]
+    fn handles_extreme_keys() {
+        let ids = vec![u64::MAX, 0, u64::MAX - 1, 1];
+        for r in all_impls(&ids, u64::MAX) {
+            assert_eq!(r, Some(0));
+        }
+        for r in all_impls(&ids, 0) {
+            assert_eq!(r, Some(1));
+        }
+    }
+
+    #[test]
+    fn find_min_basics() {
+        assert_eq!(find_min(&[]), None);
+        assert_eq!(find_min(&[5]), Some(0));
+        assert_eq!(find_min(&[5, 3, 7, 3]), Some(1), "ties resolve first");
+        assert_eq!(find_min(&[i64::MAX, i64::MIN, 0]), Some(1));
+    }
+}

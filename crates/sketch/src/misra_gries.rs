@@ -1,0 +1,234 @@
+//! Misra–Gries frequent-items counter (Misra & Gries, 1982).
+//!
+//! Maintains at most `k` `(key, counter)` pairs. An arriving key increments
+//! its counter if monitored, claims a free slot if one exists, and otherwise
+//! decrements *every* counter by one (evicting zeros). Any item with true
+//! frequency above `N/(k+1)` is guaranteed to be monitored.
+//!
+//! In this workspace the MG counter plays the role it plays in
+//! Frequency-Aware Counting \[34\]: a cheap high-frequency detector consulted
+//! on every update to decide how many sketch rows an item should touch. Key
+//! lookups use the same vectorized linear scan as the ASketch filter
+//! (paper §7.1, "for lookup in the MG counter, we use the same
+//! hardware-conscious SIMD-enabled lookup code").
+
+use serde::{Deserialize, Serialize};
+
+use crate::lookup;
+use crate::SketchError;
+
+/// The Misra–Gries summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MisraGries {
+    /// Monitored keys; `EMPTY_KEY` marks free slots so the id array can be
+    /// scanned without an occupancy side-table.
+    ids: Vec<u64>,
+    /// Counter per slot (0 for free slots).
+    counts: Vec<i64>,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+/// Sentinel for unoccupied slots. Real keys equal to this value are handled
+/// by remapping (see `canon`), keeping the public interface total over u64.
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// Remap the one colliding key so `EMPTY_KEY` never appears in `ids`.
+#[inline]
+fn canon(key: u64) -> u64 {
+    if key == EMPTY_KEY {
+        EMPTY_KEY - 1
+    } else {
+        key
+    }
+}
+
+impl MisraGries {
+    /// Create a counter monitoring at most `capacity` items.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidDimensions`] if `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self, SketchError> {
+        if capacity == 0 {
+            return Err(SketchError::InvalidDimensions {
+                what: "MisraGries capacity=0".into(),
+            });
+        }
+        Ok(Self {
+            ids: vec![EMPTY_KEY; capacity],
+            counts: vec![0; capacity],
+            len: 0,
+        })
+    }
+
+    /// Maximum number of monitored items.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of currently monitored items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no items are monitored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes consumed by the counting state.
+    pub fn size_bytes(&self) -> usize {
+        self.ids.len() * std::mem::size_of::<u64>() + self.counts.len() * std::mem::size_of::<i64>()
+    }
+
+    /// Process one occurrence of `key`; returns whether `key` is monitored
+    /// *after* the observation (saving callers a second lookup).
+    pub fn observe(&mut self, key: u64) -> bool {
+        let key = canon(key);
+        if let Some(i) = lookup::find_key(&self.ids, key) {
+            self.counts[i] += 1;
+            return true;
+        }
+        if self.len < self.capacity() {
+            // Claim the first free slot.
+            let i = lookup::find_key(&self.ids, EMPTY_KEY)
+                .expect("len < capacity implies a free slot exists");
+            self.ids[i] = key;
+            self.counts[i] = 1;
+            self.len += 1;
+            return true;
+        }
+        // Decrement-all step; free any slot that reaches zero.
+        for i in 0..self.ids.len() {
+            self.counts[i] -= 1;
+            if self.counts[i] == 0 {
+                self.ids[i] = EMPTY_KEY;
+                self.len -= 1;
+            }
+        }
+        false
+    }
+
+    /// Whether `key` is currently monitored (i.e. classified high-frequency).
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        lookup::find_key(&self.ids, canon(key)).is_some()
+    }
+
+    /// The counter for `key`, if monitored. This is a lower bound on the
+    /// true frequency minus the global decrement debt.
+    #[inline]
+    pub fn count(&self, key: u64) -> Option<i64> {
+        lookup::find_key(&self.ids, canon(key)).map(|i| self.counts[i])
+    }
+
+    /// All monitored `(key, counter)` pairs, heaviest first.
+    pub fn items(&self) -> Vec<(u64, i64)> {
+        let mut v: Vec<(u64, i64)> = self
+            .ids
+            .iter()
+            .zip(&self.counts)
+            .filter(|(&id, _)| id != EMPTY_KEY)
+            .map(|(&id, &c)| (id, c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Remove all monitored items.
+    pub fn clear(&mut self) {
+        self.ids.fill(EMPTY_KEY);
+        self.counts.fill(0);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(MisraGries::new(0).is_err());
+    }
+
+    #[test]
+    fn fills_then_decrements() {
+        let mut mg = MisraGries::new(2).unwrap();
+        mg.observe(1);
+        mg.observe(2);
+        assert_eq!(mg.len(), 2);
+        assert_eq!(mg.count(1), Some(1));
+        // Third distinct key triggers decrement-all, evicting both.
+        mg.observe(3);
+        assert_eq!(mg.len(), 0);
+        assert!(!mg.contains(3));
+    }
+
+    #[test]
+    fn heavy_item_guaranteed_monitored() {
+        // An item with frequency > N/(k+1) must be present at the end.
+        let k = 9;
+        let mut mg = MisraGries::new(k).unwrap();
+        let n = 10_000u64;
+        // Heavy key 0 appears 20% of the time, the rest are near-distinct.
+        for i in 0..n {
+            if i % 5 == 0 {
+                mg.observe(0);
+            } else {
+                mg.observe(1000 + i);
+            }
+        }
+        assert!(mg.contains(0), "heavy hitter must survive");
+    }
+
+    #[test]
+    fn counter_is_underestimate() {
+        let mut mg = MisraGries::new(3).unwrap();
+        for _ in 0..100 {
+            mg.observe(7);
+        }
+        for i in 0..50 {
+            mg.observe(100 + i);
+        }
+        let c = mg.count(7).expect("heavy item monitored");
+        assert!(c <= 100, "MG counters never over-count");
+        assert!(c >= 100 - 50, "decrements bounded by light traffic");
+    }
+
+    #[test]
+    fn items_sorted_heaviest_first() {
+        let mut mg = MisraGries::new(4).unwrap();
+        for _ in 0..5 {
+            mg.observe(10);
+        }
+        for _ in 0..3 {
+            mg.observe(20);
+        }
+        mg.observe(30);
+        let items = mg.items();
+        assert_eq!(items[0].0, 10);
+        assert_eq!(items[1].0, 20);
+        assert_eq!(items[2].0, 30);
+    }
+
+    #[test]
+    fn sentinel_key_is_usable() {
+        let mut mg = MisraGries::new(2).unwrap();
+        mg.observe(u64::MAX);
+        assert!(mg.contains(u64::MAX));
+        assert_eq!(mg.count(u64::MAX), Some(1));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut mg = MisraGries::new(2).unwrap();
+        mg.observe(1);
+        mg.clear();
+        assert!(mg.is_empty());
+        assert!(!mg.contains(1));
+    }
+}

@@ -1,0 +1,584 @@
+//! Space Saving with the Stream-Summary data structure
+//! (Metwally, Agrawal & El Abbadi, ICDT 2005 — reference \[27\]).
+//!
+//! Space Saving monitors exactly `m` items. A monitored arrival increments
+//! the item's counter; an unmonitored arrival when full *replaces* the item
+//! with the minimum counter, inheriting that minimum as over-estimation
+//! `error`. Guarantees: every item with true count above `N/m` is monitored,
+//! and `count - error <= true <= count` for monitored items.
+//!
+//! The Stream-Summary keeps items grouped in *buckets* of equal count;
+//! buckets form a doubly-linked list in ascending count order, so both
+//! "find the minimum" and "increment an item" are O(1) for unit updates.
+//! We implement the links as indices into slabs (no pointer chasing through
+//! separate allocations, no unsafe), with a hash map for key lookup —
+//! exactly the "hash table + stream summary" composition the paper describes
+//! (and measures as its pointer-heavy filter alternative).
+//!
+//! For frequency-estimation queries on *unmonitored* items the literature
+//! offers two conventions, both evaluated in the paper's Figure 11:
+//! return the minimum counter ([`UnmonitoredEstimate::Min`], never
+//! under-estimates) or return 0 ([`UnmonitoredEstimate::Zero`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::fast_map::FxHashMap;
+use crate::traits::{FrequencyEstimator, TopK};
+use crate::SketchError;
+
+const NIL: usize = usize::MAX;
+
+/// Convention for estimating the frequency of an unmonitored item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnmonitoredEstimate {
+    /// Return the minimum counter (suggested in \[27\]; one-sided).
+    Min,
+    /// Return zero (suggested in \[9\]; lower total error on skewed data).
+    Zero,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Item {
+    key: u64,
+    count: i64,
+    /// Maximum possible over-estimation inherited at replacement time.
+    error: i64,
+    bucket: usize,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Bucket {
+    count: i64,
+    /// Head of this bucket's item list.
+    head: usize,
+    prev: usize,
+    next: usize,
+    len: usize,
+}
+
+/// Space Saving summary over a Stream-Summary structure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpaceSaving {
+    items: Vec<Item>,
+    buckets: Vec<Bucket>,
+    /// Free slots in `buckets` available for reuse.
+    free_buckets: Vec<usize>,
+    /// First (minimum-count) bucket, or NIL when empty.
+    min_bucket: usize,
+    /// key -> item slot.
+    index: FxHashMap<u64, usize>,
+    capacity: usize,
+    mode: UnmonitoredEstimate,
+}
+
+impl SpaceSaving {
+    /// Create a summary monitoring at most `capacity` items.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidDimensions`] if `capacity == 0`.
+    pub fn new(capacity: usize, mode: UnmonitoredEstimate) -> Result<Self, SketchError> {
+        if capacity == 0 {
+            return Err(SketchError::InvalidDimensions {
+                what: "SpaceSaving capacity=0".into(),
+            });
+        }
+        Ok(Self {
+            items: Vec::with_capacity(capacity),
+            buckets: Vec::with_capacity(capacity.min(64)),
+            free_buckets: Vec::new(),
+            min_bucket: NIL,
+            index: FxHashMap::default(),
+            capacity,
+            mode,
+        })
+    }
+
+    /// Heap bytes per monitored item for this layout: the item slab entry,
+    /// the bucket share, and the hash-map entry. This is the "up to four
+    /// pointers per item" overhead the paper charges Stream-Summary with.
+    pub const BYTES_PER_ITEM: usize =
+        std::mem::size_of::<Item>() + std::mem::size_of::<Bucket>() / 2 + 24;
+
+    /// Create a summary sized to fit within `budget_bytes`.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::BudgetTooSmall`] when not even one item fits.
+    pub fn with_byte_budget(budget_bytes: usize, mode: UnmonitoredEstimate) -> Result<Self, SketchError> {
+        let capacity = budget_bytes / Self::BYTES_PER_ITEM;
+        if capacity == 0 {
+            return Err(SketchError::BudgetTooSmall {
+                needed: Self::BYTES_PER_ITEM,
+                available: budget_bytes,
+            });
+        }
+        Self::new(capacity, mode)
+    }
+
+    /// Maximum number of monitored items.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently monitored items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the summary monitors no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The minimum counter among monitored items (0 when not yet full, per
+    /// the algorithm's semantics: an unmonitored item would start from the
+    /// evicted minimum, which is 0 while free slots remain).
+    #[inline]
+    pub fn min_count(&self) -> i64 {
+        if self.len() < self.capacity || self.min_bucket == NIL {
+            0
+        } else {
+            self.buckets[self.min_bucket].count
+        }
+    }
+
+    /// Count and error for a monitored key.
+    pub fn get(&self, key: u64) -> Option<(i64, i64)> {
+        self.index.get(&key).map(|&slot| {
+            let it = &self.items[slot];
+            (it.count, it.error)
+        })
+    }
+
+    /// Guaranteed (error-free) portion of a monitored key's count.
+    pub fn guaranteed_count(&self, key: u64) -> Option<i64> {
+        self.get(key).map(|(c, e)| c - e)
+    }
+
+    fn alloc_bucket(&mut self, count: i64) -> usize {
+        let b = Bucket {
+            count,
+            head: NIL,
+            prev: NIL,
+            next: NIL,
+            len: 0,
+        };
+        if let Some(idx) = self.free_buckets.pop() {
+            self.buckets[idx] = b;
+            idx
+        } else {
+            self.buckets.push(b);
+            self.buckets.len() - 1
+        }
+    }
+
+    /// Insert bucket `nb` immediately after `after` (NIL = at the front).
+    fn link_bucket_after(&mut self, nb: usize, after: usize) {
+        if after == NIL {
+            let old_head = self.min_bucket;
+            self.buckets[nb].next = old_head;
+            self.buckets[nb].prev = NIL;
+            if old_head != NIL {
+                self.buckets[old_head].prev = nb;
+            }
+            self.min_bucket = nb;
+        } else {
+            let next = self.buckets[after].next;
+            self.buckets[nb].prev = after;
+            self.buckets[nb].next = next;
+            self.buckets[after].next = nb;
+            if next != NIL {
+                self.buckets[next].prev = nb;
+            }
+        }
+    }
+
+    fn unlink_bucket(&mut self, b: usize) {
+        let (prev, next) = (self.buckets[b].prev, self.buckets[b].next);
+        if prev != NIL {
+            self.buckets[prev].next = next;
+        } else {
+            self.min_bucket = next;
+        }
+        if next != NIL {
+            self.buckets[next].prev = prev;
+        }
+        self.free_buckets.push(b);
+    }
+
+    fn attach_item(&mut self, slot: usize, bucket: usize) {
+        let head = self.buckets[bucket].head;
+        self.items[slot].bucket = bucket;
+        self.items[slot].prev = NIL;
+        self.items[slot].next = head;
+        if head != NIL {
+            self.items[head].prev = slot;
+        }
+        self.buckets[bucket].head = slot;
+        self.buckets[bucket].len += 1;
+    }
+
+    /// Detach `slot` from its bucket; removes the bucket if it empties.
+    fn detach_item(&mut self, slot: usize) {
+        let b = self.items[slot].bucket;
+        let (prev, next) = (self.items[slot].prev, self.items[slot].next);
+        if prev != NIL {
+            self.items[prev].next = next;
+        } else {
+            self.buckets[b].head = next;
+        }
+        if next != NIL {
+            self.items[next].prev = prev;
+        }
+        self.buckets[b].len -= 1;
+        if self.buckets[b].len == 0 {
+            self.unlink_bucket(b);
+        }
+    }
+
+    /// Move `slot` to the bucket for `new_count`, walking forward from its
+    /// current bucket. O(1) for unit increments; O(buckets walked) for
+    /// larger deltas.
+    fn move_item_to_count(&mut self, slot: usize, new_count: i64) {
+        let cur = self.items[slot].bucket;
+        debug_assert!(new_count > self.buckets[cur].count);
+        // Find insertion point: the last bucket (starting at cur) with
+        // count < new_count. The current bucket may disappear on detach, so
+        // record the scan path first.
+        let mut after = cur;
+        let mut next = self.buckets[cur].next;
+        while next != NIL && self.buckets[next].count < new_count {
+            after = next;
+            next = self.buckets[next].next;
+        }
+        let target = if next != NIL && self.buckets[next].count == new_count {
+            Some(next)
+        } else {
+            None
+        };
+        // `after` may equal `cur`; if cur empties on detach it is unlinked,
+        // in which case the new bucket links after cur's predecessor.
+        let after_prev = self.buckets[after].prev;
+        let cur_will_vanish = self.buckets[cur].len == 1;
+        self.detach_item(slot);
+        self.items[slot].count = new_count;
+        match target {
+            Some(b) => self.attach_item(slot, b),
+            None => {
+                let anchor = if cur_will_vanish && after == cur { after_prev } else { after };
+                let nb = self.alloc_bucket(new_count);
+                self.link_bucket_after(nb, anchor);
+                self.attach_item(slot, nb);
+            }
+        }
+    }
+
+    /// Process `delta` (> 0) arrivals of `key`.
+    pub fn observe(&mut self, key: u64, delta: i64) {
+        assert!(delta > 0, "SpaceSaving supports positive updates only");
+        if let Some(&slot) = self.index.get(&key) {
+            let new_count = self.items[slot].count + delta;
+            self.move_item_to_count(slot, new_count);
+            return;
+        }
+        if self.len() < self.capacity {
+            // Fresh item with error 0.
+            let slot = self.items.len();
+            self.items.push(Item {
+                key,
+                count: delta,
+                error: 0,
+                bucket: NIL,
+                prev: NIL,
+                next: NIL,
+            });
+            // Find/create the bucket for `delta`, scanning from the front.
+            let mut after = NIL;
+            let mut cur = self.min_bucket;
+            while cur != NIL && self.buckets[cur].count < delta {
+                after = cur;
+                cur = self.buckets[cur].next;
+            }
+            if cur != NIL && self.buckets[cur].count == delta {
+                self.attach_item(slot, cur);
+            } else {
+                let nb = self.alloc_bucket(delta);
+                self.link_bucket_after(nb, after);
+                self.attach_item(slot, nb);
+            }
+            self.index.insert(key, slot);
+            return;
+        }
+        // Full: replace the minimum item.
+        let mb = self.min_bucket;
+        debug_assert_ne!(mb, NIL);
+        let slot = self.buckets[mb].head;
+        let min = self.buckets[mb].count;
+        let old_key = self.items[slot].key;
+        self.index.remove(&old_key);
+        self.items[slot].key = key;
+        self.items[slot].error = min;
+        self.index.insert(key, slot);
+        self.move_item_to_count(slot, min + delta);
+    }
+
+    /// Verify internal invariants; used by tests and debug assertions.
+    /// Returns a description of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen_items = 0usize;
+        let mut prev_count = i64::MIN;
+        let mut b = self.min_bucket;
+        let mut prev_b = NIL;
+        while b != NIL {
+            let bucket = &self.buckets[b];
+            if bucket.count <= prev_count {
+                return Err(format!("bucket counts not strictly ascending at {b}"));
+            }
+            if bucket.prev != prev_b {
+                return Err(format!("bucket {b} has wrong prev link"));
+            }
+            if bucket.len == 0 {
+                return Err(format!("empty bucket {b} still linked"));
+            }
+            let mut slot = bucket.head;
+            let mut prev_slot = NIL;
+            let mut n = 0usize;
+            while slot != NIL {
+                let it = &self.items[slot];
+                if it.bucket != b {
+                    return Err(format!("item {slot} bucket backlink wrong"));
+                }
+                if it.count != bucket.count {
+                    return Err(format!("item {slot} count {} != bucket {}", it.count, bucket.count));
+                }
+                if it.prev != prev_slot {
+                    return Err(format!("item {slot} prev link wrong"));
+                }
+                if it.error > it.count {
+                    return Err(format!("item {slot} error exceeds count"));
+                }
+                if self.index.get(&it.key) != Some(&slot) {
+                    return Err(format!("index missing or wrong for key {}", it.key));
+                }
+                prev_slot = slot;
+                slot = it.next;
+                n += 1;
+            }
+            if n != bucket.len {
+                return Err(format!("bucket {b} len {} != walked {n}", bucket.len));
+            }
+            seen_items += n;
+            prev_count = bucket.count;
+            prev_b = b;
+            b = bucket.next;
+        }
+        if seen_items != self.index.len() {
+            return Err(format!(
+                "walked {seen_items} items but index holds {}",
+                self.index.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl FrequencyEstimator for SpaceSaving {
+    fn update(&mut self, key: u64, delta: i64) {
+        self.observe(key, delta);
+    }
+
+    fn estimate(&self, key: u64) -> i64 {
+        match self.get(key) {
+            Some((count, _)) => count,
+            None => match self.mode {
+                UnmonitoredEstimate::Min => self.min_count(),
+                UnmonitoredEstimate::Zero => 0,
+            },
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.capacity * Self::BYTES_PER_ITEM
+    }
+}
+
+impl TopK for SpaceSaving {
+    fn top_k(&self, k: usize) -> Vec<(u64, i64)> {
+        // Walk buckets from the tail (max). We do not store a tail pointer,
+        // so walk to the end first; top-k is a query-time operation and k is
+        // small in all workloads.
+        let mut last = NIL;
+        let mut b = self.min_bucket;
+        while b != NIL {
+            last = b;
+            b = self.buckets[b].next;
+        }
+        let mut out = Vec::with_capacity(k);
+        let mut b = last;
+        while b != NIL && out.len() < k {
+            let mut slot = self.buckets[b].head;
+            while slot != NIL && out.len() < k {
+                let it = &self.items[slot];
+                out.push((it.key, it.count));
+                slot = it.next;
+            }
+            b = self.buckets[b].prev;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ss(capacity: usize) -> SpaceSaving {
+        SpaceSaving::new(capacity, UnmonitoredEstimate::Min).unwrap()
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(SpaceSaving::new(0, UnmonitoredEstimate::Min).is_err());
+    }
+
+    #[test]
+    fn counts_exact_below_capacity() {
+        let mut s = ss(10);
+        for i in 0..5u64 {
+            for _ in 0..=i {
+                s.observe(i, 1);
+            }
+        }
+        s.check_invariants().unwrap();
+        for i in 0..5u64 {
+            assert_eq!(s.get(i), Some(((i + 1) as i64, 0)));
+        }
+        assert_eq!(s.min_count(), 0, "not yet full");
+    }
+
+    #[test]
+    fn eviction_inherits_min_as_error() {
+        let mut s = ss(2);
+        s.observe(1, 1);
+        s.observe(1, 1); // count 2
+        s.observe(2, 1); // count 1 (min)
+        s.observe(3, 1); // evicts key 2: count = 2, error = 1
+        s.check_invariants().unwrap();
+        assert_eq!(s.get(2), None);
+        assert_eq!(s.get(3), Some((2, 1)));
+        assert_eq!(s.guaranteed_count(3), Some(1));
+    }
+
+    #[test]
+    fn one_sided_overestimate() {
+        let mut s = ss(8);
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 5u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            // Zipf-ish: key 0 heavy, tail light.
+            let key = if x.is_multiple_of(3) { 0 } else { x % 500 };
+            s.observe(key, 1);
+            *truth.entry(key).or_insert(0i64) += 1;
+        }
+        s.check_invariants().unwrap();
+        for (key, count, error) in s
+            .top_k(8)
+            .iter()
+            .map(|&(k, c)| (k, c, s.get(k).unwrap().1))
+        {
+            let t = truth.get(&key).copied().unwrap_or(0);
+            assert!(count >= t, "count {count} under-estimates true {t} for {key}");
+            assert!(count - error <= t, "guaranteed part must not exceed truth");
+        }
+        // The unambiguous heavy hitter must be monitored and ranked first.
+        assert_eq!(s.top_k(1)[0].0, 0);
+    }
+
+    #[test]
+    fn heavy_hitter_guarantee() {
+        // Any item with frequency > N/m is monitored at the end.
+        let m = 10;
+        let mut s = ss(m);
+        let n = 5_000u64;
+        for i in 0..n {
+            if i % 4 == 0 {
+                s.observe(42, 1); // 25% > 1/10
+            } else {
+                s.observe(i, 1);
+            }
+        }
+        assert!(s.get(42).is_some());
+    }
+
+    #[test]
+    fn unmonitored_modes() {
+        let mut min_mode = SpaceSaving::new(2, UnmonitoredEstimate::Min).unwrap();
+        let mut zero_mode = SpaceSaving::new(2, UnmonitoredEstimate::Zero).unwrap();
+        for s in [&mut min_mode, &mut zero_mode] {
+            s.observe(1, 1);
+            s.observe(1, 1);
+            s.observe(2, 1);
+        }
+        assert_eq!(min_mode.estimate(99), 1, "min of the full summary");
+        assert_eq!(zero_mode.estimate(99), 0);
+    }
+
+    #[test]
+    fn large_delta_updates() {
+        let mut s = ss(4);
+        s.observe(1, 100);
+        s.observe(2, 50);
+        s.observe(1, 7);
+        s.check_invariants().unwrap();
+        assert_eq!(s.get(1), Some((107, 0)));
+        assert_eq!(s.top_k(2), vec![(1, 107), (2, 50)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive updates only")]
+    fn negative_update_panics() {
+        ss(2).observe(1, -1);
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let mut s = ss(16);
+        for (key, n) in [(1u64, 5), (2, 9), (3, 1), (4, 7)] {
+            for _ in 0..n {
+                s.observe(key, 1);
+            }
+        }
+        let top = s.top_k(3);
+        assert_eq!(top[0], (2, 9));
+        assert_eq!(top[1], (4, 7));
+        assert_eq!(top[2], (1, 5));
+    }
+
+    #[test]
+    fn invariants_under_churn() {
+        let mut s = ss(7);
+        let mut x = 1u64;
+        for step in 0..5_000u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s.observe(x % 50, 1 + (x % 3) as i64);
+            if step.is_multiple_of(257) {
+                s.check_invariants().unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+        }
+        s.check_invariants().unwrap();
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn byte_budget_capacity() {
+        let s = SpaceSaving::with_byte_budget(4096, UnmonitoredEstimate::Min).unwrap();
+        assert!(s.capacity() >= 1);
+        assert!(s.size_bytes() <= 4096 + SpaceSaving::BYTES_PER_ITEM);
+        assert!(SpaceSaving::with_byte_budget(1, UnmonitoredEstimate::Min).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Core traits shared by all stream summaries in this workspace.
+
+/// A single stream tuple `(k, u)`: a key and a (usually positive) count.
+///
+/// The paper's streams carry `u = 1` almost everywhere; negative deltas model
+/// item deletion (Appendix A) and are supported by every estimator here.
+pub type Tuple = (u64, i64);
+
+/// A summary that can ingest stream tuples and answer point frequency
+/// queries.
+///
+/// Implementations must provide the *one-sided* guarantee where the paper
+/// requires it (Count-Min, FCM, ASketch over either): for strict streams
+/// (no negative totals), `estimate(k) >= true_count(k)`.
+pub trait FrequencyEstimator {
+    /// Ingest one tuple, adding `delta` to `key`'s count.
+    fn update(&mut self, key: u64, delta: i64);
+
+    /// Estimated frequency of `key`.
+    fn estimate(&self, key: u64) -> i64;
+
+    /// Total heap space consumed by the summary's counting state, in bytes.
+    ///
+    /// Used by the evaluation harness to hold the "same total space"
+    /// invariant across methods.
+    fn size_bytes(&self) -> usize;
+
+    /// Convenience: ingest `key` with a count of one.
+    #[inline]
+    fn insert(&mut self, key: u64) {
+        self.update(key, 1);
+    }
+
+    /// Ingest a whole slice of tuples.
+    #[inline]
+    fn extend_from_tuples(&mut self, tuples: &[Tuple]) {
+        for &(k, u) in tuples {
+            self.update(k, u);
+        }
+    }
+}
+
+/// A summary that additionally supports an *update-then-estimate* fast path.
+///
+/// ASketch's exchange check (Algorithm 1, line 9) needs the estimate of the
+/// tuple just inserted; sketches whose update already touches every relevant
+/// cell can return it without a second pass over the hash functions.
+pub trait UpdateEstimate: FrequencyEstimator {
+    /// Add `delta` to `key` and return the post-update estimate.
+    fn update_and_estimate(&mut self, key: u64, delta: i64) -> i64 {
+        self.update(key, delta);
+        self.estimate(key)
+    }
+}
+
+/// A summary that can report its (approximate) top-k heaviest items.
+pub trait TopK {
+    /// Return up to `k` `(key, estimated_count)` pairs, heaviest first.
+    fn top_k(&self, k: usize) -> Vec<(u64, i64)>;
+}
+
+/// Summaries over the *same parameters* (seeds, dimensions) that can be
+/// merged, enabling SPMD-style parallel counting with a commutative combine.
+pub trait Mergeable: Sized {
+    /// Fold `other` into `self`.
+    ///
+    /// # Errors
+    /// Returns `Err` if the two summaries were built with incompatible
+    /// parameters (different dimensions or hash seeds).
+    fn merge(&mut self, other: &Self) -> Result<(), crate::SketchError>;
+}

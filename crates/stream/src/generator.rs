@@ -1,0 +1,171 @@
+//! Stream generation: seeded Zipf key streams over scrambled key spaces.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::permute::KeyPermutation;
+use crate::zipf::Zipf;
+
+/// Declarative description of a synthetic stream, mirroring the paper's
+/// experiment parameters ("stream size 32M, 8M distinct items, Zipf z").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Total number of tuples (`N` for unit counts).
+    pub len: usize,
+    /// Number of distinct keys (`M`).
+    pub distinct: u64,
+    /// Zipf exponent (`z`); 0 = uniform.
+    pub skew: f64,
+    /// Seed for both the sampler and the key permutation.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// The paper's default synthetic workload shape (32M tuples over 8M
+    /// distinct keys), scaled by `scale` (e.g. `1.0/16.0` for quick runs).
+    pub fn paper_synthetic(skew: f64, scale: f64, seed: u64) -> Self {
+        let len = ((32_000_000.0 * scale) as usize).max(1);
+        let distinct = ((8_000_000.0 * scale) as u64).max(1);
+        Self { len, distinct, skew, seed }
+    }
+
+    /// Build the generator for this spec.
+    pub fn generator(&self) -> StreamGenerator {
+        StreamGenerator::new(self.seed, self.distinct, self.skew)
+    }
+
+    /// Materialize the full key stream.
+    pub fn materialize(&self) -> Vec<u64> {
+        self.generator().take_keys(self.len)
+    }
+}
+
+/// An infinite stream of keys drawn i.i.d. from a Zipf distribution over a
+/// scrambled key domain.
+#[derive(Debug, Clone)]
+pub struct StreamGenerator {
+    zipf: Zipf,
+    perm: KeyPermutation,
+    rng: StdRng,
+}
+
+impl StreamGenerator {
+    /// Create a generator over `distinct` keys with exponent `skew`.
+    pub fn new(seed: u64, distinct: u64, skew: f64) -> Self {
+        Self {
+            zipf: Zipf::new(distinct, skew),
+            perm: KeyPermutation::new(seed ^ 0xA5A5_5A5A_F00D_CAFE, distinct),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Replace the sampling RNG while keeping the rank→key permutation.
+    ///
+    /// Query workloads use this to draw *fresh* samples from the same item
+    /// distribution without replaying the data stream.
+    pub fn reseed_sampler(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Draw the next key.
+    #[inline]
+    pub fn next_key(&mut self) -> u64 {
+        let rank = self.zipf.sample(&mut self.rng);
+        self.perm.permute(rank - 1)
+    }
+
+    /// The key corresponding to frequency rank `rank` (1 = heaviest).
+    /// Lets tests and experiments identify the true heavy hitters without
+    /// counting the stream.
+    #[inline]
+    pub fn key_of_rank(&self, rank: u64) -> u64 {
+        self.perm.permute(rank - 1)
+    }
+
+    /// Theoretical probability mass of the top `k` ranks; the complement of
+    /// the paper's filter selectivity for a perfect size-`k` filter.
+    #[inline]
+    pub fn top_mass(&self, k: u64) -> f64 {
+        self.zipf.top_mass(k)
+    }
+
+    /// Materialize `n` keys.
+    pub fn take_keys(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_key()).collect()
+    }
+
+    /// Materialize `n` unit-count tuples.
+    pub fn take_tuples(&mut self, n: usize) -> Vec<(u64, i64)> {
+        (0..n).map(|_| (self.next_key(), 1)).collect()
+    }
+}
+
+impl Iterator for StreamGenerator {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let spec = StreamSpec { len: 1000, distinct: 100, skew: 1.2, seed: 3 };
+        assert_eq!(spec.materialize(), spec.materialize());
+        let other = StreamSpec { seed: 4, ..spec };
+        assert_ne!(spec.materialize(), other.materialize());
+    }
+
+    #[test]
+    fn keys_within_domain() {
+        let mut g = StreamGenerator::new(1, 500, 1.0);
+        for _ in 0..5_000 {
+            assert!(g.next_key() < 500);
+        }
+    }
+
+    #[test]
+    fn rank_one_is_the_mode() {
+        let mut g = StreamGenerator::new(9, 10_000, 1.5);
+        let heavy = g.key_of_rank(1);
+        let keys = g.take_keys(20_000);
+        let heavy_count = keys.iter().filter(|&&k| k == heavy).count();
+        let mut counts = std::collections::HashMap::new();
+        for k in &keys {
+            *counts.entry(*k).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert_eq!(heavy_count, max, "rank-1 key must be the most frequent");
+    }
+
+    #[test]
+    fn paper_synthetic_scales() {
+        let full = StreamSpec::paper_synthetic(1.5, 1.0, 0);
+        assert_eq!(full.len, 32_000_000);
+        assert_eq!(full.distinct, 8_000_000);
+        let small = StreamSpec::paper_synthetic(1.5, 1.0 / 16.0, 0);
+        assert_eq!(small.len, 2_000_000);
+        assert_eq!(small.distinct, 500_000);
+    }
+
+    #[test]
+    fn tuples_carry_unit_counts() {
+        let mut g = StreamGenerator::new(2, 10, 0.5);
+        for (_, u) in g.take_tuples(100) {
+            assert_eq!(u, 1);
+        }
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let g = StreamGenerator::new(5, 50, 1.0);
+        let v: Vec<u64> = g.take(10).collect();
+        assert_eq!(v.len(), 10);
+    }
+}

@@ -1,0 +1,122 @@
+//! Exact frequency counting for evaluation.
+//!
+//! Every accuracy metric in the paper (observed error, average relative
+//! error, misclassification, precision-at-k) compares sketch estimates
+//! against true frequencies; this module provides those truths.
+
+use serde::{Deserialize, Serialize};
+use sketches::fast_map::FxHashMap;
+
+/// An exact `key -> count` table built in one pass over the stream.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExactCounter {
+    counts: FxHashMap<u64, i64>,
+    total: i64,
+}
+
+impl ExactCounter {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count every key in `keys` with unit weight.
+    pub fn from_keys(keys: &[u64]) -> Self {
+        let mut c = Self::new();
+        for &k in keys {
+            c.add(k, 1);
+        }
+        c
+    }
+
+    /// Add `delta` to `key`.
+    #[inline]
+    pub fn add(&mut self, key: u64, delta: i64) {
+        *self.counts.entry(key).or_insert(0) += delta;
+        self.total += delta;
+    }
+
+    /// True count of `key` (0 if unseen).
+    #[inline]
+    pub fn count(&self, key: u64) -> i64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Aggregate count over all keys (`N` in the paper).
+    #[inline]
+    pub fn total(&self) -> i64 {
+        self.total
+    }
+
+    /// Number of distinct keys observed.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The true top-`k` keys by count, heaviest first (ties broken by key
+    /// for determinism).
+    pub fn top_k(&self, k: usize) -> Vec<(u64, i64)> {
+        let mut v: Vec<(u64, i64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// The true count of the `k`-th heaviest key (the heavy-hitter
+    /// threshold used by misclassification analysis). Returns 0 when fewer
+    /// than `k` keys exist.
+    pub fn kth_count(&self, k: usize) -> i64 {
+        self.top_k(k).last().map_or(0, |&(_, c)| c)
+    }
+
+    /// Iterate over `(key, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_total() {
+        let c = ExactCounter::from_keys(&[1, 2, 2, 3, 3, 3]);
+        assert_eq!(c.count(1), 1);
+        assert_eq!(c.count(2), 2);
+        assert_eq!(c.count(3), 3);
+        assert_eq!(c.count(99), 0);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.distinct(), 3);
+    }
+
+    #[test]
+    fn top_k_ordering_and_threshold() {
+        let c = ExactCounter::from_keys(&[5, 5, 5, 7, 7, 9]);
+        assert_eq!(c.top_k(2), vec![(5, 3), (7, 2)]);
+        assert_eq!(c.kth_count(2), 2);
+        assert_eq!(c.kth_count(10), 1, "fewer keys than k: lightest count");
+    }
+
+    #[test]
+    fn kth_count_empty() {
+        let c = ExactCounter::new();
+        assert_eq!(c.kth_count(3), 0);
+    }
+
+    #[test]
+    fn negative_deltas() {
+        let mut c = ExactCounter::new();
+        c.add(1, 5);
+        c.add(1, -2);
+        assert_eq!(c.count(1), 3);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn tie_break_deterministic() {
+        let c = ExactCounter::from_keys(&[4, 2, 8, 6]);
+        assert_eq!(c.top_k(4), vec![(2, 1), (4, 1), (6, 1), (8, 1)]);
+    }
+}

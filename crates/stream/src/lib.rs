@@ -1,0 +1,41 @@
+//! # streamgen — workload substrate for the ASketch reproduction
+//!
+//! Seeded, reproducible stream workloads:
+//!
+//! * [`zipf::Zipf`] — O(1) rejection-inversion Zipf sampling plus the
+//!   closed-form harmonic sums the paper's analysis (§4) relies on.
+//! * [`permute::KeyPermutation`] — exact Feistel bijections that scramble
+//!   rank order into realistic key values.
+//! * [`generator::StreamGenerator`] / [`generator::StreamSpec`] — the
+//!   synthetic streams of §7.1 ("stream size 32M, 8M distinct, Zipf z").
+//! * [`traces`] — surrogates for the IP-trace and Kosarak datasets.
+//! * [`ground_truth::ExactCounter`] — exact counts for accuracy metrics.
+//! * [`query`] — frequency-proportional and uniform query workloads.
+//!
+//! ## Example
+//!
+//! ```
+//! use streamgen::generator::StreamSpec;
+//! use streamgen::ground_truth::ExactCounter;
+//!
+//! let spec = StreamSpec { len: 10_000, distinct: 1_000, skew: 1.5, seed: 42 };
+//! let keys = spec.materialize();
+//! let truth = ExactCounter::from_keys(&keys);
+//! assert_eq!(truth.total(), 10_000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generator;
+pub mod ground_truth;
+pub mod loader;
+pub mod permute;
+pub mod query;
+pub mod traces;
+pub mod zipf;
+
+pub use generator::{StreamGenerator, StreamSpec};
+pub use ground_truth::ExactCounter;
+pub use permute::KeyPermutation;
+pub use zipf::Zipf;

@@ -1,0 +1,195 @@
+//! Loading real trace files.
+//!
+//! The paper's real datasets (the LAN packet trace and the Kosarak click
+//! stream) are replaced by synthetic surrogates in this reproduction
+//! (DESIGN.md §3). Users who *do* have the original files — Kosarak is
+//! public at `http://fimi.ua.ac.be/data/` — can feed them through this
+//! loader and run every experiment on the real distribution.
+//!
+//! Two formats are supported, covering both datasets:
+//!
+//! * **item streams** — one or more unsigned integer keys per line,
+//!   whitespace-separated (the FIMI format: each Kosarak line is one
+//!   click session; every item on the line is one stream tuple);
+//! * **edge streams** — two integers per line (`src dst`), combined into
+//!   a single 64-bit edge key as the paper does for IP pairs.
+
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors raised while parsing a trace file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A token failed to parse as an unsigned integer.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// An edge line did not contain exactly two fields.
+    BadEdge {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "trace I/O error: {e}"),
+            LoadError::Parse { line, token } => {
+                write!(f, "line {line}: cannot parse {token:?} as an unsigned integer")
+            }
+            LoadError::BadEdge { line } => {
+                write!(f, "line {line}: expected exactly two fields for an edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parse an item stream from a reader: every whitespace-separated integer
+/// is one stream tuple. Empty lines and `#`-prefixed comment lines are
+/// skipped.
+///
+/// # Errors
+/// Returns [`LoadError`] on I/O failures or malformed tokens.
+pub fn read_item_stream<R: BufRead>(reader: R) -> Result<Vec<u64>, LoadError> {
+    let mut keys = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        for token in trimmed.split_ascii_whitespace() {
+            let key = token.parse::<u64>().map_err(|_| LoadError::Parse {
+                line: i + 1,
+                token: token.to_string(),
+            })?;
+            keys.push(key);
+        }
+    }
+    Ok(keys)
+}
+
+/// Parse an edge stream from a reader: each non-empty line carries
+/// `src dst`; the tuple key is `src << 32 | (dst & 0xffff_ffff)`, the
+/// pairing the paper uses for IP-address edges.
+///
+/// # Errors
+/// Returns [`LoadError`] on I/O failures, malformed tokens, or lines
+/// without exactly two fields.
+pub fn read_edge_stream<R: BufRead>(reader: R) -> Result<Vec<u64>, LoadError> {
+    let mut keys = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_ascii_whitespace();
+        let (a, b) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            _ => return Err(LoadError::BadEdge { line: i + 1 }),
+        };
+        let src = a.parse::<u64>().map_err(|_| LoadError::Parse {
+            line: i + 1,
+            token: a.to_string(),
+        })?;
+        let dst = b.parse::<u64>().map_err(|_| LoadError::Parse {
+            line: i + 1,
+            token: b.to_string(),
+        })?;
+        keys.push((src << 32) | (dst & 0xffff_ffff));
+    }
+    Ok(keys)
+}
+
+/// Load an item stream from a file (see [`read_item_stream`]).
+///
+/// # Errors
+/// Returns [`LoadError`] on I/O or parse failures.
+pub fn load_item_stream(path: impl AsRef<Path>) -> Result<Vec<u64>, LoadError> {
+    let file = std::fs::File::open(path)?;
+    read_item_stream(std::io::BufReader::new(file))
+}
+
+/// Load an edge stream from a file (see [`read_edge_stream`]).
+///
+/// # Errors
+/// Returns [`LoadError`] on I/O or parse failures.
+pub fn load_edge_stream(path: impl AsRef<Path>) -> Result<Vec<u64>, LoadError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_stream(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_parse_fimi_format() {
+        let data = "1 2 3\n\n# comment\n2 2\n7\n";
+        let keys = read_item_stream(data.as_bytes()).unwrap();
+        assert_eq!(keys, vec![1, 2, 3, 2, 2, 7]);
+    }
+
+    #[test]
+    fn items_reject_garbage() {
+        let err = read_item_stream("1 x 3\n".as_bytes()).unwrap_err();
+        match err {
+            LoadError::Parse { line, token } => {
+                assert_eq!(line, 1);
+                assert_eq!(token, "x");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn edges_pack_src_dst() {
+        let keys = read_edge_stream("1 2\n3 4\n".as_bytes()).unwrap();
+        assert_eq!(keys, vec![(1 << 32) | 2, (3 << 32) | 4]);
+    }
+
+    #[test]
+    fn edges_reject_wrong_arity() {
+        assert!(matches!(
+            read_edge_stream("1 2 3\n".as_bytes()).unwrap_err(),
+            LoadError::BadEdge { line: 1 }
+        ));
+        assert!(matches!(
+            read_edge_stream("1\n".as_bytes()).unwrap_err(),
+            LoadError::BadEdge { line: 1 }
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("asketch_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("items.txt");
+        std::fs::write(&path, "5 6\n7\n").unwrap();
+        assert_eq!(load_item_stream(&path).unwrap(), vec![5, 6, 7]);
+        assert!(load_item_stream(dir.join("missing.txt")).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LoadError::Parse { line: 3, token: "abc".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = LoadError::BadEdge { line: 9 };
+        assert!(e.to_string().contains("two fields"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Exact pseudorandom permutations of `[0, m)`.
+//!
+//! Zipf sampling produces *ranks* (1 = most frequent). Feeding ranks
+//! directly into sketches would correlate key values with frequency and
+//! hand linear hash families an artificially easy (or pathological) input.
+//! Real keys (IP pairs, URLs, click ids) are unordered, so we map rank
+//! `r → key` through a seeded random bijection of `[0, m)`.
+//!
+//! The bijection is a 4-round Feistel network on `ceil(log2 m)` bits with
+//! *cycle-walking*: a Feistel output outside `[0, m)` is fed back through
+//! the network until it lands inside, which preserves bijectivity exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// A seeded bijection of `[0, m)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeyPermutation {
+    m: u64,
+    /// Bits in each Feistel half.
+    half_bits: u32,
+    round_keys: [u64; 4],
+}
+
+/// SplitMix64-style mixing used as the Feistel round function.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl KeyPermutation {
+    /// Create a permutation of `[0, m)` derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics when `m == 0`.
+    pub fn new(seed: u64, m: u64) -> Self {
+        assert!(m > 0, "permutation domain must be non-empty");
+        // Round the bit width up to an even count so the Feistel halves are
+        // balanced; cycle-walking absorbs the overshoot.
+        let bits = (64 - (m - 1).leading_zeros()).max(2);
+        let half_bits = bits.div_ceil(2);
+        let mut s = seed;
+        let round_keys = std::array::from_fn(|_| {
+            s = mix(s);
+            s
+        });
+        Self { m, half_bits, round_keys }
+    }
+
+    /// Domain size.
+    #[inline]
+    pub fn domain(&self) -> u64 {
+        self.m
+    }
+
+    #[inline]
+    fn feistel(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut l = (x >> self.half_bits) & mask;
+        let mut r = x & mask;
+        for &k in &self.round_keys {
+            let f = mix(r ^ k) & mask;
+            (l, r) = (r, l ^ f);
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// Map `x` (must be `< m`) to its image under the permutation.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `x >= m`.
+    #[inline]
+    pub fn permute(&self, x: u64) -> u64 {
+        debug_assert!(x < self.m, "input {x} outside domain {}", self.m);
+        let mut y = self.feistel(x);
+        // Cycle-walk: the Feistel domain is the next power of four, at most
+        // 4m, so the expected number of extra steps is < 3.
+        while y >= self.m {
+            y = self.feistel(y);
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn zero_domain_panics() {
+        let _ = KeyPermutation::new(1, 0);
+    }
+
+    #[test]
+    fn is_a_bijection() {
+        for m in [1u64, 2, 3, 7, 64, 1000, 4097] {
+            let perm = KeyPermutation::new(42, m);
+            let mut seen = vec![false; m as usize];
+            for x in 0..m {
+                let y = perm.permute(x);
+                assert!(y < m, "m={m}: image {y} outside domain");
+                assert!(!seen[y as usize], "m={m}: duplicate image {y}");
+                seen[y as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = KeyPermutation::new(5, 1000);
+        let b = KeyPermutation::new(5, 1000);
+        let c = KeyPermutation::new(6, 1000);
+        let mut differs = false;
+        for x in 0..1000 {
+            assert_eq!(a.permute(x), b.permute(x));
+            differs |= a.permute(x) != c.permute(x);
+        }
+        assert!(differs, "different seeds should give different permutations");
+    }
+
+    #[test]
+    fn scrambles_order() {
+        // The permutation should not preserve rank order: count how many of
+        // the first 100 inputs map into the first 100 outputs.
+        let m = 1_000_000u64;
+        let perm = KeyPermutation::new(123, m);
+        let low_to_low = (0..100).filter(|&x| perm.permute(x) < 100).count();
+        assert!(low_to_low <= 2, "permutation too orderly: {low_to_low}");
+    }
+
+    #[test]
+    fn large_domain_spot_check() {
+        let m = 1u64 << 40;
+        let perm = KeyPermutation::new(77, m);
+        let mut seen = std::collections::HashSet::new();
+        for x in (0..1_000_000u64).step_by(997) {
+            let y = perm.permute(x);
+            assert!(y < m);
+            assert!(seen.insert(y), "collision in large-domain spot check");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Query-workload generation.
+//!
+//! The paper evaluates frequency-estimation queries "obtained by sampling
+//! the data items based on their frequencies, that is, the high-frequency
+//! items are queried more than the low-frequency items" (§7.1). Drawing
+//! fresh keys from the stream's own distribution realizes exactly that.
+//! A uniform-over-distinct-keys workload is also provided for the
+//! low-frequency-accuracy analyses (Appendix B.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::StreamGenerator;
+use crate::permute::KeyPermutation;
+
+/// Draw `n` query keys proportionally to their stream frequency: fresh
+/// draws from the same seeded distribution family (a distinct RNG stream so
+/// queries are not simply a replay of the data).
+pub fn frequency_proportional(seed: u64, distinct: u64, skew: f64, n: usize) -> Vec<u64> {
+    // The permutation seed must match the data generator's so query keys
+    // name the same items; only the sampling RNG differs.
+    let mut g = StreamGenerator::new(seed, distinct, skew);
+    g.reseed_sampler(seed ^ 0x5EED_5EED_5EED_5EED);
+    g.take_keys(n)
+}
+
+/// Draw `n` query keys uniformly over the distinct-key domain (every item
+/// equally likely regardless of frequency).
+pub fn uniform_over_domain(seed: u64, distinct: u64, n: usize) -> Vec<u64> {
+    let perm = KeyPermutation::new(seed ^ 0xA5A5_5A5A_F00D_CAFE, distinct);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0DD5_EEDF_ACE5_0FF5);
+    (0..n).map(|_| perm.permute(rng.gen_range(0..distinct))).collect()
+}
+
+/// Draw `n` query keys by sampling positions of an already-materialized
+/// stream (exactly frequency-proportional with respect to the realized
+/// stream rather than the generating distribution).
+pub fn sample_from_stream(seed: u64, stream: &[u64], n: usize) -> Vec<u64> {
+    assert!(!stream.is_empty(), "cannot sample queries from an empty stream");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBADC_0FFE_E0DD_F00D);
+    (0..n).map(|_| stream[rng.gen_range(0..stream.len())]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::ExactCounter;
+
+    #[test]
+    fn proportional_queries_favor_heavy_keys() {
+        let distinct = 10_000u64;
+        let skew = 1.5;
+        let g = StreamGenerator::new(1, distinct, skew);
+        let heavy = g.key_of_rank(1);
+        let queries = frequency_proportional(1, distinct, skew, 20_000);
+        let truth = ExactCounter::from_keys(&queries);
+        assert_eq!(
+            truth.top_k(1)[0].0,
+            heavy,
+            "rank-1 key must dominate the query workload"
+        );
+    }
+
+    #[test]
+    fn uniform_queries_cover_domain_evenly() {
+        let distinct = 100u64;
+        let queries = uniform_over_domain(7, distinct, 50_000);
+        let truth = ExactCounter::from_keys(&queries);
+        assert!(truth.distinct() == distinct as usize);
+        let (max_k, max_c) = truth.top_k(1)[0];
+        let mean = 50_000.0 / distinct as f64;
+        assert!(
+            (max_c as f64) < mean * 1.4,
+            "key {max_k} queried {max_c} times, far above mean {mean}"
+        );
+    }
+
+    #[test]
+    fn stream_sampling_matches_stream_support() {
+        let stream = vec![1u64, 1, 1, 2];
+        let queries = sample_from_stream(3, &stream, 1000);
+        assert!(queries.iter().all(|k| *k == 1 || *k == 2));
+        let ones = queries.iter().filter(|&&k| k == 1).count();
+        assert!(ones > 600, "key 1 holds 75% of stream mass, sampled {ones}/1000");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn sampling_empty_stream_panics() {
+        let _ = sample_from_stream(1, &[], 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            frequency_proportional(5, 1000, 1.0, 100),
+            frequency_proportional(5, 1000, 1.0, 100)
+        );
+        assert_eq!(
+            uniform_over_domain(5, 1000, 100),
+            uniform_over_domain(5, 1000, 100)
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build the paper's default ASketch, feed it a skewed stream,
+//! and compare its answers against exact counts and a plain Count-Min of
+//! the same size.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use asketch::AsketchBuilder;
+use sketches::{CountMin, FrequencyEstimator};
+use streamgen::{ExactCounter, StreamSpec};
+
+fn main() {
+    // A Zipf-1.5 stream: 1M tuples over 250k distinct keys.
+    let spec = StreamSpec {
+        len: 1_000_000,
+        distinct: 250_000,
+        skew: 1.5,
+        seed: 42,
+    };
+    println!("generating {} tuples (Zipf {}, {} keys)...", spec.len, spec.skew, spec.distinct);
+    let stream = spec.materialize();
+    let truth = ExactCounter::from_keys(&stream);
+
+    // The paper's default configuration: 128 KB total, w = 8 hash
+    // functions, a 32-item Relaxed-Heap filter.
+    let mut ask = AsketchBuilder::default().build_count_min().expect("budget fits");
+    // A plain Count-Min with the identical byte budget, for comparison.
+    let mut cms = CountMin::with_byte_budget(42, 8, 128 * 1024).expect("budget fits");
+
+    for &key in &stream {
+        ask.insert(key);
+        cms.insert(key);
+    }
+
+    println!("\n{:>6}  {:>12}  {:>12}  {:>12}", "rank", "true", "ASketch", "Count-Min");
+    for (rank, (key, count)) in truth.top_k(10).into_iter().enumerate() {
+        println!(
+            "{:>6}  {:>12}  {:>12}  {:>12}",
+            rank + 1,
+            count,
+            ask.estimate(key),
+            cms.estimate(key),
+        );
+    }
+
+    let stats = ask.stats();
+    println!(
+        "\nfilter absorbed {:.1}% of the stream mass ({} exchanges, {} tuples to the sketch)",
+        100.0 * (1.0 - stats.filter_selectivity().unwrap()),
+        stats.exchanges,
+        stats.sketch_updates,
+    );
+
+    // Heavy hitters straight from the filter.
+    println!("\ntop-5 frequent items reported by ASketch:");
+    for (key, count) in ask.top_k(5) {
+        println!("  key {key:>12} -> {count}");
+    }
+}

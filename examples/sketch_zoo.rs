@@ -1,0 +1,99 @@
+//! The sketch zoo: every summary in the workspace answering the same
+//! frequency questions on the same stream with the same byte budget —
+//! a guided tour of the trade-offs the paper's Table 1 and Figure 11
+//! quantify.
+//!
+//! ```text
+//! cargo run --release --example sketch_zoo
+//! ```
+
+use asketch::filter::Filter;
+use asketch::AsketchBuilder;
+use eval_metrics::{observed_error_pct, EstimatePair};
+use sketches::{
+    CountMin, CountSketch, Fcm, FrequencyEstimator, HolisticUdaf, SpaceSaving,
+    UnmonitoredEstimate,
+};
+use streamgen::{query, ExactCounter, StreamSpec};
+
+const BUDGET: usize = 64 * 1024;
+
+fn report(name: &str, estimate: impl Fn(u64) -> i64, queries: &[u64], truth: &ExactCounter) {
+    let pairs: Vec<EstimatePair> = queries
+        .iter()
+        .map(|&q| EstimatePair {
+            estimated: estimate(q),
+            truth: truth.count(q),
+        })
+        .collect();
+    let err = observed_error_pct(&pairs).unwrap_or(0.0);
+    let heavy = truth.top_k(1)[0];
+    println!(
+        "{name:<28} observed error {err:>10.6}%   rank-1 estimate {} (true {})",
+        estimate(heavy.0),
+        heavy.1
+    );
+}
+
+fn main() {
+    let spec = StreamSpec {
+        len: 1_000_000,
+        distinct: 200_000,
+        skew: 1.2,
+        seed: 5,
+    };
+    let stream = spec.materialize();
+    let truth = ExactCounter::from_keys(&stream);
+    let queries = query::sample_from_stream(5, &stream, 50_000);
+    println!(
+        "stream: {} tuples, Zipf {}, budget {} KB for every method\n",
+        spec.len,
+        spec.skew,
+        BUDGET / 1024
+    );
+
+    let mut cms = CountMin::with_byte_budget(5, 8, BUDGET).unwrap();
+    let mut cs = CountSketch::with_byte_budget(5, 8, BUDGET).unwrap();
+    let mut fcm = Fcm::with_byte_budget(5, 8, BUDGET, Some(32)).unwrap();
+    let mut hud = HolisticUdaf::with_byte_budget(5, 8, BUDGET, 32).unwrap();
+    let mut ss = SpaceSaving::with_byte_budget(BUDGET, UnmonitoredEstimate::Zero).unwrap();
+    let mut ask = AsketchBuilder {
+        total_bytes: BUDGET,
+        seed: 5,
+        ..Default::default()
+    }
+    .build_count_min()
+    .unwrap();
+    let mut askf = AsketchBuilder {
+        total_bytes: BUDGET,
+        seed: 5,
+        ..Default::default()
+    }
+    .build_fcm()
+    .unwrap();
+
+    for &k in &stream {
+        cms.insert(k);
+        cs.insert(k);
+        fcm.insert(k);
+        hud.insert(k);
+        ss.insert(k);
+        ask.insert(k);
+        askf.insert(k);
+    }
+
+    report("Count-Min [11]", |k| cms.estimate(k), &queries, &truth);
+    report("Count Sketch [7]", |k| cs.estimate(k), &queries, &truth);
+    report("FCM [34]", |k| fcm.estimate(k), &queries, &truth);
+    report("Holistic UDAFs [10]", |k| hud.estimate(k), &queries, &truth);
+    report("Space Saving [27]", |k| ss.estimate(k), &queries, &truth);
+    report("ASketch (this paper)", |k| ask.estimate(k), &queries, &truth);
+    report("ASketch-FCM (this paper)", |k| askf.estimate(k), &queries, &truth);
+
+    println!(
+        "\nASketch filter state: {} items, {} exchanges, selectivity {:.3}",
+        ask.filter().len(),
+        ask.stats().exchanges,
+        ask.stats().filter_selectivity().unwrap(),
+    );
+}

@@ -1,0 +1,21 @@
+//! # asketch-repro — workspace umbrella
+//!
+//! Re-exports the workspace crates so the runnable examples and the
+//! cross-crate integration tests under `tests/` have a single import root.
+//!
+//! The interesting code lives in:
+//!
+//! * [`asketch`] — the ASketch framework (paper's contribution),
+//! * [`sketches`] — Count-Min / Count Sketch / FCM / Misra–Gries /
+//!   Space Saving / Holistic UDAF substrate,
+//! * [`streamgen`] — seeded workloads, trace surrogates, ground truth,
+//! * [`asketch_parallel`] — pipeline and SPMD execution,
+//! * [`eval_metrics`] — the paper's evaluation metrics.
+
+#![forbid(unsafe_code)]
+
+pub use asketch;
+pub use asketch_parallel;
+pub use eval_metrics;
+pub use sketches;
+pub use streamgen;

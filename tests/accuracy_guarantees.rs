@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the accuracy guarantees the paper states,
+//! exercised on real generated workloads through the public API.
+
+use asketch::filter::FilterKind;
+use asketch::AsketchBuilder;
+use sketches::{CountMin, FrequencyEstimator};
+use streamgen::{ExactCounter, StreamSpec};
+
+fn workload(skew: f64, seed: u64) -> (Vec<u64>, ExactCounter) {
+    let spec = StreamSpec {
+        len: 200_000,
+        distinct: 50_000,
+        skew,
+        seed,
+    };
+    let stream = spec.materialize();
+    let truth = ExactCounter::from_keys(&stream);
+    (stream, truth)
+}
+
+#[test]
+fn one_sided_guarantee_every_filter_kind() {
+    let (stream, truth) = workload(1.2, 1);
+    for kind in FilterKind::ALL {
+        let mut ask = AsketchBuilder {
+            total_bytes: 32 * 1024,
+            filter_kind: kind,
+            seed: 7,
+            ..Default::default()
+        }
+        .build_count_min()
+        .unwrap();
+        for &k in &stream {
+            ask.insert(k);
+        }
+        for (key, t) in truth.iter() {
+            let est = ask.estimate(key);
+            assert!(
+                est >= t,
+                "{}: estimate {est} under-counts true {t} for key {key}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn one_sided_guarantee_fcm_backend() {
+    let (stream, truth) = workload(1.0, 2);
+    let mut ask = AsketchBuilder {
+        total_bytes: 32 * 1024,
+        seed: 3,
+        ..Default::default()
+    }
+    .build_fcm()
+    .unwrap();
+    for &k in &stream {
+        ask.insert(k);
+    }
+    for (key, t) in truth.iter() {
+        assert!(ask.estimate(key) >= t, "ASketch-FCM under-counts {key}");
+    }
+}
+
+#[test]
+fn heavy_hitters_are_exact_at_real_world_skew() {
+    // The paper's central accuracy claim: items resident in the filter are
+    // counted exactly. At skew 1.5 the top items stay resident.
+    let (stream, truth) = workload(1.5, 3);
+    let mut ask = AsketchBuilder {
+        total_bytes: 64 * 1024,
+        seed: 9,
+        ..Default::default()
+    }
+    .build_count_min()
+    .unwrap();
+    for &k in &stream {
+        ask.insert(k);
+    }
+    let top = truth.top_k(8);
+    let exact = top.iter().filter(|&&(k, t)| ask.estimate(k) == t).count();
+    assert!(
+        exact >= 6,
+        "only {exact}/8 heavy hitters exact; filter not capturing the head"
+    );
+}
+
+#[test]
+fn asketch_never_less_accurate_than_cms_on_heavy_queries() {
+    for skew in [1.0, 1.5, 2.0] {
+        let (stream, truth) = workload(skew, 4);
+        let budget = 16 * 1024;
+        let mut ask = AsketchBuilder {
+            total_bytes: budget,
+            seed: 5,
+            ..Default::default()
+        }
+        .build_count_min()
+        .unwrap();
+        let mut cms = CountMin::with_byte_budget(5, 8, budget).unwrap();
+        for &k in &stream {
+            ask.insert(k);
+            cms.insert(k);
+        }
+        let mut ask_err = 0i64;
+        let mut cms_err = 0i64;
+        for (key, t) in truth.top_k(32) {
+            ask_err += ask.estimate(key) - t;
+            cms_err += cms.estimate(key) - t;
+        }
+        assert!(
+            ask_err <= cms_err,
+            "skew {skew}: ASketch head error {ask_err} exceeds CMS {cms_err}"
+        );
+    }
+}
+
+#[test]
+fn total_mass_is_conserved_in_sketch_rows() {
+    // Lemma 1 consequence: the sketch's per-row mass never exceeds the
+    // total stream mass (no double-insertion through exchanges).
+    let (stream, truth) = workload(0.8, 6);
+    let mut ask = AsketchBuilder {
+        total_bytes: 32 * 1024,
+        seed: 11,
+        ..Default::default()
+    }
+    .build_count_min()
+    .unwrap();
+    for &k in &stream {
+        ask.insert(k);
+    }
+    for row in 0..ask.sketch().depth() {
+        assert!(
+            ask.sketch().row_sum(row) <= truth.total(),
+            "row {row} holds more mass than the stream carries"
+        );
+    }
+}
+
+#[test]
+fn same_budget_for_asketch_and_cms() {
+    // The fairness invariant behind every comparison in the paper.
+    let budget = 128 * 1024;
+    let ask = AsketchBuilder {
+        total_bytes: budget,
+        ..Default::default()
+    }
+    .build_count_min()
+    .unwrap();
+    let cms = CountMin::with_byte_budget(1, 8, budget).unwrap();
+    assert!(ask.size_bytes() <= budget);
+    assert!(cms.size_bytes() <= budget);
+    let gap = (ask.size_bytes() as i64 - cms.size_bytes() as i64).abs();
+    assert!(gap <= 1024, "budgets drifted apart by {gap} bytes");
+}

@@ -1,0 +1,112 @@
+//! Turnstile-stream integration tests (paper Appendix A): deletions routed
+//! through the filter's two-counter bookkeeping must keep estimates
+//! one-sided as long as no key's total ever goes negative.
+
+use asketch::filter::FilterKind;
+use asketch::AsketchBuilder;
+use sketches::{CountMin, FrequencyEstimator};
+use streamgen::StreamSpec;
+
+/// Build a strict turnstile stream: inserts drawn from a Zipf stream, and
+/// deletions that only retract previously inserted mass.
+fn turnstile(len: usize, seed: u64) -> (Vec<(u64, i64)>, std::collections::HashMap<u64, i64>) {
+    let spec = StreamSpec {
+        len,
+        distinct: 5_000,
+        skew: 1.2,
+        seed,
+    };
+    let keys = spec.materialize();
+    let mut live: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+    let mut ops = Vec::with_capacity(len + len / 4);
+    let mut x = seed | 1;
+    for &k in &keys {
+        ops.push((k, 1));
+        *live.entry(k).or_insert(0) += 1;
+        // Occasionally retract one unit of something still live.
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        if x.is_multiple_of(5) {
+            if let Some((&dk, _)) = live.iter().find(|(_, &c)| c > 0) {
+                ops.push((dk, -1));
+                *live.get_mut(&dk).unwrap() -= 1;
+            }
+        }
+    }
+    live.retain(|_, c| *c != 0);
+    (ops, live)
+}
+
+#[test]
+fn count_min_turnstile_one_sided() {
+    let (ops, live) = turnstile(50_000, 17);
+    let mut cms = CountMin::with_byte_budget(17, 8, 32 * 1024).unwrap();
+    for &(k, u) in &ops {
+        cms.update(k, u);
+    }
+    for (&k, &c) in &live {
+        assert!(cms.estimate(k) >= c, "CMS under-counts {k} after deletions");
+    }
+}
+
+#[test]
+fn asketch_turnstile_one_sided_every_filter() {
+    let (ops, live) = turnstile(50_000, 23);
+    for kind in FilterKind::ALL {
+        let mut ask = AsketchBuilder {
+            total_bytes: 32 * 1024,
+            filter_kind: kind,
+            seed: 23,
+            ..Default::default()
+        }
+        .build_count_min()
+        .unwrap();
+        for &(k, u) in &ops {
+            ask.update(k, u);
+        }
+        for (&k, &c) in &live {
+            let est = ask.estimate(k);
+            assert!(
+                est >= c,
+                "{}: estimate {est} < live count {c} for key {k}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn full_retraction_drives_heavy_item_to_its_floor() {
+    let mut ask = AsketchBuilder {
+        total_bytes: 32 * 1024,
+        seed: 31,
+        ..Default::default()
+    }
+    .build_count_min()
+    .unwrap();
+    for _ in 0..1_000 {
+        ask.insert(42);
+    }
+    assert_eq!(ask.estimate(42), 1_000);
+    ask.delete(42, 1_000);
+    assert_eq!(ask.estimate(42), 0, "fully retracted item must read zero");
+}
+
+#[test]
+fn interleaved_insert_delete_matches_running_truth() {
+    // A heavy key oscillates; the filter-resident estimate must stay exact
+    // because the key never leaves the filter.
+    let mut ask = AsketchBuilder::default().build_count_min().unwrap();
+    let mut truth = 0i64;
+    let mut x = 7u64;
+    for _ in 0..10_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+        if x.is_multiple_of(3) && truth > 0 {
+            ask.delete(99, 1);
+            truth -= 1;
+        } else {
+            ask.insert(99);
+            truth += 1;
+        }
+        assert_eq!(ask.estimate(99), truth);
+    }
+}

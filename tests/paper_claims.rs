@@ -1,0 +1,197 @@
+//! End-to-end, small-scale versions of the paper's headline claims —
+//! the same shapes the full `repro` harness checks, kept fast enough for
+//! `cargo test`.
+
+use asketch::analysis;
+use asketch::AsketchBuilder;
+use eval_metrics::{observed_error, precision_at_k, EstimatePair};
+use sketches::{CountMin, FrequencyEstimator};
+use streamgen::{query, ExactCounter, StreamSpec};
+
+const LEN: usize = 300_000;
+const DISTINCT: u64 = 75_000;
+
+fn spec(skew: f64) -> StreamSpec {
+    StreamSpec {
+        len: LEN,
+        distinct: DISTINCT,
+        skew,
+        seed: 0xC1A11,
+    }
+}
+
+fn observed(est: impl Fn(u64) -> i64, queries: &[u64], truth: &ExactCounter) -> f64 {
+    let pairs: Vec<EstimatePair> = queries
+        .iter()
+        .map(|&q| EstimatePair {
+            estimated: est(q),
+            truth: truth.count(q),
+        })
+        .collect();
+    observed_error(&pairs).unwrap()
+}
+
+#[test]
+fn claim_accuracy_improvement_grows_with_skew() {
+    // Table 4's shape: the CMS/ASketch error ratio grows with skew.
+    let budget = 16 * 1024;
+    let mut ratios = Vec::new();
+    for skew in [1.0, 1.5] {
+        let s = spec(skew);
+        let stream = s.materialize();
+        let truth = ExactCounter::from_keys(&stream);
+        let queries = query::sample_from_stream(1, &stream, 30_000);
+        let mut ask = AsketchBuilder {
+            total_bytes: budget,
+            seed: s.seed,
+            ..Default::default()
+        }
+        .build_count_min()
+        .unwrap();
+        let mut cms = CountMin::with_byte_budget(s.seed, 8, budget).unwrap();
+        for &k in &stream {
+            ask.insert(k);
+            cms.insert(k);
+        }
+        let e_ask = observed(|q| ask.estimate(q), &queries, &truth).max(1e-12);
+        let e_cms = observed(|q| cms.estimate(q), &queries, &truth);
+        ratios.push(e_cms / e_ask);
+    }
+    assert!(
+        ratios[1] > ratios[0],
+        "improvement should grow with skew: {ratios:?}"
+    );
+    assert!(ratios[1] > 1.5, "no real accuracy win at skew 1.5: {ratios:?}");
+}
+
+#[test]
+fn claim_topk_precision_perfect_at_skew_one_plus() {
+    // Table 5's shape.
+    for skew in [1.0, 1.5] {
+        let s = spec(skew);
+        let stream = s.materialize();
+        let truth = ExactCounter::from_keys(&stream);
+        let mut ask = AsketchBuilder {
+            seed: s.seed,
+            ..Default::default()
+        }
+        .build_count_min()
+        .unwrap();
+        for &k in &stream {
+            ask.insert(k);
+        }
+        let k = 32;
+        let reported: Vec<u64> = ask.top_k(k).into_iter().map(|(key, _)| key).collect();
+        let true_ids: Vec<u64> = truth.top_k(k).into_iter().map(|(key, _)| key).collect();
+        let p = precision_at_k(&reported, &true_ids);
+        assert!(p >= 0.95, "precision {p} at skew {skew}");
+    }
+}
+
+#[test]
+fn claim_exchanges_decrease_with_skew() {
+    // Figure 9's shape.
+    let mut counts = Vec::new();
+    for skew in [0.0, 1.5, 3.0] {
+        let s = spec(skew);
+        let stream = s.materialize();
+        let mut ask = AsketchBuilder {
+            seed: s.seed,
+            ..Default::default()
+        }
+        .build_count_min()
+        .unwrap();
+        for &k in &stream {
+            ask.insert(k);
+        }
+        counts.push(ask.stats().exchanges);
+    }
+    assert!(
+        counts[0] > counts[1] && counts[1] > counts[2],
+        "exchanges must fall with skew: {counts:?}"
+    );
+    // Even at uniform, exchanges are a tiny fraction of the stream.
+    assert!((counts[0] as f64) < LEN as f64 * 0.05, "{counts:?}");
+}
+
+#[test]
+fn claim_selectivity_matches_closed_form() {
+    // Figure 17's shape.
+    for skew in [0.5, 1.5, 2.5] {
+        let s = spec(skew);
+        let stream = s.materialize();
+        let mut ask = AsketchBuilder {
+            seed: s.seed,
+            ..Default::default()
+        }
+        .build_count_min()
+        .unwrap();
+        for &k in &stream {
+            ask.insert(k);
+        }
+        let achieved = ask.stats().filter_selectivity().unwrap();
+        let predicted = analysis::zipf_filter_selectivity(skew, DISTINCT, 32);
+        assert!(
+            (achieved - predicted).abs() < 0.06,
+            "skew {skew}: achieved {achieved:.3} vs predicted {predicted:.3}"
+        );
+    }
+}
+
+#[test]
+fn claim_no_misclassified_heavy_hitters_for_asketch() {
+    // Table 3's shape at small scale: CMS may misclassify; ASketch must not.
+    let s = spec(1.5);
+    let stream = s.materialize();
+    let truth = ExactCounter::from_keys(&stream);
+    let budget = 8 * 1024; // tight enough for CMS to struggle
+    let mut ask = AsketchBuilder {
+        total_bytes: budget,
+        seed: s.seed,
+        ..Default::default()
+    }
+    .build_count_min()
+    .unwrap();
+    for &k in &stream {
+        ask.insert(k);
+    }
+    let threshold = truth.kth_count(32);
+    let ask_misclassified = eval_metrics::find_misclassified(
+        truth.iter().map(|(key, t)| (key, ask.estimate(key), t)),
+        threshold,
+        0.1,
+    );
+    assert!(
+        ask_misclassified.len() <= 1,
+        "ASketch misclassified {} light items as heavy",
+        ask_misclassified.len()
+    );
+}
+
+#[test]
+fn claim_generality_fcm_backend_also_improves() {
+    // Figure 8's shape.
+    let s = spec(1.5);
+    let stream = s.materialize();
+    let truth = ExactCounter::from_keys(&stream);
+    let queries = query::sample_from_stream(2, &stream, 30_000);
+    let budget = 16 * 1024;
+    let mut fcm = sketches::Fcm::with_byte_budget(s.seed, 8, budget, Some(32)).unwrap();
+    let mut askf = AsketchBuilder {
+        total_bytes: budget,
+        seed: s.seed,
+        ..Default::default()
+    }
+    .build_fcm()
+    .unwrap();
+    for &k in &stream {
+        fcm.insert(k);
+        askf.insert(k);
+    }
+    let e_fcm = observed(|q| fcm.estimate(q), &queries, &truth);
+    let e_askf = observed(|q| askf.estimate(q), &queries, &truth);
+    assert!(
+        e_askf <= e_fcm,
+        "ASketch-FCM ({e_askf}) should not be worse than FCM ({e_fcm})"
+    );
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the parallel runtimes: the pipeline and SPMD
+//! configurations must preserve the guarantees of the sequential algorithm.
+
+use asketch::filter::{Filter, RelaxedHeapFilter};
+use asketch::{ASketch, AsketchBuilder};
+use asketch_parallel::{round_robin_shards, PipelineASketch, PipelineHUdaf, SpmdGroup};
+use sketches::CountMin;
+use streamgen::{ExactCounter, StreamSpec};
+
+fn workload(skew: f64) -> (Vec<u64>, ExactCounter) {
+    let spec = StreamSpec {
+        len: 150_000,
+        distinct: 30_000,
+        skew,
+        seed: 0x9A7A11E1,
+    };
+    let stream = spec.materialize();
+    let truth = ExactCounter::from_keys(&stream);
+    (stream, truth)
+}
+
+#[test]
+fn pipeline_matches_sequential_on_heavy_hitters() {
+    let (stream, truth) = workload(1.5);
+    let mk = || CountMin::with_byte_budget(3, 8, 31 * 1024).unwrap();
+
+    let mut seq = ASketch::new(RelaxedHeapFilter::new(32), mk());
+    let mut pipe = PipelineASketch::spawn(RelaxedHeapFilter::new(32), mk());
+    for &k in &stream {
+        seq.insert(k);
+        pipe.insert(k);
+    }
+    for (key, t) in truth.top_k(16) {
+        let s = seq.estimate(key);
+        let p = pipe.estimate(key);
+        assert!(s >= t && p >= t, "one-sidedness violated for {key}");
+        // Heavy hitters should be *exact* in both at this skew.
+        assert_eq!(s, t, "sequential heavy hitter {key} not exact");
+        assert_eq!(p, t, "pipeline heavy hitter {key} not exact");
+    }
+}
+
+#[test]
+fn pipeline_one_sided_across_all_keys() {
+    for skew in [0.0, 1.0, 2.0] {
+        let (stream, truth) = workload(skew);
+        let mut pipe = PipelineASketch::spawn(
+            RelaxedHeapFilter::new(32),
+            CountMin::with_byte_budget(5, 8, 31 * 1024).unwrap(),
+        );
+        for &k in &stream {
+            pipe.insert(k);
+        }
+        for (key, t) in truth.iter() {
+            let est = pipe.estimate(key);
+            assert!(est >= t, "skew {skew}: {est} < {t} for key {key}");
+        }
+    }
+}
+
+#[test]
+fn pipeline_hudaf_one_sided() {
+    let (stream, truth) = workload(1.0);
+    let mut p = PipelineHUdaf::spawn(CountMin::with_byte_budget(7, 8, 31 * 1024).unwrap(), 32);
+    for &k in &stream {
+        p.insert(k);
+    }
+    for (key, t) in truth.top_k(200) {
+        assert!(p.estimate(key) >= t, "H-UDAF pipeline under-counts {key}");
+    }
+    let sketch = p.finish();
+    assert!(sketch.row_sum(0) <= truth.total());
+}
+
+#[test]
+fn spmd_combined_estimates_cover_truth() {
+    let (stream, truth) = workload(1.5);
+    for width in [1usize, 2, 4] {
+        let shards = round_robin_shards(&stream, width);
+        let (group, _) = SpmdGroup::ingest(&shards, |i| {
+            AsketchBuilder {
+                total_bytes: 32 * 1024,
+                seed: 100 + i as u64,
+                ..Default::default()
+            }
+            .build_count_min()
+            .unwrap()
+        });
+        for (key, t) in truth.top_k(64) {
+            let est = group.estimate(key);
+            assert!(est >= t, "width {width}: combined {est} < true {t}");
+        }
+    }
+}
+
+#[test]
+fn spmd_width_one_equals_sequential_asketch() {
+    let (stream, truth) = workload(1.2);
+    let build = || {
+        AsketchBuilder {
+            total_bytes: 32 * 1024,
+            seed: 100,
+            ..Default::default()
+        }
+        .build_count_min()
+        .unwrap()
+    };
+    let shards = round_robin_shards(&stream, 1);
+    let (group, _) = SpmdGroup::ingest(&shards, |_| build());
+    let mut seq = build();
+    for &k in &stream {
+        seq.insert(k);
+    }
+    for (key, _) in truth.top_k(100) {
+        assert_eq!(group.estimate(key), seq.estimate(key));
+    }
+}
+
+#[test]
+fn pipeline_filter_converges_to_heavy_hitters() {
+    let (stream, truth) = workload(1.5);
+    let mut pipe = PipelineASketch::spawn(
+        RelaxedHeapFilter::new(16),
+        CountMin::with_byte_budget(9, 8, 31 * 1024).unwrap(),
+    );
+    for &k in &stream {
+        pipe.insert(k);
+    }
+    // Drain outstanding promotions.
+    let _ = pipe.estimate(0);
+    let (filter, _) = pipe.finish();
+    let resident: std::collections::HashSet<u64> =
+        filter.items().into_iter().map(|it| it.key).collect();
+    let true_top: Vec<u64> = truth.top_k(16).into_iter().map(|(k, _)| k).collect();
+    let captured = true_top.iter().filter(|k| resident.contains(k)).count();
+    assert!(
+        captured >= 12,
+        "filter captured only {captured}/16 true heavy hitters"
+    );
+}

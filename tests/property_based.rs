@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over the core invariants:
+//! one-sidedness, filter-model equivalence, permutation bijectivity,
+//! Space Saving error bounds, and metric algebra.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use asketch::filter::{Filter, FilterKind};
+use asketch::AsketchBuilder;
+use sketches::{CountMin, FrequencyEstimator, SpaceSaving, TopK, UnmonitoredEstimate};
+use streamgen::KeyPermutation;
+
+fn truth_of(ops: &[(u64, i64)]) -> std::collections::HashMap<u64, i64> {
+    let mut t = std::collections::HashMap::new();
+    for &(k, u) in ops {
+        *t.entry(k).or_insert(0) += u;
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_min_never_undercounts(keys in vec(0u64..500, 1..2_000)) {
+        let mut cms = CountMin::new(1, 4, 128).unwrap();
+        for &k in &keys {
+            cms.insert(k);
+        }
+        let truth = truth_of(&keys.iter().map(|&k| (k, 1)).collect::<Vec<_>>());
+        for (&k, &t) in &truth {
+            prop_assert!(cms.estimate(k) >= t);
+        }
+    }
+
+    #[test]
+    fn asketch_never_undercounts_any_filter(
+        keys in vec(0u64..300, 1..1_500),
+        kind_idx in 0usize..4,
+    ) {
+        let kind = FilterKind::ALL[kind_idx];
+        let mut ask = AsketchBuilder {
+            total_bytes: 4 * 1024,
+            filter_items: 8,
+            filter_kind: kind,
+            seed: 1,
+            ..Default::default()
+        }
+        .build_count_min()
+        .unwrap();
+        for &k in &keys {
+            ask.insert(k);
+        }
+        let truth = truth_of(&keys.iter().map(|&k| (k, 1)).collect::<Vec<_>>());
+        for (&k, &t) in &truth {
+            prop_assert!(ask.estimate(k) >= t, "{}: key {k}", kind.name());
+        }
+    }
+
+    #[test]
+    fn asketch_turnstile_never_undercounts(
+        seed_keys in vec(0u64..100, 1..800),
+        del_frac in 0u32..3,
+    ) {
+        // Build strict ops: delete only what is still live.
+        let mut live: std::collections::HashMap<u64, i64> = Default::default();
+        let mut ops = Vec::new();
+        for (i, &k) in seed_keys.iter().enumerate() {
+            ops.push((k, 1i64));
+            *live.entry(k).or_insert(0) += 1;
+            if del_frac > 0 && i % (4 - del_frac as usize) == 0 {
+                if let Some((&dk, _)) = live.iter().find(|(_, &c)| c > 0) {
+                    ops.push((dk, -1));
+                    *live.get_mut(&dk).unwrap() -= 1;
+                }
+            }
+        }
+        let mut ask = AsketchBuilder {
+            total_bytes: 4 * 1024,
+            filter_items: 8,
+            seed: 2,
+            ..Default::default()
+        }
+        .build_count_min()
+        .unwrap();
+        for &(k, u) in &ops {
+            ask.update(k, u);
+        }
+        for (&k, &c) in live.iter().filter(|(_, &c)| c > 0) {
+            prop_assert!(ask.estimate(k) >= c, "key {k}: {} < {c}", ask.estimate(k));
+        }
+    }
+
+    #[test]
+    fn filters_agree_with_reference_model(
+        ops in vec((0u64..20, 1i64..10), 1..600),
+        kind_idx in 0usize..4,
+    ) {
+        // All four filters must agree with a naive model on the
+        // update-or-insert-or-overflow discipline of Algorithm 1's hot path.
+        let kind = FilterKind::ALL[kind_idx];
+        let mut f = kind.build(6);
+        let mut model: Vec<(u64, i64)> = Vec::new();
+        for &(k, u) in &ops {
+            match f.update_existing(k, u) {
+                Some(got) => {
+                    let m = model.iter_mut().find(|(mk, _)| *mk == k).unwrap();
+                    m.1 += u;
+                    prop_assert_eq!(got, m.1);
+                }
+                None => {
+                    prop_assert!(model.iter().all(|(mk, _)| *mk != k));
+                    if model.len() < 6 {
+                        f.insert(k, u, 0);
+                        model.push((k, u));
+                    }
+                }
+            }
+            let want_min = model.iter().map(|(_, c)| *c).min();
+            prop_assert_eq!(f.min_count(), want_min);
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijective(m in 1u64..5_000, seed in any::<u64>()) {
+        let perm = KeyPermutation::new(seed, m);
+        let mut seen = vec![false; m as usize];
+        for x in 0..m {
+            let y = perm.permute(x);
+            prop_assert!(y < m);
+            prop_assert!(!seen[y as usize]);
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn space_saving_bounds_hold(keys in vec(0u64..200, 1..1_500)) {
+        let mut ss = SpaceSaving::new(10, UnmonitoredEstimate::Min).unwrap();
+        for &k in &keys {
+            ss.insert(k);
+        }
+        ss.check_invariants().map_err(TestCaseError::fail)?;
+        let truth = truth_of(&keys.iter().map(|&k| (k, 1)).collect::<Vec<_>>());
+        for (k, count) in ss.top_k(10) {
+            let t = truth.get(&k).copied().unwrap_or(0);
+            // count >= true >= count - error
+            prop_assert!(count >= t);
+            let (c, e) = ss.get(k).unwrap();
+            prop_assert_eq!(c, count);
+            prop_assert!(c - e <= t);
+        }
+        // Guarantee: any key with count > N/m is monitored.
+        let n: i64 = keys.len() as i64;
+        for (&k, &t) in &truth {
+            if t > n / 10 {
+                prop_assert!(ss.get(k).is_some(), "heavy key {k} evicted");
+            }
+        }
+    }
+
+    #[test]
+    fn observed_error_is_zero_iff_exact(truths in vec(1i64..1000, 1..50)) {
+        let exact: Vec<eval_metrics::EstimatePair> = truths
+            .iter()
+            .map(|&t| eval_metrics::EstimatePair { estimated: t, truth: t })
+            .collect();
+        prop_assert_eq!(eval_metrics::observed_error(&exact), Some(0.0));
+        let off: Vec<eval_metrics::EstimatePair> = truths
+            .iter()
+            .map(|&t| eval_metrics::EstimatePair { estimated: t + 1, truth: t })
+            .collect();
+        prop_assert!(eval_metrics::observed_error(&off).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one(n in 1u64..2_000, z in 0.0f64..3.0) {
+        let zipf = streamgen::Zipf::new(n, z);
+        let total: f64 = (1..=n).map(|k| zipf.probability(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+    }
+}
