@@ -196,6 +196,31 @@ impl<F: Filter, S: UpdateEstimate> ASketch<F, S> {
         self.filter.size_bytes() + self.sketch.size_bytes()
     }
 
+    /// Reassemble an ASketch from previously split components.
+    ///
+    /// This is the restore half of the snapshot API used by supervised
+    /// runtimes: `asketch-parallel` recovers a `(filter, sketch)` pair from
+    /// a failed or finished pipeline and rebuilds a queryable sequential
+    /// summary from it. `stats` may be `AsketchStats::default()` when the
+    /// counter history is not worth carrying over.
+    pub fn from_parts(filter: F, sketch: S, stats: AsketchStats) -> Self {
+        Self {
+            filter,
+            sketch,
+            stats,
+        }
+    }
+
+    /// Split the summary into `(filter, sketch, stats)` without flattening.
+    ///
+    /// The exact inverse of [`Self::from_parts`]: unlike
+    /// [`Self::into_sketch`], no pending mass is pushed down, so the parts
+    /// can seed another runtime (for example a `PipelineASketch`) and later
+    /// be reassembled with estimates unchanged.
+    pub fn into_parts(self) -> (F, S, AsketchStats) {
+        (self.filter, self.sketch, self.stats)
+    }
+
     /// Flatten the summary into its underlying sketch: every filter item's
     /// *pending* mass (`new_count − old_count`) is written into the sketch
     /// and the filter is cleared.
@@ -254,6 +279,22 @@ mod tests {
         assert_eq!(s.filter_updates, 4);
         assert_eq!(s.sketch_updates, 0);
         assert_eq!(a.estimate(0), 1);
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_estimates() {
+        let mut a = small();
+        for i in 0..200u64 {
+            a.insert(i % 7);
+        }
+        let expected: Vec<i64> = (0..7u64).map(|k| a.estimate(k)).collect();
+        let stats_before = a.stats();
+        let (filter, sketch, stats) = a.into_parts();
+        let b = ASketch::from_parts(filter, sketch, stats);
+        for k in 0..7u64 {
+            assert_eq!(b.estimate(k), expected[k as usize]);
+        }
+        assert_eq!(b.stats(), stats_before);
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Fault injection for chaos-testing the supervised runtimes.
+//!
+//! [`FaultyEstimator`] wraps any sketch and injects panics and delays at
+//! configurable points, so tests can drive [`crate::PipelineASketch`],
+//! [`crate::PipelineHUdaf`], and [`crate::SpmdGroup`] through worker
+//! panics, full queues, and estimate timeouts and assert that the
+//! one-sided guarantee survives.
+//!
+//! By default a fault plan *disarms on clone*: checkpoints and restored
+//! snapshots are healthy copies, modelling a transient fault rather than a
+//! deterministically poisoned sketch. Set
+//! [`FaultPlan::rearm_on_clone`] to keep faults armed across snapshots.
+
+use std::time::Duration;
+
+use sketches::traits::{FrequencyEstimator, UpdateEstimate};
+
+/// When and how [`FaultyEstimator`] misbehaves.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Panic on this 1-based counting-op index (`update` /
+    /// `update_and_estimate` calls).
+    pub panic_on_op: Option<u64>,
+    /// Sleep for the given duration every `n`-th counting op (`(n, d)`),
+    /// making the worker slow enough to back the forward queue up.
+    pub delay_every: Option<(u64, Duration)>,
+    /// Sleep before answering every `estimate`, to trigger round-trip
+    /// timeouts.
+    pub estimate_delay: Option<Duration>,
+    /// Panic message used by [`FaultPlan::panic_on_op`].
+    pub panic_message: Option<String>,
+    /// Keep the plan armed on cloned copies (checkpoints, restored
+    /// snapshots). Off by default: faults are transient.
+    pub rearm_on_clone: bool,
+}
+
+impl FaultPlan {
+    /// A plan that panics on the `n`-th counting op.
+    pub fn panic_at(n: u64) -> Self {
+        Self {
+            panic_on_op: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// A plan that sleeps `delay` on every `every`-th counting op.
+    pub fn slow_updates(every: u64, delay: Duration) -> Self {
+        Self {
+            delay_every: Some((every.max(1), delay)),
+            ..Self::default()
+        }
+    }
+
+    /// A plan that sleeps `delay` before answering every estimate.
+    pub fn slow_estimates(delay: Duration) -> Self {
+        Self {
+            estimate_delay: Some(delay),
+            ..Self::default()
+        }
+    }
+
+    /// Set the panic message (builder style).
+    pub fn with_message(mut self, msg: impl Into<String>) -> Self {
+        self.panic_message = Some(msg.into());
+        self
+    }
+}
+
+/// A sketch wrapper that injects the faults described by a [`FaultPlan`].
+///
+/// Implements the counting traits by delegation, so it drops into any
+/// place a real sketch fits — including the worker side of a supervised
+/// pipeline, which is exactly where the chaos tests put it.
+#[derive(Debug)]
+pub struct FaultyEstimator<S> {
+    inner: S,
+    plan: FaultPlan,
+    ops: u64,
+}
+
+impl<S> FaultyEstimator<S> {
+    /// Wrap `inner` with the given fault plan.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        Self { inner, plan, ops: 0 }
+    }
+
+    /// The wrapped sketch.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Counting ops observed so far (on this copy).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn on_counting_op(&mut self) {
+        self.ops += 1;
+        if self.plan.panic_on_op == Some(self.ops) {
+            let msg = self
+                .plan
+                .panic_message
+                .clone()
+                .unwrap_or_else(|| "injected fault".to_string());
+            panic!("{msg}");
+        }
+        if let Some((every, delay)) = self.plan.delay_every {
+            if self.ops.is_multiple_of(every) {
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+impl<S: Clone> Clone for FaultyEstimator<S> {
+    fn clone(&self) -> Self {
+        let plan = if self.plan.rearm_on_clone {
+            self.plan.clone()
+        } else {
+            FaultPlan::default()
+        };
+        Self {
+            inner: self.inner.clone(),
+            plan,
+            ops: self.ops,
+        }
+    }
+}
+
+impl<S: FrequencyEstimator> FrequencyEstimator for FaultyEstimator<S> {
+    fn update(&mut self, key: u64, delta: i64) {
+        self.on_counting_op();
+        self.inner.update(key, delta);
+    }
+
+    fn estimate(&self, key: u64) -> i64 {
+        if let Some(d) = self.plan.estimate_delay {
+            std::thread::sleep(d);
+        }
+        self.inner.estimate(key)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+}
+
+impl<S: UpdateEstimate> UpdateEstimate for FaultyEstimator<S> {
+    fn update_and_estimate(&mut self, key: u64, delta: i64) -> i64 {
+        self.on_counting_op();
+        self.inner.update_and_estimate(key, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches::CountMin;
+
+    fn cms() -> CountMin {
+        CountMin::new(9, 4, 1 << 10).unwrap()
+    }
+
+    #[test]
+    fn delegates_when_healthy() {
+        let mut f = FaultyEstimator::new(cms(), FaultPlan::default());
+        f.update(1, 5);
+        assert_eq!(f.estimate(1), 5);
+        assert_eq!(f.update_and_estimate(1, 2), 7);
+        assert_eq!(f.ops(), 2);
+        assert_eq!(f.size_bytes(), f.inner().size_bytes());
+    }
+
+    #[test]
+    fn panics_on_exactly_the_nth_op() {
+        let mut f = FaultyEstimator::new(cms(), FaultPlan::panic_at(3).with_message("kaboom"));
+        f.update(1, 1);
+        f.update(1, 1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f.update(1, 1);
+        }))
+        .unwrap_err();
+        assert_eq!(err.downcast_ref::<String>().map(String::as_str), Some("kaboom"));
+    }
+
+    #[test]
+    fn clone_disarms_by_default() {
+        let f = FaultyEstimator::new(cms(), FaultPlan::panic_at(1));
+        let mut c = f.clone();
+        c.update(1, 1); // must not panic
+        assert_eq!(c.estimate(1), 1);
+    }
+
+    #[test]
+    fn clone_can_stay_armed() {
+        let mut plan = FaultPlan::panic_at(1);
+        plan.rearm_on_clone = true;
+        let f = FaultyEstimator::new(cms(), plan);
+        let mut c = f.clone();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.update(1, 1);
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn delays_do_not_change_counts() {
+        let mut f = FaultyEstimator::new(
+            cms(),
+            FaultPlan::slow_updates(2, Duration::from_millis(1)),
+        );
+        for _ in 0..10 {
+            f.update(4, 1);
+        }
+        assert_eq!(f.estimate(4), 10);
+    }
+}

@@ -1,19 +1,36 @@
-//! # asketch-parallel — multi-core execution of ASketch
+//! # asketch-parallel — supervised multi-core execution of ASketch
 //!
-//! The two parallel configurations of paper §6:
+//! The two parallel configurations of paper §6, run under a fault-tolerant
+//! supervision layer:
 //!
 //! * [`pipeline::PipelineASketch`] — §6.2 pipeline parallelism: filter and
-//!   sketch on separate cores connected by message channels.
+//!   sketch on separate cores connected by bounded message channels.
+//! * [`pipeline_hudaf::PipelineHUdaf`] — Figure 12's parallel holistic
+//!   UDAF: batch pre-aggregation in front of a supervised sketch worker.
 //! * [`spmd::SpmdGroup`] — §6.3 SPMD parallelism: one full counting kernel
-//!   per core, commutative query combine.
+//!   per core, commutative query combine, per-shard panic containment.
+//!
+//! The supervision layer ([`supervisor`]) provides bounded backpressure
+//! with a configurable [`BackpressurePolicy`], checkpoint + journal state
+//! recovery on worker panic, bounded restarts with exponential backoff, a
+//! permanent inline degraded mode, and observable
+//! [`PipelineStats`]/[`RuntimeHealth`]. The [`fault`] module ships a
+//! reusable fault-injection harness ([`FaultyEstimator`]) used by the chaos
+//! tests.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod pipeline;
 pub mod pipeline_hudaf;
 pub mod spmd;
+pub mod supervisor;
 
+pub use fault::{FaultPlan, FaultyEstimator};
 pub use pipeline::PipelineASketch;
 pub use pipeline_hudaf::PipelineHUdaf;
-pub use spmd::{round_robin_shards, SpmdGroup};
+pub use spmd::{round_robin_shards, ShardRecovery, SpmdGroup, SpmdReport};
+pub use supervisor::{
+    BackpressurePolicy, PipelineError, PipelineStats, RuntimeHealth, SupervisionConfig,
+};

@@ -1,6 +1,7 @@
-//! Pipeline parallelism (paper §6.2): the filter runs on the caller's core,
-//! the sketch on a dedicated worker thread, with message passing replacing
-//! shared-memory access.
+//! Pipeline parallelism (paper §6.2) under supervision: the filter runs on
+//! the caller's core, the sketch on a dedicated worker thread, with message
+//! passing replacing shared-memory access — and the runtime survives the
+//! worker misbehaving.
 //!
 //! The caller (the paper's core `C0`) owns the filter and consumes input
 //! tuples; on a filter miss the tuple is *forwarded* to the worker (`C1`)
@@ -15,21 +16,66 @@
 //! messages; the one-sided estimate guarantee is unaffected (estimates only
 //! ever *gain* over-count from staleness, never lose mass) and the paper
 //! accepts the same relaxation.
+//!
+//! # Fault tolerance
+//!
+//! The forward channel is **bounded** ([`SupervisionConfig::queue_capacity`])
+//! so a slow worker exerts backpressure instead of growing an unbounded
+//! queue. On a full queue the caller either blocks
+//! ([`BackpressurePolicy::Block`]) or spills into a bounded caller-side
+//! FIFO that is flushed opportunistically
+//! ([`BackpressurePolicy::InlineFallback`]); either way no update is ever
+//! dropped.
+//!
+//! Every counting op shipped to the worker is recorded in a replay
+//! [`Journal`](crate::supervisor) keyed by sequence number; the worker
+//! periodically ships back `Clone` checkpoints tagged with the last applied
+//! sequence, which prune the journal. If the worker panics, wedges, or its
+//! channel disconnects, the caller reconstructs the exact sketch state as
+//! *checkpoint + replay of journal entries past the checkpoint*, then either
+//! respawns the worker (bounded restarts with exponential backoff) or — once
+//! the restart budget is spent — degrades to running the sequential ASketch
+//! algorithm inline on the caller. Estimates keep their one-sided guarantee
+//! through every transition because the journal replays precisely the ops
+//! the lost worker had not yet folded into a checkpoint: no loss, no double
+//! count.
 
-use crossbeam::channel::{self, Receiver, Sender};
+use std::collections::VecDeque;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{
+    self, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
+};
 
 use asketch::filter::Filter;
-use sketches::traits::UpdateEstimate;
+use sketches::traits::Supervisable;
+
+use crate::supervisor::{
+    panic_message, BackpressurePolicy, Journal, PipelineError, PipelineStats, RuntimeHealth,
+    SupervisionConfig,
+};
 
 /// Messages from the filter core to the sketch core.
+///
+/// Counting messages carry the journal sequence number the caller assigned
+/// to them; the worker tags its checkpoints with the last sequence it
+/// applied, which is what lets the caller prune the journal safely.
 enum ToSketch {
     /// A tuple that missed the filter, with the filter's current minimum.
-    Forward { key: u64, u: i64, filter_min: i64 },
+    Forward {
+        key: u64,
+        u: i64,
+        filter_min: i64,
+        seq: u64,
+    },
     /// Pending mass of a demoted filter item.
-    Demote { key: u64, pending: i64 },
+    Demote { key: u64, pending: i64, seq: u64 },
     /// Negative update for an unmonitored key (Appendix A path).
-    Subtract { key: u64, amount: i64 },
+    Subtract { key: u64, amount: i64, seq: u64 },
+    /// The caller accepted a promotion: clear the worker's recently-suggested
+    /// ring so new suggestions can flow.
+    Promoted,
     /// Answer a point query (channel round-trip keeps FIFO ordering with
     /// preceding forwards, so the estimate covers them).
     Estimate { key: u64, reply: Sender<i64> },
@@ -37,99 +83,481 @@ enum ToSketch {
     Shutdown,
 }
 
-/// A promotion suggestion from the sketch core.
-struct Promote {
-    key: u64,
-    est: i64,
+/// Messages from the sketch core back to the filter core.
+enum FromSketch<S> {
+    /// A promotion suggestion: `key`'s estimate exceeded the filter minimum.
+    Promote { key: u64, est: i64 },
+    /// A periodic snapshot of the sketch, tagged with the last applied
+    /// journal sequence. Prunes the caller's replay journal.
+    Checkpoint { seq: u64, snapshot: S },
 }
 
-/// Pipeline-parallel ASketch: filter on the caller thread, sketch on a
-/// worker thread.
-pub struct PipelineASketch<F: Filter, S: UpdateEstimate + Send + 'static> {
-    filter: F,
-    to_sketch: Sender<ToSketch>,
-    from_sketch: Receiver<Promote>,
-    worker: JoinHandle<S>,
-    /// Exchanges applied (promotions accepted by the filter core).
-    exchanges: u64,
-    /// Tuples forwarded to the sketch core.
-    forwarded: u64,
+/// Small ring of recently suggested keys, so a hot run of one key (or a few)
+/// yields one promotion message, not thousands. Cleared when the caller
+/// reports an accepted exchange, because the filter minimum has changed and
+/// previously rejected keys may now qualify.
+struct RecentKeys {
+    keys: [u64; 8],
+    len: usize,
+    next: usize,
 }
 
-impl<F: Filter, S: UpdateEstimate + Send + 'static> PipelineASketch<F, S> {
-    /// Spawn the sketch worker and assemble the pipeline.
-    pub fn spawn(filter: F, mut sketch: S) -> Self {
-        let (tx, rx) = channel::unbounded::<ToSketch>();
-        let (ptx, prx) = channel::unbounded::<Promote>();
-        let worker = std::thread::spawn(move || {
-            // Avoid promote storms: remember the last key we suggested so a
-            // hot run of the same key yields one message, not thousands.
-            let mut last_promoted: Option<u64> = None;
-            while let Ok(msg) = rx.recv() {
-                match msg {
-                    ToSketch::Forward { key, u, filter_min } => {
-                        let est = sketch.update_and_estimate(key, u);
-                        if est > filter_min && last_promoted != Some(key) {
-                            // Ignore send failures during teardown.
-                            let _ = ptx.send(Promote { key, est });
-                            last_promoted = Some(key);
-                        }
-                    }
-                    ToSketch::Demote { key, pending } => {
-                        sketch.update(key, pending);
-                        last_promoted = None;
-                    }
-                    ToSketch::Subtract { key, amount } => {
-                        sketch.update(key, -amount);
-                    }
-                    ToSketch::Estimate { key, reply } => {
-                        let _ = reply.send(sketch.estimate(key));
-                    }
-                    ToSketch::Shutdown => break,
-                }
-            }
-            sketch
-        });
+impl RecentKeys {
+    fn new() -> Self {
         Self {
-            filter,
-            to_sketch: tx,
-            from_sketch: prx,
-            worker,
-            exchanges: 0,
-            forwarded: 0,
+            keys: [0; 8],
+            len: 0,
+            next: 0,
         }
     }
 
-    /// Apply any promotions the sketch core has suggested.
-    fn drain_promotions(&mut self) {
-        while let Ok(Promote { key, est }) = self.from_sketch.try_recv() {
-            // Re-check against the *current* filter state: the suggestion
-            // may be stale or the key may already have been promoted.
-            if self.filter.query(key).is_some() {
+    fn contains(&self, key: u64) -> bool {
+        self.keys[..self.len].contains(&key)
+    }
+
+    fn push(&mut self, key: u64) {
+        self.keys[self.next] = key;
+        self.next = (self.next + 1) % self.keys.len();
+        self.len = (self.len + 1).min(self.keys.len());
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+        self.next = 0;
+    }
+}
+
+/// The channel endpoints and join handle of a live worker.
+struct WorkerLink<S> {
+    tx: Sender<ToSketch>,
+    rx: Receiver<FromSketch<S>>,
+    handle: JoinHandle<S>,
+}
+
+/// The sketch-core loop: apply counting messages, suggest promotions,
+/// answer estimates, and ship checkpoints every `checkpoint_interval`
+/// counting ops.
+fn run_worker<S: Supervisable>(
+    mut sketch: S,
+    rx: Receiver<ToSketch>,
+    out: Sender<FromSketch<S>>,
+    checkpoint_interval: u64,
+) -> S {
+    let mut recent = RecentKeys::new();
+    let mut since_checkpoint = 0u64;
+    while let Ok(msg) = rx.recv() {
+        // Counting arms yield the sequence they applied; a checkpoint
+        // tagged with it tells the caller which journal prefix is covered.
+        let applied_seq = match msg {
+            ToSketch::Forward {
+                key,
+                u,
+                filter_min,
+                seq,
+            } => {
+                let est = sketch.update_and_estimate(key, u);
+                if est > filter_min && !recent.contains(key) {
+                    recent.push(key);
+                    // Ignore send failures during teardown.
+                    let _ = out.send(FromSketch::Promote { key, est });
+                }
+                Some(seq)
+            }
+            ToSketch::Demote { key, pending, seq } => {
+                sketch.update(key, pending);
+                Some(seq)
+            }
+            ToSketch::Subtract { key, amount, seq } => {
+                sketch.update(key, -amount);
+                Some(seq)
+            }
+            ToSketch::Promoted => {
+                recent.clear();
+                None
+            }
+            ToSketch::Estimate { key, reply } => {
+                let _ = reply.send(sketch.estimate(key));
+                None
+            }
+            ToSketch::Shutdown => break,
+        };
+        if let Some(seq) = applied_seq {
+            since_checkpoint += 1;
+            if since_checkpoint >= checkpoint_interval {
+                since_checkpoint = 0;
+                let _ = out.send(FromSketch::Checkpoint {
+                    seq,
+                    snapshot: sketch.clone(),
+                });
+            }
+        }
+    }
+    sketch
+}
+
+fn spawn_worker<S: Supervisable>(sketch: S, cfg: &SupervisionConfig) -> WorkerLink<S> {
+    let (tx, rx) = channel::bounded::<ToSketch>(cfg.queue_capacity);
+    // Replies (promotions + checkpoints) are unbounded: the worker must
+    // never block on the caller, and the caller drains this channel on
+    // every touch.
+    let (out_tx, out_rx) = channel::unbounded::<FromSketch<S>>();
+    let interval = cfg.checkpoint_interval.max(1);
+    let handle = std::thread::spawn(move || run_worker(sketch, rx, out_tx, interval));
+    WorkerLink {
+        tx,
+        rx: out_rx,
+        handle,
+    }
+}
+
+/// Pipeline-parallel ASketch: filter on the caller thread, sketch on a
+/// supervised worker thread.
+///
+/// Public counting/query API matches the sequential `ASketch`; on worker
+/// failure the pipeline transparently restores state from checkpoint +
+/// journal and keeps answering (see the module docs). Inspect
+/// [`stats`](Self::stats) / [`health`](Self::health) to observe faults.
+pub struct PipelineASketch<F: Filter, S: Supervisable> {
+    /// `Option` only so `finish`/`Drop` can move it out; always `Some`
+    /// while the pipeline is live.
+    filter: Option<F>,
+    /// The live worker; `None` once degraded to inline mode.
+    link: Option<WorkerLink<S>>,
+    /// The inline sketch used in degraded mode; `None` while a worker is up.
+    inline: Option<S>,
+    /// Caller-side FIFO spill used by [`BackpressurePolicy::InlineFallback`].
+    spill: VecDeque<ToSketch>,
+    journal: Journal<S>,
+    cfg: SupervisionConfig,
+    stats: PipelineStats,
+    last_error: Option<PipelineError>,
+}
+
+impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
+    /// Spawn the sketch worker and assemble the pipeline with default
+    /// supervision parameters.
+    pub fn spawn(filter: F, sketch: S) -> Self {
+        Self::spawn_with(filter, sketch, SupervisionConfig::default())
+    }
+
+    /// Spawn with explicit supervision parameters.
+    pub fn spawn_with(filter: F, sketch: S, cfg: SupervisionConfig) -> Self {
+        let journal = Journal::new(sketch.clone());
+        let link = spawn_worker(sketch, &cfg);
+        Self {
+            filter: Some(filter),
+            link: Some(link),
+            inline: None,
+            spill: VecDeque::new(),
+            journal,
+            cfg,
+            stats: PipelineStats::default(),
+            last_error: None,
+        }
+    }
+
+    #[inline]
+    fn filter_ref(&self) -> &F {
+        self.filter.as_ref().expect("filter present while live")
+    }
+
+    #[inline]
+    fn filter_mut(&mut self) -> &mut F {
+        self.filter.as_mut().expect("filter present while live")
+    }
+
+    /// Tear down the failed worker, reconstruct the sketch from checkpoint +
+    /// journal, and either respawn (restart budget permitting) or degrade to
+    /// inline mode. Idempotent once degraded.
+    fn fail_over(&mut self, err: Option<PipelineError>) {
+        let Some(link) = self.link.take() else { return };
+        self.stats.worker_failures += 1;
+
+        // Harvest any checkpoints already queued: they tighten the journal
+        // so the replay below is as short as possible.
+        while let Ok(msg) = link.rx.try_recv() {
+            if let FromSketch::Checkpoint { seq, snapshot } = msg {
+                self.stats.checkpoints += 1;
+                self.journal.on_checkpoint(seq, snapshot);
+            }
+        }
+        drop(link.tx);
+
+        // Give a just-panicked thread a beat to unwind so we can harvest
+        // the payload; a genuinely wedged thread is abandoned (it exits on
+        // its own when it next touches the disconnected channel).
+        let mut finished = link.handle.is_finished();
+        if !finished {
+            std::thread::sleep(Duration::from_millis(2));
+            finished = link.handle.is_finished();
+        }
+        let error = if finished {
+            match link.handle.join() {
+                Err(payload) => PipelineError::WorkerPanicked(panic_message(payload)),
+                Ok(_) => err.unwrap_or(PipelineError::Disconnected),
+            }
+        } else {
+            err.unwrap_or(PipelineError::EstimateTimeout)
+        };
+        self.last_error = Some(error);
+
+        // Spilled-but-unsent messages are already journaled; the restore
+        // below replays them, so the spill queue itself can go.
+        self.spill.clear();
+        let restored = self.journal.restore();
+
+        if self.stats.restarts < u64::from(self.cfg.max_restarts) {
+            self.stats.restarts += 1;
+            let backoff = self.cfg.backoff_for(self.stats.restarts);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            self.journal.reset(restored.clone());
+            self.link = Some(spawn_worker(restored, &self.cfg));
+            self.stats.degraded = false;
+        } else {
+            self.stats.degraded = true;
+            self.inline = Some(restored);
+        }
+    }
+
+    /// Flush as much of the spill queue as fits without blocking.
+    fn flush_spill_try(&mut self) {
+        while let Some(msg) = self.spill.pop_front() {
+            let Some(link) = self.link.as_ref() else { return };
+            match link.tx.try_send(msg) {
+                Ok(()) => {}
+                Err(TrySendError::Full(m)) => {
+                    self.spill.push_front(m);
+                    return;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // The message is journaled; fail_over's restore covers it.
+                    self.fail_over(None);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Flush the whole spill queue, waiting for channel space; a worker that
+    /// stays wedged past the timeout is failed over (the journal preserves
+    /// every spilled op, so nothing is lost either way).
+    fn flush_spill_sync(&mut self) {
+        while let Some(msg) = self.spill.pop_front() {
+            let Some(link) = self.link.as_ref() else { return };
+            match link.tx.send_timeout(msg, self.cfg.estimate_timeout) {
+                Ok(()) => {}
+                Err(SendTimeoutError::Timeout(_)) => {
+                    self.fail_over(Some(PipelineError::EstimateTimeout));
+                    return;
+                }
+                Err(SendTimeoutError::Disconnected(_)) => {
+                    self.fail_over(None);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Append to the spill queue, degrading to a synchronous flush when the
+    /// spill itself is full — memory stays bounded and nothing is dropped.
+    fn push_spill(&mut self, msg: ToSketch) {
+        if self.spill.len() >= self.cfg.spill_capacity.max(1) {
+            self.flush_spill_sync();
+            if self.link.is_none() {
+                // Failed over; `msg` is journaled and therefore restored.
+                return;
+            }
+        }
+        self.stats.spilled += 1;
+        self.spill.push_back(msg);
+    }
+
+    /// Ship one counting op to the worker, honouring the backpressure policy
+    /// and journaling it first so no failure mode can lose it. In degraded
+    /// mode the op is applied inline instead.
+    fn ship_counting(&mut self, key: u64, delta: i64, build: impl FnOnce(u64) -> ToSketch) {
+        if self.link.is_none() {
+            self.stats.inline_updates += 1;
+            self.inline
+                .as_mut()
+                .expect("degraded mode has an inline sketch")
+                .update(key, delta);
+            return;
+        }
+        let seq = self.journal.record(key, delta);
+        let msg = build(seq);
+        // FIFO discipline: anything spilled earlier goes first, so sequence
+        // order on the wire always matches journal order.
+        self.flush_spill_try();
+        if self.link.is_none() {
+            return; // failed over during the flush; journal covers `msg`
+        }
+        if !self.spill.is_empty() {
+            self.push_spill(msg);
+            return;
+        }
+        let sent = self
+            .link
+            .as_ref()
+            .expect("worker link checked above")
+            .tx
+            .try_send(msg);
+        match sent {
+            Ok(()) => {}
+            Err(TrySendError::Full(m)) => {
+                self.stats.queue_full_events += 1;
+                match self.cfg.backpressure {
+                    BackpressurePolicy::Block => self.send_sync(m),
+                    BackpressurePolicy::InlineFallback => self.push_spill(m),
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => self.fail_over(None),
+        }
+    }
+
+    /// Blocking send with a wedge bound: waits for queue space up to the
+    /// estimate timeout, then declares the worker wedged and fails over.
+    fn send_sync(&mut self, msg: ToSketch) {
+        let Some(link) = self.link.as_ref() else { return };
+        match link.tx.send_timeout(msg, self.cfg.estimate_timeout) {
+            Ok(()) => {}
+            Err(SendTimeoutError::Timeout(_)) => {
+                self.fail_over(Some(PipelineError::EstimateTimeout));
+            }
+            Err(SendTimeoutError::Disconnected(_)) => self.fail_over(None),
+        }
+    }
+
+    /// Drain everything the worker has sent back: checkpoints prune the
+    /// journal, promotion suggestions are applied against current filter
+    /// state.
+    fn drain_worker_msgs(&mut self) {
+        let mut promotes: Vec<(u64, i64)> = Vec::new();
+        let mut checkpoints: Vec<(u64, S)> = Vec::new();
+        {
+            let Some(link) = self.link.as_ref() else { return };
+            while let Ok(msg) = link.rx.try_recv() {
+                match msg {
+                    FromSketch::Promote { key, est } => promotes.push((key, est)),
+                    FromSketch::Checkpoint { seq, snapshot } => checkpoints.push((seq, snapshot)),
+                }
+            }
+        }
+        for (seq, snapshot) in checkpoints {
+            self.stats.checkpoints += 1;
+            self.journal.on_checkpoint(seq, snapshot);
+        }
+        for (key, est) in promotes {
+            self.apply_promotion(key, est);
+        }
+    }
+
+    /// Re-check a promotion suggestion against the *current* filter state
+    /// and apply it if it still holds.
+    fn apply_promotion(&mut self, key: u64, suggested_est: i64) {
+        if self.filter_ref().query(key).is_some() {
+            return;
+        }
+        let Some(min) = self.filter_ref().min_count() else {
+            return;
+        };
+        if suggested_est <= min {
+            return;
+        }
+        // The suggested estimate is stale: the hot key has usually received
+        // further forwards since the suggestion was made. Fetch a fresh
+        // estimate — FIFO ordering guarantees it covers every update this
+        // core has issued — so the filter count never starts below the
+        // sketch's mass for the key.
+        let fresh = self.backend_estimate(key);
+        if fresh <= min {
+            return;
+        }
+        let evicted = self
+            .filter_mut()
+            .evict_min()
+            .expect("filter non-empty: min_count succeeded");
+        if evicted.pending() > 0 {
+            let (dkey, pending) = (evicted.key, evicted.pending());
+            self.ship_counting(dkey, pending, |seq| ToSketch::Demote {
+                key: dkey,
+                pending,
+                seq,
+            });
+        }
+        self.filter_mut().insert(key, fresh, fresh);
+        self.stats.exchanges += 1;
+        // Best-effort: let the worker clear its recently-suggested ring.
+        if self.spill.is_empty() {
+            if let Some(link) = self.link.as_ref() {
+                let _ = link.tx.try_send(ToSketch::Promoted);
+            }
+        }
+    }
+
+    /// Estimate for a key not monitored by the filter: round-trip to the
+    /// worker with timeout + retry, failing over (and answering inline) if
+    /// the worker never responds. In degraded mode, answers from the inline
+    /// sketch directly.
+    fn backend_estimate(&mut self, key: u64) -> i64 {
+        loop {
+            if self.link.is_none() {
+                return self
+                    .inline
+                    .as_ref()
+                    .expect("degraded mode has an inline sketch")
+                    .estimate(key);
+            }
+            // All queued counting ops must precede the estimate so the
+            // answer covers them.
+            self.flush_spill_sync();
+            if self.link.is_none() {
                 continue;
             }
-            let min = self.filter.min_count().expect("filter full before promotion");
-            if est > min {
-                // The suggested estimate is stale: the hot key has usually
-                // received further forwards since the suggestion was made.
-                // Fetch a fresh estimate — channel FIFO guarantees it covers
-                // every update this core has issued — so the filter count
-                // never starts below the sketch's mass for the key.
-                let (tx, rx) = channel::bounded(1);
-                self.to_sketch
-                    .send(ToSketch::Estimate { key, reply: tx })
-                    .expect("sketch worker alive");
-                let fresh = rx.recv().expect("sketch worker answers");
-                let evicted = self.filter.evict_min().expect("non-empty");
-                if evicted.pending() > 0 {
-                    let _ = self.to_sketch.send(ToSketch::Demote {
-                        key: evicted.key,
-                        pending: evicted.pending(),
-                    });
+            let mut failure: Option<Option<PipelineError>> = None;
+            let mut timeouts = 0u32;
+            loop {
+                let link = self.link.as_ref().expect("worker link checked above");
+                let (reply_tx, reply_rx) = channel::bounded(1);
+                let sent = link.tx.send_timeout(
+                    ToSketch::Estimate {
+                        key,
+                        reply: reply_tx,
+                    },
+                    self.cfg.estimate_timeout,
+                );
+                match sent {
+                    Ok(()) => match reply_rx.recv_timeout(self.cfg.estimate_timeout) {
+                        Ok(v) => return v,
+                        Err(RecvTimeoutError::Timeout) => {
+                            self.stats.estimate_timeouts += 1;
+                            timeouts += 1;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            failure = Some(None);
+                        }
+                    },
+                    Err(SendTimeoutError::Timeout(_)) => {
+                        self.stats.estimate_timeouts += 1;
+                        timeouts += 1;
+                    }
+                    Err(SendTimeoutError::Disconnected(_)) => {
+                        failure = Some(None);
+                    }
                 }
-                self.filter.insert(key, fresh, fresh);
-                self.exchanges += 1;
+                if let Some(err) = failure {
+                    self.fail_over(err);
+                    break;
+                }
+                if timeouts > self.cfg.estimate_retries {
+                    self.fail_over(Some(PipelineError::EstimateTimeout));
+                    break;
+                }
             }
+            // Failed over: either a fresh worker is up (retry the round
+            // trip against it) or we are degraded (answered at loop top).
         }
     }
 
@@ -141,19 +569,53 @@ impl<F: Filter, S: UpdateEstimate + Send + 'static> PipelineASketch<F, S> {
             }
             return;
         }
-        if self.filter.update_existing(key, u).is_some() {
+        if !self.spill.is_empty() {
+            self.flush_spill_try();
+        }
+        if self.filter_mut().update_existing(key, u).is_some() {
             return;
         }
-        if !self.filter.is_full() {
-            self.filter.insert(key, u, 0);
+        if !self.filter_ref().is_full() {
+            self.filter_mut().insert(key, u, 0);
             return;
         }
-        let filter_min = self.filter.min_count().expect("full filter non-empty");
-        self.to_sketch
-            .send(ToSketch::Forward { key, u, filter_min })
-            .expect("sketch worker alive");
-        self.forwarded += 1;
-        self.drain_promotions();
+        if self.link.is_none() {
+            self.degraded_overflow(key, u);
+            return;
+        }
+        let filter_min = self
+            .filter_ref()
+            .min_count()
+            .expect("full filter non-empty");
+        self.stats.forwarded += 1;
+        self.ship_counting(key, u, |seq| ToSketch::Forward {
+            key,
+            u,
+            filter_min,
+            seq,
+        });
+        self.drain_worker_msgs();
+    }
+
+    /// Degraded-mode overflow path: the full sequential exchange check
+    /// (Algorithm 1) runs inline on the caller.
+    fn degraded_overflow(&mut self, key: u64, u: i64) {
+        self.stats.inline_updates += 1;
+        let inline = self
+            .inline
+            .as_mut()
+            .expect("degraded mode has an inline sketch");
+        let est = inline.update_and_estimate(key, u);
+        let filter = self.filter.as_mut().expect("filter present while live");
+        let min = filter.min_count().expect("full filter non-empty");
+        if est > min {
+            let evicted = filter.evict_min().expect("filter non-empty");
+            if evicted.pending() > 0 {
+                inline.update(evicted.key, evicted.pending());
+            }
+            filter.insert(key, est, est);
+            self.stats.exchanges += 1;
+        }
     }
 
     /// Convenience: `update(key, 1)`.
@@ -163,63 +625,156 @@ impl<F: Filter, S: UpdateEstimate + Send + 'static> PipelineASketch<F, S> {
     }
 
     /// Appendix-A deletion across the pipeline.
+    ///
+    /// A non-positive `amount` is a documented no-op: zero-amount deletes
+    /// are common in generated workloads and must not abort the stream.
     pub fn delete(&mut self, key: u64, amount: i64) {
-        assert!(amount > 0);
-        match self.filter.subtract(key, amount) {
-            None => {
-                self.to_sketch
-                    .send(ToSketch::Subtract { key, amount })
-                    .expect("sketch worker alive");
-            }
+        if amount <= 0 {
+            return;
+        }
+        match self.filter_mut().subtract(key, amount) {
+            None => self.ship_counting(key, -amount, |seq| ToSketch::Subtract {
+                key,
+                amount,
+                seq,
+            }),
             Some(0) => {}
-            Some(spill) => {
-                self.to_sketch
-                    .send(ToSketch::Subtract { key, amount: spill })
-                    .expect("sketch worker alive");
-            }
+            Some(remainder) => self.ship_counting(key, -remainder, |seq| ToSketch::Subtract {
+                key,
+                amount: remainder,
+                seq,
+            }),
         }
     }
 
-    /// Point query. Filter hits answer locally; misses round-trip to the
-    /// sketch core (FIFO with all preceding forwards, so the answer covers
-    /// every update issued before this call).
+    /// Point query. Filter hits answer locally; misses go through
+    /// [`backend_estimate`](Self::backend_estimate) (worker round-trip with
+    /// timeout + retry, or the inline sketch when degraded).
     pub fn estimate(&mut self, key: u64) -> i64 {
-        self.drain_promotions();
-        if let Some(c) = self.filter.query(key) {
+        self.drain_worker_msgs();
+        if let Some(c) = self.filter_ref().query(key) {
             return c;
         }
-        let (tx, rx) = channel::bounded(1);
-        self.to_sketch
-            .send(ToSketch::Estimate { key, reply: tx })
-            .expect("sketch worker alive");
-        rx.recv().expect("sketch worker answers")
+        self.backend_estimate(key)
     }
 
     /// Number of promotions applied so far.
     pub fn exchanges(&self) -> u64 {
-        self.exchanges
+        self.stats.exchanges
     }
 
     /// Number of tuples forwarded to the sketch core.
     pub fn forwarded(&self) -> u64 {
-        self.forwarded
+        self.stats.forwarded
+    }
+
+    /// Runtime counters (forwards, exchanges, queue-full events, spills,
+    /// failures, restarts, checkpoints, degraded flag).
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Condensed health view: degraded flag, restart/failure counts, and
+    /// the most recent error rendered as a string.
+    pub fn health(&self) -> RuntimeHealth {
+        RuntimeHealth {
+            degraded: self.stats.degraded,
+            restarts: self.stats.restarts,
+            worker_failures: self.stats.worker_failures,
+            last_error: self.last_error.as_ref().map(|e| e.to_string()),
+        }
+    }
+
+    /// The most recent worker fault, if any.
+    pub fn last_error(&self) -> Option<&PipelineError> {
+        self.last_error.as_ref()
+    }
+
+    /// `true` once the restart budget is spent and updates run inline.
+    pub fn is_degraded(&self) -> bool {
+        self.stats.degraded
+    }
+
+    /// The supervision parameters this pipeline runs with.
+    pub fn config(&self) -> &SupervisionConfig {
+        &self.cfg
+    }
+
+    /// Recover the sketch from whatever state the worker is in: clean join
+    /// when healthy, journal reconstruction when panicked or wedged. Bounded
+    /// by [`SupervisionConfig::shutdown_timeout`] — never hangs.
+    fn recover_sketch(&mut self) -> S {
+        self.drain_worker_msgs();
+        if self.link.is_some() {
+            self.flush_spill_sync();
+        }
+        let Some(link) = self.link.take() else {
+            return match self.inline.take() {
+                Some(s) => s,
+                None => self.journal.restore(),
+            };
+        };
+        let _ = link.tx.send_timeout(ToSketch::Shutdown, self.cfg.estimate_timeout);
+        drop(link.tx);
+        let deadline = std::time::Instant::now() + self.cfg.shutdown_timeout;
+        while !link.handle.is_finished() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if link.handle.is_finished() {
+            match link.handle.join() {
+                Ok(sketch) => sketch,
+                Err(payload) => {
+                    self.stats.worker_failures += 1;
+                    self.stats.degraded = true;
+                    self.last_error = Some(PipelineError::WorkerPanicked(panic_message(payload)));
+                    self.journal.restore()
+                }
+            }
+        } else {
+            // Wedged past the deadline: abandon the thread (it exits when it
+            // next touches the disconnected channel) and reconstruct.
+            self.stats.worker_failures += 1;
+            self.stats.degraded = true;
+            self.last_error = Some(PipelineError::EstimateTimeout);
+            self.journal.restore()
+        }
     }
 
     /// Shut the worker down and return `(filter, sketch)`.
     ///
-    /// Dropping a `PipelineASketch` without calling `finish` is also fine:
-    /// closing the channel ends the worker loop and the thread exits on its
-    /// own.
-    pub fn finish(self) -> (F, S) {
-        self.to_sketch.send(ToSketch::Shutdown).expect("worker alive");
-        let sketch = self.worker.join().expect("sketch worker must not panic");
-        (self.filter, sketch)
+    /// Never hangs: a healthy worker is joined, a panicked or wedged one is
+    /// replaced by the journal reconstruction (check
+    /// [`health`](Self::health) before calling if you need to know which).
+    pub fn finish(mut self) -> (F, S) {
+        let sketch = self.recover_sketch();
+        let filter = self.filter.take().expect("filter present until finish");
+        (filter, sketch)
+    }
+}
+
+impl<F: Filter, S: Supervisable> Drop for PipelineASketch<F, S> {
+    /// Best-effort teardown for pipelines dropped without
+    /// [`finish`](Self::finish): ask the worker to stop, wait a bounded
+    /// time, and abandon it if wedged. Never hangs, never panics.
+    fn drop(&mut self) {
+        if let Some(link) = self.link.take() {
+            let _ = link.tx.try_send(ToSketch::Shutdown);
+            drop(link.tx);
+            let deadline = std::time::Instant::now() + self.cfg.shutdown_timeout;
+            while !link.handle.is_finished() && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if link.handle.is_finished() {
+                let _ = link.handle.join();
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultyEstimator};
     use asketch::filter::RelaxedHeapFilter;
     use sketches::{CountMin, FrequencyEstimator};
 
@@ -322,5 +877,157 @@ mod tests {
         let mut p = pipeline(2);
         p.insert(1);
         drop(p); // must join cleanly
+    }
+
+    #[test]
+    fn zero_and_negative_amount_delete_is_noop() {
+        let mut p = pipeline(2);
+        for _ in 0..10 {
+            p.insert(1);
+        }
+        p.delete(1, 0);
+        p.delete(1, -5);
+        p.delete(42, 0); // unmonitored key: must not ship anything either
+        assert_eq!(p.estimate(1), 10);
+        assert_eq!(p.estimate(42), 0);
+    }
+
+    #[test]
+    fn stats_surface_reports_activity() {
+        let mut p = pipeline(2);
+        p.insert(1);
+        p.insert(2);
+        for _ in 0..50 {
+            p.insert(3);
+        }
+        let _ = p.estimate(3);
+        let st = p.stats();
+        assert!(st.forwarded >= 50);
+        assert!(!st.degraded);
+        assert_eq!(st.worker_failures, 0);
+        let h = p.health();
+        assert!(!h.degraded);
+        assert!(h.last_error.is_none());
+    }
+
+    #[test]
+    fn inline_fallback_spills_and_stays_exact() {
+        let cfg = SupervisionConfig {
+            queue_capacity: 4,
+            backpressure: BackpressurePolicy::InlineFallback,
+            spill_capacity: 64,
+            checkpoint_interval: 32,
+            ..SupervisionConfig::default()
+        };
+        let sketch = FaultyEstimator::new(
+            CountMin::new(7, 4, 1 << 12).unwrap(),
+            FaultPlan::slow_updates(1, Duration::from_micros(300)),
+        );
+        let mut p = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), sketch, cfg);
+        p.insert(1);
+        p.insert(2);
+        for _ in 0..500 {
+            p.insert(3); // slow worker: queue fills, caller spills
+        }
+        assert!(p.estimate(3) >= 500, "no update may be dropped");
+        let st = p.stats();
+        assert!(st.queue_full_events > 0, "slow worker must fill the queue");
+        assert!(st.spilled > 0, "fallback policy must spill");
+        assert!(!st.degraded);
+        let (filter, sketch) = p.finish();
+        let covered = filter.query(3).unwrap_or_else(|| sketch.estimate(3));
+        assert!(covered >= 500);
+    }
+
+    #[test]
+    fn block_policy_counts_queue_full_without_spilling() {
+        let cfg = SupervisionConfig {
+            queue_capacity: 4,
+            backpressure: BackpressurePolicy::Block,
+            checkpoint_interval: 32,
+            ..SupervisionConfig::default()
+        };
+        let sketch = FaultyEstimator::new(
+            CountMin::new(7, 4, 1 << 12).unwrap(),
+            FaultPlan::slow_updates(1, Duration::from_micros(300)),
+        );
+        let mut p = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), sketch, cfg);
+        p.insert(1);
+        p.insert(2);
+        for _ in 0..300 {
+            p.insert(3);
+        }
+        assert!(p.estimate(3) >= 300);
+        let st = p.stats();
+        assert!(st.queue_full_events > 0);
+        assert_eq!(st.spilled, 0, "Block policy never spills");
+    }
+
+    #[test]
+    fn worker_panic_restarts_and_preserves_counts() {
+        let cfg = SupervisionConfig {
+            queue_capacity: 8,
+            checkpoint_interval: 16,
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(1),
+            ..SupervisionConfig::default()
+        };
+        let sketch = FaultyEstimator::new(
+            CountMin::new(7, 4, 1 << 12).unwrap(),
+            FaultPlan::panic_at(40).with_message("injected worker crash"),
+        );
+        let mut p = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), sketch, cfg);
+        // Heavy filter residents keep min_count high, so the forwarded key
+        // is never promoted and every insert of 3 reaches the worker.
+        for _ in 0..1_000 {
+            p.insert(1);
+            p.insert(2);
+        }
+        for _ in 0..400 {
+            p.insert(3); // op 40 on the worker panics mid-stream
+        }
+        assert!(p.estimate(3) >= 400, "restore + replay must lose nothing");
+        let st = p.stats();
+        assert!(st.worker_failures >= 1, "panic must be observed");
+        assert!(st.restarts >= 1, "worker must be respawned");
+        assert!(!st.degraded, "restart budget not exhausted");
+        let h = p.health();
+        assert!(
+            h.last_error.as_deref().unwrap_or("").contains("injected"),
+            "panic payload must be captured: {:?}",
+            h.last_error
+        );
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_degrades_but_keeps_counting() {
+        let cfg = SupervisionConfig {
+            queue_capacity: 8,
+            checkpoint_interval: 16,
+            max_restarts: 0, // first fault degrades immediately
+            ..SupervisionConfig::default()
+        };
+        let mut plan = FaultPlan::panic_at(25);
+        plan.rearm_on_clone = false;
+        let sketch = FaultyEstimator::new(CountMin::new(7, 4, 1 << 12).unwrap(), plan);
+        let mut p = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), sketch, cfg);
+        // Keep min_count high so key 3 stays on the forward path (see
+        // worker_panic_restarts_and_preserves_counts).
+        for _ in 0..1_000 {
+            p.insert(1);
+            p.insert(2);
+        }
+        for _ in 0..200 {
+            p.insert(3);
+        }
+        // Updates continue after degradation, estimates stay one-sided.
+        assert!(p.estimate(3) >= 200);
+        assert!(p.is_degraded());
+        let st = p.stats();
+        assert_eq!(st.restarts, 0);
+        assert!(st.inline_updates > 0, "degraded mode must count inline");
+        let (filter, sketch) = p.finish();
+        let covered = filter.query(3).unwrap_or_else(|| sketch.estimate(3));
+        assert!(covered >= 200);
     }
 }

@@ -7,8 +7,56 @@
 //! count, preserving the one-sided guarantee. This is the configuration of
 //! the paper's Figure 13 (linear scaling of ASketch vs Count-Min kernels
 //! with core count).
+//!
+//! # Fault containment
+//!
+//! A kernel panic is contained to its own shard: each shard thread runs its
+//! kernel inside `catch_unwind` and, on panic, rebuilds a *fresh* kernel
+//! and replays the whole shard from the start (the old kernel is discarded,
+//! so retries can never double-count). [`SpmdGroup::ingest_supervised`]
+//! bounds the attempts and reports per-shard recoveries in an
+//! [`SpmdReport`]; a shard that keeps failing surfaces as
+//! [`PipelineError::ShardFailed`] instead of poisoning the join.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use sketches::traits::FrequencyEstimator;
+
+use crate::supervisor::{panic_message, PipelineError};
+
+/// Per-shard result of a supervised ingest: the finished kernel, the number
+/// of attempts it took, and the last recovered panic payload (if any).
+type ShardOutcome<K> = Result<(K, u32, Option<String>), PipelineError>;
+
+/// Default attempts per shard used by [`SpmdGroup::ingest`]: one initial
+/// run plus two retries.
+pub const DEFAULT_SHARD_ATTEMPTS: u32 = 3;
+
+/// One shard that panicked and was recovered by replaying from scratch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// Index of the shard.
+    pub shard: usize,
+    /// Attempts consumed before the shard completed (>= 2: the first
+    /// attempt failed).
+    pub attempts: u32,
+    /// Panic message of the last failed attempt.
+    pub error: String,
+}
+
+/// Outcome summary of a supervised SPMD ingest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpmdReport {
+    /// Shards that panicked at least once and completed on a retry.
+    pub recovered: Vec<ShardRecovery>,
+}
+
+impl SpmdReport {
+    /// `true` when every shard completed on its first attempt.
+    pub fn is_clean(&self) -> bool {
+        self.recovered.is_empty()
+    }
+}
 
 /// A group of independently fed counting kernels.
 pub struct SpmdGroup<K> {
@@ -22,34 +70,120 @@ impl<K: FrequencyEstimator + Send> SpmdGroup<K> {
     /// Returns the group and the wall-clock nanoseconds of the parallel
     /// ingest phase (all threads started together, measured to the last
     /// join), which is what the throughput experiments report.
+    ///
+    /// Shard panics are retried up to [`DEFAULT_SHARD_ATTEMPTS`] total
+    /// attempts; use [`ingest_supervised`](Self::ingest_supervised) to pick
+    /// the budget and observe recoveries.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty, or if a shard exhausts its attempts.
     pub fn ingest<F>(shards: &[Vec<u64>], make_kernel: F) -> (Self, u128)
     where
         F: Fn(usize) -> K + Sync,
     {
+        match Self::ingest_supervised(shards, make_kernel, DEFAULT_SHARD_ATTEMPTS) {
+            Ok((group, nanos, _report)) => (group, nanos),
+            Err(e) => panic!("SPMD ingest failed: {e}"),
+        }
+    }
+
+    /// Supervised ingest: each shard gets up to `max_attempts` full runs
+    /// (a fresh kernel per attempt, so partial state from a panicked run is
+    /// never counted).
+    ///
+    /// On success returns the group, the parallel wall-clock nanoseconds,
+    /// and a report of any shards that needed recovery.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::ShardFailed`] for the first shard (by
+    /// index) that panicked on every permitted attempt.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    pub fn ingest_supervised<F>(
+        shards: &[Vec<u64>],
+        make_kernel: F,
+        max_attempts: u32,
+    ) -> Result<(Self, u128, SpmdReport), PipelineError>
+    where
+        F: Fn(usize) -> K + Sync,
+    {
         assert!(!shards.is_empty(), "need at least one shard");
+        let max_attempts = max_attempts.max(1);
         let start = std::time::Instant::now();
-        let kernels: Vec<K> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .enumerate()
-                .map(|(i, shard)| {
-                    let make_kernel = &make_kernel;
-                    scope.spawn(move || {
-                        let mut kernel = make_kernel(i);
-                        for &key in shard {
-                            kernel.update(key, 1);
-                        }
-                        kernel
+        let outcomes: Vec<ShardOutcome<K>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, shard)| {
+                        let make_kernel = &make_kernel;
+                        scope.spawn(move || {
+                            let mut attempts = 0u32;
+                            let mut last_error: Option<String> = None;
+                            loop {
+                                attempts += 1;
+                                let run = catch_unwind(AssertUnwindSafe(|| {
+                                    let mut kernel = make_kernel(i);
+                                    for &key in shard {
+                                        kernel.update(key, 1);
+                                    }
+                                    kernel
+                                }));
+                                match run {
+                                    Ok(kernel) => return Ok((kernel, attempts, last_error)),
+                                    Err(payload) => {
+                                        let msg = panic_message(payload);
+                                        if attempts >= max_attempts {
+                                            return Err(PipelineError::ShardFailed {
+                                                shard: i,
+                                                attempts,
+                                                payload: msg,
+                                            });
+                                        }
+                                        last_error = Some(msg);
+                                    }
+                                }
+                            }
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("kernel thread must not panic"))
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, h)| match h.join() {
+                        Ok(outcome) => outcome,
+                        // The closure catches kernel panics itself; a panic
+                        // escaping it (e.g. in thread shutdown) still maps
+                        // to a shard failure rather than poisoning us.
+                        Err(payload) => Err(PipelineError::ShardFailed {
+                            shard: i,
+                            attempts: max_attempts,
+                            payload: panic_message(payload),
+                        }),
+                    })
+                    .collect()
+            });
         let elapsed = start.elapsed().as_nanos();
-        (Self { kernels }, elapsed)
+
+        let mut kernels = Vec::with_capacity(shards.len());
+        let mut report = SpmdReport::default();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok((kernel, attempts, last_error)) => {
+                    kernels.push(kernel);
+                    if attempts > 1 {
+                        report.recovered.push(ShardRecovery {
+                            shard: i,
+                            attempts,
+                            error: last_error.unwrap_or_default(),
+                        });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((Self { kernels }, elapsed, report))
     }
 
     /// Combined point estimate: the sum of every kernel's answer
@@ -85,6 +219,7 @@ mod tests {
     use super::*;
     use asketch::AsketchBuilder;
     use sketches::CountMin;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     #[test]
     fn shards_partition_the_stream() {
@@ -143,5 +278,70 @@ mod tests {
         for key in 0..10u64 {
             assert_eq!(group.estimate(key), 100);
         }
+    }
+
+    /// A kernel whose first construction on shard 1 panics; retries get a
+    /// healthy kernel. Exercises the contain-and-replay path.
+    #[test]
+    fn shard_panic_is_contained_and_replayed() {
+        let armed = AtomicBool::new(true);
+        let stream: Vec<u64> = (0..4_000u64).map(|i| i % 10).collect();
+        let shards = round_robin_shards(&stream, 4);
+        let (group, _nanos, report) = SpmdGroup::ingest_supervised(
+            &shards,
+            |i| {
+                if i == 1 && armed.swap(false, Ordering::SeqCst) {
+                    panic!("injected shard fault");
+                }
+                CountMin::new(40 + i as u64, 4, 1 << 12).unwrap()
+            },
+            3,
+        )
+        .expect("recoverable fault must not fail the ingest");
+        assert_eq!(group.width(), 4);
+        assert_eq!(report.recovered.len(), 1);
+        assert_eq!(report.recovered[0].shard, 1);
+        assert_eq!(report.recovered[0].attempts, 2);
+        assert!(report.recovered[0].error.contains("injected"));
+        // Replay-from-scratch: every key still fully covered, no double
+        // counting possible (exact in a collision-free CMS).
+        for key in 0..10u64 {
+            assert!(group.estimate(key) >= 400, "key {key} under-counted");
+        }
+    }
+
+    #[test]
+    fn persistent_shard_failure_surfaces_as_error() {
+        let shards = vec![vec![1u64, 2, 3], vec![4u64, 5, 6]];
+        let result = SpmdGroup::<CountMin>::ingest_supervised(
+            &shards,
+            |i| {
+                if i == 0 {
+                    panic!("shard 0 always dies");
+                }
+                CountMin::new(9, 4, 1 << 10).unwrap()
+            },
+            2,
+        );
+        match result {
+            Err(PipelineError::ShardFailed { shard, attempts, payload }) => {
+                assert_eq!(shard, 0);
+                assert_eq!(attempts, 2);
+                assert!(payload.contains("always dies"));
+            }
+            other => panic!("expected ShardFailed, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn clean_ingest_reports_clean() {
+        let shards = round_robin_shards(&(0..100u64).collect::<Vec<_>>(), 2);
+        let (_, _, report) = SpmdGroup::ingest_supervised(
+            &shards,
+            |i| CountMin::new(7 + i as u64, 4, 1 << 10).unwrap(),
+            3,
+        )
+        .unwrap();
+        assert!(report.is_clean());
     }
 }

@@ -1,0 +1,405 @@
+//! Supervision substrate shared by the pipeline runtimes: typed errors,
+//! backpressure/restart policy, runtime health, and the checkpoint/replay
+//! journal that makes worker faults *lossless*.
+//!
+//! # Fault model
+//!
+//! The sketch worker owns the only authoritative copy of the sketch, so a
+//! worker panic would normally lose every forwarded update. The runtimes
+//! avoid that with a checkpoint + journal protocol:
+//!
+//! * every counting message shipped to the worker carries a monotonically
+//!   increasing sequence number and is also recorded in a caller-side
+//!   [`Journal`];
+//! * every `checkpoint_interval` counting messages the worker clones its
+//!   sketch and sends `(last_applied_seq, snapshot)` back on the (never
+//!   blocking, unbounded) reply channel;
+//! * on receiving a checkpoint the caller prunes journal entries with
+//!   `seq <= last_applied_seq`.
+//!
+//! After a fault, `snapshot + replay(journal)` reconstructs *exactly* the
+//! state the worker would have reached had it applied every shipped
+//! message: entries at or below the checkpoint's sequence number are
+//! inside the snapshot, entries above it are replayed once. No update is
+//! lost and none is double counted, so the one-sided estimate guarantee
+//! survives every failure mode. Journal memory is bounded by the
+//! checkpoint interval plus the channel capacity.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use sketches::traits::Supervisable;
+
+/// What the caller does when the bounded forward queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the caller until the worker drains the queue. Simple, exact,
+    /// and memory-bounded; the producing thread stalls under overload.
+    #[default]
+    Block,
+    /// Never block on a full queue: divert the update to a bounded
+    /// caller-side spill buffer that is flushed opportunistically on later
+    /// channel interactions. FIFO order toward the worker is preserved
+    /// (once anything is spilled, subsequent updates queue behind it) and
+    /// point queries cover spilled-but-unsent mass, so estimates remain
+    /// one-sided. If the spill buffer itself fills, the caller degrades to
+    /// blocking — updates are *never* dropped.
+    InlineFallback,
+}
+
+/// Tunables for a supervised pipeline runtime.
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// Capacity of the bounded caller → worker channel.
+    pub queue_capacity: usize,
+    /// Reaction to a full forward queue.
+    pub backpressure: BackpressurePolicy,
+    /// Capacity of the caller-side spill buffer used by
+    /// [`BackpressurePolicy::InlineFallback`].
+    pub spill_capacity: usize,
+    /// Counting messages between worker checkpoints (snapshots shipped
+    /// back to the caller). Smaller values shrink the replay journal and
+    /// the recovery window at the cost of more cloning.
+    pub checkpoint_interval: u64,
+    /// How long a point-query round trip may take before it counts as a
+    /// timeout.
+    pub estimate_timeout: Duration,
+    /// Extra attempts for a timed-out estimate round trip before the
+    /// worker is declared wedged and failed over.
+    pub estimate_retries: u32,
+    /// Worker respawns allowed before the runtime stays in degraded
+    /// inline mode for good.
+    pub max_restarts: u32,
+    /// Base delay before a worker respawn; doubles per restart (capped at
+    /// 32x).
+    pub restart_backoff: Duration,
+    /// Upper bound on how long `finish`/`Drop` wait for the worker to
+    /// exit before abandoning the thread and reconstructing the sketch
+    /// from the journal. Guarantees teardown never hangs.
+    pub shutdown_timeout: Duration,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            backpressure: BackpressurePolicy::Block,
+            spill_capacity: 8192,
+            checkpoint_interval: 1024,
+            estimate_timeout: Duration::from_secs(2),
+            estimate_retries: 2,
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(5),
+            shutdown_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl SupervisionConfig {
+    /// Backoff before restart number `restart` (1-based): exponential in
+    /// the restart count, capped at 32x the base.
+    pub(crate) fn backoff_for(&self, restart: u64) -> Duration {
+        let exp = restart.saturating_sub(1).min(5) as u32;
+        self.restart_backoff * (1u32 << exp)
+    }
+}
+
+/// Typed failures surfaced by the supervised runtimes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The worker thread panicked; the payload is the panic message.
+    WorkerPanicked(String),
+    /// The worker's channel disconnected without a panic payload.
+    Disconnected,
+    /// An estimate round trip exceeded its timeout budget (after retries).
+    EstimateTimeout,
+    /// An SPMD shard kept panicking after every permitted attempt.
+    ShardFailed {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Panic message of the last attempt.
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::WorkerPanicked(p) => write!(f, "sketch worker panicked: {p}"),
+            PipelineError::Disconnected => write!(f, "sketch worker channel disconnected"),
+            PipelineError::EstimateTimeout => write!(f, "estimate round trip timed out"),
+            PipelineError::ShardFailed { shard, attempts, payload } => {
+                write!(f, "SPMD shard {shard} failed after {attempts} attempts: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Counters describing a supervised pipeline run; the observability
+/// surface the chaos tests (and operators) assert on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Counting messages shipped to the worker (tuples for the ASketch
+    /// pipeline, batches for the H-UDAF pipeline).
+    pub forwarded: u64,
+    /// Filter ⇄ sketch exchanges applied (ASketch pipeline only).
+    pub exchanges: u64,
+    /// Times the bounded forward queue was found full.
+    pub queue_full_events: u64,
+    /// Updates diverted to the spill buffer under
+    /// [`BackpressurePolicy::InlineFallback`].
+    pub spilled: u64,
+    /// Updates applied on the caller in degraded inline mode.
+    pub inline_updates: u64,
+    /// Estimate round trips that timed out (including retries).
+    pub estimate_timeouts: u64,
+    /// Worker faults observed (panic, disconnect, or wedge).
+    pub worker_failures: u64,
+    /// Worker respawns performed.
+    pub restarts: u64,
+    /// Checkpoints received from the worker.
+    pub checkpoints: u64,
+    /// Whether the runtime is currently in degraded inline mode.
+    pub degraded: bool,
+}
+
+/// Condensed liveness/fault view derived from [`PipelineStats`] plus the
+/// most recent error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeHealth {
+    /// Whether updates are currently applied inline on the caller.
+    pub degraded: bool,
+    /// Worker respawns performed so far.
+    pub restarts: u64,
+    /// Worker faults observed so far.
+    pub worker_failures: u64,
+    /// Human-readable description of the most recent fault, if any.
+    pub last_error: Option<String>,
+}
+
+/// The caller-side checkpoint + replay journal (see module docs).
+///
+/// Entries are `(seq, key, delta)`; several entries may share one `seq`
+/// when a single message carries a batch.
+#[derive(Debug)]
+pub(crate) struct Journal<S> {
+    snapshot: S,
+    snapshot_seq: u64,
+    next_seq: u64,
+    entries: VecDeque<(u64, u64, i64)>,
+}
+
+impl<S: Supervisable> Journal<S> {
+    /// Start journaling against `snapshot` (the worker's initial state).
+    pub fn new(snapshot: S) -> Self {
+        Self {
+            snapshot,
+            snapshot_seq: 0,
+            next_seq: 1,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Sequence number of the snapshot currently held.
+    #[cfg(test)]
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snapshot_seq
+    }
+
+    /// Reserve the next sequence number without recording an entry; used
+    /// for batch messages whose pairs are recorded individually via
+    /// [`Journal::record_at`].
+    pub fn next_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Record one `(key, delta)` op and return its sequence number.
+    pub fn record(&mut self, key: u64, delta: i64) -> u64 {
+        let seq = self.next_seq();
+        self.entries.push_back((seq, key, delta));
+        seq
+    }
+
+    /// Record one pair of a batch under an already reserved `seq`.
+    pub fn record_at(&mut self, seq: u64, key: u64, delta: i64) {
+        debug_assert!(seq < self.next_seq);
+        self.entries.push_back((seq, key, delta));
+    }
+
+    /// Drop the most recently recorded entry (it was diverted away from
+    /// the worker before being sent). Only valid immediately after the
+    /// matching [`Journal::record`].
+    #[cfg(test)]
+    pub fn unrecord(&mut self, seq: u64) {
+        if let Some(&(last, _, _)) = self.entries.back() {
+            if last == seq {
+                self.entries.pop_back();
+            }
+        }
+    }
+
+    /// Install a newer snapshot from the worker and prune covered entries.
+    pub fn on_checkpoint(&mut self, seq: u64, snapshot: S) {
+        if seq < self.snapshot_seq {
+            return; // stale (can happen right after a restart)
+        }
+        self.snapshot = snapshot;
+        self.snapshot_seq = seq;
+        while self.entries.front().is_some_and(|&(s, _, _)| s <= seq) {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Reconstruct the full worker state: snapshot plus one replay of
+    /// every journaled op above the snapshot's sequence number.
+    pub fn restore(&self) -> S {
+        let mut sketch = self.snapshot.clone();
+        for &(seq, key, delta) in &self.entries {
+            if seq > self.snapshot_seq {
+                sketch.update(key, delta);
+            }
+        }
+        sketch
+    }
+
+    /// Re-baseline after a restart: `base` becomes the snapshot covering
+    /// every sequence number assigned so far, and the entry log empties.
+    pub fn reset(&mut self, base: S) {
+        self.snapshot = base;
+        self.snapshot_seq = self.next_seq - 1;
+        self.entries.clear();
+    }
+
+    /// Number of journaled (not yet checkpoint-covered) entries.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches::{CountMin, FrequencyEstimator};
+
+    fn cms() -> CountMin {
+        CountMin::new(3, 4, 1 << 10).unwrap()
+    }
+
+    #[test]
+    fn restore_replays_everything_past_snapshot() {
+        let mut j = Journal::new(cms());
+        let mut live = cms();
+        for k in 0..100u64 {
+            let key = k % 7;
+            j.record(key, 1);
+            live.update(key, 1);
+            if k == 49 {
+                // Worker checkpoints after applying the first 50 ops.
+                j.on_checkpoint(50, live.clone());
+            }
+        }
+        let restored = j.restore();
+        for key in 0..7u64 {
+            assert_eq!(restored.estimate(key), live.estimate(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_prunes_and_bounds_memory() {
+        let mut j = Journal::new(cms());
+        for _ in 0..1_000 {
+            j.record(1, 1);
+        }
+        assert_eq!(j.len(), 1_000);
+        let mut snap = cms();
+        snap.update(1, 900);
+        j.on_checkpoint(900, snap);
+        assert_eq!(j.len(), 100);
+        assert_eq!(j.restore().estimate(1), 1_000);
+    }
+
+    #[test]
+    fn stale_checkpoint_is_ignored() {
+        let mut j = Journal::new(cms());
+        j.record(5, 2);
+        let mut snap = cms();
+        snap.update(5, 2);
+        j.on_checkpoint(1, snap);
+        j.on_checkpoint(0, cms()); // stale: must not roll the snapshot back
+        assert_eq!(j.restore().estimate(5), 2);
+    }
+
+    #[test]
+    fn unrecord_drops_only_the_latest() {
+        let mut j = Journal::new(cms());
+        let a = j.record(1, 1);
+        j.unrecord(a + 1); // wrong seq: no-op
+        assert_eq!(j.len(), 1);
+        j.unrecord(a);
+        assert_eq!(j.len(), 0);
+        assert_eq!(j.restore().estimate(1), 0);
+    }
+
+    #[test]
+    fn reset_rebaselines() {
+        let mut j = Journal::new(cms());
+        j.record(3, 4);
+        let restored = j.restore();
+        assert_eq!(restored.estimate(3), 4);
+        j.reset(restored);
+        assert_eq!(j.len(), 0);
+        assert_eq!(j.snapshot_seq(), 1);
+        assert_eq!(j.restore().estimate(3), 4);
+        // New entries replay on top of the new baseline.
+        j.record(3, 1);
+        assert_eq!(j.restore().estimate(3), 5);
+    }
+
+    #[test]
+    fn batch_entries_share_a_seq() {
+        let mut j = Journal::new(cms());
+        let seq = j.next_seq();
+        j.record_at(seq, 1, 2);
+        j.record_at(seq, 2, 3);
+        let mut snap = cms();
+        snap.update(1, 2);
+        snap.update(2, 3);
+        j.on_checkpoint(seq, snap);
+        assert_eq!(j.len(), 0);
+        assert_eq!(j.restore().estimate(1), 2);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = SupervisionConfig::default();
+        assert_eq!(cfg.backoff_for(1), cfg.restart_backoff);
+        assert_eq!(cfg.backoff_for(3), cfg.restart_backoff * 4);
+        assert_eq!(cfg.backoff_for(100), cfg.restart_backoff * 32);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PipelineError::WorkerPanicked("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let e = PipelineError::ShardFailed { shard: 2, attempts: 3, payload: "x".into() };
+        assert!(e.to_string().contains("shard 2"));
+    }
+}

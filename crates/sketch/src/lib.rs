@@ -56,4 +56,4 @@ pub use heavy_hitters::SketchHeavyHitters;
 pub use holistic_udaf::{HolisticUdaf, HolisticUdaf32, HolisticUdafG};
 pub use misra_gries::MisraGries;
 pub use space_saving::{SpaceSaving, UnmonitoredEstimate};
-pub use traits::{FrequencyEstimator, Mergeable, TopK, Tuple, UpdateEstimate};
+pub use traits::{FrequencyEstimator, Mergeable, Supervisable, TopK, Tuple, UpdateEstimate};

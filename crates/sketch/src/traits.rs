@@ -53,6 +53,22 @@ pub trait UpdateEstimate: FrequencyEstimator {
     }
 }
 
+/// A summary that can run under a *supervised* parallel runtime.
+///
+/// Supervision needs exactly three capabilities beyond counting:
+///
+/// * `Clone` — the runtime checkpoints the summary by deep copy and, after
+///   a worker fault, restores from the last checkpoint plus a replay
+///   journal (see `asketch-parallel`'s fault model);
+/// * `Send` — the summary moves across worker threads on spawn/restart;
+/// * `'static` — the worker thread owns it with no borrowed state.
+///
+/// Blanket-implemented: any `UpdateEstimate + Clone + Send + 'static`
+/// summary is supervisable, which covers every sketch in this workspace.
+pub trait Supervisable: UpdateEstimate + Clone + Send + 'static {}
+
+impl<T: UpdateEstimate + Clone + Send + 'static> Supervisable for T {}
+
 /// A summary that can report its (approximate) top-k heaviest items.
 pub trait TopK {
     /// Return up to `k` `(key, estimated_count)` pairs, heaviest first.

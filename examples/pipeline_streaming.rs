@@ -55,6 +55,18 @@ fn main() {
         println!("(single-core host: the pipeline cannot beat sequential here; see Figure 12 notes)");
     }
 
+    // Supervision surface: the runtime reports backpressure and fault
+    // handling; a healthy run shows zero failures and no degraded flag.
+    let stats = pipe.stats();
+    let health = pipe.health();
+    println!(
+        "runtime: {} forwarded, {} queue-full events, {} checkpoints, {} restarts, degraded: {}",
+        stats.forwarded, stats.queue_full_events, stats.checkpoints, stats.restarts, health.degraded,
+    );
+    if let Some(err) = health.last_error {
+        println!("last worker fault: {err}");
+    }
+
     // Correctness: both agree with the ground truth one-sidedly, and the
     // heavy hitters are exact in both.
     let mut checked = 0;

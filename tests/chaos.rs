@@ -1,0 +1,325 @@
+//! Chaos suite: drives the supervised parallel runtimes through injected
+//! worker panics, full queues, estimate timeouts, and wedged teardowns, and
+//! checks that the paper's guarantees survive every fault:
+//!
+//! * no fault ever reaches the caller as a panic;
+//! * estimates stay one-sided (`estimate >= true count`);
+//! * heavy-hitter recall matches the sequential `ASketch` within tolerance;
+//! * faults are observable through `PipelineStats` / `RuntimeHealth`;
+//! * teardown is bounded even with a wedged worker.
+
+use std::time::{Duration, Instant};
+
+use asketch::filter::RelaxedHeapFilter;
+use asketch::ASketch;
+use asketch_parallel::{
+    round_robin_shards, BackpressurePolicy, FaultPlan, FaultyEstimator, PipelineASketch,
+    PipelineHUdaf, SpmdGroup, SupervisionConfig,
+};
+use sketches::{CountMin, FrequencyEstimator};
+use streamgen::{ExactCounter, StreamSpec};
+
+fn workload() -> (Vec<u64>, ExactCounter) {
+    let spec = StreamSpec {
+        len: 60_000,
+        distinct: 10_000,
+        skew: 1.5,
+        seed: 0xC7A05EED,
+    };
+    let stream = spec.materialize();
+    let truth = ExactCounter::from_keys(&stream);
+    (stream, truth)
+}
+
+fn cms() -> CountMin {
+    CountMin::with_byte_budget(3, 8, 31 * 1024).unwrap()
+}
+
+/// Top-`k` recall of `estimate` against the exact counts: the fraction of
+/// the true top-`k` keys that rank in the predicted top-`k`.
+fn top_k_recall(truth: &ExactCounter, k: usize, mut estimate: impl FnMut(u64) -> i64) -> f64 {
+    let true_top: Vec<u64> = truth.top_k(k).into_iter().map(|(key, _)| key).collect();
+    let mut predicted: Vec<(u64, i64)> = truth.iter().map(|(key, _)| (key, estimate(key))).collect();
+    predicted.sort_by_key(|&(_, est)| std::cmp::Reverse(est));
+    let predicted_top: Vec<u64> = predicted.iter().take(k).map(|&(key, _)| key).collect();
+    let hits = true_top.iter().filter(|key| predicted_top.contains(key)).count();
+    hits as f64 / k as f64
+}
+
+/// A worker panic mid-stream with a zero restart budget: the pipeline must
+/// report the fault, degrade, keep counting, and end with estimates that
+/// are one-sided and as good as the sequential algorithm's.
+#[test]
+fn pipeline_survives_midstream_panic_in_degraded_mode() {
+    let (stream, truth) = workload();
+
+    let mut seq = ASketch::new(RelaxedHeapFilter::new(32), cms());
+    for &k in &stream {
+        seq.insert(k);
+    }
+
+    let cfg = SupervisionConfig {
+        queue_capacity: 64,
+        checkpoint_interval: 256,
+        max_restarts: 0, // first fault degrades immediately
+        ..SupervisionConfig::default()
+    };
+    let faulty = FaultyEstimator::new(cms(), FaultPlan::panic_at(500).with_message("chaos panic"));
+    let mut pipe = PipelineASketch::spawn_with(RelaxedHeapFilter::new(32), faulty, cfg);
+    for &k in &stream {
+        pipe.insert(k); // must never panic the caller
+    }
+
+    let stats = pipe.stats();
+    assert!(stats.worker_failures >= 1, "fault must be counted: {stats:?}");
+    assert!(stats.degraded, "restart budget 0 must degrade");
+    assert!(stats.inline_updates > 0, "degraded mode must keep counting");
+    let health = pipe.health();
+    assert!(health.degraded);
+    assert!(
+        health.last_error.as_deref().unwrap_or("").contains("chaos panic"),
+        "panic payload must surface: {:?}",
+        health.last_error
+    );
+
+    for (key, t) in truth.top_k(64) {
+        let est = pipe.estimate(key);
+        assert!(est >= t, "one-sidedness lost after panic: {est} < {t}");
+    }
+    let seq_recall = top_k_recall(&truth, 16, |k| seq.estimate(k));
+    let chaos_recall = top_k_recall(&truth, 16, |k| pipe.estimate(k));
+    assert!(
+        chaos_recall >= seq_recall - 0.2,
+        "recall collapsed after fault: chaos {chaos_recall} vs sequential {seq_recall}"
+    );
+}
+
+/// Same mid-stream panic but with restart budget: the worker is respawned
+/// from checkpoint + journal, the pipeline stays in parallel mode, and no
+/// mass is lost or double-counted.
+#[test]
+fn pipeline_restarts_worker_after_panic() {
+    let (stream, truth) = workload();
+    let cfg = SupervisionConfig {
+        queue_capacity: 64,
+        checkpoint_interval: 256,
+        max_restarts: 3,
+        restart_backoff: Duration::from_millis(1),
+        ..SupervisionConfig::default()
+    };
+    let faulty = FaultyEstimator::new(cms(), FaultPlan::panic_at(500));
+    let mut pipe = PipelineASketch::spawn_with(RelaxedHeapFilter::new(32), faulty, cfg);
+    for &k in &stream {
+        pipe.insert(k);
+    }
+    let stats = pipe.stats();
+    assert!(stats.worker_failures >= 1);
+    assert!(stats.restarts >= 1, "worker must be respawned: {stats:?}");
+    assert!(!stats.degraded, "restart budget must keep parallel mode");
+    for (key, t) in truth.top_k(64) {
+        let est = pipe.estimate(key);
+        assert!(est >= t, "restart lost mass for {key}: {est} < {t}");
+    }
+    // The journal replays exactly what the lost worker had not checkpointed,
+    // so heavy hitters stay as accurate as a fault-free sequential run.
+    let mut seq = ASketch::new(RelaxedHeapFilter::new(32), cms());
+    for &k in &stream {
+        seq.insert(k);
+    }
+    let seq_recall = top_k_recall(&truth, 16, |k| seq.estimate(k));
+    let chaos_recall = top_k_recall(&truth, 16, |k| pipe.estimate(k));
+    assert!(chaos_recall >= seq_recall - 0.2);
+}
+
+/// Slow worker under `Block`: the bounded queue fills (observable), the
+/// caller waits, nothing spills, nothing is dropped.
+#[test]
+fn slow_worker_blocking_backpressure_drops_nothing() {
+    let cfg = SupervisionConfig {
+        queue_capacity: 8,
+        backpressure: BackpressurePolicy::Block,
+        checkpoint_interval: 64,
+        ..SupervisionConfig::default()
+    };
+    let slow = FaultyEstimator::new(cms(), FaultPlan::slow_updates(1, Duration::from_micros(200)));
+    let mut pipe = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), slow, cfg);
+    // Heavy residents pin the filter minimum high so every distinct key
+    // below is forwarded to the (slow) worker.
+    for _ in 0..1_000 {
+        pipe.insert(1);
+        pipe.insert(2);
+    }
+    for i in 0..2_000u64 {
+        pipe.insert(10_000 + i % 50);
+    }
+    let stats = pipe.stats();
+    assert!(stats.queue_full_events > 0, "queue must fill: {stats:?}");
+    assert_eq!(stats.spilled, 0, "Block policy must not spill");
+    assert!(!stats.degraded);
+    for i in 0..50u64 {
+        let est = pipe.estimate(10_000 + i);
+        assert!(est >= 40, "update dropped under backpressure: {est} < 40");
+    }
+}
+
+/// Slow worker under `InlineFallback`: the caller spills into its bounded
+/// buffer instead of stalling, and every spilled update still lands.
+#[test]
+fn slow_worker_inline_fallback_spills_without_loss() {
+    let cfg = SupervisionConfig {
+        queue_capacity: 8,
+        backpressure: BackpressurePolicy::InlineFallback,
+        spill_capacity: 128,
+        checkpoint_interval: 64,
+        ..SupervisionConfig::default()
+    };
+    let slow = FaultyEstimator::new(cms(), FaultPlan::slow_updates(1, Duration::from_micros(200)));
+    let mut pipe = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), slow, cfg);
+    for _ in 0..1_000 {
+        pipe.insert(1);
+        pipe.insert(2);
+    }
+    for i in 0..2_000u64 {
+        pipe.insert(10_000 + i % 50);
+    }
+    let stats = pipe.stats();
+    assert!(stats.queue_full_events > 0);
+    assert!(stats.spilled > 0, "fallback policy must spill: {stats:?}");
+    assert!(!stats.degraded);
+    for i in 0..50u64 {
+        let est = pipe.estimate(10_000 + i);
+        assert!(est >= 40, "spilled update lost: {est} < 40");
+    }
+    // After finish, filter + sketch together still cover everything.
+    let (filter, sketch) = pipe.finish();
+    use asketch::filter::Filter;
+    let covered = filter.query(1).unwrap_or_else(|| sketch.estimate(1));
+    assert!(covered >= 1_000);
+}
+
+/// Estimate round trips against a worker that answers too slowly: the
+/// timeout fires (observable), the runtime fails over, and the query is
+/// still answered one-sidedly.
+#[test]
+fn estimate_timeout_fails_over_and_still_answers() {
+    let cfg = SupervisionConfig {
+        queue_capacity: 64,
+        checkpoint_interval: 64,
+        estimate_timeout: Duration::from_millis(20),
+        estimate_retries: 1,
+        max_restarts: 0,
+        ..SupervisionConfig::default()
+    };
+    let mut plan = FaultPlan::slow_estimates(Duration::from_millis(200));
+    plan.rearm_on_clone = true; // stay slow across checkpoints
+    let slow = FaultyEstimator::new(cms(), plan);
+    let mut pipe = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), slow, cfg);
+    for _ in 0..100 {
+        pipe.insert(1);
+        pipe.insert(2);
+    }
+    for i in 0..200u64 {
+        pipe.insert(100 + i % 10);
+    }
+    let est = pipe.estimate(100); // round trip must not hang
+    assert!(est >= 20, "estimate must cover all updates: {est}");
+    let stats = pipe.stats();
+    assert!(stats.estimate_timeouts >= 1, "timeout must be counted: {stats:?}");
+    assert!(stats.degraded, "timeout with no restart budget must degrade");
+}
+
+/// The batched H-UDAF pipeline under a worker panic: journaled batches are
+/// replayed, estimates stay one-sided.
+#[test]
+fn hudaf_pipeline_survives_worker_panic() {
+    let (stream, truth) = workload();
+    let cfg = SupervisionConfig {
+        queue_capacity: 16,
+        checkpoint_interval: 128,
+        max_restarts: 2,
+        restart_backoff: Duration::from_millis(1),
+        ..SupervisionConfig::default()
+    };
+    let faulty = FaultyEstimator::new(cms(), FaultPlan::panic_at(300).with_message("hudaf chaos"));
+    let mut p = PipelineHUdaf::spawn_with(faulty, 32, cfg);
+    for &k in &stream {
+        p.insert(k);
+    }
+    let stats = p.stats();
+    assert!(stats.worker_failures >= 1, "panic must be observed: {stats:?}");
+    for (key, t) in truth.top_k(200) {
+        let est = p.estimate(key);
+        assert!(est >= t, "H-UDAF under-counts {key} after panic: {est} < {t}");
+    }
+}
+
+/// SPMD with a kernel that panics once on one shard: the shard is replayed
+/// from scratch on a fresh kernel, the recovery is reported, and combined
+/// estimates stay one-sided.
+#[test]
+fn spmd_contains_shard_panic_and_replays() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let (stream, truth) = workload();
+    let shards = round_robin_shards(&stream, 4);
+    let armed = AtomicBool::new(true);
+    let (group, _nanos, report) = SpmdGroup::ingest_supervised(
+        &shards,
+        |i| {
+            if i == 2 && armed.swap(false, Ordering::SeqCst) {
+                panic!("spmd chaos");
+            }
+            CountMin::with_byte_budget(90 + i as u64, 8, 31 * 1024).unwrap()
+        },
+        3,
+    )
+    .expect("one transient shard fault must be recoverable");
+    assert_eq!(report.recovered.len(), 1);
+    assert_eq!(report.recovered[0].shard, 2);
+    assert!(report.recovered[0].error.contains("spmd chaos"));
+    for (key, t) in truth.top_k(64) {
+        let est = group.estimate(key);
+        assert!(est >= t, "SPMD under-counts {key} after recovery");
+    }
+}
+
+/// Dropping a pipeline whose worker is wedged behind a long backlog must
+/// return within the shutdown bound instead of hanging on the join.
+#[test]
+fn drop_with_wedged_worker_is_bounded() {
+    let cfg = SupervisionConfig {
+        queue_capacity: 16,
+        checkpoint_interval: 1024,
+        shutdown_timeout: Duration::from_millis(200),
+        ..SupervisionConfig::default()
+    };
+    let wedged = FaultyEstimator::new(cms(), FaultPlan::slow_updates(1, Duration::from_millis(100)));
+    let mut pipe = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), wedged, cfg);
+    for _ in 0..10 {
+        pipe.insert(1);
+        pipe.insert(2);
+    }
+    for i in 0..16u64 {
+        pipe.insert(100 + i); // backlog: ~1.6s of worker time queued
+    }
+    let start = Instant::now();
+    drop(pipe);
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "drop must be bounded, took {:?}",
+        start.elapsed()
+    );
+}
+
+/// Zero- and negative-amount deletes are documented no-ops end to end.
+#[test]
+fn zero_amount_delete_is_noop_under_load() {
+    let mut pipe = PipelineASketch::spawn(RelaxedHeapFilter::new(4), cms());
+    for _ in 0..100 {
+        pipe.insert(5);
+    }
+    pipe.delete(5, 0);
+    pipe.delete(5, -3);
+    pipe.delete(999, 0);
+    assert_eq!(pipe.estimate(5), 100);
+    assert_eq!(pipe.estimate(999), 0);
+}
