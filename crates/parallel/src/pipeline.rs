@@ -94,8 +94,11 @@ enum FromSketch<S> {
 
 /// Small ring of recently suggested keys, so a hot run of one key (or a few)
 /// yields one promotion message, not thousands. Cleared when the caller
-/// reports an accepted exchange, because the filter minimum has changed and
-/// previously rejected keys may now qualify.
+/// reports an accepted exchange (the filter minimum has changed and
+/// previously rejected keys may now qualify) and aged out every
+/// [`RECENT_TTL_OPS`] counting ops, so a key whose suggestion the caller
+/// *rejected* is re-suggested once its estimate keeps growing instead of
+/// being suppressed until eight newer suggestions displace it.
 struct RecentKeys {
     keys: [u64; 8],
     len: usize,
@@ -134,6 +137,9 @@ struct WorkerLink<S> {
     handle: JoinHandle<S>,
 }
 
+/// Counting ops between forced clears of the recently-suggested ring.
+const RECENT_TTL_OPS: u64 = 256;
+
 /// The sketch-core loop: apply counting messages, suggest promotions,
 /// answer estimates, and ship checkpoints every `checkpoint_interval`
 /// counting ops.
@@ -145,6 +151,7 @@ fn run_worker<S: Supervisable>(
 ) -> S {
     let mut recent = RecentKeys::new();
     let mut since_checkpoint = 0u64;
+    let mut since_recent_clear = 0u64;
     while let Ok(msg) = rx.recv() {
         // Counting arms yield the sequence they applied; a checkpoint
         // tagged with it tells the caller which journal prefix is covered.
@@ -189,6 +196,11 @@ fn run_worker<S: Supervisable>(
                     seq,
                     snapshot: sketch.clone(),
                 });
+            }
+            since_recent_clear += 1;
+            if since_recent_clear >= RECENT_TTL_OPS {
+                since_recent_clear = 0;
+                recent.clear();
             }
         }
     }
@@ -346,7 +358,7 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
     fn flush_spill_sync(&mut self) {
         while let Some(msg) = self.spill.pop_front() {
             let Some(link) = self.link.as_ref() else { return };
-            match link.tx.send_timeout(msg, self.cfg.estimate_timeout) {
+            match link.tx.send_timeout(msg, self.cfg.send_timeout) {
                 Ok(()) => {}
                 Err(SendTimeoutError::Timeout(_)) => {
                     self.fail_over(Some(PipelineError::EstimateTimeout));
@@ -364,9 +376,13 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
     /// spill itself is full — memory stays bounded and nothing is dropped.
     fn push_spill(&mut self, msg: ToSketch) {
         if self.spill.len() >= self.cfg.spill_capacity.max(1) {
+            // Generation check, not just `link.is_none()`: a fail-over during
+            // the flush folds the journaled `msg` into the restored sketch
+            // even when the worker is *restarted* (link `Some` again), so the
+            // in-flight `msg` must be abandoned or it would double-count.
+            let generation = self.stats.worker_failures;
             self.flush_spill_sync();
-            if self.link.is_none() {
-                // Failed over; `msg` is journaled and therefore restored.
+            if self.stats.worker_failures != generation || self.link.is_none() {
                 return;
             }
         }
@@ -390,9 +406,17 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
         let msg = build(seq);
         // FIFO discipline: anything spilled earlier goes first, so sequence
         // order on the wire always matches journal order.
+        //
+        // `worker_failures` doubles as a fail-over generation counter: if the
+        // flush fails over, `msg` (already journaled) is folded into the
+        // restored sketch — whether the runtime then degraded (`link` now
+        // `None`) or *restarted* (`link` `Some` again, journal re-baselined
+        // past `seq`). Either way `msg` must be abandoned here, or the new
+        // worker would apply it a second time.
+        let generation = self.stats.worker_failures;
         self.flush_spill_try();
-        if self.link.is_none() {
-            return; // failed over during the flush; journal covers `msg`
+        if self.stats.worker_failures != generation || self.link.is_none() {
+            return; // failed over during the flush; the restore covers `msg`
         }
         if !self.spill.is_empty() {
             self.push_spill(msg);
@@ -418,10 +442,10 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
     }
 
     /// Blocking send with a wedge bound: waits for queue space up to the
-    /// estimate timeout, then declares the worker wedged and fails over.
+    /// send timeout, then declares the worker wedged and fails over.
     fn send_sync(&mut self, msg: ToSketch) {
         let Some(link) = self.link.as_ref() else { return };
-        match link.tx.send_timeout(msg, self.cfg.estimate_timeout) {
+        match link.tx.send_timeout(msg, self.cfg.send_timeout) {
             Ok(()) => {}
             Err(SendTimeoutError::Timeout(_)) => {
                 self.fail_over(Some(PipelineError::EstimateTimeout));
@@ -564,8 +588,11 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
     /// Process one tuple (Algorithm 1 with the sketch path asynchronous).
     pub fn update(&mut self, key: u64, u: i64) {
         if u <= 0 {
-            if u < 0 {
-                self.delete(key, -u);
+            // `i64::MIN` has no positive negation: saturate instead of
+            // overflowing, so debug and release builds agree.
+            let amount = u.checked_neg().unwrap_or(i64::MAX);
+            if amount > 0 {
+                self.delete(key, amount);
             }
             return;
         }
@@ -645,6 +672,10 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
                 seq,
             }),
         }
+        // Harvest checkpoints (and promotions) here too: a delete-heavy
+        // workload journals every shipped op, so without this drain the
+        // journal and the unbounded reply channel would grow without bound.
+        self.drain_worker_msgs();
     }
 
     /// Point query. Filter hits answer locally; misses go through
@@ -714,7 +745,7 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
                 None => self.journal.restore(),
             };
         };
-        let _ = link.tx.send_timeout(ToSketch::Shutdown, self.cfg.estimate_timeout);
+        let _ = link.tx.send_timeout(ToSketch::Shutdown, self.cfg.send_timeout);
         drop(link.tx);
         let deadline = std::time::Instant::now() + self.cfg.shutdown_timeout;
         while !link.handle.is_finished() && std::time::Instant::now() < deadline {
@@ -877,6 +908,60 @@ mod tests {
         let mut p = pipeline(2);
         p.insert(1);
         drop(p); // must join cleanly
+    }
+
+    #[test]
+    fn update_with_i64_min_saturates_instead_of_overflowing() {
+        let mut p = pipeline(2);
+        for _ in 0..10 {
+            p.insert(1);
+        }
+        // `-i64::MIN` overflows; must behave identically (saturating
+        // delete) in debug and release instead of panicking in one.
+        p.update(1, i64::MIN);
+        assert!(p.estimate(1) < 10);
+        p.update(42, i64::MIN); // unmonitored key: same, via the sketch path
+        p.insert(2);
+        assert_eq!(p.estimate(2), 1);
+    }
+
+    #[test]
+    fn delete_heavy_workload_harvests_checkpoints() {
+        let cfg = SupervisionConfig {
+            queue_capacity: 64,
+            checkpoint_interval: 16,
+            ..SupervisionConfig::default()
+        };
+        let mut p = PipelineASketch::spawn_with(
+            RelaxedHeapFilter::new(2),
+            CountMin::new(7, 4, 1 << 12).unwrap(),
+            cfg,
+        );
+        // Heavy residents pin the filter minimum high, so key 3 is never
+        // promoted: every insert forwards and every delete ships.
+        for _ in 0..2_000 {
+            p.insert(1);
+            p.insert(2);
+        }
+        for _ in 0..1_000 {
+            p.insert(3); // overflows: journaled + shipped
+        }
+        let after_inserts = p.stats().checkpoints;
+        // Deletes of an unmonitored key ship journaled Subtract ops; the
+        // delete path itself must harvest the worker's checkpoints so the
+        // journal and reply channel stay bounded on delete-only streams.
+        for _ in 0..999 {
+            p.delete(3, 1);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        p.delete(3, 1); // final delete drains everything pending
+        let st = p.stats();
+        assert!(
+            st.checkpoints > after_inserts + 30,
+            "delete path must prune the journal via checkpoints: \
+             {after_inserts} before deletes, {st:?}"
+        );
+        assert_eq!(p.estimate(3), 0);
     }
 
     #[test]

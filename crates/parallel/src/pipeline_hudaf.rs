@@ -218,7 +218,7 @@ impl<S: Supervisable> PipelineHUdaf<S> {
     fn flush_spill_sync(&mut self) {
         while let Some(msg) = self.spill.pop_front() {
             let Some(link) = self.link.as_ref() else { return };
-            match link.tx.send_timeout(msg, self.cfg.estimate_timeout) {
+            match link.tx.send_timeout(msg, self.cfg.send_timeout) {
                 Ok(()) => {}
                 Err(SendTimeoutError::Timeout(_)) => {
                     self.fail_over(Some(PipelineError::EstimateTimeout));
@@ -234,9 +234,14 @@ impl<S: Supervisable> PipelineHUdaf<S> {
 
     fn push_spill(&mut self, msg: Msg) {
         if self.spill.len() >= self.cfg.spill_capacity.max(1) {
+            // Generation check, not just `link.is_none()`: a fail-over during
+            // the flush folds the journaled `msg` into the restored sketch
+            // even when the worker is *restarted* (link `Some` again), so the
+            // in-flight `msg` must be abandoned or it would double-count.
+            let generation = self.stats.worker_failures;
             self.flush_spill_sync();
-            if self.link.is_none() {
-                return; // journaled; restore covered it
+            if self.stats.worker_failures != generation || self.link.is_none() {
+                return;
             }
         }
         self.stats.spilled += 1;
@@ -276,8 +281,14 @@ impl<S: Supervisable> PipelineHUdaf<S> {
             self.journal.record_at(seq, key, count);
         }
         let msg = Msg::Batch { batch, seq };
+        // `worker_failures` doubles as a fail-over generation counter: if the
+        // flush fails over, the journaled batch is folded into the restored
+        // sketch whether the runtime degraded (`link` now `None`) or
+        // restarted (`link` `Some` again, journal re-baselined past `seq`),
+        // so the in-flight `msg` must be abandoned either way.
+        let generation = self.stats.worker_failures;
         self.flush_spill_try();
-        if self.link.is_none() {
+        if self.stats.worker_failures != generation || self.link.is_none() {
             return;
         }
         if !self.spill.is_empty() {
@@ -297,7 +308,7 @@ impl<S: Supervisable> PipelineHUdaf<S> {
                 match self.cfg.backpressure {
                     BackpressurePolicy::Block => {
                         let Some(link) = self.link.as_ref() else { return };
-                        match link.tx.send_timeout(m, self.cfg.estimate_timeout) {
+                        match link.tx.send_timeout(m, self.cfg.send_timeout) {
                             Ok(()) => {}
                             Err(SendTimeoutError::Timeout(_)) => {
                                 self.fail_over(Some(PipelineError::EstimateTimeout));
@@ -454,7 +465,7 @@ impl<S: Supervisable> PipelineHUdaf<S> {
                 None => self.journal.restore(),
             };
         };
-        let _ = link.tx.send_timeout(Msg::Shutdown, self.cfg.estimate_timeout);
+        let _ = link.tx.send_timeout(Msg::Shutdown, self.cfg.send_timeout);
         drop(link.tx);
         let deadline = std::time::Instant::now() + self.cfg.shutdown_timeout;
         while !link.handle.is_finished() && std::time::Instant::now() < deadline {

@@ -64,6 +64,14 @@ pub struct SupervisionConfig {
     /// How long a point-query round trip may take before it counts as a
     /// timeout.
     pub estimate_timeout: Duration,
+    /// How long a blocking send (full-queue wait under
+    /// [`BackpressurePolicy::Block`], a synchronous spill flush, or the
+    /// shutdown handshake) may wait before the worker is declared wedged.
+    /// Kept separate from [`estimate_timeout`](Self::estimate_timeout)
+    /// because a healthy-but-slow worker legitimately needs worst-case
+    /// *queue-drain* time here (e.g. a long checkpoint clone of a large
+    /// sketch), which can far exceed a reasonable query-latency bound.
+    pub send_timeout: Duration,
     /// Extra attempts for a timed-out estimate round trip before the
     /// worker is declared wedged and failed over.
     pub estimate_retries: u32,
@@ -87,6 +95,7 @@ impl Default for SupervisionConfig {
             spill_capacity: 8192,
             checkpoint_interval: 1024,
             estimate_timeout: Duration::from_secs(2),
+            send_timeout: Duration::from_secs(30),
             estimate_retries: 2,
             max_restarts: 3,
             restart_backoff: Duration::from_millis(5),

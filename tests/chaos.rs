@@ -310,6 +310,96 @@ fn drop_with_wedged_worker_is_bounded() {
     );
 }
 
+/// The nastiest fail-over race: under `InlineFallback` the worker dies
+/// while the caller-side spill is non-empty *and* restart budget remains.
+/// The fail-over folds every journaled op — including the one in flight —
+/// into the restored sketch handed to the new worker, so the in-flight
+/// message must be abandoned, not re-sent. A collision-free Count-Min makes
+/// the check exact: any double count (or loss) shifts the estimate.
+#[test]
+fn inline_fallback_spill_plus_panic_plus_restart_is_exactly_once() {
+    let cfg = SupervisionConfig {
+        queue_capacity: 4,
+        backpressure: BackpressurePolicy::InlineFallback,
+        spill_capacity: 8,
+        checkpoint_interval: 16,
+        max_restarts: 3,
+        restart_backoff: Duration::from_millis(1),
+        ..SupervisionConfig::default()
+    };
+    // Slow enough that the queue and spill fill, then a panic mid-drain;
+    // clones (checkpoints, the restored snapshot) are healthy and fast.
+    let plan = FaultPlan {
+        panic_on_op: Some(100),
+        delay_every: Some((1, Duration::from_micros(300))),
+        panic_message: Some("spill chaos".to_string()),
+        ..FaultPlan::default()
+    };
+    let faulty = FaultyEstimator::new(CountMin::new(7, 4, 1 << 12).unwrap(), plan);
+    let mut pipe = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), faulty, cfg);
+    // Heavy residents pin the filter minimum far above key 3's count, so
+    // every insert of 3 is forwarded and none is ever promoted back.
+    for _ in 0..1_000 {
+        pipe.insert(1);
+        pipe.insert(2);
+    }
+    for _ in 0..400 {
+        pipe.insert(3);
+    }
+    let est = pipe.estimate(3);
+    assert_eq!(
+        est, 400,
+        "restore + replay must be exactly-once across a restart with a live spill"
+    );
+    let stats = pipe.stats();
+    assert!(stats.spilled > 0, "spill path must be exercised: {stats:?}");
+    assert!(stats.worker_failures >= 1, "panic must be observed: {stats:?}");
+    assert!(stats.restarts >= 1, "restart budget must be used: {stats:?}");
+    assert!(!stats.degraded, "restart budget not exhausted: {stats:?}");
+    let health = pipe.health();
+    assert!(
+        health.last_error.as_deref().unwrap_or("").contains("spill chaos"),
+        "panic payload must surface: {:?}",
+        health.last_error
+    );
+}
+
+/// Same race on the batched H-UDAF pipeline: a batch journaled but not yet
+/// shipped when the worker dies must not be applied on top of the restored
+/// sketch that already contains it.
+#[test]
+fn hudaf_spill_plus_panic_plus_restart_is_exactly_once() {
+    let cfg = SupervisionConfig {
+        queue_capacity: 4,
+        backpressure: BackpressurePolicy::InlineFallback,
+        spill_capacity: 8,
+        checkpoint_interval: 8,
+        max_restarts: 2,
+        restart_backoff: Duration::from_millis(1),
+        ..SupervisionConfig::default()
+    };
+    let plan = FaultPlan {
+        panic_on_op: Some(60),
+        delay_every: Some((1, Duration::from_micros(200))),
+        panic_message: Some("hudaf spill chaos".to_string()),
+        ..FaultPlan::default()
+    };
+    let faulty = FaultyEstimator::new(CountMin::new(3, 4, 1 << 12).unwrap(), plan);
+    let mut p = PipelineHUdaf::spawn_with(faulty, 2, cfg);
+    for i in 0..600u64 {
+        p.insert(i % 5); // 5 keys through a 2-slot table: constant flushes
+    }
+    for key in 0..5u64 {
+        let est = p.estimate(key);
+        assert_eq!(est, 120, "batch double-counted or lost for key {key}");
+    }
+    let stats = p.stats();
+    assert!(stats.spilled > 0, "spill path must be exercised: {stats:?}");
+    assert!(stats.worker_failures >= 1, "panic must be observed: {stats:?}");
+    assert!(stats.restarts >= 1, "restart budget must be used: {stats:?}");
+    assert!(!stats.degraded, "restart budget not exhausted: {stats:?}");
+}
+
 /// Zero- and negative-amount deletes are documented no-ops end to end.
 #[test]
 fn zero_amount_delete_is_noop_under_load() {
