@@ -20,40 +20,48 @@ fn bench_exchange_policy(c: &mut Criterion) {
     for skew in [0.0f64, 0.5, 1.0] {
         let w = Workload::synthetic(&cfg, skew);
         group.throughput(Throughput::Elements(w.len() as u64));
-        group.bench_with_input(BenchmarkId::new("at_most_one", format!("z={skew}")), &w, |b, w| {
-            b.iter_batched(
-                || {
-                    ASketch::new(
-                        RelaxedHeapFilter::new(32),
-                        CountMin::with_byte_budget(w.spec.seed, 8, 127 * 1024).unwrap(),
-                    )
-                },
-                |mut m| {
-                    for &k in &w.stream {
-                        m.insert(k);
-                    }
-                    m.stats().exchanges
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("cascading", format!("z={skew}")), &w, |b, w| {
-            b.iter_batched(
-                || {
-                    CascadingASketch::new(
-                        32,
-                        CountMin::with_byte_budget(w.spec.seed, 8, 127 * 1024).unwrap(),
-                    )
-                },
-                |mut m| {
-                    for &k in &w.stream {
-                        m.insert(k);
-                    }
-                    m.exchanges
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("at_most_one", format!("z={skew}")),
+            &w,
+            |b, w| {
+                b.iter_batched(
+                    || {
+                        ASketch::new(
+                            RelaxedHeapFilter::new(32),
+                            CountMin::with_byte_budget(w.spec.seed, 8, 127 * 1024).unwrap(),
+                        )
+                    },
+                    |mut m| {
+                        for &k in &w.stream {
+                            m.insert(k);
+                        }
+                        m.stats().exchanges
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cascading", format!("z={skew}")),
+            &w,
+            |b, w| {
+                b.iter_batched(
+                    || {
+                        CascadingASketch::new(
+                            32,
+                            CountMin::with_byte_budget(w.spec.seed, 8, 127 * 1024).unwrap(),
+                        )
+                    },
+                    |mut m| {
+                        for &k in &w.stream {
+                            m.insert(k);
+                        }
+                        m.exchanges
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

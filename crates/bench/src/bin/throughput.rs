@@ -1,0 +1,422 @@
+//! Persistent ingest-throughput benchmark: sweeps Zipf skew × filter kind ×
+//! sketch backend × batch size and writes machine-readable results to
+//! `BENCH_throughput.json` (see `DESIGN.md` for the schema).
+//!
+//! ```text
+//! cargo run -p asketch-bench --release --bin throughput            # full sweep
+//! cargo run -p asketch-bench --release --bin throughput -- --smoke # CI smoke
+//! throughput --validate BENCH_throughput.json --min-speedup 1.5    # CI gate
+//! ```
+//!
+//! `batch_size == 1` is the scalar baseline (a plain `update` loop); larger
+//! sizes go through the batched kernels (`insert_batch`), which hoist hash
+//! evaluation and issue software prefetches across the batch. The validator
+//! checks both the JSON shape and that some batched configuration at the
+//! smoke skew beats its scalar baseline by the requested factor.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use asketch::filter::FilterKind;
+use asketch::AsketchBuilder;
+use sketches::{CountMin, Fcm, FrequencyEstimator};
+use streamgen::{query, StreamSpec};
+
+/// Total synopsis budget. Deliberately larger than L2 so the sketch's
+/// counter rows live in L3/DRAM and the prefetch pipeline has latency to
+/// hide — the regime the batched kernels target.
+const TOTAL_BYTES: usize = 1 << 26;
+const DEPTH: usize = 8;
+const FILTER_ITEMS: usize = 32;
+const SEED: u64 = 0x5EED_2016;
+const QUERY_COUNT: usize = 2_000;
+/// The skew the CI smoke gate checks (paper's real-world midpoint).
+const SMOKE_SKEW: f64 = 1.1;
+
+#[derive(Clone, Copy)]
+struct RunConfig {
+    skew: f64,
+    /// `None` = raw sketch (no filter in front).
+    filter: Option<FilterKind>,
+    backend: Backend,
+    batch_size: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    CountMin,
+    Fcm,
+}
+
+impl Backend {
+    fn name(self) -> &'static str {
+        match self {
+            Backend::CountMin => "count-min",
+            Backend::Fcm => "fcm",
+        }
+    }
+}
+
+fn filter_name(f: Option<FilterKind>) -> &'static str {
+    match f {
+        None => "none",
+        Some(FilterKind::Vector) => "vector",
+        Some(FilterKind::StrictHeap) => "strict-heap",
+        Some(FilterKind::RelaxedHeap) => "relaxed-heap",
+        Some(FilterKind::StreamSummary) => "stream-summary",
+    }
+}
+
+struct RunResult {
+    cfg: RunConfig,
+    updates_per_ms: f64,
+    estimate_p50_ns: u64,
+    estimate_p99_ns: u64,
+}
+
+/// Ingest + query-latency measurement for one constructed estimator.
+fn measure<E: FrequencyEstimator>(
+    build: impl Fn() -> E,
+    stream: &[u64],
+    queries: &[u64],
+    batch: usize,
+) -> (f64, u64, u64) {
+    // Best of three independent ingest passes (fresh estimator each), which
+    // suppresses scheduler/tenant noise on shared hosts without changing
+    // what is measured — the same policy as the repro harness.
+    const MEASURE_PASSES: usize = 3;
+    let mut best_per_ms = 0.0f64;
+    let mut est = None;
+    for _ in 0..MEASURE_PASSES {
+        let mut fresh = build();
+        let t0 = Instant::now();
+        if batch <= 1 {
+            for &k in stream {
+                fresh.update(k, 1);
+            }
+        } else {
+            for part in stream.chunks(batch) {
+                fresh.insert_batch(part);
+            }
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        best_per_ms = best_per_ms.max(stream.len() as f64 / (elapsed * 1e3));
+        est = Some(fresh);
+    }
+    let est = est.expect("at least one pass");
+    let updates_per_ms = best_per_ms;
+
+    let mut lat: Vec<u64> = Vec::with_capacity(queries.len());
+    for &q in queries {
+        let t = Instant::now();
+        std::hint::black_box(est.estimate(q));
+        lat.push(t.elapsed().as_nanos() as u64);
+    }
+    lat.sort_unstable();
+    let p50 = lat[lat.len() / 2];
+    let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
+    (updates_per_ms, p50, p99)
+}
+
+fn run_one(cfg: RunConfig, stream: &[u64], queries: &[u64]) -> RunResult {
+    let builder = AsketchBuilder {
+        total_bytes: TOTAL_BYTES,
+        depth: DEPTH,
+        filter_items: FILTER_ITEMS,
+        filter_kind: cfg.filter.unwrap_or(FilterKind::RelaxedHeap),
+        seed: SEED,
+    };
+    let (updates_per_ms, p50, p99) = match (cfg.filter, cfg.backend) {
+        (None, Backend::CountMin) => measure(
+            || CountMin::with_byte_budget(SEED, DEPTH, TOTAL_BYTES).expect("budget fits"),
+            stream,
+            queries,
+            cfg.batch_size,
+        ),
+        (None, Backend::Fcm) => measure(
+            || {
+                Fcm::with_byte_budget(SEED, DEPTH, TOTAL_BYTES, Some(FILTER_ITEMS))
+                    .expect("budget fits")
+            },
+            stream,
+            queries,
+            cfg.batch_size,
+        ),
+        (Some(_), Backend::CountMin) => measure(
+            || builder.build_count_min().expect("budget fits"),
+            stream,
+            queries,
+            cfg.batch_size,
+        ),
+        (Some(_), Backend::Fcm) => measure(
+            || builder.build_fcm().expect("budget fits"),
+            stream,
+            queries,
+            cfg.batch_size,
+        ),
+    };
+    RunResult {
+        cfg,
+        updates_per_ms,
+        estimate_p50_ns: p50,
+        estimate_p99_ns: p99,
+    }
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Hand-rolled writer (no JSON dependency in this workspace): one result
+/// object per line, which the validator below relies on.
+fn write_json(
+    path: &str,
+    smoke: bool,
+    stream_len: usize,
+    distinct: u64,
+    results: &[RunResult],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"commit\": \"{}\",", git_commit());
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"stream_len\": {stream_len}, \"distinct\": {distinct}, \
+         \"total_bytes\": {TOTAL_BYTES}, \"depth\": {DEPTH}, \
+         \"filter_items\": {FILTER_ITEMS}, \"seed\": {SEED}}},"
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"skew\": {}, \"filter\": \"{}\", \"backend\": \"{}\", \
+             \"batch_size\": {}, \"updates_per_ms\": {}, \
+             \"estimate_p50_ns\": {}, \"estimate_p99_ns\": {}}}{comma}",
+            json_f64(r.cfg.skew),
+            filter_name(r.cfg.filter),
+            r.cfg.backend.name(),
+            r.cfg.batch_size,
+            json_f64(r.updates_per_ms),
+            r.estimate_p50_ns,
+            r.estimate_p99_ns,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Pull `"key": value` out of a single result line. The writer emits one
+/// object per line, so line-scoped scanning is unambiguous.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Validate the JSON artifact: schema fields present, every result line
+/// complete, and the batched kernels beating the scalar baseline by
+/// `min_speedup` for at least one configuration at the smoke skew.
+fn validate(path: &str, min_speedup: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    for key in [
+        "\"schema_version\"",
+        "\"commit\"",
+        "\"config\"",
+        "\"results\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    // (skew, filter, backend) -> (scalar updates/ms, best batched updates/ms)
+    let mut groups: std::collections::HashMap<String, (f64, f64)> =
+        std::collections::HashMap::new();
+    let mut rows = 0usize;
+    for line in text.lines().filter(|l| l.contains("\"batch_size\"")) {
+        rows += 1;
+        let get =
+            |k: &str| field(line, k).ok_or_else(|| format!("result row missing \"{k}\": {line}"));
+        let skew: f64 = get("skew")?.parse().map_err(|e| format!("bad skew: {e}"))?;
+        let filter = get("filter")?.to_string();
+        let backend = get("backend")?.to_string();
+        let batch: usize = get("batch_size")?
+            .parse()
+            .map_err(|e| format!("bad batch_size: {e}"))?;
+        let per_ms: f64 = get("updates_per_ms")?
+            .parse()
+            .map_err(|e| format!("bad updates_per_ms: {e}"))?;
+        get("estimate_p50_ns")?;
+        get("estimate_p99_ns")?;
+        if per_ms <= 0.0 {
+            return Err(format!("non-positive updates_per_ms: {line}"));
+        }
+        let entry = groups
+            .entry(format!("{skew}/{filter}/{backend}"))
+            .or_insert((0.0, 0.0));
+        if batch == 1 {
+            entry.0 = per_ms;
+        } else {
+            entry.1 = entry.1.max(per_ms);
+        }
+    }
+    if rows == 0 {
+        return Err("no result rows".to_string());
+    }
+    let smoke_key = format!("{SMOKE_SKEW}/");
+    let mut best = 0.0f64;
+    let mut best_group = String::new();
+    for (key, &(scalar, batched)) in groups.iter().filter(|(k, _)| k.starts_with(&smoke_key)) {
+        if scalar > 0.0 && batched / scalar > best {
+            best = batched / scalar;
+            best_group = key.clone();
+        }
+    }
+    if best < min_speedup {
+        return Err(format!(
+            "batched/scalar speedup {best:.2}x (best group \"{best_group}\") \
+             below required {min_speedup:.2}x at skew {SMOKE_SKEW}"
+        ));
+    }
+    println!(
+        "OK: {rows} rows, best batched speedup {best:.2}x ({best_group}) >= {min_speedup:.2}x"
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_throughput.json".to_string();
+    let mut validate_path: Option<String> = None;
+    let mut min_speedup = 1.5f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--validate" => {
+                i += 1;
+                validate_path = Some(args.get(i).expect("--validate needs a path").clone());
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = args
+                    .get(i)
+                    .expect("--min-speedup needs a value")
+                    .parse()
+                    .expect("min-speedup must be a number");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: throughput [--smoke] [--out FILE] \
+                     [--validate FILE [--min-speedup X]]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate_path {
+        match validate(&path, min_speedup) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("BENCH_throughput.json validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let (stream_len, distinct) = if smoke {
+        (1 << 21, 1 << 22)
+    } else {
+        (1 << 22, 1 << 18)
+    };
+    let skews: &[f64] = if smoke {
+        &[SMOKE_SKEW]
+    } else {
+        &[0.8, SMOKE_SKEW, 1.5]
+    };
+    let filters: &[Option<FilterKind>] = if smoke {
+        &[None, Some(FilterKind::RelaxedHeap)]
+    } else {
+        &[
+            None,
+            Some(FilterKind::Vector),
+            Some(FilterKind::StrictHeap),
+            Some(FilterKind::RelaxedHeap),
+            Some(FilterKind::StreamSummary),
+        ]
+    };
+    let backends: &[Backend] = if smoke {
+        &[Backend::CountMin]
+    } else {
+        &[Backend::CountMin, Backend::Fcm]
+    };
+    let batches: &[usize] = if smoke {
+        &[1, 256, 1024]
+    } else {
+        &[1, 64, 256, 1024]
+    };
+
+    let mut results = Vec::new();
+    for &skew in skews {
+        let spec = StreamSpec {
+            len: stream_len,
+            distinct,
+            skew,
+            seed: SEED,
+        };
+        let stream = spec.materialize();
+        let queries = query::sample_from_stream(SEED, &stream, QUERY_COUNT);
+        for &filter in filters {
+            for &backend in backends {
+                for &batch_size in batches {
+                    let cfg = RunConfig {
+                        skew,
+                        filter,
+                        backend,
+                        batch_size,
+                    };
+                    let r = run_one(cfg, &stream, &queries);
+                    eprintln!(
+                        "skew={skew} filter={} backend={} batch={batch_size}: \
+                         {:.0} updates/ms, est p50={}ns p99={}ns",
+                        filter_name(filter),
+                        backend.name(),
+                        r.updates_per_ms,
+                        r.estimate_p50_ns,
+                        r.estimate_p99_ns,
+                    );
+                    results.push(r);
+                }
+            }
+        }
+    }
+    write_json(&out_path, smoke, stream_len, distinct, &results).expect("write results");
+    eprintln!("wrote {out_path} ({} rows)", results.len());
+}

@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn tiny_scale_clamps() {
-        let c = Config { scale: 1e-9, ..Default::default() };
+        let c = Config {
+            scale: 1e-9,
+            ..Default::default()
+        };
         assert_eq!(c.stream_len(), 1000);
         assert_eq!(c.distinct(), 100);
         assert_eq!(c.query_count(), 1000);

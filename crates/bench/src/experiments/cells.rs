@@ -35,19 +35,34 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
 
     let mut table = Table::new(
         "Ablation: counter-cell width (Zipf 1.5, 128KB total)",
-        &["Variant", "h (cells/row)", "Updates/ms", "Observed error (%)"],
+        &[
+            "Variant",
+            "h (cells/row)",
+            "Updates/ms",
+            "Observed error (%)",
+        ],
     );
 
     let cms64 = CountMin::with_byte_budget(seed, 8, DEFAULT_BUDGET).unwrap();
     let h64 = cms64.width();
     let (t, e, _) = measure(cms64, &w);
-    table.row(&["Count-Min (64-bit)".into(), h64.to_string(), fnum(t), fnum(e)]);
+    table.row(&[
+        "Count-Min (64-bit)".into(),
+        h64.to_string(),
+        fnum(t),
+        fnum(e),
+    ]);
     let cms64_err = e;
 
     let cms32 = CountMin32::with_byte_budget(seed, 8, DEFAULT_BUDGET).unwrap();
     let h32 = cms32.width();
     let (t, e, _) = measure(cms32, &w);
-    table.row(&["Count-Min (32-bit)".into(), h32.to_string(), fnum(t), fnum(e)]);
+    table.row(&[
+        "Count-Min (32-bit)".into(),
+        h32.to_string(),
+        fnum(t),
+        fnum(e),
+    ]);
     let cms32_err = e;
 
     let ask64 = ASketch::new(
@@ -72,13 +87,22 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
         format!(
             "shape: halving the cell width roughly halves Count-Min's error ({:.2}x gain) — {}",
             cms_gain,
-            if (1.4..=3.0).contains(&cms_gain) { "PASS" } else { "FAIL" }
+            if (1.4..=3.0).contains(&cms_gain) {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ),
         format!(
             "shape: ASketch (32-bit) is the most accurate variant — {}",
-            if ask32_err <= ask64_err && ask32_err <= cms32_err { "PASS" } else { "FAIL" }
+            if ask32_err <= ask64_err && ask32_err <= cms32_err {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ),
-        "use the 32-bit aliases (CountMin32/Fcm32/...) to mirror the paper's absolute errors".into(),
+        "use the 32-bit aliases (CountMin32/Fcm32/...) to mirror the paper's absolute errors"
+            .into(),
     ];
     ExperimentOutput::new(vec![table], notes)
 }

@@ -38,9 +38,15 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
         "Ablation: conservative update vs the filter (Zipf 1.5, 128KB)",
         &["Variant", "Updates/ms", "Observed error (%)", "Deletions?"],
     );
-    let (t_cms, e_cms) = measure(CountMin::with_byte_budget(seed, 8, DEFAULT_BUDGET).unwrap(), &w);
+    let (t_cms, e_cms) = measure(
+        CountMin::with_byte_budget(seed, 8, DEFAULT_BUDGET).unwrap(),
+        &w,
+    );
     table.row(&["Count-Min".into(), fnum(t_cms), fnum(e_cms), "yes".into()]);
-    let (t_cu, e_cu) = measure(CountMinCu::with_byte_budget(seed, 8, DEFAULT_BUDGET).unwrap(), &w);
+    let (t_cu, e_cu) = measure(
+        CountMinCu::with_byte_budget(seed, 8, DEFAULT_BUDGET).unwrap(),
+        &w,
+    );
     table.row(&["Count-Min + CU".into(), fnum(t_cu), fnum(e_cu), "no".into()]);
     let (t_ask, e_ask) = measure(
         ASketch::new(
@@ -77,7 +83,11 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
              ({} upd/ms at {} error) — {}",
             fnum(t_acu),
             fnum(e_acu),
-            if t_acu > t_cu && e_acu <= e_cu * 1.5 { "PASS" } else { "FAIL" }
+            if t_acu > t_cu && e_acu <= e_cu * 1.5 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ),
         format!(
             "finding: on insert-only skewed streams CU's tail accuracy ({}) exceeds even \

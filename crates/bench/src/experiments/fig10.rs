@@ -15,7 +15,10 @@ use crate::config::Config;
 use crate::methods::MethodKind;
 use crate::workload::{run_method, RunResult, Workload};
 
-fn run_trace(cfg: &Config, trace: traces::TraceSpec) -> (Table, Table, Vec<(MethodKind, RunResult)>) {
+fn run_trace(
+    cfg: &Config,
+    trace: traces::TraceSpec,
+) -> (Table, Table, Vec<(MethodKind, RunResult)>) {
     let w = Workload::from_spec(trace.spec, cfg.query_count());
     let mut thr = Table::new(
         format!("Figure 10: stream throughput — {}", trace.name),
@@ -73,25 +76,41 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
             "shape [{name}]: ASketch within 15% of CMS throughput or better ({:.0} vs {:.0}) — {}",
             ask.update.per_ms(),
             cms.update.per_ms(),
-            if ask.update.per_ms() >= cms.update.per_ms() * 0.85 { "PASS" } else { "FAIL" }
+            if ask.update.per_ms() >= cms.update.per_ms() * 0.85 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ));
         notes.push(format!(
             "shape [{name}]: ASketch-FCM faster than FCM ({:.0} vs {:.0}) — {}",
             askf.update.per_ms(),
             fcm.update.per_ms(),
-            if askf.update.per_ms() >= fcm.update.per_ms() { "PASS" } else { "FAIL" }
+            if askf.update.per_ms() >= fcm.update.per_ms() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ));
         notes.push(format!(
             "shape [{name}]: ASketch more accurate than CMS ({} vs {}) — {}",
             fnum(ask.observed_error_pct),
             fnum(cms.observed_error_pct),
-            if ask.observed_error_pct <= cms.observed_error_pct { "PASS" } else { "FAIL" }
+            if ask.observed_error_pct <= cms.observed_error_pct {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ));
         notes.push(format!(
             "shape [{name}]: ASketch-FCM more accurate than FCM ({} vs {}) — {}",
             fnum(askf.observed_error_pct),
             fnum(fcm.observed_error_pct),
-            if askf.observed_error_pct <= fcm.observed_error_pct { "PASS" } else { "FAIL" }
+            if askf.observed_error_pct <= fcm.observed_error_pct {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ));
     }
     notes.push(

@@ -82,7 +82,11 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
         ),
         format!(
             "shape: both ASketch variants beat both Space Saving variants — {}",
-            if e_ask < e_zero && e_askf < e_zero { "PASS" } else { "FAIL" }
+            if e_ask < e_zero && e_askf < e_zero {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ),
         "paper: Space Saving performs poorly for frequency estimation vs same-size sketches".into(),
     ];

@@ -23,7 +23,13 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut table = Table::new(
         "Figure 12: pipeline parallelism, stream throughput (items/ms)",
-        &["Skew", "ASketch (seq)", "Parallel ASketch", "Parallel H-UDAF", "Pipeline speedup"],
+        &[
+            "Skew",
+            "ASketch (seq)",
+            "Parallel ASketch",
+            "Parallel H-UDAF",
+            "Pipeline speedup",
+        ],
     );
     let sketch_budget = asketch::AsketchBuilder {
         total_bytes: DEFAULT_BUDGET,
@@ -34,7 +40,12 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
     let mut speedups = Vec::new();
     for skew in full_skews() {
         let w = Workload::synthetic(cfg, skew);
-        let seq = run_method(MethodKind::ASketch, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS, &w);
+        let seq = run_method(
+            MethodKind::ASketch,
+            DEFAULT_BUDGET,
+            DEFAULT_FILTER_ITEMS,
+            &w,
+        );
 
         let mut par = PipelineASketch::spawn(
             RelaxedHeapFilter::new(DEFAULT_FILTER_ITEMS),

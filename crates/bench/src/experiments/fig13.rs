@@ -59,7 +59,10 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
     }
     let all_ahead = ratios.iter().all(|r| *r > 1.0);
     let notes = vec![
-        format!("host has {cores} core(s); widths capped at {}", widths.last().unwrap()),
+        format!(
+            "host has {cores} core(s); widths capped at {}",
+            widths.last().unwrap()
+        ),
         format!(
             "shape: ASketch kernel outpaces the CMS kernel at every width (paper: ~4x) — {}",
             if all_ahead { "PASS" } else { "FAIL" }

@@ -16,7 +16,13 @@ use crate::workload::Workload;
 pub fn run(cfg: &Config) -> ExperimentOutput {
     let mut table = Table::new(
         "Figure 14: stream throughput (items/ms) by filter type, |F|=0.75KB-equivalent",
-        &["Skew", "Relaxed-Heap", "Strict-Heap", "Stream-Summary", "Vector"],
+        &[
+            "Skew",
+            "Relaxed-Heap",
+            "Strict-Heap",
+            "Stream-Summary",
+            "Vector",
+        ],
     );
     let kinds = [
         FilterKind::RelaxedHeap,
@@ -67,7 +73,11 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
     let notes = vec![
         format!(
             "shape: Relaxed-Heap leads in the real-world band (skew 1.5) — {}",
-            if relaxed_competitive_mid { "PASS" } else { "FAIL" }
+            if relaxed_competitive_mid {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ),
         format!(
             "shape: Vector competitive at very high skew — {}",

@@ -40,7 +40,15 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
             fnum(r.observed_error_pct),
         ]);
     }
-    let thr = |items: usize| series.iter().find(|(i, _)| *i == items).unwrap().1.update.per_ms();
+    let thr = |items: usize| {
+        series
+            .iter()
+            .find(|(i, _)| *i == items)
+            .unwrap()
+            .1
+            .update
+            .per_ms()
+    };
     let err = |items: usize| {
         series
             .iter()

@@ -30,13 +30,20 @@ fn tail_are(m: &Method, w: &Workload, k: usize) -> f64 {
 pub fn run(cfg: &Config) -> ExperimentOutput {
     let mut table = Table::new(
         "Appendix Fig 16: ARE over all low-frequency items, 128KB",
-        &["Skew", "ASketch", "Count-Min", "Theorem-1 bound on increase"],
+        &[
+            "Skew",
+            "ASketch",
+            "Count-Min",
+            "Theorem-1 bound on increase",
+        ],
     );
     let builder = asketch::AsketchBuilder {
         total_bytes: DEFAULT_BUDGET,
         ..Default::default()
     };
-    let h = sketches::CountMin::with_byte_budget(1, 8, DEFAULT_BUDGET).unwrap().width();
+    let h = sketches::CountMin::with_byte_budget(1, 8, DEFAULT_BUDGET)
+        .unwrap()
+        .width();
     let sf_cells = builder.filter_kind.build(builder.filter_items).size_bytes()
         / sketches::count_min::CELL_BYTES;
     let mut rows = Vec::new();

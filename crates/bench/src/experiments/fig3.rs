@@ -14,7 +14,10 @@ const SIZES: [u64; 4] = [8, 32, 64, 128];
 /// Run Figure 3.
 pub fn run(cfg: &Config) -> ExperimentOutput {
     let mut table = Table::new(
-        format!("Figure 3: filter selectivity N2/N over {} distinct items", cfg.distinct()),
+        format!(
+            "Figure 3: filter selectivity N2/N over {} distinct items",
+            cfg.distinct()
+        ),
         &["Skew", "|F|=8", "|F|=32", "|F|=64", "|F|=128"],
     );
     for skew in full_skews() {
@@ -28,16 +31,17 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
     let anchor = zipf_filter_selectivity(1.5, cfg.distinct(), 32);
     let diminishing = zipf_filter_selectivity(1.5, cfg.distinct(), 128)
         > zipf_filter_selectivity(1.5, cfg.distinct(), 32) - 0.25;
-    let notes = vec![
-        format!(
+    let notes =
+        vec![
+            format!(
             "shape: at skew 1.5 only ~20% of counts overflow a 32-item filter (got {:.0}%) — {}",
             anchor * 100.0,
             if (0.1..0.35).contains(&anchor) { "PASS" } else { "FAIL" }
         ),
-        format!(
-            "shape: growing |F| beyond 32 yields diminishing selectivity gains — {}",
-            if diminishing { "PASS" } else { "FAIL" }
-        ),
-    ];
+            format!(
+                "shape: growing |F| beyond 32 yields diminishing selectivity gains — {}",
+                if diminishing { "PASS" } else { "FAIL" }
+            ),
+        ];
     ExperimentOutput::new(vec![table], notes)
 }

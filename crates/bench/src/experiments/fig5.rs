@@ -20,7 +20,12 @@ fn sweep(cfg: &Config) -> Vec<(f64, Vec<(MethodKind, RunResult)>)> {
             let w = Workload::synthetic(cfg, skew);
             let results = MethodKind::HEADLINE
                 .iter()
-                .map(|kind| (*kind, run_method(*kind, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS, &w)))
+                .map(|kind| {
+                    (
+                        *kind,
+                        run_method(*kind, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS, &w),
+                    )
+                })
                 .collect();
             (skew, results)
         })
@@ -37,9 +42,7 @@ fn render(
         &["Skew", "ASketch", "FCM", "Count-Min", "Holistic UDAFs"],
     );
     for (skew, results) in data {
-        let get = |k: MethodKind| {
-            pick(&results.iter().find(|(kind, _)| *kind == k).unwrap().1)
-        };
+        let get = |k: MethodKind| pick(&results.iter().find(|(kind, _)| *kind == k).unwrap().1);
         table.row(&[
             format!("{skew:.1}"),
             fnum(get(MethodKind::ASketch)),

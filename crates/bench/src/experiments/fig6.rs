@@ -55,11 +55,17 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
             any_flagged = true;
             let cms_pairs: Vec<EstimatePair> = flagged
                 .iter()
-                .map(|m| EstimatePair { estimated: m.estimated, truth: m.truth })
+                .map(|m| EstimatePair {
+                    estimated: m.estimated,
+                    truth: m.truth,
+                })
                 .collect();
             let ask_pairs: Vec<EstimatePair> = flagged
                 .iter()
-                .map(|m| EstimatePair { estimated: ask.estimate(m.key), truth: m.truth })
+                .map(|m| EstimatePair {
+                    estimated: ask.estimate(m.key),
+                    truth: m.truth,
+                })
                 .collect();
             (
                 average_relative_error(&cms_pairs).unwrap_or(0.0),
@@ -81,7 +87,9 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
         if cms_worse_everywhere { "PASS" } else { "FAIL" }
     ));
     if !any_flagged {
-        notes.push("no misclassifications at this scale; increase ASKETCH_SCALE or lower sizes".into());
+        notes.push(
+            "no misclassifications at this scale; increase ASKETCH_SCALE or lower sizes".into(),
+        );
     }
     notes.push("paper: CMS ARE up to 1e5, three orders above ASketch".into());
     ExperimentOutput::new(vec![table], notes)

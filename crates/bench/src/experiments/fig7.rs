@@ -18,16 +18,36 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
     let mut rows = Vec::new();
     for skew in accuracy_skews() {
         let w = Workload::synthetic(cfg, skew);
-        let ask = run_method(MethodKind::ASketch, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS, &w);
-        let cms = run_method(MethodKind::CountMin, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS, &w);
-        let hud = run_method(MethodKind::HolisticUdaf, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS, &w);
+        let ask = run_method(
+            MethodKind::ASketch,
+            DEFAULT_BUDGET,
+            DEFAULT_FILTER_ITEMS,
+            &w,
+        );
+        let cms = run_method(
+            MethodKind::CountMin,
+            DEFAULT_BUDGET,
+            DEFAULT_FILTER_ITEMS,
+            &w,
+        );
+        let hud = run_method(
+            MethodKind::HolisticUdaf,
+            DEFAULT_BUDGET,
+            DEFAULT_FILTER_ITEMS,
+            &w,
+        );
         table.row(&[
             format!("{skew:.1}"),
             fnum(ask.observed_error_pct),
             fnum(cms.observed_error_pct),
             fnum(hud.observed_error_pct),
         ]);
-        rows.push((skew, ask.observed_error_pct, cms.observed_error_pct, hud.observed_error_pct));
+        rows.push((
+            skew,
+            ask.observed_error_pct,
+            cms.observed_error_pct,
+            hud.observed_error_pct,
+        ));
     }
     let hudaf_tracks_cms = rows.iter().all(|(_, _, cms, hud)| {
         cms.max(1e-9) / hud.max(1e-9) < 3.0 && hud.max(1e-9) / cms.max(1e-9) < 3.0

@@ -20,22 +20,38 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
     for skew in accuracy_skews() {
         let w = Workload::synthetic(cfg, skew);
         let fcm = run_method(MethodKind::Fcm, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS, &w);
-        let askf = run_method(MethodKind::ASketchFcm, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS, &w);
+        let askf = run_method(
+            MethodKind::ASketchFcm,
+            DEFAULT_BUDGET,
+            DEFAULT_FILTER_ITEMS,
+            &w,
+        );
         let ratio = fcm.observed_error_pct / askf.observed_error_pct.max(1e-12);
         ratios.push((skew, ratio));
         table.row(&[
             format!("{skew:.1}"),
             fnum(askf.observed_error_pct),
             fnum(fcm.observed_error_pct),
-            if ratio.is_finite() { fnum(ratio) } else { "inf".into() },
+            if ratio.is_finite() {
+                fnum(ratio)
+            } else {
+                "inf".into()
+            },
         ]);
     }
-    let improves_at_high_skew = ratios.iter().filter(|(z, _)| *z >= 1.4).all(|(_, r)| *r >= 1.0);
+    let improves_at_high_skew = ratios
+        .iter()
+        .filter(|(z, _)| *z >= 1.4)
+        .all(|(_, r)| *r >= 1.0);
     let grows = ratios.last().unwrap().1 >= ratios.first().unwrap().1;
     let notes = vec![
         format!(
             "shape: ASketch-FCM at least matches FCM for skew >= 1.4 — {}",
-            if improves_at_high_skew { "PASS" } else { "FAIL" }
+            if improves_at_high_skew {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ),
         format!(
             "shape: improvement grows with skew (paper: 13x at 1.6) — {}",

@@ -15,7 +15,12 @@ use crate::workload::Workload;
 pub fn run(cfg: &Config) -> ExperimentOutput {
     let mut table = Table::new(
         "Figure 9: exchanges between filter and sketch (Relaxed-Heap, |F|=32, 128KB)",
-        &["Skew", "Exchanges", "Exchanges/N", "Avg-case model (uniform)"],
+        &[
+            "Skew",
+            "Exchanges",
+            "Exchanges/N",
+            "Avg-case model (uniform)",
+        ],
     );
     let mut measured = Vec::new();
     let h = asketch::AsketchBuilder {
@@ -33,7 +38,11 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
         let stats = m.asketch_stats().unwrap();
         measured.push((skew, stats.exchanges));
         let model = if skew == 0.0 {
-            fnum(analysis::expected_exchanges_uniform(w.len() as u64, DEFAULT_FILTER_ITEMS, h))
+            fnum(analysis::expected_exchanges_uniform(
+                w.len() as u64,
+                DEFAULT_FILTER_ITEMS,
+                h,
+            ))
         } else {
             "-".into()
         };
@@ -47,17 +56,22 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
     let uniform = measured.first().unwrap().1;
     let high = measured.last().unwrap().1;
     let n = cfg.stream_len() as u64;
-    let notes = vec![
-        format!(
-            "shape: exchanges fall with skew ({uniform} at z=0 -> {high} at z=3) — {}",
-            if high * 10 < uniform.max(10) { "PASS" } else { "FAIL" }
-        ),
-        format!(
+    let notes =
+        vec![
+            format!(
+                "shape: exchanges fall with skew ({uniform} at z=0 -> {high} at z=3) — {}",
+                if high * 10 < uniform.max(10) {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
+            ),
+            format!(
             "shape: even uniform exchanges are a vanishing fraction of the stream ({:.4}%) — {}",
             uniform as f64 * 100.0 / n as f64,
             if (uniform as f64) < n as f64 * 0.05 { "PASS" } else { "FAIL" }
         ),
-        "paper anchor: ~40K exchanges for a 32M uniform stream; scales with N".into(),
-    ];
+            "paper anchor: ~40K exchanges for a 32M uniform stream; scales with N".into(),
+        ];
     ExperimentOutput::new(vec![table], notes)
 }

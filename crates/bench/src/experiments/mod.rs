@@ -51,30 +51,114 @@ pub type ExperimentFn = fn(&Config) -> ExperimentOutput;
 /// The experiment registry: `(id, what it reproduces, entry point)`.
 pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
     vec![
-        ("table1", "Table 1: headline method comparison (Zipf 1.5, 128KB)", table1::run),
-        ("table2", "Table 2: analytic model vs measurement", table2::run),
-        ("table3", "Table 3: Count-Min misclassification counts", table3::run),
-        ("table4", "Table 4: observed-error improvement over Count-Min", table4::run),
-        ("table5", "Table 5: precision-at-k of top-k queries", table5::run),
-        ("table6", "Table 6: accuracy by filter implementation", table6::run),
-        ("table7", "Appendix Table 7: top-10 accumulative error items", table7::run),
-        ("fig3", "Figure 3: filter selectivity vs skew and filter size", fig3::run),
-        ("fig5a", "Figure 5a: stream throughput vs skew", fig5::run_update),
-        ("fig5b", "Figure 5b: query throughput vs skew", fig5::run_query),
-        ("fig6", "Figure 6: avg relative error of misclassified items", fig6::run),
-        ("fig7", "Figure 7: observed error vs skew (CMS/H-UDAF/ASketch)", fig7::run),
-        ("fig8", "Figure 8: observed error, FCM vs ASketch-FCM", fig8::run),
+        (
+            "table1",
+            "Table 1: headline method comparison (Zipf 1.5, 128KB)",
+            table1::run,
+        ),
+        (
+            "table2",
+            "Table 2: analytic model vs measurement",
+            table2::run,
+        ),
+        (
+            "table3",
+            "Table 3: Count-Min misclassification counts",
+            table3::run,
+        ),
+        (
+            "table4",
+            "Table 4: observed-error improvement over Count-Min",
+            table4::run,
+        ),
+        (
+            "table5",
+            "Table 5: precision-at-k of top-k queries",
+            table5::run,
+        ),
+        (
+            "table6",
+            "Table 6: accuracy by filter implementation",
+            table6::run,
+        ),
+        (
+            "table7",
+            "Appendix Table 7: top-10 accumulative error items",
+            table7::run,
+        ),
+        (
+            "fig3",
+            "Figure 3: filter selectivity vs skew and filter size",
+            fig3::run,
+        ),
+        (
+            "fig5a",
+            "Figure 5a: stream throughput vs skew",
+            fig5::run_update,
+        ),
+        (
+            "fig5b",
+            "Figure 5b: query throughput vs skew",
+            fig5::run_query,
+        ),
+        (
+            "fig6",
+            "Figure 6: avg relative error of misclassified items",
+            fig6::run,
+        ),
+        (
+            "fig7",
+            "Figure 7: observed error vs skew (CMS/H-UDAF/ASketch)",
+            fig7::run,
+        ),
+        (
+            "fig8",
+            "Figure 8: observed error, FCM vs ASketch-FCM",
+            fig8::run,
+        ),
         ("fig9", "Figure 9: number of exchanges vs skew", fig9::run),
-        ("fig10", "Figure 10: real-world dataset surrogates", fig10::run),
-        ("fig11", "Figure 11: Space Saving comparison (Kosarak)", fig11::run),
-        ("fig12", "Figure 12: pipeline parallelism throughput", fig12::run),
+        (
+            "fig10",
+            "Figure 10: real-world dataset surrogates",
+            fig10::run,
+        ),
+        (
+            "fig11",
+            "Figure 11: Space Saving comparison (Kosarak)",
+            fig11::run,
+        ),
+        (
+            "fig12",
+            "Figure 12: pipeline parallelism throughput",
+            fig12::run,
+        ),
         ("fig13", "Figure 13: SPMD kernel scaling", fig13::run),
-        ("fig14", "Figure 14: throughput by filter implementation", fig14::run),
+        (
+            "fig14",
+            "Figure 14: throughput by filter implementation",
+            fig14::run,
+        ),
         ("fig15", "Figure 15: filter-size sensitivity", fig15::run),
-        ("fig16", "Appendix Fig 16: ARE over low-frequency items", fig16::run),
-        ("fig17", "Appendix Fig 17: predicted vs achieved selectivity", fig17::run),
-        ("cells", "Ablation: 32- vs 64-bit counter cells (not a paper artifact)", cells::run),
-        ("cu", "Ablation: conservative update vs the filter (not a paper artifact)", cu::run),
+        (
+            "fig16",
+            "Appendix Fig 16: ARE over low-frequency items",
+            fig16::run,
+        ),
+        (
+            "fig17",
+            "Appendix Fig 17: predicted vs achieved selectivity",
+            fig17::run,
+        ),
+        (
+            "cells",
+            "Ablation: 32- vs 64-bit counter cells (not a paper artifact)",
+            cells::run,
+        ),
+        (
+            "cu",
+            "Ablation: conservative update vs the filter (not a paper artifact)",
+            cu::run,
+        ),
     ]
 }
 

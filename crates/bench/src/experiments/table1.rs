@@ -58,18 +58,32 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
     notes.push(format!(
         "shape: ASketch update throughput {:.1}x CMS (paper: 4.1x) — {}",
         ask.update.per_ms() / cms.update.per_ms(),
-        if ask.update.per_ms() > cms.update.per_ms() { "PASS" } else { "FAIL" }
+        if ask.update.per_ms() > cms.update.per_ms() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     notes.push(format!(
         "shape: ASketch query throughput {:.1}x CMS (paper: 4.5x) — {}",
         ask.query.per_ms() / cms.query.per_ms(),
-        if ask.query.per_ms() > cms.query.per_ms() { "PASS" } else { "FAIL" }
+        if ask.query.per_ms() > cms.query.per_ms() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     notes.push(format!(
         "shape: ASketch observed error {:.2}x lower than CMS (paper: 6x) — {}",
         cms.observed_error_pct / ask.observed_error_pct.max(1e-12),
-        if ask.observed_error_pct < cms.observed_error_pct { "PASS" } else { "FAIL" }
+        if ask.observed_error_pct < cms.observed_error_pct {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
-    notes.push("absolute throughputs differ from the paper's 2009-era Xeon; ratios carry the claim".into());
+    notes.push(
+        "absolute throughputs differ from the paper's 2009-era Xeon; ratios carry the claim".into(),
+    );
     ExperimentOutput::new(vec![table], notes)
 }

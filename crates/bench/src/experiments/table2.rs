@@ -24,7 +24,9 @@ fn measure_tf(filter_items: usize) -> f64 {
     let mut acc = 0i64;
     for i in 0..reps {
         // Hit a non-min item most of the time, as a skewed stream would.
-        acc ^= f.update_existing(1 + (i % (filter_items as u64 - 1)), 1).unwrap();
+        acc ^= f
+            .update_existing(1 + (i % (filter_items as u64 - 1)), 1)
+            .unwrap();
     }
     let t = sw.finish(reps);
     std::hint::black_box(acc);
@@ -52,22 +54,43 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
 
     let tf = measure_tf(DEFAULT_FILTER_ITEMS);
     let ts = measure_ts(DEFAULT_BUDGET);
-    let sel_pred = analysis::zipf_filter_selectivity(skew, cfg.distinct(), DEFAULT_FILTER_ITEMS as u64);
+    let sel_pred =
+        analysis::zipf_filter_selectivity(skew, cfg.distinct(), DEFAULT_FILTER_ITEMS as u64);
 
     // Measured side: run both methods.
-    let cms = run_method(MethodKind::CountMin, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS, &w);
-    let ask = run_method(MethodKind::ASketch, DEFAULT_BUDGET, DEFAULT_FILTER_ITEMS, &w);
+    let cms = run_method(
+        MethodKind::CountMin,
+        DEFAULT_BUDGET,
+        DEFAULT_FILTER_ITEMS,
+        &w,
+    );
+    let ask = run_method(
+        MethodKind::ASketch,
+        DEFAULT_BUDGET,
+        DEFAULT_FILTER_ITEMS,
+        &w,
+    );
     // Re-run ASketch once more to harvest its stats (run_method drops it).
     let mut ask_inst = MethodKind::ASketch
         .build(DEFAULT_BUDGET, w.spec.seed ^ 0xBEEF, DEFAULT_FILTER_ITEMS)
         .unwrap();
     ask_inst.ingest(&w.stream);
-    let sel_meas = ask_inst.asketch_stats().unwrap().filter_selectivity().unwrap();
+    let sel_meas = ask_inst
+        .asketch_stats()
+        .unwrap()
+        .filter_selectivity()
+        .unwrap();
 
-    let h = CountMin::with_byte_budget(1, 8, DEFAULT_BUDGET).unwrap().width();
-    let h_prime = CountMin::with_byte_budget(1, 8, DEFAULT_BUDGET - RelaxedHeapFilter::new(DEFAULT_FILTER_ITEMS).size_bytes())
+    let h = CountMin::with_byte_budget(1, 8, DEFAULT_BUDGET)
         .unwrap()
         .width();
+    let h_prime = CountMin::with_byte_budget(
+        1,
+        8,
+        DEFAULT_BUDGET - RelaxedHeapFilter::new(DEFAULT_FILTER_ITEMS).size_bytes(),
+    )
+    .unwrap()
+    .width();
     let n2 = (sel_meas * n as f64) as i64;
 
     let mut t = Table::new(
@@ -115,7 +138,11 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
             "shape: measured selectivity within 0.05 of closed form ({:.3} vs {:.3}) — {}",
             sel_meas,
             sel_pred,
-            if (sel_meas - sel_pred).abs() < 0.05 { "PASS" } else { "FAIL" }
+            if (sel_meas - sel_pred).abs() < 0.05 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ),
         "model follows paper Table 2; error rows compare bound magnitudes, not units".into(),
     ];

@@ -81,7 +81,11 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
     notes.push(format!(
         "shape: ASketch stays at (near) zero misclassifications while CMS does not improve on it \
          (CMS {total_cms} vs ASketch {total_ask} across sizes) — {}",
-        if total_ask <= total_cms && total_ask <= 1 { "PASS" } else { "FAIL" }
+        if total_ask <= total_cms && total_ask <= 1 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     notes.push(format!(
         "runs={}; collision pressure scales with stream size — at ASKETCH_SCALE=1 the CMS counts \

@@ -33,15 +33,29 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
         let mut row = vec![format!("{skew:.1}")];
         let mut per_budget = Vec::new();
         for budget_kb in [64usize, 128] {
-            let cms = run_method(MethodKind::CountMin, budget_kb * 1024, DEFAULT_FILTER_ITEMS, &w);
-            let ask = run_method(MethodKind::ASketch, budget_kb * 1024, DEFAULT_FILTER_ITEMS, &w);
+            let cms = run_method(
+                MethodKind::CountMin,
+                budget_kb * 1024,
+                DEFAULT_FILTER_ITEMS,
+                &w,
+            );
+            let ask = run_method(
+                MethodKind::ASketch,
+                budget_kb * 1024,
+                DEFAULT_FILTER_ITEMS,
+                &w,
+            );
             let x = if ask.observed_error_pct <= 0.0 {
                 f64::INFINITY
             } else {
                 cms.observed_error_pct / ask.observed_error_pct
             };
             per_budget.push(x);
-            row.push(if x.is_infinite() { "inf".into() } else { fnum(x) });
+            row.push(if x.is_infinite() {
+                "inf".into()
+            } else {
+                fnum(x)
+            });
         }
         row.push(fnum(PAPER[i].1));
         row.push(fnum(PAPER[i].2));
@@ -56,7 +70,11 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
             "shape: improvement grows with skew (128KB: {:.1}x at 0.8 -> {:.1}x at 1.8) — {}",
             first,
             last,
-            if last > first.max(1.0) * 2.0 || last.is_infinite() { "PASS" } else { "FAIL" }
+            if last > first.max(1.0) * 2.0 || last.is_infinite() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         ),
         "infinite values mean ASketch answered every sampled query exactly".into(),
     ];

@@ -58,7 +58,10 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
         heap_results.push(hp);
         table.row(&[format!("{skew:.1}"), fnum(p), fnum(paper), fnum(hp)]);
     }
-    let high_skew_perfect = results.iter().filter(|(z, _)| *z >= 1.0).all(|(_, p)| *p >= 0.99);
+    let high_skew_perfect = results
+        .iter()
+        .filter(|(z, _)| *z >= 1.0)
+        .all(|(_, p)| *p >= 0.99);
     let low_skew_decent = results.iter().all(|(_, p)| *p >= 0.5);
     // At near-uniform skew (0.4) no 32-slot structure ranks reliably and
     // both baselines degrade; compare where a top-k is meaningful.

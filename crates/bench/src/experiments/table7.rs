@@ -45,12 +45,7 @@ pub fn run(cfg: &Config) -> ExperimentOutput {
         let e_ask = top_error_mean(&ask, &w, 10);
         let ratio = e_ask / e_cms.max(1e-12);
         ratios.push(ratio);
-        table.row(&[
-            format!("{skew:.1}"),
-            fnum(e_cms),
-            fnum(e_ask),
-            fnum(ratio),
-        ]);
+        table.row(&[format!("{skew:.1}"), fnum(e_cms), fnum(e_ask), fnum(ratio)]);
     }
     let all_close = ratios.iter().all(|r| (0.3..=1.7).contains(r));
     let notes = vec![format!(

@@ -165,6 +165,22 @@ impl Method {
             self.update(k, 1);
         }
     }
+
+    /// Ingest a whole key stream with unit counts through the batched
+    /// kernels ([`FrequencyEstimator::insert_batch`]), `chunk` keys at a
+    /// time. `chunk == 1` degenerates to the scalar path.
+    pub fn ingest_batched(&mut self, keys: &[u64], chunk: usize) {
+        let chunk = chunk.max(1);
+        for part in keys.chunks(chunk) {
+            match self {
+                Method::CountMin(m) => m.insert_batch(part),
+                Method::Fcm(m) => m.insert_batch(part),
+                Method::HolisticUdaf(m) => m.insert_batch(part),
+                Method::ASketch(m) => m.insert_batch(part),
+                Method::ASketchFcm(m) => m.insert_batch(part),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -205,7 +221,11 @@ mod tests {
         for &k in &keys {
             *truth.entry(k).or_insert(0i64) += 1;
         }
-        for kind in [MethodKind::CountMin, MethodKind::HolisticUdaf, MethodKind::ASketch] {
+        for kind in [
+            MethodKind::CountMin,
+            MethodKind::HolisticUdaf,
+            MethodKind::ASketch,
+        ] {
             let mut m = kind.build(64 * 1024, 7, 32).unwrap();
             m.ingest(&keys);
             for (&k, &t) in &truth {

@@ -164,7 +164,9 @@ pub fn scan_misclassified(
 ) -> Vec<eval_metrics::Misclassification> {
     let threshold = w.truth.kth_count(k);
     eval_metrics::find_misclassified(
-        w.truth.iter().map(|(key, t)| (key, method.estimate(key), t)),
+        w.truth
+            .iter()
+            .map(|(key, t)| (key, method.estimate(key), t)),
         threshold,
         light_factor,
     )

@@ -110,7 +110,10 @@ mod tests {
         // Paper §4: "For a skew of 1.5, the top-32 data items account for
         // 80% of all frequency counts" over 8M distinct items.
         let sel = zipf_filter_selectivity(1.5, 8_000_000, 32);
-        assert!((0.12..0.28).contains(&sel), "N2/N at z=1.5 |F|=32 was {sel}");
+        assert!(
+            (0.12..0.28).contains(&sel),
+            "N2/N at z=1.5 |F|=32 was {sel}"
+        );
         // Monotone: more filter slots, less overflow.
         assert!(
             zipf_filter_selectivity(1.5, 8_000_000, 128) < sel,
@@ -169,7 +172,10 @@ mod tests {
         let sf_cells = 96;
         let de = theorem1_delta_e(sf_cells, w, h, 32_000_000);
         let base = cms_error_bound(h, 32_000_000);
-        assert!(de < base * 0.01, "ΔE {de} should be tiny vs base bound {base}");
+        assert!(
+            de < base * 0.01,
+            "ΔE {de} should be tiny vs base bound {base}"
+        );
     }
 
     #[test]

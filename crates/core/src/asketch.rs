@@ -3,9 +3,14 @@
 //! negative-count updates of Appendix A.
 
 use serde::{Deserialize, Serialize};
-use sketches::traits::{FrequencyEstimator, TopK, UpdateEstimate};
+use sketches::traits::{FrequencyEstimator, TopK, Tuple, UpdateEstimate};
 
 use crate::filter::{Filter, FilterItem};
+
+/// How far ahead of the batch cursor the sketch is kept primed, in tuples.
+/// Each refill prefetches up to `2 × PRIME_CHUNK` upcoming keys so refills
+/// happen every `PRIME_CHUNK` tuples, not every tuple.
+const PRIME_CHUNK: usize = 16;
 
 /// Running counters describing how the stream split between filter and
 /// sketch; the raw material for the paper's Figures 9 and 17.
@@ -77,7 +82,7 @@ impl<F: Filter, S: UpdateEstimate> ASketch<F, S> {
     pub fn update(&mut self, key: u64, u: i64) {
         if u <= 0 {
             if u < 0 {
-                self.delete(key, -u);
+                self.delete(key, u.checked_neg().unwrap_or(i64::MAX));
             }
             return;
         }
@@ -102,25 +107,146 @@ impl<F: Filter, S: UpdateEstimate> ASketch<F, S> {
         // over-estimate, so promoting on `est > min` keeps the one-sided
         // guarantee; cascading exchanges would only import hash-collision
         // noise into the filter (paper §5, "Exchange Policy").
-        let min = self
-            .filter
-            .min_count()
-            .expect("full filter is non-empty");
+        let min = self.filter.min_count().expect("full filter is non-empty");
         if est > min {
-            let FilterItem {
-                key: evicted,
-                new_count,
-                old_count,
-            } = self.filter.evict_min().expect("full filter is non-empty");
-            let pending = new_count - old_count;
-            if pending > 0 {
-                // Only the mass accumulated *while in the filter* returns to
-                // the sketch; old_count is already in there (Example 2).
-                self.sketch.update(evicted, pending);
-            }
-            self.filter.insert(key, est, est);
-            self.stats.exchanges += 1;
+            self.exchange(key, est);
         }
+    }
+
+    /// Lines 10–17 of Algorithm 1: demote the filter's minimum item
+    /// (writing back only its pending mass) and promote `key` at estimate
+    /// `est`. Caller has already established `est > min_count()`.
+    fn exchange(&mut self, key: u64, est: i64) {
+        let FilterItem {
+            key: evicted,
+            new_count,
+            old_count,
+        } = self.filter.evict_min().expect("full filter is non-empty");
+        let pending = new_count - old_count;
+        if pending > 0 {
+            // Only the mass accumulated *while in the filter* returns to
+            // the sketch; old_count is already in there (Example 2).
+            self.sketch.update(evicted, pending);
+        }
+        self.filter.insert(key, est, est);
+        self.stats.exchanges += 1;
+    }
+
+    /// Batched Algorithm 1: ingest `tuples` with semantics *bit-identical*
+    /// to calling [`Self::update`] on each tuple in order — same estimates,
+    /// same [`AsketchStats`], same exchange count.
+    ///
+    /// The speedup comes from two sources that never change the outcome:
+    ///
+    /// * **Run batching** — consecutive tuples that miss the full filter
+    ///   form a *run*. While a run is being forwarded the filter is
+    ///   untouched, so its membership and `min_count()` are loop
+    ///   invariants: the min is read once and the per-tuple filter probe is
+    ///   skipped. The first exchange ends the run (the promotion changes
+    ///   both membership and the min), and processing resumes tuple-at-a-
+    ///   time from the next tuple — preserving the at-most-one-exchange-
+    ///   per-overflow policy exactly.
+    /// * **Prefetch pipelining** — each run's sketch rows are primed
+    ///   [`PRIME_CHUNK`] keys ahead of the update loop, overlapping their
+    ///   DRAM latency. Only miss-run keys are primed: filter-hit tuples
+    ///   never touch the sketch, so prefetching for them would be wasted
+    ///   bandwidth (and at high skew, hits dominate).
+    pub fn update_batch(&mut self, tuples: &[Tuple]) {
+        let mut i = 0usize;
+        while i < tuples.len() {
+            let (key, u) = tuples[i];
+            if u <= 0 {
+                if u < 0 {
+                    self.delete(key, u.checked_neg().unwrap_or(i64::MAX));
+                }
+                i += 1;
+                continue;
+            }
+            if self.filter.update_existing(key, u).is_some() {
+                self.stats.filter_updates += 1;
+                self.stats.filter_mass += u;
+                i += 1;
+                continue;
+            }
+            if !self.filter.is_full() {
+                self.filter.insert(key, u, 0);
+                self.stats.filter_updates += 1;
+                self.stats.filter_mass += u;
+                i += 1;
+                continue;
+            }
+            // Gather the maximal overflow run [i, run_end): positive tuples
+            // that miss the filter. Valid because the filter is not mutated
+            // until the run is flushed below.
+            let mut run_end = i + 1;
+            while run_end < tuples.len() {
+                let (k, u) = tuples[run_end];
+                if u <= 0 || self.filter.query(k).is_some() {
+                    break;
+                }
+                run_end += 1;
+            }
+            // Flush: min_count is constant until the first exchange. Only
+            // the run's keys are primed (chunk by chunk, just ahead of the
+            // update loop): filter-hit tuples never touch the sketch, so
+            // prefetching their rows would be pure wasted bandwidth — and
+            // at high skew hits are the overwhelming majority.
+            let min = self.filter.min_count().expect("full filter is non-empty");
+            let mut next = run_end;
+            let mut primed_until = i;
+            for j in i..run_end {
+                if j >= primed_until {
+                    primed_until = (j + PRIME_CHUNK).min(run_end);
+                    self.prime_run(&tuples[j..primed_until]);
+                }
+                let (k, u) = tuples[j];
+                let est = self.sketch.update_and_estimate(k, u);
+                self.stats.sketch_updates += 1;
+                self.stats.sketch_mass += u;
+                if est > min {
+                    self.exchange(k, est);
+                    // The promotion invalidated the run's classification
+                    // (membership and min changed): reprocess the remainder
+                    // of the run through the main loop.
+                    next = j + 1;
+                    break;
+                }
+            }
+            i = next;
+        }
+    }
+
+    /// Batched Algorithm 2: point queries for every key, in order.
+    /// Filter hits answer from the (cache-resident) filter; misses are
+    /// forwarded to the sketch's batched estimator in one pass.
+    pub fn estimate_batch(&self, keys: &[u64]) -> Vec<i64> {
+        let mut out = vec![0i64; keys.len()];
+        let mut miss_keys = Vec::new();
+        let mut miss_pos = Vec::new();
+        for (pos, &key) in keys.iter().enumerate() {
+            match self.filter.query(key) {
+                Some(count) => out[pos] = count,
+                None => {
+                    miss_keys.push(key);
+                    miss_pos.push(pos);
+                }
+            }
+        }
+        for (&pos, est) in miss_pos.iter().zip(self.sketch.estimate_batch(&miss_keys)) {
+            out[pos] = est;
+        }
+        out
+    }
+
+    /// Prime the sketch's rows for one chunk of a miss-run. Keys are staged
+    /// through a stack buffer; purely advisory (prefetch only).
+    fn prime_run(&self, tuples: &[Tuple]) {
+        let mut keys = [0u64; PRIME_CHUNK];
+        let n = tuples.len().min(PRIME_CHUNK);
+        for (slot, &(key, _)) in keys.iter_mut().zip(tuples) {
+            *slot = key;
+        }
+        self.sketch.prime(&keys[..n]);
     }
 
     /// Algorithm 2: point frequency query.
@@ -138,22 +264,40 @@ impl<F: Filter, S: UpdateEstimate> ASketch<F, S> {
         self.update(key, 1);
     }
 
-    /// Appendix A: process a deletion of `amount > 0` occurrences of `key`.
+    /// Appendix A: process a deletion of `amount` occurrences of `key`.
     ///
     /// * Key not in the filter → subtract directly from the sketch.
     /// * Key in the filter with enough pending mass → absorb in the filter.
     /// * Otherwise split: the filter's pending mass absorbs what it can and
     ///   the remainder is subtracted from both `old_count` and the sketch.
     ///
+    /// `amount <= 0` is a no-op (matching the parallel runtimes, which
+    /// treat zero-amount deletes as no-ops rather than panicking). The
+    /// deleted mass is accounted against the component that absorbed it,
+    /// keeping [`AsketchStats::filter_selectivity`] truthful on turnstile
+    /// streams.
+    ///
     /// No exchange is initiated on the deletion path (the paper defers any
     /// rebalancing to subsequent positive updates).
     pub fn delete(&mut self, key: u64, amount: i64) {
-        assert!(amount > 0, "deletion amount must be positive");
+        if amount <= 0 {
+            return;
+        }
         self.stats.deletions += 1;
         match self.filter.subtract(key, amount) {
-            None => self.sketch.update(key, -amount),
-            Some(0) => {}
-            Some(spill) => self.sketch.update(key, -spill),
+            None => {
+                self.sketch.update(key, -amount);
+                self.stats.sketch_mass -= amount;
+            }
+            Some(0) => {
+                self.stats.filter_mass -= amount;
+            }
+            Some(spill) => {
+                // The filter's pending mass absorbed `amount - spill`; the
+                // spill came out of mass that had reached the sketch.
+                self.stats.filter_mass -= amount - spill;
+                self.stats.sketch_mass -= spill;
+            }
         }
     }
 
@@ -250,6 +394,20 @@ impl<F: Filter, S: UpdateEstimate> FrequencyEstimator for ASketch<F, S> {
 
     fn size_bytes(&self) -> usize {
         ASketch::size_bytes(self)
+    }
+
+    fn update_batch(&mut self, tuples: &[Tuple]) {
+        ASketch::update_batch(self, tuples);
+    }
+
+    fn estimate_batch(&self, keys: &[u64]) -> Vec<i64> {
+        ASketch::estimate_batch(self, keys)
+    }
+
+    fn prime(&self, keys: &[u64]) {
+        // The filter is cache-resident by design; only the sketch's rows
+        // benefit from priming.
+        self.sketch.prime(keys);
     }
 }
 
@@ -356,7 +514,10 @@ mod tests {
         a.insert(50);
         a.insert(50);
         let after = a.stats().exchanges;
-        assert!(after - before <= 3, "each insert may trigger at most one exchange");
+        assert!(
+            after - before <= 3,
+            "each insert may trigger at most one exchange"
+        );
     }
 
     #[test]
@@ -436,7 +597,7 @@ mod tests {
         // Delete more than the pending mass; the spill must reach the sketch.
         a.insert(2); // pending = 1
         a.delete(2, 2); // pending 1 absorbs 1, spill 1 -> sketch
-        // True count: 3 inserts - 2 deletions = 1; the estimate must cover it.
+                        // True count: 3 inserts - 2 deletions = 1; the estimate must cover it.
         assert!(a.estimate(2) >= 1);
     }
 
@@ -483,8 +644,96 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deletion amount must be positive")]
-    fn zero_deletion_panics() {
-        small().delete(1, 0);
+    fn zero_or_negative_deletion_is_noop() {
+        // Matches the parallel runtimes (PR 1): zero-amount deletes are
+        // no-ops, not panics, and must not count as deletions.
+        let mut a = small();
+        for _ in 0..5 {
+            a.insert(3);
+        }
+        let before = a.stats();
+        a.delete(3, 0);
+        a.delete(3, -7);
+        assert_eq!(a.stats(), before);
+        assert_eq!(a.estimate(3), 5);
+    }
+
+    #[test]
+    fn deletions_update_selectivity_masses() {
+        let mut a = small();
+        for _ in 0..10 {
+            a.insert(1); // filter_mass = 10
+        }
+        // Deletion absorbed entirely by the filter's pending mass.
+        a.delete(1, 4);
+        assert_eq!(a.stats().filter_mass, 6);
+        assert_eq!(a.stats().sketch_mass, 0);
+        for key in 2..5u64 {
+            a.insert(key); // filter now full; filter_mass = 9
+        }
+        for key in 100..105u64 {
+            a.insert(key); // 5 distinct light keys overflow to the sketch
+        }
+        assert_eq!(a.stats().sketch_mass, 5);
+        // Deletion of a sketch-resident key comes out of sketch_mass.
+        a.delete(100, 1);
+        let s = a.stats();
+        assert_eq!(s.sketch_mass, 4);
+        assert_eq!(s.filter_mass, 9);
+        assert_eq!(s.filter_selectivity(), Some(4.0 / 13.0));
+        // Split deletion: pending (6) absorbs what it can, the spill (4)
+        // is charged to the sketch side.
+        a.delete(1, 10);
+        let s = a.stats();
+        assert_eq!(s.filter_mass, 3);
+        assert_eq!(s.sketch_mass, 0);
+    }
+
+    #[test]
+    fn update_batch_matches_scalar_with_mixed_deltas() {
+        for kind in FilterKind::ALL {
+            let mut batched = ASketch::new(kind.build(4), CountMin::new(1, 4, 64).unwrap());
+            let mut scalar = ASketch::new(kind.build(4), CountMin::new(1, 4, 64).unwrap());
+            let mut x = 7u64;
+            let tuples: Vec<(u64, i64)> = (0..3000)
+                .map(|i| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = if i % 3 == 0 { x % 4 } else { x % 64 };
+                    let delta = match i % 13 {
+                        0 => -2,
+                        7 => 0,
+                        _ => (x % 3) as i64 + 1,
+                    };
+                    (key, delta)
+                })
+                .collect();
+            batched.update_batch(&tuples);
+            for &(k, u) in &tuples {
+                scalar.update(k, u);
+            }
+            assert_eq!(batched.stats(), scalar.stats(), "{}", kind.name());
+            for key in 0..64u64 {
+                assert_eq!(
+                    batched.estimate(key),
+                    scalar.estimate(key),
+                    "{}: key {key}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_batch_matches_pointwise() {
+        let mut a = small();
+        for i in 0..500u64 {
+            a.insert(i % 40);
+        }
+        let keys: Vec<u64> = (0..60).collect();
+        let batch = a.estimate_batch(&keys);
+        let point: Vec<i64> = keys.iter().map(|&k| a.estimate(k)).collect();
+        assert_eq!(batch, point);
     }
 }

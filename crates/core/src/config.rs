@@ -198,7 +198,10 @@ mod tests {
         }
         let sketch = ask.into_sketch();
         for (&key, &t) in &truth {
-            assert!(sketch.estimate(key) >= t, "flattened sketch under-counts {key}");
+            assert!(
+                sketch.estimate(key) >= t,
+                "flattened sketch under-counts {key}"
+            );
         }
     }
 

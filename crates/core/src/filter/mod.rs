@@ -251,16 +251,18 @@ impl SlotArrays {
     }
 
     /// Appendix-A subtraction shared by the array filters; the caller
-    /// restores its ordering discipline afterwards.
+    /// restores its ordering discipline afterwards. Saturating, like every
+    /// other counter op: wrapping past `i64::MIN` would flip a depleted
+    /// item to a huge positive count.
     pub fn subtract_at(&mut self, i: usize, amount: i64) -> i64 {
         debug_assert!(amount > 0);
         let pending = self.new[i] - self.old[i];
-        self.new[i] -= amount;
+        self.new[i] = self.new[i].saturating_sub(amount);
         if pending >= amount {
             0
         } else {
             let spill = amount - pending;
-            self.old[i] -= spill;
+            self.old[i] = self.old[i].saturating_sub(spill);
             spill
         }
     }
@@ -301,7 +303,14 @@ pub(crate) mod conformance {
         assert_eq!(f.query(10), Some(8));
         assert_eq!(f.query(11), None);
         let items = f.items();
-        assert_eq!(items, vec![FilterItem { key: 10, new_count: 8, old_count: 0 }]);
+        assert_eq!(
+            items,
+            vec![FilterItem {
+                key: 10,
+                new_count: 8,
+                old_count: 0
+            }]
+        );
     }
 
     pub fn min_tracking(f: &mut dyn Filter) {
@@ -314,7 +323,14 @@ pub(crate) mod conformance {
         f.update_existing(2, 100).unwrap();
         assert_eq!(f.min_count(), Some(10));
         let evicted = f.evict_min().unwrap();
-        assert_eq!(evicted, FilterItem { key: 1, new_count: 10, old_count: 2 });
+        assert_eq!(
+            evicted,
+            FilterItem {
+                key: 1,
+                new_count: 10,
+                old_count: 2
+            }
+        );
         assert_eq!(f.len(), 2);
         assert_eq!(f.min_count(), Some(30));
     }
@@ -361,6 +377,35 @@ pub(crate) mod conformance {
         f.clear();
     }
 
+    pub fn saturation_at_extremes(f: &mut dyn Filter) {
+        assert!(f.capacity() >= 2, "conformance needs capacity >= 2");
+        // A near-MAX item hit with further positive deltas must clamp at
+        // i64::MAX, not wrap negative (which would panic in debug builds
+        // and silently break the one-sided guarantee in release).
+        f.insert(1, i64::MAX - 4, 0);
+        assert_eq!(f.update_existing(1, 100), Some(i64::MAX));
+        assert_eq!(f.query(1), Some(i64::MAX));
+        assert_eq!(
+            f.update_existing(1, i64::MAX),
+            Some(i64::MAX),
+            "stays saturated"
+        );
+        // Ordering structures survive the clamp.
+        f.insert(2, 3, 0);
+        assert_eq!(f.min_count(), Some(3));
+        // Subtraction clamps at i64::MIN instead of wrapping to a huge
+        // positive count. pending = 0, so the whole amount spills.
+        let deep = i64::MIN + 2;
+        f.subtract(2, 3).unwrap();
+        let _ = f.evict_min(); // drop the depleted item
+        f.insert(3, deep, deep);
+        assert_eq!(f.subtract(3, 5), Some(5));
+        assert_eq!(f.query(3), Some(i64::MIN));
+        let it = f.items().into_iter().find(|i| i.key == 3).unwrap();
+        assert_eq!(it.old_count, i64::MIN);
+        f.clear();
+    }
+
     pub fn clear_resets(f: &mut dyn Filter) {
         f.insert(1, 1, 0);
         f.insert(2, 2, 0);
@@ -379,7 +424,9 @@ pub(crate) mod conformance {
         let mut model: Vec<FilterItem> = Vec::new();
         let mut x = seed.max(1);
         let mut step = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x
         };
         for round in 0..4_000 {
@@ -396,7 +443,11 @@ pub(crate) mod conformance {
                     assert_eq!(got, None, "round {round}");
                     if model.len() < cap {
                         f.insert(key, delta, 0);
-                        model.push(FilterItem { key, new_count: delta, old_count: 0 });
+                        model.push(FilterItem {
+                            key,
+                            new_count: delta,
+                            old_count: 0,
+                        });
                     }
                 }
             } else if op < 70 {
@@ -465,6 +516,7 @@ pub(crate) mod conformance {
             eviction_order_under_churn(&mut *build(cap));
         }
         subtract_appendix_a(&mut *build(4));
+        saturation_at_extremes(&mut *build(4));
         clear_resets(&mut *build(4));
         for seed in [1u64, 42, 2024] {
             for cap in [1usize, 4, 16] {

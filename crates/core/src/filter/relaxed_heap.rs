@@ -97,7 +97,7 @@ impl Filter for RelaxedHeapFilter {
     #[inline]
     fn update_existing(&mut self, key: u64, delta: i64) -> Option<i64> {
         let i = lookup::find_key(&self.slots.ids, key)?;
-        self.slots.new[i] += delta;
+        self.slots.new[i] = self.slots.new[i].saturating_add(delta);
         let v = self.slots.new[i];
         if i == 0 {
             // The minimum grew — the only case where the minimum can move.
@@ -108,7 +108,10 @@ impl Filter for RelaxedHeapFilter {
 
     fn insert(&mut self, key: u64, new_count: i64, old_count: i64) {
         assert!(!self.is_full(), "insert into a full filter");
-        debug_assert!(lookup::find_key(&self.slots.ids, key).is_none(), "duplicate filter key");
+        debug_assert!(
+            lookup::find_key(&self.slots.ids, key).is_none(),
+            "duplicate filter key"
+        );
         self.slots.push(key, new_count, old_count);
         self.sift_up_last();
     }

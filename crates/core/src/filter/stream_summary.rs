@@ -160,7 +160,7 @@ impl Filter for StreamSummaryFilter {
 
     fn update_existing(&mut self, key: u64, delta: i64) -> Option<i64> {
         let &i = self.index.get(&key)?;
-        self.nodes[i].new += delta;
+        self.nodes[i].new = self.nodes[i].new.saturating_add(delta);
         let v = self.nodes[i].new;
         self.move_right(i);
         Some(v)
@@ -224,12 +224,12 @@ impl Filter for StreamSummaryFilter {
         debug_assert!(amount > 0);
         let &i = self.index.get(&key)?;
         let pending = self.nodes[i].new - self.nodes[i].old;
-        self.nodes[i].new -= amount;
+        self.nodes[i].new = self.nodes[i].new.saturating_sub(amount);
         let spill = if pending >= amount {
             0
         } else {
             let spill = amount - pending;
-            self.nodes[i].old -= spill;
+            self.nodes[i].old = self.nodes[i].old.saturating_sub(spill);
             spill
         };
         self.move_left(i);

@@ -95,7 +95,7 @@ impl Filter for StrictHeapFilter {
     #[inline]
     fn update_existing(&mut self, key: u64, delta: i64) -> Option<i64> {
         let i = lookup::find_key(&self.slots.ids, key)?;
-        self.slots.new[i] += delta;
+        self.slots.new[i] = self.slots.new[i].saturating_add(delta);
         // A grown value can only violate downward in a min-heap.
         let j = self.sift_down(i);
         Some(self.slots.new[j])
@@ -103,7 +103,10 @@ impl Filter for StrictHeapFilter {
 
     fn insert(&mut self, key: u64, new_count: i64, old_count: i64) {
         assert!(!self.is_full(), "insert into a full filter");
-        debug_assert!(lookup::find_key(&self.slots.ids, key).is_none(), "duplicate filter key");
+        debug_assert!(
+            lookup::find_key(&self.slots.ids, key).is_none(),
+            "duplicate filter key"
+        );
         self.slots.push(key, new_count, old_count);
         self.sift_up(self.slots.len() - 1);
     }

@@ -54,7 +54,7 @@ impl Filter for VectorFilter {
     #[inline]
     fn update_existing(&mut self, key: u64, delta: i64) -> Option<i64> {
         let i = self.position(key)?;
-        self.slots.new[i] += delta;
+        self.slots.new[i] = self.slots.new[i].saturating_add(delta);
         Some(self.slots.new[i])
     }
 

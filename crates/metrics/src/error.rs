@@ -56,7 +56,11 @@ pub fn precision_at_k(reported: &[u64], true_topk: &[u64]) -> f64 {
         return 1.0;
     }
     let truth: std::collections::HashSet<u64> = true_topk.iter().copied().collect();
-    let hits = reported.iter().take(k).filter(|id| truth.contains(id)).count();
+    let hits = reported
+        .iter()
+        .take(k)
+        .filter(|id| truth.contains(id))
+        .count();
     hits as f64 / k as f64
 }
 
@@ -97,7 +101,11 @@ pub fn find_misclassified(
     candidates
         .into_iter()
         .filter(|&(_, est, truth)| est >= heavy_threshold && truth <= light_cutoff && truth > 0)
-        .map(|(key, estimated, truth)| Misclassification { key, estimated, truth })
+        .map(|(key, estimated, truth)| Misclassification {
+            key,
+            estimated,
+            truth,
+        })
         .collect()
 }
 
@@ -138,17 +146,26 @@ mod tests {
         let heavy = [p(1_000_010, 1_000_000)];
         let light = [p(11, 1)];
         assert!(
-            average_relative_error(&light).unwrap() > average_relative_error(&heavy).unwrap() * 1000.0
+            average_relative_error(&light).unwrap()
+                > average_relative_error(&heavy).unwrap() * 1000.0
         );
     }
 
     #[test]
     fn precision_basics() {
         assert_eq!(precision_at_k(&[1, 2, 3], &[1, 2, 3]), 1.0);
-        assert_eq!(precision_at_k(&[3, 2, 1], &[1, 2, 3]), 1.0, "order-insensitive");
+        assert_eq!(
+            precision_at_k(&[3, 2, 1], &[1, 2, 3]),
+            1.0,
+            "order-insensitive"
+        );
         assert_eq!(precision_at_k(&[1, 9, 8], &[1, 2, 3]), 1.0 / 3.0);
         assert_eq!(precision_at_k(&[], &[]), 1.0);
-        assert_eq!(precision_at_k(&[1, 2, 3, 4], &[9, 8]), 0.0, "only first k count");
+        assert_eq!(
+            precision_at_k(&[1, 2, 3, 4], &[9, 8]),
+            0.0,
+            "only first k count"
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@ pub mod table;
 pub mod throughput;
 
 pub use error::{
-    average_relative_error, find_misclassified, observed_error, observed_error_pct,
-    precision_at_k, EstimatePair, Misclassification,
+    average_relative_error, find_misclassified, observed_error, observed_error_pct, precision_at_k,
+    EstimatePair, Misclassification,
 };
 pub use table::{fnum, Table};
 pub use throughput::{median_throughput, time_ops, Stopwatch, Throughput};

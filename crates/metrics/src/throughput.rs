@@ -82,7 +82,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Start timing now.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.
@@ -105,16 +107,25 @@ mod tests {
 
     #[test]
     fn per_ms_math() {
-        let t = Throughput { ops: 5_000, elapsed_ns: 1_000_000 }; // 1 ms
+        let t = Throughput {
+            ops: 5_000,
+            elapsed_ns: 1_000_000,
+        }; // 1 ms
         assert!((t.per_ms() - 5_000.0).abs() < 1e-9);
         assert!((t.ns_per_op() - 200.0).abs() < 1e-9);
     }
 
     #[test]
     fn zero_guards() {
-        let t = Throughput { ops: 10, elapsed_ns: 0 };
+        let t = Throughput {
+            ops: 10,
+            elapsed_ns: 0,
+        };
         assert!(t.per_ms().is_infinite());
-        let t = Throughput { ops: 0, elapsed_ns: 10 };
+        let t = Throughput {
+            ops: 0,
+            elapsed_ns: 10,
+        };
         assert_eq!(t.ns_per_op(), 0.0);
     }
 

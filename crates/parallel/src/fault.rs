@@ -81,7 +81,11 @@ pub struct FaultyEstimator<S> {
 impl<S> FaultyEstimator<S> {
     /// Wrap `inner` with the given fault plan.
     pub fn new(inner: S, plan: FaultPlan) -> Self {
-        Self { inner, plan, ops: 0 }
+        Self {
+            inner,
+            plan,
+            ops: 0,
+        }
     }
 
     /// The wrapped sketch.
@@ -180,7 +184,10 @@ mod tests {
             f.update(1, 1);
         }))
         .unwrap_err();
-        assert_eq!(err.downcast_ref::<String>().map(String::as_str), Some("kaboom"));
+        assert_eq!(
+            err.downcast_ref::<String>().map(String::as_str),
+            Some("kaboom")
+        );
     }
 
     #[test]
@@ -205,10 +212,8 @@ mod tests {
 
     #[test]
     fn delays_do_not_change_counts() {
-        let mut f = FaultyEstimator::new(
-            cms(),
-            FaultPlan::slow_updates(2, Duration::from_millis(1)),
-        );
+        let mut f =
+            FaultyEstimator::new(cms(), FaultPlan::slow_updates(2, Duration::from_millis(1)));
         for _ in 0..10 {
             f.update(4, 1);
         }

@@ -69,6 +69,14 @@ enum ToSketch {
         filter_min: i64,
         seq: u64,
     },
+    /// A batch of filter misses, each with the filter minimum observed when
+    /// it missed. All items share one journal sequence number (each pair is
+    /// journaled individually via `Journal::record_at`), exactly like the
+    /// holistic-UDAF pipeline's batch message.
+    ForwardBatch {
+        items: Vec<(u64, i64, i64)>,
+        seq: u64,
+    },
     /// Pending mass of a demoted filter item.
     Demote { key: u64, pending: i64, seq: u64 },
     /// Negative update for an unmonitored key (Appendix A path).
@@ -153,8 +161,9 @@ fn run_worker<S: Supervisable>(
     let mut since_checkpoint = 0u64;
     let mut since_recent_clear = 0u64;
     while let Ok(msg) = rx.recv() {
-        // Counting arms yield the sequence they applied; a checkpoint
-        // tagged with it tells the caller which journal prefix is covered.
+        // Counting arms yield the sequence they applied plus how many
+        // counting ops it covered; a checkpoint tagged with the sequence
+        // tells the caller which journal prefix is covered.
         let applied_seq = match msg {
             ToSketch::Forward {
                 key,
@@ -168,15 +177,31 @@ fn run_worker<S: Supervisable>(
                     // Ignore send failures during teardown.
                     let _ = out.send(FromSketch::Promote { key, est });
                 }
-                Some(seq)
+                Some((seq, 1))
+            }
+            ToSketch::ForwardBatch { items, seq } => {
+                let ops = items.len() as u64;
+                // Warm the sketch's cache lines for the whole batch up
+                // front; the per-item promote checks still need individual
+                // post-update estimates, so the updates stay sequential.
+                let keys: Vec<u64> = items.iter().map(|&(k, _, _)| k).collect();
+                sketch.prime(&keys);
+                for &(key, u, filter_min) in &items {
+                    let est = sketch.update_and_estimate(key, u);
+                    if est > filter_min && !recent.contains(key) {
+                        recent.push(key);
+                        let _ = out.send(FromSketch::Promote { key, est });
+                    }
+                }
+                Some((seq, ops))
             }
             ToSketch::Demote { key, pending, seq } => {
                 sketch.update(key, pending);
-                Some(seq)
+                Some((seq, 1))
             }
             ToSketch::Subtract { key, amount, seq } => {
                 sketch.update(key, -amount);
-                Some(seq)
+                Some((seq, 1))
             }
             ToSketch::Promoted => {
                 recent.clear();
@@ -188,8 +213,8 @@ fn run_worker<S: Supervisable>(
             }
             ToSketch::Shutdown => break,
         };
-        if let Some(seq) = applied_seq {
-            since_checkpoint += 1;
+        if let Some((seq, ops)) = applied_seq {
+            since_checkpoint += ops;
             if since_checkpoint >= checkpoint_interval {
                 since_checkpoint = 0;
                 let _ = out.send(FromSketch::Checkpoint {
@@ -197,7 +222,7 @@ fn run_worker<S: Supervisable>(
                     snapshot: sketch.clone(),
                 });
             }
-            since_recent_clear += 1;
+            since_recent_clear += ops;
             if since_recent_clear >= RECENT_TTL_OPS {
                 since_recent_clear = 0;
                 recent.clear();
@@ -336,7 +361,9 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
     /// Flush as much of the spill queue as fits without blocking.
     fn flush_spill_try(&mut self) {
         while let Some(msg) = self.spill.pop_front() {
-            let Some(link) = self.link.as_ref() else { return };
+            let Some(link) = self.link.as_ref() else {
+                return;
+            };
             match link.tx.try_send(msg) {
                 Ok(()) => {}
                 Err(TrySendError::Full(m)) => {
@@ -357,7 +384,9 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
     /// every spilled op, so nothing is lost either way).
     fn flush_spill_sync(&mut self) {
         while let Some(msg) = self.spill.pop_front() {
-            let Some(link) = self.link.as_ref() else { return };
+            let Some(link) = self.link.as_ref() else {
+                return;
+            };
             match link.tx.send_timeout(msg, self.cfg.send_timeout) {
                 Ok(()) => {}
                 Err(SendTimeoutError::Timeout(_)) => {
@@ -441,10 +470,64 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
         }
     }
 
+    /// Ship a batch of filter misses as one message, journaling every item
+    /// under a shared sequence number first (mirrors the holistic-UDAF
+    /// pipeline's batch shipping). In degraded mode each item runs through
+    /// the sequential overflow path inline instead.
+    fn ship_forward_batch(&mut self, items: Vec<(u64, i64, i64)>) {
+        if items.is_empty() {
+            return;
+        }
+        if self.link.is_none() {
+            for (key, u, _) in items {
+                self.degraded_overflow(key, u);
+            }
+            return;
+        }
+        self.stats.forwarded += items.len() as u64;
+        let seq = self.journal.next_seq();
+        for &(key, u, _) in &items {
+            self.journal.record_at(seq, key, u);
+        }
+        let msg = ToSketch::ForwardBatch { items, seq };
+        // Same generation discipline as `ship_counting`: a fail-over during
+        // the flush folds the journaled batch into the restored sketch, so
+        // the in-flight `msg` must be abandoned whether the runtime degraded
+        // or restarted.
+        let generation = self.stats.worker_failures;
+        self.flush_spill_try();
+        if self.stats.worker_failures != generation || self.link.is_none() {
+            return;
+        }
+        if !self.spill.is_empty() {
+            self.push_spill(msg);
+            return;
+        }
+        let sent = self
+            .link
+            .as_ref()
+            .expect("worker link checked above")
+            .tx
+            .try_send(msg);
+        match sent {
+            Ok(()) => {}
+            Err(TrySendError::Full(m)) => {
+                self.stats.queue_full_events += 1;
+                match self.cfg.backpressure {
+                    BackpressurePolicy::Block => self.send_sync(m),
+                    BackpressurePolicy::InlineFallback => self.push_spill(m),
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => self.fail_over(None),
+        }
+    }
+
     /// Blocking send with a wedge bound: waits for queue space up to the
     /// send timeout, then declares the worker wedged and fails over.
     fn send_sync(&mut self, msg: ToSketch) {
-        let Some(link) = self.link.as_ref() else { return };
+        let Some(link) = self.link.as_ref() else {
+            return;
+        };
         match link.tx.send_timeout(msg, self.cfg.send_timeout) {
             Ok(()) => {}
             Err(SendTimeoutError::Timeout(_)) => {
@@ -461,7 +544,9 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
         let mut promotes: Vec<(u64, i64)> = Vec::new();
         let mut checkpoints: Vec<(u64, S)> = Vec::new();
         {
-            let Some(link) = self.link.as_ref() else { return };
+            let Some(link) = self.link.as_ref() else {
+                return;
+            };
             while let Ok(msg) = link.rx.try_recv() {
                 match msg {
                     FromSketch::Promote { key, est } => promotes.push((key, est)),
@@ -624,6 +709,62 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
         self.drain_worker_msgs();
     }
 
+    /// Process a batch of tuples, coalescing consecutive filter misses into
+    /// one [`ToSketch::ForwardBatch`] message instead of one message per
+    /// miss — the per-tuple channel and journal overhead is what caps the
+    /// pipeline's ingest rate on low-skew streams.
+    ///
+    /// Semantics match a loop of [`update`](Self::update) up to promotion
+    /// timing: each miss is forwarded with the filter minimum observed when
+    /// *it* missed, deletes flush the pending batch first so wire order
+    /// equals arrival order, and worker replies are drained once per batch
+    /// rather than once per miss. Promotions therefore land with slightly
+    /// coarser granularity — the same stale-minimum relaxation the pipeline
+    /// already accepts (see the module docs).
+    pub fn update_batch(&mut self, tuples: &[(u64, i64)]) {
+        /// Caller-side coalescing bound; keeps a single message's journal
+        /// footprint and worker latency bite bounded.
+        const FLUSH_AT: usize = 64;
+        let mut misses: Vec<(u64, i64, i64)> = Vec::new();
+        for &(key, u) in tuples {
+            if u <= 0 {
+                // Deletions must observe every earlier forward in arrival
+                // order, so the pending batch goes first.
+                let batch = std::mem::take(&mut misses);
+                self.ship_forward_batch(batch);
+                let amount = u.checked_neg().unwrap_or(i64::MAX);
+                if amount > 0 {
+                    self.delete(key, amount);
+                }
+                continue;
+            }
+            if self.filter_mut().update_existing(key, u).is_some() {
+                continue;
+            }
+            if !self.filter_ref().is_full() {
+                self.filter_mut().insert(key, u, 0);
+                continue;
+            }
+            if self.link.is_none() {
+                let batch = std::mem::take(&mut misses);
+                self.ship_forward_batch(batch);
+                self.degraded_overflow(key, u);
+                continue;
+            }
+            let filter_min = self
+                .filter_ref()
+                .min_count()
+                .expect("full filter non-empty");
+            misses.push((key, u, filter_min));
+            if misses.len() >= FLUSH_AT {
+                let batch = std::mem::take(&mut misses);
+                self.ship_forward_batch(batch);
+            }
+        }
+        self.ship_forward_batch(misses);
+        self.drain_worker_msgs();
+    }
+
     /// Degraded-mode overflow path: the full sequential exchange check
     /// (Algorithm 1) runs inline on the caller.
     fn degraded_overflow(&mut self, key: u64, u: i64) {
@@ -660,11 +801,7 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
             return;
         }
         match self.filter_mut().subtract(key, amount) {
-            None => self.ship_counting(key, -amount, |seq| ToSketch::Subtract {
-                key,
-                amount,
-                seq,
-            }),
+            None => self.ship_counting(key, -amount, |seq| ToSketch::Subtract { key, amount, seq }),
             Some(0) => {}
             Some(remainder) => self.ship_counting(key, -remainder, |seq| ToSketch::Subtract {
                 key,
@@ -745,7 +882,9 @@ impl<F: Filter, S: Supervisable> PipelineASketch<F, S> {
                 None => self.journal.restore(),
             };
         };
-        let _ = link.tx.send_timeout(ToSketch::Shutdown, self.cfg.send_timeout);
+        let _ = link
+            .tx
+            .send_timeout(ToSketch::Shutdown, self.cfg.send_timeout);
         drop(link.tx);
         let deadline = std::time::Instant::now() + self.cfg.shutdown_timeout;
         while !link.handle.is_finished() && std::time::Instant::now() < deadline {
@@ -1082,6 +1221,98 @@ mod tests {
             "panic payload must be captured: {:?}",
             h.last_error
         );
+    }
+
+    #[test]
+    fn batched_updates_stay_one_sided_with_mixed_deltas() {
+        let mut p = pipeline(8);
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 29u64;
+        let mut batch = Vec::new();
+        for _ in 0..30_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+            let key = match x % 10 {
+                0..=4 => x % 3,
+                _ => 50 + x % 500,
+            };
+            // Mostly inserts, occasional deletes of a known-heavy key so
+            // the batch path exercises its flush-before-delete ordering.
+            let delta = if x.is_multiple_of(97) { -1 } else { 1 };
+            let key = if delta < 0 { x % 3 } else { key };
+            batch.push((key, delta));
+            let t = truth.entry(key).or_insert(0i64);
+            *t = (*t + delta).max(0);
+            if batch.len() == 257 {
+                p.update_batch(&batch);
+                batch.clear();
+            }
+        }
+        p.update_batch(&batch);
+        for (&key, &t) in &truth {
+            let est = p.estimate(key);
+            assert!(est >= t, "batched pipeline under-counts {key}: {est} < {t}");
+        }
+    }
+
+    #[test]
+    fn batched_resident_keys_stay_exact() {
+        let mut p = pipeline(4);
+        let tuples: Vec<(u64, i64)> = (0..4_000u64).map(|i| (i % 4, 1)).collect();
+        p.update_batch(&tuples);
+        for key in 0..4u64 {
+            assert_eq!(p.estimate(key), 1_000, "filter-resident key {key}");
+        }
+        assert_eq!(p.forwarded(), 0, "no resident key may be forwarded");
+    }
+
+    #[test]
+    fn batched_forwards_survive_worker_panic() {
+        let cfg = SupervisionConfig {
+            queue_capacity: 8,
+            checkpoint_interval: 16,
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(1),
+            ..SupervisionConfig::default()
+        };
+        let sketch = FaultyEstimator::new(
+            CountMin::new(7, 4, 1 << 12).unwrap(),
+            FaultPlan::panic_at(40).with_message("injected batch crash"),
+        );
+        let mut p = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), sketch, cfg);
+        // Heavy residents pin min_count high so key 3 always forwards.
+        let mut tuples: Vec<(u64, i64)> = Vec::new();
+        for _ in 0..1_000 {
+            tuples.push((1, 1));
+            tuples.push((2, 1));
+        }
+        for _ in 0..400 {
+            tuples.push((3, 1)); // the worker panics mid-batch-stream
+        }
+        p.update_batch(&tuples);
+        assert!(
+            p.estimate(3) >= 400,
+            "per-item journal entries must replay the lost batch"
+        );
+        let st = p.stats();
+        assert!(st.worker_failures >= 1, "panic must be observed");
+        assert!(!st.degraded, "restart budget not exhausted");
+    }
+
+    #[test]
+    fn batched_promotion_happens_for_hot_overflow() {
+        let mut p = pipeline(2);
+        let mut tuples: Vec<(u64, i64)> = vec![(1, 1), (2, 1)];
+        for i in 0..5_000u64 {
+            tuples.push((100, 1)); // hot key hammering the sketch
+            tuples.push((1000 + i % 3, 1)); // churn so promotes drain
+        }
+        for chunk in tuples.chunks(512) {
+            p.update_batch(chunk);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let est = p.estimate(100);
+        assert!(est >= 5_000);
+        assert!(p.exchanges() >= 1, "hot key must be promoted via batches");
     }
 
     #[test]

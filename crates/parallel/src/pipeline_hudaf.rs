@@ -74,9 +74,10 @@ fn run_worker<S: Supervisable>(
         match msg {
             Msg::Batch { batch, seq } => {
                 since_checkpoint += batch.len() as u64;
-                for (key, count) in batch {
-                    sketch.update(key, count);
-                }
+                // Batched kernel: tuned backends hoist hashing and prefetch
+                // across the batch instead of taking one cache-miss chain
+                // per item.
+                sketch.update_batch(&batch);
                 if since_checkpoint >= checkpoint_interval {
                     since_checkpoint = 0;
                     let _ = out.send(Checkpoint {
@@ -200,7 +201,9 @@ impl<S: Supervisable> PipelineHUdaf<S> {
 
     fn flush_spill_try(&mut self) {
         while let Some(msg) = self.spill.pop_front() {
-            let Some(link) = self.link.as_ref() else { return };
+            let Some(link) = self.link.as_ref() else {
+                return;
+            };
             match link.tx.try_send(msg) {
                 Ok(()) => {}
                 Err(TrySendError::Full(m)) => {
@@ -217,7 +220,9 @@ impl<S: Supervisable> PipelineHUdaf<S> {
 
     fn flush_spill_sync(&mut self) {
         while let Some(msg) = self.spill.pop_front() {
-            let Some(link) = self.link.as_ref() else { return };
+            let Some(link) = self.link.as_ref() else {
+                return;
+            };
             match link.tx.send_timeout(msg, self.cfg.send_timeout) {
                 Ok(()) => {}
                 Err(SendTimeoutError::Timeout(_)) => {
@@ -251,7 +256,9 @@ impl<S: Supervisable> PipelineHUdaf<S> {
     fn drain_checkpoints(&mut self) {
         let mut harvested: Vec<(u64, S)> = Vec::new();
         {
-            let Some(link) = self.link.as_ref() else { return };
+            let Some(link) = self.link.as_ref() else {
+                return;
+            };
             while let Ok(Checkpoint { seq, snapshot }) = link.rx.try_recv() {
                 harvested.push((seq, snapshot));
             }
@@ -271,9 +278,7 @@ impl<S: Supervisable> PipelineHUdaf<S> {
                 .inline
                 .as_mut()
                 .expect("degraded mode has an inline sketch");
-            for (key, count) in batch {
-                inline.update(key, count);
-            }
+            inline.update_batch(&batch);
             return;
         }
         let seq = self.journal.next_seq();
@@ -307,7 +312,9 @@ impl<S: Supervisable> PipelineHUdaf<S> {
                 self.stats.queue_full_events += 1;
                 match self.cfg.backpressure {
                     BackpressurePolicy::Block => {
-                        let Some(link) = self.link.as_ref() else { return };
+                        let Some(link) = self.link.as_ref() else {
+                            return;
+                        };
                         match link.tx.send_timeout(m, self.cfg.send_timeout) {
                             Ok(()) => {}
                             Err(SendTimeoutError::Timeout(_)) => {
@@ -328,8 +335,9 @@ impl<S: Supervisable> PipelineHUdaf<S> {
         if self.fill == 0 {
             return;
         }
-        let batch: Vec<(u64, i64)> =
-            (0..self.fill).map(|i| (self.ids[i], self.counts[i])).collect();
+        let batch: Vec<(u64, i64)> = (0..self.fill)
+            .map(|i| (self.ids[i], self.counts[i]))
+            .collect();
         for i in 0..self.fill {
             self.ids[i] = EMPTY_KEY;
             self.counts[i] = 0;

@@ -111,59 +111,61 @@ impl<K: FrequencyEstimator + Send> SpmdGroup<K> {
         assert!(!shards.is_empty(), "need at least one shard");
         let max_attempts = max_attempts.max(1);
         let start = std::time::Instant::now();
-        let outcomes: Vec<ShardOutcome<K>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .enumerate()
-                    .map(|(i, shard)| {
-                        let make_kernel = &make_kernel;
-                        scope.spawn(move || {
-                            let mut attempts = 0u32;
-                            let mut last_error: Option<String> = None;
-                            loop {
-                                attempts += 1;
-                                let run = catch_unwind(AssertUnwindSafe(|| {
-                                    let mut kernel = make_kernel(i);
-                                    for &key in shard {
-                                        kernel.update(key, 1);
+        let outcomes: Vec<ShardOutcome<K>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| {
+                    let make_kernel = &make_kernel;
+                    scope.spawn(move || {
+                        let mut attempts = 0u32;
+                        let mut last_error: Option<String> = None;
+                        loop {
+                            attempts += 1;
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                let mut kernel = make_kernel(i);
+                                // Batched ingest: kernels with tuned
+                                // update_batch overrides (prefetch,
+                                // hoisted hashing) get them here; the
+                                // default is the same per-key loop as
+                                // before.
+                                kernel.insert_batch(shard);
+                                kernel
+                            }));
+                            match run {
+                                Ok(kernel) => return Ok((kernel, attempts, last_error)),
+                                Err(payload) => {
+                                    let msg = panic_message(payload);
+                                    if attempts >= max_attempts {
+                                        return Err(PipelineError::ShardFailed {
+                                            shard: i,
+                                            attempts,
+                                            payload: msg,
+                                        });
                                     }
-                                    kernel
-                                }));
-                                match run {
-                                    Ok(kernel) => return Ok((kernel, attempts, last_error)),
-                                    Err(payload) => {
-                                        let msg = panic_message(payload);
-                                        if attempts >= max_attempts {
-                                            return Err(PipelineError::ShardFailed {
-                                                shard: i,
-                                                attempts,
-                                                payload: msg,
-                                            });
-                                        }
-                                        last_error = Some(msg);
-                                    }
+                                    last_error = Some(msg);
                                 }
                             }
-                        })
+                        }
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, h)| match h.join() {
-                        Ok(outcome) => outcome,
-                        // The closure catches kernel panics itself; a panic
-                        // escaping it (e.g. in thread shutdown) still maps
-                        // to a shard failure rather than poisoning us.
-                        Err(payload) => Err(PipelineError::ShardFailed {
-                            shard: i,
-                            attempts: max_attempts,
-                            payload: panic_message(payload),
-                        }),
-                    })
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(i, h)| match h.join() {
+                    Ok(outcome) => outcome,
+                    // The closure catches kernel panics itself; a panic
+                    // escaping it (e.g. in thread shutdown) still maps
+                    // to a shard failure rather than poisoning us.
+                    Err(payload) => Err(PipelineError::ShardFailed {
+                        shard: i,
+                        attempts: max_attempts,
+                        payload: panic_message(payload),
+                    }),
+                })
+                .collect()
+        });
         let elapsed = start.elapsed().as_nanos();
 
         let mut kernels = Vec::with_capacity(shards.len());
@@ -207,7 +209,9 @@ impl<K: FrequencyEstimator + Send> SpmdGroup<K> {
 /// of §6.3 ("every core is consuming a different stream").
 pub fn round_robin_shards(stream: &[u64], n: usize) -> Vec<Vec<u64>> {
     assert!(n > 0, "need at least one shard");
-    let mut shards: Vec<Vec<u64>> = (0..n).map(|_| Vec::with_capacity(stream.len() / n + 1)).collect();
+    let mut shards: Vec<Vec<u64>> = (0..n)
+        .map(|_| Vec::with_capacity(stream.len() / n + 1))
+        .collect();
     for (i, &key) in stream.iter().enumerate() {
         shards[i % n].push(key);
     }
@@ -324,7 +328,11 @@ mod tests {
             2,
         );
         match result {
-            Err(PipelineError::ShardFailed { shard, attempts, payload }) => {
+            Err(PipelineError::ShardFailed {
+                shard,
+                attempts,
+                payload,
+            }) => {
                 assert_eq!(shard, 0);
                 assert_eq!(attempts, 2);
                 assert!(payload.contains("always dies"));

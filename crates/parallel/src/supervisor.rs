@@ -139,8 +139,15 @@ impl std::fmt::Display for PipelineError {
             PipelineError::WorkerPanicked(p) => write!(f, "sketch worker panicked: {p}"),
             PipelineError::Disconnected => write!(f, "sketch worker channel disconnected"),
             PipelineError::EstimateTimeout => write!(f, "estimate round trip timed out"),
-            PipelineError::ShardFailed { shard, attempts, payload } => {
-                write!(f, "SPMD shard {shard} failed after {attempts} attempts: {payload}")
+            PipelineError::ShardFailed {
+                shard,
+                attempts,
+                payload,
+            } => {
+                write!(
+                    f,
+                    "SPMD shard {shard} failed after {attempts} attempts: {payload}"
+                )
             }
         }
     }
@@ -408,7 +415,11 @@ mod tests {
     fn error_display_is_informative() {
         let e = PipelineError::WorkerPanicked("boom".into());
         assert!(e.to_string().contains("boom"));
-        let e = PipelineError::ShardFailed { shard: 2, attempts: 3, payload: "x".into() };
+        let e = PipelineError::ShardFailed {
+            shard: 2,
+            attempts: 3,
+            payload: "x".into(),
+        };
         assert!(e.to_string().contains("shard 2"));
     }
 }

@@ -63,9 +63,15 @@ impl<C: Cell> CountMinCuG<C> {
     ///
     /// # Errors
     /// Returns an error when the budget cannot hold one cell per row.
-    pub fn with_byte_budget(seed: u64, depth: usize, budget_bytes: usize) -> Result<Self, SketchError> {
+    pub fn with_byte_budget(
+        seed: u64,
+        depth: usize,
+        budget_bytes: usize,
+    ) -> Result<Self, SketchError> {
         if depth == 0 {
-            return Err(SketchError::InvalidDimensions { what: "depth=0".into() });
+            return Err(SketchError::InvalidDimensions {
+                what: "depth=0".into(),
+            });
         }
         let width = budget_bytes / (depth * C::BYTES);
         if width == 0 {
@@ -193,7 +199,10 @@ mod tests {
         keys.dedup();
         let mut strictly_better = 0usize;
         for &key in &keys {
-            assert!(cu.estimate(key) <= cms.estimate(key), "CU must not exceed CMS");
+            assert!(
+                cu.estimate(key) <= cms.estimate(key),
+                "CU must not exceed CMS"
+            );
             if cu.estimate(key) < cms.estimate(key) {
                 strictly_better += 1;
             }

@@ -65,9 +65,15 @@ impl<C: Cell> CountSketchG<C> {
     ///
     /// # Errors
     /// Returns an error when the budget cannot hold one cell per row.
-    pub fn with_byte_budget(seed: u64, depth: usize, budget_bytes: usize) -> Result<Self, SketchError> {
+    pub fn with_byte_budget(
+        seed: u64,
+        depth: usize,
+        budget_bytes: usize,
+    ) -> Result<Self, SketchError> {
         if depth == 0 {
-            return Err(SketchError::InvalidDimensions { what: "depth=0".into() });
+            return Err(SketchError::InvalidDimensions {
+                what: "depth=0".into(),
+            });
         }
         let width = budget_bytes / (depth * C::BYTES);
         if width == 0 {
@@ -131,8 +137,7 @@ impl<C: Cell> FrequencyEstimator for CountSketchG<C> {
     fn estimate(&self, key: u64) -> i64 {
         let readings: Vec<i64> = (0..self.depth())
             .map(|row| {
-                self.table[row * self.h + self.hashes.hash(row, key)].to_i64()
-                    * self.sign(row, key)
+                self.table[row * self.h + self.hashes.hash(row, key)].to_i64() * self.sign(row, key)
             })
             .collect();
         median(readings)

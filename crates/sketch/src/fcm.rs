@@ -28,9 +28,11 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cell::Cell;
+use crate::count_min::LOOKAHEAD;
 use crate::hash::{HashBank, PairwiseHash, SplitMix64};
+use crate::lookup::prefetch_read;
 use crate::misra_gries::MisraGries;
-use crate::traits::{FrequencyEstimator, UpdateEstimate};
+use crate::traits::{FrequencyEstimator, Tuple, UpdateEstimate};
 use crate::SketchError;
 
 /// FCM with 64-bit cells (workspace default).
@@ -126,10 +128,12 @@ impl<C: Cell> FcmG<C> {
         mg_capacity: Option<usize>,
     ) -> Result<Self, SketchError> {
         let mg_bytes = mg_capacity.map_or(0, |c| c * 16);
-        let remaining = budget_bytes.checked_sub(mg_bytes).ok_or(SketchError::BudgetTooSmall {
-            needed: mg_bytes + depth * C::BYTES,
-            available: budget_bytes,
-        })?;
+        let remaining = budget_bytes
+            .checked_sub(mg_bytes)
+            .ok_or(SketchError::BudgetTooSmall {
+                needed: mg_bytes + depth * C::BYTES,
+                available: budget_bytes,
+            })?;
         let width = remaining / (depth * C::BYTES);
         if width == 0 {
             return Err(SketchError::BudgetTooSmall {
@@ -192,6 +196,20 @@ impl<C: Cell> FcmG<C> {
         (0..r).map(move |i| (offset + i * gap) % w)
     }
 
+    /// Prefetch the cells of `key`'s *low-frequency* row set — a superset
+    /// of the high-frequency set (high rows are a prefix of low rows), so
+    /// the hint is right regardless of how the MG counter will classify the
+    /// key when the update lands.
+    #[inline]
+    fn prefetch_rows(&self, key: u64) {
+        let w = self.depth();
+        let (offset, gap) = self.offset_gap(key);
+        for i in 0..self.rows_low {
+            let row = (offset + i * gap) % w;
+            prefetch_read(&self.table[row * self.h + self.hashes.hash(row, key)]);
+        }
+    }
+
     fn estimate_over(&self, key: u64, r: usize) -> i64 {
         let w = self.depth();
         let (offset, gap) = self.offset_gap(key);
@@ -241,6 +259,31 @@ impl<C: Cell> FrequencyEstimator for FcmG<C> {
 
     fn size_bytes(&self) -> usize {
         self.table.len() * C::BYTES + self.mg.as_ref().map_or(0, |mg| mg.size_bytes())
+    }
+
+    /// Batched ingest: tuples are applied strictly in order (the MG
+    /// classifier's state is order-sensitive), but each tuple's candidate
+    /// cells are prefetched [`LOOKAHEAD`] tuples ahead, hiding the table
+    /// misses behind the classify/hash work of the preceding tuples.
+    fn update_batch(&mut self, tuples: &[Tuple]) {
+        for &(key, _) in tuples.iter().take(LOOKAHEAD) {
+            self.prefetch_rows(key);
+        }
+        for i in 0..tuples.len() {
+            if let Some(&(next_key, _)) = tuples.get(i + LOOKAHEAD) {
+                self.prefetch_rows(next_key);
+            }
+            let (key, delta) = tuples[i];
+            self.update(key, delta);
+        }
+    }
+
+    /// Pull each key's candidate cells into cache. Advisory only.
+    #[inline]
+    fn prime(&self, keys: &[u64]) {
+        for &key in keys {
+            self.prefetch_rows(key);
+        }
     }
 }
 
@@ -352,10 +395,48 @@ mod tests {
     }
 
     #[test]
+    fn update_batch_matches_scalar_loop_with_mg() {
+        // The MG classifier makes FCM order-sensitive; batch must preserve
+        // per-tuple ordering exactly, including negative deltas.
+        for mg in [None, Some(8)] {
+            let mut batched = Fcm::new(17, 8, 256, mg).unwrap();
+            let mut scalar = Fcm::new(17, 8, 256, mg).unwrap();
+            let mut x = 5u64;
+            let tuples: Vec<Tuple> = (0..2000)
+                .map(|i| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+                    let key = if i % 4 == 0 { 7 } else { x % 400 };
+                    let delta = if i % 11 == 5 { -1 } else { 1 };
+                    (key, delta)
+                })
+                .collect();
+            batched.update_batch(&tuples);
+            for &(k, u) in &tuples {
+                scalar.update(k, u);
+            }
+            for key in 0..400u64 {
+                assert_eq!(
+                    batched.estimate(key),
+                    scalar.estimate(key),
+                    "mg={mg:?} key={key}"
+                );
+                assert_eq!(
+                    batched.is_high_frequency(key),
+                    scalar.is_high_frequency(key),
+                    "mg={mg:?} key={key}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn budget_includes_mg() {
         let with_mg = Fcm::with_byte_budget(1, 8, 64 * 1024, Some(32)).unwrap();
         let without = Fcm::with_byte_budget(1, 8, 64 * 1024, None).unwrap();
-        assert!(with_mg.width() < without.width(), "MG space must come out of the table");
+        assert!(
+            with_mg.width() < without.width(),
+            "MG space must come out of the table"
+        );
         assert!(with_mg.size_bytes() <= 64 * 1024);
         assert!(Fcm::with_byte_budget(1, 8, 64, Some(32)).is_err());
     }

@@ -162,7 +162,9 @@ impl HashBank {
     pub fn new(seed: u64, w: usize, range: usize) -> Self {
         assert!(w > 0, "need at least one hash function");
         let mut rng = SplitMix64::new(seed);
-        let funcs = (0..w).map(|_| PairwiseHash::from_rng(&mut rng, range)).collect();
+        let funcs = (0..w)
+            .map(|_| PairwiseHash::from_rng(&mut rng, range))
+            .collect();
         Self { funcs }
     }
 
@@ -255,7 +257,9 @@ mod tests {
     fn different_seeds_give_different_functions() {
         let h1 = HashBank::new(1, 1, 1 << 20);
         let h2 = HashBank::new(2, 1, 1 << 20);
-        let collisions = (0..1000u64).filter(|&k| h1.hash(0, k) == h2.hash(0, k)).count();
+        let collisions = (0..1000u64)
+            .filter(|&k| h1.hash(0, k) == h2.hash(0, k))
+            .count();
         // Two independent functions agree with probability ~2^-20.
         assert!(collisions < 5, "suspiciously many collisions: {collisions}");
     }

@@ -81,12 +81,7 @@ impl<S: UpdateEstimate> FrequencyEstimator for SketchHeavyHitters<S> {
             *e = est;
             return;
         }
-        let min = self
-            .tracked
-            .values()
-            .copied()
-            .min()
-            .unwrap_or(i64::MIN);
+        let min = self.tracked.values().copied().min().unwrap_or(i64::MIN);
         if self.tracked.len() < self.k || est > min {
             self.tracked.insert(key, est);
             self.evict_min_if_needed();
@@ -139,7 +134,10 @@ mod tests {
             h.insert(1000 + round); // light churn
         }
         let top: Vec<u64> = h.top_k(3).into_iter().map(|(k, _)| k).collect();
-        assert!(top.contains(&1) && top.contains(&2) && top.contains(&3), "{top:?}");
+        assert!(
+            top.contains(&1) && top.contains(&2) && top.contains(&3),
+            "{top:?}"
+        );
     }
 
     #[test]

@@ -69,7 +69,12 @@ impl<C: Cell> HolisticUdafG<C> {
     ///
     /// # Errors
     /// Propagates invalid sketch dimensions; rejects a zero-slot table.
-    pub fn new(seed: u64, depth: usize, width: usize, table_items: usize) -> Result<Self, SketchError> {
+    pub fn new(
+        seed: u64,
+        depth: usize,
+        width: usize,
+        table_items: usize,
+    ) -> Result<Self, SketchError> {
         if table_items == 0 {
             return Err(SketchError::InvalidDimensions {
                 what: "HolisticUdaf table_items=0".into(),
@@ -98,12 +103,13 @@ impl<C: Cell> HolisticUdafG<C> {
         table_items: usize,
     ) -> Result<Self, SketchError> {
         let table_bytes = table_items * TABLE_SLOT_BYTES;
-        let remaining = budget_bytes
-            .checked_sub(table_bytes)
-            .ok_or(SketchError::BudgetTooSmall {
-                needed: table_bytes,
-                available: budget_bytes,
-            })?;
+        let remaining =
+            budget_bytes
+                .checked_sub(table_bytes)
+                .ok_or(SketchError::BudgetTooSmall {
+                    needed: table_bytes,
+                    available: budget_bytes,
+                })?;
         let sketch = CountMinG::with_byte_budget(seed, depth, remaining)?;
         let mut s = Self::new(seed, depth, sketch.width(), table_items)?;
         s.sketch = sketch;

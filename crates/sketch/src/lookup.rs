@@ -16,22 +16,107 @@
 
 /// Find the first index of `key` in `ids`, or `None`.
 ///
-/// Dispatches once per call on compile-time/runtime CPU features; for the
-/// filter sizes used by ASketch (8–1024 items) the scan itself dominates.
+/// Dispatches through the process-wide cached [`ScanKernel`]; batch callers
+/// that scan many times in a row should hoist `ScanKernel::get()` out of
+/// their loop and call [`ScanKernel::find_key`] directly.
 #[inline]
 pub fn find_key(ids: &[u64], key: u64) -> Option<usize> {
+    ScanKernel::get().find_key(ids, key)
+}
+
+/// A resolved scan strategy: the CPU-feature dispatch done once, reusable
+/// across a whole batch of lookups.
+///
+/// `std`'s `is_x86_feature_detected!` caches the CPUID results, but each
+/// call still pays an atomic load plus two branches — measurable when the
+/// scan itself is a handful of vector compares over a 32-item filter. The
+/// first `ScanKernel::get()` resolves the feature set; every later call is
+/// a single relaxed atomic load, and callers holding a `ScanKernel` value
+/// pay nothing at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanKernel {
+    /// 256-bit compares, four keys per register.
     #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: guarded by runtime AVX2 detection.
-            return unsafe { find_key_avx2(ids, key) };
-        }
-        if std::arch::is_x86_feature_detected!("sse4.1") {
-            // SAFETY: guarded by runtime SSE4.1 detection.
-            return unsafe { find_key_sse41(ids, key) };
+    Avx2,
+    /// 128-bit compares, two keys per register.
+    #[cfg(target_arch = "x86_64")]
+    Sse41,
+    /// Chunked scalar scan; autovectorizes and matches SIMD semantics.
+    Scalar,
+}
+
+/// Cached dispatch decision: 0 = undetected, 1 = scalar, 2 = sse4.1,
+/// 3 = avx2. Monotone writes, so racing detections agree.
+static SCAN_KERNEL: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+impl ScanKernel {
+    /// The best kernel for this CPU, detected on first use then cached.
+    #[inline]
+    pub fn get() -> Self {
+        use std::sync::atomic::Ordering;
+        match SCAN_KERNEL.load(Ordering::Relaxed) {
+            0 => Self::detect(),
+            1 => ScanKernel::Scalar,
+            #[cfg(target_arch = "x86_64")]
+            2 => ScanKernel::Sse41,
+            #[cfg(target_arch = "x86_64")]
+            _ => ScanKernel::Avx2,
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => ScanKernel::Scalar,
         }
     }
-    find_key_scalar(ids, key)
+
+    #[cold]
+    fn detect() -> Self {
+        use std::sync::atomic::Ordering;
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                SCAN_KERNEL.store(3, Ordering::Relaxed);
+                return ScanKernel::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("sse4.1") {
+                SCAN_KERNEL.store(2, Ordering::Relaxed);
+                return ScanKernel::Sse41;
+            }
+        }
+        SCAN_KERNEL.store(1, Ordering::Relaxed);
+        ScanKernel::Scalar
+    }
+
+    /// Find the first index of `key` in `ids` using this kernel.
+    #[inline]
+    pub fn find_key(self, ids: &[u64], key: u64) -> Option<usize> {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the Avx2 variant is only constructed after runtime
+            // AVX2 detection in `detect()`.
+            ScanKernel::Avx2 => unsafe { find_key_avx2(ids, key) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above, for SSE4.1.
+            ScanKernel::Sse41 => unsafe { find_key_sse41(ids, key) },
+            ScanKernel::Scalar => find_key_scalar(ids, key),
+        }
+    }
+}
+
+/// Issue a best-effort read prefetch for the cache line holding `*p`.
+///
+/// Purely a latency hint: no-op off x86_64, never faults, and has no
+/// observable semantics, so callers may pass addresses they have not yet
+/// bounds-checked against concurrent state. Batched sketch updates use it
+/// to pull the `w` counter rows for upcoming keys into cache while the
+/// current keys are still being applied.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is architecturally defined to be safe for any
+    // address, mapped or not; it cannot fault or write.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(p as *const i8, std::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
 }
 
 /// Portable scan. Chunked so LLVM can unroll/vectorize; exact same result
@@ -205,6 +290,27 @@ mod tests {
         for r in all_impls(&ids, 0) {
             assert_eq!(r, Some(1));
         }
+    }
+
+    #[test]
+    fn scan_kernel_is_cached_and_consistent() {
+        let a = ScanKernel::get();
+        let b = ScanKernel::get();
+        assert_eq!(a, b, "detection must be stable across calls");
+        let ids: Vec<u64> = (0..37).map(|i| i * 3 + 1).collect();
+        for (pos, &key) in ids.iter().enumerate() {
+            assert_eq!(a.find_key(&ids, key), Some(pos));
+            assert_eq!(a.find_key(&ids, key), find_key(&ids, key));
+        }
+        assert_eq!(a.find_key(&ids, 0), None);
+    }
+
+    #[test]
+    fn prefetch_is_side_effect_free() {
+        let data = [1u64, 2, 3];
+        prefetch_read(data.as_ptr());
+        prefetch_read(std::ptr::null::<u64>());
+        assert_eq!(data, [1, 2, 3]);
     }
 
     #[test]

@@ -105,7 +105,10 @@ impl SpaceSaving {
     ///
     /// # Errors
     /// Returns [`SketchError::BudgetTooSmall`] when not even one item fits.
-    pub fn with_byte_budget(budget_bytes: usize, mode: UnmonitoredEstimate) -> Result<Self, SketchError> {
+    pub fn with_byte_budget(
+        budget_bytes: usize,
+        mode: UnmonitoredEstimate,
+    ) -> Result<Self, SketchError> {
         let capacity = budget_bytes / Self::BYTES_PER_ITEM;
         if capacity == 0 {
             return Err(SketchError::BudgetTooSmall {
@@ -269,7 +272,11 @@ impl SpaceSaving {
         match target {
             Some(b) => self.attach_item(slot, b),
             None => {
-                let anchor = if cur_will_vanish && after == cur { after_prev } else { after };
+                let anchor = if cur_will_vanish && after == cur {
+                    after_prev
+                } else {
+                    after
+                };
                 let nb = self.alloc_bucket(new_count);
                 self.link_bucket_after(nb, anchor);
                 self.attach_item(slot, nb);
@@ -353,7 +360,10 @@ impl SpaceSaving {
                     return Err(format!("item {slot} bucket backlink wrong"));
                 }
                 if it.count != bucket.count {
-                    return Err(format!("item {slot} count {} != bucket {}", it.count, bucket.count));
+                    return Err(format!(
+                        "item {slot} count {} != bucket {}",
+                        it.count, bucket.count
+                    ));
                 }
                 if it.prev != prev_slot {
                     return Err(format!("item {slot} prev link wrong"));
@@ -486,13 +496,12 @@ mod tests {
             *truth.entry(key).or_insert(0i64) += 1;
         }
         s.check_invariants().unwrap();
-        for (key, count, error) in s
-            .top_k(8)
-            .iter()
-            .map(|&(k, c)| (k, c, s.get(k).unwrap().1))
-        {
+        for (key, count, error) in s.top_k(8).iter().map(|&(k, c)| (k, c, s.get(k).unwrap().1)) {
             let t = truth.get(&key).copied().unwrap_or(0);
-            assert!(count >= t, "count {count} under-estimates true {t} for {key}");
+            assert!(
+                count >= t,
+                "count {count} under-estimates true {t} for {key}"
+            );
             assert!(count - error <= t, "guaranteed part must not exceed truth");
         }
         // The unambiguous heavy hitter must be monitored and ranked first.
@@ -567,7 +576,8 @@ mod tests {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             s.observe(x % 50, 1 + (x % 3) as i64);
             if step.is_multiple_of(257) {
-                s.check_invariants().unwrap_or_else(|e| panic!("step {step}: {e}"));
+                s.check_invariants()
+                    .unwrap_or_else(|e| panic!("step {step}: {e}"));
             }
         }
         s.check_invariants().unwrap();

@@ -34,8 +34,56 @@ pub trait FrequencyEstimator {
     /// Ingest a whole slice of tuples.
     #[inline]
     fn extend_from_tuples(&mut self, tuples: &[Tuple]) {
+        self.update_batch(tuples);
+    }
+
+    /// Ingest a batch of tuples.
+    ///
+    /// Semantically identical to calling [`FrequencyEstimator::update`] for
+    /// each tuple in order; implementations may override it to amortize
+    /// per-tuple costs (hash-function dispatch, SIMD feature detection,
+    /// cache-miss latency via software prefetch) across the batch.
+    #[inline]
+    fn update_batch(&mut self, tuples: &[Tuple]) {
         for &(k, u) in tuples {
             self.update(k, u);
+        }
+    }
+
+    /// Answer a point query for every key in `keys`, in order.
+    ///
+    /// Equivalent to mapping [`FrequencyEstimator::estimate`] over `keys`;
+    /// overrides may batch the hash computations and prefetch counter rows.
+    #[inline]
+    fn estimate_batch(&self, keys: &[u64]) -> Vec<i64> {
+        keys.iter().map(|&k| self.estimate(k)).collect()
+    }
+
+    /// Hint that the counters for `keys` are about to be touched.
+    ///
+    /// Purely advisory: the default does nothing, and overrides must not
+    /// change any observable state (software prefetch only). Callers use it
+    /// to overlap the sketch's cache misses with unrelated work, e.g.
+    /// ASketch primes the sketch rows for an upcoming chunk while the
+    /// filter is still absorbing the current one.
+    #[inline]
+    fn prime(&self, keys: &[u64]) {
+        let _ = keys;
+    }
+
+    /// Ingest every key in `keys` with a count of one.
+    ///
+    /// The default stages keys through a small stack buffer of tuples so
+    /// that tuned [`FrequencyEstimator::update_batch`] overrides (and their
+    /// prefetch windows) kick in without any heap allocation; this is the
+    /// entry point SPMD shard ingest uses.
+    fn insert_batch(&mut self, keys: &[u64]) {
+        let mut buf = [(0u64, 0i64); 256];
+        for chunk in keys.chunks(buf.len()) {
+            for (slot, &k) in buf.iter_mut().zip(chunk) {
+                *slot = (k, 1);
+            }
+            self.update_batch(&buf[..chunk.len()]);
         }
     }
 }

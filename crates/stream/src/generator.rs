@@ -27,7 +27,12 @@ impl StreamSpec {
     pub fn paper_synthetic(skew: f64, scale: f64, seed: u64) -> Self {
         let len = ((32_000_000.0 * scale) as usize).max(1);
         let distinct = ((8_000_000.0 * scale) as u64).max(1);
-        Self { len, distinct, skew, seed }
+        Self {
+            len,
+            distinct,
+            skew,
+            seed,
+        }
     }
 
     /// Build the generator for this spec.
@@ -116,7 +121,12 @@ mod tests {
 
     #[test]
     fn deterministic_streams() {
-        let spec = StreamSpec { len: 1000, distinct: 100, skew: 1.2, seed: 3 };
+        let spec = StreamSpec {
+            len: 1000,
+            distinct: 100,
+            skew: 1.2,
+            seed: 3,
+        };
         assert_eq!(spec.materialize(), spec.materialize());
         let other = StreamSpec { seed: 4, ..spec };
         assert_ne!(spec.materialize(), other.materialize());

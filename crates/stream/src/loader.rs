@@ -41,7 +41,10 @@ impl std::fmt::Display for LoadError {
         match self {
             LoadError::Io(e) => write!(f, "trace I/O error: {e}"),
             LoadError::Parse { line, token } => {
-                write!(f, "line {line}: cannot parse {token:?} as an unsigned integer")
+                write!(
+                    f,
+                    "line {line}: cannot parse {token:?} as an unsigned integer"
+                )
             }
             LoadError::BadEdge { line } => {
                 write!(f, "line {line}: expected exactly two fields for an edge")
@@ -187,7 +190,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = LoadError::Parse { line: 3, token: "abc".into() };
+        let e = LoadError::Parse {
+            line: 3,
+            token: "abc".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = LoadError::BadEdge { line: 9 };
         assert!(e.to_string().contains("two fields"));

@@ -46,7 +46,11 @@ impl KeyPermutation {
             s = mix(s);
             s
         });
-        Self { m, half_bits, round_keys }
+        Self {
+            m,
+            half_bits,
+            round_keys,
+        }
     }
 
     /// Domain size.
@@ -118,7 +122,10 @@ mod tests {
             assert_eq!(a.permute(x), b.permute(x));
             differs |= a.permute(x) != c.permute(x);
         }
-        assert!(differs, "different seeds should give different permutations");
+        assert!(
+            differs,
+            "different seeds should give different permutations"
+        );
     }
 
     #[test]

@@ -29,16 +29,23 @@ pub fn frequency_proportional(seed: u64, distinct: u64, skew: f64, n: usize) -> 
 pub fn uniform_over_domain(seed: u64, distinct: u64, n: usize) -> Vec<u64> {
     let perm = KeyPermutation::new(seed ^ 0xA5A5_5A5A_F00D_CAFE, distinct);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0DD5_EEDF_ACE5_0FF5);
-    (0..n).map(|_| perm.permute(rng.gen_range(0..distinct))).collect()
+    (0..n)
+        .map(|_| perm.permute(rng.gen_range(0..distinct)))
+        .collect()
 }
 
 /// Draw `n` query keys by sampling positions of an already-materialized
 /// stream (exactly frequency-proportional with respect to the realized
 /// stream rather than the generating distribution).
 pub fn sample_from_stream(seed: u64, stream: &[u64], n: usize) -> Vec<u64> {
-    assert!(!stream.is_empty(), "cannot sample queries from an empty stream");
+    assert!(
+        !stream.is_empty(),
+        "cannot sample queries from an empty stream"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBADC_0FFE_E0DD_F00D);
-    (0..n).map(|_| stream[rng.gen_range(0..stream.len())]).collect()
+    (0..n)
+        .map(|_| stream[rng.gen_range(0..stream.len())])
+        .collect()
 }
 
 #[cfg(test)]
@@ -81,7 +88,10 @@ mod tests {
         let queries = sample_from_stream(3, &stream, 1000);
         assert!(queries.iter().all(|k| *k == 1 || *k == 2));
         let ones = queries.iter().filter(|&&k| k == 1).count();
-        assert!(ones > 600, "key 1 holds 75% of stream mass, sampled {ones}/1000");
+        assert!(
+            ones > 600,
+            "key 1 holds 75% of stream mass, sampled {ones}/1000"
+        );
     }
 
     #[test]

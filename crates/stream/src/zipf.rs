@@ -33,10 +33,19 @@ impl Zipf {
     /// Panics when `n == 0`, or when `z` is negative or non-finite.
     pub fn new(n: u64, z: f64) -> Self {
         assert!(n > 0, "Zipf domain must be non-empty");
-        assert!(z.is_finite() && z >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            z.is_finite() && z >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         if z == 0.0 {
             // Values below are unused on the uniform path.
-            return Self { n, z, hxm: 0.0, hx0: 0.0, s: 0.0 };
+            return Self {
+                n,
+                z,
+                hxm: 0.0,
+                hx0: 0.0,
+                s: 0.0,
+            };
         }
         let hxm = h(z, n as f64 + 0.5);
         let hx0 = h(z, 0.5) - 1.0;
@@ -132,8 +141,8 @@ pub fn harmonic(n: u64, z: f64) -> f64 {
     } else {
         (b.powf(1.0 - z) - a.powf(1.0 - z)) / (1.0 - z)
     };
-    let correction = (b.powf(-z) - a.powf(-z)) / 2.0
-        + z * (a.powf(-z - 1.0) - b.powf(-z - 1.0)) / 12.0;
+    let correction =
+        (b.powf(-z) - a.powf(-z)) / 2.0 + z * (a.powf(-z - 1.0) - b.powf(-z - 1.0)) / 12.0;
     head + integral + correction
 }
 
@@ -257,7 +266,10 @@ mod tests {
         assert!((zipf.top_mass(1_000_000) - 1.0).abs() < 1e-9);
         // Paper §4: at z=1.5 the top-32 items cover ≈80% of all counts.
         let m32 = Zipf::new(8_000_000, 1.5).top_mass(32);
-        assert!((0.72..0.88).contains(&m32), "top-32 mass at z=1.5 was {m32}");
+        assert!(
+            (0.72..0.88).contains(&m32),
+            "top-32 mass at z=1.5 was {m32}"
+        );
     }
 
     #[test]

@@ -28,18 +28,25 @@ fn main() {
         truth.top_k(1)[0].1
     );
 
-    let mut ask = AsketchBuilder::default().build_count_min().expect("budget fits");
+    let mut ask = AsketchBuilder::default()
+        .build_count_min()
+        .expect("budget fits");
     let mut cms = CountMin::with_byte_budget(7, 8, 128 * 1024).expect("budget fits");
-    for &flow in &stream {
-        ask.insert(flow);
-        cms.insert(flow);
+    // Batched ingest: packets arrive in bursts anyway, and the batched
+    // kernels (DESIGN.md §9) are exactly the scalar path, only faster.
+    for burst in stream.chunks(1024) {
+        ask.insert_batch(burst);
+        cms.insert_batch(burst);
     }
 
     // The monitoring question: which flows exceed an alerting threshold,
     // and what are their exact volumes?
     let k = 16;
     let true_top: Vec<(u64, i64)> = truth.top_k(k);
-    println!("\n{:>4} {:>14} {:>10} {:>10} {:>10}", "rank", "flow", "true", "ASketch", "CMS");
+    println!(
+        "\n{:>4} {:>14} {:>10} {:>10} {:>10}",
+        "rank", "flow", "true", "ASketch", "CMS"
+    );
     let mut ask_exact = 0;
     for (rank, &(flow, count)) in true_top.iter().enumerate() {
         let a = ask.estimate(flow);
@@ -47,7 +54,14 @@ fn main() {
         if a == count {
             ask_exact += 1;
         }
-        println!("{:>4} {:>14} {:>10} {:>10} {:>10}", rank + 1, flow, count, a, c);
+        println!(
+            "{:>4} {:>14} {:>10} {:>10} {:>10}",
+            rank + 1,
+            flow,
+            count,
+            a,
+            c
+        );
     }
     println!("\nASketch reported {ask_exact}/{k} heavy flows exactly");
 

@@ -34,7 +34,10 @@ fn main() {
         skew: 1.0,
         seed: 99,
     };
-    println!("token stream: {} tokens over a {}-word vocabulary", spec.len, spec.distinct);
+    println!(
+        "token stream: {} tokens over a {}-word vocabulary",
+        spec.len, spec.distinct
+    );
     let stream = spec.materialize();
     let truth = ExactCounter::from_keys(&stream);
 
@@ -74,10 +77,16 @@ fn main() {
     // computation would actually consume.
     let head = truth.top_k(k);
     let rel = |est: i64, t: i64| (est - t).abs() as f64 / t as f64;
-    let ask_err: f64 =
-        head.iter().map(|&(w, t)| rel(ask.estimate(w), t)).sum::<f64>() / k as f64;
-    let cms_err: f64 =
-        head.iter().map(|&(w, t)| rel(cms.estimate(w), t)).sum::<f64>() / k as f64;
+    let ask_err: f64 = head
+        .iter()
+        .map(|&(w, t)| rel(ask.estimate(w), t))
+        .sum::<f64>()
+        / k as f64;
+    let cms_err: f64 = head
+        .iter()
+        .map(|&(w, t)| rel(cms.estimate(w), t))
+        .sum::<f64>()
+        / k as f64;
     println!(
         "mean relative error over the true top-{k} words: ASketch {ask_err:.2e}, Count-Min {cms_err:.2e}"
     );

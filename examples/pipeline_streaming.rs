@@ -52,7 +52,9 @@ fn main() {
     );
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if cores < 2 {
-        println!("(single-core host: the pipeline cannot beat sequential here; see Figure 12 notes)");
+        println!(
+            "(single-core host: the pipeline cannot beat sequential here; see Figure 12 notes)"
+        );
     }
 
     // Supervision surface: the runtime reports backpressure and fault
@@ -61,7 +63,11 @@ fn main() {
     let health = pipe.health();
     println!(
         "runtime: {} forwarded, {} queue-full events, {} checkpoints, {} restarts, degraded: {}",
-        stats.forwarded, stats.queue_full_events, stats.checkpoints, stats.restarts, health.degraded,
+        stats.forwarded,
+        stats.queue_full_events,
+        stats.checkpoints,
+        stats.restarts,
+        health.degraded,
     );
     if let Some(err) = health.last_error {
         println!("last worker fault: {err}");

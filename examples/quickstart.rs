@@ -18,13 +18,18 @@ fn main() {
         skew: 1.5,
         seed: 42,
     };
-    println!("generating {} tuples (Zipf {}, {} keys)...", spec.len, spec.skew, spec.distinct);
+    println!(
+        "generating {} tuples (Zipf {}, {} keys)...",
+        spec.len, spec.skew, spec.distinct
+    );
     let stream = spec.materialize();
     let truth = ExactCounter::from_keys(&stream);
 
     // The paper's default configuration: 128 KB total, w = 8 hash
     // functions, a 32-item Relaxed-Heap filter.
-    let mut ask = AsketchBuilder::default().build_count_min().expect("budget fits");
+    let mut ask = AsketchBuilder::default()
+        .build_count_min()
+        .expect("budget fits");
     // A plain Count-Min with the identical byte budget, for comparison.
     let mut cms = CountMin::with_byte_budget(42, 8, 128 * 1024).expect("budget fits");
 
@@ -33,7 +38,10 @@ fn main() {
         cms.insert(key);
     }
 
-    println!("\n{:>6}  {:>12}  {:>12}  {:>12}", "rank", "true", "ASketch", "Count-Min");
+    println!(
+        "\n{:>6}  {:>12}  {:>12}  {:>12}",
+        "rank", "true", "ASketch", "Count-Min"
+    );
     for (rank, (key, count)) in truth.top_k(10).into_iter().enumerate() {
         println!(
             "{:>6}  {:>12}  {:>12}  {:>12}",

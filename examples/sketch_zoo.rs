@@ -11,8 +11,7 @@ use asketch::filter::Filter;
 use asketch::AsketchBuilder;
 use eval_metrics::{observed_error_pct, EstimatePair};
 use sketches::{
-    CountMin, CountSketch, Fcm, FrequencyEstimator, HolisticUdaf, SpaceSaving,
-    UnmonitoredEstimate,
+    CountMin, CountSketch, Fcm, FrequencyEstimator, HolisticUdaf, SpaceSaving, UnmonitoredEstimate,
 };
 use streamgen::{query, ExactCounter, StreamSpec};
 
@@ -87,8 +86,18 @@ fn main() {
     report("FCM [34]", |k| fcm.estimate(k), &queries, &truth);
     report("Holistic UDAFs [10]", |k| hud.estimate(k), &queries, &truth);
     report("Space Saving [27]", |k| ss.estimate(k), &queries, &truth);
-    report("ASketch (this paper)", |k| ask.estimate(k), &queries, &truth);
-    report("ASketch-FCM (this paper)", |k| askf.estimate(k), &queries, &truth);
+    report(
+        "ASketch (this paper)",
+        |k| ask.estimate(k),
+        &queries,
+        &truth,
+    );
+    report(
+        "ASketch-FCM (this paper)",
+        |k| askf.estimate(k),
+        &queries,
+        &truth,
+    );
 
     println!(
         "\nASketch filter state: {} items, {} exchanges, selectivity {:.3}",

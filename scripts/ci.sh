@@ -7,6 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -15,5 +18,10 @@ cargo test -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> throughput bench smoke (batched vs scalar gate)"
+cargo run -q -p asketch-bench --release --bin throughput -- --smoke --out BENCH_throughput.json
+cargo run -q -p asketch-bench --release --bin throughput -- \
+    --validate BENCH_throughput.json --min-speedup 1.5
 
 echo "==> ci.sh: all green"

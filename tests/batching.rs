@@ -1,0 +1,189 @@
+//! Differential tests: the batched ingest path must be *exactly* the
+//! scalar path — same estimates, same `AsketchStats` (exchange count,
+//! filter/sketch mass split), same deletion handling — across every
+//! filter kind and both sketch backends, including negative deltas.
+//!
+//! Batching reorders only *address computation* (hash hoisting, prefetch),
+//! never the read-modify-write sequence, so equality here is `==`, not a
+//! tolerance.
+
+use asketch::filter::FilterKind;
+use asketch::{ASketch, AsketchBuilder};
+use sketches::{CountMin, Fcm, FrequencyEstimator, UpdateEstimate};
+
+/// Deterministic skewed stream with interleaved negative deltas: roughly
+/// one tuple in seven retracts part of an earlier key's mass, exercising
+/// the turnstile path that splits batched runs.
+fn mixed_stream(seed: u64, len: usize, distinct: u64) -> Vec<(u64, i64)> {
+    let mut x = seed | 1;
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Squaring the draw skews mass toward low keys (cheap Zipf stand-in).
+        let r = (x >> 33) as f64 / (1u64 << 31) as f64;
+        let key = ((r * r) * distinct as f64) as u64;
+        let delta = if i % 7 == 3 {
+            -((x >> 57) as i64 % 3 + 1)
+        } else {
+            (x >> 61) as i64 % 3 + 1
+        };
+        out.push((key, delta));
+    }
+    out
+}
+
+type BoxedAsketch = ASketch<Box<dyn asketch::filter::Filter + Send>, CountMin>;
+
+fn build_pair(kind: FilterKind, seed: u64) -> (BoxedAsketch, BoxedAsketch) {
+    let builder = AsketchBuilder {
+        total_bytes: 16 * 1024,
+        filter_items: 16,
+        filter_kind: kind,
+        seed,
+        ..Default::default()
+    };
+    (
+        builder.build_count_min().unwrap(),
+        builder.build_count_min().unwrap(),
+    )
+}
+
+fn assert_identical<F, S>(scalar: &ASketch<F, S>, batched: &ASketch<F, S>, keys: u64, tag: &str)
+where
+    F: asketch::filter::Filter,
+    S: UpdateEstimate,
+{
+    assert_eq!(scalar.stats(), batched.stats(), "{tag}: stats diverged");
+    for k in 0..keys {
+        assert_eq!(
+            scalar.estimate(k),
+            batched.estimate(k),
+            "{tag}: estimate diverged for key {k}"
+        );
+    }
+    let all: Vec<u64> = (0..keys).collect();
+    let point: Vec<i64> = all.iter().map(|&k| scalar.estimate(k)).collect();
+    assert_eq!(
+        batched.estimate_batch(&all),
+        point,
+        "{tag}: estimate_batch diverged from pointwise"
+    );
+}
+
+#[test]
+fn asketch_batch_matches_scalar_all_filters_count_min() {
+    const DISTINCT: u64 = 400;
+    let stream = mixed_stream(0xA5, 12_000, DISTINCT);
+    for kind in FilterKind::ALL {
+        // Batch sizes straddle the run-flush boundaries: singleton, odd,
+        // exactly one prime chunk, and a large multi-run batch.
+        for batch in [1usize, 3, 16, 257] {
+            let (mut scalar, mut batched) = build_pair(kind, 0x5EED);
+            for &(k, u) in &stream {
+                scalar.update(k, u);
+            }
+            for part in stream.chunks(batch) {
+                batched.update_batch(part);
+            }
+            assert_identical(
+                &scalar,
+                &batched,
+                DISTINCT,
+                &format!("{}/batch={batch}", kind.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn asketch_batch_matches_scalar_all_filters_fcm() {
+    const DISTINCT: u64 = 400;
+    let stream = mixed_stream(0xF0, 12_000, DISTINCT);
+    for kind in FilterKind::ALL {
+        for batch in [1usize, 64, 513] {
+            let builder = AsketchBuilder {
+                total_bytes: 16 * 1024,
+                filter_items: 16,
+                filter_kind: kind,
+                seed: 0xFC,
+                ..Default::default()
+            };
+            let mut scalar = builder.build_fcm().unwrap();
+            let mut batched = builder.build_fcm().unwrap();
+            for &(k, u) in &stream {
+                scalar.update(k, u);
+            }
+            for part in stream.chunks(batch) {
+                batched.update_batch(part);
+            }
+            assert_identical(
+                &scalar,
+                &batched,
+                DISTINCT,
+                &format!("fcm/{}/batch={batch}", kind.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn raw_sketches_batch_matches_scalar() {
+    const DISTINCT: u64 = 600;
+    let stream = mixed_stream(0xBEEF, 20_000, DISTINCT);
+    let keys: Vec<u64> = (0..DISTINCT).collect();
+
+    let mut cm_scalar = CountMin::with_byte_budget(3, 8, 32 * 1024).unwrap();
+    let mut cm_batched = cm_scalar.clone();
+    let mut fcm_scalar = Fcm::with_byte_budget(3, 8, 32 * 1024, Some(16)).unwrap();
+    let mut fcm_batched = fcm_scalar.clone();
+
+    for &(k, u) in &stream {
+        cm_scalar.update(k, u);
+        fcm_scalar.update(k, u);
+    }
+    for part in stream.chunks(113) {
+        cm_batched.update_batch(part);
+        fcm_batched.update_batch(part);
+    }
+    for &k in &keys {
+        assert_eq!(
+            cm_scalar.estimate(k),
+            cm_batched.estimate(k),
+            "count-min key {k}"
+        );
+        assert_eq!(
+            fcm_scalar.estimate(k),
+            fcm_batched.estimate(k),
+            "fcm key {k}"
+        );
+    }
+    assert_eq!(
+        cm_batched.estimate_batch(&keys),
+        keys.iter()
+            .map(|&k| cm_scalar.estimate(k))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn unit_insert_batch_matches_scalar_inserts() {
+    // insert_batch is the SPMD shard entry point; it stages through a fixed
+    // stack buffer, so lengths around the 256-tuple staging size matter.
+    let keys: Vec<u64> = mixed_stream(0x11, 5_000, 300)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    for len in [1usize, 255, 256, 257, 1024] {
+        let mut scalar = CountMin::with_byte_budget(9, 4, 16 * 1024).unwrap();
+        let mut batched = scalar.clone();
+        for &k in &keys[..len.min(keys.len())] {
+            scalar.update(k, 1);
+        }
+        batched.insert_batch(&keys[..len.min(keys.len())]);
+        for k in 0..300 {
+            assert_eq!(scalar.estimate(k), batched.estimate(k), "len={len} key={k}");
+        }
+    }
+}

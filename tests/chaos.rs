@@ -39,10 +39,14 @@ fn cms() -> CountMin {
 /// the true top-`k` keys that rank in the predicted top-`k`.
 fn top_k_recall(truth: &ExactCounter, k: usize, mut estimate: impl FnMut(u64) -> i64) -> f64 {
     let true_top: Vec<u64> = truth.top_k(k).into_iter().map(|(key, _)| key).collect();
-    let mut predicted: Vec<(u64, i64)> = truth.iter().map(|(key, _)| (key, estimate(key))).collect();
+    let mut predicted: Vec<(u64, i64)> =
+        truth.iter().map(|(key, _)| (key, estimate(key))).collect();
     predicted.sort_by_key(|&(_, est)| std::cmp::Reverse(est));
     let predicted_top: Vec<u64> = predicted.iter().take(k).map(|&(key, _)| key).collect();
-    let hits = true_top.iter().filter(|key| predicted_top.contains(key)).count();
+    let hits = true_top
+        .iter()
+        .filter(|key| predicted_top.contains(key))
+        .count();
     hits as f64 / k as f64
 }
 
@@ -71,13 +75,20 @@ fn pipeline_survives_midstream_panic_in_degraded_mode() {
     }
 
     let stats = pipe.stats();
-    assert!(stats.worker_failures >= 1, "fault must be counted: {stats:?}");
+    assert!(
+        stats.worker_failures >= 1,
+        "fault must be counted: {stats:?}"
+    );
     assert!(stats.degraded, "restart budget 0 must degrade");
     assert!(stats.inline_updates > 0, "degraded mode must keep counting");
     let health = pipe.health();
     assert!(health.degraded);
     assert!(
-        health.last_error.as_deref().unwrap_or("").contains("chaos panic"),
+        health
+            .last_error
+            .as_deref()
+            .unwrap_or("")
+            .contains("chaos panic"),
         "panic payload must surface: {:?}",
         health.last_error
     );
@@ -141,7 +152,10 @@ fn slow_worker_blocking_backpressure_drops_nothing() {
         checkpoint_interval: 64,
         ..SupervisionConfig::default()
     };
-    let slow = FaultyEstimator::new(cms(), FaultPlan::slow_updates(1, Duration::from_micros(200)));
+    let slow = FaultyEstimator::new(
+        cms(),
+        FaultPlan::slow_updates(1, Duration::from_micros(200)),
+    );
     let mut pipe = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), slow, cfg);
     // Heavy residents pin the filter minimum high so every distinct key
     // below is forwarded to the (slow) worker.
@@ -173,7 +187,10 @@ fn slow_worker_inline_fallback_spills_without_loss() {
         checkpoint_interval: 64,
         ..SupervisionConfig::default()
     };
-    let slow = FaultyEstimator::new(cms(), FaultPlan::slow_updates(1, Duration::from_micros(200)));
+    let slow = FaultyEstimator::new(
+        cms(),
+        FaultPlan::slow_updates(1, Duration::from_micros(200)),
+    );
     let mut pipe = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), slow, cfg);
     for _ in 0..1_000 {
         pipe.insert(1);
@@ -224,8 +241,14 @@ fn estimate_timeout_fails_over_and_still_answers() {
     let est = pipe.estimate(100); // round trip must not hang
     assert!(est >= 20, "estimate must cover all updates: {est}");
     let stats = pipe.stats();
-    assert!(stats.estimate_timeouts >= 1, "timeout must be counted: {stats:?}");
-    assert!(stats.degraded, "timeout with no restart budget must degrade");
+    assert!(
+        stats.estimate_timeouts >= 1,
+        "timeout must be counted: {stats:?}"
+    );
+    assert!(
+        stats.degraded,
+        "timeout with no restart budget must degrade"
+    );
 }
 
 /// The batched H-UDAF pipeline under a worker panic: journaled batches are
@@ -246,10 +269,16 @@ fn hudaf_pipeline_survives_worker_panic() {
         p.insert(k);
     }
     let stats = p.stats();
-    assert!(stats.worker_failures >= 1, "panic must be observed: {stats:?}");
+    assert!(
+        stats.worker_failures >= 1,
+        "panic must be observed: {stats:?}"
+    );
     for (key, t) in truth.top_k(200) {
         let est = p.estimate(key);
-        assert!(est >= t, "H-UDAF under-counts {key} after panic: {est} < {t}");
+        assert!(
+            est >= t,
+            "H-UDAF under-counts {key} after panic: {est} < {t}"
+        );
     }
 }
 
@@ -292,7 +321,10 @@ fn drop_with_wedged_worker_is_bounded() {
         shutdown_timeout: Duration::from_millis(200),
         ..SupervisionConfig::default()
     };
-    let wedged = FaultyEstimator::new(cms(), FaultPlan::slow_updates(1, Duration::from_millis(100)));
+    let wedged = FaultyEstimator::new(
+        cms(),
+        FaultPlan::slow_updates(1, Duration::from_millis(100)),
+    );
     let mut pipe = PipelineASketch::spawn_with(RelaxedHeapFilter::new(2), wedged, cfg);
     for _ in 0..10 {
         pipe.insert(1);
@@ -353,12 +385,22 @@ fn inline_fallback_spill_plus_panic_plus_restart_is_exactly_once() {
     );
     let stats = pipe.stats();
     assert!(stats.spilled > 0, "spill path must be exercised: {stats:?}");
-    assert!(stats.worker_failures >= 1, "panic must be observed: {stats:?}");
-    assert!(stats.restarts >= 1, "restart budget must be used: {stats:?}");
+    assert!(
+        stats.worker_failures >= 1,
+        "panic must be observed: {stats:?}"
+    );
+    assert!(
+        stats.restarts >= 1,
+        "restart budget must be used: {stats:?}"
+    );
     assert!(!stats.degraded, "restart budget not exhausted: {stats:?}");
     let health = pipe.health();
     assert!(
-        health.last_error.as_deref().unwrap_or("").contains("spill chaos"),
+        health
+            .last_error
+            .as_deref()
+            .unwrap_or("")
+            .contains("spill chaos"),
         "panic payload must surface: {:?}",
         health.last_error
     );
@@ -395,8 +437,14 @@ fn hudaf_spill_plus_panic_plus_restart_is_exactly_once() {
     }
     let stats = p.stats();
     assert!(stats.spilled > 0, "spill path must be exercised: {stats:?}");
-    assert!(stats.worker_failures >= 1, "panic must be observed: {stats:?}");
-    assert!(stats.restarts >= 1, "restart budget must be used: {stats:?}");
+    assert!(
+        stats.worker_failures >= 1,
+        "panic must be observed: {stats:?}"
+    );
+    assert!(
+        stats.restarts >= 1,
+        "restart budget must be used: {stats:?}"
+    );
     assert!(!stats.degraded, "restart budget not exhausted: {stats:?}");
 }
 

@@ -61,7 +61,10 @@ fn claim_accuracy_improvement_grows_with_skew() {
         ratios[1] > ratios[0],
         "improvement should grow with skew: {ratios:?}"
     );
-    assert!(ratios[1] > 1.5, "no real accuracy win at skew 1.5: {ratios:?}");
+    assert!(
+        ratios[1] > 1.5,
+        "no real accuracy win at skew 1.5: {ratios:?}"
+    );
 }
 
 #[test]

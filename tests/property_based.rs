@@ -122,6 +122,37 @@ proptest! {
     }
 
     #[test]
+    fn batched_ingest_is_exactly_scalar(
+        ops in vec((0u64..150, -3i64..8), 1..1_200),
+        batch in 1usize..300,
+        kind_idx in 0usize..4,
+    ) {
+        // The batched hot path stages filter misses into runs and spills
+        // them to the sketch at run boundaries (sign flip, exchange, chunk
+        // end). Whatever the spill pattern, the result must be *identical*
+        // to the scalar path: same estimates, same stats, same exchanges.
+        let builder = AsketchBuilder {
+            total_bytes: 4 * 1024,
+            filter_items: 8,
+            filter_kind: FilterKind::ALL[kind_idx],
+            seed: 3,
+            ..Default::default()
+        };
+        let mut scalar = builder.build_count_min().unwrap();
+        let mut batched = builder.build_count_min().unwrap();
+        for &(k, u) in &ops {
+            scalar.update(k, u);
+        }
+        for part in ops.chunks(batch) {
+            batched.update_batch(part);
+        }
+        prop_assert_eq!(scalar.stats(), batched.stats());
+        for k in 0u64..150 {
+            prop_assert_eq!(scalar.estimate(k), batched.estimate(k), "key {}", k);
+        }
+    }
+
+    #[test]
     fn permutation_is_bijective(m in 1u64..5_000, seed in any::<u64>()) {
         let perm = KeyPermutation::new(seed, m);
         let mut seen = vec![false; m as usize];

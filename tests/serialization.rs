@@ -42,7 +42,11 @@ fn stream() -> Vec<u64> {
 
 fn assert_same_estimates<M: FrequencyEstimator>(a: &M, b: &M, keys: &[u64]) {
     for &k in keys.iter().take(2_000) {
-        assert_eq!(a.estimate(k), b.estimate(k), "estimates diverge for key {k}");
+        assert_eq!(
+            a.estimate(k),
+            b.estimate(k),
+            "estimates diverge for key {k}"
+        );
     }
 }
 
@@ -87,7 +91,10 @@ fn asketch_clone_snapshot() {
     let mut live = ask;
     live.insert(424242);
     assert!(live.estimate(424242) >= 1);
-    assert_eq!(snap.stats().filter_updates + snap.stats().sketch_updates, 30_000);
+    assert_eq!(
+        snap.stats().filter_updates + snap.stats().sketch_updates,
+        30_000
+    );
 }
 
 #[test]
