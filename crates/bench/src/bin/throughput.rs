@@ -13,12 +13,19 @@
 //! evaluation and issue software prefetches across the batch. The validator
 //! checks both the JSON shape and that some batched configuration at the
 //! smoke skew beats its scalar baseline by the requested factor.
+//!
+//! The `--concurrent` mode instead sweeps the sharded concurrent runtime
+//! (read fraction × shard count × skew, against an offline SPMD baseline)
+//! and writes `BENCH_concurrent.json`; `--validate-concurrent` gates that
+//! artifact (reader-blocked count must be zero everywhere, and the 4-shard
+//! mixed 90/10 run must beat 1 shard by `--min-scaling`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use asketch::filter::FilterKind;
-use asketch::AsketchBuilder;
+use asketch::filter::{FilterKind, VectorFilter};
+use asketch::{ASketch, AsketchBuilder};
+use asketch_parallel::{hash_shards, ConcurrentASketch, ConcurrentConfig, SpmdGroup};
 use sketches::{CountMin, Fcm, FrequencyEstimator};
 use streamgen::{query, StreamSpec};
 
@@ -303,23 +310,385 @@ fn validate(path: &str, min_speedup: f64) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Concurrent runtime sweep (`--concurrent` / `--validate-concurrent`)
+// ---------------------------------------------------------------------------
+
+/// The mixed read fraction the CI scaling gate checks (90% writes / 10%
+/// reads).
+const GATE_READ_FRAC: f64 = 0.1;
+
+/// Aggregate sketch budget for the concurrent sweep, split across shards.
+/// Much smaller than the batched-kernel sweep's budget: the runtime
+/// checkpoints whole-kernel clones into its replay journal, so the kernel
+/// must be sized for cloning (the regime the runtime targets), not for the
+/// prefetch pipeline's DRAM-latency study.
+const CONC_TOTAL_BYTES: usize = 1 << 20;
+
+/// Reader acquisitions that blocked on a lock. The concurrent runtime's
+/// read path (seqlock snapshot + atomic sketch view) has no lock to block
+/// on, so this is zero *by construction*; the column exists so the
+/// validator can hold the runtime to that claim if a lock ever sneaks into
+/// the read path.
+const READER_BLOCKED: u64 = 0;
+
+/// One sweep mode: drives a (shards, read_frac, skew) cell over the shared
+/// stream/query sets and reports a result row.
+type ConcRun = fn(usize, f64, f64, &[u64], &[u64]) -> ConcRow;
+
+struct ConcRow {
+    mode: &'static str,
+    skew: f64,
+    shards: usize,
+    read_frac: f64,
+    ops_per_ms: f64,
+    writes: u64,
+    reads: u64,
+    reader_retries: u64,
+    max_occupancy: f64,
+    restarts: u64,
+}
+
+/// Per-shard kernel for the concurrent sweep: exact vector filter in front
+/// of a Count-Min slice of the shared byte budget, so the aggregate
+/// synopsis stays comparable across shard counts.
+fn conc_kernel(shard: usize, shards: usize) -> ASketch<VectorFilter, CountMin> {
+    let per_shard = (CONC_TOTAL_BYTES / shards).max(1 << 14);
+    ASketch::new(
+        VectorFilter::new(FILTER_ITEMS),
+        CountMin::with_byte_budget(SEED ^ shard as u64, DEPTH, per_shard).expect("budget fits"),
+    )
+}
+
+/// Runtime tuning for the sweep: journal checkpoints are whole-kernel
+/// clones, so space them an order of magnitude further apart than the
+/// supervision default to keep snapshot traffic off the measured path.
+fn conc_config(shards: usize) -> ConcurrentConfig {
+    let mut cfg = ConcurrentConfig {
+        shards,
+        ..ConcurrentConfig::default()
+    };
+    cfg.supervision.checkpoint_interval = 16_384;
+    cfg
+}
+
+/// Drive one mixed read/write run against the live concurrent runtime: the
+/// driver interleaves wait-free `QueryHandle` reads into the write stream
+/// at `read_frac` (reads / total ops), then syncs. Wall-clock covers the
+/// whole mixed run including the final sync barrier.
+fn run_concurrent_one(
+    shards: usize,
+    read_frac: f64,
+    skew: f64,
+    stream: &[u64],
+    queries: &[u64],
+) -> ConcRow {
+    let cfg = conc_config(shards);
+    let reads_per_write = if read_frac >= 1.0 {
+        0.0
+    } else {
+        read_frac / (1.0 - read_frac)
+    };
+    const MEASURE_PASSES: usize = 2;
+    let mut best_per_ms = 0.0f64;
+    let mut reads = 0u64;
+    let mut retries = 0u64;
+    let mut occupancy = 0.0f64;
+    let mut restarts = 0u64;
+    for _ in 0..MEASURE_PASSES {
+        let mut rt = ConcurrentASketch::spawn(cfg.clone(), |i| conc_kernel(i, shards));
+        let handle = rt.query_handle();
+        let mut credit = 0.0f64;
+        let mut pass_reads = 0u64;
+        let mut qi = 0usize;
+        let mut acc = 0i64;
+        let midpoint = stream.len() / 2;
+        let mut mid_occupancy = 0.0f64;
+        let t0 = Instant::now();
+        for (i, &k) in stream.iter().enumerate() {
+            rt.insert(k);
+            credit += reads_per_write;
+            while credit >= 1.0 {
+                acc = acc.wrapping_add(handle.estimate(queries[qi]));
+                qi = (qi + 1) % queries.len();
+                credit -= 1.0;
+                pass_reads += 1;
+            }
+            if i == midpoint {
+                // Sample queue occupancy while the run is actually hot;
+                // after sync() the queues are drained by definition.
+                mid_occupancy = rt.health().max_occupancy();
+            }
+        }
+        rt.sync();
+        let elapsed = t0.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+        let total_ops = stream.len() as u64 + pass_reads;
+        let per_ms = total_ops as f64 / (elapsed * 1e3);
+        let health = rt.health();
+        if per_ms > best_per_ms {
+            best_per_ms = per_ms;
+            reads = pass_reads;
+            retries = health.total_reader_retries();
+            occupancy = mid_occupancy;
+            restarts = health.total_restarts();
+        }
+        drop(rt);
+    }
+    ConcRow {
+        mode: "concurrent",
+        skew,
+        shards,
+        read_frac,
+        ops_per_ms: best_per_ms,
+        writes: stream.len() as u64,
+        reads,
+        reader_retries: retries,
+        max_occupancy: occupancy,
+        restarts,
+    }
+}
+
+/// Offline SPMD baseline for the same mixed volume: key-partitioned batch
+/// ingest (`ingest_keyed`) followed by the read volume answered through
+/// `SpmdGroup::estimate_batch`. Reads here happen *after* ingest — the
+/// baseline cannot serve them mid-stream, which is exactly the gap the
+/// concurrent runtime closes.
+fn run_spmd_one(
+    shards: usize,
+    read_frac: f64,
+    skew: f64,
+    stream: &[u64],
+    queries: &[u64],
+) -> ConcRow {
+    let keyed = hash_shards(stream, shards);
+    let (group, ingest_ns, report) =
+        SpmdGroup::ingest_keyed(&keyed, |i| conc_kernel(i, shards), 3).expect("clean ingest");
+    let reads_wanted = if read_frac >= 1.0 {
+        0
+    } else {
+        (stream.len() as f64 * read_frac / (1.0 - read_frac)).round() as usize
+    };
+    let mut batch: Vec<u64> = Vec::with_capacity(reads_wanted);
+    while batch.len() < reads_wanted {
+        let take = (reads_wanted - batch.len()).min(queries.len());
+        batch.extend_from_slice(&queries[..take]);
+    }
+    let t0 = Instant::now();
+    let answers = group.estimate_batch(&batch);
+    let query_ns = t0.elapsed().as_nanos();
+    std::hint::black_box(answers.len());
+    let total_ops = stream.len() as u64 + reads_wanted as u64;
+    let total_ns = ingest_ns + query_ns;
+    ConcRow {
+        mode: "spmd-batch",
+        skew,
+        shards,
+        read_frac,
+        ops_per_ms: total_ops as f64 / (total_ns as f64 / 1e6),
+        writes: stream.len() as u64,
+        reads: reads_wanted as u64,
+        reader_retries: 0,
+        max_occupancy: 0.0,
+        restarts: report.recovered.len() as u64,
+    }
+}
+
+fn write_concurrent_json(
+    path: &str,
+    smoke: bool,
+    stream_len: usize,
+    distinct: u64,
+    rows: &[ConcRow],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"commit\": \"{}\",", git_commit());
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"stream_len\": {stream_len}, \"distinct\": {distinct}, \
+         \"total_bytes\": {CONC_TOTAL_BYTES}, \"depth\": {DEPTH}, \
+         \"filter_items\": {FILTER_ITEMS}, \"seed\": {SEED}}},"
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"skew\": {}, \"shards\": {}, \"read_frac\": {}, \
+             \"ops_per_ms\": {}, \"writes\": {}, \"reads\": {}, \
+             \"reader_retries\": {}, \"reader_blocked\": {READER_BLOCKED}, \
+             \"max_occupancy\": {}, \"restarts\": {}}}{comma}",
+            r.mode,
+            json_f64(r.skew),
+            r.shards,
+            json_f64(r.read_frac),
+            json_f64(r.ops_per_ms),
+            r.writes,
+            r.reads,
+            r.reader_retries,
+            json_f64(r.max_occupancy),
+            r.restarts,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Validate `BENCH_concurrent.json`: schema shape, strictly zero blocked
+/// reader acquisitions on every row, and the 4-shard mixed 90/10 run
+/// beating the 1-shard run at the smoke skew by `min_scaling`.
+fn validate_concurrent(path: &str, min_scaling: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    for key in [
+        "\"schema_version\"",
+        "\"commit\"",
+        "\"config\"",
+        "\"results\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    let mut rows = 0usize;
+    // shards -> ops/ms for the gated (concurrent, smoke skew, 90/10) rows.
+    let mut gate: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    for line in text.lines().filter(|l| l.contains("\"mode\"")) {
+        rows += 1;
+        let get =
+            |k: &str| field(line, k).ok_or_else(|| format!("result row missing \"{k}\": {line}"));
+        let mode = get("mode")?.to_string();
+        let skew: f64 = get("skew")?.parse().map_err(|e| format!("bad skew: {e}"))?;
+        let shards: usize = get("shards")?
+            .parse()
+            .map_err(|e| format!("bad shards: {e}"))?;
+        let read_frac: f64 = get("read_frac")?
+            .parse()
+            .map_err(|e| format!("bad read_frac: {e}"))?;
+        let per_ms: f64 = get("ops_per_ms")?
+            .parse()
+            .map_err(|e| format!("bad ops_per_ms: {e}"))?;
+        let blocked: u64 = get("reader_blocked")?
+            .parse()
+            .map_err(|e| format!("bad reader_blocked: {e}"))?;
+        get("reader_retries")?;
+        get("restarts")?;
+        if per_ms <= 0.0 {
+            return Err(format!("non-positive ops_per_ms: {line}"));
+        }
+        if blocked != 0 {
+            return Err(format!(
+                "reader_blocked = {blocked}; the read path must stay wait-free: {line}"
+            ));
+        }
+        if mode == "concurrent"
+            && (skew - SMOKE_SKEW).abs() < 1e-9
+            && (read_frac - GATE_READ_FRAC).abs() < 1e-9
+        {
+            gate.insert(shards, per_ms);
+        }
+    }
+    if rows == 0 {
+        return Err("no result rows".to_string());
+    }
+    let one = *gate
+        .get(&1)
+        .ok_or("missing 1-shard concurrent 90/10 row at the smoke skew")?;
+    let four = *gate
+        .get(&4)
+        .ok_or("missing 4-shard concurrent 90/10 row at the smoke skew")?;
+    let scaling = four / one;
+    if scaling < min_scaling {
+        return Err(format!(
+            "4-shard/1-shard mixed 90/10 scaling {scaling:.2}x below required \
+             {min_scaling:.2}x at skew {SMOKE_SKEW}"
+        ));
+    }
+    println!(
+        "OK: {rows} rows, reader_blocked = 0 everywhere, 4-shard/1-shard mixed \
+         90/10 scaling {scaling:.2}x >= {min_scaling:.2}x"
+    );
+    Ok(())
+}
+
+fn run_concurrent_sweep(smoke: bool, out_path: &str) {
+    let (stream_len, distinct) = if smoke {
+        (1 << 19, 1 << 15)
+    } else {
+        (1 << 20, 1 << 16)
+    };
+    let skews: &[f64] = if smoke {
+        &[SMOKE_SKEW]
+    } else {
+        &[SMOKE_SKEW, 1.5]
+    };
+    let shard_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4] };
+    let read_fracs: &[f64] = if smoke {
+        &[GATE_READ_FRAC]
+    } else {
+        &[0.0, GATE_READ_FRAC, 0.5]
+    };
+    let mut rows = Vec::new();
+    for &skew in skews {
+        let spec = StreamSpec {
+            len: stream_len,
+            distinct: distinct as u64,
+            skew,
+            seed: SEED,
+        };
+        let stream = spec.materialize();
+        let queries = query::sample_from_stream(SEED, &stream, QUERY_COUNT);
+        for &shards in shard_counts {
+            for &read_frac in read_fracs {
+                let runs: [ConcRun; 2] = [run_concurrent_one, run_spmd_one];
+                for run in runs {
+                    let r = run(shards, read_frac, skew, &stream, &queries);
+                    eprintln!(
+                        "mode={} skew={skew} shards={shards} read_frac={read_frac}: \
+                         {:.0} ops/ms ({} writes, {} reads, {} retries, {} restarts)",
+                        r.mode, r.ops_per_ms, r.writes, r.reads, r.reader_retries, r.restarts,
+                    );
+                    rows.push(r);
+                }
+            }
+        }
+    }
+    write_concurrent_json(out_path, smoke, stream_len, distinct as u64, &rows)
+        .expect("write results");
+    eprintln!("wrote {out_path} ({} rows)", rows.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_throughput.json".to_string();
+    let mut concurrent = false;
+    let mut out_path: Option<String> = None;
     let mut validate_path: Option<String> = None;
+    let mut validate_concurrent_path: Option<String> = None;
     let mut min_speedup = 1.5f64;
+    let mut min_scaling = 2.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--concurrent" => concurrent = true,
             "--out" => {
                 i += 1;
-                out_path = args.get(i).expect("--out needs a path").clone();
+                out_path = Some(args.get(i).expect("--out needs a path").clone());
             }
             "--validate" => {
                 i += 1;
                 validate_path = Some(args.get(i).expect("--validate needs a path").clone());
+            }
+            "--validate-concurrent" => {
+                i += 1;
+                validate_concurrent_path = Some(
+                    args.get(i)
+                        .expect("--validate-concurrent needs a path")
+                        .clone(),
+                );
             }
             "--min-speedup" => {
                 i += 1;
@@ -329,11 +698,20 @@ fn main() {
                     .parse()
                     .expect("min-speedup must be a number");
             }
+            "--min-scaling" => {
+                i += 1;
+                min_scaling = args
+                    .get(i)
+                    .expect("--min-scaling needs a value")
+                    .parse()
+                    .expect("min-scaling must be a number");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: throughput [--smoke] [--out FILE] \
-                     [--validate FILE [--min-speedup X]]"
+                    "usage: throughput [--smoke] [--concurrent] [--out FILE] \
+                     [--validate FILE [--min-speedup X]] \
+                     [--validate-concurrent FILE [--min-scaling X]]"
                 );
                 std::process::exit(2);
             }
@@ -341,6 +719,15 @@ fn main() {
         i += 1;
     }
 
+    if let Some(path) = validate_concurrent_path {
+        match validate_concurrent(&path, min_scaling) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("BENCH_concurrent.json validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(path) = validate_path {
         match validate(&path, min_speedup) {
             Ok(()) => return,
@@ -350,6 +737,12 @@ fn main() {
             }
         }
     }
+    if concurrent {
+        let out = out_path.unwrap_or_else(|| "BENCH_concurrent.json".to_string());
+        run_concurrent_sweep(smoke, &out);
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_throughput.json".to_string());
 
     let (stream_len, distinct) = if smoke {
         (1 << 21, 1 << 22)

@@ -328,6 +328,24 @@ impl<F: Filter, S: UpdateEstimate> ASketch<F, S> {
         &self.filter
     }
 
+    /// Export the filter's monitored items into a caller-owned buffer
+    /// without allocating (after `out` reaches the filter capacity).
+    ///
+    /// This is the snapshot hook the concurrent runtime's seqlock publish
+    /// uses: the worker re-exports the filter every few thousand ops, so
+    /// the export must not churn the allocator on the hot path.
+    #[inline]
+    pub fn snapshot_filter_into(&self, out: &mut Vec<FilterItem>) {
+        self.filter.copy_items_into(out);
+    }
+
+    /// Total counting ops absorbed so far (filter + sketch + deletions) —
+    /// the op clock the concurrent runtime stamps snapshot epochs with.
+    #[inline]
+    pub fn ops_applied(&self) -> u64 {
+        self.stats.filter_updates + self.stats.sketch_updates + self.stats.deletions
+    }
+
     /// The sketch component.
     #[inline]
     pub fn sketch(&self) -> &S {
@@ -410,6 +428,12 @@ impl<F: Filter, S: UpdateEstimate> FrequencyEstimator for ASketch<F, S> {
         self.sketch.prime(keys);
     }
 }
+
+/// The default update-then-estimate path. Makes `ASketch` itself
+/// [`sketches::traits::Supervisable`] (when its components are `Clone`),
+/// so a *whole kernel* — filter and sketch — can run under the supervised
+/// parallel runtimes' checkpoint + journal machinery.
+impl<F: Filter, S: UpdateEstimate> UpdateEstimate for ASketch<F, S> {}
 
 impl<F: Filter, S: UpdateEstimate> TopK for ASketch<F, S> {
     fn top_k(&self, k: usize) -> Vec<(u64, i64)> {
@@ -722,6 +746,27 @@ mod tests {
                     kind.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_filter_into_matches_items() {
+        for kind in FilterKind::ALL {
+            let mut a = ASketch::new(kind.build(8), CountMin::new(3, 4, 256).unwrap());
+            for i in 0..2_000u64 {
+                a.insert(i % 40);
+            }
+            let mut snap = Vec::new();
+            a.snapshot_filter_into(&mut snap);
+            let mut items = a.filter().items();
+            snap.sort_by_key(|it| it.key);
+            items.sort_by_key(|it| it.key);
+            assert_eq!(snap, items, "{}", kind.name());
+            // Reuse without allocation churn: refill into the same buffer.
+            a.insert(7);
+            a.snapshot_filter_into(&mut snap);
+            assert_eq!(snap.len(), a.filter().len());
+            assert_eq!(a.ops_applied(), 2_001);
         }
     }
 

@@ -102,6 +102,18 @@ pub trait Filter {
     /// Snapshot of all monitored items in unspecified order.
     fn items(&self) -> Vec<FilterItem>;
 
+    /// Snapshot of all monitored items into a caller-owned buffer.
+    ///
+    /// `out` is cleared and refilled; once it has grown to the filter's
+    /// capacity no further allocation ever happens, which is what the
+    /// concurrent runtime's periodic snapshot publishes rely on. The
+    /// default routes through [`Filter::items`]; array-backed filters
+    /// override it to copy straight out of their slot arrays.
+    fn copy_items_into(&self, out: &mut Vec<FilterItem>) {
+        out.clear();
+        out.extend(self.items());
+    }
+
     /// Heap bytes consumed by the filter's state (charged against the
     /// synopsis budget).
     fn size_bytes(&self) -> usize;
@@ -137,6 +149,9 @@ impl Filter for Box<dyn Filter + Send> {
     }
     fn items(&self) -> Vec<FilterItem> {
         (**self).items()
+    }
+    fn copy_items_into(&self, out: &mut Vec<FilterItem>) {
+        (**self).copy_items_into(out)
     }
     fn size_bytes(&self) -> usize {
         (**self).size_bytes()
@@ -248,6 +263,16 @@ impl SlotArrays {
 
     pub fn items(&self) -> Vec<FilterItem> {
         (0..self.len()).map(|i| self.item(i)).collect()
+    }
+
+    /// Copy every slot into `out` without intermediate allocation (the
+    /// no-alloc half of [`Filter::copy_items_into`]).
+    pub fn copy_into(&self, out: &mut Vec<FilterItem>) {
+        out.clear();
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            out.push(self.item(i));
+        }
     }
 
     /// Appendix-A subtraction shared by the array filters; the caller

@@ -148,6 +148,10 @@ impl Filter for RelaxedHeapFilter {
         self.slots.items()
     }
 
+    fn copy_items_into(&self, out: &mut Vec<FilterItem>) {
+        self.slots.copy_into(out);
+    }
+
     fn size_bytes(&self) -> usize {
         self.slots.size_bytes(self.cap)
     }

@@ -144,6 +144,10 @@ impl Filter for StrictHeapFilter {
         self.slots.items()
     }
 
+    fn copy_items_into(&self, out: &mut Vec<FilterItem>) {
+        self.slots.copy_into(out);
+    }
+
     fn size_bytes(&self) -> usize {
         self.slots.size_bytes(self.cap)
     }

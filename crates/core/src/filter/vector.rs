@@ -87,6 +87,10 @@ impl Filter for VectorFilter {
         self.slots.items()
     }
 
+    fn copy_items_into(&self, out: &mut Vec<FilterItem>) {
+        self.slots.copy_into(out);
+    }
+
     fn size_bytes(&self) -> usize {
         self.slots.size_bytes(self.cap)
     }

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod runtime;
 pub mod table;
 pub mod throughput;
 
@@ -15,5 +16,6 @@ pub use error::{
     average_relative_error, find_misclassified, observed_error, observed_error_pct, precision_at_k,
     EstimatePair, Misclassification,
 };
+pub use runtime::{ShardGauge, ShardedHealth};
 pub use table::{fnum, Table};
 pub use throughput::{median_throughput, time_ops, Stopwatch, Throughput};

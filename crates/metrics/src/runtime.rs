@@ -1,0 +1,133 @@
+//! Runtime health gauges for the concurrent sharded runtime: per-shard
+//! queue depth/occupancy, publish epochs, reader retries, and fault
+//! counters, with workspace-wide aggregates.
+//!
+//! Lives in `eval-metrics` (not `asketch-parallel`) so benchmarks and
+//! operator tooling can consume the gauges without linking the runtime,
+//! and so the JSON shape is owned by the same crate that owns the other
+//! measurement types.
+
+use serde::{Deserialize, Serialize};
+
+/// Point-in-time health of one shard of the concurrent runtime.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardGauge {
+    /// Shard index (the key-partition class this worker owns).
+    pub shard: usize,
+    /// Batches currently queued toward the worker (sent, not yet applied).
+    pub queue_depth: usize,
+    /// Capacity of the bounded worker queue, for occupancy math.
+    pub queue_capacity: usize,
+    /// Keys routed to this shard so far.
+    pub routed_ops: u64,
+    /// Applied-op count at the shard's last filter snapshot publish; the
+    /// reader-visible staleness clock.
+    pub published_epoch: u64,
+    /// Applied-op count at the shard's last sketch view publish.
+    pub view_epoch: u64,
+    /// Seqlock reader retries observed on this shard's snapshot
+    /// (0 in steady state; readers never block either way).
+    pub reader_retries: u64,
+    /// Worker respawns performed for this shard.
+    pub restarts: u64,
+    /// Worker faults observed for this shard.
+    pub worker_failures: u64,
+    /// Whether the shard currently applies updates inline on the caller.
+    pub degraded: bool,
+}
+
+impl ShardGauge {
+    /// Queue occupancy in `[0, 1]` (`0` when the queue has no capacity).
+    pub fn occupancy(&self) -> f64 {
+        if self.queue_capacity == 0 {
+            0.0
+        } else {
+            self.queue_depth as f64 / self.queue_capacity as f64
+        }
+    }
+}
+
+/// Health of every shard of a concurrent runtime, plus aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardedHealth {
+    /// Per-shard gauges, indexed by shard.
+    pub shards: Vec<ShardGauge>,
+}
+
+impl ShardedHealth {
+    /// Total keys routed across all shards.
+    pub fn total_routed(&self) -> u64 {
+        self.shards.iter().map(|s| s.routed_ops).sum()
+    }
+
+    /// Total reader retries across all shards.
+    pub fn total_reader_retries(&self) -> u64 {
+        self.shards.iter().map(|s| s.reader_retries).sum()
+    }
+
+    /// Total worker restarts across all shards.
+    pub fn total_restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Whether any shard is running degraded (inline on the caller).
+    pub fn any_degraded(&self) -> bool {
+        self.shards.iter().any(|s| s.degraded)
+    }
+
+    /// Highest queue occupancy across shards (hot-shard indicator under
+    /// skewed key partitions).
+    pub fn max_occupancy(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(ShardGauge::occupancy)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_handles_zero_capacity() {
+        let g = ShardGauge::default();
+        assert_eq!(g.occupancy(), 0.0);
+        let g = ShardGauge {
+            queue_depth: 3,
+            queue_capacity: 4,
+            ..ShardGauge::default()
+        };
+        assert!((g.occupancy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_sum_and_detect_degraded() {
+        let health = ShardedHealth {
+            shards: vec![
+                ShardGauge {
+                    shard: 0,
+                    routed_ops: 10,
+                    reader_retries: 1,
+                    restarts: 2,
+                    queue_depth: 1,
+                    queue_capacity: 8,
+                    ..ShardGauge::default()
+                },
+                ShardGauge {
+                    shard: 1,
+                    routed_ops: 5,
+                    degraded: true,
+                    queue_depth: 6,
+                    queue_capacity: 8,
+                    ..ShardGauge::default()
+                },
+            ],
+        };
+        assert_eq!(health.total_routed(), 15);
+        assert_eq!(health.total_reader_retries(), 1);
+        assert_eq!(health.total_restarts(), 2);
+        assert!(health.any_degraded());
+        assert!((health.max_occupancy() - 0.75).abs() < 1e-12);
+    }
+}

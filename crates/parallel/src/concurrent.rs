@@ -1,0 +1,1081 @@
+//! Concurrent sharded ASketch runtime: key-partitioned worker threads with
+//! wait-free point queries served *during* ingest.
+//!
+//! # Architecture
+//!
+//! [`ConcurrentASketch`] owns N long-lived worker threads. Each worker owns
+//! a full sequential `ASketch` kernel for one **key partition**
+//! ([`KeyPartition`]): every key hashes to exactly one shard, so per-key
+//! semantics are *exactly* those of the sequential algorithm run over that
+//! key's sub-stream — not a sum of per-kernel over-estimates like the SPMD
+//! combine. The caller routes keys through a [`KeyRouter`], accumulating
+//! per-shard batches (the PR-2 `update_batch` hot path) before sending them
+//! over bounded channels that reuse the supervision machinery of the
+//! pipeline runtime: journaled sequence numbers, worker checkpoints,
+//! bounded restarts with exponential backoff, and a degraded inline mode
+//! once the restart budget is spent. No failure mode loses or double-counts
+//! an update (checkpoint + journal replay, exactly as in
+//! [`crate::pipeline`]).
+//!
+//! # Wait-free concurrent reads
+//!
+//! The headline property: point queries are served **concurrently with
+//! ingest**, and readers never take a lock and never block a writer.
+//! Each shard exposes a [`ShardSnapshot`]:
+//!
+//! * an exact filter snapshot behind a double-buffered seqlock
+//!   ([`FilterSnapshot`]) — filter hits answer the key's `new_count`,
+//!   matching the sequential filter-hit answer at the publish instant;
+//! * a lock-free sketch replica ([`sketches::SharedView`]) for keys outside
+//!   the filter.
+//!
+//! Workers republish the filter every [`ConcurrentConfig::publish_interval`]
+//! applied keys and the sketch view every
+//! [`ConcurrentConfig::view_interval`] applied keys (and always at sync /
+//! shutdown). [`QueryHandle`]s are `Clone + Send + Sync` and can be handed
+//! to any number of reader threads.
+//!
+//! # Staleness bound (in ops)
+//!
+//! A reader's answer for key `k` reflects the owning worker's state at the
+//! last publish, which lags the *routed* stream by at most
+//!
+//! ```text
+//! publish_interval                     (filter-resident keys)
+//! view_interval                        (sketch-resident keys)
+//!   + queue_capacity * batch           (batches queued, not yet applied)
+//!   + batch - 1                        (keys buffered in the router)
+//! ```
+//!
+//! ops for that shard. On insert-only streams every published count is
+//! monotone non-decreasing and never exceeds the quiesced true estimate, so
+//! staleness is one-sided: a concurrent read never over-reports a key
+//! beyond what the sequential ASketch would answer at quiesce. After
+//! [`ConcurrentASketch::sync`] returns, reads are exact (equal to the
+//! sequential algorithm over the routed prefix).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{
+    self, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
+};
+
+use asketch::{ASketch, Filter, FilterItem};
+use eval_metrics::{ShardGauge, ShardedHealth};
+use sketches::traits::{FrequencyEstimator, Tuple, UpdateEstimate};
+use sketches::SharedView;
+
+use crate::router::KeyRouter;
+use crate::seqlock::FilterSnapshot;
+use crate::spmd::KeyPartition;
+use crate::supervisor::{
+    panic_message, BackpressurePolicy, Journal, PipelineError, SupervisionConfig,
+};
+
+/// Tunables for the concurrent sharded runtime.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Number of worker shards (key partitions).
+    pub shards: usize,
+    /// Keys accumulated per shard before a batch message is sent.
+    pub batch: usize,
+    /// Applied keys between filter snapshot publishes on a worker.
+    pub publish_interval: u64,
+    /// Applied keys between sketch view publishes on a worker (a view
+    /// publish copies the whole counter table, so it runs coarser than the
+    /// 32-item filter publish).
+    pub view_interval: u64,
+    /// Channel, journal, backpressure, restart, and timeout parameters,
+    /// shared with the pipeline runtime.
+    pub supervision: SupervisionConfig,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            batch: 256,
+            publish_interval: 1024,
+            view_interval: 8192,
+            supervision: SupervisionConfig::default(),
+        }
+    }
+}
+
+/// The reader-visible face of one shard: seqlock-published exact filter
+/// snapshot plus the lock-free sketch view, with publish epochs.
+pub struct ShardSnapshot<S: SharedView> {
+    filter: FilterSnapshot,
+    view: S::View,
+    view_epoch: AtomicU64,
+}
+
+impl<S: SharedView> ShardSnapshot<S> {
+    /// Wait-free point query against the last published state: filter hit
+    /// answers exactly, otherwise the sketch view answers one-sidedly.
+    pub fn query(&self, key: u64) -> i64 {
+        match self.filter.query(key) {
+            Some(count) => count,
+            None => S::view_estimate(&self.view, key),
+        }
+    }
+
+    /// Applied-op count at the last filter publish (staleness clock).
+    pub fn filter_epoch(&self) -> u64 {
+        self.filter.epoch()
+    }
+
+    /// Applied-op count at the last sketch view publish.
+    pub fn view_epoch(&self) -> u64 {
+        self.view_epoch.load(Ordering::Acquire)
+    }
+
+    /// Seqlock reader retries on this shard (0 in steady state; a retry is
+    /// not a block — the reader re-reads immediately).
+    pub fn reader_retries(&self) -> u64 {
+        self.filter.retries()
+    }
+}
+
+/// Publish the kernel's filter into the snapshot, stamped with the
+/// kernel's applied-op count.
+fn publish_filter<F: Filter, S: SharedView + UpdateEstimate>(
+    kernel: &ASketch<F, S>,
+    snap: &ShardSnapshot<S>,
+    buf: &mut Vec<FilterItem>,
+) {
+    kernel.snapshot_filter_into(buf);
+    snap.filter.publish(buf, kernel.ops_applied());
+}
+
+/// Publish the kernel's sketch into the snapshot's shared view.
+fn publish_view<F: Filter, S: SharedView + UpdateEstimate>(
+    kernel: &ASketch<F, S>,
+    snap: &ShardSnapshot<S>,
+) {
+    kernel.sketch().store_view(&snap.view);
+    snap.view_epoch
+        .store(kernel.ops_applied(), Ordering::Release);
+}
+
+/// Messages from the router to a shard worker.
+enum ToShard {
+    /// One batch of keys owned by this shard, under one journal sequence.
+    Batch { seq: u64, keys: Vec<u64> },
+    /// Publish everything and reply with the applied-op count (barrier).
+    Sync { reply: Sender<u64> },
+}
+
+/// Messages from a shard worker back to the router.
+enum FromShard<K> {
+    /// Periodic snapshot for the replay journal, tagged with the last
+    /// applied sequence number.
+    Checkpoint { seq: u64, snapshot: K },
+}
+
+/// Channel endpoints and join handle of one live shard worker.
+struct ShardLink<K> {
+    tx: Sender<ToShard>,
+    rx: Receiver<FromShard<K>>,
+    handle: JoinHandle<K>,
+}
+
+/// The shard-worker loop: apply batches through the sequential kernel,
+/// publish snapshots on their intervals, checkpoint for the journal, and
+/// publish one final time when the channel disconnects.
+fn run_shard_worker<F, S>(
+    mut kernel: ASketch<F, S>,
+    rx: Receiver<ToShard>,
+    out: Sender<FromShard<ASketch<F, S>>>,
+    snap: Arc<ShardSnapshot<S>>,
+    depth: Arc<AtomicUsize>,
+    cfg: ConcurrentConfig,
+) -> ASketch<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    let publish_interval = cfg.publish_interval.max(1);
+    let view_interval = cfg.view_interval.max(1);
+    let checkpoint_interval = cfg.supervision.checkpoint_interval.max(1);
+    let mut items: Vec<FilterItem> = Vec::new();
+    let mut tuples: Vec<Tuple> = Vec::with_capacity(cfg.batch);
+    let (mut since_pub, mut since_view, mut since_ckpt) = (0u64, 0u64, 0u64);
+    // Fresh (or respawned) worker: make the snapshot reflect this kernel
+    // immediately so readers never regress behind a restart.
+    publish_filter(&kernel, &snap, &mut items);
+    publish_view(&kernel, &snap);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Batch { seq, keys } => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                tuples.clear();
+                tuples.extend(keys.iter().map(|&k| (k, 1i64)));
+                kernel.update_batch(&tuples);
+                let n = keys.len() as u64;
+                since_pub += n;
+                since_view += n;
+                since_ckpt += n;
+                if since_pub >= publish_interval {
+                    since_pub = 0;
+                    publish_filter(&kernel, &snap, &mut items);
+                }
+                if since_view >= view_interval {
+                    since_view = 0;
+                    publish_view(&kernel, &snap);
+                }
+                if since_ckpt >= checkpoint_interval {
+                    since_ckpt = 0;
+                    let _ = out.send(FromShard::Checkpoint {
+                        seq,
+                        snapshot: kernel.clone(),
+                    });
+                }
+            }
+            ToShard::Sync { reply } => {
+                publish_filter(&kernel, &snap, &mut items);
+                publish_view(&kernel, &snap);
+                let _ = reply.send(kernel.ops_applied());
+            }
+        }
+    }
+    // Channel disconnected: final publish so handles outlive the runtime.
+    publish_filter(&kernel, &snap, &mut items);
+    publish_view(&kernel, &snap);
+    kernel
+}
+
+fn spawn_shard_worker<F, S>(
+    kernel: ASketch<F, S>,
+    snap: &Arc<ShardSnapshot<S>>,
+    depth: &Arc<AtomicUsize>,
+    cfg: &ConcurrentConfig,
+) -> ShardLink<ASketch<F, S>>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    let (tx, rx) = channel::bounded::<ToShard>(cfg.supervision.queue_capacity);
+    // Checkpoints are unbounded: the worker must never block on the caller.
+    let (out_tx, out_rx) = channel::unbounded::<FromShard<ASketch<F, S>>>();
+    let snap = Arc::clone(snap);
+    let depth = Arc::clone(depth);
+    let cfg = cfg.clone();
+    let handle = std::thread::spawn(move || run_shard_worker(kernel, rx, out_tx, snap, depth, cfg));
+    ShardLink {
+        tx,
+        rx: out_rx,
+        handle,
+    }
+}
+
+/// Caller-side state of one shard: the live worker (or the degraded inline
+/// kernel), its journal, snapshot, spill buffer, and fault counters.
+struct ShardState<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    link: Option<ShardLink<ASketch<F, S>>>,
+    journal: Journal<ASketch<F, S>>,
+    snap: Arc<ShardSnapshot<S>>,
+    /// Batches sent and not yet applied by the worker (queue depth gauge).
+    depth: Arc<AtomicUsize>,
+    spill: VecDeque<ToShard>,
+    /// The kernel applied inline once the restart budget is spent.
+    inline: Option<ASketch<F, S>>,
+    routed: u64,
+    queue_full_events: u64,
+    spilled: u64,
+    restarts: u64,
+    failures: u64,
+    checkpoints: u64,
+    last_error: Option<PipelineError>,
+}
+
+impl<F, S> ShardState<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    fn new(kernel: ASketch<F, S>, cfg: &ConcurrentConfig) -> Self {
+        let mut items = Vec::new();
+        kernel.snapshot_filter_into(&mut items);
+        let snap = Arc::new(ShardSnapshot {
+            filter: FilterSnapshot::new(kernel.filter().capacity().max(items.len())),
+            view: kernel.sketch().new_view(),
+            view_epoch: AtomicU64::new(kernel.ops_applied()),
+        });
+        snap.filter.publish(&items, kernel.ops_applied());
+        let journal = Journal::new(kernel.clone());
+        let depth = Arc::new(AtomicUsize::new(0));
+        let link = spawn_shard_worker(kernel, &snap, &depth, cfg);
+        Self {
+            link: Some(link),
+            journal,
+            snap,
+            depth,
+            spill: VecDeque::new(),
+            inline: None,
+            routed: 0,
+            queue_full_events: 0,
+            spilled: 0,
+            restarts: 0,
+            failures: 0,
+            checkpoints: 0,
+            last_error: None,
+        }
+    }
+
+    /// Harvest queued checkpoints; prunes the replay journal.
+    fn drain_checkpoints(&mut self) {
+        let Some(link) = self.link.as_ref() else {
+            return;
+        };
+        let mut received = Vec::new();
+        while let Ok(FromShard::Checkpoint { seq, snapshot }) = link.rx.try_recv() {
+            received.push((seq, snapshot));
+        }
+        for (seq, snapshot) in received {
+            self.checkpoints += 1;
+            self.journal.on_checkpoint(seq, snapshot);
+        }
+    }
+
+    /// Apply a batch inline (degraded mode) and republish snapshots so
+    /// readers keep seeing fresh state.
+    fn apply_inline(&mut self, keys: &[u64]) {
+        let kernel = self
+            .inline
+            .as_mut()
+            .expect("degraded shard has an inline kernel");
+        kernel.insert_batch(keys);
+        let kernel = self
+            .inline
+            .as_ref()
+            .expect("degraded shard has an inline kernel");
+        let mut items = Vec::new();
+        publish_filter(kernel, &self.snap, &mut items);
+        publish_view(kernel, &self.snap);
+    }
+
+    /// Tear down a failed worker, reconstruct from checkpoint + journal,
+    /// and respawn or degrade. Mirrors the pipeline's fail-over (including
+    /// the no-resend rule: in-flight journaled batches are folded into the
+    /// restore, never retransmitted).
+    fn fail_over(&mut self, err: Option<PipelineError>, cfg: &ConcurrentConfig) {
+        let Some(link) = self.link.take() else { return };
+        self.failures += 1;
+        while let Ok(FromShard::Checkpoint { seq, snapshot }) = link.rx.try_recv() {
+            self.checkpoints += 1;
+            self.journal.on_checkpoint(seq, snapshot);
+        }
+        drop(link.tx);
+        let mut finished = link.handle.is_finished();
+        if !finished {
+            std::thread::sleep(Duration::from_millis(2));
+            finished = link.handle.is_finished();
+        }
+        let error = if finished {
+            match link.handle.join() {
+                Err(payload) => PipelineError::WorkerPanicked(panic_message(payload)),
+                Ok(_) => err.unwrap_or(PipelineError::Disconnected),
+            }
+        } else {
+            err.unwrap_or(PipelineError::EstimateTimeout)
+        };
+        self.last_error = Some(error);
+        // Spilled-but-unsent batches are journaled; the restore replays
+        // them, so the spill queue (and the depth gauge) reset.
+        self.spill.clear();
+        self.depth.store(0, Ordering::Relaxed);
+        let restored = self.journal.restore();
+        if self.restarts < u64::from(cfg.supervision.max_restarts) {
+            self.restarts += 1;
+            let backoff = cfg.supervision.backoff_for(self.restarts);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            self.journal.reset(restored.clone());
+            // The respawned worker publishes the restored state on entry,
+            // so readers catch up without waiting a publish interval.
+            self.link = Some(spawn_shard_worker(restored, &self.snap, &self.depth, cfg));
+        } else {
+            let mut items = Vec::new();
+            publish_filter(&restored, &self.snap, &mut items);
+            publish_view(&restored, &self.snap);
+            self.inline = Some(restored);
+        }
+    }
+
+    /// Flush as much of the spill queue as fits without blocking.
+    fn flush_spill_try(&mut self, cfg: &ConcurrentConfig) {
+        while let Some(msg) = self.spill.pop_front() {
+            let Some(link) = self.link.as_ref() else {
+                return;
+            };
+            match link.tx.try_send(msg) {
+                Ok(()) => {
+                    self.depth.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Full(m)) => {
+                    self.spill.push_front(m);
+                    return;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.fail_over(None, cfg);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Flush the whole spill queue, waiting for channel space; a wedged
+    /// worker is failed over (the journal preserves every spilled batch).
+    fn flush_spill_sync(&mut self, cfg: &ConcurrentConfig) {
+        while let Some(msg) = self.spill.pop_front() {
+            let Some(link) = self.link.as_ref() else {
+                return;
+            };
+            match link.tx.send_timeout(msg, cfg.supervision.send_timeout) {
+                Ok(()) => {
+                    self.depth.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(SendTimeoutError::Timeout(_)) => {
+                    self.fail_over(Some(PipelineError::EstimateTimeout), cfg);
+                    return;
+                }
+                Err(SendTimeoutError::Disconnected(_)) => {
+                    self.fail_over(None, cfg);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Append to the spill queue, degrading to a synchronous flush when the
+    /// spill itself is full — memory stays bounded, nothing is dropped.
+    fn push_spill(&mut self, msg: ToShard, cfg: &ConcurrentConfig) {
+        if self.spill.len() >= cfg.supervision.spill_capacity.max(1) {
+            let generation = self.failures;
+            self.flush_spill_sync(cfg);
+            if self.failures != generation || self.link.is_none() {
+                // Failed over mid-flush: `msg` is journaled and folded
+                // into the restore — abandon it or it double-counts.
+                return;
+            }
+        }
+        self.spilled += 1;
+        self.spill.push_back(msg);
+    }
+
+    /// Blocking send with a wedge bound.
+    fn send_sync(&mut self, msg: ToShard, cfg: &ConcurrentConfig) {
+        let Some(link) = self.link.as_ref() else {
+            return;
+        };
+        match link.tx.send_timeout(msg, cfg.supervision.send_timeout) {
+            Ok(()) => {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(SendTimeoutError::Timeout(_)) => {
+                self.fail_over(Some(PipelineError::EstimateTimeout), cfg);
+            }
+            Err(SendTimeoutError::Disconnected(_)) => self.fail_over(None, cfg),
+        }
+    }
+
+    /// Ship one full batch to this shard's worker: journal first (so no
+    /// failure mode can lose it), then send under the backpressure policy.
+    fn ship(&mut self, keys: Vec<u64>, cfg: &ConcurrentConfig) {
+        self.routed += keys.len() as u64;
+        if self.link.is_none() {
+            self.apply_inline(&keys);
+            return;
+        }
+        let seq = self.journal.next_seq();
+        for &k in &keys {
+            self.journal.record_at(seq, k, 1);
+        }
+        self.drain_checkpoints();
+        let msg = ToShard::Batch { seq, keys };
+        // Fail-over generation discipline (see the pipeline): if the spill
+        // flush fails over, the journaled `msg` is already folded into the
+        // restored kernel — sending it too would double-count.
+        let generation = self.failures;
+        self.flush_spill_try(cfg);
+        if self.failures != generation || self.link.is_none() {
+            return;
+        }
+        if !self.spill.is_empty() {
+            self.push_spill(msg, cfg);
+            return;
+        }
+        let sent = self
+            .link
+            .as_ref()
+            .expect("worker link checked above")
+            .tx
+            .try_send(msg);
+        match sent {
+            Ok(()) => {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(m)) => {
+                self.queue_full_events += 1;
+                match cfg.supervision.backpressure {
+                    BackpressurePolicy::Block => self.send_sync(m, cfg),
+                    BackpressurePolicy::InlineFallback => self.push_spill(m, cfg),
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => self.fail_over(None, cfg),
+        }
+    }
+
+    /// Barrier against this shard: every routed batch applied and published.
+    /// Bounded retries — each failed round trip consumes a restart (or ends
+    /// degraded, where state is already published inline).
+    fn sync(&mut self, cfg: &ConcurrentConfig) {
+        let max_rounds = u64::from(cfg.supervision.max_restarts) + 2;
+        for _ in 0..max_rounds {
+            self.flush_spill_sync(cfg);
+            let Some(link) = self.link.as_ref() else {
+                return; // degraded: apply_inline already published
+            };
+            let (reply_tx, reply_rx) = channel::bounded(1);
+            let sent = link.tx.send_timeout(
+                ToShard::Sync { reply: reply_tx },
+                cfg.supervision.send_timeout,
+            );
+            match sent {
+                Ok(()) => match reply_rx.recv_timeout(cfg.supervision.send_timeout) {
+                    Ok(_epoch) => {
+                        self.drain_checkpoints();
+                        return;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.fail_over(Some(PipelineError::EstimateTimeout), cfg);
+                    }
+                    Err(RecvTimeoutError::Disconnected) => self.fail_over(None, cfg),
+                },
+                Err(SendTimeoutError::Timeout(_)) => {
+                    self.fail_over(Some(PipelineError::EstimateTimeout), cfg);
+                }
+                Err(SendTimeoutError::Disconnected(_)) => self.fail_over(None, cfg),
+            }
+        }
+    }
+
+    fn gauge(&self, shard: usize, cfg: &ConcurrentConfig) -> ShardGauge {
+        ShardGauge {
+            shard,
+            queue_depth: self.depth.load(Ordering::Relaxed),
+            queue_capacity: cfg.supervision.queue_capacity,
+            routed_ops: self.routed,
+            published_epoch: self.snap.filter_epoch(),
+            view_epoch: self.snap.view_epoch(),
+            reader_retries: self.snap.reader_retries(),
+            restarts: self.restarts,
+            worker_failures: self.failures,
+            degraded: self.inline.is_some(),
+        }
+    }
+}
+
+/// A cloneable, thread-safe handle for concurrent point queries against a
+/// [`ConcurrentASketch`]'s published snapshots.
+///
+/// Reads are wait-free: no lock, no channel round trip, no writer stall.
+/// Answers reflect each shard's last publish (see the module-level
+/// staleness bound); handles stay valid (and frozen at the final state)
+/// after the runtime finishes.
+pub struct QueryHandle<S: SharedView> {
+    snaps: Arc<Vec<Arc<ShardSnapshot<S>>>>,
+    partition: KeyPartition,
+}
+
+impl<S: SharedView> Clone for QueryHandle<S> {
+    fn clone(&self) -> Self {
+        Self {
+            snaps: Arc::clone(&self.snaps),
+            partition: self.partition,
+        }
+    }
+}
+
+impl<S: SharedView> QueryHandle<S> {
+    /// Wait-free point query: exact for filter-resident keys (at the last
+    /// publish), one-sided via the sketch view otherwise.
+    pub fn estimate(&self, key: u64) -> i64 {
+        self.snaps[self.partition.shard_of(key)].query(key)
+    }
+
+    /// Point queries for a batch of keys, in order.
+    pub fn estimate_batch(&self, keys: &[u64]) -> Vec<i64> {
+        keys.iter().map(|&k| self.estimate(k)).collect()
+    }
+
+    /// The key partition (for callers that co-locate work by shard).
+    pub fn partition(&self) -> KeyPartition {
+        self.partition
+    }
+
+    /// Per-shard snapshot access (epochs, retries).
+    pub fn shard(&self, shard: usize) -> &ShardSnapshot<S> {
+        &self.snaps[shard]
+    }
+
+    /// Oldest filter publish epoch across shards.
+    pub fn min_filter_epoch(&self) -> u64 {
+        self.snaps
+            .iter()
+            .map(|s| s.filter_epoch())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total seqlock reader retries across shards (0 in steady state).
+    pub fn reader_retries(&self) -> u64 {
+        self.snaps.iter().map(|s| s.reader_retries()).sum()
+    }
+}
+
+/// The concurrent sharded runtime. See the module docs.
+pub struct ConcurrentASketch<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    shards: Vec<ShardState<F, S>>,
+    router: KeyRouter,
+    snaps: Arc<Vec<Arc<ShardSnapshot<S>>>>,
+    cfg: ConcurrentConfig,
+}
+
+impl<F, S> ConcurrentASketch<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    /// Spawn `cfg.shards` workers, shard `i` owning the kernel built by
+    /// `make_kernel(i)`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards == 0`.
+    pub fn spawn(cfg: ConcurrentConfig, make_kernel: impl Fn(usize) -> ASketch<F, S>) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        let shards: Vec<ShardState<F, S>> = (0..cfg.shards)
+            .map(|i| ShardState::new(make_kernel(i), &cfg))
+            .collect();
+        let snaps = Arc::new(shards.iter().map(|s| Arc::clone(&s.snap)).collect());
+        let router = KeyRouter::new(KeyPartition::new(cfg.shards), cfg.batch.max(1));
+        Self {
+            shards,
+            router,
+            snaps,
+            cfg,
+        }
+    }
+
+    /// Route one key to its owning shard (batched; a full batch is shipped
+    /// immediately).
+    #[inline]
+    pub fn insert(&mut self, key: u64) {
+        if let Some((shard, batch)) = self.router.push(key) {
+            self.shards[shard].ship(batch, &self.cfg);
+        }
+    }
+
+    /// Route a slice of keys.
+    pub fn insert_batch(&mut self, keys: &[u64]) {
+        for &key in keys {
+            self.insert(key);
+        }
+    }
+
+    /// Flush every router partial to its shard.
+    fn flush_router(&mut self) {
+        for shard in 0..self.shards.len() {
+            let partial = self.router.take(shard);
+            if !partial.is_empty() {
+                self.shards[shard].ship(partial, &self.cfg);
+            }
+        }
+    }
+
+    /// Barrier: every key routed so far is applied and published. After
+    /// this returns, [`QueryHandle`] answers are exact (equal to the
+    /// sequential ASketch over each shard's sub-stream).
+    pub fn sync(&mut self) {
+        self.flush_router();
+        for shard in 0..self.shards.len() {
+            self.shards[shard].sync(&self.cfg);
+        }
+    }
+
+    /// A wait-free concurrent query handle (cheap; clone freely across
+    /// reader threads).
+    pub fn query_handle(&self) -> QueryHandle<S> {
+        QueryHandle {
+            snaps: Arc::clone(&self.snaps),
+            partition: self.router.partition(),
+        }
+    }
+
+    /// Point query from the owning thread: reads the same published
+    /// snapshots as [`QueryHandle`] (subject to the same staleness bound;
+    /// call [`sync`](Self::sync) first for exact answers).
+    pub fn estimate(&self, key: u64) -> i64 {
+        self.snaps[self.router.partition().shard_of(key)].query(key)
+    }
+
+    /// The key partition used for routing and query ownership.
+    pub fn partition(&self) -> KeyPartition {
+        self.router.partition()
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &ConcurrentConfig {
+        &self.cfg
+    }
+
+    /// Per-shard health gauges: queue depth/occupancy, publish epochs,
+    /// reader retries, restart/fault counters.
+    pub fn health(&self) -> ShardedHealth {
+        ShardedHealth {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.gauge(i, &self.cfg))
+                .collect(),
+        }
+    }
+
+    /// Shut every worker down and return the per-shard kernels (shard
+    /// order). Never hangs: a healthy worker is joined (publishing its
+    /// final state on the way out); a panicked or wedged one is replaced by
+    /// its journal reconstruction.
+    pub fn finish(mut self) -> Vec<ASketch<F, S>> {
+        self.flush_router();
+        let mut kernels = Vec::with_capacity(self.shards.len());
+        for st in self.shards.iter_mut() {
+            st.flush_spill_sync(&self.cfg);
+            st.drain_checkpoints();
+            let Some(link) = st.link.take() else {
+                kernels.push(
+                    st.inline
+                        .take()
+                        .expect("degraded shard has an inline kernel"),
+                );
+                continue;
+            };
+            drop(link.tx);
+            let deadline = Instant::now() + self.cfg.supervision.shutdown_timeout;
+            while !link.handle.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let kernel = if link.handle.is_finished() {
+                match link.handle.join() {
+                    Ok(kernel) => kernel,
+                    Err(payload) => {
+                        st.failures += 1;
+                        st.last_error = Some(PipelineError::WorkerPanicked(panic_message(payload)));
+                        st.journal.restore()
+                    }
+                }
+            } else {
+                // Wedged past the deadline: abandon the thread and
+                // reconstruct (it exits when it touches the dead channel).
+                st.failures += 1;
+                st.last_error = Some(PipelineError::EstimateTimeout);
+                st.journal.restore()
+            };
+            // The clean path already published on disconnect; republish
+            // here so the restore paths leave handles coherent too.
+            let mut items = Vec::new();
+            publish_filter(&kernel, &st.snap, &mut items);
+            publish_view(&kernel, &st.snap);
+            kernels.push(kernel);
+        }
+        kernels
+    }
+}
+
+impl<F, S> Drop for ConcurrentASketch<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    /// Best-effort teardown for runtimes dropped without
+    /// [`finish`](Self::finish): disconnect every worker and wait a bounded
+    /// time. Never hangs, never panics.
+    fn drop(&mut self) {
+        let links: Vec<ShardLink<ASketch<F, S>>> = self
+            .shards
+            .iter_mut()
+            .filter_map(|s| s.link.take())
+            .collect();
+        // Drop every sender first so all workers wind down in parallel.
+        let handles: Vec<JoinHandle<ASketch<F, S>>> = links
+            .into_iter()
+            .map(|l| {
+                drop(l.tx);
+                l.handle
+            })
+            .collect();
+        let deadline = Instant::now() + self.cfg.supervision.shutdown_timeout;
+        for handle in handles {
+            while !handle.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyEstimator};
+    use asketch::filter::VectorFilter;
+    use sketches::CountMin;
+
+    fn stream(len: usize) -> Vec<u64> {
+        let mut x = 0x5EED_2016u64;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                match x % 10 {
+                    0..=5 => x % 8,             // heavy keys
+                    _ => 100 + (x >> 16) % 512, // tail
+                }
+            })
+            .collect()
+    }
+
+    fn kernel(seed: u64) -> ASketch<VectorFilter, CountMin> {
+        ASketch::new(
+            VectorFilter::new(16),
+            CountMin::new(seed, 4, 1 << 12).unwrap(),
+        )
+    }
+
+    /// Sequential reference: each shard's sub-stream through its own
+    /// sequential kernel, queried at the owner.
+    fn sequential_reference(
+        stream: &[u64],
+        partition: KeyPartition,
+        make: impl Fn(usize) -> ASketch<VectorFilter, CountMin>,
+    ) -> Vec<ASketch<VectorFilter, CountMin>> {
+        let mut kernels: Vec<_> = (0..partition.shards()).map(&make).collect();
+        for &key in stream {
+            kernels[partition.shard_of(key)].insert(key);
+        }
+        kernels
+    }
+
+    #[test]
+    fn sync_makes_queries_exactly_sequential() {
+        let cfg = ConcurrentConfig {
+            shards: 3,
+            batch: 64,
+            publish_interval: 256,
+            view_interval: 1024,
+            ..ConcurrentConfig::default()
+        };
+        let data = stream(40_000);
+        let mut rt = ConcurrentASketch::spawn(cfg, |i| kernel(10 + i as u64));
+        rt.insert_batch(&data);
+        rt.sync();
+        let reference = sequential_reference(&data, rt.partition(), |i| kernel(10 + i as u64));
+        let p = rt.partition();
+        let handle = rt.query_handle();
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            let expect = reference[p.shard_of(key)].estimate(key);
+            assert_eq!(handle.estimate(key), expect, "key {key} diverges post-sync");
+            assert_eq!(rt.estimate(key), expect, "owner query diverges for {key}");
+        }
+        // Finish and compare the final kernels per key as well.
+        let kernels = rt.finish();
+        for &key in &keys {
+            let shard = p.shard_of(key);
+            assert_eq!(
+                kernels[shard].estimate(key),
+                reference[shard].estimate(key),
+                "finished kernel diverges for {key}"
+            );
+        }
+        // Handles stay valid (frozen at final state) after finish.
+        for &key in keys.iter().take(50) {
+            assert_eq!(
+                handle.estimate(key),
+                reference[p.shard_of(key)].estimate(key)
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_never_block_and_stay_one_sided() {
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 32,
+            publish_interval: 64,
+            view_interval: 256,
+            ..ConcurrentConfig::default()
+        };
+        // Collision-free for the heavy key: one-sidedness becomes exactness
+        // once quiesced; mid-ingest reads must be monotone and bounded.
+        let mut rt = ConcurrentASketch::spawn(cfg, |i| kernel(99 + i as u64));
+        let handle = rt.query_handle();
+        let heavy = 7u64;
+        let total = 60_000usize;
+        let reader = std::thread::spawn(move || {
+            let mut last = 0i64;
+            let mut observations = 0u64;
+            loop {
+                let est = handle.estimate(heavy);
+                assert!(est >= last, "estimate regressed: {est} < {last}");
+                assert!(est <= total as i64, "read above quiesced truth");
+                last = est;
+                observations += 1;
+                if est >= total as i64 {
+                    return (observations, handle.reader_retries());
+                }
+                std::thread::yield_now();
+            }
+        });
+        for _ in 0..total {
+            rt.insert(heavy);
+        }
+        rt.sync();
+        let (observations, retries) = reader.join().unwrap();
+        assert!(observations > 0);
+        // Wait-free: readers take zero locks, so a retry is the only
+        // contention artifact possible, and it costs one immediate re-read
+        // — it can never exceed the number of successful observations.
+        assert!(
+            retries <= observations,
+            "retries ({retries}) outnumber reads ({observations})"
+        );
+        assert_eq!(rt.estimate(heavy), total as i64);
+    }
+
+    #[test]
+    fn worker_panic_restarts_and_loses_nothing() {
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 16,
+            publish_interval: 64,
+            view_interval: 256,
+            supervision: SupervisionConfig {
+                queue_capacity: 8,
+                checkpoint_interval: 64,
+                max_restarts: 3,
+                restart_backoff: Duration::from_millis(1),
+                ..SupervisionConfig::default()
+            },
+        };
+        let make = |i: usize| {
+            ASketch::new(
+                VectorFilter::new(8),
+                FaultyEstimator::new(
+                    CountMin::new(50 + i as u64, 4, 1 << 12).unwrap(),
+                    FaultPlan::panic_at(300).with_message("injected shard crash"),
+                ),
+            )
+        };
+        let data = stream(30_000);
+        let mut rt = ConcurrentASketch::spawn(cfg, make);
+        rt.insert_batch(&data);
+        rt.sync();
+        let health = rt.health();
+        assert!(
+            health.total_restarts() >= 1,
+            "fault plan must trigger at least one restart: {health:?}"
+        );
+        assert!(!health.any_degraded(), "restart budget not exhausted");
+        // Checkpoint + journal replay: still exactly sequential per key.
+        let p = rt.partition();
+        let mut reference: Vec<_> = (0..2)
+            .map(|i| {
+                ASketch::new(
+                    VectorFilter::new(8),
+                    CountMin::new(50 + i as u64, 4, 1 << 12).unwrap(),
+                )
+            })
+            .collect();
+        for &key in &data {
+            reference[p.shard_of(key)].insert(key);
+        }
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(
+                rt.estimate(key),
+                reference[p.shard_of(key)].estimate(key),
+                "post-restart divergence for key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn health_gauges_report_activity() {
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 8,
+            ..ConcurrentConfig::default()
+        };
+        let mut rt = ConcurrentASketch::spawn(cfg, |i| kernel(3 + i as u64));
+        let data = stream(5_000);
+        rt.insert_batch(&data);
+        rt.sync();
+        let health = rt.health();
+        assert_eq!(health.shards.len(), 2);
+        assert_eq!(health.total_routed(), 5_000);
+        assert!(!health.any_degraded());
+        for g in &health.shards {
+            assert_eq!(g.queue_depth, 0, "sync barrier must drain the queue");
+            assert!(g.published_epoch > 0, "filter must have been published");
+            assert!(g.view_epoch > 0, "view must have been published");
+            assert_eq!(g.restarts, 0);
+        }
+    }
+
+    #[test]
+    fn drop_without_finish_does_not_hang() {
+        let mut rt = ConcurrentASketch::spawn(
+            ConcurrentConfig {
+                shards: 2,
+                ..ConcurrentConfig::default()
+            },
+            |i| kernel(i as u64),
+        );
+        rt.insert_batch(&stream(1_000));
+        drop(rt);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ConcurrentASketch::spawn(
+            ConcurrentConfig {
+                shards: 0,
+                ..ConcurrentConfig::default()
+            },
+            |i| kernel(i as u64),
+        );
+    }
+}

@@ -156,6 +156,22 @@ impl<S: UpdateEstimate> UpdateEstimate for FaultyEstimator<S> {
     }
 }
 
+impl<S: sketches::SharedView> sketches::SharedView for FaultyEstimator<S> {
+    type View = S::View;
+
+    fn new_view(&self) -> Self::View {
+        self.inner.new_view()
+    }
+
+    fn store_view(&self, view: &Self::View) {
+        self.inner.store_view(view);
+    }
+
+    fn view_estimate(view: &Self::View, key: u64) -> i64 {
+        S::view_estimate(view, key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

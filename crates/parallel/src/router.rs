@@ -1,0 +1,124 @@
+//! Key routing for the concurrent runtime: accumulate incoming keys into
+//! per-shard batches so workers see the PR-2 batched hot path
+//! (`update_batch` with hoisted hashing / prefetch) instead of one channel
+//! message per key.
+//!
+//! The router is deliberately free of channels and threads so its policy —
+//! which shard owns a key, when a batch is considered full — is unit
+//! testable in isolation; `concurrent.rs` owns the sending.
+
+use crate::spmd::KeyPartition;
+
+/// Accumulates keys into per-shard batches under a [`KeyPartition`].
+///
+/// [`push`](Self::push) returns a full batch the moment a shard reaches the
+/// configured batch size; [`take`](Self::take) flushes a partial batch on
+/// demand (sync points, shutdown). Batches are handed out as owned `Vec`s
+/// ready to move into a channel message; the router immediately re-arms the
+/// shard with a fresh buffer of the same capacity.
+#[derive(Debug)]
+pub struct KeyRouter {
+    partition: KeyPartition,
+    batch: usize,
+    pending: Vec<Vec<u64>>,
+}
+
+impl KeyRouter {
+    /// A router over `partition` that emits batches of `batch` keys.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`.
+    pub fn new(partition: KeyPartition, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        Self {
+            partition,
+            batch,
+            pending: (0..partition.shards())
+                .map(|_| Vec::with_capacity(batch))
+                .collect(),
+        }
+    }
+
+    /// The partition shared with query routing.
+    pub fn partition(&self) -> KeyPartition {
+        self.partition
+    }
+
+    /// Route one key. Returns `Some((shard, batch))` when the owning
+    /// shard's buffer just filled, else `None`.
+    #[inline]
+    pub fn push(&mut self, key: u64) -> Option<(usize, Vec<u64>)> {
+        let shard = self.partition.shard_of(key);
+        let buf = &mut self.pending[shard];
+        buf.push(key);
+        if buf.len() == self.batch {
+            let full = std::mem::replace(buf, Vec::with_capacity(self.batch));
+            Some((shard, full))
+        } else {
+            None
+        }
+    }
+
+    /// Number of keys currently buffered for `shard`.
+    pub fn buffered(&self, shard: usize) -> usize {
+        self.pending[shard].len()
+    }
+
+    /// Take `shard`'s partial batch (empty `Vec` if nothing is buffered).
+    pub fn take(&mut self, shard: usize) -> Vec<u64> {
+        if self.pending[shard].is_empty() {
+            return Vec::new();
+        }
+        std::mem::replace(&mut self.pending[shard], Vec::with_capacity(self.batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_emits_exactly_at_batch_size() {
+        let p = KeyPartition::new(1);
+        let mut r = KeyRouter::new(p, 3);
+        assert!(r.push(1).is_none());
+        assert!(r.push(2).is_none());
+        let (shard, batch) = r.push(3).expect("third key fills the batch");
+        assert_eq!(shard, 0);
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert_eq!(r.buffered(0), 0);
+    }
+
+    #[test]
+    fn batches_respect_ownership_and_order() {
+        let p = KeyPartition::new(4);
+        let mut r = KeyRouter::new(p, 8);
+        let stream: Vec<u64> = (0..1_000u64).collect();
+        let mut emitted: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        for &key in &stream {
+            if let Some((shard, batch)) = r.push(key) {
+                assert_eq!(batch.len(), 8);
+                for &k in &batch {
+                    assert_eq!(p.shard_of(k), shard, "key {k} routed off-owner");
+                }
+                emitted[shard].extend(batch);
+            }
+        }
+        for (shard, got) in emitted.iter_mut().enumerate() {
+            got.extend(r.take(shard));
+            assert!(r.take(shard).is_empty(), "second take must be empty");
+            let expect: Vec<u64> = stream
+                .iter()
+                .copied()
+                .filter(|&k| p.shard_of(k) == shard)
+                .collect();
+            assert_eq!(*got, expect, "shard {shard} lost or reordered keys");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = KeyRouter::new(KeyPartition::new(2), 0);
+    }
+}

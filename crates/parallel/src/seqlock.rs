@@ -1,0 +1,338 @@
+//! Seqlock-published filter snapshots: the wait-free reader half of the
+//! concurrent runtime.
+//!
+//! Each shard worker owns an exact ASketch filter (the paper's hot-item
+//! cache). Readers must see those exact counts without ever taking a lock
+//! or making a writer wait, so the worker periodically *publishes* the
+//! filter's items into a [`FilterSnapshot`]: two fixed-shape buffers, each
+//! guarded by an even/odd sequence counter, with an `active` index that
+//! flips after every publish.
+//!
+//! # Protocol
+//!
+//! Writer (single publisher per snapshot — the shard worker):
+//!
+//! 1. pick the *inactive* buffer;
+//! 2. `seq.store(s + 1)` (odd: publish in progress) then a release fence;
+//! 3. overwrite keys/counts/len with relaxed stores;
+//! 4. `seq.store(s + 2, Release)` (even again);
+//! 5. `active.store(that buffer, Release)` and bump the epoch.
+//!
+//! Reader:
+//!
+//! 1. `active.load(Acquire)`, `s1 = seq.load(Acquire)`; retry if odd;
+//! 2. relaxed data loads;
+//! 3. acquire fence, `s2 = seq.load(Relaxed)`; accept iff `s1 == s2`.
+//!
+//! Because the writer always publishes into the buffer readers are *not*
+//! directed at, a reader's attempt can only fail if a full publish cycle
+//! (into the other buffer, then back into this one) completed while the
+//! read was in flight — i.e. the reader was suspended across two publish
+//! intervals. Readers therefore never block, never spin against an
+//! in-progress write in steady state, and never slow the writer down; the
+//! rare retry is counted in [`FilterSnapshot::retries`] so benchmarks can
+//! assert the path is clean. Built entirely from `std` atomics — no locks,
+//! no unsafe.
+//!
+//! The snapshot is exact for the keys it holds: it stores each filter
+//! item's `new_count`, which is precisely what the sequential ASketch's
+//! point query answers on a filter hit — so a snapshot hit matches the
+//! owner's `estimate` at the publish instant exactly. Keys absent from the
+//! snapshot fall through to the sketch's shared view (see
+//! `sketches::view`).
+
+#[cfg(loom)]
+use loom::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+use asketch::FilterItem;
+
+/// One seqlock-guarded buffer: parallel key/count arrays plus the live
+/// length.
+struct Table {
+    seq: AtomicU64,
+    len: AtomicUsize,
+    keys: Box<[AtomicU64]>,
+    counts: Box<[AtomicI64]>,
+}
+
+impl Table {
+    fn new(capacity: usize) -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            keys: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            counts: (0..capacity).map(|_| AtomicI64::new(0)).collect(),
+        }
+    }
+}
+
+/// A double-buffered, seqlock-published snapshot of a filter's items.
+///
+/// Single-writer, many-reader. See the module docs for the protocol and
+/// the wait-freedom argument.
+pub struct FilterSnapshot {
+    bufs: [Table; 2],
+    /// Which buffer readers should try first.
+    active: AtomicUsize,
+    /// Ops applied by the owner at the last publish (the staleness clock).
+    epoch: AtomicU64,
+    /// Reader attempts that had to retry because a publish cycle lapped
+    /// them. Diagnostic only.
+    retries: AtomicU64,
+}
+
+impl FilterSnapshot {
+    /// A snapshot able to hold up to `capacity` filter items.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            bufs: [Table::new(capacity), Table::new(capacity)],
+            active: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Item capacity per buffer.
+    pub fn capacity(&self) -> usize {
+        self.bufs[0].keys.len()
+    }
+
+    /// Publish `items` as the new snapshot, stamping it with `epoch` (the
+    /// owner's applied-op count). Items beyond the capacity are dropped —
+    /// the runtime sizes the snapshot to the filter, so this only triggers
+    /// if a caller under-sizes it deliberately.
+    ///
+    /// Must only be called from one thread at a time (the owning worker).
+    pub fn publish(&self, items: &[FilterItem], epoch: u64) {
+        let next = 1 - self.active.load(Ordering::Relaxed);
+        let t = &self.bufs[next];
+        let s = t.seq.load(Ordering::Relaxed);
+        // Odd seq: mark this buffer as mid-publish for any reader that is
+        // still directed at it from before the previous flip.
+        t.seq.store(s + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        let n = items.len().min(t.keys.len());
+        for (i, item) in items.iter().take(n).enumerate() {
+            t.keys[i].store(item.key, Ordering::Relaxed);
+            t.counts[i].store(item.new_count, Ordering::Relaxed);
+        }
+        t.len.store(n, Ordering::Relaxed);
+        // Even again: buffer consistent. Release so the data stores above
+        // happen-before any reader that acquires this value.
+        t.seq.store(s + 2, Ordering::Release);
+        self.active.store(next, Ordering::Release);
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Wait-free point lookup: the key's `new_count` at the last publish
+    /// (the sequential filter-hit answer), or `None` if the key was not in
+    /// the published filter.
+    ///
+    /// Never blocks and never takes a lock; retries only if an entire
+    /// publish cycle completed mid-read (counted in [`retries`](Self::retries)).
+    pub fn query(&self, key: u64) -> Option<i64> {
+        loop {
+            let t = &self.bufs[self.active.load(Ordering::Acquire)];
+            let s1 = t.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                // Publisher is mid-write in this buffer (we were directed
+                // here just before a flip). The other buffer is complete;
+                // reload `active` and go there.
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let n = t.len.load(Ordering::Relaxed).min(t.keys.len());
+            let mut found = None;
+            for i in 0..n {
+                if t.keys[i].load(Ordering::Relaxed) == key {
+                    found = Some(t.counts[i].load(Ordering::Relaxed));
+                    break;
+                }
+            }
+            fence(Ordering::Acquire);
+            if t.seq.load(Ordering::Relaxed) == s1 {
+                return found;
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The owner's applied-op count at the last publish. Readers use this
+    /// as the staleness clock: a query answers at least this epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Total reader retries since construction (0 in steady state).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn item(key: u64, pending: i64) -> FilterItem {
+        FilterItem {
+            key,
+            new_count: pending,
+            old_count: 0,
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_answers_none() {
+        let snap = FilterSnapshot::new(8);
+        assert_eq!(snap.query(42), None);
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.retries(), 0);
+    }
+
+    #[test]
+    fn publish_then_query_round_trips() {
+        let snap = FilterSnapshot::new(8);
+        snap.publish(&[item(1, 10), item(2, 20)], 30);
+        assert_eq!(snap.query(1), Some(10));
+        assert_eq!(snap.query(2), Some(20));
+        assert_eq!(snap.query(3), None);
+        assert_eq!(snap.epoch(), 30);
+    }
+
+    #[test]
+    fn republish_replaces_and_shrinks() {
+        let snap = FilterSnapshot::new(8);
+        snap.publish(&[item(1, 10), item(2, 20), item(3, 30)], 60);
+        snap.publish(&[item(2, 25)], 85);
+        assert_eq!(snap.query(2), Some(25));
+        // Keys from the older epoch are gone, even though the buffers
+        // alternate underneath.
+        assert_eq!(snap.query(1), None);
+        assert_eq!(snap.query(3), None);
+        assert_eq!(snap.epoch(), 85);
+    }
+
+    #[test]
+    fn over_capacity_publish_truncates() {
+        let snap = FilterSnapshot::new(2);
+        snap.publish(&[item(1, 1), item(2, 2), item(3, 3)], 6);
+        assert_eq!(snap.query(1), Some(1));
+        assert_eq!(snap.query(2), Some(2));
+        assert_eq!(snap.query(3), None);
+    }
+
+    #[test]
+    fn new_count_is_published_matching_filter_hits() {
+        // Filter hits answer `new_count` in the sequential algorithm; the
+        // snapshot must agree, not report the pending delta.
+        let snap = FilterSnapshot::new(4);
+        snap.publish(
+            &[FilterItem {
+                key: 9,
+                new_count: 100,
+                old_count: 40,
+            }],
+            100,
+        );
+        assert_eq!(snap.query(9), Some(100));
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_pairs() {
+        // One writer republishing (k, v) pairs where every published state
+        // satisfies counts[i] == 10 * keys[i]; readers assert the invariant
+        // on every successful lookup.
+        use std::sync::atomic::{AtomicBool, AtomicU64 as SharedCounter};
+        use std::sync::Arc;
+
+        let snap = Arc::new(FilterSnapshot::new(16));
+        let stop = Arc::new(AtomicBool::new(false));
+        let observed = Arc::new(SharedCounter::new(0));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let snap = Arc::clone(&snap);
+                let stop = Arc::clone(&stop);
+                let observed = Arc::clone(&observed);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for key in 1..8u64 {
+                            if let Some(v) = snap.query(key) {
+                                assert_eq!(v, 10 * key as i64, "torn read for key {key}");
+                                observed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Keep republishing until the readers have actually raced us (a
+        // fixed round count can finish before a reader is ever scheduled
+        // on a single-core host), with a round cap so it always ends.
+        let mut round = 0u64;
+        loop {
+            round += 1;
+            let items: Vec<FilterItem> = (1..=(1 + round % 7))
+                .map(|k| item(k, 10 * k as i64))
+                .collect();
+            snap.publish(&items, round);
+            if round.is_multiple_of(1024) {
+                std::thread::yield_now();
+            }
+            if (round >= 20_000 && observed.load(Ordering::Relaxed) >= 100) || round >= 20_000_000 {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert!(
+            observed.load(Ordering::Relaxed) > 0,
+            "readers never observed a published item"
+        );
+        assert_eq!(snap.epoch(), round);
+    }
+}
+
+/// Loom model of the publish/read pair: exhaustively checks that a reader
+/// racing one publish either sees the old consistent state or the new one,
+/// never a torn mix. Run with
+/// `RUSTFLAGS="--cfg loom" cargo test -p asketch-parallel --release seqlock_loom`
+/// (requires the `loom` crate to be available to the build).
+#[cfg(all(test, loom))]
+mod loom_model {
+    use super::*;
+
+    #[test]
+    fn seqlock_loom_publish_read_pair() {
+        loom::model(|| {
+            let snap = loom::sync::Arc::new(FilterSnapshot::new(2));
+            snap.publish(
+                &[FilterItem {
+                    key: 1,
+                    new_count: 10,
+                    old_count: 0,
+                }],
+                1,
+            );
+            let reader = {
+                let snap = loom::sync::Arc::clone(&snap);
+                loom::thread::spawn(move || match snap.query(1) {
+                    Some(v) => assert!(v == 10 || v == 20, "torn value {v}"),
+                    None => panic!("key must be present in every published state"),
+                })
+            };
+            snap.publish(
+                &[FilterItem {
+                    key: 1,
+                    new_count: 20,
+                    old_count: 0,
+                }],
+                2,
+            );
+            reader.join().unwrap();
+        });
+    }
+}

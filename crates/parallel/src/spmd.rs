@@ -109,14 +109,81 @@ impl<K: FrequencyEstimator + Send> SpmdGroup<K> {
         F: Fn(usize) -> K + Sync,
     {
         assert!(!shards.is_empty(), "need at least one shard");
+        Self::ingest_with(
+            shards.len(),
+            |i, kernel: &mut K| kernel.insert_batch(&shards[i]),
+            make_kernel,
+            max_attempts,
+        )
+    }
+
+    /// Supervised ingest over a key-partitioned view of one shared stream
+    /// (see [`hash_shards`]): shard `i`'s kernel consumes exactly the keys
+    /// that hash to partition `i`, scanned out of the shared slice — no
+    /// per-shard `Vec` materialization.
+    ///
+    /// Because every key lives on exactly one shard, per-key queries can
+    /// skip the commutative sum: [`SpmdGroup::estimate_partitioned`] asks
+    /// only the owning kernel and returns *exactly* what a sequential
+    /// summary fed that key's sub-stream would.
+    ///
+    /// # Errors
+    /// As [`SpmdGroup::ingest_supervised`].
+    ///
+    /// # Panics
+    /// Panics if `shards` has zero partitions (prevented by construction).
+    pub fn ingest_keyed<F>(
+        shards: &KeyShards<'_>,
+        make_kernel: F,
+        max_attempts: u32,
+    ) -> Result<(Self, u128, SpmdReport), PipelineError>
+    where
+        F: Fn(usize) -> K + Sync,
+    {
+        Self::ingest_with(
+            shards.width(),
+            |i, kernel: &mut K| {
+                // Stage matching keys through a stack buffer so the tuned
+                // batched kernels (prefetch ring) see full chunks.
+                let mut buf = [0u64; 256];
+                let mut n = 0usize;
+                for key in shards.iter(i) {
+                    buf[n] = key;
+                    n += 1;
+                    if n == buf.len() {
+                        kernel.insert_batch(&buf);
+                        n = 0;
+                    }
+                }
+                kernel.insert_batch(&buf[..n]);
+            },
+            make_kernel,
+            max_attempts,
+        )
+    }
+
+    /// Shared engine of the supervised ingest variants: one OS thread per
+    /// shard, each building a kernel with `make_kernel(i)` and running
+    /// `feed(i, &mut kernel)` under `catch_unwind` with replay-from-scratch
+    /// retries.
+    fn ingest_with<Feed, F>(
+        n_shards: usize,
+        feed: Feed,
+        make_kernel: F,
+        max_attempts: u32,
+    ) -> Result<(Self, u128, SpmdReport), PipelineError>
+    where
+        Feed: Fn(usize, &mut K) + Sync,
+        F: Fn(usize) -> K + Sync,
+    {
+        assert!(n_shards > 0, "need at least one shard");
         let max_attempts = max_attempts.max(1);
         let start = std::time::Instant::now();
         let outcomes: Vec<ShardOutcome<K>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .enumerate()
-                .map(|(i, shard)| {
+            let handles: Vec<_> = (0..n_shards)
+                .map(|i| {
                     let make_kernel = &make_kernel;
+                    let feed = &feed;
                     scope.spawn(move || {
                         let mut attempts = 0u32;
                         let mut last_error: Option<String> = None;
@@ -124,12 +191,7 @@ impl<K: FrequencyEstimator + Send> SpmdGroup<K> {
                             attempts += 1;
                             let run = catch_unwind(AssertUnwindSafe(|| {
                                 let mut kernel = make_kernel(i);
-                                // Batched ingest: kernels with tuned
-                                // update_batch overrides (prefetch,
-                                // hoisted hashing) get them here; the
-                                // default is the same per-key loop as
-                                // before.
-                                kernel.insert_batch(shard);
+                                feed(i, &mut kernel);
                                 kernel
                             }));
                             match run {
@@ -168,7 +230,7 @@ impl<K: FrequencyEstimator + Send> SpmdGroup<K> {
         });
         let elapsed = start.elapsed().as_nanos();
 
-        let mut kernels = Vec::with_capacity(shards.len());
+        let mut kernels = Vec::with_capacity(n_shards);
         let mut report = SpmdReport::default();
         for (i, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
@@ -194,6 +256,44 @@ impl<K: FrequencyEstimator + Send> SpmdGroup<K> {
         self.kernels.iter().map(|k| k.estimate(key)).sum()
     }
 
+    /// Combined batched point estimates: `out[i]` is the saturating sum of
+    /// every kernel's answer for `keys[i]`.
+    ///
+    /// Routing the query phase through each kernel's `estimate_batch`
+    /// (instead of a per-key `estimate` loop) lets kernels with tuned
+    /// batched lookups — hoisted hashing, prefetch rings — keep those wins
+    /// in the SPMD configuration, which is what the throughput benchmarks
+    /// time.
+    ///
+    pub fn estimate_batch(&self, keys: &[u64]) -> Vec<i64> {
+        let mut out = vec![0i64; keys.len()];
+        for kernel in &self.kernels {
+            for (acc, v) in out.iter_mut().zip(kernel.estimate_batch(keys)) {
+                *acc = acc.saturating_add(v);
+            }
+        }
+        out
+    }
+
+    /// Point estimate under key partitioning: ask only the kernel that owns
+    /// `key` in `partition`.
+    ///
+    /// Valid only for groups built with [`SpmdGroup::ingest_keyed`] (or fed
+    /// an equivalent key-disjoint split) using the same `partition`; then
+    /// the answer is *exactly* the sequential summary's answer for that
+    /// key's sub-stream — no summing of per-kernel over-estimates.
+    ///
+    /// # Panics
+    /// Panics if `partition.shards() != self.width()`.
+    pub fn estimate_partitioned(&self, partition: KeyPartition, key: u64) -> i64 {
+        assert_eq!(
+            partition.shards(),
+            self.width(),
+            "partition width must match kernel count"
+        );
+        self.kernels[partition.shard_of(key)].estimate(key)
+    }
+
     /// Number of kernels in the group.
     pub fn width(&self) -> usize {
         self.kernels.len()
@@ -216,6 +316,108 @@ pub fn round_robin_shards(stream: &[u64], n: usize) -> Vec<Vec<u64>> {
         shards[i % n].push(key);
     }
     shards
+}
+
+/// Stable hash partition of the key space into `shards` disjoint classes:
+/// every key maps to exactly one shard, so a group of per-shard summaries
+/// keeps the *sequential* per-key semantics (query only the owner) instead
+/// of summing per-kernel over-estimates.
+///
+/// The map is a fixed 64-bit finalizer (SplitMix64) followed by a
+/// multiply-shift range reduction, so it is uniform even on dense integer
+/// key spaces and identical across processes — no per-instance seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPartition {
+    shards: usize,
+}
+
+impl KeyPartition {
+    /// A partition into `shards` classes.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self { shards }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`, in `0..self.shards()`.
+    #[inline]
+    pub fn shard_of(self, key: u64) -> usize {
+        let mut x = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 32;
+        // Lemire multiply-shift: maps the hash uniformly onto 0..shards
+        // without a modulo.
+        ((x as u128 * self.shards as u128) >> 64) as usize
+    }
+}
+
+/// A key-partitioned view of one shared stream: shard `i` is the
+/// subsequence of keys with `partition.shard_of(key) == i`, exposed as an
+/// iterator over the original slice — nothing is cloned or materialized.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyShards<'a> {
+    stream: &'a [u64],
+    partition: KeyPartition,
+}
+
+impl<'a> KeyShards<'a> {
+    /// Number of shards.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.partition.shards()
+    }
+
+    /// The partition function shared with query routing.
+    #[inline]
+    pub fn partition(&self) -> KeyPartition {
+        self.partition
+    }
+
+    /// Iterate shard `i`'s keys in stream order.
+    ///
+    /// # Panics
+    /// Panics if `shard >= self.width()`.
+    pub fn iter(&self, shard: usize) -> impl Iterator<Item = u64> + 'a {
+        assert!(shard < self.width(), "shard index out of range");
+        let partition = self.partition;
+        self.stream
+            .iter()
+            .copied()
+            .filter(move |&key| partition.shard_of(key) == shard)
+    }
+
+    /// Per-shard key counts (one pass over the stream).
+    pub fn counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.width()];
+        for &key in self.stream {
+            counts[self.partition.shard_of(key)] += 1;
+        }
+        counts
+    }
+}
+
+/// Partition `stream` by key hash into `n` shards (see [`KeyPartition`]).
+///
+/// Unlike [`round_robin_shards`] this allocates nothing: the returned view
+/// borrows the stream and filters it per shard. Use with
+/// [`SpmdGroup::ingest_keyed`] for owner-exact per-key semantics.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn hash_shards(stream: &[u64], n: usize) -> KeyShards<'_> {
+    KeyShards {
+        stream,
+        partition: KeyPartition::new(n),
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +541,100 @@ mod tests {
             }
             other => panic!("expected ShardFailed, got {:?}", other.map(|_| ())),
         }
+    }
+
+    #[test]
+    fn key_partition_is_total_and_stable() {
+        let p = KeyPartition::new(4);
+        for key in 0..10_000u64 {
+            let s = p.shard_of(key);
+            assert!(s < 4);
+            assert_eq!(s, p.shard_of(key), "must be deterministic");
+        }
+    }
+
+    #[test]
+    fn key_partition_is_roughly_uniform_on_dense_keys() {
+        let stream: Vec<u64> = (0..40_000u64).collect();
+        let counts = hash_shards(&stream, 4).counts();
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 40_000);
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (8_000..=12_000).contains(&c),
+                "shard {i} holds {c} of 40000 — partition badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_shards_iter_preserves_stream_order_and_disjointness() {
+        let stream: Vec<u64> = (0..500u64).map(|i| i * 37 % 101).collect();
+        let shards = hash_shards(&stream, 3);
+        let rebuilt: Vec<Vec<u64>> = (0..3).map(|i| shards.iter(i).collect()).collect();
+        // Disjoint key sets.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                for k in &rebuilt[i] {
+                    assert!(!rebuilt[j].contains(k), "key {k} on two shards");
+                }
+            }
+        }
+        // Merging the shards by stream order reproduces the stream.
+        let mut merged = Vec::new();
+        let mut idx = [0usize; 3];
+        for &key in &stream {
+            let s = shards.partition().shard_of(key);
+            assert_eq!(rebuilt[s][idx[s]], key, "shard order differs from stream");
+            idx[s] += 1;
+            merged.push(key);
+        }
+        assert_eq!(merged, stream);
+    }
+
+    #[test]
+    fn ingest_keyed_matches_owner_kernel_exactly() {
+        // Collision-free CMS per shard: partitioned per-key estimates are
+        // exact, so they must equal the true per-key counts.
+        let stream: Vec<u64> = (0..30_000u64).map(|i| i % 64).collect();
+        let shards = hash_shards(&stream, 4);
+        let (group, _, report) = SpmdGroup::ingest_keyed(
+            &shards,
+            |i| CountMin::new(77 + i as u64, 4, 1 << 14).unwrap(),
+            3,
+        )
+        .unwrap();
+        assert!(report.is_clean());
+        let p = shards.partition();
+        for key in 0..64u64 {
+            let truth = stream.iter().filter(|&&k| k == key).count() as i64;
+            assert_eq!(group.estimate_partitioned(p, key), truth, "key {key}");
+        }
+    }
+
+    #[test]
+    fn estimate_batch_matches_point_estimates() {
+        let stream: Vec<u64> = (0..20_000u64).map(|i| i % 50).collect();
+        let shards = round_robin_shards(&stream, 3);
+        let (group, _) = SpmdGroup::ingest(&shards, |i| {
+            CountMin::new(11 + i as u64, 4, 1 << 12).unwrap()
+        });
+        let keys: Vec<u64> = (0..50u64).chain(900..920).collect();
+        let out = group.estimate_batch(&keys);
+        assert_eq!(out.len(), keys.len());
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(out[i], group.estimate(key), "key {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition width must match")]
+    fn estimate_partitioned_rejects_mismatched_width() {
+        let stream: Vec<u64> = (0..100u64).collect();
+        let (group, _) = SpmdGroup::ingest(&round_robin_shards(&stream, 2), |i| {
+            CountMin::new(3 + i as u64, 4, 1 << 10).unwrap()
+        });
+        let _ = group.estimate_partitioned(KeyPartition::new(3), 5);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::cell::Cell;
 use crate::hash::HashBank;
 use crate::lookup::prefetch_read;
 use crate::traits::{FrequencyEstimator, Mergeable, TopK, Tuple, UpdateEstimate};
+use crate::view::{AtomicCells, SharedView};
 use crate::SketchError;
 
 /// Software-pipelining depth of the batched paths, in tuples: cell indexes
@@ -271,6 +272,47 @@ impl<C: Cell> UpdateEstimate for CountMinG<C> {
             let idx = row * self.h + func.hash(key);
             self.table[idx] = self.table[idx].saturating_add_i64(delta);
             let v = self.table[idx].to_i64();
+            if v < est {
+                est = v;
+            }
+        }
+        est
+    }
+}
+
+/// Published replica of a [`CountMinG`]: the hash bank (immutable) plus an
+/// atomic copy of the counter table. See [`crate::view`] for the protocol.
+#[derive(Debug)]
+pub struct CountMinView {
+    hashes: HashBank,
+    h: usize,
+    cells: AtomicCells,
+}
+
+impl<C: Cell> SharedView for CountMinG<C> {
+    type View = CountMinView;
+
+    fn new_view(&self) -> CountMinView {
+        let view = CountMinView {
+            hashes: self.hashes.clone(),
+            h: self.h,
+            cells: AtomicCells::new(self.table.len()),
+        };
+        self.store_view(&view);
+        view
+    }
+
+    fn store_view(&self, view: &CountMinView) {
+        debug_assert_eq!(view.cells.len(), self.table.len());
+        view.cells.store_all(self.table.iter().map(|c| c.to_i64()));
+    }
+
+    /// Exactly the row-min of [`CountMinG::estimate`], read from the
+    /// published cells.
+    fn view_estimate(view: &CountMinView, key: u64) -> i64 {
+        let mut est = i64::MAX;
+        for (row, func) in view.hashes.funcs().iter().enumerate() {
+            let v = view.cells.load(row * view.h + func.hash(key));
             if v < est {
                 est = v;
             }
@@ -532,6 +574,33 @@ mod tests {
         for &k in &keys {
             assert_eq!(a.estimate(k), b.estimate(k));
         }
+    }
+
+    #[test]
+    fn shared_view_matches_estimate_exactly() {
+        let mut cms = CountMin::new(77, 4, 512).unwrap();
+        let view = cms.new_view();
+        let mut x = 3u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(97);
+            cms.update(x % 300, (x % 4) as i64 + 1);
+        }
+        cms.store_view(&view);
+        for key in 0..400u64 {
+            assert_eq!(
+                CountMin::view_estimate(&view, key),
+                cms.estimate(key),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_view_reflects_current_contents() {
+        let mut cms = CountMin::new(5, 3, 64).unwrap();
+        cms.update(9, 12);
+        let view = cms.new_view();
+        assert_eq!(CountMin::view_estimate(&view, 9), cms.estimate(9));
     }
 
     #[test]

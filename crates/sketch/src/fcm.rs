@@ -33,6 +33,7 @@ use crate::hash::{HashBank, PairwiseHash, SplitMix64};
 use crate::lookup::prefetch_read;
 use crate::misra_gries::MisraGries;
 use crate::traits::{FrequencyEstimator, Tuple, UpdateEstimate};
+use crate::view::{AtomicCells, SharedView};
 use crate::SketchError;
 
 /// FCM with 64-bit cells (workspace default).
@@ -287,6 +288,102 @@ impl<C: Cell> FrequencyEstimator for FcmG<C> {
     }
 }
 
+/// Published replica of an [`FcmG`]: hash parameters, an atomic copy of
+/// the counter table, and a snapshot of the Misra–Gries high-frequency key
+/// set (empty for the ASketch-FCM variant, which has no MG detector).
+///
+/// The high-key snapshot is republished wholesale on every
+/// [`SharedView::store_view`]; a reader racing a publish may transiently
+/// classify a key with the previous epoch's row subset — the same
+/// classification-drift caveat FCM itself carries (see the module docs).
+/// With `mg_capacity = None` (the configuration the concurrent ASketch
+/// runtime uses) classification is constant and the replica is exact.
+#[derive(Debug)]
+pub struct FcmView {
+    hashes: HashBank,
+    offset_hash: PairwiseHash,
+    gap_hash: PairwiseHash,
+    h: usize,
+    rows_high: usize,
+    rows_low: usize,
+    cells: AtomicCells,
+    /// Snapshot of the MG key set, `u64::MAX`-padded to its capacity.
+    high_keys: Box<[std::sync::atomic::AtomicU64]>,
+}
+
+impl FcmView {
+    #[inline]
+    fn is_high(&self, key: u64) -> bool {
+        self.high_keys
+            .iter()
+            .any(|k| k.load(std::sync::atomic::Ordering::Relaxed) == key)
+    }
+}
+
+impl<C: Cell> SharedView for FcmG<C> {
+    type View = FcmView;
+
+    fn new_view(&self) -> FcmView {
+        let cap = self.mg.as_ref().map_or(0, |mg| mg.capacity());
+        let high_keys: Vec<std::sync::atomic::AtomicU64> = (0..cap)
+            .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
+            .collect();
+        let view = FcmView {
+            hashes: self.hashes.clone(),
+            offset_hash: self.offset_hash,
+            gap_hash: self.gap_hash,
+            h: self.h,
+            rows_high: self.rows_high,
+            rows_low: self.rows_low,
+            cells: AtomicCells::new(self.table.len()),
+            high_keys: high_keys.into_boxed_slice(),
+        };
+        self.store_view(&view);
+        view
+    }
+
+    fn store_view(&self, view: &FcmView) {
+        debug_assert_eq!(view.cells.len(), self.table.len());
+        view.cells.store_all(self.table.iter().map(|c| c.to_i64()));
+        if let Some(mg) = self.mg.as_ref() {
+            let monitored = mg.items();
+            for (slot, entry) in view.high_keys.iter().zip(
+                monitored
+                    .iter()
+                    .map(|&(k, _)| k)
+                    .chain(std::iter::repeat(u64::MAX)),
+            ) {
+                slot.store(entry, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Replicates [`FcmG::estimate`]: classify against the snapshotted MG
+    /// key set, then take the min over the classification's row subset.
+    fn view_estimate(view: &FcmView, key: u64) -> i64 {
+        let w = view.hashes.width();
+        let offset = view.offset_hash.hash(key);
+        let mut gap = 1 + view.gap_hash.hash(key) % (w.max(2) - 1).max(1);
+        while gcd(gap, w) != 1 {
+            gap += 1;
+        }
+        let r = if view.is_high(key) {
+            view.rows_high
+        } else {
+            view.rows_low
+        };
+        let mut est = i64::MAX;
+        for i in 0..r {
+            let row = (offset + i * gap) % w;
+            let v = view.cells.load(row * view.h + view.hashes.hash(row, key));
+            if v < est {
+                est = v;
+            }
+        }
+        est
+    }
+}
+
 impl<C: Cell> UpdateEstimate for FcmG<C> {
     /// Single-pass update+estimate over the key's row subset; matters for
     /// ASketch-FCM, whose overflow path calls this on every forwarded tuple.
@@ -423,6 +520,30 @@ mod tests {
                 assert_eq!(
                     batched.is_high_frequency(key),
                     scalar.is_high_frequency(key),
+                    "mg={mg:?} key={key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_view_matches_estimate_exactly() {
+        // Both variants: the MG-less ASketch-FCM (always-low, exact by
+        // construction) and the full FCM with a live MG detector.
+        for mg in [None, Some(8)] {
+            let mut fcm = Fcm::new(31, 8, 256, mg).unwrap();
+            let view = fcm.new_view();
+            let mut x = 11u64;
+            for i in 0..8_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+                let key = if i % 3 == 0 { 42 } else { x % 500 };
+                fcm.insert(key);
+            }
+            fcm.store_view(&view);
+            for key in 0..500u64 {
+                assert_eq!(
+                    Fcm::view_estimate(&view, key),
+                    fcm.estimate(key),
                     "mg={mg:?} key={key}"
                 );
             }

@@ -45,6 +45,7 @@ pub mod lookup;
 pub mod misra_gries;
 pub mod space_saving;
 pub mod traits;
+pub mod view;
 
 pub use cell::Cell;
 pub use count_min::{CountMin, CountMin32, CountMinG};
@@ -57,3 +58,4 @@ pub use holistic_udaf::{HolisticUdaf, HolisticUdaf32, HolisticUdafG};
 pub use misra_gries::MisraGries;
 pub use space_saving::{SpaceSaving, UnmonitoredEstimate};
 pub use traits::{FrequencyEstimator, Mergeable, Supervisable, TopK, Tuple, UpdateEstimate};
+pub use view::{AtomicCells, SharedView};

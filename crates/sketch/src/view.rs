@@ -1,0 +1,125 @@
+//! Lock-free shared read views: a sketch publishes an atomic replica of its
+//! counter table that concurrent readers can query while the owning thread
+//! keeps ingesting.
+//!
+//! # Model
+//!
+//! A [`SharedView::View`] is an immutable-shape, atomically-written copy of
+//! everything a point query needs: the hash parameters (cloned once at
+//! construction, they never change) and one `AtomicI64` per counter cell.
+//! The owner calls [`SharedView::store_view`] periodically (an *epoch
+//! publish*); readers call [`SharedView::view_estimate`] at any time, with
+//! no lock and no coordination.
+//!
+//! # Why torn reads are safe here
+//!
+//! Cells are published with `Relaxed` stores, so a reader can observe a mix
+//! of two epochs. For the one-sided sketches in this workspace that is
+//! harmless on insert-only streams: every cell is monotonically
+//! non-decreasing, so each cell a reader loads lies between its value at
+//! the previous publish and its value at the next one — and a min over
+//! such cells lies between the previous epoch's estimate and the live
+//! estimate. Runtimes that need a crisper bound (the concurrent ASketch
+//! runtime) pair the view with a seqlock-published exact filter and
+//! document the combined staleness window in ops.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use crate::traits::FrequencyEstimator;
+
+/// A flat array of atomically readable counter cells, the storage half of
+/// every [`SharedView::View`].
+#[derive(Debug)]
+pub struct AtomicCells {
+    cells: Box<[AtomicI64]>,
+}
+
+impl AtomicCells {
+    /// Allocate `len` zeroed cells.
+    pub fn new(len: usize) -> Self {
+        let cells: Vec<AtomicI64> = (0..len).map(|_| AtomicI64::new(0)).collect();
+        Self {
+            cells: cells.into_boxed_slice(),
+        }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the view holds no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomically read cell `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> i64 {
+        self.cells[i].load(Ordering::Relaxed)
+    }
+
+    /// Atomically write cell `i`.
+    #[inline]
+    pub fn store(&self, i: usize, v: i64) {
+        self.cells[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Overwrite every cell from an iterator of current values (an epoch
+    /// publish). Extra source values are ignored; missing ones leave the
+    /// tail untouched.
+    pub fn store_all(&self, values: impl Iterator<Item = i64>) {
+        for (cell, v) in self.cells.iter().zip(values) {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A sketch that can publish a lock-free shared replica of itself for
+/// concurrent point queries.
+///
+/// The contract:
+///
+/// * [`new_view`](Self::new_view) allocates a view sized for this sketch,
+///   initialised to the sketch's *current* contents;
+/// * [`store_view`](Self::store_view) re-publishes the current contents
+///   into an existing view (cheap enough to call every few thousand ops);
+/// * [`view_estimate`](Self::view_estimate) answers exactly what
+///   [`FrequencyEstimator::estimate`] would answer against the contents at
+///   the last complete publish (modulo the torn-read window described in
+///   the module docs).
+///
+/// After a final `store_view` with the owner quiesced, `view_estimate`
+/// equals `estimate` *exactly* for every key.
+pub trait SharedView: FrequencyEstimator {
+    /// The published replica type. `Send + Sync` so reader threads can
+    /// share it behind an `Arc`.
+    type View: Send + Sync + 'static;
+
+    /// Allocate a view of this sketch and publish the current contents.
+    fn new_view(&self) -> Self::View;
+
+    /// Publish the sketch's current contents into `view`.
+    fn store_view(&self, view: &Self::View);
+
+    /// Point query against the published replica.
+    fn view_estimate(view: &Self::View, key: u64) -> i64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_cells_round_trip() {
+        let c = AtomicCells::new(4);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        c.store(3, 41);
+        assert_eq!(c.load(3), 41);
+        c.store_all([1i64, 2, 3].into_iter());
+        assert_eq!((c.load(0), c.load(1), c.load(2), c.load(3)), (1, 2, 3, 41));
+    }
+}

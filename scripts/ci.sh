@@ -24,4 +24,38 @@ cargo run -q -p asketch-bench --release --bin throughput -- --smoke --out BENCH_
 cargo run -q -p asketch-bench --release --bin throughput -- \
     --validate BENCH_throughput.json --min-speedup 1.5
 
+echo "==> concurrent runtime smoke (wait-free read + shard-scaling gate)"
+# The wait-free gate (reader_blocked == 0 on every row) is unconditional.
+# The 4-shard vs 1-shard scaling gate needs real cores to mean anything:
+# on fewer than 4 CPUs the shard workers time-slice one core and the full
+# 2.0x bar is physically unreachable, so we hold the line at 1.2x there
+# (pipelining + smaller per-shard tables still must win) and say so loudly.
+CORES="$(nproc 2>/dev/null || echo 1)"
+if [ "$CORES" -ge 4 ]; then
+    MIN_SCALING=2.0
+else
+    MIN_SCALING=1.2
+    echo "WARNING: only $CORES CPU(s); relaxing 4-shard scaling gate to ${MIN_SCALING}x" \
+         "(full bar is 2.0x on >=4 cores)"
+fi
+cargo run -q -p asketch-bench --release --bin throughput -- \
+    --concurrent --smoke --out BENCH_concurrent.json
+cargo run -q -p asketch-bench --release --bin throughput -- \
+    --validate-concurrent BENCH_concurrent.json --min-scaling "$MIN_SCALING"
+
+echo "==> ThreadSanitizer pass (concurrent runtime, nightly-only)"
+# TSan needs nightly + rust-src (-Zbuild-std). Skip gracefully when the
+# toolchain can't do it; the seqlock also carries a loom model behind
+# `--cfg loom` for exhaustive interleaving checks where loom is available.
+if rustup run nightly rustc --version >/dev/null 2>&1 \
+   && rustup component list --toolchain nightly 2>/dev/null \
+      | grep -q 'rust-src (installed)'; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+    RUSTDOCFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+        -p asketch-parallel --release -- seqlock concurrent
+else
+    echo "SKIP: nightly toolchain with rust-src not available; ThreadSanitizer pass not run"
+fi
+
 echo "==> ci.sh: all green"

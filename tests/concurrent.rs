@@ -1,0 +1,251 @@
+//! Differential tests for the concurrent sharded runtime: after a `sync`
+//! barrier, every per-key answer must be *exactly* what the sequential
+//! ASketch fed that key's sub-stream would return — for every filter kind
+//! and both sketch backends — and mid-ingest snapshot reads must stay
+//! one-sided (never above the true final count on insert-only streams) and
+//! never regress behind the last published epoch.
+
+use asketch::filter::{
+    Filter, RelaxedHeapFilter, StreamSummaryFilter, StrictHeapFilter, VectorFilter,
+};
+use asketch::ASketch;
+use asketch_parallel::{ConcurrentASketch, ConcurrentConfig, FaultPlan, FaultyEstimator};
+use sketches::{CountMin, Fcm, SharedView, UpdateEstimate};
+use streamgen::{ExactCounter, StreamSpec};
+
+const FILTER_ITEMS: usize = 24;
+const SHARDS: usize = 3;
+
+fn workload(len: usize, distinct: u64, skew: f64) -> (Vec<u64>, ExactCounter) {
+    let spec = StreamSpec {
+        len,
+        distinct,
+        skew,
+        seed: 0xC0C0_2026,
+    };
+    let stream = spec.materialize();
+    let truth = ExactCounter::from_keys(&stream);
+    (stream, truth)
+}
+
+fn small_config(shards: usize) -> ConcurrentConfig {
+    ConcurrentConfig {
+        shards,
+        batch: 64,
+        publish_interval: 256,
+        view_interval: 1024,
+        ..ConcurrentConfig::default()
+    }
+}
+
+/// The core differential check: run the concurrent runtime and a per-shard
+/// sequential reference over the same stream, then demand exact per-key
+/// equality for every distinct key — through the wait-free handle, through
+/// the dispatcher, and on the finished kernels.
+fn assert_exactly_sequential<F, S>(make_kernel: impl Fn(usize) -> ASketch<F, S> + Copy)
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    let (stream, truth) = workload(60_000, 8_000, 1.2);
+
+    let mut rt = ConcurrentASketch::spawn(small_config(SHARDS), make_kernel);
+    let partition = rt.partition();
+    rt.insert_batch(&stream);
+    rt.sync();
+
+    // Sequential reference: the exact same kernels fed each key class in
+    // stream order, one at a time.
+    let mut reference: Vec<ASketch<F, S>> = (0..SHARDS).map(make_kernel).collect();
+    for &k in &stream {
+        reference[partition.shard_of(k)].insert(k);
+    }
+
+    let handle = rt.query_handle();
+    for (key, _) in truth.iter() {
+        let expect = reference[partition.shard_of(key)].estimate(key);
+        assert_eq!(
+            handle.estimate(key),
+            expect,
+            "handle diverged from sequential for key {key}"
+        );
+        assert_eq!(
+            rt.estimate(key),
+            expect,
+            "dispatcher diverged from sequential for key {key}"
+        );
+    }
+
+    let finished = rt.finish();
+    for (key, _) in truth.iter() {
+        let expect = reference[partition.shard_of(key)].estimate(key);
+        assert_eq!(
+            finished[partition.shard_of(key)].estimate(key),
+            expect,
+            "finished kernel diverged for key {key}"
+        );
+    }
+}
+
+fn cms(seed: u64) -> CountMin {
+    CountMin::with_byte_budget(seed, 4, 64 * 1024).unwrap()
+}
+
+fn fcm(seed: u64) -> Fcm {
+    // mg_capacity = None: the ASketch front filter plays the high-frequency
+    // detector, and the shared view is exact in this configuration.
+    Fcm::with_byte_budget(seed, 4, 64 * 1024, None).unwrap()
+}
+
+#[test]
+fn vector_filter_count_min_is_exactly_sequential() {
+    assert_exactly_sequential(|i| ASketch::new(VectorFilter::new(FILTER_ITEMS), cms(7 ^ i as u64)));
+}
+
+#[test]
+fn strict_heap_filter_count_min_is_exactly_sequential() {
+    assert_exactly_sequential(|i| {
+        ASketch::new(StrictHeapFilter::new(FILTER_ITEMS), cms(11 ^ i as u64))
+    });
+}
+
+#[test]
+fn relaxed_heap_filter_count_min_is_exactly_sequential() {
+    assert_exactly_sequential(|i| {
+        ASketch::new(RelaxedHeapFilter::new(FILTER_ITEMS), cms(13 ^ i as u64))
+    });
+}
+
+#[test]
+fn stream_summary_filter_count_min_is_exactly_sequential() {
+    assert_exactly_sequential(|i| {
+        ASketch::new(StreamSummaryFilter::new(FILTER_ITEMS), cms(17 ^ i as u64))
+    });
+}
+
+#[test]
+fn vector_filter_fcm_is_exactly_sequential() {
+    assert_exactly_sequential(|i| {
+        ASketch::new(VectorFilter::new(FILTER_ITEMS), fcm(19 ^ i as u64))
+    });
+}
+
+#[test]
+fn strict_heap_filter_fcm_is_exactly_sequential() {
+    assert_exactly_sequential(|i| {
+        ASketch::new(StrictHeapFilter::new(FILTER_ITEMS), fcm(23 ^ i as u64))
+    });
+}
+
+#[test]
+fn relaxed_heap_filter_fcm_is_exactly_sequential() {
+    assert_exactly_sequential(|i| {
+        ASketch::new(RelaxedHeapFilter::new(FILTER_ITEMS), fcm(29 ^ i as u64))
+    });
+}
+
+#[test]
+fn stream_summary_filter_fcm_is_exactly_sequential() {
+    assert_exactly_sequential(|i| {
+        ASketch::new(StreamSummaryFilter::new(FILTER_ITEMS), fcm(31 ^ i as u64))
+    });
+}
+
+/// Staleness contract on an insert-only stream: a snapshot read never
+/// under-reports the last published epoch's state for a hot key (reads are
+/// monotone across publishes), and never over-reports the true final count
+/// (one-sidedness holds mid-ingest, not just at the end).
+#[test]
+fn mid_ingest_reads_are_monotone_and_one_sided() {
+    // One shard and a sketch wide enough to be collision-free at this key
+    // count, so "one-sided" tightens to "bounded by the exact truth".
+    let (stream, truth) = workload(40_000, 512, 1.1);
+    let cfg = ConcurrentConfig {
+        shards: 1,
+        batch: 32,
+        publish_interval: 64,
+        view_interval: 256,
+        ..ConcurrentConfig::default()
+    };
+    let mut rt = ConcurrentASketch::spawn(cfg, |_| {
+        ASketch::new(
+            VectorFilter::new(FILTER_ITEMS),
+            CountMin::with_byte_budget(41, 4, 1 << 20).unwrap(),
+        )
+    });
+    let handle = rt.query_handle();
+    let hot = truth.top_k(1)[0].0;
+    let total = truth.count(hot);
+
+    let mut last_seen = 0i64;
+    let mut last_epoch = 0u64;
+    for chunk in stream.chunks(512) {
+        rt.insert_batch(chunk);
+        let epoch = handle.min_filter_epoch();
+        let read = handle.estimate(hot);
+        assert!(
+            read <= total,
+            "mid-ingest read {read} exceeds true final count {total}"
+        );
+        if epoch > last_epoch {
+            assert!(
+                read >= last_seen,
+                "read {read} regressed below {last_seen} across publish \
+                 epochs {last_epoch} -> {epoch}"
+            );
+            last_epoch = epoch;
+            last_seen = read;
+        }
+    }
+    rt.sync();
+    assert_eq!(handle.estimate(hot), total, "post-sync read must be exact");
+}
+
+/// A worker panic mid-stream must be invisible in the answers: the journal
+/// replays the lost batches into a restored kernel, and post-sync queries
+/// still match the clean sequential reference exactly.
+#[test]
+fn worker_restart_preserves_exact_per_key_answers() {
+    let (stream, truth) = workload(30_000, 4_000, 1.2);
+    let make_faulty = |i: usize| {
+        let plan = if i == 1 {
+            FaultPlan::panic_at(2_000).with_message("injected shard fault")
+        } else {
+            FaultPlan::default()
+        };
+        ASketch::new(
+            VectorFilter::new(FILTER_ITEMS),
+            FaultyEstimator::new(cms(37 ^ i as u64), plan),
+        )
+    };
+
+    let mut rt = ConcurrentASketch::spawn(small_config(SHARDS), make_faulty);
+    let partition = rt.partition();
+    rt.insert_batch(&stream);
+    rt.sync();
+
+    let health = rt.health();
+    assert!(
+        health.total_restarts() >= 1,
+        "fault plan never fired; the test is vacuous"
+    );
+    assert!(
+        !health.any_degraded(),
+        "restart budget must absorb one panic"
+    );
+
+    let mut reference: Vec<ASketch<VectorFilter, CountMin>> = (0..SHARDS)
+        .map(|i| ASketch::new(VectorFilter::new(FILTER_ITEMS), cms(37 ^ i as u64)))
+        .collect();
+    for &k in &stream {
+        reference[partition.shard_of(k)].insert(k);
+    }
+    for (key, _) in truth.iter() {
+        let expect = reference[partition.shard_of(key)].estimate(key);
+        assert_eq!(
+            rt.estimate(key),
+            expect,
+            "post-restart answer diverged for key {key}"
+        );
+    }
+}
