@@ -17,8 +17,10 @@
 //! The `--concurrent` mode instead sweeps the sharded concurrent runtime
 //! (read fraction × shard count × skew, against an offline SPMD baseline)
 //! and writes `BENCH_concurrent.json`; `--validate-concurrent` gates that
-//! artifact (reader-blocked count must be zero everywhere, and the 4-shard
-//! mixed 90/10 run must beat 1 shard by `--min-scaling`).
+//! artifact: the measured `reader_blocked` count (reads whose seqlock
+//! retry delta exceeded [`READ_RETRY_BOUND`], sampled per read while
+//! workers publish concurrently) must be zero everywhere, and the 4-shard
+//! mixed 90/10 run must beat 1 shard by `--min-scaling`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -325,12 +327,16 @@ const GATE_READ_FRAC: f64 = 0.1;
 /// prefetch pipeline's DRAM-latency study.
 const CONC_TOTAL_BYTES: usize = 1 << 20;
 
-/// Reader acquisitions that blocked on a lock. The concurrent runtime's
-/// read path (seqlock snapshot + atomic sketch view) has no lock to block
-/// on, so this is zero *by construction*; the column exists so the
-/// validator can hold the runtime to that claim if a lock ever sneaks into
-/// the read path.
-const READER_BLOCKED: u64 = 0;
+/// Per-read retry budget for the wait-freedom gate. A wait-free read
+/// retries only when an entire publish cycle laps it mid-read, so any
+/// single read needing more than this many retry loops means the reader
+/// was made to wait on writer progress — i.e. the read path is no longer
+/// wait-free in practice (as it would be if a lock or a
+/// spin-on-odd-sequence wait sneaked in). `reader_blocked` counts such
+/// reads, *measured* per read by the bench driver (the sole reader, so
+/// the delta of the owning shard's retry counter across one `estimate`
+/// call is exact), concurrently with live worker publishes.
+const READ_RETRY_BOUND: u64 = 8;
 
 /// One sweep mode: drives a (shards, read_frac, skew) cell over the shared
 /// stream/query sets and reports a result row.
@@ -345,6 +351,10 @@ struct ConcRow {
     writes: u64,
     reads: u64,
     reader_retries: u64,
+    /// Reads that exceeded [`READ_RETRY_BOUND`] seqlock retries, summed
+    /// over every measurement pass (the gate is `== 0`, so every pass
+    /// counts even though throughput reports only the best one).
+    reader_blocked: u64,
     max_occupancy: f64,
     restarts: u64,
 }
@@ -393,11 +403,13 @@ fn run_concurrent_one(
     let mut best_per_ms = 0.0f64;
     let mut reads = 0u64;
     let mut retries = 0u64;
+    let mut blocked = 0u64;
     let mut occupancy = 0.0f64;
     let mut restarts = 0u64;
     for _ in 0..MEASURE_PASSES {
         let mut rt = ConcurrentASketch::spawn(cfg.clone(), |i| conc_kernel(i, shards));
         let handle = rt.query_handle();
+        let partition = handle.partition();
         let mut credit = 0.0f64;
         let mut pass_reads = 0u64;
         let mut qi = 0usize;
@@ -409,7 +421,13 @@ fn run_concurrent_one(
             rt.insert(k);
             credit += reads_per_write;
             while credit >= 1.0 {
-                acc = acc.wrapping_add(handle.estimate(queries[qi]));
+                let key = queries[qi];
+                let shard = partition.shard_of(key);
+                let retries_before = handle.shard(shard).reader_retries();
+                acc = acc.wrapping_add(handle.estimate(key));
+                if handle.shard(shard).reader_retries() - retries_before > READ_RETRY_BOUND {
+                    blocked += 1;
+                }
                 qi = (qi + 1) % queries.len();
                 credit -= 1.0;
                 pass_reads += 1;
@@ -444,6 +462,7 @@ fn run_concurrent_one(
         writes: stream.len() as u64,
         reads,
         reader_retries: retries,
+        reader_blocked: blocked,
         max_occupancy: occupancy,
         restarts,
     }
@@ -489,6 +508,9 @@ fn run_spmd_one(
         writes: stream.len() as u64,
         reads: reads_wanted as u64,
         reader_retries: 0,
+        // Offline reads run after ingest with exclusive access: there is
+        // no concurrent publish to race, hence zero by definition here.
+        reader_blocked: 0,
         max_occupancy: 0.0,
         restarts: report.recovered.len() as u64,
     }
@@ -519,7 +541,7 @@ fn write_concurrent_json(
             out,
             "    {{\"mode\": \"{}\", \"skew\": {}, \"shards\": {}, \"read_frac\": {}, \
              \"ops_per_ms\": {}, \"writes\": {}, \"reads\": {}, \
-             \"reader_retries\": {}, \"reader_blocked\": {READER_BLOCKED}, \
+             \"reader_retries\": {}, \"reader_blocked\": {}, \
              \"max_occupancy\": {}, \"restarts\": {}}}{comma}",
             r.mode,
             json_f64(r.skew),
@@ -529,6 +551,7 @@ fn write_concurrent_json(
             r.writes,
             r.reads,
             r.reader_retries,
+            r.reader_blocked,
             json_f64(r.max_occupancy),
             r.restarts,
         );
@@ -537,9 +560,10 @@ fn write_concurrent_json(
     std::fs::write(path, out)
 }
 
-/// Validate `BENCH_concurrent.json`: schema shape, strictly zero blocked
-/// reader acquisitions on every row, and the 4-shard mixed 90/10 run
-/// beating the 1-shard run at the smoke skew by `min_scaling`.
+/// Validate `BENCH_concurrent.json`: schema shape, strictly zero
+/// retry-bound-exceeding reads (`reader_blocked`, measured per read by the
+/// sweep — see [`READ_RETRY_BOUND`]) on every row, and the 4-shard mixed
+/// 90/10 run beating the 1-shard run at the smoke skew by `min_scaling`.
 fn validate_concurrent(path: &str, min_scaling: f64) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     for key in [

@@ -53,10 +53,25 @@
 //! beyond what the sequential ASketch would answer at quiesce. After
 //! [`ConcurrentASketch::sync`] returns, reads are exact (equal to the
 //! sequential algorithm over the routed prefix).
+//!
+//! # Single-writer enforcement across fail-over
+//!
+//! [`FilterSnapshot`] (and the shared sketch view) tolerate exactly one
+//! publisher at a time, but fail-over can *abandon* a wedged worker that
+//! is still alive: it keeps draining its buffered channel and publishing,
+//! while a replacement is spawned into the same snapshot. To keep the
+//! single-writer invariant under that race, every publish goes through a
+//! **writer-generation gate** on the snapshot: publishers hold a
+//! writer-side mutex for the duration of a publish and compare their
+//! generation against the snapshot's; fail-over bumps the generation
+//! (waiting out any in-flight publish — the critical section is a bounded
+//! memory copy, never user estimator code) before the replacement starts,
+//! so a stale writer's later publishes are dropped. Readers never touch
+//! the gate — the read path stays wait-free.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -112,6 +127,11 @@ pub struct ShardSnapshot<S: SharedView> {
     filter: FilterSnapshot,
     view: S::View,
     view_epoch: AtomicU64,
+    /// Writer-generation gate (see the module docs): the current writer's
+    /// generation, held for the duration of every publish so fail-over can
+    /// retire an abandoned-but-alive worker without racing its replacement.
+    /// Readers never touch this.
+    writer_gen: Mutex<u64>,
 }
 
 impl<S: SharedView> ShardSnapshot<S> {
@@ -139,24 +159,57 @@ impl<S: SharedView> ShardSnapshot<S> {
     pub fn reader_retries(&self) -> u64 {
         self.filter.retries()
     }
+
+    /// Claim the publish gate iff `gen` is still the current writer
+    /// generation; a stale writer (abandoned by fail-over) gets `None` and
+    /// must drop its publish. Holding the guard serializes publishers.
+    fn begin_publish(&self, gen: u64) -> Option<MutexGuard<'_, u64>> {
+        let guard = self
+            .writer_gen
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        (*guard == gen).then_some(guard)
+    }
+
+    /// Retire the current writer: wait out any in-flight publish, bump the
+    /// generation so the old writer's future publishes no-op, and return
+    /// the generation the replacement must publish under.
+    fn retire_writer(&self) -> u64 {
+        let mut guard = self
+            .writer_gen
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *guard += 1;
+        *guard
+    }
 }
 
 /// Publish the kernel's filter into the snapshot, stamped with the
-/// kernel's applied-op count.
+/// kernel's applied-op count. Dropped if `gen` is no longer the
+/// snapshot's writer generation.
 fn publish_filter<F: Filter, S: SharedView + UpdateEstimate>(
     kernel: &ASketch<F, S>,
     snap: &ShardSnapshot<S>,
     buf: &mut Vec<FilterItem>,
+    gen: u64,
 ) {
     kernel.snapshot_filter_into(buf);
+    let Some(_writer) = snap.begin_publish(gen) else {
+        return;
+    };
     snap.filter.publish(buf, kernel.ops_applied());
 }
 
-/// Publish the kernel's sketch into the snapshot's shared view.
+/// Publish the kernel's sketch into the snapshot's shared view. Dropped if
+/// `gen` is no longer the snapshot's writer generation.
 fn publish_view<F: Filter, S: SharedView + UpdateEstimate>(
     kernel: &ASketch<F, S>,
     snap: &ShardSnapshot<S>,
+    gen: u64,
 ) {
+    let Some(_writer) = snap.begin_publish(gen) else {
+        return;
+    };
     kernel.sketch().store_view(&snap.view);
     snap.view_epoch
         .store(kernel.ops_applied(), Ordering::Release);
@@ -193,6 +246,7 @@ fn run_shard_worker<F, S>(
     out: Sender<FromShard<ASketch<F, S>>>,
     snap: Arc<ShardSnapshot<S>>,
     depth: Arc<AtomicUsize>,
+    gen: u64,
     cfg: ConcurrentConfig,
 ) -> ASketch<F, S>
 where
@@ -207,8 +261,8 @@ where
     let (mut since_pub, mut since_view, mut since_ckpt) = (0u64, 0u64, 0u64);
     // Fresh (or respawned) worker: make the snapshot reflect this kernel
     // immediately so readers never regress behind a restart.
-    publish_filter(&kernel, &snap, &mut items);
-    publish_view(&kernel, &snap);
+    publish_filter(&kernel, &snap, &mut items, gen);
+    publish_view(&kernel, &snap, gen);
     while let Ok(msg) = rx.recv() {
         match msg {
             ToShard::Batch { seq, keys } => {
@@ -222,11 +276,11 @@ where
                 since_ckpt += n;
                 if since_pub >= publish_interval {
                     since_pub = 0;
-                    publish_filter(&kernel, &snap, &mut items);
+                    publish_filter(&kernel, &snap, &mut items, gen);
                 }
                 if since_view >= view_interval {
                     since_view = 0;
-                    publish_view(&kernel, &snap);
+                    publish_view(&kernel, &snap, gen);
                 }
                 if since_ckpt >= checkpoint_interval {
                     since_ckpt = 0;
@@ -237,15 +291,16 @@ where
                 }
             }
             ToShard::Sync { reply } => {
-                publish_filter(&kernel, &snap, &mut items);
-                publish_view(&kernel, &snap);
+                publish_filter(&kernel, &snap, &mut items, gen);
+                publish_view(&kernel, &snap, gen);
                 let _ = reply.send(kernel.ops_applied());
             }
         }
     }
-    // Channel disconnected: final publish so handles outlive the runtime.
-    publish_filter(&kernel, &snap, &mut items);
-    publish_view(&kernel, &snap);
+    // Channel disconnected: final publish so handles outlive the runtime
+    // (dropped if this worker was abandoned and its generation retired).
+    publish_filter(&kernel, &snap, &mut items, gen);
+    publish_view(&kernel, &snap, gen);
     kernel
 }
 
@@ -253,6 +308,7 @@ fn spawn_shard_worker<F, S>(
     kernel: ASketch<F, S>,
     snap: &Arc<ShardSnapshot<S>>,
     depth: &Arc<AtomicUsize>,
+    gen: u64,
     cfg: &ConcurrentConfig,
 ) -> ShardLink<ASketch<F, S>>
 where
@@ -265,7 +321,8 @@ where
     let snap = Arc::clone(snap);
     let depth = Arc::clone(depth);
     let cfg = cfg.clone();
-    let handle = std::thread::spawn(move || run_shard_worker(kernel, rx, out_tx, snap, depth, cfg));
+    let handle =
+        std::thread::spawn(move || run_shard_worker(kernel, rx, out_tx, snap, depth, gen, cfg));
     ShardLink {
         tx,
         rx: out_rx,
@@ -283,7 +340,12 @@ where
     link: Option<ShardLink<ASketch<F, S>>>,
     journal: Journal<ASketch<F, S>>,
     snap: Arc<ShardSnapshot<S>>,
+    /// The snapshot's current writer generation: held by the live worker
+    /// (or the inline kernel once degraded), bumped on every fail-over.
+    writer_gen: u64,
     /// Batches sent and not yet applied by the worker (queue depth gauge).
+    /// Replaced wholesale on fail-over — an abandoned worker keeps
+    /// decrementing its own (old) counter, which would otherwise wrap.
     depth: Arc<AtomicUsize>,
     spill: VecDeque<ToShard>,
     /// The kernel applied inline once the restart budget is spent.
@@ -309,15 +371,17 @@ where
             filter: FilterSnapshot::new(kernel.filter().capacity().max(items.len())),
             view: kernel.sketch().new_view(),
             view_epoch: AtomicU64::new(kernel.ops_applied()),
+            writer_gen: Mutex::new(0),
         });
         snap.filter.publish(&items, kernel.ops_applied());
         let journal = Journal::new(kernel.clone());
         let depth = Arc::new(AtomicUsize::new(0));
-        let link = spawn_shard_worker(kernel, &snap, &depth, cfg);
+        let link = spawn_shard_worker(kernel, &snap, &depth, 0, cfg);
         Self {
             link: Some(link),
             journal,
             snap,
+            writer_gen: 0,
             depth,
             spill: VecDeque::new(),
             inline: None,
@@ -359,8 +423,8 @@ where
             .as_ref()
             .expect("degraded shard has an inline kernel");
         let mut items = Vec::new();
-        publish_filter(kernel, &self.snap, &mut items);
-        publish_view(kernel, &self.snap);
+        publish_filter(kernel, &self.snap, &mut items, self.writer_gen);
+        publish_view(kernel, &self.snap, self.writer_gen);
     }
 
     /// Tear down a failed worker, reconstruct from checkpoint + journal,
@@ -390,9 +454,19 @@ where
         };
         self.last_error = Some(error);
         // Spilled-but-unsent batches are journaled; the restore replays
-        // them, so the spill queue (and the depth gauge) reset.
+        // them, so the spill queue resets.
         self.spill.clear();
-        self.depth.store(0, Ordering::Relaxed);
+        // Retire the old writer before anything republishes: an abandoned
+        // worker that is still alive keeps draining its channel and
+        // publishing, and the gate drops those stale publishes instead of
+        // letting them race the replacement (torn pairs, epoch regression).
+        // The journal restore covers everything routed, so the replacement
+        // republishes at an epoch >= anything the old worker published.
+        self.writer_gen = self.snap.retire_writer();
+        // Fresh depth gauge: the abandoned worker keeps fetch_sub-ing its
+        // own counter for every batch it drains, which would wrap a shared
+        // one to ~2^64.
+        self.depth = Arc::new(AtomicUsize::new(0));
         let restored = self.journal.restore();
         if self.restarts < u64::from(cfg.supervision.max_restarts) {
             self.restarts += 1;
@@ -403,11 +477,17 @@ where
             self.journal.reset(restored.clone());
             // The respawned worker publishes the restored state on entry,
             // so readers catch up without waiting a publish interval.
-            self.link = Some(spawn_shard_worker(restored, &self.snap, &self.depth, cfg));
+            self.link = Some(spawn_shard_worker(
+                restored,
+                &self.snap,
+                &self.depth,
+                self.writer_gen,
+                cfg,
+            ));
         } else {
             let mut items = Vec::new();
-            publish_filter(&restored, &self.snap, &mut items);
-            publish_view(&restored, &self.snap);
+            publish_filter(&restored, &self.snap, &mut items, self.writer_gen);
+            publish_view(&restored, &self.snap, self.writer_gen);
             self.inline = Some(restored);
         }
     }
@@ -791,15 +871,19 @@ where
             } else {
                 // Wedged past the deadline: abandon the thread and
                 // reconstruct (it exits when it touches the dead channel).
+                // Retire its writer generation first so its final
+                // on-disconnect publish is dropped instead of racing (or
+                // landing after) the republish below.
                 st.failures += 1;
                 st.last_error = Some(PipelineError::EstimateTimeout);
+                st.writer_gen = st.snap.retire_writer();
                 st.journal.restore()
             };
             // The clean path already published on disconnect; republish
             // here so the restore paths leave handles coherent too.
             let mut items = Vec::new();
-            publish_filter(&kernel, &st.snap, &mut items);
-            publish_view(&kernel, &st.snap);
+            publish_filter(&kernel, &st.snap, &mut items, st.writer_gen);
+            publish_view(&kernel, &st.snap, st.writer_gen);
             kernels.push(kernel);
         }
         kernels
@@ -1027,6 +1111,141 @@ mod tests {
                 rt.estimate(key),
                 reference[p.shard_of(key)].estimate(key),
                 "post-restart divergence for key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_writer_generation_publish_is_dropped() {
+        let mut k = kernel(1);
+        for _ in 0..10 {
+            k.insert(42);
+        }
+        let snap = ShardSnapshot::<CountMin> {
+            filter: FilterSnapshot::new(16),
+            view: k.sketch().new_view(),
+            view_epoch: AtomicU64::new(0),
+            writer_gen: Mutex::new(0),
+        };
+        let mut buf = Vec::new();
+        publish_filter(&k, &snap, &mut buf, 0);
+        publish_view(&k, &snap, 0);
+        assert_eq!(snap.query(42), 10);
+        assert_eq!(snap.filter_epoch(), 10);
+        assert_eq!(snap.view_epoch(), 10);
+
+        // Fail-over retires generation 0; the old writer keeps running.
+        assert_eq!(snap.retire_writer(), 1);
+        for _ in 0..10 {
+            k.insert(42);
+        }
+        publish_filter(&k, &snap, &mut buf, 0);
+        publish_view(&k, &snap, 0);
+        assert_eq!(snap.query(42), 10, "stale publish must be dropped");
+        assert_eq!(snap.filter_epoch(), 10);
+        assert_eq!(snap.view_epoch(), 10);
+        assert!(snap.begin_publish(0).is_none());
+
+        // The replacement writer publishes under the new generation.
+        publish_filter(&k, &snap, &mut buf, 1);
+        publish_view(&k, &snap, 1);
+        assert_eq!(snap.query(42), 20);
+        assert_eq!(snap.filter_epoch(), 20);
+        assert_eq!(snap.view_epoch(), 20);
+    }
+
+    /// The review scenario for timeout fail-over: the first worker wedges
+    /// (injected sleep inside the sketch) long enough for the send path to
+    /// time out and abandon it *alive*. The abandoned thread then drains
+    /// its buffered channel and publishes at intervals and on disconnect —
+    /// racing the respawned worker on the same snapshot unless the
+    /// generation gate drops its publishes. A concurrent reader asserts
+    /// the published epochs never regress, the depth gauge must not wrap,
+    /// and post-sync answers must still be exactly sequential.
+    #[test]
+    fn abandoned_wedged_worker_cannot_corrupt_snapshots() {
+        let cfg = ConcurrentConfig {
+            shards: 1,
+            batch: 8,
+            publish_interval: 16,
+            view_interval: 64,
+            supervision: SupervisionConfig {
+                queue_capacity: 2,
+                backpressure: BackpressurePolicy::Block,
+                checkpoint_interval: 64,
+                send_timeout: Duration::from_millis(10),
+                max_restarts: 3,
+                restart_backoff: Duration::from_millis(1),
+                ..SupervisionConfig::default()
+            },
+        };
+        // Wedge for 100ms on the 200th sketch op; the restored clone is
+        // disarmed (FaultPlan disarms on clone), so exactly one worker
+        // ever wedges.
+        let make = |_: usize| {
+            ASketch::new(
+                VectorFilter::new(8),
+                FaultyEstimator::new(
+                    CountMin::new(7, 4, 1 << 12).unwrap(),
+                    FaultPlan::slow_updates(200, Duration::from_millis(100)),
+                ),
+            )
+        };
+        let data = stream(30_000);
+        let mut rt = ConcurrentASketch::spawn(cfg, make);
+        let handle = rt.query_handle();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let (mut last_filter, mut last_view) = (0u64, 0u64);
+                let mut observations = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let fe = handle.shard(0).filter_epoch();
+                    let ve = handle.shard(0).view_epoch();
+                    assert!(
+                        fe >= last_filter,
+                        "filter epoch regressed: {fe} < {last_filter}"
+                    );
+                    assert!(ve >= last_view, "view epoch regressed: {ve} < {last_view}");
+                    last_filter = fe;
+                    last_view = ve;
+                    observations += 1;
+                    std::thread::yield_now();
+                }
+                observations
+            })
+        };
+        rt.insert_batch(&data);
+        rt.sync();
+        let health = rt.health();
+        assert!(
+            health.total_restarts() >= 1,
+            "the wedge must force at least one timeout fail-over: {health:?}"
+        );
+        assert!(!health.any_degraded());
+        // Depth gauge must be fresh, not wrapped by the abandoned worker.
+        for g in &health.shards {
+            assert_eq!(g.queue_depth, 0, "gauge corrupted: {g:?}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(reader.join().unwrap() > 0);
+        // Per-key answers still exactly sequential after the abandonment.
+        let reference = {
+            let mut k = ASketch::new(VectorFilter::new(8), CountMin::new(7, 4, 1 << 12).unwrap());
+            for &key in &data {
+                k.insert(key);
+            }
+            k
+        };
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(
+                rt.estimate(key),
+                reference.estimate(key),
+                "post-abandonment divergence for key {key}"
             );
         }
     }

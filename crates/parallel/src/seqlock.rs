@@ -10,7 +10,10 @@
 //!
 //! # Protocol
 //!
-//! Writer (single publisher per snapshot — the shard worker):
+//! Writer (single publisher per snapshot — the shard worker; the
+//! concurrent runtime enforces this across timeout fail-overs, which can
+//! abandon a live worker, with a writer-generation gate on
+//! `concurrent::ShardSnapshot`):
 //!
 //! 1. pick the *inactive* buffer;
 //! 2. `seq.store(s + 1)` (odd: publish in progress) then a release fence;

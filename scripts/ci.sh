@@ -25,7 +25,8 @@ cargo run -q -p asketch-bench --release --bin throughput -- \
     --validate BENCH_throughput.json --min-speedup 1.5
 
 echo "==> concurrent runtime smoke (wait-free read + shard-scaling gate)"
-# The wait-free gate (reader_blocked == 0 on every row) is unconditional.
+# The wait-free gate (measured reader_blocked == 0 on every row) is
+# unconditional.
 # The 4-shard vs 1-shard scaling gate needs real cores to mean anything:
 # on fewer than 4 CPUs the shard workers time-slice one core and the full
 # 2.0x bar is physically unreachable, so we hold the line at 1.2x there
