@@ -22,6 +22,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod layout;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -159,6 +160,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "Ablation: conservative update vs the filter (not a paper artifact)",
             cu::run,
         ),
+        (
+            "layout",
+            "Ablation: row-major vs cache-line-blocked sketch layout (not a paper artifact)",
+            layout::run,
+        ),
     ]
 }
 
@@ -198,7 +204,7 @@ mod tests {
         assert!(find("table1").is_some());
         assert!(find("fig17").is_some());
         assert!(find("nonsense").is_none());
-        assert_eq!(n, 24, "every paper table and figure plus the two ablations");
+        assert_eq!(n, 25, "every paper table and figure plus the three ablations");
     }
 
     #[test]

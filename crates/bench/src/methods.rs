@@ -4,7 +4,7 @@
 
 use asketch::filter::{FilterKind, RelaxedHeapFilter};
 use asketch::{ASketch, AsketchBuilder};
-use sketches::{CountMin, Fcm, FrequencyEstimator, HolisticUdaf, SketchError};
+use sketches::{BlockedCountMin, CountMin, Fcm, FrequencyEstimator, HolisticUdaf, SketchError};
 
 /// Which method to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +19,14 @@ pub enum MethodKind {
     ASketch,
     /// ASketch over the MG-less FCM (this paper, §7.2.1).
     ASketchFcm,
+    /// Cache-line-blocked Count-Min (DESIGN.md §11): one 64-byte bucket
+    /// holds all of a key's counters. Not a paper method — a memory-layout
+    /// ablation, so it joins [`MethodKind::BACKENDS`] but never the
+    /// paper-figure arrays.
+    BlockedCm,
+    /// ASketch over the blocked Count-Min back-end (same ablation, behind
+    /// the filter).
+    ASketchBlocked,
 }
 
 impl MethodKind {
@@ -39,6 +47,11 @@ impl MethodKind {
         MethodKind::ASketchFcm,
     ];
 
+    /// The two sketch memory layouts compared by the layout sweep
+    /// (`BENCH_layout.json`): row-major Count-Min vs the cache-line-blocked
+    /// variant, at equal byte budgets.
+    pub const BACKENDS: [MethodKind; 2] = [MethodKind::CountMin, MethodKind::BlockedCm];
+
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
         match self {
@@ -47,6 +60,8 @@ impl MethodKind {
             MethodKind::HolisticUdaf => "Holistic UDAFs",
             MethodKind::ASketch => "ASketch",
             MethodKind::ASketchFcm => "ASketch-FCM",
+            MethodKind::BlockedCm => "Blocked-CM",
+            MethodKind::ASketchBlocked => "ASketch-Blocked",
         }
     }
 
@@ -95,6 +110,19 @@ impl MethodKind {
                 RelaxedHeapFilter::new(filter_items),
                 Fcm::with_byte_budget(seed, DEPTH, builder.sketch_budget()?, None)?,
             )),
+            MethodKind::BlockedCm => Method::BlockedCm(BlockedCountMin::with_byte_budget(
+                seed,
+                builder.blocked_depth(),
+                budget_bytes,
+            )?),
+            MethodKind::ASketchBlocked => Method::ASketchBlocked(ASketch::new(
+                RelaxedHeapFilter::new(filter_items),
+                BlockedCountMin::with_byte_budget(
+                    seed,
+                    builder.blocked_depth(),
+                    builder.sketch_budget()?,
+                )?,
+            )),
         })
     }
 }
@@ -112,6 +140,10 @@ pub enum Method {
     ASketch(ASketch<RelaxedHeapFilter, CountMin>),
     /// ASketch over MG-less FCM (same concrete filter).
     ASketchFcm(ASketch<RelaxedHeapFilter, Fcm>),
+    /// Plain cache-line-blocked Count-Min.
+    BlockedCm(BlockedCountMin),
+    /// ASketch over the blocked back-end (same concrete filter).
+    ASketchBlocked(ASketch<RelaxedHeapFilter, BlockedCountMin>),
 }
 
 impl Method {
@@ -124,6 +156,8 @@ impl Method {
             Method::HolisticUdaf(m) => m.update(key, delta),
             Method::ASketch(m) => m.update(key, delta),
             Method::ASketchFcm(m) => m.update(key, delta),
+            Method::BlockedCm(m) => m.update(key, delta),
+            Method::ASketchBlocked(m) => m.update(key, delta),
         }
     }
 
@@ -136,6 +170,8 @@ impl Method {
             Method::HolisticUdaf(m) => m.estimate(key),
             Method::ASketch(m) => m.estimate(key),
             Method::ASketchFcm(m) => m.estimate(key),
+            Method::BlockedCm(m) => m.estimate(key),
+            Method::ASketchBlocked(m) => m.estimate(key),
         }
     }
 
@@ -147,6 +183,8 @@ impl Method {
             Method::HolisticUdaf(m) => m.size_bytes(),
             Method::ASketch(m) => m.size_bytes(),
             Method::ASketchFcm(m) => m.size_bytes(),
+            Method::BlockedCm(m) => m.size_bytes(),
+            Method::ASketchBlocked(m) => m.size_bytes(),
         }
     }
 
@@ -155,6 +193,7 @@ impl Method {
         match self {
             Method::ASketch(m) => Some(m.stats()),
             Method::ASketchFcm(m) => Some(m.stats()),
+            Method::ASketchBlocked(m) => Some(m.stats()),
             _ => None,
         }
     }
@@ -178,6 +217,8 @@ impl Method {
                 Method::HolisticUdaf(m) => m.insert_batch(part),
                 Method::ASketch(m) => m.insert_batch(part),
                 Method::ASketchFcm(m) => m.insert_batch(part),
+                Method::BlockedCm(m) => m.insert_batch(part),
+                Method::ASketchBlocked(m) => m.insert_batch(part),
             }
         }
     }
@@ -225,6 +266,8 @@ mod tests {
             MethodKind::CountMin,
             MethodKind::HolisticUdaf,
             MethodKind::ASketch,
+            MethodKind::BlockedCm,
+            MethodKind::ASketchBlocked,
         ] {
             let mut m = kind.build(64 * 1024, 7, 32).unwrap();
             m.ingest(&keys);
@@ -232,6 +275,31 @@ mod tests {
                 assert!(m.estimate(k) >= t, "{} under-counts {k}", kind.name());
             }
         }
+    }
+
+    #[test]
+    fn backends_build_within_budget_and_off_the_figure_arrays() {
+        let budget = 64 * 1024;
+        for kind in MethodKind::BACKENDS {
+            let m = kind.build(budget, 1, 32).unwrap();
+            assert!(m.size_bytes() <= budget, "{} over budget", kind.name());
+            // Blocked rounds to whole 64-byte lines: waste < one line.
+            assert!(
+                m.size_bytes() + 64 > budget,
+                "{} wastes budget",
+                kind.name()
+            );
+        }
+        // Layout-ablation methods never join the paper-figure arrays.
+        for kind in MethodKind::ALL.iter().chain(MethodKind::HEADLINE.iter()) {
+            assert!(
+                !matches!(kind, MethodKind::BlockedCm | MethodKind::ASketchBlocked),
+                "ablation backend leaked into a paper-figure array"
+            );
+        }
+        let m = MethodKind::ASketchBlocked.build(budget, 1, 32).unwrap();
+        assert!(m.size_bytes() <= budget);
+        assert!(m.asketch_stats().is_some());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use sketches::count_min::CELL_BYTES;
-use sketches::{CountMin, Fcm, SketchError};
+use sketches::{BlockedCountMin, CountMin, Fcm, SketchError};
 
 use crate::asketch::ASketch;
 use crate::filter::{Filter, FilterKind};
@@ -69,6 +69,40 @@ impl AsketchBuilder {
     ) -> Result<ASketch<Box<dyn Filter + Send>, CountMin>, SketchError> {
         let filter = self.filter_kind.build(self.filter_items.max(1));
         let sketch = CountMin::with_byte_budget(self.seed, self.depth, self.sketch_budget()?)?;
+        Ok(ASketch::new(filter, sketch))
+    }
+
+    /// The probe depth the blocked back-end will receive: the builder's
+    /// `depth` clamped to half a cache line's cells (4 for `i64` lines).
+    ///
+    /// A blocked bucket holds all of a key's counters in one line, so probes
+    /// collide *within* the line; at `depth == SLOTS` every key would read
+    /// the whole line and the min would degenerate towards the bucket
+    /// total. Half the line keeps per-probe collision probability at 1/2
+    /// within a bucket while preserving `d` independent-ish probes.
+    pub fn blocked_depth(&self) -> usize {
+        self.depth.clamp(1, BlockedCountMin::SLOTS / 2)
+    }
+
+    /// Build ASketch over the cache-line-blocked Count-Min back-end: one
+    /// 64-byte bucket per key holding all its counters, one cache line
+    /// touched per update/estimate instead of `depth`.
+    ///
+    /// Note the paper's `w = 8` is clamped by [`Self::blocked_depth`]; the
+    /// error-probability exponent drops accordingly (see DESIGN.md §11),
+    /// traded for the memory-locality win.
+    ///
+    /// # Errors
+    /// Propagates budget and dimension errors.
+    pub fn build_blocked(
+        &self,
+    ) -> Result<ASketch<Box<dyn Filter + Send>, BlockedCountMin>, SketchError> {
+        let filter = self.filter_kind.build(self.filter_items.max(1));
+        let sketch = BlockedCountMin::with_byte_budget(
+            self.seed,
+            self.blocked_depth(),
+            self.sketch_budget()?,
+        )?;
         Ok(ASketch::new(filter, sketch))
     }
 
@@ -203,6 +237,44 @@ mod tests {
                 "flattened sketch under-counts {key}"
             );
         }
+    }
+
+    #[test]
+    fn blocked_backend_builds_and_stays_one_sided() {
+        let b = AsketchBuilder {
+            total_bytes: 16 * 1024,
+            ..Default::default()
+        };
+        let mut ask = b.build_blocked().unwrap();
+        assert!(ask.size_bytes() <= b.total_bytes);
+        assert_eq!(ask.sketch().depth(), b.blocked_depth());
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 5u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(9);
+            let key = x % 400;
+            ask.insert(key);
+            *truth.entry(key).or_insert(0i64) += 1;
+        }
+        for (&key, &t) in &truth {
+            assert!(ask.estimate(key) >= t, "blocked ASketch under-counts {key}");
+        }
+    }
+
+    #[test]
+    fn blocked_depth_is_clamped_to_half_a_line() {
+        // Paper default w = 8 exceeds half an i64 line (4 of 8 cells).
+        assert_eq!(AsketchBuilder::default().blocked_depth(), 4);
+        let shallow = AsketchBuilder {
+            depth: 2,
+            ..Default::default()
+        };
+        assert_eq!(shallow.blocked_depth(), 2);
+        let zero = AsketchBuilder {
+            depth: 0,
+            ..Default::default()
+        };
+        assert_eq!(zero.blocked_depth(), 1);
     }
 
     #[test]

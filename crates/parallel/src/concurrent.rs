@@ -1011,6 +1011,56 @@ mod tests {
     }
 
     #[test]
+    fn blocked_backend_slots_into_the_runtime() {
+        // The cache-line-blocked backend implements the same SharedView /
+        // UpdateEstimate surface as CountMin, so it must drop into the
+        // sharded runtime unchanged — and answer exactly like the
+        // sequential blocked kernel over each shard's sub-stream once
+        // sync() has drained and published.
+        use sketches::BlockedCountMin;
+        let blocked = |seed: u64| {
+            ASketch::new(
+                VectorFilter::new(16),
+                BlockedCountMin::new(seed, 4, 1 << 9).unwrap(),
+            )
+        };
+        let cfg = ConcurrentConfig {
+            shards: 3,
+            batch: 64,
+            publish_interval: 256,
+            view_interval: 1024,
+            ..ConcurrentConfig::default()
+        };
+        let data = stream(30_000);
+        let mut rt = ConcurrentASketch::spawn(cfg, |i| blocked(20 + i as u64));
+        rt.insert_batch(&data);
+        rt.sync();
+        let p = rt.partition();
+        let mut reference: Vec<_> = (0..p.shards()).map(|i| blocked(20 + i as u64)).collect();
+        for &key in &data {
+            reference[p.shard_of(key)].insert(key);
+        }
+        let handle = rt.query_handle();
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            let expect = reference[p.shard_of(key)].estimate(key);
+            assert_eq!(handle.estimate(key), expect, "key {key} diverges post-sync");
+            assert_eq!(rt.estimate(key), expect, "owner query diverges for {key}");
+        }
+        let kernels = rt.finish();
+        for &key in &keys {
+            let shard = p.shard_of(key);
+            assert_eq!(
+                kernels[shard].estimate(key),
+                reference[shard].estimate(key),
+                "finished blocked kernel diverges for {key}"
+            );
+        }
+    }
+
+    #[test]
     fn concurrent_reads_never_block_and_stay_one_sided() {
         let cfg = ConcurrentConfig {
             shards: 2,

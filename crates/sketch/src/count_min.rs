@@ -17,9 +17,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::blocked::LINE_BYTES;
 use crate::cell::Cell;
 use crate::hash::HashBank;
-use crate::lookup::prefetch_read;
+use crate::lookup::{prefetch_read, ScanKernel};
 use crate::traits::{FrequencyEstimator, Mergeable, TopK, Tuple, UpdateEstimate};
 use crate::view::{AtomicCells, SharedView};
 use crate::SketchError;
@@ -78,7 +79,12 @@ impl<C: Cell> CountMinG<C> {
     /// `h` with `depth · h · cell_bytes <= budget_bytes`.
     ///
     /// # Errors
-    /// Returns [`SketchError::BudgetTooSmall`] if even `h = 1` does not fit.
+    /// Returns [`SketchError::BudgetTooSmall`] unless every row gets at
+    /// least one full cache line ([`LINE_BYTES`]) of cells. Narrower rows
+    /// are never what a byte-budget caller wants — the error bound `(e/h)·N`
+    /// is already catastrophic at `h < 8`, and silently sizing `h` to 1 or 2
+    /// turns a mis-typed budget into a sketch that answers `N` for
+    /// everything. Use [`CountMinG::new`] to request tiny widths explicitly.
     pub fn with_byte_budget(
         seed: u64,
         depth: usize,
@@ -90,9 +96,9 @@ impl<C: Cell> CountMinG<C> {
             });
         }
         let width = budget_bytes / (depth * C::BYTES);
-        if width == 0 {
+        if width < LINE_BYTES / C::BYTES {
             return Err(SketchError::BudgetTooSmall {
-                needed: depth * C::BYTES,
+                needed: depth * LINE_BYTES,
                 available: budget_bytes,
             });
         }
@@ -215,7 +221,8 @@ impl<C: Cell> FrequencyEstimator for CountMinG<C> {
     }
 
     /// Batched point queries with the same hash-hoisting + prefetch ring as
-    /// [`CountMinG::update_batch`].
+    /// [`CountMinG::update_batch`]; the per-key row-min runs through the
+    /// vectorized [`ScanKernel::find_min`] over a gathered value buffer.
     fn estimate_batch(&self, keys: &[u64]) -> Vec<i64> {
         let funcs = self.hashes.funcs();
         let depth = funcs.len();
@@ -223,6 +230,7 @@ impl<C: Cell> FrequencyEstimator for CountMinG<C> {
         if look == 0 {
             return Vec::new();
         }
+        let kernel = ScanKernel::get();
         let mut ring = vec![0usize; look * depth];
         for (j, &key) in keys.iter().take(look).enumerate() {
             for (row, func) in funcs.iter().enumerate() {
@@ -231,16 +239,14 @@ impl<C: Cell> FrequencyEstimator for CountMinG<C> {
                 prefetch_read(&self.table[idx]);
             }
         }
+        let mut vals = vec![0i64; depth];
         let mut out = Vec::with_capacity(keys.len());
         for i in 0..keys.len() {
             let slot = (i % look) * depth;
-            let mut est = i64::MAX;
-            for &idx in &ring[slot..slot + depth] {
-                let v = self.table[idx].to_i64();
-                if v < est {
-                    est = v;
-                }
+            for (v, &idx) in vals.iter_mut().zip(&ring[slot..slot + depth]) {
+                *v = self.table[idx].to_i64();
             }
+            let est = kernel.find_min(&vals).map_or(i64::MAX, |m| vals[m]);
             out.push(est);
             if let Some(&next_key) = keys.get(i + look) {
                 for (row, func) in funcs.iter().enumerate() {
@@ -384,6 +390,36 @@ mod tests {
     fn tiny_budget_rejected() {
         let err = CountMin::with_byte_budget(1, 8, 8).unwrap_err();
         assert!(matches!(err, SketchError::BudgetTooSmall { .. }));
+    }
+
+    #[test]
+    fn sub_cache_line_rows_rejected_at_boundary() {
+        // A byte-budget row must span at least one cache line of cells.
+        // i64, depth 2: the floor is 2 rows × 64 B = 128 B.
+        let err = CountMin::with_byte_budget(1, 2, 127).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SketchError::BudgetTooSmall {
+                    needed: 128,
+                    available: 127
+                }
+            ),
+            "got {err:?}"
+        );
+        let ok = CountMin::with_byte_budget(1, 2, 128).unwrap();
+        assert_eq!(ok.width(), 8, "exactly one line of i64 cells per row");
+        // i32 packs 16 cells per line, so the same 128 B floor holds at
+        // depth 2 but yields twice the width.
+        let err = CountMin32::with_byte_budget(1, 2, 127).unwrap_err();
+        assert!(matches!(
+            err,
+            SketchError::BudgetTooSmall { needed: 128, .. }
+        ));
+        assert_eq!(CountMin32::with_byte_budget(1, 2, 128).unwrap().width(), 16);
+        // Degenerate widths (1–7 cells) that the old rounding accepted must
+        // now error loudly instead of answering ~N for every key.
+        assert!(CountMin::with_byte_budget(1, 8, 8 * 8 * 7).is_err());
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //! implemented from scratch:
 //!
 //! * [`CountMin`] — Count-Min sketch \[11\], the default ASketch back-end.
+//! * [`BlockedCountMin`] — cache-line-blocked Count-Min: all `d` counters
+//!   for a key packed in one 64-byte bucket line, one cache miss per
+//!   update/estimate instead of `d`.
 //! * [`CountSketch`] — Count Sketch \[7\], an alternative back-end.
 //! * [`Fcm`] — Frequency-Aware Counting \[34\], with and without its
 //!   Misra–Gries detector.
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 
+pub mod blocked;
 pub mod cell;
 pub mod count_min;
 pub mod count_min_cu;
@@ -47,6 +51,7 @@ pub mod space_saving;
 pub mod traits;
 pub mod view;
 
+pub use blocked::{BlockedCell, BlockedCountMin, BlockedCountMin32, BlockedCountMinG, LINE_BYTES};
 pub use cell::Cell;
 pub use count_min::{CountMin, CountMin32, CountMinG};
 pub use count_min_cu::{CountMinCu, CountMinCu32, CountMinCuG};
@@ -58,4 +63,4 @@ pub use holistic_udaf::{HolisticUdaf, HolisticUdaf32, HolisticUdafG};
 pub use misra_gries::MisraGries;
 pub use space_saving::{SpaceSaving, UnmonitoredEstimate};
 pub use traits::{FrequencyEstimator, Mergeable, Supervisable, TopK, Tuple, UpdateEstimate};
-pub use view::{AtomicCells, SharedView};
+pub use view::{AtomicCells, BlockedView, SharedView};

@@ -41,12 +41,15 @@ pub enum ScanKernel {
     /// 128-bit compares, two keys per register.
     #[cfg(target_arch = "x86_64")]
     Sse41,
+    /// 128-bit NEON compares, two keys per register (baseline on aarch64).
+    #[cfg(target_arch = "aarch64")]
+    Neon,
     /// Chunked scalar scan; autovectorizes and matches SIMD semantics.
     Scalar,
 }
 
 /// Cached dispatch decision: 0 = undetected, 1 = scalar, 2 = sse4.1,
-/// 3 = avx2. Monotone writes, so racing detections agree.
+/// 3 = avx2, 4 = neon. Monotone writes, so racing detections agree.
 static SCAN_KERNEL: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
 
 impl ScanKernel {
@@ -56,12 +59,12 @@ impl ScanKernel {
         use std::sync::atomic::Ordering;
         match SCAN_KERNEL.load(Ordering::Relaxed) {
             0 => Self::detect(),
-            1 => ScanKernel::Scalar,
             #[cfg(target_arch = "x86_64")]
             2 => ScanKernel::Sse41,
             #[cfg(target_arch = "x86_64")]
-            _ => ScanKernel::Avx2,
-            #[cfg(not(target_arch = "x86_64"))]
+            3 => ScanKernel::Avx2,
+            #[cfg(target_arch = "aarch64")]
+            4 => ScanKernel::Neon,
             _ => ScanKernel::Scalar,
         }
     }
@@ -80,6 +83,13 @@ impl ScanKernel {
                 return ScanKernel::Sse41;
             }
         }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                SCAN_KERNEL.store(4, Ordering::Relaxed);
+                return ScanKernel::Neon;
+            }
+        }
         SCAN_KERNEL.store(1, Ordering::Relaxed);
         ScanKernel::Scalar
     }
@@ -95,7 +105,27 @@ impl ScanKernel {
             #[cfg(target_arch = "x86_64")]
             // SAFETY: as above, for SSE4.1.
             ScanKernel::Sse41 => unsafe { find_key_sse41(ids, key) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: as above, for NEON.
+            ScanKernel::Neon => unsafe { find_key_neon(ids, key) },
             ScanKernel::Scalar => find_key_scalar(ids, key),
+        }
+    }
+
+    /// Find the first index of the minimum of `counts` using this kernel.
+    ///
+    /// Only the AVX2 path is vectorized: the min-reduction needs packed
+    /// 64-bit compares, and `pcmpgtq` arrived in SSE4.2 — one step past the
+    /// SSE4.1 feature level this dispatch distinguishes — so the SSE4.1 and
+    /// NEON variants share the scalar path (NEON's two-lane `cmgt` loses to
+    /// scalar on the short slices this is used for).
+    #[inline]
+    pub fn find_min(self, counts: &[i64]) -> Option<usize> {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: Avx2 is only constructed after runtime detection.
+            ScanKernel::Avx2 => unsafe { find_min_avx2(counts) },
+            _ => find_min_scalar(counts),
         }
     }
 }
@@ -207,13 +237,60 @@ unsafe fn find_key_avx2(ids: &[u64], key: u64) -> Option<usize> {
     find_key_scalar(chunks.remainder(), key).map(|i| base + i)
 }
 
+/// NEON path: two 64-bit lanes per `uint64x2_t`, four registers per
+/// iteration (8 keys), mirroring the x86 kernels.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn find_key_neon(ids: &[u64], key: u64) -> Option<usize> {
+    use std::arch::aarch64::*;
+    let mut base = 0usize;
+    let mut chunks = ids.chunks_exact(8);
+    for chunk in &mut chunks {
+        // SAFETY: `chunk` is exactly 8 contiguous u64s (64 bytes), so the
+        // four 16-byte loads stay in bounds; NEON availability is guaranteed
+        // by the caller's feature check.
+        let m = unsafe {
+            let needle = vdupq_n_u64(key);
+            let p = chunk.as_ptr();
+            let c0 = vceqq_u64(needle, vld1q_u64(p));
+            let c1 = vceqq_u64(needle, vld1q_u64(p.add(2)));
+            let c2 = vceqq_u64(needle, vld1q_u64(p.add(4)));
+            let c3 = vceqq_u64(needle, vld1q_u64(p.add(6)));
+            // Each matching lane is all-ones; fold one bit per lane into an
+            // 8-bit hit mask ordered by position.
+            (vgetq_lane_u64(c0, 0) & 1)
+                | ((vgetq_lane_u64(c0, 1) & 1) << 1)
+                | ((vgetq_lane_u64(c1, 0) & 1) << 2)
+                | ((vgetq_lane_u64(c1, 1) & 1) << 3)
+                | ((vgetq_lane_u64(c2, 0) & 1) << 4)
+                | ((vgetq_lane_u64(c2, 1) & 1) << 5)
+                | ((vgetq_lane_u64(c3, 0) & 1) << 6)
+                | ((vgetq_lane_u64(c3, 1) & 1) << 7)
+        };
+        if m != 0 {
+            return Some(base + m.trailing_zeros() as usize);
+        }
+        base += 8;
+    }
+    find_key_scalar(chunks.remainder(), key).map(|i| base + i)
+}
+
 /// Find the index of the minimum value in `counts`, scanning linearly.
 ///
-/// Used by the Vector filter (which has no heap) and by the Misra–Gries
-/// counter. Returns `None` on an empty slice. Ties resolve to the first
-/// occurrence.
+/// Used by the Vector filter (which has no heap), the Misra–Gries counter,
+/// and the batched Count-Min row-min. Returns `None` on an empty slice.
+/// Ties resolve to the first occurrence.
+///
+/// Dispatches through the process-wide cached [`ScanKernel`]; batch callers
+/// should hoist `ScanKernel::get()` and call [`ScanKernel::find_min`].
 #[inline]
 pub fn find_min(counts: &[i64]) -> Option<usize> {
+    ScanKernel::get().find_min(counts)
+}
+
+/// Portable min-index scan; the semantic reference for the SIMD path.
+#[inline]
+pub fn find_min_scalar(counts: &[i64]) -> Option<usize> {
     if counts.is_empty() {
         return None;
     }
@@ -226,6 +303,39 @@ pub fn find_min(counts: &[i64]) -> Option<usize> {
         }
     }
     Some(best)
+}
+
+/// AVX2 min-index: a branch-free vectorized min-reduction over 4-lane
+/// chunks, then a scalar scan for the first index holding that value —
+/// preserving the first-occurrence tie rule exactly. AVX2 has no packed
+/// 64-bit min, so the lane min is composed from `cmpgt` + `blendv`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn find_min_avx2(counts: &[i64]) -> Option<usize> {
+    use std::arch::x86_64::*;
+    if counts.is_empty() {
+        return None;
+    }
+    let mut chunks = counts.chunks_exact(4);
+    // SAFETY: each chunk is exactly 4 contiguous i64s, so every unaligned
+    // 32-byte load stays in bounds; AVX2 is guaranteed by the caller.
+    let mut best = unsafe {
+        let mut minv = _mm256_set1_epi64x(i64::MAX);
+        for chunk in &mut chunks {
+            let a = _mm256_loadu_si256(chunk.as_ptr() as *const __m256i);
+            minv = _mm256_blendv_epi8(minv, a, _mm256_cmpgt_epi64(minv, a));
+        }
+        let mut buf = [i64::MAX; 4];
+        _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, minv);
+        buf.iter().copied().min().unwrap_or(i64::MAX)
+    };
+    for &v in chunks.remainder() {
+        if v < best {
+            best = v;
+        }
+    }
+    // First index of the global min; `best` is exact, so this always hits.
+    counts.iter().position(|&v| v == best)
 }
 
 #[cfg(test)]
@@ -241,6 +351,12 @@ mod tests {
             }
             if std::arch::is_x86_feature_detected!("avx2") {
                 out.push(unsafe { find_key_avx2(ids, key) });
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                out.push(unsafe { find_key_neon(ids, key) });
             }
         }
         out
@@ -297,6 +413,14 @@ mod tests {
         let a = ScanKernel::get();
         let b = ScanKernel::get();
         assert_eq!(a, b, "detection must be stable across calls");
+        #[cfg(target_arch = "aarch64")]
+        {
+            // NEON is architecturally mandatory on aarch64; detection must
+            // pick the vector kernel, never silently fall back to scalar.
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                assert_eq!(a, ScanKernel::Neon, "aarch64 must dispatch to NEON");
+            }
+        }
         let ids: Vec<u64> = (0..37).map(|i| i * 3 + 1).collect();
         for (pos, &key) in ids.iter().enumerate() {
             assert_eq!(a.find_key(&ids, key), Some(pos));
@@ -313,11 +437,68 @@ mod tests {
         assert_eq!(data, [1, 2, 3]);
     }
 
+    fn all_min_impls(counts: &[i64]) -> Vec<Option<usize>> {
+        let mut out = vec![
+            find_min_scalar(counts),
+            find_min(counts),
+            ScanKernel::Scalar.find_min(counts),
+            ScanKernel::get().find_min(counts),
+        ];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                out.push(unsafe { find_min_avx2(counts) });
+            }
+        }
+        out
+    }
+
     #[test]
     fn find_min_basics() {
-        assert_eq!(find_min(&[]), None);
-        assert_eq!(find_min(&[5]), Some(0));
-        assert_eq!(find_min(&[5, 3, 7, 3]), Some(1), "ties resolve first");
-        assert_eq!(find_min(&[i64::MAX, i64::MIN, 0]), Some(1));
+        for r in all_min_impls(&[]) {
+            assert_eq!(r, None);
+        }
+        for r in all_min_impls(&[5]) {
+            assert_eq!(r, Some(0));
+        }
+        for r in all_min_impls(&[5, 3, 7, 3]) {
+            assert_eq!(r, Some(1), "ties resolve first");
+        }
+        for r in all_min_impls(&[i64::MAX, i64::MIN, 0]) {
+            assert_eq!(r, Some(1));
+        }
+        for r in all_min_impls(&[i64::MAX; 9]) {
+            assert_eq!(r, Some(0), "all-MAX slice still yields first index");
+        }
+    }
+
+    #[test]
+    fn find_min_matches_scalar_at_every_length() {
+        // Every length 0..64 (spanning the 4-lane chunk boundaries), with a
+        // planted minimum at every position and a small value range so ties
+        // occur constantly — every impl must agree with the scalar reference.
+        let mut x: u64 = 0x5EED;
+        for len in 0..64usize {
+            let mut counts: Vec<i64> = (0..len)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (x % 7) as i64 - 3
+                })
+                .collect();
+            let want = find_min_scalar(&counts);
+            for r in all_min_impls(&counts) {
+                assert_eq!(r, want, "len={len}");
+            }
+            for pos in 0..len {
+                let saved = counts[pos];
+                counts[pos] = -100; // unique global min at `pos`
+                for r in all_min_impls(&counts) {
+                    assert_eq!(r, Some(pos), "len={len} planted at {pos}");
+                }
+                counts[pos] = saved;
+            }
+        }
     }
 }

@@ -25,6 +25,7 @@
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
+use crate::hash::PairwiseHash;
 use crate::traits::FrequencyEstimator;
 
 /// A flat array of atomically readable counter cells, the storage half of
@@ -75,6 +76,26 @@ impl AtomicCells {
             cell.store(v, Ordering::Relaxed);
         }
     }
+}
+
+/// Published replica of a [`crate::blocked::BlockedCountMinG`]: the two
+/// hash functions (immutable) plus an atomic, `i64`-widened copy of every
+/// bucket's cells. The same torn-read argument as the module docs applies —
+/// blocked cells are monotone on insert-only streams, and the min over a
+/// key's in-line slots is sandwiched between the previous publish and the
+/// live value.
+#[derive(Debug)]
+pub struct BlockedView {
+    /// Maps a key to its bucket (one cache line).
+    pub(crate) bucket_hash: PairwiseHash,
+    /// Seeds the in-line slot derivation for a key.
+    pub(crate) slot_hash: PairwiseHash,
+    /// In-line probes per key (`d`).
+    pub(crate) depth: usize,
+    /// Cells per bucket line.
+    pub(crate) slots: usize,
+    /// `buckets × slots` cells, widened to `i64`.
+    pub(crate) cells: AtomicCells,
 }
 
 /// A sketch that can publish a lock-free shared replica of itself for

@@ -44,6 +44,27 @@ cargo run -q -p asketch-bench --release --bin throughput -- \
 cargo run -q -p asketch-bench --release --bin throughput -- \
     --validate-concurrent BENCH_concurrent.json --min-scaling "$MIN_SCALING"
 
+echo "==> bench regression gate (fresh smoke vs committed baseline) + layout gate"
+# The smoke step above regenerated BENCH_throughput.json; compare it to the
+# committed baseline row-by-row and fail on any >15% updates_per_ms loss.
+# Timing comparisons need a core to itself: on a single CPU the bench
+# time-slices against the rest of CI and 15% is pure scheduler noise, so we
+# skip the timing gate there — loudly — but still validate the committed
+# layout artifact (a pure JSON-contents check, no re-measurement).
+BASELINE_TMP="$(mktemp)"
+trap 'rm -f "$BASELINE_TMP"' EXIT
+if ! git show HEAD:BENCH_throughput.json > "$BASELINE_TMP" 2>/dev/null; then
+    echo "WARNING: no committed BENCH_throughput.json baseline; skipping regression gate"
+elif [ "$CORES" -lt 2 ]; then
+    echo "WARNING: only $CORES CPU(s); skipping throughput regression gate" \
+         "(timings on a time-sliced core are not comparable)"
+else
+    cargo run -q -p asketch-bench --release --bin throughput -- \
+        --regress "$BASELINE_TMP" BENCH_throughput.json --tolerance 0.15
+fi
+cargo run -q -p asketch-bench --release --bin throughput -- \
+    --validate-layout BENCH_layout.json --min-layout-speedup 1.3
+
 echo "==> ThreadSanitizer pass (concurrent runtime, nightly-only)"
 # TSan needs nightly + rust-src (-Zbuild-std). Skip gracefully when the
 # toolchain can't do it; the seqlock also carries a loom model behind

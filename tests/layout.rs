@@ -1,0 +1,189 @@
+//! Differential property suite for the cache-line-blocked backend
+//! (DESIGN.md §11): one-sidedness at both cell widths, exact
+//! batch == scalar equivalence, and exact agreement with a sequential
+//! reference through all three execution modes — the sequential builder,
+//! the two-stage pipeline, and the sharded concurrent runtime (the latter
+//! across every filter kind).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use asketch::filter::{
+    Filter, FilterKind, RelaxedHeapFilter, StreamSummaryFilter, StrictHeapFilter, VectorFilter,
+};
+use asketch::{ASketch, AsketchBuilder};
+use asketch_parallel::{ConcurrentASketch, ConcurrentConfig, PipelineASketch};
+use sketches::{BlockedCountMin, BlockedCountMin32, FrequencyEstimator};
+
+fn truth_of(keys: &[u64]) -> std::collections::HashMap<u64, i64> {
+    let mut t = std::collections::HashMap::new();
+    for &k in keys {
+        *t.entry(k).or_insert(0i64) += 1;
+    }
+    t
+}
+
+fn blocked_builder(kind: FilterKind) -> AsketchBuilder {
+    AsketchBuilder {
+        total_bytes: 8 * 1024,
+        filter_items: 8,
+        filter_kind: kind,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+/// Exact-equality differential against the concurrent runtime: the same
+/// blocked kernels fed each key class in stream order must answer exactly
+/// what the runtime answers after a `sync` barrier.
+fn assert_concurrent_exact<F>(make_filter: impl Fn() -> F, stream: &[u64]) -> Result<(), String>
+where
+    F: Filter + Clone + Send + 'static,
+{
+    const SHARDS: usize = 2;
+    let make_kernel = |shard: usize| {
+        ASketch::new(
+            make_filter(),
+            BlockedCountMin::new(shard as u64, 4, 256).unwrap(),
+        )
+    };
+    let cfg = ConcurrentConfig {
+        shards: SHARDS,
+        batch: 32,
+        publish_interval: 128,
+        view_interval: 512,
+        ..ConcurrentConfig::default()
+    };
+    let mut rt = ConcurrentASketch::spawn(cfg, make_kernel);
+    let partition = rt.partition();
+    rt.insert_batch(stream);
+    rt.sync();
+
+    let mut reference: Vec<_> = (0..SHARDS).map(make_kernel).collect();
+    for &k in stream {
+        reference[partition.shard_of(k)].insert(k);
+    }
+    let handle = rt.query_handle();
+    for &k in truth_of(stream).keys() {
+        let expect = reference[partition.shard_of(k)].estimate(k);
+        if handle.estimate(k) != expect {
+            return Err(format!("handle diverged from sequential for key {k}"));
+        }
+        if rt.estimate(k) != expect {
+            return Err(format!("dispatcher diverged from sequential for key {k}"));
+        }
+    }
+    rt.finish();
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_never_undercounts_either_cell_width(
+        keys in vec(0u64..500, 1..2_000),
+        depth in 1usize..8,
+    ) {
+        let mut wide = BlockedCountMin::new(11, depth, 64).unwrap();
+        let mut narrow = BlockedCountMin32::new(11, depth, 64).unwrap();
+        for &k in &keys {
+            wide.insert(k);
+            narrow.insert(k);
+        }
+        for (&k, &t) in &truth_of(&keys) {
+            prop_assert!(wide.estimate(k) >= t, "i64 cells under-count key {}", k);
+            prop_assert!(narrow.estimate(k) >= t, "i32 cells under-count key {}", k);
+        }
+    }
+
+    #[test]
+    fn blocked_batch_is_exactly_scalar(
+        ops in vec((0u64..150, -3i64..8), 1..1_200),
+        batch in 1usize..300,
+    ) {
+        let mut scalar = BlockedCountMin::new(13, 4, 64).unwrap();
+        let mut batched = BlockedCountMin::new(13, 4, 64).unwrap();
+        for &(k, u) in &ops {
+            scalar.update(k, u);
+        }
+        for part in ops.chunks(batch) {
+            batched.update_batch(part);
+        }
+        for k in 0u64..150 {
+            prop_assert_eq!(scalar.estimate(k), batched.estimate(k), "key {}", k);
+        }
+    }
+
+    #[test]
+    fn asketch_blocked_batch_is_exactly_scalar(
+        ops in vec((0u64..150, -3i64..8), 1..1_200),
+        batch in 1usize..300,
+        kind_idx in 0usize..4,
+    ) {
+        // Sequential-builder execution mode: the blocked backend behind
+        // every filter kind, batched hot path vs the scalar loop.
+        let builder = blocked_builder(FilterKind::ALL[kind_idx]);
+        let mut scalar = builder.build_blocked().unwrap();
+        let mut batched = builder.build_blocked().unwrap();
+        for &(k, u) in &ops {
+            scalar.update(k, u);
+        }
+        for part in ops.chunks(batch) {
+            batched.update_batch(part);
+        }
+        prop_assert_eq!(scalar.stats(), batched.stats());
+        for k in 0u64..150 {
+            prop_assert_eq!(scalar.estimate(k), batched.estimate(k), "key {}", k);
+        }
+    }
+
+    #[test]
+    fn blocked_one_sided_through_pipeline(keys in vec(0u64..300, 1..2_000)) {
+        // Pipeline execution mode: exchange timing differs from the
+        // sequential schedule (stages run asynchronously), so estimates may
+        // differ from the sequential ASketch's — but one-sidedness must
+        // hold at the handle and on the finished sketch alike.
+        let mk = || BlockedCountMin::new(5, 4, 128).unwrap();
+        let mut seq = ASketch::new(RelaxedHeapFilter::new(8), mk());
+        let mut pipe = PipelineASketch::spawn(RelaxedHeapFilter::new(8), mk());
+        for &k in &keys {
+            seq.insert(k);
+            pipe.insert(k);
+        }
+        let truth = truth_of(&keys);
+        for (&k, &t) in &truth {
+            prop_assert!(seq.estimate(k) >= t, "sequential under-counts key {}", k);
+            prop_assert!(pipe.estimate(k) >= t, "pipeline under-counts key {}", k);
+        }
+        let (filter, sketch) = pipe.finish();
+        for (&k, &t) in &truth {
+            let drained = filter.query(k).unwrap_or(0) + sketch.estimate(k);
+            prop_assert!(drained >= t, "finished pipeline under-counts key {}", k);
+        }
+    }
+}
+
+proptest! {
+    // Thread spawns per case: keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn blocked_exact_through_concurrent_runtime(
+        keys in vec(0u64..400, 50..3_000),
+        kind_idx in 0usize..4,
+    ) {
+        // Concurrent execution mode, every filter kind x blocked backend.
+        match FilterKind::ALL[kind_idx] {
+            FilterKind::Vector => assert_concurrent_exact(|| VectorFilter::new(8), &keys),
+            FilterKind::StrictHeap => assert_concurrent_exact(|| StrictHeapFilter::new(8), &keys),
+            FilterKind::RelaxedHeap => {
+                assert_concurrent_exact(|| RelaxedHeapFilter::new(8), &keys)
+            }
+            FilterKind::StreamSummary => {
+                assert_concurrent_exact(|| StreamSummaryFilter::new(8), &keys)
+            }
+        }
+        .map_err(TestCaseError::fail)?;
+    }
+}
