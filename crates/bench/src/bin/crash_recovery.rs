@@ -1,0 +1,375 @@
+//! `crash_recovery` — SIGKILL crash-injection harness for the durable
+//! sharded runtime (DESIGN.md §12).
+//!
+//! ```text
+//! crash_recovery [--trials N] [--keys N] [--seed S] [--dir PATH]
+//! crash_recovery child <dir> <fsync> <keys> <ckpt-every>   # internal
+//! ```
+//!
+//! Each trial spawns *this same binary* in `child` mode as a separate
+//! process. The child ingests a deterministic key sequence through
+//! [`ConcurrentASketch::spawn_durable`], periodically calling
+//! [`wal_checkpoint`](ConcurrentASketch::wal_checkpoint) and appending the
+//! acknowledged prefix length to an fsynced ack file. The harness sleeps a
+//! pseudo-random interval, delivers SIGKILL, then recovers every shard
+//! directory twice:
+//!
+//! * `dedup = true` — the recovered estimate of every key must equal the
+//!   **exact** count of the durable prefix (snapshot `ops` + replayed WAL
+//!   keys), computed independently from the deterministic sequence. The
+//!   key space is smaller than the filter capacity, so ASketch answers are
+//!   exact and the comparison is `==`, not `>=`.
+//! * `dedup = false` — at-least-once replay: every estimate must be `>=`
+//!   the exact durable count (one-sided over-count only).
+//!
+//! In both runs the durable prefix must cover everything the child's ack
+//! file acknowledged before the kill — a checkpointed write never
+//! disappears. The fsync policy cycles per trial (per-batch, interval,
+//! off) so all three disk-pressure modes face the kill. Exits non-zero on
+//! the first trial whose recovery violates any of the above.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use asketch::filter::VectorFilter;
+use asketch::{ASketch, DurabilityOptions, FsyncPolicy};
+use asketch_durable::recover_kernel;
+use asketch_parallel::{ConcurrentASketch, ConcurrentConfig, KeyPartition};
+use sketches::CountMin;
+
+/// Distinct keys in the child's round-robin stream. Must stay below
+/// [`FILTER_ITEMS`] so every key lives in the filter and estimates are
+/// exact (the harness asserts `==`, not just `>=`).
+const DISTINCT: u64 = 64;
+const FILTER_ITEMS: usize = 64;
+const SHARDS: usize = 2;
+const SEED: u64 = 0x5EED_2016;
+/// Keys between `wal_checkpoint` barriers (and ack-file appends).
+const CKPT_EVERY: u64 = 4096;
+
+fn kernel(shard: usize) -> ASketch<VectorFilter, CountMin> {
+    ASketch::new(
+        VectorFilter::new(FILTER_ITEMS),
+        CountMin::new(SEED ^ shard as u64, 4, 4096).expect("valid geometry"),
+    )
+}
+
+fn config() -> ConcurrentConfig {
+    ConcurrentConfig {
+        shards: SHARDS,
+        batch: 64,
+        ..ConcurrentConfig::default()
+    }
+}
+
+/// The deterministic child stream: key `i % DISTINCT` at position `i`.
+fn key_at(i: u64) -> u64 {
+    i % DISTINCT
+}
+
+fn parse_fsync(s: &str) -> FsyncPolicy {
+    match s {
+        "per-batch" => FsyncPolicy::PerBatch,
+        "interval" => FsyncPolicy::Interval(8),
+        "off" => FsyncPolicy::Off,
+        other => {
+            eprintln!("unknown fsync policy: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fsync_name(trial: usize) -> &'static str {
+    ["per-batch", "interval", "off"][trial % 3]
+}
+
+// ---------------------------------------------------------------------------
+// Child mode: ingest, checkpoint, ack — until killed or done.
+// ---------------------------------------------------------------------------
+
+fn run_child(dir: &Path, fsync: FsyncPolicy, keys: u64) -> ! {
+    std::fs::create_dir_all(dir).expect("create trial dir");
+    let opts = DurabilityOptions::new(dir).fsync(fsync);
+    let (mut rt, _reports) = match ConcurrentASketch::spawn_durable(config(), &opts, kernel) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("child: spawn_durable failed: {e}");
+            std::process::exit(3);
+        }
+    };
+    let mut acks = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("acks.log"))
+        .expect("open ack file");
+    for i in 0..keys {
+        rt.insert(key_at(i));
+        if (i + 1) % CKPT_EVERY == 0 {
+            match rt.wal_checkpoint() {
+                Ok(routed) => {
+                    assert_eq!(routed, i + 1, "checkpoint must cover every insert");
+                    // The ack line is written (and fsynced) only after the
+                    // WAL barrier: everything acknowledged here must
+                    // survive a SIGKILL delivered at any later instant.
+                    writeln!(acks, "{routed}").expect("append ack");
+                    acks.sync_data().expect("fsync ack");
+                }
+                Err(e) => {
+                    eprintln!("child: wal_checkpoint failed: {e}");
+                    std::process::exit(3);
+                }
+            }
+        }
+    }
+    let (_kernels, health) = rt.finish_with_health();
+    if health.any_durability_failed() {
+        eprintln!("child: durability failed during clean run");
+        std::process::exit(3);
+    }
+    // Clean completion: the final snapshot covers the whole stream.
+    writeln!(acks, "{keys}").expect("append ack");
+    acks.sync_data().expect("fsync ack");
+    std::process::exit(0);
+}
+
+// ---------------------------------------------------------------------------
+// Harness mode: spawn child, SIGKILL it, verify recovery.
+// ---------------------------------------------------------------------------
+
+/// Last complete (newline-terminated, parseable) ack line, or 0. A kill
+/// can land mid-`writeln!`, so a torn final line is expected and ignored.
+fn read_acked(dir: &Path) -> u64 {
+    let Ok(text) = std::fs::read_to_string(dir.join("acks.log")) else {
+        return 0;
+    };
+    let Some(end) = text.rfind('\n') else {
+        return 0;
+    };
+    text[..end]
+        .lines()
+        .filter_map(|l| l.trim().parse::<u64>().ok())
+        .next_back()
+        .unwrap_or(0)
+}
+
+/// Exact per-key counts of shard `shard`'s durable prefix: the first
+/// `durable_keys` keys of the deterministic stream that route to `shard`.
+/// Errors if the prefix would exceed what the child could have shipped.
+fn expected_counts(
+    shard: usize,
+    part: &KeyPartition,
+    durable_keys: u64,
+    total_keys: u64,
+) -> Result<Vec<i64>, String> {
+    let mut counts = vec![0i64; DISTINCT as usize];
+    let mut taken = 0u64;
+    let mut i = 0u64;
+    while taken < durable_keys {
+        if i >= total_keys {
+            return Err(format!(
+                "shard {shard}: durable prefix {durable_keys} keys exceeds the \
+                 {total_keys}-key stream — recovery invented updates"
+            ));
+        }
+        let k = key_at(i);
+        if part.shard_of(k) == shard {
+            counts[k as usize] += 1;
+            taken += 1;
+        }
+        i += 1;
+    }
+    Ok(counts)
+}
+
+/// Verify one killed (or cleanly finished) trial directory. Returns a
+/// human-readable summary line, or the first violation.
+fn verify_trial(dir: &Path, total_keys: u64) -> Result<String, String> {
+    let acked = read_acked(dir);
+    let part = KeyPartition::new(SHARDS);
+    // Per-shard share of the globally acked prefix.
+    let mut acked_per_shard = [0u64; SHARDS];
+    for i in 0..acked {
+        acked_per_shard[part.shard_of(key_at(i))] += 1;
+    }
+    let opts = DurabilityOptions::new(dir);
+    let mut durable_total = 0u64;
+    let mut torn = 0usize;
+    let mut rejected = 0usize;
+    for (shard, &acked_here) in acked_per_shard.iter().enumerate() {
+        let shard_dir = opts.shard_dir(shard);
+        let (exact, report) = recover_kernel(&shard_dir, true, || kernel(shard))
+            .map_err(|e| format!("shard {shard}: dedup recovery failed: {e}"))?;
+        let durable = report.snapshot.map_or(0, |m| m.ops) + report.replayed_keys;
+        durable_total += durable;
+        torn += usize::from(report.torn.is_some());
+        rejected += report.rejected_snapshots.len();
+        if durable < acked_here {
+            return Err(format!(
+                "shard {shard}: durable prefix {durable} keys < acked {acked_here} — \
+                 an acknowledged write was lost"
+            ));
+        }
+        let expected = expected_counts(shard, &part, durable, total_keys)?;
+        for k in 0..DISTINCT {
+            if part.shard_of(k) != shard {
+                continue;
+            }
+            let est = exact.estimate(k);
+            if est != expected[k as usize] {
+                return Err(format!(
+                    "shard {shard} key {k}: dedup recovery estimate {est} != exact \
+                     durable count {} (prefix {durable} keys)",
+                    expected[k as usize]
+                ));
+            }
+        }
+        // Second pass, at-least-once: replays everything intact, including
+        // records the snapshot already covers — may only over-count.
+        let (raw, _raw_report) = recover_kernel(&shard_dir, false, || kernel(shard))
+            .map_err(|e| format!("shard {shard}: raw recovery failed: {e}"))?;
+        for k in 0..DISTINCT {
+            if part.shard_of(k) != shard {
+                continue;
+            }
+            let est = raw.estimate(k);
+            if est < expected[k as usize] {
+                return Err(format!(
+                    "shard {shard} key {k}: raw recovery estimate {est} < exact \
+                     durable count {} — at-least-once under-counted",
+                    expected[k as usize]
+                ));
+            }
+        }
+    }
+    Ok(format!(
+        "acked {acked}, durable {durable_total} keys, {torn} torn tail(s), \
+         {rejected} rejected snapshot(s)"
+    ))
+}
+
+fn run_harness(trials: usize, keys: u64, seed: u64, base: &Path) -> ! {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut rng = seed | 1;
+    let mut failures = 0usize;
+    let mut kills = 0usize;
+    for trial in 0..trials {
+        let dir = base.join(format!("trial-{trial:03}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fsync = fsync_name(trial);
+        let mut child = Command::new(&exe)
+            .arg("child")
+            .arg(&dir)
+            .arg(fsync)
+            .arg(keys.to_string())
+            .arg(CKPT_EVERY.to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn child");
+        // Splitmix-style step; the kill lands anywhere from process start
+        // (before the runtime exists) to past clean completion.
+        rng = rng
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        let sleep_ms = (rng >> 33) % 120;
+        std::thread::sleep(Duration::from_millis(sleep_ms));
+        let killed = child.try_wait().expect("poll child").is_none();
+        if killed {
+            child.kill().expect("SIGKILL child");
+            kills += 1;
+        }
+        let status = child.wait().expect("reap child");
+        if !killed && !status.success() {
+            eprintln!("trial {trial}: FAIL — child errored before the kill: {status}");
+            failures += 1;
+            continue;
+        }
+        match verify_trial(&dir, keys) {
+            Ok(summary) => {
+                let how = if killed { "killed" } else { "completed" };
+                println!("trial {trial}: ok ({fsync}, {how} after {sleep_ms}ms; {summary})");
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            Err(e) => {
+                eprintln!("trial {trial}: FAIL ({fsync}, slept {sleep_ms}ms): {e}");
+                eprintln!("trial {trial}: state kept in {}", dir.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{trials} crash-injection trials FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "all {trials} crash-injection trials passed ({kills} mid-run kills, \
+         {} clean completions)",
+        trials - kills
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("child") {
+        if args.len() != 5 {
+            eprintln!("usage: crash_recovery child <dir> <fsync> <keys> <ckpt-every>");
+            std::process::exit(2);
+        }
+        let keys: u64 = args[3].parse().expect("keys must be a number");
+        // ckpt-every is fixed at compile time; the arg exists so harness
+        // and child can never silently disagree on the protocol.
+        let ckpt: u64 = args[4].parse().expect("ckpt-every must be a number");
+        assert_eq!(ckpt, CKPT_EVERY, "harness/child checkpoint mismatch");
+        run_child(Path::new(&args[1]), parse_fsync(&args[2]), keys);
+    }
+    let mut trials = 25usize;
+    let mut keys = 400_000u64;
+    let mut seed = SEED;
+    let mut dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trials" => {
+                i += 1;
+                trials = args
+                    .get(i)
+                    .expect("--trials needs a value")
+                    .parse()
+                    .expect("trials must be a number");
+            }
+            "--keys" => {
+                i += 1;
+                keys = args
+                    .get(i)
+                    .expect("--keys needs a value")
+                    .parse()
+                    .expect("keys must be a number");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be a number");
+            }
+            "--dir" => {
+                i += 1;
+                dir = Some(PathBuf::from(args.get(i).expect("--dir needs a path")));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: crash_recovery [--trials N] [--keys N] [--seed S] [--dir PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let base = dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("asketch-crash-{}", std::process::id()))
+    });
+    run_harness(trials, keys, seed, &base);
+}

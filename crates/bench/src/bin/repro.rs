@@ -61,14 +61,30 @@ fn main() {
     for (id, desc, f) in selected {
         println!("\n################ {id}: {desc}");
         let started = std::time::Instant::now();
-        let out = f(&cfg);
-        for table in &out.tables {
-            println!();
-            table.print();
-        }
-        for note in &out.notes {
-            println!("note: {note}");
-            if note.contains("— FAIL") {
+        // A panic in one experiment must not take down the rest of the
+        // evaluation — record it as a failure and keep going, so a long
+        // `repro all` run still yields every table it can produce.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&cfg)));
+        match out {
+            Ok(out) => {
+                for table in &out.tables {
+                    println!();
+                    table.print();
+                }
+                for note in &out.notes {
+                    println!("note: {note}");
+                    if note.contains("— FAIL") {
+                        failures += 1;
+                    }
+                }
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                println!("note: experiment panicked: {msg} — FAIL");
                 failures += 1;
             }
         }

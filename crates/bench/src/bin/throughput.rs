@@ -28,15 +28,27 @@
 //! observed error, and a per-row one-sidedness check; `--validate-layout`
 //! gates that artifact (see [`validate_layout`]).
 //!
+//! The `--recovery` mode sweeps the durable runtime (DESIGN.md §12): WAL-on
+//! ingest at each fsync policy against a no-durability baseline, plus timed
+//! snapshot-load + WAL-replay recovery of the crashed state, and writes
+//! `BENCH_recovery.json`; `--validate-recovery` gates that artifact (WAL
+//! overhead at `fsync=interval` within `--max-overhead`, replay at least
+//! `--min-replay-ratio` of the same row's live ingest rate).
+//!
 //! `--regress OLD NEW` compares two throughput artifacts row-by-row and
 //! fails when any configuration present in both lost more than
 //! `--tolerance` (default 15%) of its `updates_per_ms`.
+//!
+//! Every sweep rewrites its JSON artifact after **each** completed row, so
+//! a panic (or a kill) mid-sweep still leaves a well-formed partial
+//! artifact on disk instead of losing the finished measurements.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use asketch::filter::{FilterKind, VectorFilter};
-use asketch::{ASketch, AsketchBuilder};
+use asketch::{ASketch, AsketchBuilder, DurabilityOptions, FsyncPolicy};
+use asketch_durable::recover_kernel;
 use asketch_parallel::{hash_shards, ConcurrentASketch, ConcurrentConfig, SpmdGroup};
 use eval_metrics::{observed_error_pct, EstimatePair};
 use sketches::{BlockedCountMin, BlockedCountMin32, CountMin, Fcm, FrequencyEstimator};
@@ -713,12 +725,14 @@ fn run_concurrent_sweep(smoke: bool, out_path: &str) {
                         r.mode, r.ops_per_ms, r.writes, r.reads, r.reader_retries, r.restarts,
                     );
                     rows.push(r);
+                    // Flush after every row: a panic mid-sweep keeps the
+                    // finished rows in a well-formed partial artifact.
+                    write_concurrent_json(out_path, smoke, stream_len, distinct as u64, &rows)
+                        .expect("write results");
                 }
             }
         }
     }
-    write_concurrent_json(out_path, smoke, stream_len, distinct as u64, &rows)
-        .expect("write results");
     eprintln!("wrote {out_path} ({} rows)", rows.len());
 }
 
@@ -861,11 +875,14 @@ fn run_layout_sweep(smoke: bool, out_path: &str) {
                         observed_error_pct: err,
                         one_sided,
                     });
+                    // Flush after every row: a panic mid-sweep keeps the
+                    // finished rows in a well-formed partial artifact.
+                    write_layout_json(out_path, smoke, stream_len, distinct, &rows)
+                        .expect("write results");
                 }
             }
         }
     }
-    write_layout_json(out_path, smoke, stream_len, distinct, &rows).expect("write results");
     eprintln!("wrote {out_path} ({} rows)", rows.len());
 }
 
@@ -1007,6 +1024,323 @@ fn validate_layout(path: &str, min_speedup: f64) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------------
+// Durability / recovery sweep (`--recovery` / `--validate-recovery`)
+// ---------------------------------------------------------------------------
+
+/// Ingest-overhead budget for the WAL at `fsync=interval`: the durable
+/// runtime must keep at least `1 - 0.25` of the no-durability throughput.
+const RECOVERY_MAX_OVERHEAD: f64 = 0.25;
+
+/// Replay-speed floor: recovering a shard (snapshot load + WAL replay)
+/// must restore keys at no less than half that row's live ingest rate.
+const RECOVERY_MIN_REPLAY_RATIO: f64 = 0.5;
+
+/// Shard count for the recovery sweep (matches the crash harness).
+const RECOVERY_SHARDS: usize = 2;
+
+/// Router batch for the recovery sweep. WAL appends (and their periodic
+/// fsyncs) run on the caller's ship path, so their cost is amortized per
+/// batch: at 256-key batches an ext4 fsync every 32 batches costs more
+/// than the 25% overhead budget allows, while the WAL's *byte* volume
+/// (8 B/key) is batch-independent. 1024-key batches keep the same
+/// durability semantics (a batch is still the WAL record unit) at a
+/// per-key fsync cost the budget is meant to measure.
+const RECOVERY_BATCH: usize = 1024;
+
+struct RecoveryRow {
+    mode: &'static str,
+    fsync: &'static str,
+    skew: f64,
+    keys: u64,
+    ingest_updates_per_ms: f64,
+    recover_ms: f64,
+    recovered_keys: u64,
+    replay_keys_per_ms: f64,
+    wal_records: u64,
+    replayed_keys: u64,
+    snapshot_keys: u64,
+}
+
+/// Batched ingest through the concurrent runtime; wall-clock includes the
+/// final `sync` barrier (and, for durable runtimes, the WAL barrier), so
+/// every measured key is applied — and durable — when the clock stops.
+fn recovery_ingest(
+    stream: &[u64],
+    opts: Option<&DurabilityOptions>,
+) -> (f64, Option<ConcurrentASketch<VectorFilter, CountMin>>) {
+    let mut cfg = conc_config(RECOVERY_SHARDS);
+    cfg.batch = RECOVERY_BATCH;
+    // Checkpoints feed the background snapshotter whole-kernel clones;
+    // space them out so the sweep measures steady-state WAL cost (plus a
+    // realistic handful of snapshots), not snapshot serialization.
+    cfg.supervision.checkpoint_interval = 262_144;
+    let shards = RECOVERY_SHARDS;
+    let t0 = Instant::now();
+    let mut rt = match opts {
+        None => ConcurrentASketch::spawn(cfg, |i| conc_kernel(i, shards)),
+        Some(o) => {
+            ConcurrentASketch::spawn_durable(cfg, o, |i| conc_kernel(i, shards))
+                .expect("spawn durable runtime")
+                .0
+        }
+    };
+    for part in stream.chunks(4096) {
+        rt.insert_batch(part);
+    }
+    rt.sync();
+    if opts.is_some() {
+        rt.wal_checkpoint().expect("durability barrier");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let per_ms = stream.len() as f64 / (elapsed * 1e3);
+    if opts.is_some() {
+        (per_ms, Some(rt))
+    } else {
+        drop(rt);
+        (per_ms, None)
+    }
+}
+
+fn run_recovery_one(
+    mode: &'static str,
+    fsync: Option<(&'static str, FsyncPolicy)>,
+    skew: f64,
+    stream: &[u64],
+    dir: &std::path::Path,
+) -> RecoveryRow {
+    const MEASURE_PASSES: usize = 2;
+    let mut best = 0.0f64;
+    let mut recover_ms = 0.0f64;
+    let mut recovered_keys = 0u64;
+    let mut wal_records = 0u64;
+    let mut replayed_keys = 0u64;
+    let mut snapshot_keys = 0u64;
+    let mut replay_per_ms = 0.0f64;
+    for _ in 0..MEASURE_PASSES {
+        let _ = std::fs::remove_dir_all(dir);
+        let opts = fsync.map(|(_, policy)| DurabilityOptions::new(dir).fsync(policy));
+        let (per_ms, rt) = recovery_ingest(stream, opts.as_ref());
+        best = best.max(per_ms);
+        let Some(rt) = rt else { continue };
+        // Simulate the crash: drop without `finish`, so the final snapshot
+        // is never written and recovery must replay the WAL suffix past
+        // whatever the background snapshotter got to.
+        drop(rt);
+        let opts = opts.expect("durable pass has options");
+        let t0 = Instant::now();
+        let mut pass_keys = 0u64;
+        let mut pass_wal = 0u64;
+        let mut pass_replayed = 0u64;
+        let mut pass_snap = 0u64;
+        for shard in 0..RECOVERY_SHARDS {
+            let (kernel, report) = recover_kernel(&opts.shard_dir(shard), true, || {
+                conc_kernel(shard, RECOVERY_SHARDS)
+            })
+            .expect("recovery completes");
+            std::hint::black_box(&kernel);
+            let snap = report.snapshot.map_or(0, |m| m.ops);
+            pass_snap += snap;
+            pass_keys += snap + report.replayed_keys;
+            pass_wal += report.wal_records;
+            pass_replayed += report.replayed_keys;
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let pass_rate = pass_keys as f64 / ms;
+        if pass_rate > replay_per_ms {
+            replay_per_ms = pass_rate;
+            recover_ms = ms;
+            recovered_keys = pass_keys;
+            wal_records = pass_wal;
+            replayed_keys = pass_replayed;
+            snapshot_keys = pass_snap;
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+    RecoveryRow {
+        mode,
+        fsync: fsync.map_or("none", |(name, _)| name),
+        skew,
+        keys: stream.len() as u64,
+        ingest_updates_per_ms: best,
+        recover_ms,
+        recovered_keys,
+        replay_keys_per_ms: replay_per_ms,
+        wal_records,
+        replayed_keys,
+        snapshot_keys,
+    }
+}
+
+fn write_recovery_json(
+    path: &str,
+    smoke: bool,
+    stream_len: usize,
+    distinct: u64,
+    rows: &[RecoveryRow],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"commit\": \"{}\",", git_commit());
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"stream_len\": {stream_len}, \"distinct\": {distinct}, \
+         \"total_bytes\": {CONC_TOTAL_BYTES}, \"depth\": {DEPTH}, \
+         \"shards\": {RECOVERY_SHARDS}, \"filter_items\": {FILTER_ITEMS}, \
+         \"seed\": {SEED}}},"
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"fsync\": \"{}\", \"skew\": {}, \"keys\": {}, \
+             \"ingest_updates_per_ms\": {}, \"recover_ms\": {}, \
+             \"recovered_keys\": {}, \"replay_keys_per_ms\": {}, \
+             \"wal_records\": {}, \"replayed_keys\": {}, \"snapshot_keys\": {}}}{comma}",
+            r.mode,
+            r.fsync,
+            json_f64(r.skew),
+            r.keys,
+            json_f64(r.ingest_updates_per_ms),
+            json_f64(r.recover_ms),
+            r.recovered_keys,
+            json_f64(r.replay_keys_per_ms),
+            r.wal_records,
+            r.replayed_keys,
+            r.snapshot_keys,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn run_recovery_sweep(smoke: bool, out_path: &str) {
+    let stream_len = if smoke { 1 << 19 } else { 1 << 20 };
+    let distinct = 1u64 << 16;
+    let spec = StreamSpec {
+        len: stream_len,
+        distinct,
+        skew: SMOKE_SKEW,
+        seed: SEED,
+    };
+    let stream = spec.materialize();
+    let dir = std::env::temp_dir().join(format!("asketch-bench-recovery-{}", std::process::id()));
+    let modes: [(&'static str, Option<(&'static str, FsyncPolicy)>); 3] = [
+        ("baseline", None),
+        ("durable", Some(("interval", FsyncPolicy::Interval(32)))),
+        ("durable", Some(("per-batch", FsyncPolicy::PerBatch))),
+    ];
+    let mut rows = Vec::new();
+    for (mode, fsync) in modes {
+        let r = run_recovery_one(mode, fsync, SMOKE_SKEW, &stream, &dir);
+        eprintln!(
+            "recovery mode={mode} fsync={}: ingest {:.0} updates/ms, recover \
+             {:.1}ms ({} keys, {:.0} keys/ms replay, {} WAL records)",
+            r.fsync,
+            r.ingest_updates_per_ms,
+            r.recover_ms,
+            r.recovered_keys,
+            r.replay_keys_per_ms,
+            r.wal_records,
+        );
+        rows.push(r);
+        // Flush after every row: a panic mid-sweep keeps finished rows.
+        write_recovery_json(out_path, smoke, stream_len, distinct, &rows).expect("write results");
+    }
+    eprintln!("wrote {out_path} ({} rows)", rows.len());
+}
+
+/// Validate `BENCH_recovery.json`: schema shape; the `fsync=interval`
+/// durable ingest within `max_overhead` of the no-durability baseline;
+/// every durable row recovered a non-empty state with replay throughput at
+/// least `min_replay_ratio` of that row's own live ingest rate.
+fn validate_recovery(path: &str, max_overhead: f64, min_replay_ratio: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    for key in [
+        "\"schema_version\"",
+        "\"commit\"",
+        "\"config\"",
+        "\"results\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    let mut rows = 0usize;
+    let mut baseline: Option<f64> = None;
+    let mut interval: Option<f64> = None;
+    let mut worst_replay = f64::INFINITY;
+    for line in text.lines().filter(|l| l.contains("\"fsync\"")) {
+        rows += 1;
+        let get =
+            |k: &str| field(line, k).ok_or_else(|| format!("result row missing \"{k}\": {line}"));
+        let mode = get("mode")?.to_string();
+        let fsync = get("fsync")?.to_string();
+        let ingest: f64 = get("ingest_updates_per_ms")?
+            .parse()
+            .map_err(|e| format!("bad ingest_updates_per_ms: {e}"))?;
+        let recovered: u64 = get("recovered_keys")?
+            .parse()
+            .map_err(|e| format!("bad recovered_keys: {e}"))?;
+        let replay: f64 = get("replay_keys_per_ms")?
+            .parse()
+            .map_err(|e| format!("bad replay_keys_per_ms: {e}"))?;
+        let keys: u64 = get("keys")?.parse().map_err(|e| format!("bad keys: {e}"))?;
+        get("wal_records")?;
+        get("replayed_keys")?;
+        if ingest <= 0.0 {
+            return Err(format!("non-positive ingest_updates_per_ms: {line}"));
+        }
+        match mode.as_str() {
+            "baseline" => baseline = Some(ingest),
+            "durable" => {
+                if recovered != keys {
+                    return Err(format!(
+                        "durable row recovered {recovered} of {keys} keys — \
+                         crash recovery lost acknowledged writes: {line}"
+                    ));
+                }
+                let ratio = replay / ingest;
+                worst_replay = worst_replay.min(ratio);
+                if ratio < min_replay_ratio {
+                    return Err(format!(
+                        "replay {replay:.0} keys/ms is only {ratio:.2}x of live \
+                         ingest {ingest:.0} (need {min_replay_ratio:.2}x): {line}"
+                    ));
+                }
+                if fsync == "interval" {
+                    interval = Some(ingest);
+                }
+            }
+            other => return Err(format!("unknown mode \"{other}\": {line}")),
+        }
+    }
+    if rows == 0 {
+        return Err("no result rows".to_string());
+    }
+    let base = baseline.ok_or("missing baseline (no-durability) row")?;
+    let wal = interval.ok_or("missing durable fsync=interval row")?;
+    let overhead = 1.0 - wal / base;
+    if overhead > max_overhead {
+        return Err(format!(
+            "WAL ingest overhead {:.1}% at fsync=interval exceeds the {:.1}% budget \
+             ({wal:.0} vs baseline {base:.0} updates/ms)",
+            overhead * 100.0,
+            max_overhead * 100.0
+        ));
+    }
+    println!(
+        "OK: {rows} rows, WAL overhead {:.1}% <= {:.1}% at fsync=interval, full state \
+         recovered everywhere, worst replay ratio {worst_replay:.2}x >= {min_replay_ratio:.2}x",
+        overhead.max(0.0) * 100.0,
+        max_overhead * 100.0
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Regression comparison (`--regress OLD NEW`)
 // ---------------------------------------------------------------------------
 
@@ -1080,14 +1414,18 @@ fn main() {
     let mut smoke = false;
     let mut concurrent = false;
     let mut layout = false;
+    let mut recovery = false;
     let mut out_path: Option<String> = None;
     let mut validate_path: Option<String> = None;
     let mut validate_concurrent_path: Option<String> = None;
     let mut validate_layout_path: Option<String> = None;
+    let mut validate_recovery_path: Option<String> = None;
     let mut regress_paths: Option<(String, String)> = None;
     let mut min_speedup = 1.5f64;
     let mut min_scaling = 2.0f64;
     let mut min_layout_speedup = LAYOUT_MIN_SPEEDUP;
+    let mut max_overhead = RECOVERY_MAX_OVERHEAD;
+    let mut min_replay_ratio = RECOVERY_MIN_REPLAY_RATIO;
     let mut tolerance = 0.15f64;
     let mut i = 0;
     while i < args.len() {
@@ -1095,6 +1433,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--concurrent" => concurrent = true,
             "--layout" => layout = true,
+            "--recovery" => recovery = true,
             "--out" => {
                 i += 1;
                 out_path = Some(args.get(i).expect("--out needs a path").clone());
@@ -1132,6 +1471,30 @@ fn main() {
                 validate_layout_path =
                     Some(args.get(i).expect("--validate-layout needs a path").clone());
             }
+            "--validate-recovery" => {
+                i += 1;
+                validate_recovery_path = Some(
+                    args.get(i)
+                        .expect("--validate-recovery needs a path")
+                        .clone(),
+                );
+            }
+            "--max-overhead" => {
+                i += 1;
+                max_overhead = args
+                    .get(i)
+                    .expect("--max-overhead needs a value")
+                    .parse()
+                    .expect("max-overhead must be a number");
+            }
+            "--min-replay-ratio" => {
+                i += 1;
+                min_replay_ratio = args
+                    .get(i)
+                    .expect("--min-replay-ratio needs a value")
+                    .parse()
+                    .expect("min-replay-ratio must be a number");
+            }
             "--min-layout-speedup" => {
                 i += 1;
                 min_layout_speedup = args
@@ -1163,10 +1526,12 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: throughput [--smoke] [--concurrent] [--layout] [--out FILE] \
+                    "usage: throughput [--smoke] [--concurrent] [--layout] [--recovery] \
+                     [--out FILE] \
                      [--validate FILE [--min-speedup X]] \
                      [--validate-concurrent FILE [--min-scaling X]] \
                      [--validate-layout FILE [--min-layout-speedup X]] \
+                     [--validate-recovery FILE [--max-overhead X] [--min-replay-ratio X]] \
                      [--regress BASELINE FRESH [--tolerance X]]"
                 );
                 std::process::exit(2);
@@ -1193,6 +1558,15 @@ fn main() {
             }
         }
     }
+    if let Some(path) = validate_recovery_path {
+        match validate_recovery(&path, max_overhead, min_replay_ratio) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("BENCH_recovery.json validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some((base, fresh)) = regress_paths {
         match regress(&base, &fresh, tolerance) {
             Ok(()) => return,
@@ -1210,6 +1584,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if recovery {
+        let out = out_path.unwrap_or_else(|| "BENCH_recovery.json".to_string());
+        run_recovery_sweep(smoke, &out);
+        return;
     }
     if layout {
         let out = out_path.unwrap_or_else(|| "BENCH_layout.json".to_string());
@@ -1285,10 +1664,13 @@ fn main() {
                         r.estimate_p99_ns,
                     );
                     results.push(r);
+                    // Flush after every row: a panic mid-sweep keeps the
+                    // finished rows in a well-formed partial artifact.
+                    write_json(&out_path, smoke, stream_len, distinct, &results)
+                        .expect("write results");
                 }
             }
         }
     }
-    write_json(&out_path, smoke, stream_len, distinct, &results).expect("write results");
     eprintln!("wrote {out_path} ({} rows)", results.len());
 }

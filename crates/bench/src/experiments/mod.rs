@@ -204,7 +204,10 @@ mod tests {
         assert!(find("table1").is_some());
         assert!(find("fig17").is_some());
         assert!(find("nonsense").is_none());
-        assert_eq!(n, 25, "every paper table and figure plus the three ablations");
+        assert_eq!(
+            n, 25,
+            "every paper table and figure plus the three ablations"
+        );
     }
 
     #[test]

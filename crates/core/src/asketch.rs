@@ -3,6 +3,7 @@
 //! negative-count updates of Appendix A.
 
 use serde::{Deserialize, Serialize};
+use sketches::persist::{self, Persist, PersistError};
 use sketches::traits::{FrequencyEstimator, TopK, Tuple, UpdateEstimate};
 
 use crate::filter::{Filter, FilterItem};
@@ -438,6 +439,45 @@ impl<F: Filter, S: UpdateEstimate> UpdateEstimate for ASketch<F, S> {}
 impl<F: Filter, S: UpdateEstimate> TopK for ASketch<F, S> {
     fn top_k(&self, k: usize) -> Vec<(u64, i64)> {
         ASketch::top_k(self, k)
+    }
+}
+
+/// Payload tag for persisted ASketch state (`"ASKC"`).
+const PERSIST_TAG: u32 = u32::from_le_bytes(*b"ASKC");
+
+impl<F, S> Persist for ASketch<F, S>
+where
+    F: Filter + Persist,
+    S: UpdateEstimate + Persist,
+{
+    /// Layout: tag, the six [`AsketchStats`] counters, the filter state
+    /// (every `new_count`/`old_count` pair, so exchange semantics resume
+    /// exactly), then the sketch state.
+    fn write_state(&self, out: &mut Vec<u8>) {
+        persist::put_u32(out, PERSIST_TAG);
+        persist::put_u64(out, self.stats.filter_updates);
+        persist::put_u64(out, self.stats.sketch_updates);
+        persist::put_u64(out, self.stats.exchanges);
+        persist::put_i64(out, self.stats.filter_mass);
+        persist::put_i64(out, self.stats.sketch_mass);
+        persist::put_u64(out, self.stats.deletions);
+        self.filter.write_state(out);
+        self.sketch.write_state(out);
+    }
+
+    fn read_state(r: &mut persist::ByteReader<'_>) -> Result<Self, PersistError> {
+        persist::expect_tag(r, PERSIST_TAG, "ASketch")?;
+        let stats = AsketchStats {
+            filter_updates: r.u64("stats filter_updates")?,
+            sketch_updates: r.u64("stats sketch_updates")?,
+            exchanges: r.u64("stats exchanges")?,
+            filter_mass: r.i64("stats filter_mass")?,
+            sketch_mass: r.i64("stats sketch_mass")?,
+            deletions: r.u64("stats deletions")?,
+        };
+        let filter = F::read_state(r)?;
+        let sketch = S::read_state(r)?;
+        Ok(Self::from_parts(filter, sketch, stats))
     }
 }
 

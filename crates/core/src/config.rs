@@ -142,6 +142,14 @@ impl AsketchBuilder {
     pub fn effective_width(&self) -> Result<usize, SketchError> {
         Ok(self.sketch_budget()? / (self.depth * CELL_BYTES))
     }
+
+    /// Durability options rooted at `dir` with default fsync/rotation
+    /// settings, for handing to the durable sharded runtime. The builder
+    /// itself stays `Copy`/serializable; durability is opt-in per
+    /// deployment, not part of the synopsis configuration.
+    pub fn durability(&self, dir: impl Into<std::path::PathBuf>) -> crate::DurabilityOptions {
+        crate::DurabilityOptions::new(dir)
+    }
 }
 
 #[cfg(test)]

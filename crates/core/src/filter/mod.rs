@@ -32,6 +32,7 @@ pub use strict_heap::StrictHeapFilter;
 pub use vector::VectorFilter;
 
 use serde::{Deserialize, Serialize};
+use sketches::persist::{self, Persist, PersistError};
 
 /// One monitored item as reported by [`Filter::items`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,6 +57,10 @@ impl FilterItem {
 ///
 /// Object-safe so experiments can select the implementation at runtime.
 pub trait Filter {
+    /// Which implementation this is; lets persistence rebuild the right
+    /// concrete type from a boxed trait object.
+    fn kind(&self) -> FilterKind;
+
     /// Maximum number of monitored items (`|F|`).
     fn capacity(&self) -> usize;
 
@@ -123,6 +128,9 @@ pub trait Filter {
 }
 
 impl Filter for Box<dyn Filter + Send> {
+    fn kind(&self) -> FilterKind {
+        (**self).kind()
+    }
     fn capacity(&self) -> usize {
         (**self).capacity()
     }
@@ -203,7 +211,151 @@ impl FilterKind {
             FilterKind::StreamSummary => "Stream-Summary",
         }
     }
+
+    /// Stable wire code used by the persistence layer.
+    pub fn code(self) -> u8 {
+        match self {
+            FilterKind::Vector => 0,
+            FilterKind::StrictHeap => 1,
+            FilterKind::RelaxedHeap => 2,
+            FilterKind::StreamSummary => 3,
+        }
+    }
+
+    /// Inverse of [`FilterKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(FilterKind::Vector),
+            1 => Some(FilterKind::StrictHeap),
+            2 => Some(FilterKind::RelaxedHeap),
+            3 => Some(FilterKind::StreamSummary),
+            _ => None,
+        }
+    }
 }
+
+/// Payload tag for persisted filter state (`"AFIL"`).
+const FILTER_TAG: u32 = u32::from_le_bytes(*b"AFIL");
+
+/// Serialize any filter: tag, kind code, capacity, then every monitored
+/// item's `(key, new_count, old_count)` triple in the implementation's
+/// internal slot order. `new_count`/`old_count` are both persisted so
+/// exchange semantics (pending-mass write-back) resume exactly.
+pub(crate) fn write_filter_state(f: &(impl Filter + ?Sized), out: &mut Vec<u8>) {
+    persist::put_u32(out, FILTER_TAG);
+    persist::put_u8(out, f.kind().code());
+    persist::put_u64(out, f.capacity() as u64);
+    let items = f.items();
+    persist::put_u64(out, items.len() as u64);
+    for it in &items {
+        persist::put_u64(out, it.key);
+        persist::put_i64(out, it.new_count);
+        persist::put_i64(out, it.old_count);
+    }
+}
+
+/// Decode the filter header + items written by [`write_filter_state`],
+/// validating occupancy and key uniqueness so corrupted payloads fail
+/// typed instead of tripping `Filter::insert`'s panics.
+pub(crate) fn read_filter_state(
+    r: &mut persist::ByteReader<'_>,
+) -> Result<(FilterKind, usize, Vec<FilterItem>), PersistError> {
+    persist::expect_tag(r, FILTER_TAG, "ASketch filter")?;
+    let code = r.u8("filter kind")?;
+    let kind = FilterKind::from_code(code).ok_or_else(|| PersistError::Corrupt {
+        what: format!("unknown filter kind code {code}"),
+    })?;
+    let capacity = r.u64("filter capacity")? as usize;
+    if capacity == 0 {
+        return Err(PersistError::Corrupt {
+            what: "filter capacity 0".into(),
+        });
+    }
+    let len = r.len("filter occupancy")?;
+    if len > capacity {
+        return Err(PersistError::Corrupt {
+            what: format!("filter occupancy {len} exceeds capacity {capacity}"),
+        });
+    }
+    let mut items = Vec::with_capacity(len);
+    for _ in 0..len {
+        let it = FilterItem {
+            key: r.u64("filter item key")?,
+            new_count: r.i64("filter item new_count")?,
+            old_count: r.i64("filter item old_count")?,
+        };
+        if items.iter().any(|p: &FilterItem| p.key == it.key) {
+            return Err(PersistError::Corrupt {
+                what: format!("duplicate filter key {}", it.key),
+            });
+        }
+        items.push(it);
+    }
+    Ok((kind, capacity, items))
+}
+
+/// Rebuild a boxed filter from decoded state by re-inserting the items in
+/// their persisted slot order (which reproduces each implementation's
+/// internal layout: array filters refill their slots in order, the strict
+/// heap re-sifts an already-valid heap array into itself).
+pub(crate) fn build_filter_from_state(
+    kind: FilterKind,
+    capacity: usize,
+    items: &[FilterItem],
+) -> Box<dyn Filter + Send> {
+    let mut f = kind.build(capacity);
+    for it in items {
+        f.insert(it.key, it.new_count, it.old_count);
+    }
+    f
+}
+
+impl Persist for Box<dyn Filter + Send> {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        write_filter_state(self, out);
+    }
+
+    fn read_state(r: &mut persist::ByteReader<'_>) -> Result<Self, PersistError> {
+        let (kind, capacity, items) = read_filter_state(r)?;
+        Ok(build_filter_from_state(kind, capacity, &items))
+    }
+}
+
+/// `Persist` for a concrete filter type: same wire format as the boxed
+/// impl, plus a kind check so a payload for one filter never silently
+/// loads as another.
+macro_rules! impl_persist_for_filter {
+    ($ty:ty, $kind:expr) => {
+        impl Persist for $ty {
+            fn write_state(&self, out: &mut Vec<u8>) {
+                write_filter_state(self, out);
+            }
+
+            fn read_state(r: &mut persist::ByteReader<'_>) -> Result<Self, PersistError> {
+                let (kind, capacity, items) = read_filter_state(r)?;
+                if kind != $kind {
+                    return Err(PersistError::Corrupt {
+                        what: format!(
+                            "filter payload is {} but {} was requested",
+                            kind.name(),
+                            $kind.name()
+                        ),
+                    });
+                }
+                let mut f = <$ty>::new(capacity);
+                for it in &items {
+                    f.insert(it.key, it.new_count, it.old_count);
+                }
+                Ok(f)
+            }
+        }
+    };
+}
+
+impl_persist_for_filter!(VectorFilter, FilterKind::Vector);
+impl_persist_for_filter!(StrictHeapFilter, FilterKind::StrictHeap);
+impl_persist_for_filter!(RelaxedHeapFilter, FilterKind::RelaxedHeap);
+impl_persist_for_filter!(StreamSummaryFilter, FilterKind::StreamSummary);
 
 /// Dense parallel arrays `(id, new_count, old_count)` shared by the
 /// array-backed filters; kept `pub(crate)` so each filter arranges them

@@ -13,7 +13,7 @@
 
 use sketches::lookup;
 
-use super::{Filter, FilterItem, SlotArrays};
+use super::{Filter, FilterItem, FilterKind, SlotArrays};
 
 /// Lazily maintained min-heap filter.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -86,6 +86,10 @@ impl RelaxedHeapFilter {
 }
 
 impl Filter for RelaxedHeapFilter {
+    fn kind(&self) -> FilterKind {
+        FilterKind::RelaxedHeap
+    }
+
     fn capacity(&self) -> usize {
         self.cap
     }

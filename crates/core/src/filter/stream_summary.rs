@@ -14,7 +14,7 @@
 
 use sketches::fast_map::FxHashMap;
 
-use super::{Filter, FilterItem};
+use super::{Filter, FilterItem, FilterKind};
 
 const NIL: usize = usize::MAX;
 
@@ -150,6 +150,10 @@ impl StreamSummaryFilter {
 }
 
 impl Filter for StreamSummaryFilter {
+    fn kind(&self) -> FilterKind {
+        FilterKind::StreamSummary
+    }
+
     fn capacity(&self) -> usize {
         self.cap
     }

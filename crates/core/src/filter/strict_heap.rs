@@ -11,7 +11,7 @@
 
 use sketches::lookup;
 
-use super::{Filter, FilterItem, SlotArrays};
+use super::{Filter, FilterItem, FilterKind, SlotArrays};
 
 /// Eagerly maintained min-heap filter.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -84,6 +84,10 @@ impl StrictHeapFilter {
 }
 
 impl Filter for StrictHeapFilter {
+    fn kind(&self) -> FilterKind {
+        FilterKind::StrictHeap
+    }
+
     fn capacity(&self) -> usize {
         self.cap
     }

@@ -9,7 +9,7 @@
 
 use sketches::lookup;
 
-use super::{Filter, FilterItem, SlotArrays};
+use super::{Filter, FilterItem, FilterKind, SlotArrays};
 
 /// Unordered array filter with SIMD lookup.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -43,6 +43,10 @@ impl VectorFilter {
 }
 
 impl Filter for VectorFilter {
+    fn kind(&self) -> FilterKind {
+        FilterKind::Vector
+    }
+
     fn capacity(&self) -> usize {
         self.cap
     }

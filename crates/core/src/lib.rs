@@ -43,3 +43,7 @@ pub mod filter;
 pub use asketch::{ASketch, AsketchStats};
 pub use config::AsketchBuilder;
 pub use filter::{Filter, FilterItem, FilterKind};
+
+// Durability layer re-exports, so downstream code configures snapshots and
+// the WAL without a direct `asketch-durable` dependency.
+pub use asketch_durable::{DurabilityError, DurabilityOptions, FsyncPolicy, RecoveryReport};

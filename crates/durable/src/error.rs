@@ -1,0 +1,136 @@
+//! Typed durability failures. Corruption is *always* one of these —
+//! recovery never hands back state decoded from bytes that failed a
+//! check.
+
+use std::path::PathBuf;
+
+use sketches::persist::PersistError;
+
+/// Everything that can go wrong persisting or recovering state.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// An OS-level I/O failure.
+    Io {
+        /// What was being attempted (`"create snapshot"`, `"fsync wal"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A snapshot file does not start with the snapshot magic.
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+    },
+    /// A snapshot was written by an unknown format version.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// The version field found.
+        found: u32,
+    },
+    /// Stored and recomputed CRC32C disagree — the bytes are damaged.
+    ChecksumMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// Checksum recorded in the file.
+        stored: u32,
+        /// Checksum of the bytes actually present.
+        computed: u32,
+    },
+    /// A file ended before a complete structure could be read.
+    Truncated {
+        /// The offending file.
+        path: PathBuf,
+        /// Which structure was cut short.
+        what: &'static str,
+    },
+    /// The checksummed payload decoded to structurally invalid state.
+    Persist {
+        /// The offending file.
+        path: PathBuf,
+        /// The decode failure.
+        source: PersistError,
+    },
+    /// WAL records out of order — sequence numbers must be strictly
+    /// monotone within a shard's log.
+    OutOfOrder {
+        /// The offending segment.
+        path: PathBuf,
+        /// Sequence number found.
+        found: u64,
+        /// Highest sequence number seen before it.
+        after: u64,
+    },
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Io { op, path, source } => {
+                write!(f, "I/O failure during {op} on {}: {source}", path.display())
+            }
+            DurabilityError::BadMagic { path } => {
+                write!(
+                    f,
+                    "{} is not an ASketch snapshot (bad magic)",
+                    path.display()
+                )
+            }
+            DurabilityError::UnsupportedVersion { path, found } => {
+                write!(
+                    f,
+                    "{} uses unsupported snapshot version {found}",
+                    path.display()
+                )
+            }
+            DurabilityError::ChecksumMismatch {
+                path,
+                stored,
+                computed,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch in {}: stored {stored:#010x}, computed {computed:#010x}",
+                    path.display()
+                )
+            }
+            DurabilityError::Truncated { path, what } => {
+                write!(f, "{} truncated while reading {what}", path.display())
+            }
+            DurabilityError::Persist { path, source } => {
+                write!(f, "invalid persisted state in {}: {source}", path.display())
+            }
+            DurabilityError::OutOfOrder { path, found, after } => {
+                write!(
+                    f,
+                    "WAL sequence regression in {}: {found} after {after}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Io { source, .. } => Some(source),
+            DurabilityError::Persist { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Shorthand for wrapping an I/O error with its operation + path.
+pub(crate) fn io_err<'a>(
+    op: &'static str,
+    path: &'a std::path::Path,
+) -> impl FnOnce(std::io::Error) -> DurabilityError + 'a {
+    move |source| DurabilityError::Io {
+        op,
+        path: path.to_path_buf(),
+        source,
+    }
+}

@@ -1,0 +1,152 @@
+//! # asketch-durable — checksummed snapshots, per-shard WAL, crash recovery
+//!
+//! The durability layer for the ASketch runtime. Three pieces:
+//!
+//! * [`snapshot`] — versioned, CRC32C-checksummed binary snapshots of any
+//!   [`Persist`](sketches::Persist) summary, written atomically
+//!   (tmp → fsync → rename → directory fsync) so a crash never leaves a
+//!   half-snapshot that reads as valid.
+//! * [`wal`] — a segment-based write-ahead log of batched updates, one
+//!   record per shipped batch with a monotone sequence number, with a
+//!   configurable [`FsyncPolicy`]. Replay truncates at the first torn or
+//!   corrupt record.
+//! * [`recovery`] — [`recover_kernel`] = latest valid snapshot + WAL
+//!   replay, with sequence-gated dedup (exactly-once over the durable
+//!   prefix) or raw at-least-once replay that can only *over*-count —
+//!   which keeps the paper's one-sided `estimate ≥ true count` guarantee
+//!   even without dedup.
+//!
+//! All checksums are a from-scratch CRC32C ([`crc32c`]) because the
+//! approved dependency set has no checksum crate. Every failure mode is a
+//! typed [`DurabilityError`]; corrupted bytes are never decoded into
+//! state silently.
+//!
+//! The crate depends only on `sketches` — it persists any
+//! `Persist + FrequencyEstimator` kernel, so the core ASketch wrapper,
+//! bare backends, and the sharded parallel runtime all reuse it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crc32c;
+pub mod error;
+pub mod recovery;
+pub mod snapshot;
+pub mod wal;
+
+pub use error::DurabilityError;
+pub use recovery::{recover_kernel, RecoveryReport};
+pub use snapshot::{
+    list_snapshots, load_latest, prune_snapshots, read_snapshot, write_snapshot, SnapshotMeta,
+};
+pub use wal::{list_segments, replay, truncate_torn, FsyncPolicy, TornTail, WalScan, WalWriter};
+
+use std::path::{Path, PathBuf};
+
+/// Configuration for a durable runtime: where state lives and how hard
+/// the WAL pushes it to disk.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Root directory; each shard gets `shard-NNNN/` beneath it.
+    pub dir: PathBuf,
+    /// WAL fsync policy (default: [`FsyncPolicy::Interval`]`(32)`).
+    pub fsync: FsyncPolicy,
+    /// WAL segment roll threshold in bytes (default 8 MiB).
+    pub segment_bytes: u64,
+    /// Snapshots retained per shard after rotation (default 2).
+    pub snapshot_keep: usize,
+    /// Whether recovery dedups WAL records already covered by the
+    /// snapshot (default `true` = exactly-once over the durable prefix;
+    /// `false` = at-least-once, one-sided over-count only).
+    pub dedup: bool,
+}
+
+impl DurabilityOptions {
+    /// Options rooted at `dir` with the defaults above.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Interval(32),
+            segment_bytes: 8 << 20,
+            snapshot_keep: 2,
+            dedup: true,
+        }
+    }
+
+    /// Set the WAL fsync policy.
+    #[must_use]
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Set the WAL segment roll threshold.
+    #[must_use]
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(4096);
+        self
+    }
+
+    /// Set how many snapshots rotation keeps per shard.
+    #[must_use]
+    pub fn snapshot_keep(mut self, keep: usize) -> Self {
+        self.snapshot_keep = keep.max(1);
+        self
+    }
+
+    /// Enable or disable sequence-gated replay dedup.
+    #[must_use]
+    pub fn dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Directory holding shard `shard`'s snapshots and WAL segments.
+    pub fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard:04}"))
+    }
+}
+
+/// `true` when `dir` contains any durable state (snapshots or WAL) for
+/// any shard — i.e. recovery would have something to do.
+pub fn has_state(dir: &Path) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            if let Ok(children) = std::fs::read_dir(&p) {
+                for c in children.flatten() {
+                    if let Some(name) = c.file_name().to_str() {
+                        if (name.starts_with("snap-") && name.ends_with(".bin"))
+                            || (name.starts_with("wal-") && name.ends_with(".log"))
+                        {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_defaults_and_builders() {
+        let o = DurabilityOptions::new("/tmp/x")
+            .fsync(FsyncPolicy::PerBatch)
+            .segment_bytes(1)
+            .snapshot_keep(0)
+            .dedup(false);
+        assert_eq!(o.fsync, FsyncPolicy::PerBatch);
+        assert_eq!(o.segment_bytes, 4096, "floor applied");
+        assert_eq!(o.snapshot_keep, 1, "floor applied");
+        assert!(!o.dedup);
+        assert_eq!(o.shard_dir(3), PathBuf::from("/tmp/x/shard-0003"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Versioned, CRC32C-checksummed snapshot files.
+//!
+//! ## Format (little-endian throughout)
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "ASKSNAP1"
+//!      8     4  version (= 1)
+//!     12     8  shard index
+//!     20     8  wal_seq   — highest WAL sequence folded into this state
+//!     28     8  ops       — tuples applied to the state (informational)
+//!     36     8  payload_len
+//!     44     n  payload   — `Persist::write_state` bytes of the kernel
+//!   44+n     4  crc32c over bytes [8 .. 44+n] (everything after magic)
+//! ```
+//!
+//! Files are named `snap-<wal_seq, zero-padded>.bin` so lexicographic
+//! order is recovery order, and are written atomically: tmp file →
+//! `fsync` → `rename` → directory `fsync`. A crash mid-write leaves
+//! either the previous snapshot set intact or a `.tmp` that recovery
+//! ignores — never a half-visible snapshot.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use sketches::persist::Persist;
+
+use crate::crc32c::crc32c;
+use crate::error::{io_err, DurabilityError};
+
+/// Snapshot file magic.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ASKSNAP1";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Identity of a snapshot: which shard, and how much of the stream it
+/// already contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Shard index the state belongs to.
+    pub shard: u64,
+    /// Highest WAL sequence number folded into the state; replay with
+    /// dedup skips records at or below this.
+    pub wal_seq: u64,
+    /// Tuples applied to the state (drives recovery invariant checks).
+    pub ops: u64,
+}
+
+fn snapshot_file_name(wal_seq: u64) -> String {
+    format!("snap-{wal_seq:020}.bin")
+}
+
+/// Parse `snap-<seq>.bin` back to its sequence number.
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
+}
+
+/// Fsync a directory so a completed rename survives power loss.
+fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(io_err("fsync directory", dir))
+}
+
+/// Atomically write a checksummed snapshot of `state` into `dir`,
+/// returning the final path.
+///
+/// # Errors
+/// Any I/O failure; the directory is created if missing.
+pub fn write_snapshot<P: Persist>(
+    dir: &Path,
+    meta: SnapshotMeta,
+    state: &P,
+) -> Result<PathBuf, DurabilityError> {
+    fs::create_dir_all(dir).map_err(io_err("create snapshot dir", dir))?;
+    let payload = state.to_state_bytes();
+    // Everything after the magic is covered by the trailing CRC.
+    let mut body = Vec::with_capacity(36 + payload.len());
+    body.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    body.extend_from_slice(&meta.shard.to_le_bytes());
+    body.extend_from_slice(&meta.wal_seq.to_le_bytes());
+    body.extend_from_slice(&meta.ops.to_le_bytes());
+    body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    body.extend_from_slice(&payload);
+    let crc = crc32c(&body);
+
+    let final_path = dir.join(snapshot_file_name(meta.wal_seq));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(meta.wal_seq)));
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(io_err("create snapshot tmp", &tmp_path))?;
+        f.write_all(&SNAPSHOT_MAGIC)
+            .and_then(|()| f.write_all(&body))
+            .and_then(|()| f.write_all(&crc.to_le_bytes()))
+            .and_then(|()| f.sync_all())
+            .map_err(io_err("write snapshot", &tmp_path))?;
+    }
+    fs::rename(&tmp_path, &final_path).map_err(io_err("publish snapshot", &final_path))?;
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// Read and fully validate one snapshot file.
+///
+/// # Errors
+/// Typed failures for bad magic, unknown version, torn files, checksum
+/// mismatches, and undecodable payloads — damaged bytes never become
+/// state.
+pub fn read_snapshot<P: Persist>(path: &Path) -> Result<(SnapshotMeta, P), DurabilityError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(io_err("read snapshot", path))?;
+    if bytes.len() < 8 || bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(DurabilityError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    if bytes.len() < 48 {
+        return Err(DurabilityError::Truncated {
+            path: path.to_path_buf(),
+            what: "snapshot header",
+        });
+    }
+    let body = &bytes[8..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let computed = crc32c(body);
+    if stored != computed {
+        return Err(DurabilityError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            stored,
+            computed,
+        });
+    }
+    // CRC has vouched for the body; field extraction can't fail except for
+    // length inconsistencies (still possible if the file was truncated to
+    // a self-consistent prefix, which the length field catches).
+    let version = u32::from_le_bytes(body[0..4].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(DurabilityError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    let meta = SnapshotMeta {
+        shard: u64::from_le_bytes(body[4..12].try_into().unwrap()),
+        wal_seq: u64::from_le_bytes(body[12..20].try_into().unwrap()),
+        ops: u64::from_le_bytes(body[20..28].try_into().unwrap()),
+    };
+    let payload_len = u64::from_le_bytes(body[28..36].try_into().unwrap());
+    let payload = &body[36..];
+    if payload_len != payload.len() as u64 {
+        return Err(DurabilityError::Truncated {
+            path: path.to_path_buf(),
+            what: "snapshot payload",
+        });
+    }
+    let state = P::from_state_bytes(payload).map_err(|source| DurabilityError::Persist {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    Ok((meta, state))
+}
+
+/// All snapshot files in `dir`, sorted by sequence ascending.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in fs::read_dir(dir).map_err(io_err("list snapshots", dir))? {
+        let entry = entry.map_err(io_err("list snapshots", dir))?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_snapshot_name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(out)
+}
+
+/// Load the newest snapshot that validates, newest-first. Invalid
+/// snapshots are *skipped* (recovery falls back to an older one — the WAL
+/// tail covers the difference) but reported so callers can surface the
+/// corruption loudly.
+///
+/// # Errors
+/// Only directory-level I/O failures; per-file corruption lands in the
+/// rejected list.
+#[allow(clippy::type_complexity)]
+pub fn load_latest<P: Persist>(
+    dir: &Path,
+) -> Result<(Option<(SnapshotMeta, P)>, Vec<(PathBuf, DurabilityError)>), DurabilityError> {
+    let mut rejected = Vec::new();
+    for (_, path) in list_snapshots(dir)?.into_iter().rev() {
+        match read_snapshot::<P>(&path) {
+            Ok(loaded) => return Ok((Some(loaded), rejected)),
+            Err(e) => rejected.push((path, e)),
+        }
+    }
+    Ok((None, rejected))
+}
+
+/// Delete all but the `keep` newest snapshot files. Best-effort: deletion
+/// failures are ignored (a leftover snapshot is wasted disk, not
+/// incorrectness).
+pub fn prune_snapshots(dir: &Path, keep: usize) {
+    if let Ok(snaps) = list_snapshots(dir) {
+        let n = snaps.len().saturating_sub(keep);
+        for (_, path) in snaps.into_iter().take(n) {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketches::{CountMin, FrequencyEstimator};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("asketch-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample() -> CountMin {
+        let mut cms = CountMin::new(5, 4, 256).unwrap();
+        for k in 0..200u64 {
+            cms.update(k % 37, 1 + (k % 3) as i64);
+        }
+        cms
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let cms = sample();
+        let meta = SnapshotMeta {
+            shard: 3,
+            wal_seq: 41,
+            ops: 200,
+        };
+        write_snapshot(&dir, meta, &cms).unwrap();
+        let (got_meta, got): (SnapshotMeta, CountMin) =
+            read_snapshot(&dir.join("snap-00000000000000000041.bin")).unwrap();
+        assert_eq!(got_meta, meta);
+        for k in 0..40u64 {
+            assert_eq!(got.estimate(k), cms.estimate(k));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_valid_wins_and_corrupt_is_reported() {
+        let dir = tmp_dir("latest");
+        let old = sample();
+        let mut new = sample();
+        new.update(999, 7);
+        write_snapshot(
+            &dir,
+            SnapshotMeta {
+                shard: 0,
+                wal_seq: 10,
+                ops: 1,
+            },
+            &old,
+        )
+        .unwrap();
+        let new_path = write_snapshot(
+            &dir,
+            SnapshotMeta {
+                shard: 0,
+                wal_seq: 20,
+                ops: 2,
+            },
+            &new,
+        )
+        .unwrap();
+        // Undamaged: newest wins.
+        let (loaded, rejected) = load_latest::<CountMin>(&dir).unwrap();
+        assert_eq!(loaded.as_ref().unwrap().0.wal_seq, 20);
+        assert!(rejected.is_empty());
+        // Flip one payload bit in the newest: it must be rejected with a
+        // checksum error and the older snapshot must be served.
+        let mut bytes = fs::read(&new_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&new_path, &bytes).unwrap();
+        let (loaded, rejected) = load_latest::<CountMin>(&dir).unwrap();
+        assert_eq!(loaded.as_ref().unwrap().0.wal_seq, 10);
+        assert_eq!(rejected.len(), 1);
+        assert!(matches!(
+            rejected[0].1,
+            DurabilityError::ChecksumMismatch { .. }
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_body_and_crc_corruption_are_typed() {
+        let dir = tmp_dir("typed");
+        let cms = sample();
+        let path = write_snapshot(
+            &dir,
+            SnapshotMeta {
+                shard: 0,
+                wal_seq: 5,
+                ops: 200,
+            },
+            &cms,
+        )
+        .unwrap();
+        let clean = fs::read(&path).unwrap();
+
+        // Magic corruption.
+        let mut b = clean.clone();
+        b[0] ^= 0xFF;
+        fs::write(&path, &b).unwrap();
+        assert!(matches!(
+            read_snapshot::<CountMin>(&path),
+            Err(DurabilityError::BadMagic { .. })
+        ));
+
+        // Header (version) corruption is caught by the CRC.
+        let mut b = clean.clone();
+        b[9] ^= 0x01;
+        fs::write(&path, &b).unwrap();
+        assert!(matches!(
+            read_snapshot::<CountMin>(&path),
+            Err(DurabilityError::ChecksumMismatch { .. })
+        ));
+
+        // Body corruption.
+        let mut b = clean.clone();
+        let mid = b.len() / 2;
+        b[mid] ^= 0x80;
+        fs::write(&path, &b).unwrap();
+        assert!(matches!(
+            read_snapshot::<CountMin>(&path),
+            Err(DurabilityError::ChecksumMismatch { .. })
+        ));
+
+        // Trailing-CRC corruption.
+        let mut b = clean.clone();
+        let last = b.len() - 1;
+        b[last] ^= 0x04;
+        fs::write(&path, &b).unwrap();
+        assert!(matches!(
+            read_snapshot::<CountMin>(&path),
+            Err(DurabilityError::ChecksumMismatch { .. })
+        ));
+
+        // Truncation.
+        fs::write(&path, &clean[..clean.len() / 3]).unwrap();
+        assert!(read_snapshot::<CountMin>(&path).is_err());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = tmp_dir("prune");
+        let cms = sample();
+        for seq in [1u64, 2, 3, 4] {
+            write_snapshot(
+                &dir,
+                SnapshotMeta {
+                    shard: 0,
+                    wal_seq: seq,
+                    ops: seq,
+                },
+                &cms,
+            )
+            .unwrap();
+        }
+        prune_snapshots(&dir, 2);
+        let left: Vec<u64> = list_snapshots(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(left, vec![3, 4]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

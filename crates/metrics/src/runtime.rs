@@ -34,6 +34,20 @@ pub struct ShardGauge {
     pub worker_failures: u64,
     /// Whether the shard currently applies updates inline on the caller.
     pub degraded: bool,
+    /// Whether the shard's kernel was restored from durable state
+    /// (snapshot and/or WAL) when the runtime spawned.
+    pub recovered: bool,
+    /// Keys replayed from the WAL during that recovery.
+    pub replayed_keys: u64,
+    /// WAL batch records appended by this shard in the current session.
+    pub wal_records: u64,
+    /// WAL sequence number covered by the shard's last completed
+    /// background snapshot (0 before the first snapshot lands).
+    pub snapshot_seq: u64,
+    /// Whether durability was disabled mid-run by an I/O failure (the
+    /// runtime keeps counting; persistence stops until the next clean
+    /// shutdown snapshot).
+    pub durability_failed: bool,
 }
 
 impl ShardGauge {
@@ -73,6 +87,16 @@ impl ShardedHealth {
     /// Whether any shard is running degraded (inline on the caller).
     pub fn any_degraded(&self) -> bool {
         self.shards.iter().any(|s| s.degraded)
+    }
+
+    /// Whether any shard lost its durability (WAL/snapshot I/O failure).
+    pub fn any_durability_failed(&self) -> bool {
+        self.shards.iter().any(|s| s.durability_failed)
+    }
+
+    /// Total keys replayed from WALs at spawn, across shards.
+    pub fn total_replayed_keys(&self) -> u64 {
+        self.shards.iter().map(|s| s.replayed_keys).sum()
     }
 
     /// Highest queue occupancy across shards (hot-shard indicator under

@@ -70,7 +70,8 @@
 //! the gate — the read path stays wait-free.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,8 +80,11 @@ use crossbeam::channel::{
     self, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
 };
 
-use asketch::{ASketch, Filter, FilterItem};
+use asketch::{ASketch, DurabilityError, DurabilityOptions, Filter, FilterItem, RecoveryReport};
+use asketch_durable::snapshot::{prune_snapshots, write_snapshot, SnapshotMeta};
+use asketch_durable::{recover_kernel, WalWriter};
 use eval_metrics::{ShardGauge, ShardedHealth};
+use sketches::persist::Persist;
 use sketches::traits::{FrequencyEstimator, Tuple, UpdateEstimate};
 use sketches::SharedView;
 
@@ -237,6 +241,122 @@ struct ShardLink<K> {
     handle: JoinHandle<K>,
 }
 
+/// One background snapshot: a kernel clone to serialize, checksum, and
+/// rotate, entirely off the ingest path.
+struct SnapshotJob<K> {
+    dir: PathBuf,
+    meta: SnapshotMeta,
+    kernel: K,
+    keep: usize,
+    busy: Arc<AtomicBool>,
+    snapped_seq: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+}
+
+/// Per-shard durability state: the WAL appender on the caller's ship path
+/// plus the handles feeding the shared background snapshotter thread.
+///
+/// The WAL sequence space is `wal_base + journal_seq`, so sequence numbers
+/// stay strictly monotone *across restarts*: `wal_base` is the highest
+/// sequence recovered from disk at spawn, and the in-session journal
+/// counts from 1.
+struct DurableShard<K> {
+    shard_idx: usize,
+    dir: PathBuf,
+    wal: WalWriter,
+    wal_base: u64,
+    keep: usize,
+    snap_tx: Sender<SnapshotJob<K>>,
+    /// Set while a snapshot job for this shard is in flight; checkpoints
+    /// arriving meanwhile skip their snapshot (the WAL covers the gap), so
+    /// the ingest path pays at most one extra kernel clone per completed
+    /// snapshot write.
+    busy: Arc<AtomicBool>,
+    /// WAL-space sequence covered by the last *completed* snapshot; the
+    /// caller prunes covered WAL segments when this advances.
+    snapped_seq: Arc<AtomicU64>,
+    snap_errors: Arc<AtomicU64>,
+    /// `snapped_seq` value at the last prune, to prune only on change.
+    pruned_seq: u64,
+    /// Monomorphized `write_snapshot`, so the non-`Persist`-bounded
+    /// `finish` path can still write the final snapshot.
+    write: fn(&Path, SnapshotMeta, &K) -> Result<PathBuf, DurabilityError>,
+    /// Whether spawn restored state from disk (snapshot or WAL).
+    recovered: bool,
+    /// Keys replayed from the WAL at spawn.
+    replayed_keys: u64,
+    /// Records appended this session.
+    wal_records: u64,
+    /// First WAL I/O failure: durability stops (counting continues) and
+    /// the failure is surfaced through health and `wal_checkpoint`.
+    failed: Option<String>,
+}
+
+impl<K> DurableShard<K> {
+    /// Append one shipped batch to the WAL (journal seq space) and prune
+    /// segments behind the last completed background snapshot.
+    fn append(&mut self, seq: u64, keys: &[u64]) {
+        if self.failed.is_some() {
+            return;
+        }
+        if let Err(e) = self.wal.append(self.wal_base + seq, keys) {
+            self.failed = Some(e.to_string());
+            return;
+        }
+        self.wal_records += 1;
+        let snapped = self.snapped_seq.load(Ordering::Acquire);
+        if snapped > self.pruned_seq {
+            self.wal.prune_covered(snapped);
+            self.pruned_seq = snapped;
+        }
+    }
+
+    /// Hand a checkpointed kernel to the snapshotter unless one is already
+    /// in flight for this shard (the clone is only paid when a job is
+    /// actually scheduled).
+    fn schedule_snapshot(&mut self, seq: u64, ops: u64, kernel: &K)
+    where
+        K: Clone,
+    {
+        if self.failed.is_some() || self.busy.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let job = SnapshotJob {
+            dir: self.dir.clone(),
+            meta: SnapshotMeta {
+                shard: self.shard_idx as u64,
+                wal_seq: self.wal_base + seq,
+                ops,
+            },
+            kernel: kernel.clone(),
+            keep: self.keep,
+            busy: Arc::clone(&self.busy),
+            snapped_seq: Arc::clone(&self.snapped_seq),
+            errors: Arc::clone(&self.snap_errors),
+        };
+        if self.snap_tx.send(job).is_err() {
+            self.busy.store(false, Ordering::Release);
+        }
+    }
+
+    /// Final snapshot + WAL prune on clean shutdown: after this, recovery
+    /// needs only the snapshot (the WAL is fully covered).
+    fn finalize(&mut self, kernel: &K, ops: u64) {
+        let _ = self.wal.sync();
+        let meta = SnapshotMeta {
+            shard: self.shard_idx as u64,
+            wal_seq: self.wal.last_seq(),
+            ops,
+        };
+        if (self.write)(&self.dir, meta, kernel).is_ok() {
+            prune_snapshots(&self.dir, self.keep);
+            self.wal.prune_covered(meta.wal_seq);
+        } else {
+            self.snap_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// The shard-worker loop: apply batches through the sequential kernel,
 /// publish snapshots on their intervals, checkpoint for the journal, and
 /// publish one final time when the channel disconnects.
@@ -350,6 +470,9 @@ where
     spill: VecDeque<ToShard>,
     /// The kernel applied inline once the restart budget is spent.
     inline: Option<ASketch<F, S>>,
+    /// Durability state (WAL + snapshot scheduling); `None` for a
+    /// non-durable runtime.
+    durable: Option<DurableShard<ASketch<F, S>>>,
     routed: u64,
     queue_full_events: u64,
     spilled: u64,
@@ -364,7 +487,11 @@ where
     F: Filter + Clone + Send + 'static,
     S: SharedView + UpdateEstimate + Clone + Send + 'static,
 {
-    fn new(kernel: ASketch<F, S>, cfg: &ConcurrentConfig) -> Self {
+    fn new(
+        kernel: ASketch<F, S>,
+        cfg: &ConcurrentConfig,
+        durable: Option<DurableShard<ASketch<F, S>>>,
+    ) -> Self {
         let mut items = Vec::new();
         kernel.snapshot_filter_into(&mut items);
         let snap = Arc::new(ShardSnapshot {
@@ -385,6 +512,7 @@ where
             depth,
             spill: VecDeque::new(),
             inline: None,
+            durable,
             routed: 0,
             queue_full_events: 0,
             spilled: 0,
@@ -395,7 +523,11 @@ where
         }
     }
 
-    /// Harvest queued checkpoints; prunes the replay journal.
+    /// Harvest queued checkpoints; prunes the replay journal and (durable
+    /// runtimes) schedules a background snapshot from the checkpointed
+    /// kernel — the snapshot clone rides the checkpoint clone the worker
+    /// already paid for, and serialization happens on the snapshotter
+    /// thread, never here.
     fn drain_checkpoints(&mut self) {
         let Some(link) = self.link.as_ref() else {
             return;
@@ -406,6 +538,9 @@ where
         }
         for (seq, snapshot) in received {
             self.checkpoints += 1;
+            if let Some(d) = self.durable.as_mut() {
+                d.schedule_snapshot(seq, snapshot.ops_applied(), &snapshot);
+            }
             self.journal.on_checkpoint(seq, snapshot);
         }
     }
@@ -493,20 +628,26 @@ where
     }
 
     /// Flush as much of the spill queue as fits without blocking.
+    ///
+    /// The depth gauge is incremented *before* each send and rolled back
+    /// on failure (here and in every other send path): the worker
+    /// decrements on receive, so an increment-after-send would let the
+    /// decrement land first and transiently wrap the unsigned gauge.
     fn flush_spill_try(&mut self, cfg: &ConcurrentConfig) {
         while let Some(msg) = self.spill.pop_front() {
             let Some(link) = self.link.as_ref() else {
                 return;
             };
+            self.depth.fetch_add(1, Ordering::Relaxed);
             match link.tx.try_send(msg) {
-                Ok(()) => {
-                    self.depth.fetch_add(1, Ordering::Relaxed);
-                }
+                Ok(()) => {}
                 Err(TrySendError::Full(m)) => {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
                     self.spill.push_front(m);
                     return;
                 }
                 Err(TrySendError::Disconnected(_)) => {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
                     self.fail_over(None, cfg);
                     return;
                 }
@@ -521,15 +662,16 @@ where
             let Some(link) = self.link.as_ref() else {
                 return;
             };
+            self.depth.fetch_add(1, Ordering::Relaxed);
             match link.tx.send_timeout(msg, cfg.supervision.send_timeout) {
-                Ok(()) => {
-                    self.depth.fetch_add(1, Ordering::Relaxed);
-                }
+                Ok(()) => {}
                 Err(SendTimeoutError::Timeout(_)) => {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
                     self.fail_over(Some(PipelineError::EstimateTimeout), cfg);
                     return;
                 }
                 Err(SendTimeoutError::Disconnected(_)) => {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
                     self.fail_over(None, cfg);
                     return;
                 }
@@ -558,26 +700,36 @@ where
         let Some(link) = self.link.as_ref() else {
             return;
         };
+        self.depth.fetch_add(1, Ordering::Relaxed);
         match link.tx.send_timeout(msg, cfg.supervision.send_timeout) {
-            Ok(()) => {
-                self.depth.fetch_add(1, Ordering::Relaxed);
-            }
+            Ok(()) => {}
             Err(SendTimeoutError::Timeout(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
                 self.fail_over(Some(PipelineError::EstimateTimeout), cfg);
             }
-            Err(SendTimeoutError::Disconnected(_)) => self.fail_over(None, cfg),
+            Err(SendTimeoutError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.fail_over(None, cfg);
+            }
         }
     }
 
-    /// Ship one full batch to this shard's worker: journal first (so no
-    /// failure mode can lose it), then send under the backpressure policy.
+    /// Ship one full batch to this shard's worker: journal and WAL first
+    /// (so no failure mode can lose it), then send under the backpressure
+    /// policy. The WAL record piggybacks on the journal's sequence number
+    /// — one durable record per batch, written before the batch can reach
+    /// the worker, so the on-disk log is always a prefix-or-equal of what
+    /// any worker has applied.
     fn ship(&mut self, keys: Vec<u64>, cfg: &ConcurrentConfig) {
         self.routed += keys.len() as u64;
+        let seq = self.journal.next_seq();
+        if let Some(d) = self.durable.as_mut() {
+            d.append(seq, &keys);
+        }
         if self.link.is_none() {
             self.apply_inline(&keys);
             return;
         }
-        let seq = self.journal.next_seq();
         for &k in &keys {
             self.journal.record_at(seq, k, 1);
         }
@@ -595,6 +747,7 @@ where
             self.push_spill(msg, cfg);
             return;
         }
+        self.depth.fetch_add(1, Ordering::Relaxed);
         let sent = self
             .link
             .as_ref()
@@ -602,17 +755,19 @@ where
             .tx
             .try_send(msg);
         match sent {
-            Ok(()) => {
-                self.depth.fetch_add(1, Ordering::Relaxed);
-            }
+            Ok(()) => {}
             Err(TrySendError::Full(m)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
                 self.queue_full_events += 1;
                 match cfg.supervision.backpressure {
                     BackpressurePolicy::Block => self.send_sync(m, cfg),
                     BackpressurePolicy::InlineFallback => self.push_spill(m, cfg),
                 }
             }
-            Err(TrySendError::Disconnected(_)) => self.fail_over(None, cfg),
+            Err(TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.fail_over(None, cfg);
+            }
         }
     }
 
@@ -662,6 +817,14 @@ where
             restarts: self.restarts,
             worker_failures: self.failures,
             degraded: self.inline.is_some(),
+            recovered: self.durable.as_ref().is_some_and(|d| d.recovered),
+            replayed_keys: self.durable.as_ref().map_or(0, |d| d.replayed_keys),
+            wal_records: self.durable.as_ref().map_or(0, |d| d.wal_records),
+            snapshot_seq: self
+                .durable
+                .as_ref()
+                .map_or(0, |d| d.snapped_seq.load(Ordering::Acquire)),
+            durability_failed: self.durable.as_ref().is_some_and(|d| d.failed.is_some()),
         }
     }
 }
@@ -734,6 +897,9 @@ where
     router: KeyRouter,
     snaps: Arc<Vec<Arc<ShardSnapshot<S>>>>,
     cfg: ConcurrentConfig,
+    /// Background snapshot writer (durable runtimes only); exits when the
+    /// last shard's job sender drops, joined in `finish`.
+    snapshotter: Option<JoinHandle<()>>,
 }
 
 impl<F, S> ConcurrentASketch<F, S>
@@ -749,7 +915,7 @@ where
     pub fn spawn(cfg: ConcurrentConfig, make_kernel: impl Fn(usize) -> ASketch<F, S>) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
         let shards: Vec<ShardState<F, S>> = (0..cfg.shards)
-            .map(|i| ShardState::new(make_kernel(i), &cfg))
+            .map(|i| ShardState::new(make_kernel(i), &cfg, None))
             .collect();
         let snaps = Arc::new(shards.iter().map(|s| Arc::clone(&s.snap)).collect());
         let router = KeyRouter::new(KeyPartition::new(cfg.shards), cfg.batch.max(1));
@@ -758,6 +924,7 @@ where
             router,
             snaps,
             cfg,
+            snapshotter: None,
         }
     }
 
@@ -839,54 +1006,208 @@ where
     /// Shut every worker down and return the per-shard kernels (shard
     /// order). Never hangs: a healthy worker is joined (publishing its
     /// final state on the way out); a panicked or wedged one is replaced by
-    /// its journal reconstruction.
-    pub fn finish(mut self) -> Vec<ASketch<F, S>> {
+    /// its journal reconstruction. Durable shards write a final snapshot
+    /// covering everything routed and prune their WAL behind it.
+    pub fn finish(self) -> Vec<ASketch<F, S>> {
+        self.finish_with_health().0
+    }
+
+    /// [`finish`](Self::finish), also returning the post-teardown health
+    /// gauges. After a graceful shutdown every queue-depth gauge reads
+    /// exactly zero — nothing residual, nothing underflowed — even when a
+    /// wedged worker had to be abandoned.
+    pub fn finish_with_health(mut self) -> (Vec<ASketch<F, S>>, ShardedHealth) {
         self.flush_router();
         let mut kernels = Vec::with_capacity(self.shards.len());
         for st in self.shards.iter_mut() {
             st.flush_spill_sync(&self.cfg);
             st.drain_checkpoints();
-            let Some(link) = st.link.take() else {
-                kernels.push(
-                    st.inline
-                        .take()
-                        .expect("degraded shard has an inline kernel"),
-                );
-                continue;
-            };
-            drop(link.tx);
-            let deadline = Instant::now() + self.cfg.supervision.shutdown_timeout;
-            while !link.handle.is_finished() && Instant::now() < deadline {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            let kernel = if link.handle.is_finished() {
-                match link.handle.join() {
-                    Ok(kernel) => kernel,
-                    Err(payload) => {
-                        st.failures += 1;
-                        st.last_error = Some(PipelineError::WorkerPanicked(panic_message(payload)));
-                        st.journal.restore()
-                    }
+            let kernel = if let Some(link) = st.link.take() {
+                drop(link.tx);
+                let deadline = Instant::now() + self.cfg.supervision.shutdown_timeout;
+                while !link.handle.is_finished() && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(1));
                 }
+                let kernel = if link.handle.is_finished() {
+                    match link.handle.join() {
+                        Ok(kernel) => kernel,
+                        Err(payload) => {
+                            st.failures += 1;
+                            st.last_error =
+                                Some(PipelineError::WorkerPanicked(panic_message(payload)));
+                            // The dead worker left its queued batches
+                            // undrained; the gauge must not carry them
+                            // (the journal restore below covers them).
+                            st.depth = Arc::new(AtomicUsize::new(0));
+                            st.journal.restore()
+                        }
+                    }
+                } else {
+                    // Wedged past the deadline: abandon the thread and
+                    // reconstruct (it exits when it touches the dead
+                    // channel). Retire its writer generation first so its
+                    // final on-disconnect publish is dropped instead of
+                    // racing (or landing after) the republish below, and
+                    // detach the depth gauge — the abandoned worker keeps
+                    // decrementing its own Arc as it drains.
+                    st.failures += 1;
+                    st.last_error = Some(PipelineError::EstimateTimeout);
+                    st.writer_gen = st.snap.retire_writer();
+                    st.depth = Arc::new(AtomicUsize::new(0));
+                    st.journal.restore()
+                };
+                // The clean path already published on disconnect; republish
+                // here so the restore paths leave handles coherent too.
+                let mut items = Vec::new();
+                publish_filter(&kernel, &st.snap, &mut items, st.writer_gen);
+                publish_view(&kernel, &st.snap, st.writer_gen);
+                kernel
             } else {
-                // Wedged past the deadline: abandon the thread and
-                // reconstruct (it exits when it touches the dead channel).
-                // Retire its writer generation first so its final
-                // on-disconnect publish is dropped instead of racing (or
-                // landing after) the republish below.
-                st.failures += 1;
-                st.last_error = Some(PipelineError::EstimateTimeout);
-                st.writer_gen = st.snap.retire_writer();
-                st.journal.restore()
+                st.inline
+                    .take()
+                    .expect("degraded shard has an inline kernel")
             };
-            // The clean path already published on disconnect; republish
-            // here so the restore paths leave handles coherent too.
-            let mut items = Vec::new();
-            publish_filter(&kernel, &st.snap, &mut items, st.writer_gen);
-            publish_view(&kernel, &st.snap, st.writer_gen);
+            if let Some(d) = st.durable.as_mut() {
+                d.finalize(&kernel, kernel.ops_applied());
+            }
             kernels.push(kernel);
         }
-        kernels
+        // Gauges while durability state is still attached (so WAL/recovery
+        // counters survive into the final health), then drop it — that
+        // releases every snapshot-job sender, the snapshotter drains its
+        // queue and exits, and the join below is bounded.
+        let health = ShardedHealth {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.gauge(i, &self.cfg))
+                .collect(),
+        };
+        for st in self.shards.iter_mut() {
+            st.durable = None;
+        }
+        if let Some(handle) = self.snapshotter.take() {
+            let _ = handle.join();
+        }
+        (kernels, health)
+    }
+
+    /// Durability barrier: flush router partials into the WAL and fsync
+    /// every shard's log regardless of fsync policy. When it returns
+    /// `Ok(n)`, all `n` keys routed so far survive a crash of this
+    /// process. Returns the first recorded WAL failure, if durability was
+    /// lost. No-op (beyond the router flush) on non-durable runtimes.
+    ///
+    /// # Errors
+    /// The first WAL I/O failure across shards.
+    pub fn wal_checkpoint(&mut self) -> Result<u64, DurabilityError> {
+        self.flush_router();
+        let mut total = 0u64;
+        for st in self.shards.iter_mut() {
+            total += st.routed;
+            if let Some(d) = st.durable.as_mut() {
+                if let Some(msg) = &d.failed {
+                    return Err(DurabilityError::Io {
+                        op: "wal append",
+                        path: d.dir.clone(),
+                        source: std::io::Error::other(msg.clone()),
+                    });
+                }
+                d.wal.sync()?;
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl<F, S> ConcurrentASketch<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+    ASketch<F, S>: Persist,
+{
+    /// Spawn a **durable** runtime rooted at `opts.dir`: each shard first
+    /// recovers its kernel from the latest valid snapshot plus a
+    /// sequence-gated WAL replay (see `asketch-durable`), then runs
+    /// exactly like [`spawn`](Self::spawn) with two additions — every
+    /// shipped batch is appended to the shard's WAL *before* it can reach
+    /// the worker, and worker checkpoints feed a shared background
+    /// snapshotter thread that writes checksummed snapshots and prunes
+    /// covered WAL segments without ever blocking ingest or readers.
+    ///
+    /// Returns the runtime plus one [`RecoveryReport`] per shard so
+    /// callers can assert on (or log) what recovery found: rejected
+    /// corrupt snapshots, torn WAL tails, and replayed/deduped records.
+    ///
+    /// # Errors
+    /// Unrecoverable durability failures: I/O errors walking or creating
+    /// the shard directories and structurally damaged WALs
+    /// ([`DurabilityError::OutOfOrder`]). Corrupt snapshots and torn WAL
+    /// tails are *not* errors — they are skipped/truncated and reported.
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards == 0`.
+    pub fn spawn_durable(
+        cfg: ConcurrentConfig,
+        opts: &DurabilityOptions,
+        make_kernel: impl Fn(usize) -> ASketch<F, S>,
+    ) -> Result<(Self, Vec<RecoveryReport>), DurabilityError> {
+        assert!(cfg.shards > 0, "need at least one shard");
+        let (snap_tx, snap_rx) = channel::unbounded::<SnapshotJob<ASketch<F, S>>>();
+        let snapshotter = std::thread::spawn(move || {
+            while let Ok(job) = snap_rx.recv() {
+                match write_snapshot(&job.dir, job.meta, &job.kernel) {
+                    Ok(_) => {
+                        prune_snapshots(&job.dir, job.keep);
+                        job.snapped_seq.store(job.meta.wal_seq, Ordering::Release);
+                    }
+                    Err(_) => {
+                        job.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                job.busy.store(false, Ordering::Release);
+            }
+        });
+        let mut reports = Vec::with_capacity(cfg.shards);
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for i in 0..cfg.shards {
+            let dir = opts.shard_dir(i);
+            let (kernel, report) = recover_kernel(&dir, opts.dedup, || make_kernel(i))?;
+            let wal = WalWriter::create(&dir, report.last_seq, opts.fsync, opts.segment_bytes)?;
+            let durable = DurableShard {
+                shard_idx: i,
+                dir,
+                wal,
+                wal_base: report.last_seq,
+                keep: opts.snapshot_keep,
+                snap_tx: snap_tx.clone(),
+                busy: Arc::new(AtomicBool::new(false)),
+                snapped_seq: Arc::new(AtomicU64::new(report.snapshot.map_or(0, |m| m.wal_seq))),
+                snap_errors: Arc::new(AtomicU64::new(0)),
+                pruned_seq: 0,
+                write: write_snapshot::<ASketch<F, S>>,
+                recovered: report.snapshot.is_some() || report.wal_records > 0,
+                replayed_keys: report.replayed_keys,
+                wal_records: 0,
+                failed: None,
+            };
+            reports.push(report);
+            shards.push(ShardState::new(kernel, &cfg, Some(durable)));
+        }
+        drop(snap_tx);
+        let snaps = Arc::new(shards.iter().map(|s| Arc::clone(&s.snap)).collect());
+        let router = KeyRouter::new(KeyPartition::new(cfg.shards), cfg.batch.max(1));
+        Ok((
+            Self {
+                shards,
+                router,
+                snaps,
+                cfg,
+                snapshotter: Some(snapshotter),
+            },
+            reports,
+        ))
     }
 }
 
@@ -1346,5 +1667,176 @@ mod tests {
             },
             |i| kernel(i as u64),
         );
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("asketch-conc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn durable_clean_shutdown_then_restart_recovers_exactly() {
+        use asketch::FsyncPolicy;
+        let dir = tmp_dir("clean");
+        let opts = DurabilityOptions::new(&dir).fsync(FsyncPolicy::Interval(4));
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 32,
+            publish_interval: 128,
+            view_interval: 512,
+            supervision: SupervisionConfig {
+                checkpoint_interval: 256,
+                ..SupervisionConfig::default()
+            },
+        };
+        let data = stream(20_000);
+        let (mut rt, reports) =
+            ConcurrentASketch::spawn_durable(cfg.clone(), &opts, |i| kernel(70 + i as u64))
+                .unwrap();
+        assert!(
+            reports
+                .iter()
+                .all(|r| r.snapshot.is_none() && r.wal_records == 0),
+            "fresh directory must recover nothing"
+        );
+        rt.insert_batch(&data);
+        rt.sync();
+        let (kernels, health) = rt.finish_with_health();
+        for g in &health.shards {
+            assert!(g.wal_records > 0, "WAL must have been written: {g:?}");
+            assert!(!g.durability_failed, "durability lost: {g:?}");
+            assert_eq!(g.queue_depth, 0, "gauge residue after finish: {g:?}");
+        }
+        // Cold restart: recovery must reproduce the finished kernels
+        // exactly (snapshot base + dedup-gated WAL replay).
+        let (rt2, reports2) =
+            ConcurrentASketch::spawn_durable(cfg, &opts, |i| kernel(70 + i as u64)).unwrap();
+        assert!(
+            reports2.iter().all(|r| r.snapshot.is_some()),
+            "clean shutdown must leave a final snapshot: {reports2:?}"
+        );
+        let p = rt2.partition();
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(
+                rt2.estimate(key),
+                kernels[p.shard_of(key)].estimate(key),
+                "recovered state diverges for key {key}"
+            );
+        }
+        for g in &rt2.health().shards {
+            assert!(g.recovered, "restart must report recovery: {g:?}");
+        }
+        drop(rt2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_unclean_drop_recovers_acked_writes_from_wal() {
+        use asketch::FsyncPolicy;
+        let dir = tmp_dir("dirty");
+        let opts = DurabilityOptions::new(&dir).fsync(FsyncPolicy::PerBatch);
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 16,
+            publish_interval: 128,
+            view_interval: 512,
+            supervision: SupervisionConfig {
+                checkpoint_interval: 128,
+                ..SupervisionConfig::default()
+            },
+        };
+        let data = stream(12_000);
+        let (mut rt, _) =
+            ConcurrentASketch::spawn_durable(cfg.clone(), &opts, |i| kernel(30 + i as u64))
+                .unwrap();
+        rt.insert_batch(&data);
+        let acked = rt.wal_checkpoint().unwrap();
+        assert_eq!(acked, 12_000, "every key must be durable after the barrier");
+        // Simulated crash: drop without finish — no final snapshot, only
+        // background snapshots (if any landed) plus the fsynced WAL.
+        drop(rt);
+        let (rt2, reports) =
+            ConcurrentASketch::spawn_durable(cfg, &opts, |i| kernel(30 + i as u64)).unwrap();
+        assert!(
+            reports.iter().map(|r| r.wal_records).sum::<u64>() > 0,
+            "the WAL must hold the unsnapshotted tail: {reports:?}"
+        );
+        let p = rt2.partition();
+        let reference = sequential_reference(&data, p, |i| kernel(30 + i as u64));
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(
+                rt2.estimate(key),
+                reference[p.shard_of(key)].estimate(key),
+                "dedup recovery diverges from the sequential reference for {key}"
+            );
+        }
+        drop(rt2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Graceful-shutdown gauge invariant (and its hardest case): a wedged
+    /// worker abandoned *during finish* left batches queued; the final
+    /// health must read exactly zero queue depth — neither the residual
+    /// count nor an underflow wrap from the abandoned worker's drain.
+    #[test]
+    fn queue_depth_gauge_is_exactly_zero_after_finish() {
+        let cfg = ConcurrentConfig {
+            shards: 1,
+            batch: 16,
+            publish_interval: 64,
+            view_interval: 256,
+            supervision: SupervisionConfig {
+                queue_capacity: 64,
+                checkpoint_interval: 1 << 20,
+                shutdown_timeout: Duration::from_millis(50),
+                max_restarts: 3,
+                restart_backoff: Duration::from_millis(1),
+                ..SupervisionConfig::default()
+            },
+        };
+        let make = |_: usize| {
+            ASketch::new(
+                VectorFilter::new(8),
+                FaultyEstimator::new(
+                    CountMin::new(7, 4, 1 << 12).unwrap(),
+                    FaultPlan::slow_updates(200, Duration::from_millis(600)),
+                ),
+            )
+        };
+        let data = stream(600);
+        let mut rt = ConcurrentASketch::spawn(cfg, make);
+        rt.insert_batch(&data);
+        // Finish while the worker is wedged mid-queue: it gets abandoned
+        // with batches still queued on its channel.
+        let (kernels, health) = rt.finish_with_health();
+        let g = &health.shards[0];
+        assert!(
+            g.worker_failures >= 1,
+            "the wedge must force an abandonment: {g:?}"
+        );
+        assert_eq!(g.queue_depth, 0, "gauge must drain to exactly zero: {g:?}");
+        assert!(g.queue_depth <= g.queue_capacity, "underflow wrap: {g:?}");
+        assert_eq!(g.routed_ops, 600);
+        // And the journal restore still makes the kernel exact.
+        let reference = {
+            let mut k = ASketch::new(VectorFilter::new(8), CountMin::new(7, 4, 1 << 12).unwrap());
+            for &key in &data {
+                k.insert(key);
+            }
+            k
+        };
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(kernels[0].estimate(key), reference.estimate(key));
+        }
     }
 }

@@ -18,6 +18,10 @@
 //!   ([`seqlock::FilterSnapshot`]) and lock-free sketch views. Per-key
 //!   answers after a [`concurrent::ConcurrentASketch::sync`] barrier are
 //!   *exactly* the sequential algorithm's.
+//!   [`concurrent::ConcurrentASketch::spawn_durable`] adds crash
+//!   durability: per-shard write-ahead logs on the ship path, checksummed
+//!   background snapshots off the checkpoint path, and
+//!   recover-on-spawn with sequence-gated dedup (see `asketch-durable`).
 //!
 //! The supervision layer ([`supervisor`]) provides bounded backpressure
 //! with a configurable [`BackpressurePolicy`], checkpoint + journal state

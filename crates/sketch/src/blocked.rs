@@ -32,6 +32,7 @@ use crate::cell::Cell;
 use crate::count_min::LOOKAHEAD;
 use crate::hash::{PairwiseHash, SplitMix64};
 use crate::lookup::{prefetch_read, ScanKernel};
+use crate::persist::{self, Persist, PersistError};
 use crate::traits::{FrequencyEstimator, Mergeable, TopK, Tuple, UpdateEstimate};
 use crate::view::{AtomicCells, BlockedView, SharedView};
 use crate::SketchError;
@@ -729,9 +730,85 @@ impl<C: BlockedCell> TopK for BlockedCountMinG<C> {
     }
 }
 
+/// Payload tag for persisted blocked Count-Min state (`"SKBL"`).
+const PERSIST_TAG: u32 = u32::from_le_bytes(*b"SKBL");
+
+impl<C: BlockedCell> Persist for BlockedCountMinG<C> {
+    /// Layout: tag, cell width, `seed`, `depth`, `buckets`, then the live
+    /// bucket lines widened to `i64`. The alignment offset is a property
+    /// of the *allocation* and is re-derived on load, never persisted.
+    fn write_state(&self, out: &mut Vec<u8>) {
+        persist::put_u32(out, PERSIST_TAG);
+        persist::put_u8(out, C::BYTES as u8);
+        persist::put_u64(out, self.seed);
+        persist::put_u64(out, self.depth as u64);
+        persist::put_u64(out, self.buckets as u64);
+        for c in self.cells() {
+            persist::put_i64(out, c.to_i64());
+        }
+    }
+
+    fn read_state(r: &mut persist::ByteReader<'_>) -> Result<Self, PersistError> {
+        persist::expect_tag(r, PERSIST_TAG, "BlockedCountMin")?;
+        let cell = r.u8("blocked cell width")?;
+        if cell as usize != C::BYTES {
+            return Err(PersistError::Corrupt {
+                what: format!("blocked cell width {cell} != expected {}", C::BYTES),
+            });
+        }
+        let seed = r.u64("blocked seed")?;
+        let depth = r.u64("blocked depth")? as usize;
+        let buckets = r.u64("blocked buckets")? as usize;
+        if buckets
+            .checked_mul(Self::SLOTS)
+            .is_none_or(|cells| cells.checked_mul(8).is_none_or(|b| b > r.remaining()))
+        {
+            return Err(PersistError::Corrupt {
+                what: format!("blocked table of {buckets} buckets exceeds payload"),
+            });
+        }
+        let mut s = Self::new(seed, depth, buckets)?;
+        let offset = s.offset;
+        let len = s.buckets * Self::SLOTS;
+        for c in s.buf[offset..offset + len].iter_mut() {
+            *c = C::from_i64_saturating(r.i64("blocked cell")?);
+        }
+        Ok(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persist_round_trips_bitwise_both_widths() {
+        let mut b64 = BlockedCountMin::new(17, 4, 256).unwrap();
+        let mut b32 = BlockedCountMin32::new(17, 4, 256).unwrap();
+        let mut x = 9u64;
+        for _ in 0..6_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(5);
+            b64.update(x % 500, 1);
+            b32.update(x % 500, 1);
+        }
+        let r64 = BlockedCountMin::from_state_bytes(&b64.to_state_bytes()).unwrap();
+        let r32 = BlockedCountMin32::from_state_bytes(&b32.to_state_bytes()).unwrap();
+        for key in 0..500u64 {
+            assert_eq!(r64.estimate(key), b64.estimate(key), "key {key}");
+            assert_eq!(r32.estimate(key), b32.estimate(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn persist_rejects_cell_width_confusion() {
+        // 32-cell lines have 16 slots; decoding them as 8-slot 64-bit
+        // lines must fail on the width byte, not misread the table.
+        let b32 = BlockedCountMin32::new(3, 4, 8).unwrap();
+        assert!(matches!(
+            BlockedCountMin::from_state_bytes(&b32.to_state_bytes()),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
 
     #[test]
     fn invalid_dimensions_rejected() {

@@ -21,6 +21,7 @@ use crate::blocked::LINE_BYTES;
 use crate::cell::Cell;
 use crate::hash::HashBank;
 use crate::lookup::{prefetch_read, ScanKernel};
+use crate::persist::{self, Persist, PersistError};
 use crate::traits::{FrequencyEstimator, Mergeable, TopK, Tuple, UpdateEstimate};
 use crate::view::{AtomicCells, SharedView};
 use crate::SketchError;
@@ -359,9 +360,92 @@ impl<C: Cell> TopK for CountMinG<C> {
     }
 }
 
+/// Payload tag for persisted Count-Min state (`"SKCM"`).
+const PERSIST_TAG: u32 = u32::from_le_bytes(*b"SKCM");
+
+impl<C: Cell> Persist for CountMinG<C> {
+    /// Layout: tag, cell width, `seed`, `depth`, `width`, then the
+    /// row-major table widened to `i64`. The hash bank is rebuilt from the
+    /// seed, so estimates round-trip bitwise.
+    fn write_state(&self, out: &mut Vec<u8>) {
+        persist::put_u32(out, PERSIST_TAG);
+        persist::put_u8(out, C::BYTES as u8);
+        persist::put_u64(out, self.seed);
+        persist::put_u64(out, self.depth() as u64);
+        persist::put_u64(out, self.h as u64);
+        for c in &self.table {
+            persist::put_i64(out, c.to_i64());
+        }
+    }
+
+    fn read_state(r: &mut persist::ByteReader<'_>) -> Result<Self, PersistError> {
+        persist::expect_tag(r, PERSIST_TAG, "CountMin")?;
+        let cell = r.u8("CountMin cell width")?;
+        if cell as usize != C::BYTES {
+            return Err(PersistError::Corrupt {
+                what: format!("CountMin cell width {cell} != expected {}", C::BYTES),
+            });
+        }
+        let seed = r.u64("CountMin seed")?;
+        let depth = r.u64("CountMin depth")? as usize;
+        let width = r.u64("CountMin width")? as usize;
+        if depth
+            .checked_mul(width)
+            .is_none_or(|cells| cells * 8 > r.remaining())
+        {
+            return Err(PersistError::Corrupt {
+                what: format!("CountMin {depth}x{width} table exceeds payload"),
+            });
+        }
+        let mut s = Self::new(seed, depth, width)?;
+        for c in s.table.iter_mut() {
+            *c = C::from_i64_saturating(r.i64("CountMin cell")?);
+        }
+        Ok(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persist_round_trips_bitwise() {
+        let mut cms = CountMin::new(99, 4, 512).unwrap();
+        let mut cms32 = CountMin32::new(99, 4, 512).unwrap();
+        let mut x = 3u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cms.update(x % 700, 1 + (x % 5) as i64);
+            cms32.update(x % 700, 1 + (x % 5) as i64);
+        }
+        let back = CountMin::from_state_bytes(&cms.to_state_bytes()).unwrap();
+        let back32 = CountMin32::from_state_bytes(&cms32.to_state_bytes()).unwrap();
+        for key in 0..700u64 {
+            assert_eq!(back.estimate(key), cms.estimate(key), "key {key}");
+            assert_eq!(back32.estimate(key), cms32.estimate(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn persist_rejects_cell_width_and_type_confusion() {
+        let cms = CountMin::new(1, 2, 64).unwrap();
+        let bytes = cms.to_state_bytes();
+        // 64-bit state must not load as a 32-bit sketch.
+        assert!(matches!(
+            CountMin32::from_state_bytes(&bytes),
+            Err(PersistError::Corrupt { .. })
+        ));
+        // A foreign tag must be rejected before any state is built.
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xFF;
+        assert!(matches!(
+            CountMin::from_state_bytes(&wrong),
+            Err(PersistError::WrongType { .. })
+        ));
+        // Truncation anywhere is loud.
+        assert!(CountMin::from_state_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
 
     #[test]
     fn zero_dimensions_rejected() {

@@ -32,7 +32,8 @@ use crate::count_min::LOOKAHEAD;
 use crate::hash::{HashBank, PairwiseHash, SplitMix64};
 use crate::lookup::prefetch_read;
 use crate::misra_gries::MisraGries;
-use crate::traits::{FrequencyEstimator, Tuple, UpdateEstimate};
+use crate::persist::{self, Persist, PersistError};
+use crate::traits::{FrequencyEstimator, Mergeable, Tuple, UpdateEstimate};
 use crate::view::{AtomicCells, SharedView};
 use crate::SketchError;
 
@@ -59,6 +60,9 @@ pub struct FcmG<C: Cell = i64> {
     rows_low: usize,
     /// Online heavy-item detector; `None` for the ASketch-FCM variant.
     mg: Option<MisraGries>,
+    /// Seed every hash structure was derived from (needed to persist and
+    /// to validate merges).
+    seed: u64,
 }
 
 /// Greatest common divisor, used to force the row stride coprime with `w`.
@@ -112,6 +116,7 @@ impl<C: Cell> FcmG<C> {
             rows_high,
             rows_low,
             mg,
+            seed,
         })
     }
 
@@ -167,6 +172,12 @@ impl<C: Cell> FcmG<C> {
     #[inline]
     pub fn rows_low(&self) -> usize {
         self.rows_low
+    }
+
+    /// The seed this sketch was built with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Whether `key` is currently classified as high-frequency.
@@ -414,9 +425,193 @@ impl<C: Cell> UpdateEstimate for FcmG<C> {
     }
 }
 
+impl<C: Cell> Mergeable for FcmG<C> {
+    /// Merge another FCM's counters into this one.
+    ///
+    /// Sound only when both sketches share seed and geometry (identical
+    /// per-key row subsets) *and* neither carries a Misra–Gries detector:
+    /// the MG state is order-sensitive, so there is no merged classifier
+    /// that reproduces either input stream's row selection. MG-carrying
+    /// sketches are rejected with a typed error instead of silently
+    /// corrupting classification.
+    fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.seed != other.seed || self.h != other.h || self.depth() != other.depth() {
+            return Err(SketchError::IncompatibleMerge {
+                what: format!(
+                    "FCM {}x{} seed {} vs {}x{} seed {}",
+                    self.depth(),
+                    self.h,
+                    self.seed,
+                    other.depth(),
+                    other.h,
+                    other.seed
+                ),
+            });
+        }
+        if self.mg.is_some() || other.mg.is_some() {
+            return Err(SketchError::IncompatibleMerge {
+                what: "FCM with a Misra-Gries detector is not mergeable \
+                       (order-sensitive classification)"
+                    .into(),
+            });
+        }
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a = a.saturating_add_i64(b.to_i64());
+        }
+        Ok(())
+    }
+}
+
+/// Payload tag for persisted FCM state (`"SKFC"`).
+const PERSIST_TAG: u32 = u32::from_le_bytes(*b"SKFC");
+
+impl<C: Cell> Persist for FcmG<C> {
+    /// Layout: tag, cell width, `seed`, `depth`, `width`, MG capacity
+    /// (0 = no detector), the row-major table widened to `i64`, then the MG
+    /// raw slot arrays verbatim. Slot order matters: a new MG key claims
+    /// the first free slot, so [`MisraGries::raw_slots`] is persisted
+    /// as-is rather than the sorted item view.
+    fn write_state(&self, out: &mut Vec<u8>) {
+        persist::put_u32(out, PERSIST_TAG);
+        persist::put_u8(out, C::BYTES as u8);
+        persist::put_u64(out, self.seed);
+        persist::put_u64(out, self.depth() as u64);
+        persist::put_u64(out, self.h as u64);
+        persist::put_u64(out, self.mg.as_ref().map_or(0, |mg| mg.capacity()) as u64);
+        for c in &self.table {
+            persist::put_i64(out, c.to_i64());
+        }
+        if let Some(mg) = self.mg.as_ref() {
+            let (ids, counts) = mg.raw_slots();
+            for &id in ids {
+                persist::put_u64(out, id);
+            }
+            for &c in counts {
+                persist::put_i64(out, c);
+            }
+        }
+    }
+
+    fn read_state(r: &mut persist::ByteReader<'_>) -> Result<Self, PersistError> {
+        persist::expect_tag(r, PERSIST_TAG, "FCM")?;
+        let cell = r.u8("FCM cell width")?;
+        if cell as usize != C::BYTES {
+            return Err(PersistError::Corrupt {
+                what: format!("FCM cell width {cell} != expected {}", C::BYTES),
+            });
+        }
+        let seed = r.u64("FCM seed")?;
+        let depth = r.u64("FCM depth")? as usize;
+        let width = r.u64("FCM width")? as usize;
+        let mg_cap = r.u64("FCM mg capacity")? as usize;
+        let cells = depth
+            .checked_mul(width)
+            .ok_or_else(|| PersistError::Corrupt {
+                what: format!("FCM {depth}x{width} table overflows"),
+            })?;
+        if cells
+            .checked_add(mg_cap.saturating_mul(2))
+            .is_none_or(|n| n.checked_mul(8).is_none_or(|b| b > r.remaining()))
+        {
+            return Err(PersistError::Corrupt {
+                what: format!("FCM {depth}x{width} (mg {mg_cap}) state exceeds payload"),
+            });
+        }
+        let mut s = Self::new(seed, depth, width, (mg_cap > 0).then_some(mg_cap))?;
+        for c in s.table.iter_mut() {
+            *c = C::from_i64_saturating(r.i64("FCM cell")?);
+        }
+        if mg_cap > 0 {
+            let mut ids = Vec::with_capacity(mg_cap);
+            for _ in 0..mg_cap {
+                ids.push(r.u64("FCM mg id")?);
+            }
+            let mut counts = Vec::with_capacity(mg_cap);
+            for _ in 0..mg_cap {
+                counts.push(r.i64("FCM mg count")?);
+            }
+            s.mg = Some(MisraGries::from_raw_slots(ids, counts)?);
+        }
+        Ok(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persist_round_trips_and_resumes_identically() {
+        // The restored sketch must not only answer identically but also
+        // *evolve* identically — MG slot order is part of the state.
+        for mg in [None, Some(8)] {
+            let mut fcm = Fcm::new(7, 8, 256, mg).unwrap();
+            let mut x = 1u64;
+            for _ in 0..4_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(3);
+                fcm.insert(x % 300);
+            }
+            let mut back = Fcm::from_state_bytes(&fcm.to_state_bytes()).unwrap();
+            for key in 0..300u64 {
+                assert_eq!(back.estimate(key), fcm.estimate(key), "mg={mg:?} key={key}");
+                assert_eq!(back.is_high_frequency(key), fcm.is_high_frequency(key));
+            }
+            for _ in 0..4_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(3);
+                fcm.insert(x % 300);
+                back.insert(x % 300);
+            }
+            for key in 0..300u64 {
+                assert_eq!(back.estimate(key), fcm.estimate(key), "post-resume {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn persist_rejects_32_64_confusion() {
+        let fcm = Fcm::new(7, 4, 64, Some(4)).unwrap();
+        assert!(matches!(
+            Fcm32::from_state_bytes(&fcm.to_state_bytes()),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_combines_mg_free_tables() {
+        let mut a = Fcm::new(11, 8, 512, None).unwrap();
+        let mut b = Fcm::new(11, 8, 512, None).unwrap();
+        a.update(5, 3);
+        b.update(5, 4);
+        b.update(9, 2);
+        a.merge(&b).unwrap();
+        assert!(a.estimate(5) >= 7);
+        assert!(a.estimate(9) >= 2);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_geometry_and_mg() {
+        let mut a = Fcm::new(11, 8, 512, None).unwrap();
+        let seed = Fcm::new(12, 8, 512, None).unwrap();
+        let width = Fcm::new(11, 8, 256, None).unwrap();
+        let depth = Fcm::new(11, 4, 512, None).unwrap();
+        for other in [&seed, &width, &depth] {
+            assert!(matches!(
+                a.merge(other),
+                Err(SketchError::IncompatibleMerge { .. })
+            ));
+        }
+        let with_mg = Fcm::new(11, 8, 512, Some(8)).unwrap();
+        assert!(matches!(
+            a.merge(&with_mg),
+            Err(SketchError::IncompatibleMerge { .. })
+        ));
+        let mut with_mg = with_mg;
+        let plain = Fcm::new(11, 8, 512, None).unwrap();
+        assert!(matches!(
+            with_mg.merge(&plain),
+            Err(SketchError::IncompatibleMerge { .. })
+        ));
+    }
 
     #[test]
     fn gcd_works() {

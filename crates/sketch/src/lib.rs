@@ -47,6 +47,7 @@ pub mod heavy_hitters;
 pub mod holistic_udaf;
 pub mod lookup;
 pub mod misra_gries;
+pub mod persist;
 pub mod space_saving;
 pub mod traits;
 pub mod view;
@@ -61,6 +62,7 @@ pub use fcm::{Fcm, Fcm32, FcmG};
 pub use heavy_hitters::SketchHeavyHitters;
 pub use holistic_udaf::{HolisticUdaf, HolisticUdaf32, HolisticUdafG};
 pub use misra_gries::MisraGries;
+pub use persist::{Persist, PersistError};
 pub use space_saving::{SpaceSaving, UnmonitoredEstimate};
 pub use traits::{FrequencyEstimator, Mergeable, Supervisable, TopK, Tuple, UpdateEstimate};
 pub use view::{AtomicCells, BlockedView, SharedView};

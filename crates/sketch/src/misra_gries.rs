@@ -144,6 +144,34 @@ impl MisraGries {
         self.counts.fill(0);
         self.len = 0;
     }
+
+    /// The raw slot arrays `(ids, counts)` in internal slot order, free-slot
+    /// sentinels included. Slot *order* is behaviorally significant (a new
+    /// key claims the first free slot), so exact persistence must capture it
+    /// verbatim rather than going through [`MisraGries::items`].
+    pub fn raw_slots(&self) -> (&[u64], &[i64]) {
+        (&self.ids, &self.counts)
+    }
+
+    /// Rebuild a counter from raw slot arrays as produced by
+    /// [`MisraGries::raw_slots`]; the occupancy count is recomputed.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidDimensions`] when the arrays are empty
+    /// or of mismatched length.
+    pub fn from_raw_slots(ids: Vec<u64>, counts: Vec<i64>) -> Result<Self, SketchError> {
+        if ids.is_empty() || ids.len() != counts.len() {
+            return Err(SketchError::InvalidDimensions {
+                what: format!(
+                    "MisraGries raw slots: {} ids vs {} counts",
+                    ids.len(),
+                    counts.len()
+                ),
+            });
+        }
+        let len = ids.iter().filter(|&&id| id != EMPTY_KEY).count();
+        Ok(Self { ids, counts, len })
+    }
 }
 
 #[cfg(test)]

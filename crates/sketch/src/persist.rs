@@ -1,0 +1,279 @@
+//! Binary state codec for sketch persistence: the [`Persist`] trait plus
+//! the little-endian reader/writer primitives it is built from.
+//!
+//! The durability layer (crate `asketch-durable`) frames these payloads
+//! with magic numbers, versions, and CRC32C checksums; this module owns
+//! only the *state bytes* themselves. Every implementation follows the
+//! same discipline:
+//!
+//! * a leading per-type tag (4 bytes) so a payload decoded as the wrong
+//!   type fails loudly instead of producing garbage counters;
+//! * construction parameters (seed + dimensions) first, so the decoder
+//!   can rebuild the deterministic hash machinery via the type's own
+//!   `new`, then the raw counter state verbatim;
+//! * counters are widened to `i64` on the wire regardless of the cell
+//!   width, with a cell-width byte in the payload so a 32-bit snapshot is
+//!   never silently loaded into a 64-bit sketch (or vice versa).
+//!
+//! Round-tripping is *bitwise-exact* for estimates: the decoder rebuilds
+//! the identical hash functions from the stored seed and copies the cell
+//! arrays in their internal order.
+
+use crate::SketchError;
+
+/// Typed decode failures. Every corrupt, truncated, or mistyped payload
+/// surfaces as one of these — never as silently wrong counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The payload ended before `what` could be read.
+    Truncated {
+        /// Which field ran out of bytes.
+        what: &'static str,
+    },
+    /// A structurally invalid payload (bad tag, impossible length, value
+    /// out of domain).
+    Corrupt {
+        /// Human-readable description of the violation.
+        what: String,
+    },
+    /// The payload is for a different type or cell width than requested.
+    WrongType {
+        /// What the decoder expected to find.
+        expected: &'static str,
+        /// The tag actually present.
+        found: u32,
+    },
+    /// The stored construction parameters were rejected by the type's own
+    /// constructor.
+    Invalid(SketchError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated { what } => {
+                write!(f, "persisted state truncated while reading {what}")
+            }
+            PersistError::Corrupt { what } => write!(f, "persisted state corrupt: {what}"),
+            PersistError::WrongType { expected, found } => {
+                write!(
+                    f,
+                    "persisted state is not a {expected} (found tag {found:#010x})"
+                )
+            }
+            PersistError::Invalid(e) => write!(f, "persisted parameters rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SketchError> for PersistError {
+    fn from(e: SketchError) -> Self {
+        PersistError::Invalid(e)
+    }
+}
+
+/// Append a `u8` to `out`.
+#[inline]
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian `u32` to `out`.
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64` to `out`.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `i64` to `out`.
+#[inline]
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor over a persisted payload with typed, bounds-checked reads.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, PersistError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self, what: &'static str) -> Result<i64, PersistError> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` length/count field and narrow it to `usize`, rejecting
+    /// values that could not possibly describe in-memory state (anything
+    /// larger than the bytes left in the payload is corrupt, since every
+    /// counted element occupies at least one byte).
+    pub fn len(&mut self, what: &'static str) -> Result<usize, PersistError> {
+        let v = self.u64(what)?;
+        if v > self.remaining() as u64 {
+            return Err(PersistError::Corrupt {
+                what: format!("{what} = {v} exceeds payload size"),
+            });
+        }
+        Ok(v as usize)
+    }
+}
+
+/// Read and verify a leading type tag.
+pub fn expect_tag(
+    r: &mut ByteReader<'_>,
+    tag: u32,
+    expected: &'static str,
+) -> Result<(), PersistError> {
+    let found = r.u32("type tag")?;
+    if found != tag {
+        return Err(PersistError::WrongType { expected, found });
+    }
+    Ok(())
+}
+
+/// Exact binary state serialization: encode enough to rebuild `Self` with
+/// *bitwise-identical estimates*, decode with loud typed failures.
+pub trait Persist: Sized {
+    /// Append this value's state bytes to `out`.
+    fn write_state(&self, out: &mut Vec<u8>);
+
+    /// Decode a value previously written by [`Persist::write_state`].
+    ///
+    /// # Errors
+    /// Any truncation, corruption, or type mismatch yields a
+    /// [`PersistError`]; partial or garbage state is never returned.
+    fn read_state(r: &mut ByteReader<'_>) -> Result<Self, PersistError>;
+
+    /// Serialize into a fresh byte vector.
+    fn to_state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_state(&mut out);
+        out
+    }
+
+    /// Deserialize from a byte slice, requiring every byte be consumed.
+    ///
+    /// # Errors
+    /// Propagates [`Persist::read_state`] failures; trailing bytes are
+    /// reported as corruption.
+    fn from_state_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = ByteReader::new(bytes);
+        let v = Self::read_state(&mut r)?;
+        if !r.is_empty() {
+            return Err(PersistError::Corrupt {
+                what: format!("{} trailing bytes after state", r.remaining()),
+            });
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        put_i64(&mut out, i64::MIN);
+        let mut r = ByteReader::new(&out);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64("d").unwrap(), i64::MIN);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        let e = r.u64("field-x").unwrap_err();
+        assert!(matches!(e, PersistError::Truncated { what: "field-x" }));
+        assert!(e.to_string().contains("field-x"));
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt() {
+        let mut out = Vec::new();
+        put_u64(&mut out, u64::MAX);
+        let mut r = ByteReader::new(&out);
+        assert!(matches!(
+            r.len("cells").unwrap_err(),
+            PersistError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn tag_mismatch_is_typed() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 0x1111_2222);
+        let mut r = ByteReader::new(&out);
+        let e = expect_tag(&mut r, 0x3333_4444, "CountMin").unwrap_err();
+        assert!(matches!(
+            e,
+            PersistError::WrongType {
+                expected: "CountMin",
+                found: 0x1111_2222
+            }
+        ));
+    }
+}

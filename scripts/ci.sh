@@ -65,6 +65,34 @@ fi
 cargo run -q -p asketch-bench --release --bin throughput -- \
     --validate-layout BENCH_layout.json --min-layout-speedup 1.3
 
+echo "==> durability: recovery bench gate"
+# WAL-on ingest overhead at fsync=interval must stay within budget and
+# replay must beat half of live batched ingest. The 25% overhead bar
+# assumes the WAL append (caller thread) and background snapshotter can
+# overlap worker ingest; on a single CPU everything time-slices one core,
+# the overlap is physically impossible, and the measured floor is ~30%,
+# so we hold the line at 50% there — loudly — like the scaling gate above.
+if [ "$CORES" -ge 2 ]; then
+    MAX_OVERHEAD=0.25
+else
+    MAX_OVERHEAD=0.50
+    echo "WARNING: only $CORES CPU(s); relaxing WAL overhead gate to ${MAX_OVERHEAD}" \
+         "(full bar is 0.25 on >=2 cores, where durability work overlaps ingest)"
+fi
+cargo run -q -p asketch-bench --release --bin throughput -- \
+    --recovery --smoke --out BENCH_recovery.json
+cargo run -q -p asketch-bench --release --bin throughput -- \
+    --validate-recovery BENCH_recovery.json --max-overhead "$MAX_OVERHEAD"
+
+echo "==> durability: crash-injection recovery smoke (SIGKILL loop)"
+# Every trial SIGKILLs a durable ingest child at a random point and
+# asserts deduped recovery equals the independently recomputed durable
+# prefix exactly (raw recovery may only over-count). Full bar is 25
+# trials (the committed acceptance run); CI smokes a short loop so the
+# gate stays fast while still crossing every fsync policy.
+cargo run -q -p asketch-bench --release --bin crash_recovery -- \
+    --trials 6 --keys 200000
+
 echo "==> ThreadSanitizer pass (concurrent runtime, nightly-only)"
 # TSan needs nightly + rust-src (-Zbuild-std). Skip gracefully when the
 # toolchain can't do it; the seqlock also carries a loom model behind
