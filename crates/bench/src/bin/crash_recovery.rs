@@ -1,8 +1,11 @@
 //! `crash_recovery` — SIGKILL crash-injection harness for the durable
-//! sharded runtime (DESIGN.md §12).
+//! sharded runtime (DESIGN.md §12), plus the storage-chaos harness for
+//! the self-healing durability layer (DESIGN.md §13).
 //!
 //! ```text
 //! crash_recovery [--trials N] [--keys N] [--seed S] [--dir PATH]
+//! crash_recovery --faults [--keys N] [--seed S] [--dir PATH] [--out BENCH_faults.json]
+//! crash_recovery --validate-faults BENCH_faults.json
 //! crash_recovery child <dir> <fsync> <keys> <ckpt-every>   # internal
 //! ```
 //!
@@ -27,16 +30,33 @@
 //! disappears. The fsync policy cycles per trial (per-batch, interval,
 //! off) so all three disk-pressure modes face the kill. Exits non-zero on
 //! the first trial whose recovery violates any of the above.
+//!
+//! `--faults` runs the **storage-chaos sweep** instead: every
+//! [`FaultKind`] × {transient, persistent} × all three fsync policies,
+//! injected in-process through a [`FaultVfs`] (a scripted fault plan
+//! cannot cross the SIGKILL process boundary), plus live bit-rot trials
+//! that corrupt published snapshots and assert the integrity scrubber
+//! detects and quarantines 100% of them. Each trial asserts: no acked
+//! durable write is lost, no panic escapes, transient faults are retried
+//! away (runtime ends healthy, every key durable), persistent faults
+//! engage disk-sick degraded mode with the right typed [`ErrorClass`]
+//! while ingest stays exact. Results land in `BENCH_faults.json`;
+//! `--validate-faults` re-checks the committed artifact in CI.
 
 use std::io::Write as _;
+use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use asketch::filter::VectorFilter;
 use asketch::{ASketch, DurabilityOptions, FsyncPolicy};
-use asketch_durable::recover_kernel;
-use asketch_parallel::{ConcurrentASketch, ConcurrentConfig, KeyPartition};
+use asketch_durable::vfs::{self as storage_vfs, FaultKind, FaultPlan, FaultVfs, Vfs};
+use asketch_durable::{
+    recover_kernel, scrub_shard_dir, DurabilityError, ErrorClass, StoragePolicy,
+};
+use asketch_parallel::{ConcurrentASketch, ConcurrentConfig, KeyPartition, SupervisionConfig};
 use sketches::CountMin;
 
 /// Distinct keys in the child's round-robin stream. Must stay below
@@ -124,8 +144,8 @@ fn run_child(dir: &Path, fsync: FsyncPolicy, keys: u64) -> ! {
         }
     }
     let (_kernels, health) = rt.finish_with_health();
-    if health.any_durability_failed() {
-        eprintln!("child: durability failed during clean run");
+    if health.any_durability_degraded() {
+        eprintln!("child: durability degraded during clean run");
         std::process::exit(3);
     }
     // Clean completion: the final snapshot covers the whole stream.
@@ -183,9 +203,10 @@ fn expected_counts(
     Ok(counts)
 }
 
-/// Verify one killed (or cleanly finished) trial directory. Returns a
-/// human-readable summary line, or the first violation.
-fn verify_trial(dir: &Path, total_keys: u64) -> Result<String, String> {
+/// Verify one killed (or cleanly finished) trial directory. Returns the
+/// total durable key count plus a human-readable summary line, or the
+/// first violation.
+fn verify_trial(dir: &Path, total_keys: u64) -> Result<(u64, String), String> {
     let acked = read_acked(dir);
     let part = KeyPartition::new(SHARDS);
     // Per-shard share of the globally acked prefix.
@@ -243,9 +264,12 @@ fn verify_trial(dir: &Path, total_keys: u64) -> Result<String, String> {
             }
         }
     }
-    Ok(format!(
-        "acked {acked}, durable {durable_total} keys, {torn} torn tail(s), \
-         {rejected} rejected snapshot(s)"
+    Ok((
+        durable_total,
+        format!(
+            "acked {acked}, durable {durable_total} keys, {torn} torn tail(s), \
+             {rejected} rejected snapshot(s)"
+        ),
     ))
 }
 
@@ -287,7 +311,7 @@ fn run_harness(trials: usize, keys: u64, seed: u64, base: &Path) -> ! {
             continue;
         }
         match verify_trial(&dir, keys) {
-            Ok(summary) => {
+            Ok((_durable, summary)) => {
                 let how = if killed { "killed" } else { "completed" };
                 println!("trial {trial}: ok ({fsync}, {how} after {sleep_ms}ms; {summary})");
                 let _ = std::fs::remove_dir_all(&dir);
@@ -311,6 +335,729 @@ fn run_harness(trials: usize, keys: u64, seed: u64, base: &Path) -> ! {
     std::process::exit(0);
 }
 
+// ---------------------------------------------------------------------------
+// Storage-chaos mode (`--faults` / `--validate-faults`, DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+/// Keys between checkpoint barriers in fault trials (smaller than the
+/// kill harness's so faults interleave with many ack points).
+const FAULT_CKPT: u64 = 2048;
+/// Per-trial wall-clock budget for async fault surfacing (snapshotter
+/// faults are promoted to the caller lazily, at checkpoint barriers).
+const FAULT_DEADLINE: Duration = Duration::from_secs(20);
+
+/// Runtime config for fault trials: frequent worker checkpoints so the
+/// background snapshotter (and therefore the rename/sync fault paths)
+/// gets exercised within a short trial.
+fn faults_config() -> ConcurrentConfig {
+    ConcurrentConfig {
+        shards: SHARDS,
+        batch: 64,
+        supervision: SupervisionConfig {
+            checkpoint_interval: 1024,
+            ..SupervisionConfig::default()
+        },
+        ..ConcurrentConfig::default()
+    }
+}
+
+/// The `ErrorClass` a persistently injected fault must degrade with.
+fn expected_class(kind: FaultKind) -> ErrorClass {
+    match kind {
+        FaultKind::Enospc => ErrorClass::NoSpace,
+        _ => ErrorClass::Io,
+    }
+}
+
+/// One row of `BENCH_faults.json`.
+struct FaultRow {
+    kind: String,
+    mode: &'static str,
+    fsync: &'static str,
+    keys: u64,
+    acked: u64,
+    durable: u64,
+    injected: u64,
+    retries: u64,
+    degraded_shards: usize,
+    error_class: String,
+    rot_injected: u64,
+    rot_detected: u64,
+    quarantined: u64,
+    panicked: bool,
+    passed: bool,
+    detail: String,
+}
+
+/// Stats a trial body hands back on success.
+#[derive(Default)]
+struct TrialStats {
+    keys: u64,
+    acked: u64,
+    durable: u64,
+    injected: u64,
+    retries: u64,
+    degraded_shards: usize,
+    error_class: String,
+    rot_injected: u64,
+    rot_detected: u64,
+    quarantined: u64,
+}
+
+/// Check every shard kernel against the exact counts of the full
+/// deterministic stream — ingest must stay correct (and, with the key
+/// space inside the filter, exact) even after degrading.
+fn check_kernels_exact(
+    kernels: &[ASketch<VectorFilter, CountMin>],
+    inserted: u64,
+) -> Result<(), String> {
+    let part = KeyPartition::new(SHARDS);
+    let mut expect = vec![0i64; DISTINCT as usize];
+    for i in 0..inserted {
+        expect[key_at(i) as usize] += 1;
+    }
+    for (shard, kernel) in kernels.iter().enumerate() {
+        for key in 0..DISTINCT {
+            if part.shard_of(key) != shard {
+                continue;
+            }
+            let est = kernel.estimate(key);
+            if est != expect[key as usize] {
+                return Err(format!(
+                    "shard {shard} key {key}: live estimate {est} != exact count {} \
+                     after {inserted} inserts — ingest corrupted by the storage fault",
+                    expect[key as usize]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One injected-fault trial: ingest through a scripted [`FaultVfs`],
+/// checkpointing (and acking) every [`FAULT_CKPT`] keys.
+///
+/// * `transient` faults are isolated single-op failures — the runtime
+///   must retry them away, end healthy, and leave **every** key durable.
+/// * `persistent` faults repeat forever from a scripted op — the runtime
+///   must degrade with the right typed class, keep counting exactly, and
+///   never lose an acked write.
+fn fault_trial_body(
+    kind: FaultKind,
+    persistent: bool,
+    fsync: &'static str,
+    dir: &Path,
+    seed: u64,
+    max_keys: u64,
+) -> Result<TrialStats, String> {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("create trial dir: {e}"))?;
+    let plan = if persistent {
+        // Let the healthy prefix land first (for write faults, past the
+        // first acked checkpoint) so "no acked write lost" has teeth.
+        let from = match kind {
+            FaultKind::Eio | FaultKind::Enospc | FaultKind::ShortWrite => 40,
+            FaultKind::FsyncFail => 34,
+            FaultKind::TornRename => 2,
+        };
+        FaultPlan::new(seed).fail_from(kind, from)
+    } else {
+        // Isolated single-op failures, spaced so a rollback write after
+        // one never lands on the next trigger.
+        FaultPlan::new(seed)
+            .fail_once(kind, 2)
+            .fail_once(kind, 9)
+            .fail_once(kind, 23)
+    };
+    let fault = Arc::new(FaultVfs::over_real(plan));
+    let vfs: Arc<dyn Vfs> = Arc::clone(&fault) as Arc<dyn Vfs>;
+    let opts = DurabilityOptions::new(dir)
+        .fsync(parse_fsync(fsync))
+        .vfs(vfs)
+        .policy(StoragePolicy {
+            retries: 3,
+            retry_backoff: Duration::ZERO,
+        })
+        .scrub_interval(None);
+    let (mut rt, _reports) = ConcurrentASketch::spawn_durable(faults_config(), &opts, kernel)
+        .map_err(|e| format!("spawn_durable: {e}"))?;
+    let mut acks = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("acks.log"))
+        .map_err(|e| format!("open ack file: {e}"))?;
+    let mut inserted = 0u64;
+    let mut acked = 0u64;
+    let mut failure: Option<DurabilityError> = None;
+    let deadline = Instant::now() + FAULT_DEADLINE;
+    loop {
+        for _ in 0..FAULT_CKPT {
+            rt.insert(key_at(inserted));
+            inserted += 1;
+        }
+        match rt.wal_checkpoint() {
+            Ok(n) => {
+                if n != inserted {
+                    return Err(format!("checkpoint covered {n} of {inserted} inserts"));
+                }
+                acked = n;
+                writeln!(acks, "{n}").map_err(|e| format!("append ack: {e}"))?;
+            }
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+        // Transient plans are done once every scripted fault has fired;
+        // persistent plans run until the fault surfaces at a barrier
+        // (snapshotter faults are promoted lazily). Past `max_keys` we
+        // keep ingesting small chunks so worker checkpoints keep driving
+        // the snapshotter toward the scripted rename/sync ops.
+        if !persistent && fault.injected() >= 3 {
+            break;
+        }
+        if inserted >= max_keys {
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let mut error_class = String::new();
+    if persistent {
+        let e = failure.as_ref().ok_or_else(|| {
+            format!(
+                "persistent {} fault never engaged degraded mode \
+                 ({} injected, {inserted} keys)",
+                kind.name(),
+                fault.injected()
+            )
+        })?;
+        let want = expected_class(kind);
+        if e.class() != want {
+            return Err(format!(
+                "degraded with class {:?}, expected {want:?} ({e})",
+                e.class()
+            ));
+        }
+        error_class = e.class().name().to_string();
+        // Disk-sick degraded mode: persistence is off, ingest must not be.
+        for _ in 0..4 * FAULT_CKPT {
+            rt.insert(key_at(inserted));
+            inserted += 1;
+        }
+    } else if let Some(e) = failure {
+        return Err(format!(
+            "transient {} fault degraded the runtime: {e}",
+            kind.name()
+        ));
+    }
+    let injected = fault.injected();
+    let (kernels, health) = rt.finish_with_health();
+    check_kernels_exact(&kernels, inserted)?;
+    let degraded_shards = health.degraded_durability_shards();
+    let retries = health.total_storage_retries();
+    if persistent {
+        if degraded_shards == 0 {
+            return Err("checkpoint failed but no shard gauge reports degraded mode".into());
+        }
+        let gauge_class = health
+            .first_durability_error()
+            .map(|f| f.class.clone())
+            .unwrap_or_default();
+        if gauge_class != error_class {
+            return Err(format!(
+                "health reports fault class {gauge_class:?}, checkpoint error was \
+                 {error_class:?} — typed error lost on the way to the gauges"
+            ));
+        }
+    } else {
+        if health.any_durability_degraded() || degraded_shards > 0 {
+            return Err("transient fault left a shard in degraded mode".into());
+        }
+        if injected == 0 {
+            return Err(format!(
+                "transient {} plan never fired within {inserted} keys — \
+                 the fault path went unexercised",
+                kind.name()
+            ));
+        }
+        if retries == 0 {
+            return Err(format!(
+                "{injected} transient fault(s) injected but no retry was counted"
+            ));
+        }
+    }
+    // Recover from the surviving on-disk state with a clean backend.
+    let (durable, _summary) = verify_trial(dir, inserted)?;
+    if !persistent && durable < inserted {
+        return Err(format!(
+            "transient trial: only {durable} of {inserted} keys durable after a \
+             clean finish"
+        ));
+    }
+    Ok(TrialStats {
+        keys: inserted,
+        acked,
+        durable,
+        injected,
+        retries,
+        degraded_shards,
+        error_class,
+        ..TrialStats::default()
+    })
+}
+
+/// One live bit-rot trial: ingest until every shard has published a
+/// snapshot, flip a byte in the newest snapshot of each shard, and
+/// assert `scrub_now` detects and quarantines **all** of them without
+/// degrading the runtime — then finish, re-scrub offline (must be
+/// clean), and recover exactly.
+fn bitrot_trial_body(fsync: &'static str, dir: &Path, max_keys: u64) -> Result<TrialStats, String> {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("create trial dir: {e}"))?;
+    let opts = DurabilityOptions::new(dir)
+        .fsync(parse_fsync(fsync))
+        .scrub_interval(None);
+    let (mut rt, _reports) = ConcurrentASketch::spawn_durable(faults_config(), &opts, kernel)
+        .map_err(|e| format!("spawn_durable: {e}"))?;
+    let mut acks = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("acks.log"))
+        .map_err(|e| format!("open ack file: {e}"))?;
+    let mut inserted = 0u64;
+    let mut acked;
+    let deadline = Instant::now() + FAULT_DEADLINE;
+    loop {
+        for _ in 0..FAULT_CKPT {
+            rt.insert(key_at(inserted));
+            inserted += 1;
+        }
+        acked = rt
+            .wal_checkpoint()
+            .map_err(|e| format!("wal_checkpoint: {e}"))?;
+        writeln!(acks, "{acked}").map_err(|e| format!("append ack: {e}"))?;
+        let health = rt.health();
+        if health.shards.iter().all(|g| g.snapshot_seq > 0) {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "no snapshot published on every shard within {inserted} keys"
+            ));
+        }
+        if inserted >= max_keys {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    // Flip one mid-file byte in the newest snapshot of every shard.
+    let mut rot_injected = 0u64;
+    for shard in 0..SHARDS {
+        let shard_dir = opts.shard_dir(shard);
+        let newest = std::fs::read_dir(&shard_dir)
+            .map_err(|e| format!("read shard dir: {e}"))?
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("snap-") && n.ends_with(".bin"))
+            })
+            .max();
+        let path = newest
+            .ok_or_else(|| format!("shard {shard}: snapshot_seq > 0 but no snapshot file"))?;
+        let mut bytes = std::fs::read(&path).map_err(|e| format!("read snapshot: {e}"))?;
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).map_err(|e| format!("write rot: {e}"))?;
+        rot_injected += 1;
+    }
+    let reports = rt.scrub_now();
+    let rot_detected: u64 = reports.iter().map(|r| r.corrupt_found()).sum();
+    let quarantined: u64 = reports.iter().map(|r| r.quarantined.len() as u64).sum();
+    if rot_detected != rot_injected {
+        return Err(format!(
+            "scrubber detected {rot_detected} of {rot_injected} injected bit-rot \
+             corruptions — detection must be 100%"
+        ));
+    }
+    if quarantined != rot_injected {
+        return Err(format!(
+            "scrubber quarantined {quarantined} of {rot_injected} corrupt snapshots"
+        ));
+    }
+    let health = rt.health();
+    if health.any_durability_degraded() {
+        return Err("bit-rot wrongly engaged disk-sick degraded mode".into());
+    }
+    if health.total_quarantined() != rot_injected {
+        return Err(format!(
+            "quarantine gauge reads {} after {rot_injected} quarantines",
+            health.total_quarantined()
+        ));
+    }
+    // Keep ingesting so fresh snapshots replace the quarantined ones.
+    for _ in 0..4 {
+        for _ in 0..FAULT_CKPT {
+            rt.insert(key_at(inserted));
+            inserted += 1;
+        }
+        acked = rt
+            .wal_checkpoint()
+            .map_err(|e| format!("wal_checkpoint after scrub: {e}"))?;
+        writeln!(acks, "{acked}").map_err(|e| format!("append ack: {e}"))?;
+    }
+    let (kernels, health) = rt.finish_with_health();
+    check_kernels_exact(&kernels, inserted)?;
+    let retries = health.total_storage_retries();
+    // A quiesced offline re-scrub must find nothing: the rot was
+    // quarantined and the final snapshots are fresh.
+    let real = storage_vfs::real();
+    for shard in 0..SHARDS {
+        let report = scrub_shard_dir(&real, &opts.shard_dir(shard), None)
+            .map_err(|e| format!("offline scrub: {e}"))?;
+        if report.corrupt_found() != 0 {
+            return Err(format!(
+                "offline re-scrub still finds {} corrupt artifact(s) on shard {shard}",
+                report.corrupt_found()
+            ));
+        }
+    }
+    let (durable, _summary) = verify_trial(dir, inserted)?;
+    if durable < inserted {
+        return Err(format!(
+            "bit-rot trial: only {durable} of {inserted} keys durable after a \
+             clean finish with a quarantined snapshot"
+        ));
+    }
+    Ok(TrialStats {
+        keys: inserted,
+        acked,
+        durable,
+        retries,
+        rot_injected,
+        rot_detected,
+        quarantined,
+        ..TrialStats::default()
+    })
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn git_commit() -> String {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn write_faults_json(
+    path: &Path,
+    rows: &[FaultRow],
+    max_keys: u64,
+    seed: u64,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"storage-faults\",");
+    let _ = writeln!(out, "  \"commit\": \"{}\",", git_commit());
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"shards\": {SHARDS}, \"distinct\": {DISTINCT}, \
+         \"ckpt_every\": {FAULT_CKPT}, \"max_keys\": {max_keys}, \"seed\": {seed}, \
+         \"retries\": 3}},"
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"kind\": \"{}\", \"mode\": \"{}\", \"fsync\": \"{}\", \
+             \"keys\": {}, \"acked\": {}, \"durable\": {}, \"injected\": {}, \
+             \"retries\": {}, \"degraded_shards\": {}, \"error_class\": \"{}\", \
+             \"rot_injected\": {}, \"rot_detected\": {}, \"quarantined\": {}, \
+             \"panicked\": {}, \"passed\": {}, \"detail\": \"{}\"}}{}",
+            r.kind,
+            r.mode,
+            r.fsync,
+            r.keys,
+            r.acked,
+            r.durable,
+            r.injected,
+            r.retries,
+            r.degraded_shards,
+            json_escape(&r.error_class),
+            r.rot_injected,
+            r.rot_detected,
+            r.quarantined,
+            r.panicked,
+            r.passed,
+            json_escape(&r.detail),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Turn a trial closure's outcome into a row, catching panics — an
+/// escaped panic is itself a violation the sweep must record.
+fn run_one_trial(
+    kind: String,
+    mode: &'static str,
+    fsync: &'static str,
+    body: impl FnOnce() -> Result<TrialStats, String>,
+) -> FaultRow {
+    let (stats, panicked, passed, detail) = match std::panic::catch_unwind(AssertUnwindSafe(body)) {
+        Ok(Ok(stats)) => (stats, false, true, String::new()),
+        Ok(Err(e)) => (TrialStats::default(), false, false, e),
+        Err(payload) => (TrialStats::default(), true, false, panic_text(payload)),
+    };
+    FaultRow {
+        kind,
+        mode,
+        fsync,
+        keys: stats.keys,
+        acked: stats.acked,
+        durable: stats.durable,
+        injected: stats.injected,
+        retries: stats.retries,
+        degraded_shards: stats.degraded_shards,
+        error_class: stats.error_class,
+        rot_injected: stats.rot_injected,
+        rot_detected: stats.rot_detected,
+        quarantined: stats.quarantined,
+        panicked,
+        passed,
+        detail,
+    }
+}
+
+fn run_faults(max_keys: u64, seed: u64, base: &Path, out: &Path) -> ! {
+    const FSYNCS: [&str; 3] = ["per-batch", "interval", "off"];
+    let mut rows: Vec<FaultRow> = Vec::new();
+    let mut failures = 0usize;
+    let mut record = |row: FaultRow, dir: &Path| {
+        if row.passed {
+            println!(
+                "fault trial {:<12} {:<10} {:<9} ok ({} keys, acked {}, durable {}, \
+                 {} injected, {} retries, {} degraded, {} quarantined)",
+                row.kind,
+                row.mode,
+                row.fsync,
+                row.keys,
+                row.acked,
+                row.durable,
+                row.injected,
+                row.retries,
+                row.degraded_shards,
+                row.quarantined
+            );
+            let _ = std::fs::remove_dir_all(dir);
+        } else {
+            eprintln!(
+                "fault trial {:<12} {:<10} {:<9} FAIL{}: {}",
+                row.kind,
+                row.mode,
+                row.fsync,
+                if row.panicked { " (panicked)" } else { "" },
+                row.detail
+            );
+            eprintln!("  state kept in {}", dir.display());
+            failures += 1;
+        }
+        rows.push(row);
+    };
+    for (i, &kind) in FaultKind::ALL.iter().enumerate() {
+        for &persistent in &[false, true] {
+            let mode = if persistent {
+                "persistent"
+            } else {
+                "transient"
+            };
+            for (j, &fsync) in FSYNCS.iter().enumerate() {
+                let dir = base.join(format!("fault-{}-{mode}-{fsync}", kind.name()));
+                let trial_seed = seed
+                    ^ ((i as u64 + 1) << 8)
+                    ^ ((persistent as u64) << 16)
+                    ^ ((j as u64 + 1) << 24);
+                let row = run_one_trial(kind.name().to_string(), mode, fsync, || {
+                    fault_trial_body(kind, persistent, fsync, &dir, trial_seed, max_keys)
+                });
+                record(row, &dir);
+            }
+        }
+    }
+    for &fsync in FSYNCS.iter() {
+        let dir = base.join(format!("bitrot-{fsync}"));
+        let row = run_one_trial("bit-rot".to_string(), "bit-rot", fsync, || {
+            bitrot_trial_body(fsync, &dir, max_keys)
+        });
+        record(row, &dir);
+    }
+    let total = rows.len();
+    if let Err(e) = write_faults_json(out, &rows, max_keys, seed) {
+        eprintln!("write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {} ({total} trials)", out.display());
+    if failures > 0 {
+        eprintln!("{failures}/{total} storage-chaos trials FAILED");
+        std::process::exit(1);
+    }
+    println!("all {total} storage-chaos trials passed");
+    std::process::exit(0);
+}
+
+/// Pull `"key": value` out of a single result line (the writer emits one
+/// object per line, so line-scoped scanning is unambiguous).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Validate a committed `BENCH_faults.json`: every trial passed without
+/// a panic, the full kind × mode × fsync grid is covered, transient
+/// rows retried without degrading, persistent rows degraded with the
+/// kind's expected class, and bit-rot rows show 100% scrub detection.
+fn validate_faults(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    for key in [
+        "\"schema_version\"",
+        "\"bench\": \"storage-faults\"",
+        "\"commit\"",
+        "\"results\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("{path}: missing {key}"));
+        }
+    }
+    let mut seen: Vec<(String, String, String)> = Vec::new();
+    for line in text.lines().filter(|l| l.contains("\"kind\"")) {
+        let get =
+            |k: &str| field(line, k).ok_or_else(|| format!("{path}: row missing \"{k}\": {line}"));
+        let num = |k: &str| -> Result<u64, String> {
+            get(k)?
+                .parse::<u64>()
+                .map_err(|e| format!("{path}: bad \"{k}\": {e}: {line}"))
+        };
+        let kind = get("kind")?.to_string();
+        let mode = get("mode")?.to_string();
+        let fsync = get("fsync")?.to_string();
+        if get("panicked")? != "false" {
+            return Err(format!(
+                "{path}: a panic escaped trial {kind}/{mode}/{fsync}: {}",
+                get("detail")?
+            ));
+        }
+        if get("passed")? != "true" {
+            return Err(format!(
+                "{path}: trial {kind}/{mode}/{fsync} failed: {}",
+                get("detail")?
+            ));
+        }
+        let (acked, durable) = (num("acked")?, num("durable")?);
+        if durable < acked {
+            return Err(format!(
+                "{path}: {kind}/{mode}/{fsync}: durable {durable} < acked {acked} — \
+                 an acknowledged write was lost"
+            ));
+        }
+        match mode.as_str() {
+            "transient" => {
+                if num("degraded_shards")? != 0 {
+                    return Err(format!("{path}: transient {kind}/{fsync} degraded a shard"));
+                }
+                if num("injected")? == 0 || num("retries")? == 0 {
+                    return Err(format!(
+                        "{path}: transient {kind}/{fsync} exercised no fault/retry"
+                    ));
+                }
+            }
+            "persistent" => {
+                if num("degraded_shards")? == 0 {
+                    return Err(format!("{path}: persistent {kind}/{fsync} never degraded"));
+                }
+                let want = if kind == "enospc" { "no-space" } else { "io" };
+                let class = get("error_class")?;
+                if class != want {
+                    return Err(format!(
+                        "{path}: persistent {kind}/{fsync} degraded with class \
+                         {class:?}, expected {want:?}"
+                    ));
+                }
+            }
+            "bit-rot" => {
+                let (rot, detected) = (num("rot_injected")?, num("rot_detected")?);
+                if rot == 0 || detected != rot || num("quarantined")? != rot {
+                    return Err(format!(
+                        "{path}: bit-rot/{fsync}: {detected}/{rot} detected, \
+                         {} quarantined — scrub detection must be 100%",
+                        num("quarantined")?
+                    ));
+                }
+            }
+            other => return Err(format!("{path}: unknown trial mode {other:?}")),
+        }
+        seen.push((kind, mode, fsync));
+    }
+    for kind in FaultKind::ALL {
+        for mode in ["transient", "persistent"] {
+            for fsync in ["per-batch", "interval", "off"] {
+                let want = (kind.name().to_string(), mode.to_string(), fsync.to_string());
+                if !seen.contains(&want) {
+                    return Err(format!(
+                        "{path}: sweep missing trial {}/{mode}/{fsync}",
+                        kind.name()
+                    ));
+                }
+            }
+        }
+    }
+    for fsync in ["per-batch", "interval", "off"] {
+        let want = (
+            "bit-rot".to_string(),
+            "bit-rot".to_string(),
+            fsync.to_string(),
+        );
+        if !seen.contains(&want) {
+            return Err(format!("{path}: sweep missing bit-rot trial at {fsync}"));
+        }
+    }
+    println!(
+        "{path}: {} storage-chaos trials validated (full kind x mode x fsync grid)",
+        seen.len()
+    );
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("child") {
@@ -326,12 +1073,24 @@ fn main() {
         run_child(Path::new(&args[1]), parse_fsync(&args[2]), keys);
     }
     let mut trials = 25usize;
-    let mut keys = 400_000u64;
+    let mut keys: Option<u64> = None;
     let mut seed = SEED;
     let mut dir: Option<PathBuf> = None;
+    let mut faults = false;
+    let mut out = PathBuf::from("BENCH_faults.json");
+    let mut validate_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--faults" => faults = true,
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).expect("--out needs a path"));
+            }
+            "--validate-faults" => {
+                i += 1;
+                validate_path = Some(args.get(i).expect("--validate-faults needs a path").clone());
+            }
             "--trials" => {
                 i += 1;
                 trials = args
@@ -342,11 +1101,12 @@ fn main() {
             }
             "--keys" => {
                 i += 1;
-                keys = args
-                    .get(i)
-                    .expect("--keys needs a value")
-                    .parse()
-                    .expect("keys must be a number");
+                keys = Some(
+                    args.get(i)
+                        .expect("--keys needs a value")
+                        .parse()
+                        .expect("keys must be a number"),
+                );
             }
             "--seed" => {
                 i += 1;
@@ -362,14 +1122,29 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: crash_recovery [--trials N] [--keys N] [--seed S] [--dir PATH]");
+                eprintln!(
+                    "usage: crash_recovery [--trials N] [--keys N] [--seed S] [--dir PATH]\n\
+                     \x20      crash_recovery --faults [--keys N] [--seed S] [--dir PATH] \
+                     [--out BENCH_faults.json]\n\
+                     \x20      crash_recovery --validate-faults BENCH_faults.json"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
+    if let Some(path) = validate_path {
+        if let Err(e) = validate_faults(&path) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
     let base = dir.unwrap_or_else(|| {
         std::env::temp_dir().join(format!("asketch-crash-{}", std::process::id()))
     });
-    run_harness(trials, keys, seed, &base);
+    if faults {
+        run_faults(keys.unwrap_or(65_536), seed, &base, &out);
+    }
+    run_harness(trials, keys.unwrap_or(400_000), seed, &base);
 }

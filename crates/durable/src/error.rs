@@ -6,6 +6,47 @@ use std::path::PathBuf;
 
 use sketches::persist::PersistError;
 
+/// Coarse classification of a [`DurabilityError`], used by the runtime's
+/// storage policy (retry vs degrade) and by health gauges, so operators
+/// can distinguish a full disk from rotted bytes programmatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// `ENOSPC`: the device is out of space. Retryable — space may free.
+    NoSpace,
+    /// Any other OS-level I/O failure (`EIO`, short write, fsync
+    /// failure, …). Retryable — transient disk hiccups are common.
+    Io,
+    /// Checksum or magic mismatch: the bytes on disk are damaged.
+    /// Not retryable; the scrubber quarantines such files.
+    Corruption,
+    /// A structure was cut short (torn tail, truncated header).
+    /// Not retryable for a given file.
+    Truncated,
+    /// A snapshot from an unknown format version. Not retryable.
+    UnsupportedFormat,
+    /// The durability machinery is in a state it cannot safely continue
+    /// from (e.g. a poisoned WAL writer after a failed rollback).
+    /// Not retryable.
+    InvalidState,
+    /// WAL sequence regression: structural damage, not retryable.
+    OutOfOrder,
+}
+
+impl ErrorClass {
+    /// Stable lowercase name for artifacts and gauges.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorClass::NoSpace => "no-space",
+            ErrorClass::Io => "io",
+            ErrorClass::Corruption => "corruption",
+            ErrorClass::Truncated => "truncated",
+            ErrorClass::UnsupportedFormat => "unsupported-format",
+            ErrorClass::InvalidState => "invalid-state",
+            ErrorClass::OutOfOrder => "out-of-order",
+        }
+    }
+}
+
 /// Everything that can go wrong persisting or recovering state.
 #[derive(Debug)]
 pub enum DurabilityError {
@@ -63,6 +104,98 @@ pub enum DurabilityError {
         /// Highest sequence number seen before it.
         after: u64,
     },
+    /// The WAL writer could not roll back a failed append (the
+    /// `set_len` rollback itself failed), so the segment tail may hold
+    /// torn bytes that would orphan everything appended after them.
+    /// The writer refuses all further appends.
+    Poisoned {
+        /// The poisoned segment.
+        path: PathBuf,
+    },
+}
+
+impl DurabilityError {
+    /// Coarse class of this failure (drives retry-vs-degrade decisions).
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            DurabilityError::Io { source, .. } => {
+                // ENOSPC = 28 on Linux; `io::ErrorKind` spells it
+                // `StorageFull` but raw_os_error is version-proof.
+                if source.raw_os_error() == Some(28)
+                    || source.kind() == std::io::ErrorKind::StorageFull
+                {
+                    ErrorClass::NoSpace
+                } else {
+                    ErrorClass::Io
+                }
+            }
+            DurabilityError::BadMagic { .. } | DurabilityError::ChecksumMismatch { .. } => {
+                ErrorClass::Corruption
+            }
+            DurabilityError::Truncated { .. } => ErrorClass::Truncated,
+            DurabilityError::UnsupportedVersion { .. } => ErrorClass::UnsupportedFormat,
+            DurabilityError::Persist { .. } => ErrorClass::Corruption,
+            DurabilityError::OutOfOrder { .. } => ErrorClass::OutOfOrder,
+            DurabilityError::Poisoned { .. } => ErrorClass::InvalidState,
+        }
+    }
+
+    /// Whether a bounded retry could plausibly succeed. True only for
+    /// OS-level I/O failures (including `ENOSPC`); corruption, torn
+    /// structures, format mismatches, and poisoned writers never heal by
+    /// retrying.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self.class(), ErrorClass::Io | ErrorClass::NoSpace)
+    }
+}
+
+impl Clone for DurabilityError {
+    fn clone(&self) -> Self {
+        match self {
+            // `io::Error` is not `Clone`; reconstruct it from the raw OS
+            // code when present, else from kind + message. The clone is
+            // for *reporting* (health gauges, degraded-state records),
+            // where the code/kind/message are the whole signal.
+            DurabilityError::Io { op, path, source } => DurabilityError::Io {
+                op,
+                path: path.clone(),
+                source: match source.raw_os_error() {
+                    Some(code) => std::io::Error::from_raw_os_error(code),
+                    None => std::io::Error::new(source.kind(), source.to_string()),
+                },
+            },
+            DurabilityError::BadMagic { path } => DurabilityError::BadMagic { path: path.clone() },
+            DurabilityError::UnsupportedVersion { path, found } => {
+                DurabilityError::UnsupportedVersion {
+                    path: path.clone(),
+                    found: *found,
+                }
+            }
+            DurabilityError::ChecksumMismatch {
+                path,
+                stored,
+                computed,
+            } => DurabilityError::ChecksumMismatch {
+                path: path.clone(),
+                stored: *stored,
+                computed: *computed,
+            },
+            DurabilityError::Truncated { path, what } => DurabilityError::Truncated {
+                path: path.clone(),
+                what,
+            },
+            DurabilityError::Persist { path, source } => DurabilityError::Persist {
+                path: path.clone(),
+                source: source.clone(),
+            },
+            DurabilityError::OutOfOrder { path, found, after } => DurabilityError::OutOfOrder {
+                path: path.clone(),
+                found: *found,
+                after: *after,
+            },
+            DurabilityError::Poisoned { path } => DurabilityError::Poisoned { path: path.clone() },
+        }
+    }
 }
 
 impl std::fmt::Display for DurabilityError {
@@ -106,6 +239,13 @@ impl std::fmt::Display for DurabilityError {
                 write!(
                     f,
                     "WAL sequence regression in {}: {found} after {after}",
+                    path.display()
+                )
+            }
+            DurabilityError::Poisoned { path } => {
+                write!(
+                    f,
+                    "WAL writer on {} is poisoned (failed append could not be rolled back)",
                     path.display()
                 )
             }

@@ -27,25 +27,76 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod crc32c;
 pub mod error;
 pub mod recovery;
+pub mod scrub;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
-pub use error::DurabilityError;
-pub use recovery::{recover_kernel, RecoveryReport};
+pub use error::{DurabilityError, ErrorClass};
+pub use recovery::{recover_kernel, recover_kernel_with, RecoveryReport};
+pub use scrub::{scrub_shard_dir, ScrubReport};
 pub use snapshot::{
-    list_snapshots, load_latest, prune_snapshots, read_snapshot, write_snapshot, SnapshotMeta,
+    list_snapshots, load_latest, prune_snapshots, prune_snapshots_with, read_snapshot,
+    verify_snapshot_with, write_snapshot, write_snapshot_with, SnapshotMeta,
 };
+pub use vfs::{FaultKind, FaultPlan, FaultVfs, RealVfs, Vfs, VfsFile};
 pub use wal::{list_segments, replay, truncate_torn, FsyncPolicy, TornTail, WalScan, WalWriter};
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
-/// Configuration for a durable runtime: where state lives and how hard
-/// the WAL pushes it to disk.
-#[derive(Debug, Clone)]
+/// How the runtime responds to storage faults on the durable path:
+/// bounded retries with exponential backoff for retryable (I/O-class)
+/// failures, then an explicit disk-sick degraded transition.
+///
+/// The backoff shape matches the worker-supervision policy from the
+/// concurrent runtime: `base × 2^(attempt-1)`, capped at 32× base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoragePolicy {
+    /// Retries after the initial attempt before declaring the fault
+    /// persistent (default 3; 0 = degrade on first failure).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per retry, capped at 32×
+    /// (default 2 ms, so worst case with defaults is 2 + 4 + 8 = 14 ms
+    /// of sleep on an ingest-adjacent path).
+    pub retry_backoff: Duration,
+}
+
+impl Default for StoragePolicy {
+    fn default() -> Self {
+        Self {
+            retries: 3,
+            retry_backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl StoragePolicy {
+    /// A policy that never retries: the first failure degrades.
+    pub fn no_retries() -> Self {
+        Self {
+            retries: 0,
+            retry_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry attempt `attempt` (1-based): exponential,
+    /// capped at 32× the base.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(5);
+        self.retry_backoff * factor
+    }
+}
+
+/// Configuration for a durable runtime: where state lives, how hard the
+/// WAL pushes it to disk, and how storage faults are handled.
+#[derive(Clone)]
 pub struct DurabilityOptions {
     /// Root directory; each shard gets `shard-NNNN/` beneath it.
     pub dir: PathBuf,
@@ -59,6 +110,28 @@ pub struct DurabilityOptions {
     /// snapshot (default `true` = exactly-once over the durable prefix;
     /// `false` = at-least-once, one-sided over-count only).
     pub dedup: bool,
+    /// Storage backend every byte goes through (default: the real
+    /// filesystem; tests and the chaos harness inject a [`FaultVfs`]).
+    pub vfs: Arc<dyn Vfs>,
+    /// Retry/degrade policy for storage faults on the durable path.
+    pub policy: StoragePolicy,
+    /// Cadence of the background integrity scrubber (default 60 s;
+    /// `None` disables the scrubber thread — `scrub_now` still works).
+    pub scrub_interval: Option<Duration>,
+}
+
+impl std::fmt::Debug for DurabilityOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityOptions")
+            .field("dir", &self.dir)
+            .field("fsync", &self.fsync)
+            .field("segment_bytes", &self.segment_bytes)
+            .field("snapshot_keep", &self.snapshot_keep)
+            .field("dedup", &self.dedup)
+            .field("policy", &self.policy)
+            .field("scrub_interval", &self.scrub_interval)
+            .finish_non_exhaustive()
+    }
 }
 
 impl DurabilityOptions {
@@ -70,6 +143,9 @@ impl DurabilityOptions {
             segment_bytes: 8 << 20,
             snapshot_keep: 2,
             dedup: true,
+            vfs: vfs::real(),
+            policy: StoragePolicy::default(),
+            scrub_interval: Some(Duration::from_secs(60)),
         }
     }
 
@@ -98,6 +174,27 @@ impl DurabilityOptions {
     #[must_use]
     pub fn dedup(mut self, dedup: bool) -> Self {
         self.dedup = dedup;
+        self
+    }
+
+    /// Set the storage backend (tests/chaos: a [`FaultVfs`]).
+    #[must_use]
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    /// Set the storage-fault retry/degrade policy.
+    #[must_use]
+    pub fn policy(mut self, policy: StoragePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the scrubber cadence (`None` disables the background thread).
+    #[must_use]
+    pub fn scrub_interval(mut self, interval: Option<Duration>) -> Self {
+        self.scrub_interval = interval;
         self
     }
 
@@ -148,5 +245,19 @@ mod tests {
         assert_eq!(o.snapshot_keep, 1, "floor applied");
         assert!(!o.dedup);
         assert_eq!(o.shard_dir(3), PathBuf::from("/tmp/x/shard-0003"));
+    }
+
+    #[test]
+    fn storage_policy_backoff_is_exponential_and_capped() {
+        let p = StoragePolicy {
+            retries: 8,
+            retry_backoff: Duration::from_millis(2),
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(8));
+        assert_eq!(p.backoff_for(6), Duration::from_millis(64));
+        assert_eq!(p.backoff_for(7), Duration::from_millis(64), "capped at 32x");
+        assert_eq!(StoragePolicy::no_retries().retries, 0);
     }
 }

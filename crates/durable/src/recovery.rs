@@ -13,13 +13,15 @@
 //! acknowledged increments.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use sketches::persist::Persist;
 use sketches::FrequencyEstimator;
 
 use crate::error::DurabilityError;
-use crate::snapshot::{load_latest, SnapshotMeta};
-use crate::wal::{replay, truncate_torn, TornTail};
+use crate::snapshot::{load_latest_with, SnapshotMeta};
+use crate::vfs::{real, Vfs};
+use crate::wal::{replay_with, truncate_torn_with, TornTail};
 
 /// What recovery found and did — surfaced so callers (and the crash
 /// harness) can assert on it instead of trusting silence.
@@ -61,8 +63,23 @@ pub fn recover_kernel<K: Persist + FrequencyEstimator>(
     dedup: bool,
     fresh: impl FnOnce() -> K,
 ) -> Result<(K, RecoveryReport), DurabilityError> {
+    recover_kernel_with(&real(), shard_dir, dedup, fresh)
+}
+
+/// [`recover_kernel`] over an explicit storage backend, so recovery
+/// itself is fault-testable (a disk that fails reads mid-recovery must
+/// produce a typed error, never silent partial state).
+///
+/// # Errors
+/// See [`recover_kernel`].
+pub fn recover_kernel_with<K: Persist + FrequencyEstimator>(
+    vfs: &Arc<dyn Vfs>,
+    shard_dir: &Path,
+    dedup: bool,
+    fresh: impl FnOnce() -> K,
+) -> Result<(K, RecoveryReport), DurabilityError> {
     let mut report = RecoveryReport::default();
-    let (loaded, rejected) = load_latest::<K>(shard_dir)?;
+    let (loaded, rejected) = load_latest_with::<K>(vfs, shard_dir)?;
     report.rejected_snapshots = rejected;
     let mut kernel = match loaded {
         Some((meta, kernel)) => {
@@ -77,7 +94,7 @@ pub fn recover_kernel<K: Persist + FrequencyEstimator>(
     let mut applied = 0u64;
     let mut applied_keys = 0u64;
     let mut deduped = 0u64;
-    let scan = replay(shard_dir, |seq, keys| {
+    let scan = replay_with(vfs, shard_dir, |seq, keys| {
         if dedup && seq <= gate {
             deduped += 1;
             return;
@@ -96,7 +113,7 @@ pub fn recover_kernel<K: Persist + FrequencyEstimator>(
     if let Some(torn) = &scan.torn {
         // Physically drop the unreachable tail so a writer resumed on this
         // directory cannot append durable records behind it.
-        truncate_torn(shard_dir, torn)?;
+        truncate_torn_with(vfs, shard_dir, torn)?;
     }
     report.torn = scan.torn;
     Ok((kernel, report))

@@ -1,0 +1,284 @@
+//! Integrity scrubbing: re-verify durable state *on disk* so bit-rot is
+//! found while the WAL can still cover for it, not at recovery time.
+//!
+//! A scrub pass over one shard directory:
+//!
+//! 1. re-validates every `snap-*.bin` (magic, version, framing, CRC —
+//!    via [`verify_snapshot_with`], no kernel decode);
+//! 2. **quarantines** corrupt snapshots by renaming them to
+//!    `<name>.corrupt` ([`quarantine_snapshot_with`]), so recovery and
+//!    pruning stop considering them while the bytes survive for
+//!    forensics;
+//! 3. re-validates every *sealed* WAL segment ([`verify_segment_with`]).
+//!    The active segment — the one a live writer is appending to — is
+//!    skipped: a mid-append read would see a false torn tail. Sealed
+//!    segments are immutable, so a torn or corrupt record there is real
+//!    damage, reported (not deleted: replay's torn-tail handling and
+//!    recovery's truncation own WAL repair).
+//!
+//! The concurrent runtime drives this from a background thread and
+//! triggers a fresh snapshot whenever a quarantine happened, so the
+//! newest snapshot is always one the scrubber has effectively vouched
+//! for. The pass is read-mostly and runs off the ingest path.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::error::DurabilityError;
+use crate::snapshot::{list_snapshots_with, quarantine_snapshot_with, verify_snapshot_with};
+use crate::vfs::Vfs;
+use crate::wal::{list_segments_with, verify_segment_with, TornTail};
+
+/// What one scrub pass over a shard directory found and did.
+#[derive(Debug, Default)]
+pub struct ScrubReport {
+    /// Snapshot files whose checksums were re-verified.
+    pub snapshots_checked: u64,
+    /// Snapshots that failed verification, with the typed reason.
+    pub corrupt_snapshots: Vec<(PathBuf, DurabilityError)>,
+    /// Corrupt snapshots successfully renamed to `.corrupt`.
+    pub quarantined: Vec<PathBuf>,
+    /// Sealed WAL segments whose records were re-verified.
+    pub wal_segments_checked: u64,
+    /// Sealed segments holding a torn or corrupt record — real damage,
+    /// since sealed segments are immutable.
+    pub corrupt_wal_segments: Vec<TornTail>,
+}
+
+impl ScrubReport {
+    /// Total corrupt artifacts found (snapshots + sealed WAL segments).
+    pub fn corrupt_found(&self) -> u64 {
+        (self.corrupt_snapshots.len() + self.corrupt_wal_segments.len()) as u64
+    }
+
+    /// Whether a fresh snapshot should be taken: the scrub removed a
+    /// snapshot from the recovery set.
+    pub fn wants_fresh_snapshot(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+}
+
+/// Run one scrub pass over `dir`. `active_segment` is the WAL segment a
+/// live writer is currently appending to (skipped; pass `None` for an
+/// offline scrub of a quiesced directory, which then checks every
+/// segment).
+///
+/// # Errors
+/// Directory-level I/O failures only; per-file damage is *the product*,
+/// reported in the [`ScrubReport`], and per-file read errors count as
+/// corruption findings rather than aborting the pass.
+pub fn scrub_shard_dir(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+    active_segment: Option<&Path>,
+) -> Result<ScrubReport, DurabilityError> {
+    let mut report = ScrubReport::default();
+    if !vfs.exists(dir) {
+        return Ok(report);
+    }
+
+    for (_, path) in list_snapshots_with(vfs, dir)? {
+        report.snapshots_checked += 1;
+        if let Err(reason) = verify_snapshot_with(vfs, &path) {
+            // Quarantine is best-effort: a failed rename leaves the file
+            // for the next pass (and recovery skips it anyway).
+            if quarantine_snapshot_with(vfs, &path).is_ok() {
+                report.quarantined.push(path.clone());
+            }
+            report.corrupt_snapshots.push((path, reason));
+        }
+    }
+
+    for (_, path) in list_segments_with(vfs, dir)? {
+        if active_segment.is_some_and(|active| active == path) {
+            continue;
+        }
+        match verify_segment_with(vfs, &path) {
+            Ok(scan) => {
+                report.wal_segments_checked += 1;
+                if let Some(torn) = scan.torn {
+                    report.corrupt_wal_segments.push(torn);
+                }
+            }
+            Err(e) => {
+                report.wal_segments_checked += 1;
+                report.corrupt_wal_segments.push(TornTail {
+                    path: path.clone(),
+                    offset: 0,
+                    reason: match e.class() {
+                        crate::error::ErrorClass::OutOfOrder => "sequence regression",
+                        _ => "segment unreadable",
+                    },
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{list_snapshots, write_snapshot, SnapshotMeta};
+    use crate::vfs::real;
+    use crate::wal::{list_segments, FsyncPolicy, WalWriter};
+    use sketches::CountMin;
+    use sketches::FrequencyEstimator;
+    use std::fs;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("asketch-scrub-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample() -> CountMin {
+        let mut cms = CountMin::new(5, 4, 128).unwrap();
+        for k in 0..50u64 {
+            cms.update(k, 1);
+        }
+        cms
+    }
+
+    fn flip_mid_byte(path: &Path) {
+        let mut b = fs::read(path).unwrap();
+        let mid = b.len() / 2;
+        b[mid] ^= 0x20;
+        fs::write(path, &b).unwrap();
+    }
+
+    #[test]
+    fn clean_dir_scrubs_clean() {
+        let dir = tmp_dir("clean");
+        let cms = sample();
+        write_snapshot(
+            &dir,
+            SnapshotMeta {
+                shard: 0,
+                wal_seq: 4,
+                ops: 50,
+            },
+            &cms,
+        )
+        .unwrap();
+        let mut w = WalWriter::create(&dir, 4, FsyncPolicy::Off, 64).unwrap();
+        for seq in 5..=10u64 {
+            w.append(seq, &[seq]).unwrap();
+        }
+        w.sync().unwrap();
+        let active = w.active_segment().to_path_buf();
+        let vfs = real();
+        let report = scrub_shard_dir(&vfs, &dir, Some(&active)).unwrap();
+        assert_eq!(report.snapshots_checked, 1);
+        assert!(report.wal_segments_checked >= 1);
+        assert_eq!(report.corrupt_found(), 0);
+        assert!(!report.wants_fresh_snapshot());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotted_snapshot_is_quarantined_and_fresh_snapshot_requested() {
+        let dir = tmp_dir("rot-snap");
+        let cms = sample();
+        let old = write_snapshot(
+            &dir,
+            SnapshotMeta {
+                shard: 0,
+                wal_seq: 3,
+                ops: 10,
+            },
+            &cms,
+        )
+        .unwrap();
+        let newest = write_snapshot(
+            &dir,
+            SnapshotMeta {
+                shard: 0,
+                wal_seq: 8,
+                ops: 20,
+            },
+            &cms,
+        )
+        .unwrap();
+        flip_mid_byte(&newest);
+        let vfs = real();
+        let report = scrub_shard_dir(&vfs, &dir, None).unwrap();
+        assert_eq!(report.snapshots_checked, 2);
+        assert_eq!(report.corrupt_snapshots.len(), 1);
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.wants_fresh_snapshot());
+        assert!(!newest.exists(), "corrupt file renamed away");
+        assert!(old.exists(), "intact snapshot untouched");
+        // Recovery now sees only the valid snapshot.
+        let snaps = list_snapshots(&dir).unwrap();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].0, 3);
+        // A second pass finds nothing new (quarantine is idempotent).
+        let report = scrub_shard_dir(&vfs, &dir, None).unwrap();
+        assert_eq!(report.corrupt_found(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotted_sealed_segment_is_reported_active_is_skipped() {
+        let dir = tmp_dir("rot-wal");
+        // Tiny target so several sealed segments exist.
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::Off, 64).unwrap();
+        for seq in 1..=8u64 {
+            w.append(seq, &[seq]).unwrap();
+        }
+        w.sync().unwrap();
+        let active = w.active_segment().to_path_buf();
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() >= 3);
+        // Rot the first (sealed) segment.
+        flip_mid_byte(&segs[0].1);
+        let vfs = real();
+        let report = scrub_shard_dir(&vfs, &dir, Some(&active)).unwrap();
+        assert_eq!(report.wal_segments_checked as usize, segs.len() - 1);
+        assert_eq!(report.corrupt_wal_segments.len(), 1);
+        assert_eq!(report.corrupt_wal_segments[0].path, segs[0].1);
+        assert!(!report.wants_fresh_snapshot(), "WAL rot alone: report only");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_then_recover_falls_back_to_wal() {
+        // End-to-end: snapshot rots, scrub quarantines it, recovery
+        // rebuilds the exact state from the full WAL.
+        let dir = tmp_dir("rot-recover");
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::PerBatch, 1 << 20).unwrap();
+        for seq in 1..=6u64 {
+            w.append(seq, &[seq]).unwrap();
+        }
+        drop(w);
+        let mut state = CountMin::new(5, 4, 128).unwrap();
+        for seq in 1..=4u64 {
+            state.update(seq, 1);
+        }
+        let snap = write_snapshot(
+            &dir,
+            SnapshotMeta {
+                shard: 0,
+                wal_seq: 4,
+                ops: 4,
+            },
+            &state,
+        )
+        .unwrap();
+        flip_mid_byte(&snap);
+        let vfs = real();
+        let report = scrub_shard_dir(&vfs, &dir, None).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        let (kernel, rec) =
+            crate::recovery::recover_kernel(&dir, true, || CountMin::new(5, 4, 128).unwrap())
+                .unwrap();
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.replayed_records, 6);
+        for seq in 1..=6u64 {
+            assert_eq!(kernel.estimate(seq), 1, "seq {seq}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

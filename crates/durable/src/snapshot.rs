@@ -18,21 +18,29 @@
 //! order is recovery order, and are written atomically: tmp file →
 //! `fsync` → `rename` → directory `fsync`. A crash mid-write leaves
 //! either the previous snapshot set intact or a `.tmp` that recovery
-//! ignores — never a half-visible snapshot.
+//! ignores — never a half-visible snapshot. A *failed* write (injected or
+//! real) likewise cleans up its tmp file best-effort, so a retried
+//! publish starts clean.
+//!
+//! All I/O goes through an injectable [`Vfs`]; the `_with` variants take
+//! the backend explicitly, the plain functions use the real filesystem.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use sketches::persist::Persist;
 
 use crate::crc32c::crc32c;
 use crate::error::{io_err, DurabilityError};
+use crate::vfs::{real, Vfs};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ASKSNAP1";
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Suffix appended to a quarantined (corrupt) snapshot's file name.
+pub const QUARANTINE_SUFFIX: &str = ".corrupt";
 
 /// Identity of a snapshot: which shard, and how much of the stream it
 /// already contains.
@@ -60,10 +68,8 @@ fn parse_snapshot_name(name: &str) -> Option<u64> {
 }
 
 /// Fsync a directory so a completed rename survives power loss.
-fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
-    File::open(dir)
-        .and_then(|d| d.sync_all())
-        .map_err(io_err("fsync directory", dir))
+fn sync_dir_with(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<(), DurabilityError> {
+    vfs.sync_dir(dir).map_err(io_err("fsync directory", dir))
 }
 
 /// Atomically write a checksummed snapshot of `state` into `dir`,
@@ -76,7 +82,23 @@ pub fn write_snapshot<P: Persist>(
     meta: SnapshotMeta,
     state: &P,
 ) -> Result<PathBuf, DurabilityError> {
-    fs::create_dir_all(dir).map_err(io_err("create snapshot dir", dir))?;
+    write_snapshot_with(&real(), dir, meta, state)
+}
+
+/// [`write_snapshot`] over an explicit storage backend. On failure the
+/// tmp file is removed best-effort, so a retried publish starts from a
+/// clean slate; the previous snapshot set is never touched.
+///
+/// # Errors
+/// Any I/O failure; the directory is created if missing.
+pub fn write_snapshot_with<P: Persist>(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+    meta: SnapshotMeta,
+    state: &P,
+) -> Result<PathBuf, DurabilityError> {
+    vfs.create_dir_all(dir)
+        .map_err(io_err("create snapshot dir", dir))?;
     let payload = state.to_state_bytes();
     // Everything after the magic is covered by the trailing CRC.
     let mut body = Vec::with_capacity(36 + payload.len());
@@ -90,35 +112,31 @@ pub fn write_snapshot<P: Persist>(
 
     let final_path = dir.join(snapshot_file_name(meta.wal_seq));
     let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(meta.wal_seq)));
+    let cleanup = |e: DurabilityError| {
+        let _ = vfs.remove_file(&tmp_path);
+        e
+    };
     {
-        let mut f = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp_path)
+        let mut f = vfs
+            .create_truncate(&tmp_path)
             .map_err(io_err("create snapshot tmp", &tmp_path))?;
         f.write_all(&SNAPSHOT_MAGIC)
             .and_then(|()| f.write_all(&body))
             .and_then(|()| f.write_all(&crc.to_le_bytes()))
-            .and_then(|()| f.sync_all())
-            .map_err(io_err("write snapshot", &tmp_path))?;
+            .and_then(|()| f.sync_data())
+            .map_err(io_err("write snapshot", &tmp_path))
+            .map_err(cleanup)?;
     }
-    fs::rename(&tmp_path, &final_path).map_err(io_err("publish snapshot", &final_path))?;
-    sync_dir(dir)?;
+    vfs.rename(&tmp_path, &final_path)
+        .map_err(io_err("publish snapshot", &final_path))
+        .map_err(cleanup)?;
+    sync_dir_with(vfs, dir)?;
     Ok(final_path)
 }
 
-/// Read and fully validate one snapshot file.
-///
-/// # Errors
-/// Typed failures for bad magic, unknown version, torn files, checksum
-/// mismatches, and undecodable payloads — damaged bytes never become
-/// state.
-pub fn read_snapshot<P: Persist>(path: &Path) -> Result<(SnapshotMeta, P), DurabilityError> {
-    let mut bytes = Vec::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_end(&mut bytes))
-        .map_err(io_err("read snapshot", path))?;
+/// Validate the framing of already-read snapshot bytes: magic, length,
+/// CRC, version, payload-length consistency. Returns the meta on success.
+fn validate_snapshot_bytes(path: &Path, bytes: &[u8]) -> Result<SnapshotMeta, DurabilityError> {
     if bytes.len() < 8 || bytes[..8] != SNAPSHOT_MAGIC {
         return Err(DurabilityError::BadMagic {
             path: path.to_path_buf(),
@@ -131,7 +149,13 @@ pub fn read_snapshot<P: Persist>(path: &Path) -> Result<(SnapshotMeta, P), Durab
         });
     }
     let body = &bytes[8..bytes.len() - 4];
-    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let stored = bytes[bytes.len() - 4..]
+        .try_into()
+        .map(u32::from_le_bytes)
+        .map_err(|_| DurabilityError::Truncated {
+            path: path.to_path_buf(),
+            what: "snapshot checksum",
+        })?;
     let computed = crc32c(body);
     if stored != computed {
         return Err(DurabilityError::ChecksumMismatch {
@@ -142,8 +166,26 @@ pub fn read_snapshot<P: Persist>(path: &Path) -> Result<(SnapshotMeta, P), Durab
     }
     // CRC has vouched for the body; field extraction can't fail except for
     // length inconsistencies (still possible if the file was truncated to
-    // a self-consistent prefix, which the length field catches).
-    let version = u32::from_le_bytes(body[0..4].try_into().unwrap());
+    // a self-consistent prefix, which the length field catches). Reads are
+    // checked anyway: corruption must surface as typed errors, never a
+    // panic.
+    let le_u64 = |at: usize| -> Result<u64, DurabilityError> {
+        body.get(at..at + 8)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_le_bytes)
+            .ok_or_else(|| DurabilityError::Truncated {
+                path: path.to_path_buf(),
+                what: "snapshot header",
+            })
+    };
+    let version = body
+        .get(0..4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| DurabilityError::Truncated {
+            path: path.to_path_buf(),
+            what: "snapshot header",
+        })?;
     if version != SNAPSHOT_VERSION {
         return Err(DurabilityError::UnsupportedVersion {
             path: path.to_path_buf(),
@@ -151,18 +193,41 @@ pub fn read_snapshot<P: Persist>(path: &Path) -> Result<(SnapshotMeta, P), Durab
         });
     }
     let meta = SnapshotMeta {
-        shard: u64::from_le_bytes(body[4..12].try_into().unwrap()),
-        wal_seq: u64::from_le_bytes(body[12..20].try_into().unwrap()),
-        ops: u64::from_le_bytes(body[20..28].try_into().unwrap()),
+        shard: le_u64(4)?,
+        wal_seq: le_u64(12)?,
+        ops: le_u64(20)?,
     };
-    let payload_len = u64::from_le_bytes(body[28..36].try_into().unwrap());
-    let payload = &body[36..];
-    if payload_len != payload.len() as u64 {
+    let payload_len = le_u64(28)?;
+    if payload_len != (body.len() - 36) as u64 {
         return Err(DurabilityError::Truncated {
             path: path.to_path_buf(),
             what: "snapshot payload",
         });
     }
+    Ok(meta)
+}
+
+/// Read and fully validate one snapshot file.
+///
+/// # Errors
+/// Typed failures for bad magic, unknown version, torn files, checksum
+/// mismatches, and undecodable payloads — damaged bytes never become
+/// state.
+pub fn read_snapshot<P: Persist>(path: &Path) -> Result<(SnapshotMeta, P), DurabilityError> {
+    read_snapshot_with(&real(), path)
+}
+
+/// [`read_snapshot`] over an explicit storage backend.
+///
+/// # Errors
+/// See [`read_snapshot`].
+pub fn read_snapshot_with<P: Persist>(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+) -> Result<(SnapshotMeta, P), DurabilityError> {
+    let bytes = vfs.read(path).map_err(io_err("read snapshot", path))?;
+    let meta = validate_snapshot_bytes(path, &bytes)?;
+    let payload = &bytes[44..bytes.len() - 4];
     let state = P::from_state_bytes(payload).map_err(|source| DurabilityError::Persist {
         path: path.to_path_buf(),
         source,
@@ -170,16 +235,44 @@ pub fn read_snapshot<P: Persist>(path: &Path) -> Result<(SnapshotMeta, P), Durab
     Ok((meta, state))
 }
 
+/// Verify a snapshot's integrity — magic, version, length framing, CRC —
+/// without decoding the payload into a kernel. The scrubber's per-file
+/// check, and the validity probe for [`prune_snapshots`]; O(file read +
+/// CRC), no allocation proportional to kernel structure.
+///
+/// # Errors
+/// The typed reason the file is invalid, or the read failure.
+pub fn verify_snapshot_with(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+) -> Result<SnapshotMeta, DurabilityError> {
+    let bytes = vfs.read(path).map_err(io_err("read snapshot", path))?;
+    validate_snapshot_bytes(path, &bytes)
+}
+
 /// All snapshot files in `dir`, sorted by sequence ascending.
+///
+/// # Errors
+/// Directory I/O failures.
 pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    list_snapshots_with(&real(), dir)
+}
+
+/// [`list_snapshots`] over an explicit storage backend.
+///
+/// # Errors
+/// Directory I/O failures.
+pub fn list_snapshots_with(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
     let mut out = Vec::new();
-    if !dir.exists() {
+    if !vfs.exists(dir) {
         return Ok(out);
     }
-    for entry in fs::read_dir(dir).map_err(io_err("list snapshots", dir))? {
-        let entry = entry.map_err(io_err("list snapshots", dir))?;
-        if let Some(seq) = entry.file_name().to_str().and_then(parse_snapshot_name) {
-            out.push((seq, entry.path()));
+    for (name, path) in vfs.read_dir(dir).map_err(io_err("list snapshots", dir))? {
+        if let Some(seq) = parse_snapshot_name(&name) {
+            out.push((seq, path));
         }
     }
     out.sort_unstable_by_key(|&(seq, _)| seq);
@@ -198,9 +291,21 @@ pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError
 pub fn load_latest<P: Persist>(
     dir: &Path,
 ) -> Result<(Option<(SnapshotMeta, P)>, Vec<(PathBuf, DurabilityError)>), DurabilityError> {
+    load_latest_with(&real(), dir)
+}
+
+/// [`load_latest`] over an explicit storage backend.
+///
+/// # Errors
+/// See [`load_latest`].
+#[allow(clippy::type_complexity)]
+pub fn load_latest_with<P: Persist>(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+) -> Result<(Option<(SnapshotMeta, P)>, Vec<(PathBuf, DurabilityError)>), DurabilityError> {
     let mut rejected = Vec::new();
-    for (_, path) in list_snapshots(dir)?.into_iter().rev() {
-        match read_snapshot::<P>(&path) {
+    for (_, path) in list_snapshots_with(vfs, dir)?.into_iter().rev() {
+        match read_snapshot_with::<P>(vfs, &path) {
             Ok(loaded) => return Ok((Some(loaded), rejected)),
             Err(e) => rejected.push((path, e)),
         }
@@ -208,14 +313,57 @@ pub fn load_latest<P: Persist>(
     Ok((None, rejected))
 }
 
-/// Delete all but the `keep` newest snapshot files. Best-effort: deletion
-/// failures are ignored (a leftover snapshot is wasted disk, not
-/// incorrectness).
+/// Quarantine a corrupt snapshot: rename it to `<name>.corrupt` so
+/// recovery and pruning stop considering it, while the bytes survive for
+/// forensics. Used by the integrity scrubber.
+///
+/// # Errors
+/// The rename failure, if any.
+pub fn quarantine_snapshot_with(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+) -> Result<PathBuf, DurabilityError> {
+    let mut name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("snapshot")
+        .to_string();
+    name.push_str(QUARANTINE_SUFFIX);
+    let dest = path.with_file_name(name);
+    vfs.rename(path, &dest)
+        .map_err(io_err("quarantine snapshot", path))?;
+    Ok(dest)
+}
+
+/// Delete old snapshot files, keeping the `keep` newest **valid** ones.
+/// A snapshot is only deleted when at least `keep` *newer, validating*
+/// snapshots exist — so the newest valid snapshot is never deleted, even
+/// when numerically-newer but corrupt files sit above it. Invalid files
+/// are left in place (the scrubber quarantines them; pruning never
+/// destroys forensic evidence). Best-effort: deletion failures are
+/// ignored (a leftover snapshot is wasted disk, not incorrectness).
 pub fn prune_snapshots(dir: &Path, keep: usize) {
-    if let Ok(snaps) = list_snapshots(dir) {
-        let n = snaps.len().saturating_sub(keep);
-        for (_, path) in snaps.into_iter().take(n) {
-            let _ = fs::remove_file(path);
+    prune_snapshots_with(&real(), dir, keep);
+}
+
+/// [`prune_snapshots`] over an explicit storage backend.
+pub fn prune_snapshots_with(vfs: &Arc<dyn Vfs>, dir: &Path, keep: usize) {
+    let Ok(snaps) = list_snapshots_with(vfs, dir) else {
+        return;
+    };
+    let mut valid_newer = 0usize;
+    for (_, path) in snaps.into_iter().rev() {
+        match verify_snapshot_with(vfs, &path) {
+            Ok(_) => {
+                if valid_newer >= keep {
+                    let _ = vfs.remove_file(&path);
+                } else {
+                    valid_newer += 1;
+                }
+            }
+            Err(_) => {
+                // Not ours to delete; the scrubber will quarantine it.
+            }
         }
     }
 }
@@ -223,7 +371,9 @@ pub fn prune_snapshots(dir: &Path, keep: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultKind, FaultPlan, FaultVfs};
     use sketches::{CountMin, FrequencyEstimator};
+    use std::fs;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("asketch-snap-{tag}-{}", std::process::id()));
@@ -256,6 +406,10 @@ mod tests {
         for k in 0..40u64 {
             assert_eq!(got.estimate(k), cms.estimate(k));
         }
+        // The meta-only verifier agrees.
+        let verified =
+            verify_snapshot_with(&real(), &dir.join("snap-00000000000000000041.bin")).unwrap();
+        assert_eq!(verified, meta);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -389,6 +543,122 @@ mod tests {
             .map(|(s, _)| s)
             .collect();
         assert_eq!(left, vec![3, 4]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_never_deletes_newest_valid_under_corrupt_newer_files() {
+        let dir = tmp_dir("prunevalid");
+        let cms = sample();
+        let mut paths = Vec::new();
+        for seq in [1u64, 2, 3, 4] {
+            paths.push(
+                write_snapshot(
+                    &dir,
+                    SnapshotMeta {
+                        shard: 0,
+                        wal_seq: seq,
+                        ops: seq,
+                    },
+                    &cms,
+                )
+                .unwrap(),
+            );
+        }
+        // Corrupt the two newest (seq 3 and 4): the newest *valid* is now
+        // seq 2, and pruning with keep=1 must preserve it (and seq 2 must
+        // still load).
+        for p in &paths[2..] {
+            let mut b = fs::read(p).unwrap();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x01;
+            fs::write(p, &b).unwrap();
+        }
+        prune_snapshots(&dir, 1);
+        let left: Vec<u64> = list_snapshots(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(left, vec![2, 3, 4], "only seq 1 pruned; corrupt kept");
+        let (loaded, rejected) = load_latest::<CountMin>(&dir).unwrap();
+        assert_eq!(loaded.unwrap().0.wal_seq, 2);
+        assert_eq!(rejected.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_publish_is_never_partially_visible() {
+        // Fail each publish step in turn; after every failure the
+        // directory must hold no readable snapshot and no tmp litter that
+        // a later successful publish would trip over.
+        let cms = sample();
+        let meta = SnapshotMeta {
+            shard: 0,
+            wal_seq: 9,
+            ops: 200,
+        };
+        let cases: [(&str, FaultPlan); 4] = [
+            (
+                "first write fails",
+                FaultPlan::new(3).fail_once(FaultKind::Eio, 0),
+            ),
+            (
+                "payload write short",
+                FaultPlan::new(3).fail_once(FaultKind::ShortWrite, 1),
+            ),
+            (
+                "fsync fails",
+                FaultPlan::new(3).fail_once(FaultKind::FsyncFail, 0),
+            ),
+            (
+                "rename torn",
+                FaultPlan::new(3).fail_once(FaultKind::TornRename, 0),
+            ),
+        ];
+        for (tag, plan) in cases {
+            let dir = tmp_dir(&format!("atomic-{}", tag.replace(' ', "-")));
+            let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::over_real(plan));
+            let err = write_snapshot_with(&vfs, &dir, meta, &cms).unwrap_err();
+            assert!(err.is_retryable(), "{tag}: publish faults are I/O class");
+            let (loaded, _) = load_latest::<CountMin>(&dir).unwrap();
+            assert!(loaded.is_none(), "{tag}: no snapshot became visible");
+            let litter: Vec<String> = fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect();
+            assert!(litter.is_empty(), "{tag}: tmp cleaned up, found {litter:?}");
+            // The same writer state publishes cleanly on retry.
+            write_snapshot_with(&vfs, &dir, meta, &cms).unwrap();
+            let (loaded, rejected) = load_latest::<CountMin>(&dir).unwrap();
+            assert_eq!(loaded.unwrap().0, meta, "{tag}: retry published");
+            assert!(rejected.is_empty());
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn quarantine_renames_and_hides_from_recovery() {
+        let dir = tmp_dir("quarantine");
+        let cms = sample();
+        let path = write_snapshot(
+            &dir,
+            SnapshotMeta {
+                shard: 0,
+                wal_seq: 7,
+                ops: 1,
+            },
+            &cms,
+        )
+        .unwrap();
+        let vfs = real();
+        let dest = quarantine_snapshot_with(&vfs, &path).unwrap();
+        assert!(dest.to_string_lossy().ends_with(".corrupt"));
+        assert!(!path.exists() && dest.exists());
+        assert!(list_snapshots(&dir).unwrap().is_empty());
+        let (loaded, rejected) = load_latest::<CountMin>(&dir).unwrap();
+        assert!(loaded.is_none() && rejected.is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,609 @@
+//! Injectable storage backend: every byte `asketch-durable` reads or
+//! writes goes through a [`Vfs`], so storage faults — `EIO`, `ENOSPC`,
+//! short writes, fsync failures, torn renames — are testable
+//! deterministically, without root, loop devices, or error-injecting
+//! filesystems.
+//!
+//! * [`RealVfs`] forwards to `std::fs` — the production backend and the
+//!   default everywhere (`WalWriter::create`, `write_snapshot`,
+//!   `recover_kernel` all delegate to their `_with` variants with a
+//!   [`real`] handle).
+//! * [`FaultVfs`] wraps any inner `Vfs` and injects faults according to a
+//!   [`FaultPlan`]: scripted at exact operation indices (deterministic
+//!   replay of a known-bad disk) or probabilistically from a seeded RNG
+//!   (chaos sweeps). Faults are classified per operation category —
+//!   writes, fsyncs, renames — with independent counters, so a plan like
+//!   "the 3rd fsync fails, every write from the 100th on returns
+//!   `ENOSPC`" is expressed directly.
+//!
+//! The trait is object-safe (`Arc<dyn Vfs>`) so the fault layer threads
+//! through [`DurabilityOptions`](crate::DurabilityOptions) into the
+//! concurrent runtime without monomorphization churn.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An open writable file handle behind a [`Vfs`].
+pub trait VfsFile: Send {
+    /// Write all of `buf` (or fail; a short write is an error).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush file data to stable storage.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Truncate (or extend) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// Object-safe storage backend: the full set of filesystem operations the
+/// durability layer performs, and nothing more.
+pub trait Vfs: Send + Sync {
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Open (creating if missing) `path` for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Create (truncating if present) `path` for writing.
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open an existing `path` for writing without truncation.
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Read the whole of `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// File names (with full paths) directly inside `dir`.
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<(String, PathBuf)>>;
+    /// Fsync the directory itself, making completed renames durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production backend: a thin forwarding layer over `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+/// A shared handle to the production backend.
+pub fn real() -> Arc<dyn Vfs> {
+    Arc::new(RealVfs)
+}
+
+impl VfsFile for File {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        Write::write_all(self, buf)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        File::sync_data(self)
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        File::set_len(self, len)
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(
+            OpenOptions::new().create(true).append(true).open(path)?,
+        ))
+    }
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(
+            OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?,
+        ))
+    }
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(OpenOptions::new().write(true).open(path)?))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                out.push((name.to_string(), entry.path()));
+            }
+        }
+        Ok(out)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// The storage fault taxonomy the plan can script (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A write fails with `EIO`; nothing reaches the file.
+    Eio,
+    /// A write fails with `ENOSPC`; nothing reaches the file.
+    Enospc,
+    /// A write persists only a prefix of the buffer, then fails with
+    /// `EIO` — the torn-write crash signature.
+    ShortWrite,
+    /// `fsync` (file or directory) fails with `EIO`; buffered data may or
+    /// may not be durable.
+    FsyncFail,
+    /// A rename fails with `EIO`, leaving the destination unpublished.
+    TornRename,
+}
+
+impl FaultKind {
+    /// Operation category this fault applies to.
+    fn category(self) -> OpCategory {
+        match self {
+            FaultKind::Eio | FaultKind::Enospc | FaultKind::ShortWrite => OpCategory::Write,
+            FaultKind::FsyncFail => OpCategory::Sync,
+            FaultKind::TornRename => OpCategory::Rename,
+        }
+    }
+
+    /// Stable lowercase name (used by the chaos harness and its artifact).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Eio => "eio",
+            FaultKind::Enospc => "enospc",
+            FaultKind::ShortWrite => "short-write",
+            FaultKind::FsyncFail => "fsync-fail",
+            FaultKind::TornRename => "torn-rename",
+        }
+    }
+
+    /// All fault kinds, for sweeps.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Eio,
+        FaultKind::Enospc,
+        FaultKind::ShortWrite,
+        FaultKind::FsyncFail,
+        FaultKind::TornRename,
+    ];
+
+    fn error(self) -> io::Error {
+        match self {
+            // Raw OS codes so callers can classify programmatically
+            // (`ENOSPC` = 28, `EIO` = 5 on Linux).
+            FaultKind::Enospc => io::Error::from_raw_os_error(28),
+            _ => io::Error::from_raw_os_error(5),
+        }
+    }
+}
+
+/// Operation categories with independent fault counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpCategory {
+    /// `write_all` and `set_len` on any file.
+    Write,
+    /// `sync_data` on files and `sync_dir` on directories.
+    Sync,
+    /// `rename`.
+    Rename,
+}
+
+impl OpCategory {
+    fn index(self) -> usize {
+        match self {
+            OpCategory::Write => 0,
+            OpCategory::Sync => 1,
+            OpCategory::Rename => 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Trigger {
+    kind: FaultKind,
+    /// First eligible operation index (within the kind's category).
+    from_op: u64,
+    /// Maximum injections (`u64::MAX` = persistent).
+    times: u64,
+    /// Per-eligible-op injection probability (1.0 = always).
+    probability: f64,
+    fired: u64,
+}
+
+/// A deterministic script of storage faults. Operation indices count per
+/// category (writes, fsyncs, renames each from 0); probabilistic triggers
+/// draw from a splitmix64 stream seeded at construction, so a plan replays
+/// identically for a given seed.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    triggers: Vec<Trigger>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// A plan that never injects anything.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// Inject `kind` exactly once, at operation `at` of its category.
+    #[must_use]
+    pub fn fail_once(self, kind: FaultKind, at: u64) -> Self {
+        self.fail_times(kind, at, 1)
+    }
+
+    /// Inject `kind` on up to `times` consecutive eligible operations,
+    /// starting at operation `from` of its category.
+    #[must_use]
+    pub fn fail_times(mut self, kind: FaultKind, from: u64, times: u64) -> Self {
+        self.triggers.push(Trigger {
+            kind,
+            from_op: from,
+            times,
+            probability: 1.0,
+            fired: 0,
+        });
+        self
+    }
+
+    /// Inject `kind` on **every** eligible operation from `from` on — a
+    /// persistently sick disk.
+    #[must_use]
+    pub fn fail_from(self, kind: FaultKind, from: u64) -> Self {
+        self.fail_times(kind, from, u64::MAX)
+    }
+
+    /// Inject `kind` with probability `p` per eligible operation
+    /// (seeded, deterministic for a given plan seed).
+    #[must_use]
+    pub fn fail_with_probability(mut self, kind: FaultKind, p: f64) -> Self {
+        self.triggers.push(Trigger {
+            kind,
+            from_op: 0,
+            times: u64::MAX,
+            probability: p.clamp(0.0, 1.0),
+            fired: 0,
+        });
+        self
+    }
+}
+
+struct FaultState {
+    triggers: Vec<Trigger>,
+    counters: [u64; 3],
+    rng: u64,
+}
+
+impl FaultState {
+    fn next_rand(&mut self) -> f64 {
+        // splitmix64 → uniform in [0, 1).
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn decide(&mut self, category: OpCategory) -> Option<FaultKind> {
+        let idx = self.counters[category.index()];
+        self.counters[category.index()] += 1;
+        for i in 0..self.triggers.len() {
+            let t = &self.triggers[i];
+            if t.kind.category() != category || idx < t.from_op || t.fired >= t.times {
+                continue;
+            }
+            if t.probability < 1.0 && self.next_rand() >= self.triggers[i].probability {
+                continue;
+            }
+            self.triggers[i].fired += 1;
+            return Some(self.triggers[i].kind);
+        }
+        None
+    }
+}
+
+/// Shared fault-decision state plus injection counters (readable while the
+/// plan is live, for harness assertions).
+struct FaultShared {
+    state: Mutex<FaultState>,
+    injected: AtomicU64,
+    injected_by_kind: [AtomicU64; 5],
+}
+
+impl FaultShared {
+    fn decide(&self, category: OpCategory) -> Option<FaultKind> {
+        let kind = self
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .decide(category)?;
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        let slot = match kind {
+            FaultKind::Eio => 0,
+            FaultKind::Enospc => 1,
+            FaultKind::ShortWrite => 2,
+            FaultKind::FsyncFail => 3,
+            FaultKind::TornRename => 4,
+        };
+        self.injected_by_kind[slot].fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+}
+
+/// A [`Vfs`] decorator that injects the faults scripted by a
+/// [`FaultPlan`] on top of any inner backend.
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    shared: Arc<FaultShared>,
+}
+
+impl FaultVfs {
+    /// Wrap `inner`, injecting per `plan`.
+    pub fn new(inner: Arc<dyn Vfs>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            shared: Arc::new(FaultShared {
+                state: Mutex::new(FaultState {
+                    triggers: plan.triggers,
+                    counters: [0; 3],
+                    rng: plan.seed,
+                }),
+                injected: AtomicU64::new(0),
+                injected_by_kind: Default::default(),
+            }),
+        }
+    }
+
+    /// Wrap the real filesystem, injecting per `plan`.
+    pub fn over_real(plan: FaultPlan) -> Self {
+        Self::new(real(), plan)
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.shared.injected.load(Ordering::Relaxed)
+    }
+
+    /// Faults of one kind injected so far.
+    pub fn injected_of(&self, kind: FaultKind) -> u64 {
+        let slot = match kind {
+            FaultKind::Eio => 0,
+            FaultKind::Enospc => 1,
+            FaultKind::ShortWrite => 2,
+            FaultKind::FsyncFail => 3,
+            FaultKind::TornRename => 4,
+        };
+        self.shared.injected_by_kind[slot].load(Ordering::Relaxed)
+    }
+}
+
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    shared: Arc<FaultShared>,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.shared.decide(OpCategory::Write) {
+            None => self.inner.write_all(buf),
+            Some(FaultKind::ShortWrite) => {
+                // Persist a prefix, then fail: the torn-write signature.
+                let cut = buf.len() / 2;
+                let _ = self.inner.write_all(&buf[..cut]);
+                Err(FaultKind::ShortWrite.error())
+            }
+            Some(kind) => Err(kind.error()),
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        match self.shared.decide(OpCategory::Sync) {
+            None => self.inner.sync_data(),
+            Some(kind) => Err(kind.error()),
+        }
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        match self.shared.decide(OpCategory::Write) {
+            None => self.inner.set_len(len),
+            Some(kind) => Err(kind.error()),
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(FaultFile {
+            inner: self.inner.open_append(path)?,
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(FaultFile {
+            inner: self.inner.create_truncate(path)?,
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(FaultFile {
+            inner: self.inner.open_write(path)?,
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.shared.decide(OpCategory::Rename) {
+            None => self.inner.rename(from, to),
+            Some(kind) => Err(kind.error()),
+        }
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+        self.inner.read_dir(dir)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.shared.decide(OpCategory::Sync) {
+            None => self.inner.sync_dir(dir),
+            Some(kind) => Err(kind.error()),
+        }
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("asketch-vfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn real_vfs_round_trips() {
+        let dir = tmp_dir("real");
+        let vfs = real();
+        let p = dir.join("a.bin");
+        let mut f = vfs.create_truncate(&p).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&p).unwrap(), b"hello");
+        let q = dir.join("b.bin");
+        vfs.rename(&p, &q).unwrap();
+        vfs.sync_dir(&dir).unwrap();
+        assert!(vfs.exists(&q) && !vfs.exists(&p));
+        let names: Vec<String> = vfs
+            .read_dir(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["b.bin".to_string()]);
+        vfs.remove_file(&q).unwrap();
+        assert!(!vfs.exists(&q));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scripted_write_fault_fires_at_exact_index() {
+        let dir = tmp_dir("scripted");
+        let vfs = FaultVfs::over_real(FaultPlan::new(1).fail_once(FaultKind::Enospc, 2));
+        let mut f = vfs.create_truncate(&dir.join("x")).unwrap();
+        f.write_all(b"0").unwrap(); // write op 0
+        f.write_all(b"1").unwrap(); // write op 1
+        let err = f.write_all(b"2").unwrap_err(); // write op 2: ENOSPC
+        assert_eq!(err.raw_os_error(), Some(28));
+        f.write_all(b"3").unwrap(); // one-shot: back to healthy
+        assert_eq!(vfs.injected(), 1);
+        assert_eq!(vfs.injected_of(FaultKind::Enospc), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_persists_a_prefix_then_fails() {
+        let dir = tmp_dir("short");
+        let p = dir.join("x");
+        let vfs = FaultVfs::over_real(FaultPlan::new(1).fail_once(FaultKind::ShortWrite, 0));
+        let mut f = vfs.create_truncate(&p).unwrap();
+        let err = f.write_all(b"abcdefgh").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        drop(f);
+        assert_eq!(vfs.read(&p).unwrap(), b"abcd", "half the buffer landed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_fault_never_recovers_and_rename_sync_categories_are_independent() {
+        let dir = tmp_dir("persistent");
+        let vfs = FaultVfs::over_real(FaultPlan::new(1).fail_from(FaultKind::Eio, 0));
+        let mut f = vfs.create_truncate(&dir.join("x")).unwrap();
+        for _ in 0..5 {
+            assert!(f.write_all(b"z").is_err());
+        }
+        // Writes are sick; syncs and renames are not in this plan.
+        f.sync_data().unwrap();
+        let src = dir.join("x");
+        let dst = dir.join("y");
+        vfs.rename(&src, &dst).unwrap();
+        assert_eq!(vfs.injected(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_and_rename_faults_fire_on_their_own_counters() {
+        let dir = tmp_dir("sync-rename");
+        let p = dir.join("x");
+        let vfs = FaultVfs::over_real(
+            FaultPlan::new(1)
+                .fail_once(FaultKind::FsyncFail, 1)
+                .fail_once(FaultKind::TornRename, 0),
+        );
+        let mut f = vfs.create_truncate(&p).unwrap();
+        f.write_all(b"data").unwrap();
+        f.sync_data().unwrap(); // sync op 0: fine
+        assert!(f.sync_data().is_err()); // sync op 1: injected
+        f.sync_data().unwrap(); // one-shot
+        assert!(vfs.rename(&p, &dir.join("y")).is_err()); // rename op 0
+        assert!(vfs.exists(&p), "failed rename leaves the source");
+        vfs.rename(&p, &dir.join("y")).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probabilistic_plan_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let dir = tmp_dir(&format!("prob-{seed}"));
+            let vfs = FaultVfs::over_real(
+                FaultPlan::new(seed).fail_with_probability(FaultKind::Eio, 0.5),
+            );
+            let mut f = vfs.create_truncate(&dir.join("x")).unwrap();
+            let outcomes = (0..64).map(|_| f.write_all(b"q").is_err()).collect();
+            drop(f);
+            let _ = fs::remove_dir_all(&dir);
+            outcomes
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must replay identically");
+        assert_ne!(a, c, "different seeds must diverge");
+        assert!(a.iter().any(|&x| x) && !a.iter().all(|&x| x));
+    }
+}

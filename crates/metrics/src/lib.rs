@@ -16,6 +16,6 @@ pub use error::{
     average_relative_error, find_misclassified, observed_error, observed_error_pct, precision_at_k,
     EstimatePair, Misclassification,
 };
-pub use runtime::{ShardGauge, ShardedHealth};
+pub use runtime::{ShardGauge, ShardedHealth, StorageFault};
 pub use table::{fnum, Table};
 pub use throughput::{median_throughput, time_ops, Stopwatch, Throughput};

@@ -9,6 +9,20 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A storage fault surfaced through health: the machine-readable error
+/// class (from `asketch-durable`'s `ErrorClass`) plus the human-readable
+/// detail. Carried as data — not a stringified error — so operators and
+/// harnesses can branch on `class` (`"no-space"` vs `"corruption"` vs
+/// `"io"`) programmatically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageFault {
+    /// Stable error-class name (e.g. `"io"`, `"no-space"`, `"corruption"`,
+    /// `"truncated"`, `"invalid-state"`).
+    pub class: String,
+    /// Full display form of the underlying typed error.
+    pub detail: String,
+}
+
 /// Point-in-time health of one shard of the concurrent runtime.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardGauge {
@@ -44,10 +58,27 @@ pub struct ShardGauge {
     /// WAL sequence number covered by the shard's last completed
     /// background snapshot (0 before the first snapshot lands).
     pub snapshot_seq: u64,
-    /// Whether durability was disabled mid-run by an I/O failure (the
-    /// runtime keeps counting; persistence stops until the next clean
-    /// shutdown snapshot).
-    pub durability_failed: bool,
+    /// Whether the shard is in **disk-sick degraded mode**: a storage
+    /// fault persisted past the retry budget, so the WAL and snapshotting
+    /// are off while ingest continues (counting stays correct and
+    /// one-sided; persistence stops until a restart).
+    pub durability_degraded: bool,
+    /// WAL operations retried after a transient storage fault (appends,
+    /// fsyncs, and rolls; each backoff-then-retry counts once).
+    pub wal_retries: u64,
+    /// Snapshot writes retried after a transient storage fault on the
+    /// background snapshotter thread.
+    pub snapshot_retries: u64,
+    /// The fault that degraded this shard (or the snapshotter's persistent
+    /// failure), `None` while healthy.
+    pub last_durability_error: Option<StorageFault>,
+    /// Integrity-scrub passes completed over this shard's directory.
+    pub scrub_passes: u64,
+    /// Corrupt artifacts (snapshots + sealed WAL segments) the scrubber
+    /// has found on this shard.
+    pub scrub_corruptions: u64,
+    /// Corrupt snapshots the scrubber renamed to `.corrupt`.
+    pub snapshots_quarantined: u64,
 }
 
 impl ShardGauge {
@@ -89,9 +120,40 @@ impl ShardedHealth {
         self.shards.iter().any(|s| s.degraded)
     }
 
-    /// Whether any shard lost its durability (WAL/snapshot I/O failure).
-    pub fn any_durability_failed(&self) -> bool {
-        self.shards.iter().any(|s| s.durability_failed)
+    /// Whether any shard is in disk-sick degraded mode (WAL/snapshotting
+    /// off after a persistent storage fault).
+    pub fn any_durability_degraded(&self) -> bool {
+        self.shards.iter().any(|s| s.durability_degraded)
+    }
+
+    /// Number of shards in disk-sick degraded mode.
+    pub fn degraded_durability_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.durability_degraded).count()
+    }
+
+    /// Total storage-fault retries across shards (WAL + snapshotter).
+    pub fn total_storage_retries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.wal_retries + s.snapshot_retries)
+            .sum()
+    }
+
+    /// The first shard-degrading storage fault, if any shard holds one.
+    pub fn first_durability_error(&self) -> Option<&StorageFault> {
+        self.shards
+            .iter()
+            .find_map(|s| s.last_durability_error.as_ref())
+    }
+
+    /// Total corrupt artifacts found by the integrity scrubber.
+    pub fn total_scrub_corruptions(&self) -> u64 {
+        self.shards.iter().map(|s| s.scrub_corruptions).sum()
+    }
+
+    /// Total snapshots quarantined by the integrity scrubber.
+    pub fn total_quarantined(&self) -> u64 {
+        self.shards.iter().map(|s| s.snapshots_quarantined).sum()
     }
 
     /// Total keys replayed from WALs at spawn, across shards.
@@ -153,5 +215,41 @@ mod tests {
         assert_eq!(health.total_restarts(), 2);
         assert!(health.any_degraded());
         assert!((health.max_occupancy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durability_aggregates_expose_typed_faults() {
+        let health = ShardedHealth {
+            shards: vec![
+                ShardGauge {
+                    shard: 0,
+                    wal_retries: 3,
+                    snapshot_retries: 1,
+                    scrub_passes: 2,
+                    scrub_corruptions: 1,
+                    snapshots_quarantined: 1,
+                    ..ShardGauge::default()
+                },
+                ShardGauge {
+                    shard: 1,
+                    durability_degraded: true,
+                    last_durability_error: Some(StorageFault {
+                        class: "no-space".into(),
+                        detail: "wal append: disk full".into(),
+                    }),
+                    ..ShardGauge::default()
+                },
+            ],
+        };
+        assert!(health.any_durability_degraded());
+        assert_eq!(health.degraded_durability_shards(), 1);
+        assert_eq!(health.total_storage_retries(), 4);
+        assert_eq!(health.total_scrub_corruptions(), 1);
+        assert_eq!(health.total_quarantined(), 1);
+        assert_eq!(
+            health.first_durability_error().map(|f| f.class.as_str()),
+            Some("no-space"),
+            "callers can branch on the class without string-parsing"
+        );
     }
 }

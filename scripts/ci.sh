@@ -93,6 +93,20 @@ echo "==> durability: crash-injection recovery smoke (SIGKILL loop)"
 cargo run -q -p asketch-bench --release --bin crash_recovery -- \
     --trials 6 --keys 200000
 
+echo "==> durability: storage-chaos sweep (injected faults + bit-rot scrub)"
+# Deterministic in-process fault injection at a fixed seed: every fault
+# kind (EIO, ENOSPC, short write, fsync failure, torn rename) as both a
+# transient blip (must be retried away) and a persistent fault (must
+# engage disk-sick degraded mode with the right typed class), across all
+# three fsync policies, plus live bit-rot trials the integrity scrubber
+# must detect and quarantine at 100%. The sweep regenerates
+# BENCH_faults.json; the validate gate then re-checks the artifact
+# (full grid present, no lost acked write, no escaped panic).
+cargo run -q -p asketch-bench --release --bin crash_recovery -- \
+    --faults --seed 1592598550 --out BENCH_faults.json
+cargo run -q -p asketch-bench --release --bin crash_recovery -- \
+    --validate-faults BENCH_faults.json
+
 echo "==> ThreadSanitizer pass (concurrent runtime, nightly-only)"
 # TSan needs nightly + rust-src (-Zbuild-std). Skip gracefully when the
 # toolchain can't do it; the seqlock also carries a loom model behind
