@@ -1,0 +1,635 @@
+//! Open-loop load generator + CI gate for the network serving layer
+//! (`crates/serve`), in the same artifact/validate shape as the other
+//! harness bins:
+//!
+//! ```text
+//! serving                                   # full sweep -> BENCH_serving.json
+//! serving --smoke                           # small sweep + exact-count check
+//! serving --validate-serving BENCH_serving.json \
+//!         [--min-qps X] [--max-p99-ms X]    # CI gate
+//! ```
+//!
+//! The sweep runs an in-process [`asketch_serve::Server`] on an ephemeral
+//! port and drives it over real sockets, one row per
+//! `{connections × read_frac}` cell. Each connection is **open-loop**: a
+//! sender thread issues requests on a fixed schedule derived from the
+//! target rate — never waiting for responses (pipelining) — while a
+//! receiver thread drains replies and measures latency against the
+//! *scheduled* send time, so queueing delay is charged to the server, not
+//! hidden by a stalled sender (coordinated omission).
+//!
+//! The smoke additionally proves exactness over the wire: one write
+//! connection streams a skewed workload in deterministic order (the
+//! ASketch filter is order-dependent) with concurrent readers hammering
+//! estimates, then after SYNC every distinct key's networked answer must
+//! equal a local runtime fed the identical stream.
+//!
+//! The gate (`--validate-serving`) holds three lines: a hardware-aware
+//! aggregate-QPS floor, `updates_shed == 0` + `reader_blocked == 0` on
+//! every row (Block policy backpressure + wait-free reads under live
+//! writes), and a read-p99 ceiling.
+
+use std::fmt::Write as _;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use asketch::filter::VectorFilter;
+use asketch::ASketch;
+use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, ConcurrentConfig};
+use asketch_serve::{
+    decode_response, encode_request, Client, Request, Response, ServeConfig, Server,
+};
+use sketches::CountMin;
+use streamgen::{ExactCounter, StreamSpec};
+
+const SEED: u64 = 0x5EED_2016;
+const SHARDS: usize = 4;
+const DEPTH: usize = 4;
+const FILTER_ITEMS: usize = 32;
+const TOTAL_BYTES: usize = 1 << 22;
+const DISTINCT: u64 = 16_384;
+const SKEW: f64 = 1.1;
+
+fn kernel(shard: usize) -> ASketch<VectorFilter, CountMin> {
+    let per_shard = (TOTAL_BYTES / SHARDS).max(1 << 14);
+    ASketch::new(
+        VectorFilter::new(FILTER_ITEMS),
+        CountMin::with_byte_budget(SEED ^ shard as u64, DEPTH, per_shard).expect("budget fits"),
+    )
+}
+
+fn runtime() -> ConcurrentASketch<VectorFilter, CountMin> {
+    let mut cfg = ConcurrentConfig {
+        shards: SHARDS,
+        ..ConcurrentConfig::default()
+    };
+    cfg.supervision.checkpoint_interval = 16_384;
+    ConcurrentASketch::spawn(cfg, kernel)
+}
+
+fn spawn_server() -> Server<VectorFilter, CountMin> {
+    let cfg = ServeConfig {
+        ingest_queue: 1024,
+        policy: BackpressurePolicy::Block,
+        ..ServeConfig::default()
+    };
+    Server::spawn(cfg, runtime()).expect("bind ephemeral port")
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop connection driver
+// ---------------------------------------------------------------------------
+
+/// One scheduled operation: when it was due, and whether it was a read.
+#[derive(Clone, Copy)]
+struct OpTicket {
+    scheduled: Instant,
+    is_read: bool,
+}
+
+/// Latencies (ns, scheduled-send to response) split by op class.
+#[derive(Default)]
+struct ConnLatencies {
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+}
+
+/// Drive one connection open-loop for `duration` at `rate` ops/s. The
+/// sender pipelines requests on its schedule; the receiver pairs replies
+/// FIFO with tickets (per-connection ordering is the protocol guarantee).
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    rate: f64,
+    duration: Duration,
+    read_frac: f64,
+    keys: Vec<u64>,
+    shed_seen: Arc<AtomicU64>,
+) -> ConnLatencies {
+    let stream = TcpStream::connect(addr).expect("loadgen connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+
+    let (ticket_tx, ticket_rx) = mpsc::channel::<OpTicket>();
+    let receiver = std::thread::spawn(move || {
+        let mut lat = ConnLatencies::default();
+        let mut prefix = [0u8; 4];
+        while let Ok(ticket) = ticket_rx.recv() {
+            if reader.read_exact(&mut prefix).is_err() {
+                break;
+            }
+            let len = u32::from_le_bytes(prefix) as usize;
+            let mut payload = vec![0u8; len];
+            if reader.read_exact(&mut payload).is_err() {
+                break;
+            }
+            let ns = ticket.scheduled.elapsed().as_nanos() as u64;
+            match decode_response(&payload) {
+                Ok(Response::Error { .. }) => {
+                    shed_seen.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) => {
+                    if ticket.is_read {
+                        lat.reads.push(ns);
+                    } else {
+                        lat.writes.push(ns);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        lat
+    });
+
+    let interval = Duration::from_secs_f64(1.0 / rate.max(1.0));
+    let start = Instant::now();
+    let mut frame = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let scheduled = start + interval.mul_f64(i as f64);
+        if scheduled.duration_since(start) >= duration {
+            break;
+        }
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let key = keys[i % keys.len()];
+        // Deterministic read/write mix: golden-ratio hash of the op index
+        // against the read fraction.
+        let mix = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+        let is_read = (mix as f64 / (1u64 << 24) as f64) < read_frac;
+        let req = if is_read {
+            Request::Estimate(key)
+        } else {
+            Request::Update(key)
+        };
+        frame.clear();
+        encode_request(&req, &mut frame);
+        if writer.write_all(&frame).is_err() {
+            break;
+        }
+        // Flush in small pipeline bursts so frames actually hit the wire
+        // without a syscall per op.
+        if i % 16 == 15 && writer.flush().is_err() {
+            break;
+        }
+        ticket_tx
+            .send(OpTicket { scheduled, is_read })
+            .expect("receiver alive");
+        i += 1;
+    }
+    let _ = writer.flush();
+    drop(ticket_tx); // receiver drains exactly the sent ops, then exits
+    receiver.join().expect("receiver thread")
+}
+
+// ---------------------------------------------------------------------------
+// Sweep rows
+// ---------------------------------------------------------------------------
+
+struct Row {
+    connections: usize,
+    read_frac: f64,
+    target_qps: f64,
+    achieved_qps: f64,
+    total_ops: usize,
+    read_p50_us: f64,
+    read_p99_us: f64,
+    read_p999_us: f64,
+    write_p50_us: f64,
+    write_p99_us: f64,
+    write_p999_us: f64,
+    updates_shed: u64,
+    reader_blocked: u64,
+    reader_retries: u64,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1_000.0
+}
+
+fn run_row(connections: usize, read_frac: f64, target_qps: f64, duration: Duration) -> Row {
+    let server = spawn_server();
+    let addr = server.addr();
+    let spec = StreamSpec {
+        len: 65_536,
+        distinct: DISTINCT,
+        skew: SKEW,
+        seed: SEED,
+    };
+    let stream = spec.materialize();
+    let shed_seen = Arc::new(AtomicU64::new(0));
+    let per_conn_rate = target_qps / connections as f64;
+
+    let t0 = Instant::now();
+    let drivers: Vec<_> = (0..connections)
+        .map(|c| {
+            // Disjoint rotations of the same skewed key stream per
+            // connection: same key universe, different arrival order.
+            let mut keys = stream.clone();
+            keys.rotate_left((c * stream.len()) / connections.max(1));
+            let shed = Arc::clone(&shed_seen);
+            std::thread::spawn(move || {
+                drive_connection(addr, per_conn_rate, duration, read_frac, keys, shed)
+            })
+        })
+        .collect();
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for d in drivers {
+        let lat = d.join().expect("driver thread");
+        reads.extend(lat.reads);
+        writes.extend(lat.writes);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total_ops = reads.len() + writes.len();
+    reads.sort_unstable();
+    writes.sort_unstable();
+
+    let gauge = server.stats();
+    server.shutdown();
+    Row {
+        connections,
+        read_frac,
+        target_qps,
+        achieved_qps: total_ops as f64 / elapsed.max(1e-9),
+        total_ops,
+        read_p50_us: percentile_us(&reads, 0.50),
+        read_p99_us: percentile_us(&reads, 0.99),
+        read_p999_us: percentile_us(&reads, 0.999),
+        write_p50_us: percentile_us(&writes, 0.50),
+        write_p99_us: percentile_us(&writes, 0.99),
+        write_p999_us: percentile_us(&writes, 0.999),
+        updates_shed: gauge.updates_shed + shed_seen.load(Ordering::Relaxed),
+        reader_blocked: gauge.reader_blocked,
+        reader_retries: gauge.reader_retries,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Smoke exactness: networked answers == local runtime, mid-read-storm
+// ---------------------------------------------------------------------------
+
+/// Returns the number of distinct keys checked; panics (nonzero exit) on
+/// any networked-vs-local mismatch.
+fn smoke_exactness() -> usize {
+    let server = spawn_server();
+    let addr = server.addr();
+    let spec = StreamSpec {
+        len: 120_000,
+        distinct: DISTINCT,
+        skew: SKEW,
+        seed: SEED ^ 0xDEAD,
+    };
+    let stream = spec.materialize();
+    let truth = ExactCounter::from_keys(&stream);
+
+    // Local reference fed the identical ordered stream.
+    let mut reference = runtime();
+    reference.insert_batch(&stream);
+    reference.sync();
+    let ref_handle = reference.query_handle();
+
+    // Readers hammer estimates while the single write connection streams.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("reader connect");
+                let keys: Vec<u64> = (0..512u64).map(|i| i * 31 + r).collect();
+                let mut served = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let vals = c.estimate_batch(&keys).expect("live read");
+                    assert_eq!(vals.len(), keys.len());
+                    served += vals.len() as u64;
+                }
+                served
+            })
+        })
+        .collect();
+
+    let mut writer = Client::connect(addr).expect("writer connect");
+    for chunk in stream.chunks(2_048) {
+        assert_eq!(
+            writer.update_batch(chunk).expect("update"),
+            chunk.len() as u32
+        );
+    }
+    let routed = writer.sync().expect("sync barrier");
+    assert_eq!(routed, stream.len() as u64, "sync lost writes");
+    stop.store(true, Ordering::Release);
+    let reads_served: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    assert!(reads_served > 0, "readers never got a response");
+
+    // Post-sync: every distinct key, exact over the wire.
+    let keys: Vec<u64> = truth.iter().map(|(k, _)| k).collect();
+    let over_wire = writer.estimate_batch(&keys).expect("estimate batch");
+    let mut mismatches = 0usize;
+    for (i, &key) in keys.iter().enumerate() {
+        if over_wire[i] != ref_handle.estimate(key) {
+            eprintln!(
+                "MISMATCH key {key}: wire {} local {}",
+                over_wire[i],
+                ref_handle.estimate(key)
+            );
+            mismatches += 1;
+        }
+    }
+    assert_eq!(
+        mismatches, 0,
+        "networked counts diverged from local runtime"
+    );
+
+    let (_, health, gauge) = server.shutdown();
+    assert_eq!(health.total_routed(), stream.len() as u64);
+    assert_eq!(gauge.updates_shed, 0, "Block policy shed");
+    assert_eq!(
+        gauge.reader_blocked, 0,
+        "reads blocked under live writes (retries={})",
+        gauge.reader_retries
+    );
+    let _ = reference.finish();
+    println!(
+        "smoke exactness OK: {} distinct keys, {} live reads, reader_retries={}",
+        keys.len(),
+        reads_served,
+        gauge.reader_retries
+    );
+    keys.len()
+}
+
+// ---------------------------------------------------------------------------
+// Artifact + gate
+// ---------------------------------------------------------------------------
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn write_json(path: &str, smoke: bool, exact_keys: usize, rows: &[Row]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"commit\": \"{}\",", git_commit());
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"shards\": {SHARDS}, \"policy\": \"block\", \"depth\": {DEPTH}, \
+         \"filter_items\": {FILTER_ITEMS}, \"total_bytes\": {TOTAL_BYTES}, \
+         \"distinct\": {DISTINCT}, \"skew\": {SKEW}, \"seed\": {SEED}}},"
+    );
+    let _ = writeln!(out, "  \"exact_keys_checked\": {exact_keys},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"connections\": {}, \"read_frac\": {}, \"target_qps\": {}, \
+             \"achieved_qps\": {}, \"total_ops\": {}, \
+             \"read_p50_us\": {}, \"read_p99_us\": {}, \"read_p999_us\": {}, \
+             \"write_p50_us\": {}, \"write_p99_us\": {}, \"write_p999_us\": {}, \
+             \"updates_shed\": {}, \"reader_blocked\": {}, \"reader_retries\": {}}}{comma}",
+            r.connections,
+            json_f64(r.read_frac),
+            json_f64(r.target_qps),
+            json_f64(r.achieved_qps),
+            r.total_ops,
+            json_f64(r.read_p50_us),
+            json_f64(r.read_p99_us),
+            json_f64(r.read_p999_us),
+            json_f64(r.write_p50_us),
+            json_f64(r.write_p99_us),
+            json_f64(r.write_p999_us),
+            r.updates_shed,
+            r.reader_blocked,
+            r.reader_retries,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Pull `"key": value` out of a single result line (one object per line).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Validate `BENCH_serving.json`: schema shape; `updates_shed == 0` and
+/// `reader_blocked == 0` on every row (Block backpressure + wait-free
+/// reads); best aggregate QPS over the floor; read p99 under the ceiling
+/// on every row that served reads.
+fn validate_serving(path: &str, min_qps: f64, max_p99_ms: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    for key in [
+        "\"schema_version\"",
+        "\"commit\"",
+        "\"config\"",
+        "\"results\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    let mut rows = 0usize;
+    let mut best_qps = 0.0f64;
+    let mut worst_p99_us = 0.0f64;
+    for line in text.lines().filter(|l| l.contains("\"achieved_qps\"")) {
+        rows += 1;
+        let get =
+            |k: &str| field(line, k).ok_or_else(|| format!("result row missing \"{k}\": {line}"));
+        let qps: f64 = get("achieved_qps")?
+            .parse()
+            .map_err(|e| format!("bad achieved_qps: {e}"))?;
+        let read_frac: f64 = get("read_frac")?
+            .parse()
+            .map_err(|e| format!("bad read_frac: {e}"))?;
+        let p99: f64 = get("read_p99_us")?
+            .parse()
+            .map_err(|e| format!("bad read_p99_us: {e}"))?;
+        let shed: u64 = get("updates_shed")?
+            .parse()
+            .map_err(|e| format!("bad updates_shed: {e}"))?;
+        let blocked: u64 = get("reader_blocked")?
+            .parse()
+            .map_err(|e| format!("bad reader_blocked: {e}"))?;
+        get("total_ops")?;
+        if shed != 0 {
+            return Err(format!("updates shed under Block policy: {line}"));
+        }
+        if blocked != 0 {
+            return Err(format!("reader blocked (reads not wait-free): {line}"));
+        }
+        if qps <= 0.0 {
+            return Err(format!("non-positive achieved_qps: {line}"));
+        }
+        best_qps = best_qps.max(qps);
+        if read_frac > 0.0 {
+            worst_p99_us = worst_p99_us.max(p99);
+        }
+    }
+    if rows == 0 {
+        return Err("no result rows".to_string());
+    }
+    if best_qps < min_qps {
+        return Err(format!(
+            "best achieved QPS {best_qps:.0} below required {min_qps:.0}"
+        ));
+    }
+    let max_p99_us = max_p99_ms * 1_000.0;
+    if worst_p99_us > max_p99_us {
+        return Err(format!(
+            "read p99 {worst_p99_us:.0}us exceeds ceiling {max_p99_us:.0}us"
+        ));
+    }
+    println!(
+        "OK: {rows} rows, best QPS {best_qps:.0} >= {min_qps:.0}, \
+         worst read p99 {worst_p99_us:.0}us <= {max_p99_us:.0}us, \
+         zero shed, zero blocked reads"
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_serving.json".to_string();
+    let mut validate_path: Option<String> = None;
+    let mut min_qps = 10_000.0f64;
+    let mut max_p99_ms = 200.0f64;
+    let mut target_qps: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--validate-serving" => {
+                i += 1;
+                validate_path = Some(
+                    args.get(i)
+                        .expect("--validate-serving needs a path")
+                        .clone(),
+                );
+            }
+            "--min-qps" => {
+                i += 1;
+                min_qps = args
+                    .get(i)
+                    .expect("--min-qps needs a value")
+                    .parse()
+                    .expect("bad --min-qps");
+            }
+            "--max-p99-ms" => {
+                i += 1;
+                max_p99_ms = args
+                    .get(i)
+                    .expect("--max-p99-ms needs a value")
+                    .parse()
+                    .expect("bad --max-p99-ms");
+            }
+            "--target-qps" => {
+                i += 1;
+                target_qps = Some(
+                    args.get(i)
+                        .expect("--target-qps needs a value")
+                        .parse()
+                        .expect("bad --target-qps"),
+                );
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: serving [--smoke] [--out FILE] \
+                     [--target-qps X] \
+                     [--validate-serving FILE [--min-qps X] [--max-p99-ms X]]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate_path {
+        if let Err(e) = validate_serving(&path, min_qps, max_p99_ms) {
+            eprintln!("serving validation FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Exactness first (smoke only): a perf artifact from a wrong server
+    // is worthless.
+    let exact_keys = if smoke { smoke_exactness() } else { 0 };
+
+    let (conns, fracs, duration, qps): (&[usize], &[f64], Duration, f64) = if smoke {
+        (
+            &[2, 4],
+            &[0.5, 0.9],
+            Duration::from_millis(1_500),
+            target_qps.unwrap_or(30_000.0),
+        )
+    } else {
+        (
+            &[1, 4, 8],
+            &[0.1, 0.5, 0.9],
+            Duration::from_secs(4),
+            target_qps.unwrap_or(60_000.0),
+        )
+    };
+
+    let mut rows = Vec::new();
+    for &c in conns {
+        for &f in fracs {
+            let row = run_row(c, f, qps, duration);
+            println!(
+                "conns={c} read_frac={f:.1}: {:.0} qps (target {:.0}), \
+                 read p50/p99/p999 = {:.0}/{:.0}/{:.0} us, \
+                 write p50/p99 = {:.0}/{:.0} us, shed={} blocked={}",
+                row.achieved_qps,
+                row.target_qps,
+                row.read_p50_us,
+                row.read_p99_us,
+                row.read_p999_us,
+                row.write_p50_us,
+                row.write_p99_us,
+                row.updates_shed,
+                row.reader_blocked,
+            );
+            rows.push(row);
+        }
+    }
+    write_json(&out_path, smoke, exact_keys, &rows).expect("write artifact");
+    println!("wrote {out_path}");
+}

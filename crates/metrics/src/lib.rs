@@ -9,6 +9,7 @@
 
 pub mod error;
 pub mod runtime;
+pub mod serving;
 pub mod table;
 pub mod throughput;
 
@@ -17,5 +18,6 @@ pub use error::{
     EstimatePair, Misclassification,
 };
 pub use runtime::{ShardGauge, ShardedHealth, StorageFault};
+pub use serving::{ConnectionGauge, ServerGauge};
 pub use table::{fnum, Table};
 pub use throughput::{median_throughput, time_ops, Stopwatch, Throughput};

@@ -23,6 +23,25 @@ pub struct StorageFault {
     pub detail: String,
 }
 
+impl StorageFault {
+    /// Severity rank of the fault's class, for worst-first aggregation
+    /// across shards. Structural damage outranks resource exhaustion,
+    /// which outranks plain I/O; unknown classes rank lowest. The exact
+    /// numbers are an ordering, not an interface — compare, don't persist.
+    pub fn severity(&self) -> u8 {
+        match self.class.as_str() {
+            "corruption" => 7,
+            "out-of-order" => 6,
+            "truncated" => 5,
+            "unsupported-format" => 4,
+            "invalid-state" => 3,
+            "no-space" => 2,
+            "io" => 1,
+            _ => 0,
+        }
+    }
+}
+
 /// Point-in-time health of one shard of the concurrent runtime.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardGauge {
@@ -140,10 +159,51 @@ impl ShardedHealth {
     }
 
     /// The first shard-degrading storage fault, if any shard holds one.
+    ///
+    /// **Lossy by construction**: when several shards degrade with
+    /// *different* classes, whichever shard sorts first wins and the rest
+    /// are hidden. Kept for single-fault call sites; anything reporting
+    /// health outward (the serving HEALTH frame, operator tooling) must
+    /// use [`durability_errors`](Self::durability_errors) for the full
+    /// per-shard picture or
+    /// [`worst_durability_error`](Self::worst_durability_error) for a
+    /// one-line summary that never under-reports severity.
     pub fn first_durability_error(&self) -> Option<&StorageFault> {
         self.shards
             .iter()
             .find_map(|s| s.last_durability_error.as_ref())
+    }
+
+    /// Every shard-degrading storage fault, as `(shard index, fault)` in
+    /// shard order. Nothing is collapsed: two shards degraded with
+    /// distinct classes (say `ENOSPC` on one, `EIO` on another) both
+    /// appear, so per-shard reporting (the HEALTH frame) stays faithful.
+    pub fn durability_errors(&self) -> Vec<(usize, &StorageFault)> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.last_durability_error.as_ref().map(|f| (s.shard, f)))
+            .collect()
+    }
+
+    /// The most severe shard-degrading storage fault across shards, by
+    /// [`StorageFault::severity`], with its shard index. Ties go to the
+    /// lowest shard. This is the summary line a HEALTH consumer should
+    /// alarm on: unlike
+    /// [`first_durability_error`](Self::first_durability_error) it can
+    /// never hide a corruption behind a plain I/O error on an
+    /// earlier shard.
+    pub fn worst_durability_error(&self) -> Option<(usize, &StorageFault)> {
+        let mut worst: Option<(usize, &StorageFault)> = None;
+        for (shard, fault) in self
+            .shards
+            .iter()
+            .filter_map(|s| s.last_durability_error.as_ref().map(|f| (s.shard, f)))
+        {
+            if worst.is_none_or(|(_, w)| fault.severity() > w.severity()) {
+                worst = Some((shard, fault));
+            }
+        }
+        worst
     }
 
     /// Total corrupt artifacts found by the integrity scrubber.
@@ -251,5 +311,100 @@ mod tests {
             Some("no-space"),
             "callers can branch on the class without string-parsing"
         );
+    }
+
+    fn fault(class: &str) -> StorageFault {
+        StorageFault {
+            class: class.into(),
+            detail: format!("test fault: {class}"),
+        }
+    }
+
+    /// Multi-shard degradation with *distinct* classes must not collapse:
+    /// `first_durability_error` hides the worse class behind whichever
+    /// shard sorts first (the historical lossy behavior), while the new
+    /// accessors keep every shard's class and rank the worst correctly.
+    #[test]
+    fn multi_shard_faults_surface_per_shard_and_worst_class() {
+        let health = ShardedHealth {
+            shards: vec![
+                ShardGauge {
+                    shard: 0,
+                    durability_degraded: true,
+                    last_durability_error: Some(fault("io")),
+                    ..ShardGauge::default()
+                },
+                ShardGauge {
+                    shard: 1,
+                    durability_degraded: true,
+                    last_durability_error: Some(fault("no-space")),
+                    ..ShardGauge::default()
+                },
+                ShardGauge {
+                    shard: 2,
+                    ..ShardGauge::default()
+                },
+            ],
+        };
+        // The lossy summary: reports "io" and hides the ENOSPC entirely.
+        assert_eq!(
+            health.first_durability_error().map(|f| f.class.as_str()),
+            Some("io")
+        );
+        // Full per-shard picture, in shard order, healthy shards omitted.
+        let per_shard = health.durability_errors();
+        assert_eq!(per_shard.len(), 2);
+        assert_eq!(per_shard[0].0, 0);
+        assert_eq!(per_shard[0].1.class, "io");
+        assert_eq!(per_shard[1].0, 1);
+        assert_eq!(per_shard[1].1.class, "no-space");
+        // Worst-first summary: no-space (resource exhaustion) outranks io.
+        let (shard, worst) = health.worst_durability_error().unwrap();
+        assert_eq!(shard, 1);
+        assert_eq!(worst.class, "no-space");
+    }
+
+    #[test]
+    fn severity_ranks_structural_damage_over_exhaustion_over_io() {
+        let ranked = [
+            "corruption",
+            "out-of-order",
+            "truncated",
+            "unsupported-format",
+            "invalid-state",
+            "no-space",
+            "io",
+            "anything-unknown",
+        ];
+        for pair in ranked.windows(2) {
+            assert!(
+                fault(pair[0]).severity() > fault(pair[1]).severity(),
+                "{} must outrank {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn worst_durability_error_ties_pick_the_lowest_shard() {
+        let health = ShardedHealth {
+            shards: vec![
+                ShardGauge {
+                    shard: 0,
+                    last_durability_error: Some(fault("io")),
+                    ..ShardGauge::default()
+                },
+                ShardGauge {
+                    shard: 1,
+                    last_durability_error: Some(fault("io")),
+                    ..ShardGauge::default()
+                },
+            ],
+        };
+        assert_eq!(health.worst_durability_error().unwrap().0, 0);
+        let empty = ShardedHealth::default();
+        assert!(empty.worst_durability_error().is_none());
+        assert!(empty.durability_errors().is_empty());
     }
 }

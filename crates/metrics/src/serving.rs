@@ -1,0 +1,105 @@
+//! Serving-layer gauges: per-connection and whole-server counters for the
+//! network front door (`asketch-serve`), in the same serializable gauge
+//! style as [`crate::runtime`] so the load generator, CI gates, and
+//! operator tooling consume one shape.
+//!
+//! The live counters themselves are atomics owned by the server; these
+//! types are the point-in-time snapshot a HEALTH frame or artifact row
+//! carries.
+
+use serde::{Deserialize, Serialize};
+
+/// Point-in-time counters for one client connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionGauge {
+    /// Request frames decoded on this connection.
+    pub frames_in: u64,
+    /// Response frames written on this connection (error frames included).
+    pub frames_out: u64,
+    /// Keys ingested through UPDATE/UPDATE_BATCH frames.
+    pub updates: u64,
+    /// Point estimates served (ESTIMATE plus ESTIMATE_BATCH elements).
+    pub estimates: u64,
+    /// UPDATE frames answered `overloaded` under the shed policy.
+    pub shed: u64,
+    /// Malformed or unknown frames answered with an error frame.
+    pub protocol_errors: u64,
+}
+
+/// Point-in-time health of the whole serving layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerGauge {
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Request frames decoded across all connections.
+    pub frames_in: u64,
+    /// Response frames written across all connections.
+    pub frames_out: u64,
+    /// Keys ingested through UPDATE/UPDATE_BATCH frames.
+    pub updates_ingested: u64,
+    /// Point estimates served (ESTIMATE plus ESTIMATE_BATCH elements).
+    pub estimates_served: u64,
+    /// TOPK requests served.
+    pub topk_served: u64,
+    /// UPDATE frames shed with an `overloaded` error frame under the
+    /// shed (`InlineFallback`) backpressure policy; always 0 under
+    /// `Block`, and the CI gate asserts exactly that.
+    pub updates_shed: u64,
+    /// Malformed or unknown frames answered with an error frame (the
+    /// connection survives; only framing-level damage closes it).
+    pub protocol_errors: u64,
+    /// Seqlock reader retries observed across all read frames — the
+    /// wait-free-read gauge. A reader retry is not a block (readers never
+    /// wait on writers), but steady state measures 0 and the serving
+    /// bench gate holds that line.
+    pub reader_retries: u64,
+    /// Read frames whose per-read seqlock retry delta exceeded the serve
+    /// layer's retry bound — i.e. a read that was effectively made to
+    /// wait on writer progress. The serving gate is `== 0` under live
+    /// UPDATE traffic.
+    pub reader_blocked: u64,
+}
+
+impl ServerGauge {
+    /// Fold one connection's final counters into the server totals.
+    pub fn absorb(&mut self, conn: &ConnectionGauge) {
+        self.frames_in += conn.frames_in;
+        self.frames_out += conn.frames_out;
+        self.updates_ingested += conn.updates;
+        self.estimates_served += conn.estimates;
+        self.updates_shed += conn.shed;
+        self.protocol_errors += conn.protocol_errors;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_folds_connection_counters_into_totals() {
+        let mut server = ServerGauge {
+            connections_accepted: 2,
+            frames_in: 10,
+            ..ServerGauge::default()
+        };
+        let conn = ConnectionGauge {
+            frames_in: 5,
+            frames_out: 5,
+            updates: 3,
+            estimates: 2,
+            shed: 1,
+            protocol_errors: 1,
+        };
+        server.absorb(&conn);
+        assert_eq!(server.frames_in, 15);
+        assert_eq!(server.frames_out, 5);
+        assert_eq!(server.updates_ingested, 3);
+        assert_eq!(server.estimates_served, 2);
+        assert_eq!(server.updates_shed, 1);
+        assert_eq!(server.protocol_errors, 1);
+        assert_eq!(server.connections_accepted, 2, "absorb never re-counts");
+    }
+}

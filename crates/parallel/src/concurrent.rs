@@ -152,6 +152,43 @@ impl<S: SharedView> ShardSnapshot<S> {
         }
     }
 
+    /// Wait-free point queries for a **group** of keys owned by this
+    /// shard, paying one seqlock-stable filter read for the whole group
+    /// instead of one per key. `scratch` is the caller's reusable table
+    /// buffer; each `(slot, key)` pair writes its answer to `out[slot]`,
+    /// so callers that grouped a batch by shard get order preservation
+    /// for free.
+    ///
+    /// All keys in one group are answered against the *same* published
+    /// filter state (a per-key loop could straddle a publish); like
+    /// [`query`](Self::query), filter hits are exact at that publish and
+    /// sketch-view misses are one-sided.
+    pub fn query_group(
+        &self,
+        group: &[(usize, u64)],
+        scratch: &mut Vec<FilterItem>,
+        out: &mut [i64],
+    ) {
+        self.filter.read_table(scratch);
+        for &(slot, key) in group {
+            let hit = scratch
+                .iter()
+                .find(|item| item.key == key)
+                .map(|item| item.new_count);
+            out[slot] = match hit {
+                Some(count) => count,
+                None => S::view_estimate(&self.view, key),
+            };
+        }
+    }
+
+    /// Wait-free snapshot of this shard's published filter items (its
+    /// heavy hitters), read in one seqlock-stable session into `out`.
+    /// Returns the publish epoch.
+    pub fn filter_items(&self, out: &mut Vec<FilterItem>) -> u64 {
+        self.filter.read_table(out)
+    }
+
     /// Applied-op count at the last filter publish (staleness clock).
     pub fn filter_epoch(&self) -> u64 {
         self.filter.epoch()
@@ -362,7 +399,12 @@ struct DurableShard<K> {
     wal: WalWriter,
     wal_base: u64,
     keep: usize,
-    snap_tx: Sender<SnapshotJob<K>>,
+    /// Job sender feeding the shared snapshotter thread. `None` once
+    /// [`close_snapshots`](Self::close_snapshots) ran at shutdown: the
+    /// snapshotter exits when every shard's sender has dropped, and
+    /// `finish` joins it **before** writing final snapshots so no
+    /// background job can race the final write on the same directory.
+    snap_tx: Option<Sender<SnapshotJob<K>>>,
     /// Set while a snapshot job for this shard is in flight; checkpoints
     /// arriving meanwhile skip their snapshot (the WAL covers the gap), so
     /// the ingest path pays at most one extra kernel clone per completed
@@ -511,6 +553,9 @@ impl<K> DurableShard<K> {
         K: Clone,
     {
         self.check_snapshotter();
+        let Some(snap_tx) = self.snap_tx.as_ref() else {
+            return;
+        };
         if self.degraded.is_some() || self.busy.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -532,9 +577,16 @@ impl<K> DurableShard<K> {
             fatal: Arc::clone(&self.snap_fatal),
             scrub: Arc::clone(&self.scrub),
         };
-        if self.snap_tx.send(job).is_err() {
+        if snap_tx.send(job).is_err() {
             self.busy.store(false, Ordering::Release);
         }
+    }
+
+    /// Drop this shard's snapshot-job sender. Once every shard has closed,
+    /// the snapshotter thread drains its queue and exits, making its join
+    /// bounded — shutdown calls this on all shards before joining.
+    fn close_snapshots(&mut self) {
+        self.snap_tx = None;
     }
 
     /// Final snapshot + WAL prune on clean shutdown: after this, recovery
@@ -1087,8 +1139,50 @@ impl<S: SharedView> QueryHandle<S> {
     }
 
     /// Point queries for a batch of keys, in order.
+    ///
+    /// Keys are grouped by owning shard **once per batch**: the partition
+    /// is resolved exactly once per key and each shard's group is answered
+    /// under a single seqlock-stable filter read
+    /// ([`ShardSnapshot::query_group`]), so a pipelined `ESTIMATE_BATCH`
+    /// does not re-acquire the snapshot per element. Results are
+    /// positionally identical to calling [`estimate`](Self::estimate) on
+    /// each key in order (differentially tested across every filter kind).
     pub fn estimate_batch(&self, keys: &[u64]) -> Vec<i64> {
-        keys.iter().map(|&k| self.estimate(k)).collect()
+        // Tiny batches: grouping buys nothing over the direct path.
+        if keys.len() <= 2 {
+            return keys.iter().map(|&k| self.estimate(k)).collect();
+        }
+        let shards = self.partition.shards();
+        let mut groups: Vec<Vec<(usize, u64)>> = vec![Vec::new(); shards];
+        for (slot, &key) in keys.iter().enumerate() {
+            groups[self.partition.shard_of(key)].push((slot, key));
+        }
+        let mut out = vec![0i64; keys.len()];
+        let mut scratch = Vec::new();
+        for (shard, group) in groups.iter().enumerate() {
+            if !group.is_empty() {
+                self.snaps[shard].query_group(group, &mut scratch, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Wait-free top-k over the published filter snapshots: each shard's
+    /// filter holds its partition's heavy hitters with exact counts, keys
+    /// are owned by exactly one shard (no duplicates to merge), so the
+    /// global answer is the k largest of the union. Ordered by count
+    /// descending, ties by key ascending. Subject to the same staleness
+    /// bound as point queries; exact after a `sync`.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, i64)> {
+        let mut items: Vec<(u64, i64)> = Vec::new();
+        let mut scratch = Vec::new();
+        for snap in self.snaps.iter() {
+            snap.filter_items(&mut scratch);
+            items.extend(scratch.iter().map(|it| (it.key, it.new_count)));
+        }
+        items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        items.truncate(k);
+        items
     }
 
     /// The key partition (for callers that co-locate work by shard).
@@ -1249,6 +1343,22 @@ where
     /// gauges. After a graceful shutdown every queue-depth gauge reads
     /// exactly zero — nothing residual, nothing underflowed — even when a
     /// wedged worker had to be abandoned.
+    ///
+    /// # Shutdown ordering (durable runtimes)
+    ///
+    /// 1. flush the router and spill queues, drain checkpoints;
+    /// 2. join (or abandon-and-reconstruct) every shard worker;
+    /// 3. stop and join the **scrubber**, close every snapshot-job sender
+    ///    and join the **snapshotter** — every queued/in-flight background
+    ///    snapshot completes or fails *now*, deterministically;
+    /// 4. only then write each shard's **final snapshot** and prune its
+    ///    WAL behind it.
+    ///
+    /// Step 3 must precede step 4: a background job still in flight would
+    /// otherwise race the final write on the same shard directory — when
+    /// the last checkpoint's sequence equals the final sequence both
+    /// writers share one tmp path, and a torn "newest" snapshot whose WAL
+    /// was pruned behind it silently drops acked writes at next recovery.
     pub fn finish_with_health(mut self) -> (Vec<ASketch<F, S>>, ShardedHealth) {
         self.flush_router();
         let mut kernels = Vec::with_capacity(self.shards.len());
@@ -1300,15 +1410,38 @@ where
                     .take()
                     .expect("degraded shard has an inline kernel")
             };
-            if let Some(d) = st.durable.as_mut() {
-                d.finalize(&kernel, kernel.ops_applied());
-            }
             kernels.push(kernel);
         }
+        // Quiesce the background threads BEFORE the final snapshots (see
+        // the shutdown-ordering doc above). The scrubber goes first so a
+        // mid-pass quarantine can't race the final writes either; then
+        // every job sender closes and the snapshotter drains its queue and
+        // exits — both joins are bounded (short stop-flag ticks, bounded
+        // retry backoff per job).
+        if let Some((stop, handle)) = self.scrubber.take() {
+            stop.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+        for st in self.shards.iter_mut() {
+            if let Some(d) = st.durable.as_mut() {
+                d.close_snapshots();
+            }
+        }
+        if let Some(handle) = self.snapshotter.take() {
+            let _ = handle.join();
+        }
+        // Final snapshots: each shard's caller is now the *sole* writer to
+        // its directory, and any persistent snapshotter failure parked by
+        // a drained job is promoted (finalize → check_snapshotter) before
+        // the shard decides whether writing through the disk is safe.
+        for (st, kernel) in self.shards.iter_mut().zip(&kernels) {
+            if let Some(d) = st.durable.as_mut() {
+                d.finalize(kernel, kernel.ops_applied());
+            }
+        }
         // Gauges while durability state is still attached (so WAL/recovery
-        // counters survive into the final health), then drop it — that
-        // releases every snapshot-job sender, the snapshotter drains its
-        // queue and exits, and the join below is bounded.
+        // counters — now reflecting every *completed* background snapshot
+        // — survive into the final health), then drop it.
         let health = ShardedHealth {
             shards: self
                 .shards
@@ -1319,13 +1452,6 @@ where
         };
         for st in self.shards.iter_mut() {
             st.durable = None;
-        }
-        if let Some((stop, handle)) = self.scrubber.take() {
-            stop.store(true, Ordering::Release);
-            let _ = handle.join();
-        }
-        if let Some(handle) = self.snapshotter.take() {
-            let _ = handle.join();
         }
         (kernels, health)
     }
@@ -1468,7 +1594,7 @@ where
                 wal,
                 wal_base: report.last_seq,
                 keep: opts.snapshot_keep,
-                snap_tx: snap_tx.clone(),
+                snap_tx: Some(snap_tx.clone()),
                 busy: Arc::new(AtomicBool::new(false)),
                 snapped_seq: Arc::new(AtomicU64::new(report.snapshot.map_or(0, |m| m.wal_seq))),
                 snap_errors: Arc::new(AtomicU64::new(0)),
@@ -2102,6 +2228,179 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// A [`VfsFile`] whose first write stalls: stretches the background
+    /// snapshotter's in-flight window so `finish` can land mid-snapshot.
+    struct StallFile {
+        inner: Box<dyn VfsFile>,
+        delay: Duration,
+        armed: bool,
+    }
+
+    impl VfsFile for StallFile {
+        fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+            if self.armed {
+                self.armed = false;
+                std::thread::sleep(self.delay);
+            }
+            self.inner.write_all(buf)
+        }
+        fn sync_data(&mut self) -> std::io::Result<()> {
+            self.inner.sync_data()
+        }
+        fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+            self.inner.set_len(len)
+        }
+    }
+
+    /// Delegating backend that stalls every snapshot `.tmp` write on its
+    /// first byte. Regression harness for the shutdown ordering documented
+    /// on [`ConcurrentASketch::finish_with_health`]: with the old
+    /// finalize-before-join order, the final snapshot raced the stalled
+    /// background job on the same tmp path.
+    struct SlowSnapVfs {
+        inner: Arc<dyn Vfs>,
+        delay: Duration,
+        snap_writes: AtomicU64,
+    }
+
+    impl SlowSnapVfs {
+        fn new(delay: Duration) -> Self {
+            Self {
+                inner: asketch_durable::vfs::real(),
+                delay,
+                snap_writes: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Vfs for SlowSnapVfs {
+        fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+            self.inner.create_dir_all(dir)
+        }
+        fn open_append(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>> {
+            self.inner.open_append(path)
+        }
+        fn create_truncate(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>> {
+            let file = self.inner.create_truncate(path)?;
+            if path.extension().is_some_and(|e| e == "tmp") {
+                self.snap_writes.fetch_add(1, Ordering::Release);
+                return Ok(Box::new(StallFile {
+                    inner: file,
+                    delay: self.delay,
+                    armed: true,
+                }));
+            }
+            Ok(file)
+        }
+        fn open_write(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>> {
+            self.inner.open_write(path)
+        }
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            self.inner.read(path)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+            self.inner.remove_file(path)
+        }
+        fn read_dir(&self, dir: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+            self.inner.read_dir(dir)
+        }
+        fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+            self.inner.sync_dir(dir)
+        }
+        fn exists(&self, path: &Path) -> bool {
+            self.inner.exists(path)
+        }
+    }
+
+    /// Shutdown-ordering regression (ISSUE 7 satellite): finish a durable
+    /// runtime while a background snapshot is provably mid-write and the
+    /// scrubber thread is live. The durable prefix must cover every acked
+    /// write after a cold restart, the shard directory must hold no torn
+    /// `.tmp` residue, and an offline scrub must find nothing.
+    #[test]
+    fn finish_mid_snapshot_keeps_every_acked_write_durable() {
+        use asketch::FsyncPolicy;
+        let dir = tmp_dir("midsnap");
+        let slow = Arc::new(SlowSnapVfs::new(Duration::from_millis(300)));
+        let vfs: Arc<dyn Vfs> = Arc::clone(&slow) as Arc<dyn Vfs>;
+        let opts = DurabilityOptions::new(&dir)
+            .fsync(FsyncPolicy::PerBatch)
+            .vfs(vfs)
+            // Both background threads live, exactly the server's shape.
+            .scrub_interval(Some(Duration::from_millis(20)));
+        let cfg = ConcurrentConfig {
+            shards: 1,
+            batch: 32,
+            publish_interval: 128,
+            view_interval: 512,
+            supervision: SupervisionConfig {
+                // 4096 keys / interval 1024: the last checkpoint's sequence
+                // can equal the final sequence — the tmp-path collision case.
+                checkpoint_interval: 1024,
+                ..SupervisionConfig::default()
+            },
+        };
+        let data = stream(4_096);
+        let (mut rt, _) =
+            ConcurrentASketch::spawn_durable(cfg.clone(), &opts, |i| kernel(90 + i as u64))
+                .unwrap();
+        rt.insert_batch(&data);
+        let acked = rt.wal_checkpoint().unwrap();
+        assert_eq!(acked, 4_096, "every routed key must be acked durable");
+        // Wait until the snapshotter is provably inside a `.tmp` write (the
+        // counter bumps before the stalled first byte), then finish while
+        // it sleeps.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while slow.snap_writes.load(Ordering::Acquire) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            slow.snap_writes.load(Ordering::Acquire) >= 1,
+            "a background snapshot must have been scheduled"
+        );
+        let (kernels, health) = rt.finish_with_health();
+        let g = &health.shards[0];
+        assert!(!g.durability_degraded, "clean disk, clean shutdown: {g:?}");
+        // No torn tmp residue: the background job was joined, its tmp
+        // either renamed away or cleaned up, before the final snapshot.
+        let shard_dir = opts.shard_dir(0);
+        for entry in std::fs::read_dir(&shard_dir).unwrap() {
+            let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+            assert!(
+                !name.ends_with(".tmp"),
+                "torn snapshot tmp left behind: {name}"
+            );
+        }
+        // Offline scrub of the quiesced directory: nothing corrupt.
+        let clean = asketch_durable::vfs::real();
+        let report = scrub_shard_dir(&clean, &shard_dir, None).unwrap();
+        assert_eq!(
+            report.corrupt_found(),
+            0,
+            "mid-snapshot finish tore durable state: {report:?}"
+        );
+        // Cold restart over the clean backend: the durable prefix covers
+        // every acked write exactly.
+        let opts2 = DurabilityOptions::new(&dir).scrub_interval(None);
+        let (rt2, _) =
+            ConcurrentASketch::spawn_durable(cfg, &opts2, |i| kernel(90 + i as u64)).unwrap();
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(
+                rt2.estimate(key),
+                kernels[0].estimate(key),
+                "acked write lost across the mid-snapshot shutdown for key {key}"
+            );
+        }
+        drop(rt2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Graceful-shutdown gauge invariant (and its hardest case): a wedged
     /// worker abandoned *during finish* left batches queued; the final
     /// health must read exactly zero queue depth — neither the residual
@@ -2161,7 +2460,7 @@ mod tests {
         }
     }
 
-    use asketch_durable::vfs::{FaultKind, FaultPlan as StorageFaultPlan, FaultVfs};
+    use asketch_durable::vfs::{FaultKind, FaultPlan as StorageFaultPlan, FaultVfs, VfsFile};
     use asketch_durable::ErrorClass;
 
     /// One-shard durable config with tight intervals so every fault test
@@ -2286,6 +2585,147 @@ mod tests {
         for &key in &keys {
             assert_eq!(kernels[0].estimate(key), reference.estimate(key));
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A [`VfsFile`] whose writes always fail with one OS error code;
+    /// everything else delegates (so `set_len` rollbacks succeed and the
+    /// failure stays retryable → degrade, not poison).
+    struct FailWriteFile {
+        inner: Box<dyn VfsFile>,
+        raw_os: i32,
+    }
+
+    impl VfsFile for FailWriteFile {
+        fn write_all(&mut self, _: &[u8]) -> std::io::Result<()> {
+            Err(std::io::Error::from_raw_os_error(self.raw_os))
+        }
+        fn sync_data(&mut self) -> std::io::Result<()> {
+            self.inner.sync_data()
+        }
+        fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+            self.inner.set_len(len)
+        }
+    }
+
+    /// Path-keyed fault backend: WAL appends under `shard-0000` fail with
+    /// `EIO`, under `shard-0001` with `ENOSPC`, persistently. One
+    /// [`FaultVfs`] plan cannot deterministically hand *different* classes
+    /// to different shards, so this drives the multi-class health
+    /// regression directly.
+    struct ClassedShardVfs {
+        inner: Arc<dyn Vfs>,
+    }
+
+    impl Vfs for ClassedShardVfs {
+        fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+            self.inner.create_dir_all(dir)
+        }
+        fn open_append(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>> {
+            let file = self.inner.open_append(path)?;
+            let p = path.to_string_lossy();
+            let raw_os = if p.contains("shard-0000") {
+                5 // EIO
+            } else if p.contains("shard-0001") {
+                28 // ENOSPC
+            } else {
+                return Ok(file);
+            };
+            Ok(Box::new(FailWriteFile {
+                inner: file,
+                raw_os,
+            }))
+        }
+        fn create_truncate(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>> {
+            self.inner.create_truncate(path)
+        }
+        fn open_write(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>> {
+            self.inner.open_write(path)
+        }
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            self.inner.read(path)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+            self.inner.remove_file(path)
+        }
+        fn read_dir(&self, dir: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+            self.inner.read_dir(dir)
+        }
+        fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+            self.inner.sync_dir(dir)
+        }
+        fn exists(&self, path: &Path) -> bool {
+            self.inner.exists(path)
+        }
+    }
+
+    /// Multi-class degradation regression (ISSUE 7 satellite): two shards
+    /// degrade with *distinct* `DurabilityError` classes and the health
+    /// must carry both — the HEALTH frame reports per-shard classes and
+    /// alarms on the worst, instead of the lossy first-shard-wins summary
+    /// hiding `ENOSPC` behind `EIO`.
+    #[test]
+    fn two_shards_degraded_with_distinct_classes_both_surface_in_health() {
+        use asketch::FsyncPolicy;
+        let dir = tmp_dir("twoclass");
+        let vfs: Arc<dyn Vfs> = Arc::new(ClassedShardVfs {
+            inner: asketch_durable::vfs::real(),
+        });
+        let opts = DurabilityOptions::new(&dir)
+            .fsync(FsyncPolicy::PerBatch)
+            .vfs(vfs)
+            .policy(StoragePolicy {
+                retries: 1,
+                retry_backoff: Duration::ZERO,
+            })
+            .scrub_interval(None);
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 16,
+            publish_interval: 64,
+            view_interval: 256,
+            supervision: SupervisionConfig {
+                checkpoint_interval: 1 << 30,
+                ..SupervisionConfig::default()
+            },
+        };
+        let data = stream(2_000);
+        let (mut rt, _) =
+            ConcurrentASketch::spawn_durable(cfg, &opts, |i| kernel(95 + i as u64)).unwrap();
+        rt.insert_batch(&data);
+        rt.sync();
+        let health = rt.health();
+        assert_eq!(health.degraded_durability_shards(), 2, "{health:?}");
+        // The historical summary is lossy: shard 0's EIO wins, the ENOSPC
+        // on shard 1 vanishes.
+        assert_eq!(
+            health.first_durability_error().map(|f| f.class.as_str()),
+            Some("io")
+        );
+        // The per-shard view keeps both classes, keyed by shard.
+        let errors = health.durability_errors();
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert_eq!(errors[0].0, 0);
+        assert_eq!(errors[0].1.class, "io");
+        assert_eq!(errors[1].0, 1);
+        assert_eq!(errors[1].1.class, "no-space");
+        // And the worst-class summary ranks exhaustion over plain I/O.
+        let (worst_shard, worst) = health.worst_durability_error().unwrap();
+        assert_eq!(worst_shard, 1);
+        assert_eq!(worst.class, "no-space");
+        // Counting stays exact on both degraded shards.
+        let p = rt.partition();
+        let reference = sequential_reference(&data, p, |i| kernel(95 + i as u64));
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(rt.estimate(key), reference[p.shard_of(key)].estimate(key));
+        }
+        drop(rt);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -162,6 +162,41 @@ impl FilterSnapshot {
         }
     }
 
+    /// Wait-free bulk read: copy the entire published table into `out`
+    /// (cleared first) under **one** seqlock-stable session, so a batch of
+    /// lookups — or a top-k enumeration — pays a single acquire/validate
+    /// round instead of one per key. `old_count` is not published, so it
+    /// reads back as 0 in every returned item.
+    ///
+    /// Returns the publish epoch. Like [`query`](Self::query) this never
+    /// blocks and never takes a lock; a retry only happens if an entire
+    /// publish cycle completed mid-read (counted in
+    /// [`retries`](Self::retries)).
+    pub fn read_table(&self, out: &mut Vec<FilterItem>) -> u64 {
+        loop {
+            let t = &self.bufs[self.active.load(Ordering::Acquire)];
+            let s1 = t.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            out.clear();
+            let n = t.len.load(Ordering::Relaxed).min(t.keys.len());
+            for i in 0..n {
+                out.push(FilterItem {
+                    key: t.keys[i].load(Ordering::Relaxed),
+                    new_count: t.counts[i].load(Ordering::Relaxed),
+                    old_count: 0,
+                });
+            }
+            fence(Ordering::Acquire);
+            if t.seq.load(Ordering::Relaxed) == s1 {
+                return self.epoch.load(Ordering::Acquire);
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// The owner's applied-op count at the last publish. Readers use this
     /// as the staleness clock: a query answers at least this epoch.
     pub fn epoch(&self) -> u64 {
@@ -240,6 +275,64 @@ mod tests {
             100,
         );
         assert_eq!(snap.query(9), Some(100));
+    }
+
+    #[test]
+    fn read_table_returns_the_published_set() {
+        let snap = FilterSnapshot::new(8);
+        let mut out = vec![item(9, 9)]; // stale contents must be cleared
+        assert_eq!(snap.read_table(&mut out), 0);
+        assert!(out.is_empty());
+        snap.publish(&[item(1, 10), item(2, 20)], 30);
+        assert_eq!(snap.read_table(&mut out), 30);
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].key, out[0].new_count), (1, 10));
+        assert_eq!((out[1].key, out[1].new_count), (2, 20));
+        // A republish fully replaces the table.
+        snap.publish(&[item(3, 5)], 40);
+        snap.read_table(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].key, out[0].new_count), (3, 5));
+    }
+
+    #[test]
+    fn concurrent_bulk_reads_never_see_torn_tables() {
+        // Same invariant as the point-query torn-pair test, but over the
+        // whole table through `read_table`: every published state satisfies
+        // counts[i] == 10 * keys[i] for all items, so any torn mix of two
+        // publishes (different lengths, interleaved rows) is detectable.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let snap = Arc::new(FilterSnapshot::new(16));
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut observed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snap.read_table(&mut buf);
+                    for it in &buf {
+                        assert_eq!(it.new_count, 10 * it.key as i64, "torn table row {it:?}");
+                    }
+                    observed += buf.len() as u64;
+                }
+                observed
+            })
+        };
+        for round in 1..=50_000u64 {
+            let items: Vec<FilterItem> = (1..=(1 + round % 7))
+                .map(|k| item(k, 10 * k as i64))
+                .collect();
+            snap.publish(&items, round);
+            if round.is_multiple_of(1024) {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(reader.join().unwrap() > 0, "reader never saw a table");
     }
 
     #[test]

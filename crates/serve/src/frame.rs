@@ -1,0 +1,600 @@
+//! The wire codec: length-prefixed binary frames, no CRC (TCP already
+//! checksums; torn/oversized frames are length-checked), no allocation
+//! driven by untrusted declared sizes beyond the frame cap.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! u32 LE  payload length   (opcode + body; <= MAX_FRAME)
+//! u8      opcode
+//! ...     body (opcode-specific, all integers little-endian)
+//! ```
+//!
+//! Requests: `UPDATE(0x01) u64` · `UPDATE_BATCH(0x02) u32 n, n×u64` ·
+//! `ESTIMATE(0x03) u64` · `ESTIMATE_BATCH(0x04) u32 n, n×u64` ·
+//! `TOPK(0x05) u32 k` · `HEALTH(0x06)` · `SYNC(0x07)`.
+//!
+//! Responses: `OK(0x81) u32` · `VALUE(0x82) i64` ·
+//! `VALUES(0x83) u32 n, n×i64` · `TOPK_ITEMS(0x84) u32 n, n×(u64,i64)` ·
+//! `HEALTH_INFO(0x85)` · `SYNCED(0x86) u64` ·
+//! `ERROR(0xEE) u8 code, u16 len, utf8 detail`.
+//!
+//! This module is pure — bytes in, values out — so the fuzz/proptest
+//! suite can drive it without sockets. Decoding NEVER panics on any
+//! input: every read is bounds-checked and every count is validated
+//! against the bytes actually present before allocation.
+
+/// Hard cap on a frame's payload (opcode + body), requests and responses
+/// alike. A declared length above this is unrecoverable framing damage:
+/// the peer closes rather than resynchronize on attacker-chosen bytes.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Largest batch an UPDATE_BATCH / ESTIMATE_BATCH may carry — implied by
+/// [`MAX_FRAME`]: `(payload - opcode - count) / 8` keys.
+pub const MAX_BATCH: usize = ((MAX_FRAME as usize) - 5) / 8;
+
+/// Machine-readable error codes carried by an `ERROR` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Body malformed: truncated, trailing bytes, or a count that does
+    /// not match the bytes present.
+    Malformed = 1,
+    /// Unknown opcode byte. The connection survives (framing is intact).
+    UnknownOpcode = 2,
+    /// Load shed: the ingest queue is full under the shed backpressure
+    /// policy. Retry later; reads are unaffected.
+    Overloaded = 3,
+    /// Declared frame length exceeds [`MAX_FRAME`]; the peer closes.
+    TooLarge = 4,
+    /// Server-side failure unrelated to the request bytes.
+    Internal = 5,
+}
+
+impl ErrorCode {
+    /// The code for a raw byte, if it names one.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(ErrorCode::Malformed),
+            2 => Some(ErrorCode::UnknownOpcode),
+            3 => Some(ErrorCode::Overloaded),
+            4 => Some(ErrorCode::TooLarge),
+            5 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// Decode failure. Maps onto the error frame the server answers (or the
+/// decision to close, for framing-level damage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Body shorter than the opcode demands.
+    Truncated,
+    /// Bytes left over after a complete body.
+    TrailingBytes,
+    /// Opcode byte not assigned.
+    UnknownOpcode(u8),
+    /// Declared batch count disagrees with the bytes present.
+    BadCount,
+    /// Error-frame detail is not UTF-8, or its code byte is unassigned.
+    BadErrorFrame,
+}
+
+impl FrameError {
+    /// The `ERROR` code a server answers for this decode failure.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            FrameError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+            _ => ErrorCode::Malformed,
+        }
+    }
+
+    /// Human-readable detail for the error frame.
+    pub fn detail(&self) -> String {
+        match self {
+            FrameError::Truncated => "frame body truncated".to_string(),
+            FrameError::TrailingBytes => "trailing bytes after frame body".to_string(),
+            FrameError::UnknownOpcode(op) => format!("unknown opcode 0x{op:02x}"),
+            FrameError::BadCount => "batch count disagrees with frame length".to_string(),
+            FrameError::BadErrorFrame => "malformed error frame".to_string(),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Ingest one key.
+    Update(u64),
+    /// Ingest a batch of keys in order.
+    UpdateBatch(Vec<u64>),
+    /// Point estimate for one key.
+    Estimate(u64),
+    /// Point estimates for a batch of keys, answers in query order.
+    EstimateBatch(Vec<u64>),
+    /// Top-k heavy hitters across shards.
+    TopK(u32),
+    /// Server + runtime health gauges.
+    Health,
+    /// Durability/visibility barrier: apply everything accepted so far,
+    /// fsync WALs on durable runtimes, then answer.
+    Sync,
+}
+
+/// Per-shard health as carried by a `HEALTH_INFO` frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardHealthWire {
+    /// Worker runs inline on the caller (restart budget spent).
+    pub inline_degraded: bool,
+    /// Disk-sick: WAL/snapshotting off after a persistent storage fault.
+    pub durability_degraded: bool,
+    /// Stable fault-class name (empty while healthy). Per-shard — two
+    /// shards degraded with different classes both report their own.
+    pub fault_class: String,
+}
+
+/// Server + runtime health as carried by a `HEALTH_INFO` frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthInfoWire {
+    /// Keys routed into the runtime so far.
+    pub total_routed: u64,
+    /// Seqlock reader retries across all read frames served.
+    pub reader_retries: u64,
+    /// UPDATE frames shed under the shed backpressure policy.
+    pub updates_shed: u64,
+    /// Shard index holding the worst-class fault, if any shard is faulted.
+    pub worst_fault_shard: Option<u32>,
+    /// That worst fault's class name (empty when none).
+    pub worst_fault_class: String,
+    /// Per-shard health, indexed by shard.
+    pub shards: Vec<ShardHealthWire>,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Write accepted; carries the number of keys taken.
+    Ok(u32),
+    /// Point estimate.
+    Value(i64),
+    /// Batch estimates, in query order.
+    Values(Vec<i64>),
+    /// Top-k heavy hitters, count-descending.
+    TopKItems(Vec<(u64, i64)>),
+    /// Health gauges.
+    HealthInfo(HealthInfoWire),
+    /// Barrier complete; carries total keys routed.
+    Synced(u64),
+    /// Request-level failure; the connection survives unless the
+    /// transport itself is damaged.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail (bounded at u16::MAX bytes on the wire).
+        detail: String,
+    },
+}
+
+const OP_UPDATE: u8 = 0x01;
+const OP_UPDATE_BATCH: u8 = 0x02;
+const OP_ESTIMATE: u8 = 0x03;
+const OP_ESTIMATE_BATCH: u8 = 0x04;
+const OP_TOPK: u8 = 0x05;
+const OP_HEALTH: u8 = 0x06;
+const OP_SYNC: u8 = 0x07;
+
+const OP_OK: u8 = 0x81;
+const OP_VALUE: u8 = 0x82;
+const OP_VALUES: u8 = 0x83;
+const OP_TOPK_ITEMS: u8 = 0x84;
+const OP_HEALTH_INFO: u8 = 0x85;
+const OP_SYNCED: u8 = 0x86;
+const OP_ERROR: u8 = 0xEE;
+
+/// Bounds-checked little-endian reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn i64(&mut self) -> Result<i64, FrameError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// `n` u64s, validated against the bytes actually present *before*
+    /// any allocation — a hostile count cannot drive an OOM.
+    fn u64s(&mut self, n: usize) -> Result<Vec<u64>, FrameError> {
+        if self.remaining().checked_div(8).is_none_or(|cap| cap < n) {
+            return Err(FrameError::BadCount);
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn finish(&self) -> Result<(), FrameError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes)
+        }
+    }
+}
+
+/// Encode `req` as one frame (length prefix included) appended to `out`.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    let start = begin_frame(out);
+    match req {
+        Request::Update(key) => {
+            out.push(OP_UPDATE);
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        Request::UpdateBatch(keys) => {
+            out.push(OP_UPDATE_BATCH);
+            put_u64s(out, keys);
+        }
+        Request::Estimate(key) => {
+            out.push(OP_ESTIMATE);
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        Request::EstimateBatch(keys) => {
+            out.push(OP_ESTIMATE_BATCH);
+            put_u64s(out, keys);
+        }
+        Request::TopK(k) => {
+            out.push(OP_TOPK);
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        Request::Health => out.push(OP_HEALTH),
+        Request::Sync => out.push(OP_SYNC),
+    }
+    end_frame(out, start);
+}
+
+/// Encode `resp` as one frame (length prefix included) appended to `out`.
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    let start = begin_frame(out);
+    match resp {
+        Response::Ok(n) => {
+            out.push(OP_OK);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Response::Value(v) => {
+            out.push(OP_VALUE);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Response::Values(vs) => {
+            out.push(OP_VALUES);
+            out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+            for v in vs {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::TopKItems(items) => {
+            out.push(OP_TOPK_ITEMS);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for (key, count) in items {
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+        }
+        Response::HealthInfo(info) => {
+            out.push(OP_HEALTH_INFO);
+            out.extend_from_slice(&(info.shards.len() as u32).to_le_bytes());
+            out.extend_from_slice(&info.total_routed.to_le_bytes());
+            out.extend_from_slice(&info.reader_retries.to_le_bytes());
+            out.extend_from_slice(&info.updates_shed.to_le_bytes());
+            out.extend_from_slice(&info.worst_fault_shard.unwrap_or(u32::MAX).to_le_bytes());
+            put_str(out, &info.worst_fault_class);
+            for s in &info.shards {
+                let flags = u8::from(s.inline_degraded) | (u8::from(s.durability_degraded) << 1);
+                out.push(flags);
+                put_str(out, &s.fault_class);
+            }
+        }
+        Response::Synced(total) => {
+            out.push(OP_SYNCED);
+            out.extend_from_slice(&total.to_le_bytes());
+        }
+        Response::Error { code, detail } => {
+            out.push(OP_ERROR);
+            out.push(*code as u8);
+            let bytes = detail.as_bytes();
+            let len = bytes.len().min(u16::MAX as usize);
+            out.extend_from_slice(&(len as u16).to_le_bytes());
+            out.extend_from_slice(&bytes[..len]);
+        }
+    }
+    end_frame(out, start);
+}
+
+/// Decode one request from a frame payload (length prefix stripped).
+///
+/// # Errors
+/// [`FrameError`] naming exactly what is wrong; never panics, for any
+/// input bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    let req = match op {
+        OP_UPDATE => Request::Update(c.u64()?),
+        OP_UPDATE_BATCH => {
+            let n = c.u32()? as usize;
+            Request::UpdateBatch(c.u64s(n)?)
+        }
+        OP_ESTIMATE => Request::Estimate(c.u64()?),
+        OP_ESTIMATE_BATCH => {
+            let n = c.u32()? as usize;
+            Request::EstimateBatch(c.u64s(n)?)
+        }
+        OP_TOPK => Request::TopK(c.u32()?),
+        OP_HEALTH => Request::Health,
+        OP_SYNC => Request::Sync,
+        other => return Err(FrameError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decode one response from a frame payload (length prefix stripped).
+///
+/// # Errors
+/// [`FrameError`] naming exactly what is wrong; never panics, for any
+/// input bytes.
+pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    let resp = match op {
+        OP_OK => Response::Ok(c.u32()?),
+        OP_VALUE => Response::Value(c.i64()?),
+        OP_VALUES => {
+            let n = c.u32()? as usize;
+            if c.remaining().checked_div(8).is_none_or(|cap| cap < n) {
+                return Err(FrameError::BadCount);
+            }
+            Response::Values((0..n).map(|_| c.i64()).collect::<Result<_, _>>()?)
+        }
+        OP_TOPK_ITEMS => {
+            let n = c.u32()? as usize;
+            if c.remaining().checked_div(16).is_none_or(|cap| cap < n) {
+                return Err(FrameError::BadCount);
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = c.u64()?;
+                let count = c.i64()?;
+                items.push((key, count));
+            }
+            Response::TopKItems(items)
+        }
+        OP_HEALTH_INFO => {
+            let shard_count = c.u32()? as usize;
+            let total_routed = c.u64()?;
+            let reader_retries = c.u64()?;
+            let updates_shed = c.u64()?;
+            let worst_raw = c.u32()?;
+            let worst_fault_class = get_str(&mut c)?;
+            // Each shard entry is at least 3 bytes (flags + empty string).
+            if c.remaining()
+                .checked_div(3)
+                .is_none_or(|cap| cap < shard_count)
+            {
+                return Err(FrameError::BadCount);
+            }
+            let mut shards = Vec::with_capacity(shard_count);
+            for _ in 0..shard_count {
+                let flags = c.u8()?;
+                let fault_class = get_str(&mut c)?;
+                shards.push(ShardHealthWire {
+                    inline_degraded: flags & 1 != 0,
+                    durability_degraded: flags & 2 != 0,
+                    fault_class,
+                });
+            }
+            Response::HealthInfo(HealthInfoWire {
+                total_routed,
+                reader_retries,
+                updates_shed,
+                worst_fault_shard: (worst_raw != u32::MAX).then_some(worst_raw),
+                worst_fault_class,
+                shards,
+            })
+        }
+        OP_SYNCED => Response::Synced(c.u64()?),
+        OP_ERROR => {
+            let code = ErrorCode::from_u8(c.u8()?).ok_or(FrameError::BadErrorFrame)?;
+            let len = c.u16()? as usize;
+            let detail =
+                String::from_utf8(c.take(len)?.to_vec()).map_err(|_| FrameError::BadErrorFrame)?;
+            Response::Error { code, detail }
+        }
+        other => return Err(FrameError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+/// Reserve the 4-byte length prefix; returns its offset for `end_frame`.
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    start
+}
+
+/// Backfill the length prefix reserved by `begin_frame`.
+///
+/// # Panics
+/// Debug-asserts the payload fits [`MAX_FRAME`] — encoders cap their
+/// inputs (`MAX_BATCH`, u16 detail), so overflow is a caller bug.
+fn end_frame(out: &mut [u8], start: usize) {
+    let len = (out.len() - start - 4) as u32;
+    debug_assert!(len <= MAX_FRAME, "encoder produced an oversized frame");
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn put_u64s(out: &mut Vec<u8>, keys: &[u64]) {
+    out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    for key in keys {
+        out.extend_from_slice(&key.to_le_bytes());
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn get_str(c: &mut Cursor<'_>) -> Result<String, FrameError> {
+    let len = c.u16()? as usize;
+    String::from_utf8(c.take(len)?.to_vec()).map_err(|_| FrameError::BadErrorFrame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        assert_eq!(len, buf.len() - 4);
+        assert_eq!(decode_request(&buf[4..]).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        assert_eq!(len, buf.len() - 4);
+        assert_eq!(decode_response(&buf[4..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Update(42));
+        roundtrip_request(Request::UpdateBatch(vec![]));
+        roundtrip_request(Request::UpdateBatch(vec![1, 2, 3, u64::MAX]));
+        roundtrip_request(Request::Estimate(7));
+        roundtrip_request(Request::EstimateBatch(vec![9, 9, 0]));
+        roundtrip_request(Request::TopK(16));
+        roundtrip_request(Request::Health);
+        roundtrip_request(Request::Sync);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Ok(3));
+        roundtrip_response(Response::Value(-1));
+        roundtrip_response(Response::Values(vec![0, i64::MAX, i64::MIN]));
+        roundtrip_response(Response::TopKItems(vec![(1, 10), (2, 5)]));
+        roundtrip_response(Response::Synced(12345));
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            detail: "queue full".into(),
+        });
+        roundtrip_response(Response::HealthInfo(HealthInfoWire {
+            total_routed: 100,
+            reader_retries: 2,
+            updates_shed: 1,
+            worst_fault_shard: Some(1),
+            worst_fault_class: "no-space".into(),
+            shards: vec![
+                ShardHealthWire {
+                    inline_degraded: false,
+                    durability_degraded: true,
+                    fault_class: "io".into(),
+                },
+                ShardHealthWire {
+                    inline_degraded: true,
+                    durability_degraded: true,
+                    fault_class: "no-space".into(),
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn truncated_bodies_error_not_panic() {
+        assert_eq!(decode_request(&[]), Err(FrameError::Truncated));
+        assert_eq!(decode_request(&[OP_UPDATE]), Err(FrameError::Truncated));
+        assert_eq!(
+            decode_request(&[OP_UPDATE, 1, 2, 3]),
+            Err(FrameError::Truncated)
+        );
+        assert_eq!(
+            decode_request(&[OP_UPDATE_BATCH, 1, 0]),
+            Err(FrameError::Truncated)
+        );
+    }
+
+    #[test]
+    fn hostile_batch_count_is_rejected_before_allocation() {
+        // Declares u32::MAX keys with an empty body: must be BadCount,
+        // not a giant Vec reservation.
+        let mut body = vec![OP_UPDATE_BATCH];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&body), Err(FrameError::BadCount));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Update(1), &mut buf);
+        let mut payload = buf[4..].to_vec();
+        payload.push(0);
+        assert_eq!(decode_request(&payload), Err(FrameError::TrailingBytes));
+    }
+
+    #[test]
+    fn unknown_opcodes_name_themselves() {
+        assert_eq!(
+            decode_request(&[0x7F]),
+            Err(FrameError::UnknownOpcode(0x7F))
+        );
+        assert_eq!(
+            FrameError::UnknownOpcode(0x7F).code(),
+            ErrorCode::UnknownOpcode
+        );
+        assert_eq!(FrameError::Truncated.code(), ErrorCode::Malformed);
+    }
+}

@@ -1,0 +1,30 @@
+//! Network serving layer over the concurrent sharded ASketch runtime.
+//!
+//! A pipelined, length-prefixed binary protocol (see [`frame`] and
+//! DESIGN.md §14) with the split the runtime was built for: writes flow
+//! through the supervised shard channels of
+//! [`asketch_parallel::ConcurrentASketch`], reads come straight off the
+//! seqlock filter snapshots via [`asketch_parallel::QueryHandle`] and
+//! never queue behind ingest.
+//!
+//! - [`frame`] — pure codec: request/response types, encode/decode,
+//!   never panics on hostile bytes.
+//! - [`server`] — acceptor/connection/writer threads, backpressure,
+//!   ordering, graceful shutdown.
+//! - [`client`] — minimal blocking client used by tests, the CI smoke,
+//!   and the load generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::Client;
+pub use frame::{
+    decode_request, decode_response, encode_request, encode_response, ErrorCode, FrameError,
+    HealthInfoWire, Request, Response, ShardHealthWire, MAX_BATCH, MAX_FRAME,
+};
+pub use server::{ServeConfig, Server, ServerStats};

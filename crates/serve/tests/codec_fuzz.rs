@@ -1,0 +1,240 @@
+//! Property/fuzz suite for the wire codec: decoding must never panic on
+//! any byte string, valid frames must roundtrip exactly, and every strict
+//! truncation of a valid payload must be rejected with a typed error —
+//! the invariants the connection loop's never-panic guarantee rests on.
+
+use asketch_serve::{
+    decode_request, decode_response, encode_request, encode_response, ErrorCode, HealthInfoWire,
+    Request, Response, ShardHealthWire, MAX_BATCH, MAX_FRAME,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Deterministically build one of every request shape from fuzz inputs.
+fn build_request(kind: usize, key: u64, keys: &[u64], k: u32) -> Request {
+    match kind % 7 {
+        0 => Request::Update(key),
+        1 => Request::UpdateBatch(keys.to_vec()),
+        2 => Request::Estimate(key),
+        3 => Request::EstimateBatch(keys.to_vec()),
+        4 => Request::TopK(k),
+        5 => Request::Health,
+        _ => Request::Sync,
+    }
+}
+
+/// Deterministically build one of every response shape from fuzz inputs.
+fn build_response(kind: usize, scalar: u64, vals: &[i64], raw: &[u8]) -> Response {
+    match kind % 7 {
+        0 => Response::Ok(scalar as u32),
+        1 => Response::Value(scalar as i64),
+        2 => Response::Values(vals.to_vec()),
+        3 => Response::TopKItems(
+            vals.iter()
+                .enumerate()
+                .map(|(i, &v)| (scalar.wrapping_add(i as u64), v))
+                .collect(),
+        ),
+        4 => Response::HealthInfo(build_health(scalar, vals, raw)),
+        5 => Response::Synced(scalar),
+        _ => Response::Error {
+            code: build_code(scalar),
+            detail: ascii_of(raw),
+        },
+    }
+}
+
+fn build_code(n: u64) -> ErrorCode {
+    match n % 5 {
+        0 => ErrorCode::Malformed,
+        1 => ErrorCode::UnknownOpcode,
+        2 => ErrorCode::Overloaded,
+        3 => ErrorCode::TooLarge,
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// Map arbitrary bytes onto a printable class-name-like string.
+fn ascii_of(raw: &[u8]) -> String {
+    raw.iter().map(|b| (b'a' + (b % 26)) as char).collect()
+}
+
+fn build_health(scalar: u64, vals: &[i64], raw: &[u8]) -> HealthInfoWire {
+    let shards: Vec<ShardHealthWire> = vals
+        .iter()
+        .take(12)
+        .map(|&v| ShardHealthWire {
+            inline_degraded: v & 1 != 0,
+            durability_degraded: v & 2 != 0,
+            fault_class: ascii_of(&raw[..(v as usize % 8).min(raw.len())]),
+        })
+        .collect();
+    HealthInfoWire {
+        total_routed: scalar,
+        reader_retries: scalar.rotate_left(13),
+        updates_shed: scalar.rotate_left(29),
+        // u32::MAX is the on-wire "no fault" sentinel, so a real shard
+        // index never carries it.
+        worst_fault_shard: scalar
+            .is_multiple_of(3)
+            .then_some((scalar as u32) % (u32::MAX - 1)),
+        worst_fault_class: ascii_of(raw),
+        shards,
+    }
+}
+
+/// Strip the length prefix from one encoded frame, checking it agrees
+/// with the payload it frames.
+fn payload_of(frame: &[u8]) -> &[u8] {
+    let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+    assert!(len <= MAX_FRAME, "encoder overshot MAX_FRAME");
+    assert_eq!(
+        len as usize,
+        frame.len() - 4,
+        "prefix disagrees with payload"
+    );
+    &frame[4..]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Decoders must be total: any byte string decodes to Ok or a typed
+    /// error, never a panic and never an attacker-sized allocation.
+    #[test]
+    fn decode_request_never_panics(bytes in vec(any::<u8>(), 0..4096)) {
+        let _ = decode_request(&bytes);
+    }
+
+    #[test]
+    fn decode_response_never_panics(bytes in vec(any::<u8>(), 0..4096)) {
+        let _ = decode_response(&bytes);
+    }
+
+    /// Byte strings that at least start with a real opcode probe deeper
+    /// decode paths than fully random ones; still: no panics, ever.
+    #[test]
+    fn opcode_prefixed_garbage_never_panics(
+        op in 0u8..16,
+        bytes in vec(any::<u8>(), 0..256),
+    ) {
+        let mut req_payload = vec![op];
+        req_payload.extend_from_slice(&bytes);
+        let _ = decode_request(&req_payload);
+        let mut resp_payload = vec![0x80 | op];
+        resp_payload.extend_from_slice(&bytes);
+        let _ = decode_response(&resp_payload);
+        let mut err_payload = vec![0xEE];
+        err_payload.extend_from_slice(&bytes);
+        let _ = decode_response(&err_payload);
+    }
+
+    /// Every encodable request survives the wire byte-exactly.
+    #[test]
+    fn requests_roundtrip(
+        kind in 0usize..7,
+        key in any::<u64>(),
+        keys in vec(any::<u64>(), 0..512),
+        k in any::<u32>(),
+    ) {
+        let req = build_request(kind, key, &keys, k);
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        prop_assert_eq!(decode_request(payload_of(&buf)), Ok(req));
+    }
+
+    /// Every encodable response survives the wire byte-exactly.
+    #[test]
+    fn responses_roundtrip(
+        kind in 0usize..7,
+        scalar in any::<u64>(),
+        vals in vec(any::<i64>(), 0..256),
+        raw in vec(any::<u8>(), 0..24),
+    ) {
+        let resp = build_response(kind, scalar, &vals, &raw);
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        prop_assert_eq!(decode_response(payload_of(&buf)), Ok(resp));
+    }
+
+    /// Any strict prefix of a valid payload is rejected with a typed
+    /// error — a mid-frame disconnect can never be mistaken for a
+    /// complete message.
+    #[test]
+    fn truncated_requests_always_error(
+        kind in 0usize..7,
+        key in any::<u64>(),
+        keys in vec(any::<u64>(), 0..64),
+        frac in 0.0f64..1.0,
+    ) {
+        let req = build_request(kind, key, &keys, key as u32);
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let payload = payload_of(&buf);
+        let cut = ((payload.len() as f64) * frac) as usize; // < len: strict
+        prop_assert!(decode_request(&payload[..cut]).is_err());
+    }
+
+    #[test]
+    fn truncated_responses_always_error(
+        kind in 0usize..7,
+        scalar in any::<u64>(),
+        vals in vec(any::<i64>(), 0..64),
+        raw in vec(any::<u8>(), 0..24),
+        frac in 0.0f64..1.0,
+    ) {
+        let resp = build_response(kind, scalar, &vals, &raw);
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let payload = payload_of(&buf);
+        let cut = ((payload.len() as f64) * frac) as usize;
+        prop_assert!(decode_response(&payload[..cut]).is_err());
+    }
+
+    /// Single-byte corruption of a valid frame must decode to Ok (a
+    /// different message) or a typed error — never a panic.
+    #[test]
+    fn bit_flips_never_panic(
+        kind in 0usize..7,
+        key in any::<u64>(),
+        keys in vec(any::<u64>(), 0..64),
+        pos in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let req = build_request(kind, key, &keys, key as u32);
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let mut payload = payload_of(&buf).to_vec();
+        if !payload.is_empty() {
+            let i = pos % payload.len();
+            payload[i] ^= xor;
+        }
+        let _ = decode_request(&payload);
+    }
+
+    /// A declared batch count larger than the bytes present is rejected
+    /// before any allocation, whatever the count claims.
+    #[test]
+    fn hostile_counts_are_rejected(
+        n in 1u32..u32::MAX,
+        extra in vec(any::<u8>(), 0..64),
+    ) {
+        // Force fewer than n*8 body bytes so the count always overdeclares.
+        let n = n.max(extra.len() as u32 / 8 + 1);
+        let mut payload = vec![0x02u8]; // UPDATE_BATCH
+        payload.extend_from_slice(&n.to_le_bytes());
+        payload.extend_from_slice(&extra);
+        prop_assert!(decode_request(&payload).is_err());
+    }
+}
+
+/// The largest legal batch still fits under the frame cap — the bound the
+/// server relies on when it trusts `MAX_FRAME` to limit decode work.
+#[test]
+fn max_batch_fits_max_frame() {
+    let req = Request::UpdateBatch(vec![0xAB; MAX_BATCH]);
+    let mut buf = Vec::new();
+    encode_request(&req, &mut buf);
+    assert!(payload_of(&buf).len() as u32 <= MAX_FRAME);
+    assert_eq!(decode_request(payload_of(&buf)), Ok(req));
+}

@@ -107,6 +107,36 @@ cargo run -q -p asketch-bench --release --bin crash_recovery -- \
 cargo run -q -p asketch-bench --release --bin crash_recovery -- \
     --validate-faults BENCH_faults.json
 
+echo "==> serving layer smoke (exact networked counts + open-loop load gate)"
+# The smoke first proves exactness over real sockets on an ephemeral port:
+# one write connection streams a skewed workload (arrival order matters to
+# the filter) while reader connections hammer estimates, then post-SYNC
+# every distinct key's networked answer must equal a local runtime fed the
+# identical stream. It then sweeps {connections x read_frac} open-loop and
+# the gate holds: zero shed under the Block policy, zero blocked reads
+# (wait-free reads under live UPDATE traffic), a read-p99 ceiling, and an
+# aggregate QPS floor. The floor is hardware-aware: the open-loop target
+# needs cores for the server, the writer thread, and the load generator to
+# overlap; on a starved box we lower the target and the bar together.
+if [ "$CORES" -ge 4 ]; then
+    SERVE_TARGET_QPS=30000
+    SERVE_MIN_QPS=15000
+else
+    SERVE_TARGET_QPS=10000
+    SERVE_MIN_QPS=4000
+    echo "WARNING: only $CORES CPU(s); relaxing serving QPS floor to ${SERVE_MIN_QPS}" \
+         "(full bar is 15000 on >=4 cores)"
+fi
+cargo run -q -p asketch-bench --release --bin serving -- \
+    --smoke --target-qps "$SERVE_TARGET_QPS" --out BENCH_serving_smoke.json
+cargo run -q -p asketch-bench --release --bin serving -- \
+    --validate-serving BENCH_serving_smoke.json --min-qps "$SERVE_MIN_QPS" --max-p99-ms 200
+rm -f BENCH_serving_smoke.json
+# The committed full-sweep artifact must stay structurally valid too
+# (pure JSON-contents check, no re-measurement, so no QPS bar).
+cargo run -q -p asketch-bench --release --bin serving -- \
+    --validate-serving BENCH_serving.json --min-qps 1 --max-p99-ms 1000000
+
 echo "==> ThreadSanitizer pass (concurrent runtime, nightly-only)"
 # TSan needs nightly + rust-src (-Zbuild-std). Skip gracefully when the
 # toolchain can't do it; the seqlock also carries a loom model behind

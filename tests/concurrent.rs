@@ -151,6 +151,109 @@ fn stream_summary_filter_fcm_is_exactly_sequential() {
     });
 }
 
+/// Differential check for the grouped `estimate_batch` path: the batch
+/// answer must be exactly the naive per-key answer, in query order, with
+/// duplicates, absent keys, and shard-interleaved order all preserved —
+/// grouping by shard is a routing optimization, never a semantic change.
+fn assert_batch_matches_pointwise<F, S>(make_kernel: impl Fn(usize) -> ASketch<F, S> + Copy)
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    let (stream, truth) = workload(30_000, 4_000, 1.2);
+    let mut rt = ConcurrentASketch::spawn(small_config(SHARDS), make_kernel);
+    rt.insert_batch(&stream);
+    rt.sync();
+    let handle = rt.query_handle();
+
+    // Shard-interleaved query order with duplicates and absent keys.
+    let mut queries: Vec<u64> = truth.iter().map(|(k, _)| k).take(1_000).collect();
+    let dup = queries.clone();
+    queries.extend(dup);
+    queries.push(u64::MAX);
+    queries.push(0);
+
+    let batched = handle.estimate_batch(&queries);
+    assert_eq!(batched.len(), queries.len(), "one answer per query slot");
+    for (slot, &key) in queries.iter().enumerate() {
+        assert_eq!(
+            batched[slot],
+            handle.estimate(key),
+            "grouped batch diverged from the per-key path at slot {slot} (key {key})"
+        );
+    }
+
+    // The tiny-batch fast path answers identically too.
+    for chunk in queries.chunks(2).take(64) {
+        let small = handle.estimate_batch(chunk);
+        for (i, &key) in chunk.iter().enumerate() {
+            assert_eq!(small[i], handle.estimate(key), "fast path diverged");
+        }
+    }
+    assert!(handle.estimate_batch(&[]).is_empty());
+}
+
+#[test]
+fn estimate_batch_is_order_preserving_vector_filter() {
+    assert_batch_matches_pointwise(|i| {
+        ASketch::new(VectorFilter::new(FILTER_ITEMS), cms(43 ^ i as u64))
+    });
+}
+
+#[test]
+fn estimate_batch_is_order_preserving_strict_heap_filter() {
+    assert_batch_matches_pointwise(|i| {
+        ASketch::new(StrictHeapFilter::new(FILTER_ITEMS), cms(47 ^ i as u64))
+    });
+}
+
+#[test]
+fn estimate_batch_is_order_preserving_relaxed_heap_filter() {
+    assert_batch_matches_pointwise(|i| {
+        ASketch::new(RelaxedHeapFilter::new(FILTER_ITEMS), cms(53 ^ i as u64))
+    });
+}
+
+#[test]
+fn estimate_batch_is_order_preserving_stream_summary_filter() {
+    assert_batch_matches_pointwise(|i| {
+        ASketch::new(StreamSummaryFilter::new(FILTER_ITEMS), cms(59 ^ i as u64))
+    });
+}
+
+/// `top_k` over the published filters: after sync, the returned counts
+/// must equal the per-key answers, be sorted descending (ties by key
+/// ascending), and contain no duplicate keys (each key is owned by exactly
+/// one shard).
+#[test]
+fn top_k_is_sorted_exact_and_duplicate_free() {
+    let (stream, _) = workload(30_000, 4_000, 1.2);
+    let mut rt = ConcurrentASketch::spawn(small_config(SHARDS), |i| {
+        ASketch::new(VectorFilter::new(FILTER_ITEMS), cms(61 ^ i as u64))
+    });
+    rt.insert_batch(&stream);
+    rt.sync();
+    let handle = rt.query_handle();
+    let top = handle.top_k(16);
+    assert!(!top.is_empty(), "hot keys must populate the filters");
+    assert!(top.len() <= 16);
+    let mut seen = std::collections::HashSet::new();
+    for pair in top.windows(2) {
+        assert!(
+            pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+            "top-k order violated: {pair:?}"
+        );
+    }
+    for &(key, count) in &top {
+        assert!(seen.insert(key), "duplicate key {key} across shards");
+        assert_eq!(
+            count,
+            handle.estimate(key),
+            "top-k count diverges from the point query for {key}"
+        );
+    }
+}
+
 /// Staleness contract on an insert-only stream: a snapshot read never
 /// under-reports the last published epoch's state for a hot key (reads are
 /// monotone across publishes), and never over-reports the true final count
