@@ -49,7 +49,7 @@ use std::time::Instant;
 use asketch::filter::{FilterKind, VectorFilter};
 use asketch::{ASketch, AsketchBuilder, DurabilityOptions, FsyncPolicy};
 use asketch_durable::recover_kernel;
-use asketch_parallel::{hash_shards, ConcurrentASketch, ConcurrentConfig, SpmdGroup};
+use asketch_parallel::{hash_shards, ConcurrentASketch, ConcurrentConfig, DataPlane, SpmdGroup};
 use eval_metrics::{observed_error_pct, EstimatePair};
 use sketches::{BlockedCountMin, BlockedCountMin32, CountMin, Fcm, FrequencyEstimator};
 use streamgen::{query, ExactCounter, StreamSpec};
@@ -249,6 +249,7 @@ fn write_json(
     stream_len: usize,
     distinct: u64,
     results: &[RunResult],
+    spine: &[SpineRow],
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -276,6 +277,20 @@ fn write_json(
             json_f64(r.updates_per_ms),
             r.estimate_p50_ns,
             r.estimate_p99_ns,
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"spine\": [\n");
+    for (i, s) in spine.iter().enumerate() {
+        let comma = if i + 1 < spine.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"plane\": \"{}\", \"shards\": {}, \"router_batch\": {}, \
+             \"updates_per_ms\": {}}}{comma}",
+            s.plane,
+            s.shards,
+            s.router_batch,
+            json_f64(s.updates_per_ms),
         );
     }
     out.push_str("  ]\n}\n");
@@ -1053,6 +1068,12 @@ struct RecoveryRow {
     skew: f64,
     keys: u64,
     ingest_updates_per_ms: f64,
+    /// Per-chunk insert latency over the ingest pass that won best
+    /// throughput, in microseconds (chunk = 4096 keys). Group commit and
+    /// deferred fsync exist to flatten the *tail*, so the sweep records
+    /// it, not just the mean implied by updates/ms.
+    ingest_p50_us: f64,
+    ingest_p99_us: f64,
     recover_ms: f64,
     recovered_keys: u64,
     replay_keys_per_ms: f64,
@@ -1067,7 +1088,11 @@ struct RecoveryRow {
 fn recovery_ingest(
     stream: &[u64],
     opts: Option<&DurabilityOptions>,
-) -> (f64, Option<ConcurrentASketch<VectorFilter, CountMin>>) {
+) -> (
+    f64,
+    (f64, f64),
+    Option<ConcurrentASketch<VectorFilter, CountMin>>,
+) {
     let mut cfg = conc_config(RECOVERY_SHARDS);
     cfg.batch = RECOVERY_BATCH;
     // Checkpoints feed the background snapshotter whole-kernel clones;
@@ -1084,8 +1109,11 @@ fn recovery_ingest(
                 .0
         }
     };
+    let mut chunk_ns: Vec<u64> = Vec::with_capacity(stream.len() / 4096 + 1);
     for part in stream.chunks(4096) {
+        let tc = Instant::now();
         rt.insert_batch(part);
+        chunk_ns.push(tc.elapsed().as_nanos() as u64);
     }
     rt.sync();
     if opts.is_some() {
@@ -1093,11 +1121,14 @@ fn recovery_ingest(
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let per_ms = stream.len() as f64 / (elapsed * 1e3);
+    chunk_ns.sort_unstable();
+    let p50_us = chunk_ns[chunk_ns.len() / 2] as f64 / 1e3;
+    let p99_us = chunk_ns[(chunk_ns.len() * 99 / 100).min(chunk_ns.len() - 1)] as f64 / 1e3;
     if opts.is_some() {
-        (per_ms, Some(rt))
+        (per_ms, (p50_us, p99_us), Some(rt))
     } else {
         drop(rt);
-        (per_ms, None)
+        (per_ms, (p50_us, p99_us), None)
     }
 }
 
@@ -1108,8 +1139,9 @@ fn run_recovery_one(
     stream: &[u64],
     dir: &std::path::Path,
 ) -> RecoveryRow {
-    const MEASURE_PASSES: usize = 2;
+    const MEASURE_PASSES: usize = 3;
     let mut best = 0.0f64;
+    let mut best_lat = (0.0f64, 0.0f64);
     let mut recover_ms = 0.0f64;
     let mut recovered_keys = 0u64;
     let mut wal_records = 0u64;
@@ -1119,8 +1151,11 @@ fn run_recovery_one(
     for _ in 0..MEASURE_PASSES {
         let _ = std::fs::remove_dir_all(dir);
         let opts = fsync.map(|(_, policy)| DurabilityOptions::new(dir).fsync(policy));
-        let (per_ms, rt) = recovery_ingest(stream, opts.as_ref());
-        best = best.max(per_ms);
+        let (per_ms, lat, rt) = recovery_ingest(stream, opts.as_ref());
+        if per_ms > best {
+            best = per_ms;
+            best_lat = lat;
+        }
         let Some(rt) = rt else { continue };
         // Simulate the crash: drop without `finish`, so the final snapshot
         // is never written and recovery must replay the WAL suffix past
@@ -1162,6 +1197,8 @@ fn run_recovery_one(
         skew,
         keys: stream.len() as u64,
         ingest_updates_per_ms: best,
+        ingest_p50_us: best_lat.0,
+        ingest_p99_us: best_lat.1,
         recover_ms,
         recovered_keys,
         replay_keys_per_ms: replay_per_ms,
@@ -1180,7 +1217,8 @@ fn write_recovery_json(
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema_version\": 1,");
+    // v2: rows carry per-chunk ingest latency (ingest_p50_us/ingest_p99_us).
+    let _ = writeln!(out, "  \"schema_version\": 2,");
     let _ = writeln!(out, "  \"commit\": \"{}\",", git_commit());
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(
@@ -1196,7 +1234,8 @@ fn write_recovery_json(
         let _ = writeln!(
             out,
             "    {{\"mode\": \"{}\", \"fsync\": \"{}\", \"skew\": {}, \"keys\": {}, \
-             \"ingest_updates_per_ms\": {}, \"recover_ms\": {}, \
+             \"ingest_updates_per_ms\": {}, \"ingest_p50_us\": {}, \
+             \"ingest_p99_us\": {}, \"recover_ms\": {}, \
              \"recovered_keys\": {}, \"replay_keys_per_ms\": {}, \
              \"wal_records\": {}, \"replayed_keys\": {}, \"snapshot_keys\": {}}}{comma}",
             r.mode,
@@ -1204,6 +1243,8 @@ fn write_recovery_json(
             json_f64(r.skew),
             r.keys,
             json_f64(r.ingest_updates_per_ms),
+            json_f64(r.ingest_p50_us),
+            json_f64(r.ingest_p99_us),
             json_f64(r.recover_ms),
             r.recovered_keys,
             json_f64(r.replay_keys_per_ms),
@@ -1236,10 +1277,13 @@ fn run_recovery_sweep(smoke: bool, out_path: &str) {
     for (mode, fsync) in modes {
         let r = run_recovery_one(mode, fsync, SMOKE_SKEW, &stream, &dir);
         eprintln!(
-            "recovery mode={mode} fsync={}: ingest {:.0} updates/ms, recover \
+            "recovery mode={mode} fsync={}: ingest {:.0} updates/ms \
+             (chunk p50 {:.0}us p99 {:.0}us), recover \
              {:.1}ms ({} keys, {:.0} keys/ms replay, {} WAL records)",
             r.fsync,
             r.ingest_updates_per_ms,
+            r.ingest_p50_us,
+            r.ingest_p99_us,
             r.recover_ms,
             r.recovered_keys,
             r.replay_keys_per_ms,
@@ -1288,10 +1332,21 @@ fn validate_recovery(path: &str, max_overhead: f64, min_replay_ratio: f64) -> Re
             .parse()
             .map_err(|e| format!("bad replay_keys_per_ms: {e}"))?;
         let keys: u64 = get("keys")?.parse().map_err(|e| format!("bad keys: {e}"))?;
+        let p50: f64 = get("ingest_p50_us")?
+            .parse()
+            .map_err(|e| format!("bad ingest_p50_us: {e}"))?;
+        let p99: f64 = get("ingest_p99_us")?
+            .parse()
+            .map_err(|e| format!("bad ingest_p99_us: {e}"))?;
         get("wal_records")?;
         get("replayed_keys")?;
         if ingest <= 0.0 {
             return Err(format!("non-positive ingest_updates_per_ms: {line}"));
+        }
+        if p50 <= 0.0 || p99 < p50 {
+            return Err(format!(
+                "implausible ingest latency percentiles (p50 {p50}us, p99 {p99}us): {line}"
+            ));
         }
         match mode.as_str() {
             "baseline" => baseline = Some(ingest),
@@ -1336,6 +1391,143 @@ fn validate_recovery(path: &str, max_overhead: f64, min_replay_ratio: f64) -> Re
          recovered everywhere, worst replay ratio {worst_replay:.2}x >= {min_replay_ratio:.2}x",
         overhead.max(0.0) * 100.0,
         max_overhead * 100.0
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Ingest-spine sweep (ring vs channel data plane; `--validate-spine`)
+// ---------------------------------------------------------------------------
+
+/// Default floor for the ring data plane: on a multi-core host at least
+/// one (shards, router_batch) cell must ingest `>= 1.2x` the channel
+/// plane's rate. Single-core hosts serialize router and workers, so CI
+/// relaxes or skips this gate there (see `scripts/ci.sh`).
+const SPINE_MIN_RING_SPEEDUP: f64 = 1.2;
+
+/// One ingest run through the concurrent runtime with a given data plane.
+/// Rows are keyed `plane`/`router_batch` — deliberately NOT `batch_size`,
+/// so the batched-kernel validator and the regression comparator (both of
+/// which filter lines on that literal) skip them.
+struct SpineRow {
+    plane: &'static str,
+    shards: usize,
+    router_batch: usize,
+    updates_per_ms: f64,
+}
+
+/// Pure ingest (no reads, no durability) through the sharded runtime:
+/// the cost under test is the router→worker hop itself. Wall-clock
+/// includes the final `sync` barrier so every key is applied when the
+/// clock stops. Best of 2 passes.
+fn spine_ingest(plane: DataPlane, shards: usize, router_batch: usize, stream: &[u64]) -> f64 {
+    const MEASURE_PASSES: usize = 2;
+    let mut best = 0.0f64;
+    for _ in 0..MEASURE_PASSES {
+        let mut cfg = conc_config(shards);
+        cfg.batch = router_batch;
+        cfg.data_plane = plane;
+        let t0 = Instant::now();
+        let mut rt = ConcurrentASketch::spawn(cfg, |i| conc_kernel(i, shards));
+        for part in stream.chunks(4096) {
+            rt.insert_batch(part);
+        }
+        rt.sync();
+        let elapsed = t0.elapsed().as_secs_f64();
+        drop(rt);
+        best = best.max(stream.len() as f64 / (elapsed * 1e3));
+    }
+    best
+}
+
+/// Channel-vs-ring rows for the throughput artifact. Planes alternate
+/// within each (shards, router_batch) cell so both sides of a ratio see
+/// the same thermal/cache neighborhood.
+fn run_spine_sweep(smoke: bool) -> Vec<SpineRow> {
+    let stream_len = if smoke { 1 << 19 } else { 1 << 20 };
+    let spec = StreamSpec {
+        len: stream_len,
+        distinct: 1 << 16,
+        skew: SMOKE_SKEW,
+        seed: SEED,
+    };
+    let stream = spec.materialize();
+    let shard_counts: &[usize] = if smoke { &[2] } else { &[2, 4] };
+    let batches: &[usize] = &[256, 1024];
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        for &router_batch in batches {
+            for (plane, name) in [(DataPlane::Channel, "channel"), (DataPlane::Ring, "ring")] {
+                let per_ms = spine_ingest(plane, shards, router_batch, &stream);
+                eprintln!(
+                    "spine plane={name} shards={shards} router_batch={router_batch}: \
+                     {per_ms:.0} updates/ms"
+                );
+                rows.push(SpineRow {
+                    plane: name,
+                    shards,
+                    router_batch,
+                    updates_per_ms: per_ms,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Validate the spine rows inside `BENCH_throughput.json`: both planes
+/// present for every (shards, router_batch) cell, and the ring plane
+/// beating the channel plane by `min_ring_speedup` in at least one cell.
+fn validate_spine(path: &str, min_ring_speedup: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    // (shards, router_batch) -> (channel updates/ms, ring updates/ms)
+    let mut cells: std::collections::HashMap<String, (f64, f64)> = std::collections::HashMap::new();
+    let mut rows = 0usize;
+    for line in text.lines().filter(|l| l.contains("\"plane\"")) {
+        rows += 1;
+        let get =
+            |k: &str| field(line, k).ok_or_else(|| format!("spine row missing \"{k}\": {line}"));
+        let plane = get("plane")?.to_string();
+        let shards = get("shards")?.to_string();
+        let batch = get("router_batch")?.to_string();
+        let per_ms: f64 = get("updates_per_ms")?
+            .parse()
+            .map_err(|e| format!("bad updates_per_ms: {e}"))?;
+        if per_ms <= 0.0 {
+            return Err(format!("non-positive updates_per_ms: {line}"));
+        }
+        let cell = cells
+            .entry(format!("shards {shards} / router_batch {batch}"))
+            .or_insert((0.0, 0.0));
+        match plane.as_str() {
+            "channel" => cell.0 = per_ms,
+            "ring" => cell.1 = per_ms,
+            other => return Err(format!("unknown plane \"{other}\": {line}")),
+        }
+    }
+    if rows == 0 {
+        return Err("no spine rows (regenerate BENCH_throughput.json)".to_string());
+    }
+    let mut best = 0.0f64;
+    let mut best_cell = String::new();
+    for (key, &(channel, ring)) in &cells {
+        if channel <= 0.0 || ring <= 0.0 {
+            return Err(format!("cell \"{key}\" is missing a plane"));
+        }
+        if ring / channel > best {
+            best = ring / channel;
+            best_cell = key.clone();
+        }
+    }
+    if best < min_ring_speedup {
+        return Err(format!(
+            "ring/channel speedup {best:.2}x (best cell \"{best_cell}\") below \
+             required {min_ring_speedup:.2}x"
+        ));
+    }
+    println!(
+        "OK: {rows} spine rows, best ring/channel speedup {best:.2}x \
+         ({best_cell}) >= {min_ring_speedup:.2}x"
     );
     Ok(())
 }
@@ -1420,8 +1612,10 @@ fn main() {
     let mut validate_concurrent_path: Option<String> = None;
     let mut validate_layout_path: Option<String> = None;
     let mut validate_recovery_path: Option<String> = None;
+    let mut validate_spine_path: Option<String> = None;
     let mut regress_paths: Option<(String, String)> = None;
     let mut min_speedup = 1.5f64;
+    let mut min_ring_speedup = SPINE_MIN_RING_SPEEDUP;
     let mut min_scaling = 2.0f64;
     let mut min_layout_speedup = LAYOUT_MIN_SPEEDUP;
     let mut max_overhead = RECOVERY_MAX_OVERHEAD;
@@ -1479,6 +1673,19 @@ fn main() {
                         .clone(),
                 );
             }
+            "--validate-spine" => {
+                i += 1;
+                validate_spine_path =
+                    Some(args.get(i).expect("--validate-spine needs a path").clone());
+            }
+            "--min-ring-speedup" => {
+                i += 1;
+                min_ring_speedup = args
+                    .get(i)
+                    .expect("--min-ring-speedup needs a value")
+                    .parse()
+                    .expect("min-ring-speedup must be a number");
+            }
             "--max-overhead" => {
                 i += 1;
                 max_overhead = args
@@ -1532,6 +1739,7 @@ fn main() {
                      [--validate-concurrent FILE [--min-scaling X]] \
                      [--validate-layout FILE [--min-layout-speedup X]] \
                      [--validate-recovery FILE [--max-overhead X] [--min-replay-ratio X]] \
+                     [--validate-spine FILE [--min-ring-speedup X]] \
                      [--regress BASELINE FRESH [--tolerance X]]"
                 );
                 std::process::exit(2);
@@ -1563,6 +1771,15 @@ fn main() {
             Ok(()) => return,
             Err(e) => {
                 eprintln!("BENCH_recovery.json validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = validate_spine_path {
+        match validate_spine(&path, min_ring_speedup) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("ingest-spine validation failed: {e}");
                 std::process::exit(1);
             }
         }
@@ -1634,6 +1851,13 @@ fn main() {
         &[1, 64, 256, 1024]
     };
 
+    // Kernel rows first, spine rows after: the spine sweep saturates every
+    // core (shard workers + router), and running it ahead of the
+    // single-threaded kernel sweep measurably depresses the kernel rows on
+    // small hosts (hot core, scheduler debt) — the batched-vs-scalar gate
+    // then compares against a baseline that was measured cold.
+    let spine: Vec<SpineRow> = Vec::new();
+
     let mut results = Vec::new();
     for &skew in skews {
         let spec = StreamSpec {
@@ -1666,11 +1890,17 @@ fn main() {
                     results.push(r);
                     // Flush after every row: a panic mid-sweep keeps the
                     // finished rows in a well-formed partial artifact.
-                    write_json(&out_path, smoke, stream_len, distinct, &results)
+                    write_json(&out_path, smoke, stream_len, distinct, &results, &spine)
                         .expect("write results");
                 }
             }
         }
     }
-    eprintln!("wrote {out_path} ({} rows)", results.len());
+    let spine = run_spine_sweep(smoke);
+    write_json(&out_path, smoke, stream_len, distinct, &results, &spine).expect("write results");
+    eprintln!(
+        "wrote {out_path} ({} rows + {} spine rows)",
+        results.len(),
+        spine.len()
+    );
 }

@@ -46,4 +46,6 @@ pub use filter::{Filter, FilterItem, FilterKind};
 
 // Durability layer re-exports, so downstream code configures snapshots and
 // the WAL without a direct `asketch-durable` dependency.
-pub use asketch_durable::{DurabilityError, DurabilityOptions, FsyncPolicy, RecoveryReport};
+pub use asketch_durable::{
+    DurabilityError, DurabilityOptions, FsyncPolicy, GroupCommit, RecoveryReport,
+};

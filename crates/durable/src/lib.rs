@@ -45,7 +45,10 @@ pub use snapshot::{
     verify_snapshot_with, write_snapshot, write_snapshot_with, SnapshotMeta,
 };
 pub use vfs::{FaultKind, FaultPlan, FaultVfs, RealVfs, Vfs, VfsFile};
-pub use wal::{list_segments, replay, truncate_torn, FsyncPolicy, TornTail, WalScan, WalWriter};
+pub use wal::{
+    list_segments, replay, sync_segment_with, truncate_torn, FsyncPolicy, GroupCommit, TornTail,
+    WalScan, WalWriter,
+};
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -102,6 +105,11 @@ pub struct DurabilityOptions {
     pub dir: PathBuf,
     /// WAL fsync policy (default: [`FsyncPolicy::Interval`]`(32)`).
     pub fsync: FsyncPolicy,
+    /// WAL group-commit bounds: records are coalesced into one write and
+    /// the fsync policy is applied per flushed group (default: on, with
+    /// [`GroupCommit::default`] bounds; `None` = one write per record,
+    /// the pre-group-commit behaviour).
+    pub group_commit: Option<GroupCommit>,
     /// WAL segment roll threshold in bytes (default 8 MiB).
     pub segment_bytes: u64,
     /// Snapshots retained per shard after rotation (default 2).
@@ -125,6 +133,7 @@ impl std::fmt::Debug for DurabilityOptions {
         f.debug_struct("DurabilityOptions")
             .field("dir", &self.dir)
             .field("fsync", &self.fsync)
+            .field("group_commit", &self.group_commit)
             .field("segment_bytes", &self.segment_bytes)
             .field("snapshot_keep", &self.snapshot_keep)
             .field("dedup", &self.dedup)
@@ -140,6 +149,7 @@ impl DurabilityOptions {
         Self {
             dir: dir.into(),
             fsync: FsyncPolicy::Interval(32),
+            group_commit: Some(GroupCommit::default()),
             segment_bytes: 8 << 20,
             snapshot_keep: 2,
             dedup: true,
@@ -153,6 +163,13 @@ impl DurabilityOptions {
     #[must_use]
     pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
         self.fsync = policy;
+        self
+    }
+
+    /// Set (or disable, with `None`) WAL group-commit bounds.
+    #[must_use]
+    pub fn group_commit(mut self, gc: Option<GroupCommit>) -> Self {
+        self.group_commit = gc;
         self
     }
 

@@ -27,6 +27,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// An open writable file handle behind a [`Vfs`].
+// `len` here is a fallible size probe on a file handle, not a container
+// length — an `is_empty` counterpart would have no caller and no meaning.
+#[allow(clippy::len_without_is_empty)]
 pub trait VfsFile: Send {
     /// Write all of `buf` (or fail; a short write is an error).
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
@@ -34,6 +37,17 @@ pub trait VfsFile: Send {
     fn sync_data(&mut self) -> io::Result<()>;
     /// Truncate (or extend) the file to `len` bytes.
     fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Current byte length of the file, where the backend supports it.
+    /// The WAL writer uses this to re-verify the segment boundary after a
+    /// failed rollback before deciding to poison itself; backends that
+    /// cannot answer return `Unsupported`, which callers must treat
+    /// conservatively (as "boundary unknown").
+    fn len(&mut self) -> io::Result<u64> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "file length not supported by this backend",
+        ))
+    }
 }
 
 /// Object-safe storage backend: the full set of filesystem operations the
@@ -79,6 +93,9 @@ impl VfsFile for File {
     }
     fn set_len(&mut self, len: u64) -> io::Result<()> {
         File::set_len(self, len)
+    }
+    fn len(&mut self) -> io::Result<u64> {
+        self.metadata().map(|m| m.len())
     }
 }
 
@@ -433,6 +450,11 @@ impl VfsFile for FaultFile {
             None => self.inner.set_len(len),
             Some(kind) => Err(kind.error()),
         }
+    }
+    fn len(&mut self) -> io::Result<u64> {
+        // A pure read-side probe: never injected, so rollback
+        // re-verification observes what actually reached the backend.
+        self.inner.len()
     }
 }
 

@@ -6,13 +6,22 @@
 //! len   u32  — byte length of the body that follows
 //! body:
 //!   seq   u64  — monotone per-shard sequence number (one per batch)
-//!   count u32  — keys in this batch
-//!   keys  count × u64
+//!   count u32  — low 24 bits: keys in this batch;
+//!                high 8 bits: key width tag (0 = legacy 8-byte keys,
+//!                else 1/2/4/8 = bytes per key)
+//!   keys  count × width bytes (little-endian truncation of each u64)
 //! crc   u32  — CRC32C of the body
 //! ```
 //!
 //! One record per `insert_batch`/`ForwardBatch`; each key is an implicit
-//! `+1` (the only update the concurrent runtime ships). Segments are
+//! `+1` (the only update the concurrent runtime ships). Keys are packed
+//! at the *batch's* natural width — the smallest of 1/2/4/8 bytes that
+//! holds the batch's largest key — because the WAL's cost on the ingest
+//! path is dominated by byte volume (encode copy + CRC + `write` +
+//! fsync writeback), and real streams skew small. Full-range (hashed)
+//! keys pay nothing: the tag rides in a count byte that was always zero,
+//! and width 8 is the old layout. Tag 0 decodes as width 8, so segments
+//! written before packing replay unchanged. Segments are
 //! named `wal-<first_seq, zero-padded>.log`; the writer rolls to a new
 //! segment once the current one exceeds its byte target, so snapshot
 //! rotation can delete whole covered segments without rewriting.
@@ -30,6 +39,21 @@
 //! applied, everything after is ignored (and reported, so operators can
 //! tell tail-crash truncation from mid-log damage).
 //!
+//! ## Group commit
+//!
+//! With a [`GroupCommit`] config installed ([`WalWriter::set_group_commit`])
+//! the writer coalesces records: [`WalWriter::stage_record`] encodes into
+//! an in-memory group buffer (no I/O), and the group reaches the file as
+//! **one** `write_all` when it fills up (record-, byte-, or time-bounded)
+//! or at an explicit [`WalWriter::sync`] barrier. The fsync policy is
+//! then applied per *flushed group*, not per record — under
+//! [`FsyncPolicy::PerBatch`] that is one fsync per group, and under
+//! [`FsyncPolicy::Interval`] the fsync can additionally be *deferred* to
+//! a background syncer ([`WalWriter::take_deferred_sync`]) so ingest
+//! never waits on writeback. [`WalWriter::sync`] always flushes staged
+//! records first and fsyncs inline, so "acked after `sync` returned" still
+//! means durable — the ack protocol of the crash harness is unchanged.
+//!
 //! ## Fault safety
 //!
 //! All I/O goes through an injectable [`Vfs`] (the `_with` variants; the
@@ -38,13 +62,19 @@
 //! (write, with a `set_len` rollback on failure so a retry never leaves
 //! torn bytes mid-segment), [`WalWriter::policy_sync`] (fsync per
 //! policy), [`WalWriter::maybe_roll`] (segment roll) — because retrying a
-//! *combined* append after a failed fsync would duplicate the record. If
-//! the rollback itself fails the writer is **poisoned** and refuses all
+//! *combined* append after a failed fsync would duplicate the record. The
+//! grouped path keeps the same shape: a failed group flush rolls the
+//! segment back to the last complete-record boundary and keeps the staged
+//! bytes, so a retry rewrites the identical group. If the rollback itself
+//! fails the writer re-verifies the segment length ([`VfsFile::len`]) —
+//! only when the file verifiably sits off a record boundary (or its
+//! length cannot be read) is the writer **poisoned**, refusing all
 //! further appends: the segment tail may hold torn bytes, and anything
 //! appended after them would be unreachable by replay.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::crc32c::crc32c;
 use crate::error::{io_err, DurabilityError};
@@ -61,6 +91,32 @@ pub enum FsyncPolicy {
     Interval(u32),
     /// Never fsync from the writer; durability rides on OS writeback.
     Off,
+}
+
+/// Bounds for coalescing WAL records into a single vectored write plus an
+/// amortized fsync (see the module's *Group commit* section). A group is
+/// flushed when **any** bound is reached, or unconditionally at a
+/// [`WalWriter::sync`] barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommit {
+    /// Flush once this many records are staged (default 32).
+    pub max_records: u32,
+    /// Flush once the staged bytes reach this size (default 256 KiB) —
+    /// keeps the eventual fsync's writeback bill bounded.
+    pub max_bytes: usize,
+    /// Flush once the oldest staged record is this old (default 1 ms) —
+    /// bounds how long a trickle of records can sit unflushed.
+    pub max_delay: Duration,
+}
+
+impl Default for GroupCommit {
+    fn default() -> Self {
+        Self {
+            max_records: 32,
+            max_bytes: 256 << 10,
+            max_delay: Duration::from_millis(1),
+        }
+    }
 }
 
 fn segment_file_name(first_seq: u64) -> String {
@@ -98,6 +154,21 @@ pub struct WalWriter {
     /// Reused record-encoding buffer; appends run on the ingest ship
     /// path, so they must not allocate per record.
     scratch: Vec<u8>,
+    /// Group-commit bounds; `None` = every append writes immediately.
+    gc: Option<GroupCommit>,
+    /// Under `Interval` policy, hand due fsyncs to a background syncer
+    /// ([`WalWriter::take_deferred_sync`]) instead of blocking inline.
+    defer_interval_sync: bool,
+    /// Encoded-but-unwritten records, coalesced for one `write_all`.
+    group: Vec<u8>,
+    /// Records currently staged in `group`.
+    group_records: u32,
+    /// When the oldest staged record was staged (time bound).
+    group_since: Option<Instant>,
+    /// A deferred fsync is owed for the active segment.
+    sync_requested: bool,
+    /// Completed group flushes (gauge).
+    group_commits: u64,
 }
 
 impl std::fmt::Debug for WalWriter {
@@ -111,6 +182,8 @@ impl std::fmt::Debug for WalWriter {
             .field("last_seq", &self.last_seq)
             .field("dirty", &self.dirty)
             .field("poisoned", &self.poisoned)
+            .field("gc", &self.gc)
+            .field("group_records", &self.group_records)
             .finish_non_exhaustive()
     }
 }
@@ -161,6 +234,13 @@ impl WalWriter {
             dirty: false,
             poisoned: false,
             scratch: Vec::new(),
+            gc: None,
+            defer_interval_sync: false,
+            group: Vec::new(),
+            group_records: 0,
+            group_since: None,
+            sync_requested: false,
+            group_commits: 0,
         })
     }
 
@@ -173,6 +253,52 @@ impl WalWriter {
     /// writer refuses further appends.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// Install (or remove) group-commit bounds. With `defer_interval_sync`
+    /// set, due [`FsyncPolicy::Interval`] fsyncs are handed to
+    /// [`WalWriter::take_deferred_sync`] instead of blocking the appender.
+    pub fn set_group_commit(&mut self, gc: Option<GroupCommit>, defer_interval_sync: bool) {
+        self.gc = gc;
+        self.defer_interval_sync = defer_interval_sync;
+    }
+
+    /// Whether group commit is installed (drives the staged append path).
+    pub fn group_commit_enabled(&self) -> bool {
+        self.gc.is_some()
+    }
+
+    /// Records staged in the group buffer, not yet written.
+    pub fn staged_records(&self) -> u32 {
+        self.group_records
+    }
+
+    /// Completed group flushes so far (gauge).
+    pub fn group_commits(&self) -> u64 {
+        self.group_commits
+    }
+
+    /// Consume the pending deferred-fsync request, if one is owed. The
+    /// caller hands the active segment's path to a background syncer; an
+    /// inline [`WalWriter::sync`] barrier stays correct regardless (it
+    /// fsyncs the same file, at worst redundantly).
+    pub fn take_deferred_sync(&mut self) -> bool {
+        std::mem::take(&mut self.sync_requested)
+    }
+
+    /// Cut the segment back to the last complete-record boundary after a
+    /// failed (possibly short) write. If `set_len` itself fails, the
+    /// length is re-verified before poisoning: a write that put nothing
+    /// on disk leaves the boundary intact even when the rollback call
+    /// errors, and poisoning then would turn a retryable fault terminal.
+    fn rollback_to_boundary(&mut self) {
+        if self.file.set_len(self.segment_bytes).is_ok() {
+            return;
+        }
+        match self.file.len() {
+            Ok(len) if len == self.segment_bytes => {}
+            _ => self.poisoned = true,
+        }
     }
 
     /// Write one batch record — phase 1 of an append, without the policy
@@ -200,34 +326,143 @@ impl WalWriter {
                 path: self.path.clone(),
             });
         }
-        let record = &mut self.scratch;
-        record.clear();
-        record.reserve(4 + 12 + keys.len() * 8 + 4);
-        let body_len = (12 + keys.len() * 8) as u32;
-        record.extend_from_slice(&body_len.to_le_bytes());
-        record.extend_from_slice(&seq.to_le_bytes());
-        record.extend_from_slice(&(keys.len() as u32).to_le_bytes());
-        for &k in keys {
-            record.extend_from_slice(&k.to_le_bytes());
-        }
-        let crc = crc32c(&record[4..]);
-        record.extend_from_slice(&crc.to_le_bytes());
-
-        let record_len = record.len() as u64;
-        if let Err(e) = self.file.write_all(&self.scratch) {
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        encode_record(&mut scratch, seq, keys);
+        let record_len = scratch.len() as u64;
+        let wrote = self.file.write_all(&scratch);
+        self.scratch = scratch;
+        if let Err(e) = wrote {
             // A failed write_all may have persisted a prefix (short
             // write). Cut the segment back to the last complete record so
             // a retry — or a crash right now — never leaves torn bytes
             // that would orphan later records at replay.
-            if self.file.set_len(self.segment_bytes).is_err() {
-                self.poisoned = true;
-            }
+            self.rollback_to_boundary();
             return Err(io_err("append wal record", &self.path)(e));
         }
         self.segment_bytes += record_len;
         self.last_seq = seq;
         self.dirty = true;
         Ok(())
+    }
+
+    /// Encode one batch record into the group buffer without touching the
+    /// file — phase 1 of a *grouped* append. No I/O happens, so there is
+    /// nothing to retry; the record reaches the segment via
+    /// [`WalWriter::flush_due`] or the [`WalWriter::sync`] barrier.
+    ///
+    /// # Errors
+    /// `Poisoned` only (see [`WalWriter::append_record`]).
+    ///
+    /// # Panics
+    /// Debug-asserts sequence monotonicity — a caller bug, not a runtime
+    /// condition.
+    pub fn stage_record(&mut self, seq: u64, keys: &[u64]) -> Result<(), DurabilityError> {
+        debug_assert!(seq > self.last_seq, "WAL sequence must be monotone");
+        if self.poisoned {
+            return Err(DurabilityError::Poisoned {
+                path: self.path.clone(),
+            });
+        }
+        encode_record(&mut self.group, seq, keys);
+        self.group_records += 1;
+        if self.group_since.is_none() {
+            self.group_since = Some(Instant::now());
+        }
+        self.last_seq = seq;
+        Ok(())
+    }
+
+    /// Whether the staged group has reached any flush bound.
+    fn group_due(&self) -> bool {
+        if self.group_records == 0 {
+            return false;
+        }
+        let Some(gc) = self.gc else { return true };
+        self.group_records >= gc.max_records.max(1)
+            || self.group.len() >= gc.max_bytes.max(1)
+            || self
+                .group_since
+                .is_some_and(|t| t.elapsed() >= gc.max_delay)
+    }
+
+    /// Write the staged group to the segment as one coalesced `write_all`.
+    fn flush_group(&mut self) -> Result<(), DurabilityError> {
+        if self.group.is_empty() {
+            return Ok(());
+        }
+        if self.poisoned {
+            return Err(DurabilityError::Poisoned {
+                path: self.path.clone(),
+            });
+        }
+        if let Err(e) = self.file.write_all(&self.group) {
+            // Keep the staged bytes: after the rollback restores the
+            // boundary, a retry rewrites the identical group.
+            self.rollback_to_boundary();
+            return Err(io_err("flush wal commit group", &self.path)(e));
+        }
+        self.segment_bytes += self.group.len() as u64;
+        self.since_sync = self.since_sync.saturating_add(self.group_records);
+        self.group.clear();
+        self.group_records = 0;
+        self.group_since = None;
+        self.dirty = true;
+        self.group_commits += 1;
+        Ok(())
+    }
+
+    /// Flush the staged group if any bound is reached — phase 2 of a
+    /// grouped append. Safe to retry: a failed flush rolls the segment
+    /// back and keeps the staged bytes (a retry rewrites the identical
+    /// group); after a successful flush the group is empty and a repeat
+    /// call is a no-op.
+    ///
+    /// # Errors
+    /// I/O failures writing (rolled back), or `Poisoned`.
+    pub fn flush_due(&mut self) -> Result<(), DurabilityError> {
+        if self.group_due() {
+            self.flush_group()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Apply the fsync policy to flushed-but-unsynced groups — phase 3 of
+    /// a grouped append, the group-commit analogue of
+    /// [`WalWriter::policy_sync`]. Sync accounting is per flushed
+    /// *record* (tracked by the flush itself), so `Interval(n)` keeps its
+    /// meaning: at most `n - 1` acked records can be lost to a crash.
+    /// Idempotent and safe to retry.
+    ///
+    /// # Errors
+    /// The fsync failure, if any.
+    pub fn group_policy_sync(&mut self) -> Result<(), DurabilityError> {
+        match self.policy {
+            // Durability point = the group flush: records still staged
+            // have not been acked as flushed yet, so nothing to fsync.
+            FsyncPolicy::PerBatch => {
+                if self.group.is_empty() {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Interval(n) => {
+                if self.since_sync >= n.max(1) {
+                    if self.defer_interval_sync {
+                        self.sync_requested = true;
+                        self.since_sync = 0;
+                        Ok(())
+                    } else {
+                        self.sync()
+                    }
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Off => Ok(()),
+        }
     }
 
     /// Apply the fsync policy after an appended record — phase 2 of an
@@ -278,12 +513,16 @@ impl WalWriter {
         self.maybe_roll()
     }
 
-    /// Fsync outstanding appends regardless of policy. After this returns,
-    /// every appended record survives a crash.
+    /// Flush any staged group and fsync outstanding appends regardless of
+    /// policy. After this returns, every appended *and staged* record
+    /// survives a crash — this is the ack barrier the checkpoint protocol
+    /// relies on, and it holds verbatim under group commit.
     ///
     /// # Errors
-    /// The fsync failure, if any.
+    /// I/O failures flushing the staged group (rolled back, retryable) or
+    /// the fsync failure, if any.
     pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.flush_group()?;
         if self.dirty {
             self.file
                 .sync_data()
@@ -334,6 +573,65 @@ impl WalWriter {
             }
         }
     }
+}
+
+/// Smallest of 1/2/4/8 bytes that holds every key in the batch.
+fn key_width(keys: &[u64]) -> usize {
+    let max = keys.iter().copied().max().unwrap_or(0);
+    if max < 1 << 8 {
+        1
+    } else if max < 1 << 16 {
+        2
+    } else if max < 1 << 32 {
+        4
+    } else {
+        8
+    }
+}
+
+/// Encode one record (`len | body | crc`, see module docs) onto `buf`,
+/// packing keys at the batch's natural width.
+fn encode_record(buf: &mut Vec<u8>, seq: u64, keys: &[u64]) {
+    debug_assert!(keys.len() < 1 << 24, "batch count must fit in 24 bits");
+    let width = key_width(keys);
+    buf.reserve(4 + 12 + keys.len() * width + 4);
+    let start = buf.len();
+    let body_len = (12 + keys.len() * width) as u32;
+    buf.extend_from_slice(&body_len.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    let tagged = keys.len() as u32 | (width as u32) << 24;
+    buf.extend_from_slice(&tagged.to_le_bytes());
+    // Fixed-width store loops (not a per-key `extend_from_slice` of a
+    // runtime-length slice): each arm compiles to straight-line stores
+    // the autovectorizer can chew on, and encode cost is the WAL's main
+    // CPU on the ingest path.
+    let at = buf.len();
+    buf.resize(at + keys.len() * width, 0);
+    let out = &mut buf[at..];
+    match width {
+        1 => {
+            for (o, &k) in out.iter_mut().zip(keys) {
+                *o = k as u8;
+            }
+        }
+        2 => {
+            for (o, &k) in out.chunks_exact_mut(2).zip(keys) {
+                o.copy_from_slice(&(k as u16).to_le_bytes());
+            }
+        }
+        4 => {
+            for (o, &k) in out.chunks_exact_mut(4).zip(keys) {
+                o.copy_from_slice(&(k as u32).to_le_bytes());
+            }
+        }
+        _ => {
+            for (o, &k) in out.chunks_exact_mut(8).zip(keys) {
+                o.copy_from_slice(&k.to_le_bytes());
+            }
+        }
+    }
+    let crc = crc32c(&buf[start + 4..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
 }
 
 /// One decoded WAL record.
@@ -417,13 +715,22 @@ fn scan_segment_bytes(
             scan.torn = Some(torn("record checksum mismatch"));
             return Ok(false);
         }
-        let (Some(seq), Some(count)) = (le_u64(body, 0), le_u32(body, 8)) else {
+        let (Some(seq), Some(tagged)) = (le_u64(body, 0), le_u32(body, 8)) else {
             // Unreachable given body_len >= 12, but checked, not assumed.
             scan.torn = Some(torn("record header cut short"));
             return Ok(false);
         };
-        let count = count as usize;
-        if body_len != 12 + count * 8 {
+        let count = (tagged & 0x00FF_FFFF) as usize;
+        // Width tag 0 = segments written before key packing (always u64).
+        let width = match tagged >> 24 {
+            0 | 8 => 8usize,
+            w @ (1 | 2 | 4) => w as usize,
+            _ => {
+                scan.torn = Some(torn("record key width invalid"));
+                return Ok(false);
+            }
+        };
+        if body_len != 12 + count * width {
             scan.torn = Some(torn("record count disagrees with length"));
             return Ok(false);
         }
@@ -437,11 +744,14 @@ fn scan_segment_bytes(
         keys.clear();
         keys.reserve(count);
         for i in 0..count {
-            let Some(k) = le_u64(body, 12 + i * 8) else {
+            let at = 12 + i * width;
+            let Some(raw) = body.get(at..at + width) else {
                 scan.torn = Some(torn("record key cut short"));
                 return Ok(false);
             };
-            keys.push(k);
+            let mut le = [0u8; 8];
+            le[..width].copy_from_slice(raw);
+            keys.push(u64::from_le_bytes(le));
         }
         apply(seq, &keys);
         scan.records += 1;
@@ -492,6 +802,30 @@ pub fn truncate_torn_with(
         }
     }
     Ok(())
+}
+
+/// Fsync `path` through a fresh handle — the background WAL syncer's
+/// whole job when [`WalWriter::take_deferred_sync`] hands it a segment.
+/// `fdatasync` flushes the inode's dirty pages regardless of which file
+/// descriptor wrote them, so syncing through a second handle makes the
+/// writer's appended bytes durable without sharing the writer's handle
+/// across threads.
+///
+/// Returns `Ok(false)` when the segment no longer exists (rolled and
+/// pruned between the request and the sync): nothing left to make
+/// durable.
+///
+/// # Errors
+/// Open or fsync failures (other than the segment being gone).
+pub fn sync_segment_with(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<bool, DurabilityError> {
+    let mut file = match vfs.open_write(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(io_err("open wal segment for background sync", path)(e)),
+    };
+    file.sync_data()
+        .map_err(io_err("fsync wal segment in background", path))?;
+    Ok(true)
 }
 
 /// All WAL segments in `dir`, sorted by first sequence number.
@@ -616,6 +950,53 @@ mod tests {
         assert!(scan.torn.is_none());
         assert_eq!(recs[4].seq, 5);
         assert_eq!(recs[4].keys, vec![0, 1, 2, 3, 4]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_packing_round_trips_every_width_and_legacy_records() {
+        let dir = tmp_dir("packwidth");
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::Off, 1 << 20).unwrap();
+        // One batch per width class, plus a mixed batch sized by its max.
+        let batches: [Vec<u64>; 5] = [
+            vec![0, 1, 255],
+            vec![256, 65_535],
+            vec![65_536, u64::from(u32::MAX)],
+            vec![1 << 32, u64::MAX],
+            vec![3, 7, 1 << 40],
+        ];
+        for (i, keys) in batches.iter().enumerate() {
+            w.append(i as u64 + 1, keys).unwrap();
+        }
+        w.sync().unwrap();
+        // Byte check: the width-2 batch spent 2 bytes per key, not 8.
+        let mut two = Vec::new();
+        encode_record(&mut two, 99, &batches[1]);
+        assert_eq!(two.len(), 4 + 12 + 2 * 2 + 4);
+        // Legacy record (width tag 0, 8-byte keys) appended raw to the
+        // segment: replay must decode it exactly as before packing.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let legacy_keys = [0x5EED_2016_0000u64, 42];
+        let mut legacy = Vec::new();
+        let body_len = (12 + legacy_keys.len() * 8) as u32;
+        legacy.extend_from_slice(&body_len.to_le_bytes());
+        legacy.extend_from_slice(&6u64.to_le_bytes());
+        legacy.extend_from_slice(&(legacy_keys.len() as u32).to_le_bytes());
+        for k in legacy_keys {
+            legacy.extend_from_slice(&k.to_le_bytes());
+        }
+        let crc = crc32c(&legacy[4..]);
+        legacy.extend_from_slice(&crc.to_le_bytes());
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&legacy);
+        fs::write(&path, bytes).unwrap();
+        let (recs, scan) = collect(&dir);
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.records, 6);
+        for (i, keys) in batches.iter().enumerate() {
+            assert_eq!(&recs[i].keys, keys, "width class {i} round-trips");
+        }
+        assert_eq!(recs[5].keys, legacy_keys.to_vec());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -830,6 +1211,239 @@ mod tests {
         assert_eq!(
             scan.torn.expect("reported, not panicked").reason,
             "record checksum mismatch"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Drive one staged append the way the concurrent runtime does:
+    /// stage, flush-if-due, policy sync.
+    fn staged_append(w: &mut WalWriter, seq: u64, keys: &[u64]) {
+        w.stage_record(seq, keys).unwrap();
+        w.flush_due().unwrap();
+        w.group_policy_sync().unwrap();
+        w.maybe_roll().unwrap();
+    }
+
+    #[test]
+    fn group_commit_coalesces_writes_and_replays_identically() {
+        let dir = tmp_dir("group");
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::Interval(4), 1 << 20).unwrap();
+        w.set_group_commit(
+            Some(GroupCommit {
+                max_records: 4,
+                max_bytes: 1 << 20,
+                max_delay: Duration::from_secs(3600),
+            }),
+            false,
+        );
+        for seq in 1..=10u64 {
+            let keys: Vec<u64> = (0..seq).collect();
+            staged_append(&mut w, seq, &keys);
+        }
+        // 10 records at 4/group: two full groups flushed, 2 staged.
+        assert_eq!(w.group_commits(), 2);
+        assert_eq!(w.staged_records(), 2);
+        // The sync barrier flushes the remainder and fsyncs.
+        w.sync().unwrap();
+        assert_eq!(w.staged_records(), 0);
+        let (recs, scan) = collect(&dir);
+        assert_eq!(scan.records, 10);
+        assert_eq!(scan.keys, 55);
+        assert!(scan.torn.is_none());
+        assert_eq!(recs[4].seq, 5);
+        assert_eq!(recs[4].keys, vec![0, 1, 2, 3, 4]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_per_batch_fsyncs_once_per_group() {
+        let dir = tmp_dir("group-pb");
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::PerBatch, 1 << 20).unwrap();
+        w.set_group_commit(
+            Some(GroupCommit {
+                max_records: 3,
+                max_bytes: 1 << 20,
+                max_delay: Duration::from_secs(3600),
+            }),
+            false,
+        );
+        for seq in 1..=3u64 {
+            staged_append(&mut w, seq, &[seq]);
+        }
+        // Group flushed on the 3rd record and fsynced by the policy.
+        assert_eq!(w.group_commits(), 1);
+        assert!(!w.dirty, "PerBatch policy fsynced the flushed group");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_defers_interval_fsync_to_background_syncer() {
+        let dir = tmp_dir("group-defer");
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::Interval(2), 1 << 20).unwrap();
+        w.set_group_commit(
+            Some(GroupCommit {
+                max_records: 2,
+                max_bytes: 1 << 20,
+                max_delay: Duration::from_secs(3600),
+            }),
+            true,
+        );
+        staged_append(&mut w, 1, &[1]);
+        assert!(!w.take_deferred_sync(), "interval not reached yet");
+        staged_append(&mut w, 2, &[2]);
+        assert!(w.take_deferred_sync(), "due fsync handed to the syncer");
+        assert!(!w.take_deferred_sync(), "request is consumed");
+        assert!(w.dirty, "deferred: the appender did not fsync inline");
+        // The inline barrier is still a barrier.
+        w.sync().unwrap();
+        assert!(!w.dirty);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_during_group_commit_rolls_back_and_retries() {
+        let dir = tmp_dir("group-short");
+        // Write ops: op 0 = first group flush (short write), op 1 = the
+        // rollback set_len (healthy), op 2 = the retried flush.
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::over_real(
+            FaultPlan::new(7).fail_once(FaultKind::ShortWrite, 0),
+        ));
+        let mut w =
+            WalWriter::create_with(Arc::clone(&vfs), &dir, 0, FsyncPolicy::Off, 1 << 20).unwrap();
+        w.set_group_commit(
+            Some(GroupCommit {
+                max_records: 2,
+                max_bytes: 1 << 20,
+                max_delay: Duration::from_secs(3600),
+            }),
+            false,
+        );
+        w.stage_record(1, &[11, 12]).unwrap();
+        w.stage_record(2, &[21, 22]).unwrap();
+        let err = w.flush_due().unwrap_err();
+        assert!(err.is_retryable(), "short write is a retryable I/O fault");
+        assert!(!w.is_poisoned(), "rollback succeeded");
+        assert_eq!(w.staged_records(), 2, "staged group survives the failure");
+        // The retry rewrites the identical group; replay sees no tear.
+        w.flush_due().unwrap();
+        w.sync().unwrap();
+        let (recs, scan) = collect(&dir);
+        assert!(scan.torn.is_none(), "no torn bytes mid-segment");
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(recs[1].keys, vec![21, 22]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_rollback_with_intact_boundary_does_not_poison() {
+        let dir = tmp_dir("group-reverify");
+        // Op 0: the group flush fails with EIO (nothing persisted).
+        // Op 1: the rollback set_len *also* fails — but the file is still
+        // exactly at the record boundary, which the length re-check
+        // observes, so the writer must stay usable instead of poisoning.
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::over_real(
+            FaultPlan::new(7)
+                .fail_once(FaultKind::Eio, 0)
+                .fail_once(FaultKind::Eio, 1),
+        ));
+        let mut w =
+            WalWriter::create_with(Arc::clone(&vfs), &dir, 0, FsyncPolicy::Off, 1 << 20).unwrap();
+        w.set_group_commit(Some(GroupCommit::default()), false);
+        w.stage_record(1, &[11]).unwrap();
+        assert!(w.sync().is_err(), "flush fails, rollback fails");
+        assert!(
+            !w.is_poisoned(),
+            "boundary re-verified intact: retryable, not terminal"
+        );
+        w.sync().unwrap();
+        let (recs, scan) = collect(&dir);
+        assert!(scan.torn.is_none());
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_rollback_with_torn_bytes_still_poisons() {
+        let dir = tmp_dir("group-poison");
+        // Op 0: short write persists half the group. Op 1: the rollback
+        // set_len fails. The length re-check sees the file off the
+        // boundary — torn bytes are really on disk — so the writer must
+        // poison and refuse to ack anything further.
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::over_real(
+            FaultPlan::new(7)
+                .fail_once(FaultKind::ShortWrite, 0)
+                .fail_once(FaultKind::Eio, 1),
+        ));
+        let mut w =
+            WalWriter::create_with(Arc::clone(&vfs), &dir, 0, FsyncPolicy::Off, 1 << 20).unwrap();
+        w.set_group_commit(Some(GroupCommit::default()), false);
+        w.stage_record(1, &[11, 12, 13]).unwrap();
+        assert!(w.sync().is_err());
+        assert!(w.is_poisoned(), "torn bytes on disk: terminal");
+        let err = w.stage_record(2, &[22]).unwrap_err();
+        assert!(matches!(err, DurabilityError::Poisoned { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_byte_and_delay_bounds_trigger_flushes() {
+        let dir = tmp_dir("group-bounds");
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::Off, 1 << 20).unwrap();
+        // Byte bound: one record (> 8 bytes) trips it immediately.
+        w.set_group_commit(
+            Some(GroupCommit {
+                max_records: 1000,
+                max_bytes: 8,
+                max_delay: Duration::from_secs(3600),
+            }),
+            false,
+        );
+        w.stage_record(1, &[1]).unwrap();
+        w.flush_due().unwrap();
+        assert_eq!(w.group_commits(), 1, "byte bound flushed");
+        // Delay bound of zero: any staged record is immediately due.
+        w.set_group_commit(
+            Some(GroupCommit {
+                max_records: 1000,
+                max_bytes: 1 << 20,
+                max_delay: Duration::ZERO,
+            }),
+            false,
+        );
+        w.stage_record(2, &[2]).unwrap();
+        w.flush_due().unwrap();
+        assert_eq!(w.group_commits(), 2, "delay bound flushed");
+        w.sync().unwrap();
+        let (recs, scan) = collect(&dir);
+        assert!(scan.torn.is_none());
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1, 2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn roll_flushes_staged_group_into_the_old_segment() {
+        let dir = tmp_dir("group-roll");
+        // Tiny segment target so the roll triggers right away.
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::Off, 32).unwrap();
+        w.set_group_commit(
+            Some(GroupCommit {
+                max_records: 2,
+                max_bytes: 1 << 20,
+                max_delay: Duration::from_secs(3600),
+            }),
+            false,
+        );
+        for seq in 1..=6u64 {
+            staged_append(&mut w, seq, &[seq]);
+        }
+        w.sync().unwrap();
+        assert!(list_segments(&dir).unwrap().len() >= 2, "rolling happened");
+        let (recs, scan) = collect(&dir);
+        assert!(scan.torn.is_none());
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            (1..=6).collect::<Vec<_>>(),
+            "no record landed in a segment named past its sequence"
         );
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -98,6 +98,29 @@ pub struct ShardGauge {
     pub scrub_corruptions: u64,
     /// Corrupt snapshots the scrubber renamed to `.corrupt`.
     pub snapshots_quarantined: u64,
+    /// Which data plane carries batches to this shard's worker:
+    /// `"ring"` (lock-free SPSC ring, channel kept for control) or
+    /// `"channel"` (everything over the supervised crossbeam channel).
+    /// Empty for gauges predating the two-plane split.
+    #[serde(default)]
+    pub data_plane: String,
+    /// Batches currently resident in the SPSC ring (0 on the channel
+    /// plane; a subset of `queue_depth`, which also counts spilled and
+    /// control-plane batches).
+    #[serde(default)]
+    pub ring_depth: usize,
+    /// WAL commit groups flushed by this shard (each coalesces one or
+    /// more staged records into a single vectored write).
+    #[serde(default)]
+    pub wal_group_commits: u64,
+    /// Interval-policy fsyncs handed to the background WAL syncer thread
+    /// instead of blocking the worker.
+    #[serde(default)]
+    pub wal_deferred_fsyncs: u64,
+    /// Core this shard's worker successfully pinned itself to, `None`
+    /// when pinning is off, unsupported, or failed (best-effort).
+    #[serde(default)]
+    pub pinned_core: Option<usize>,
 }
 
 impl ShardGauge {
@@ -219,6 +242,16 @@ impl ShardedHealth {
     /// Total keys replayed from WALs at spawn, across shards.
     pub fn total_replayed_keys(&self) -> u64 {
         self.shards.iter().map(|s| s.replayed_keys).sum()
+    }
+
+    /// Total WAL commit groups flushed across shards.
+    pub fn total_group_commits(&self) -> u64 {
+        self.shards.iter().map(|s| s.wal_group_commits).sum()
+    }
+
+    /// Total fsyncs deferred to the background WAL syncer across shards.
+    pub fn total_deferred_fsyncs(&self) -> u64 {
+        self.shards.iter().map(|s| s.wal_deferred_fsyncs).sum()
     }
 
     /// Highest queue occupancy across shards (hot-shard indicator under

@@ -77,27 +77,56 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{
-    self, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
+    self, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TryRecvError, TrySendError,
 };
 
 use asketch::{ASketch, DurabilityError, DurabilityOptions, Filter, FilterItem, RecoveryReport};
 use asketch_durable::snapshot::{prune_snapshots_with, write_snapshot_with, SnapshotMeta};
 use asketch_durable::vfs::Vfs;
-use asketch_durable::wal::list_segments_with;
+use asketch_durable::wal::{list_segments_with, sync_segment_with};
 use asketch_durable::{
-    recover_kernel_with, scrub_shard_dir, ScrubReport, StoragePolicy, WalWriter,
+    recover_kernel_with, scrub_shard_dir, FsyncPolicy, ScrubReport, StoragePolicy, WalWriter,
 };
 use eval_metrics::{ShardGauge, ShardedHealth, StorageFault};
 use sketches::persist::Persist;
 use sketches::traits::{FrequencyEstimator, Tuple, UpdateEstimate};
 use sketches::SharedView;
 
+use crate::affinity;
+use crate::ring;
 use crate::router::KeyRouter;
 use crate::seqlock::FilterSnapshot;
 use crate::spmd::KeyPartition;
 use crate::supervisor::{
     panic_message, BackpressurePolicy, Journal, PipelineError, SupervisionConfig,
 };
+
+/// Which transport carries data batches from the router to each shard
+/// worker (the **hot path**). Control messages (sync barriers, shutdown
+/// via disconnect) always ride the supervised crossbeam channel — the
+/// cold control plane — so supervision semantics are identical on both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataPlane {
+    /// Bounded lock-free SPSC ring per shard ([`crate::ring`]):
+    /// cache-padded head/tail, park/unpark only on empty↔full
+    /// transitions. The default — measurably faster than the channel on
+    /// multi-core hosts.
+    #[default]
+    Ring,
+    /// Everything over the crossbeam channel (the pre-ring behaviour);
+    /// kept for comparison benchmarks and as a conservative fallback.
+    Channel,
+}
+
+impl DataPlane {
+    /// Stable gauge/CLI name: `"ring"` or `"channel"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataPlane::Ring => "ring",
+            DataPlane::Channel => "channel",
+        }
+    }
+}
 
 /// Tunables for the concurrent sharded runtime.
 #[derive(Debug, Clone)]
@@ -112,6 +141,13 @@ pub struct ConcurrentConfig {
     /// publish copies the whole counter table, so it runs coarser than the
     /// 32-item filter publish).
     pub view_interval: u64,
+    /// Transport for data batches: SPSC ring (default) or the channel.
+    pub data_plane: DataPlane,
+    /// Pin each shard worker to core `shard % cores` and herd background
+    /// threads (snapshotter, scrubber, WAL syncer) onto the last core.
+    /// Best-effort (see [`crate::affinity`]); off by default so CI
+    /// containers with masked cpusets behave identically.
+    pub pin_workers: bool,
     /// Channel, journal, backpressure, restart, and timeout parameters,
     /// shared with the pipeline runtime.
     pub supervision: SupervisionConfig,
@@ -124,6 +160,8 @@ impl Default for ConcurrentConfig {
             batch: 256,
             publish_interval: 1024,
             view_interval: 8192,
+            data_plane: DataPlane::default(),
+            pin_workers: false,
             supervision: SupervisionConfig::default(),
         }
     }
@@ -275,11 +313,80 @@ enum FromShard<K> {
     Checkpoint { seq: u64, snapshot: K },
 }
 
+/// One data-plane batch on the SPSC ring: the journal sequence plus the
+/// shard-owned keys (exactly `ToShard::Batch`, unboxed for the ring).
+type RingBatch = (u64, Vec<u64>);
+
 /// Channel endpoints and join handle of one live shard worker.
+///
+/// Two planes: when `ring` is installed ([`DataPlane::Ring`]) data
+/// batches ride the lock-free SPSC ring and the crossbeam channel
+/// carries only control traffic (sync barriers; shutdown is the channel
+/// disconnecting). On [`DataPlane::Channel`] everything uses `tx`.
 struct ShardLink<K> {
     tx: Sender<ToShard>,
+    /// Producer half of the data ring (`None` on the channel plane).
+    ring: Option<ring::Producer<RingBatch>>,
+    /// Bound of the data plane actually in use (ring capacity rounds up
+    /// to a power of two, so this can exceed the configured capacity).
+    capacity: usize,
     rx: Receiver<FromShard<K>>,
     handle: JoinHandle<K>,
+}
+
+impl<K> ShardLink<K> {
+    /// Non-blocking send on the data plane. Ring-full is reported as
+    /// `Full`; a full ring whose worker has already exited is reported as
+    /// `Disconnected` (the ring itself has no disconnect notion — the
+    /// thread handle is the liveness source of truth).
+    fn try_send_data(&self, msg: ToShard) -> Result<(), TrySendError<ToShard>> {
+        match (&self.ring, msg) {
+            (Some(rp), ToShard::Batch { seq, keys }) => match rp.try_push((seq, keys)) {
+                Ok(()) => Ok(()),
+                Err((seq, keys)) => {
+                    let msg = ToShard::Batch { seq, keys };
+                    if self.handle.is_finished() {
+                        Err(TrySendError::Disconnected(msg))
+                    } else {
+                        Err(TrySendError::Full(msg))
+                    }
+                }
+            },
+            (_, msg) => self.tx.try_send(msg),
+        }
+    }
+
+    /// Blocking send on the data plane with a wedge bound; same
+    /// `Timeout`/`Disconnected` classification as the channel.
+    fn send_data_timeout(
+        &self,
+        msg: ToShard,
+        timeout: Duration,
+    ) -> Result<(), SendTimeoutError<ToShard>> {
+        match (&self.ring, msg) {
+            (Some(rp), ToShard::Batch { seq, keys }) => match rp.push_timeout((seq, keys), timeout)
+            {
+                Ok(()) => Ok(()),
+                Err((seq, keys)) => {
+                    let msg = ToShard::Batch { seq, keys };
+                    if self.handle.is_finished() {
+                        Err(SendTimeoutError::Disconnected(msg))
+                    } else {
+                        Err(SendTimeoutError::Timeout(msg))
+                    }
+                }
+            },
+            (_, msg) => self.tx.send_timeout(msg, timeout),
+        }
+    }
+
+    /// Wake a worker that may be parked on an empty ring — called after
+    /// control-plane sends, which don't touch the ring's park flag.
+    fn wake_worker(&self) {
+        if let Some(rp) = &self.ring {
+            rp.wake_consumer();
+        }
+    }
 }
 
 /// Convert a typed durability error into the health-gauge form: the
@@ -380,6 +487,35 @@ struct SnapshotJob<K> {
     scrub: Arc<ScrubShared>,
 }
 
+/// One deferred WAL fsync for the background syncer thread: the segment
+/// to make durable plus the owning shard's retry/fatal plumbing. Sent
+/// when the writer defers an [`FsyncPolicy::Interval`] sync off the
+/// ingest path (`fdatasync` flushes the inode's dirty pages regardless
+/// of which descriptor wrote them, so the syncer uses its own handle).
+struct SyncJob {
+    path: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    policy: StoragePolicy,
+    retries: Arc<AtomicU64>,
+    /// First persistent background-fsync failure, promoted to shard
+    /// degradation by the caller thread on its next durable operation.
+    fatal: Arc<Mutex<Option<DurabilityError>>>,
+}
+
+/// Execute one deferred fsync under the storage policy; a persistent
+/// failure parks the typed error for the owning shard to degrade on.
+fn run_sync_job(job: &SyncJob) {
+    let synced = with_storage_retries(&job.policy, &job.retries, || {
+        sync_segment_with(&job.vfs, &job.path)
+    });
+    if let Err(e) = synced {
+        job.fatal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_or_insert(e);
+    }
+}
+
 /// Monomorphized snapshot writer (`write_snapshot_with`), kept as a plain
 /// fn pointer so the non-`Persist`-bounded `finish` path can still write
 /// the final snapshot.
@@ -430,6 +566,14 @@ struct DurableShard<K> {
     policy: StoragePolicy,
     /// WAL operations retried after a transient fault.
     wal_retries: AtomicU64,
+    /// Job sender feeding the background WAL-syncer thread (deferred
+    /// interval fsyncs). `None` for non-deferring configs and after
+    /// [`close_snapshots`](Self::close_snapshots) at shutdown.
+    sync_tx: Option<Sender<SyncJob>>,
+    /// Deferred fsyncs retried on the WAL-syncer thread.
+    bg_sync_retries: Arc<AtomicU64>,
+    /// Interval fsyncs handed to the background syncer this session.
+    deferred_fsyncs: u64,
     /// Snapshot writes retried on the snapshotter thread.
     snap_retries: Arc<AtomicU64>,
     /// First persistent snapshotter failure, promoted to `degraded` here.
@@ -498,39 +642,31 @@ impl<K> DurableShard<K> {
             return;
         }
         let wal_seq = self.wal_base + seq;
-        // The record phase cannot use the generic retry helper verbatim: a
-        // failed write is rolled back to the committed length before any
-        // retry, and when that rollback *also* failed the writer is
-        // poisoned — retrying would just report the poisoning instead of
-        // the root cause (e.g. ENOSPC), so degrade on the original error.
-        let mut attempt = 0u32;
-        let record_result = loop {
-            match self.wal.append_record(wal_seq, keys) {
-                Ok(()) => break Ok(()),
-                Err(e) => {
-                    if !e.is_retryable() || self.wal.is_poisoned() || attempt >= self.policy.retries
-                    {
-                        break Err(e);
-                    }
-                    attempt += 1;
-                    self.wal_retries.fetch_add(1, Ordering::Relaxed);
-                    let backoff = self.policy.backoff_for(attempt);
-                    if !backoff.is_zero() {
-                        std::thread::sleep(backoff);
-                    }
-                }
-            }
+        let result = if self.wal.group_commit_enabled() {
+            self.append_grouped(wal_seq, keys)
+        } else {
+            self.append_immediate(wal_seq, keys)
         };
-        let result = record_result
-            .and_then(|()| {
-                with_storage_retries(&self.policy, &self.wal_retries, || self.wal.policy_sync())
-            })
-            .and_then(|()| {
-                with_storage_retries(&self.policy, &self.wal_retries, || self.wal.maybe_roll())
-            });
         if let Err(e) = result {
             self.degraded = Some(e);
             return;
+        }
+        // An interval fsync the writer deferred goes to the background
+        // syncer so ingest never waits on writeback. The active segment
+        // is the only one that can carry a deferral — rolling fsyncs the
+        // old segment inline — and `wal_checkpoint`'s inline `sync()`
+        // still covers it, so the ack barrier is unchanged.
+        if self.wal.take_deferred_sync() {
+            self.deferred_fsyncs += 1;
+            if let Some(tx) = &self.sync_tx {
+                let _ = tx.send(SyncJob {
+                    path: self.wal.active_segment().to_path_buf(),
+                    vfs: Arc::clone(&self.vfs),
+                    policy: self.policy,
+                    retries: Arc::clone(&self.bg_sync_retries),
+                    fatal: Arc::clone(&self.snap_fatal),
+                });
+            }
         }
         self.wal_records += 1;
         // While a quarantine has the WAL as the only full copy, pruning
@@ -543,6 +679,70 @@ impl<K> DurableShard<K> {
             self.wal.prune_covered(snapped);
             self.pruned_seq = snapped;
         }
+    }
+
+    /// The pre-group-commit append path: one write (+ policy fsync) per
+    /// record.
+    ///
+    /// The record phase cannot use the generic retry helper verbatim: a
+    /// failed write is rolled back to the committed length before any
+    /// retry, and when that rollback *also* failed the writer is
+    /// poisoned — retrying would just report the poisoning instead of
+    /// the root cause (e.g. ENOSPC), so break out on the original error.
+    fn append_immediate(&mut self, wal_seq: u64, keys: &[u64]) -> Result<(), DurabilityError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.wal.append_record(wal_seq, keys) {
+                Ok(()) => break,
+                Err(e) => {
+                    if !e.is_retryable() || self.wal.is_poisoned() || attempt >= self.policy.retries
+                    {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.wal_retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.policy.backoff_for(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+        with_storage_retries(&self.policy, &self.wal_retries, || self.wal.policy_sync())?;
+        with_storage_retries(&self.policy, &self.wal_retries, || self.wal.maybe_roll())
+    }
+
+    /// The group-commit append path: stage (pure buffering, no I/O),
+    /// flush when a group bound is hit, apply the fsync policy per
+    /// flushed group, maybe roll. The flush phase mirrors the immediate
+    /// path's retry shape — a failed flush rolls back and *keeps* the
+    /// staged group so the retry rewrites the identical bytes, but a
+    /// failed rollback poisons the writer and must surface the root
+    /// cause, not the poisoning.
+    fn append_grouped(&mut self, wal_seq: u64, keys: &[u64]) -> Result<(), DurabilityError> {
+        self.wal.stage_record(wal_seq, keys)?;
+        let mut attempt = 0u32;
+        loop {
+            match self.wal.flush_due() {
+                Ok(()) => break,
+                Err(e) => {
+                    if !e.is_retryable() || self.wal.is_poisoned() || attempt >= self.policy.retries
+                    {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.wal_retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.policy.backoff_for(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+        with_storage_retries(&self.policy, &self.wal_retries, || {
+            self.wal.group_policy_sync()
+        })?;
+        with_storage_retries(&self.policy, &self.wal_retries, || self.wal.maybe_roll())
     }
 
     /// Hand a checkpointed kernel to the snapshotter unless one is already
@@ -582,11 +782,40 @@ impl<K> DurableShard<K> {
         }
     }
 
-    /// Drop this shard's snapshot-job sender. Once every shard has closed,
-    /// the snapshotter thread drains its queue and exits, making its join
-    /// bounded — shutdown calls this on all shards before joining.
+    /// `wal.sync()` under the storage policy's retry budget, with the
+    /// append paths' poison handling: the flush inside `sync` rolls a
+    /// failed write back, and when that rollback *also* failed the
+    /// writer is poisoned — a generic retry would then report the
+    /// poisoning instead of the root cause (e.g. a full disk), so break
+    /// out on the original error.
+    fn sync_with_retries(&mut self) -> Result<(), DurabilityError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.wal.sync() {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if !e.is_retryable() || self.wal.is_poisoned() || attempt >= self.policy.retries
+                    {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.wal_retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.policy.backoff_for(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop this shard's background-job senders (snapshots + deferred
+    /// fsyncs). Once every shard has closed, the snapshotter and WAL
+    /// syncer drain their queues and exit, making their joins bounded —
+    /// shutdown calls this on all shards before joining either thread.
     fn close_snapshots(&mut self) {
         self.snap_tx = None;
+        self.sync_tx = None;
     }
 
     /// Final snapshot + WAL prune on clean shutdown: after this, recovery
@@ -614,71 +843,187 @@ impl<K> DurableShard<K> {
     }
 }
 
+/// Sentinel in the shared pinned-core slot meaning "not pinned".
+const UNPINNED: usize = usize::MAX;
+
+/// How long a ring-plane worker parks per slice while idle. Short enough
+/// that a lost wakeup or a control message arriving mid-park costs at
+/// most one slice; long enough that an idle shard burns no CPU.
+const WORKER_PARK_SLICE: Duration = Duration::from_millis(1);
+
+/// How long the background WAL syncer dwells after a deferred-fsync
+/// request before issuing it, coalescing every request (across all
+/// shards) that lands in the window into one fsync per segment. Bounds
+/// the extra crash-window a deferral can accumulate beyond the interval
+/// policy itself.
+const WAL_SYNC_DWELL: Duration = Duration::from_millis(10);
+
+/// The apply/publish/checkpoint machinery of one shard worker, factored
+/// out of the loop so both data planes (ring and channel) share it.
+struct WorkerCtx<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    kernel: ASketch<F, S>,
+    out: Sender<FromShard<ASketch<F, S>>>,
+    snap: Arc<ShardSnapshot<S>>,
+    depth: Arc<AtomicUsize>,
+    gen: u64,
+    publish_interval: u64,
+    view_interval: u64,
+    checkpoint_interval: u64,
+    items: Vec<FilterItem>,
+    tuples: Vec<Tuple>,
+    since_pub: u64,
+    since_view: u64,
+    since_ckpt: u64,
+}
+
+impl<F, S> WorkerCtx<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    /// Apply one batch through the sequential kernel and run the interval
+    /// publishes/checkpoints it triggers.
+    fn apply(&mut self, seq: u64, keys: &[u64]) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        self.tuples.clear();
+        self.tuples.extend(keys.iter().map(|&k| (k, 1i64)));
+        self.kernel.update_batch(&self.tuples);
+        let n = keys.len() as u64;
+        self.since_pub += n;
+        self.since_view += n;
+        self.since_ckpt += n;
+        if self.since_pub >= self.publish_interval {
+            self.since_pub = 0;
+            publish_filter(&self.kernel, &self.snap, &mut self.items, self.gen);
+        }
+        if self.since_view >= self.view_interval {
+            self.since_view = 0;
+            publish_view(&self.kernel, &self.snap, self.gen);
+        }
+        if self.since_ckpt >= self.checkpoint_interval {
+            self.since_ckpt = 0;
+            let _ = self.out.send(FromShard::Checkpoint {
+                seq,
+                snapshot: self.kernel.clone(),
+            });
+        }
+    }
+
+    /// Publish both the filter snapshot and the sketch view.
+    fn publish_all(&mut self) {
+        publish_filter(&self.kernel, &self.snap, &mut self.items, self.gen);
+        publish_view(&self.kernel, &self.snap, self.gen);
+    }
+}
+
 /// The shard-worker loop: apply batches through the sequential kernel,
 /// publish snapshots on their intervals, checkpoint for the journal, and
-/// publish one final time when the channel disconnects.
+/// publish one final time when the control channel disconnects.
+///
+/// On the ring plane the loop greedily drains the data ring, polls the
+/// control channel, and parks on the ring (short slices) only when both
+/// are idle. Batches pushed before a control-plane `Sync` send
+/// happen-before it, so draining the ring on `Sync` sees every batch
+/// shipped before the barrier — the barrier's exactness is plane-
+/// independent. Shutdown is the control channel disconnecting; the ring
+/// is drained one last time first, so a clean shutdown loses nothing.
+#[allow(clippy::too_many_arguments)]
 fn run_shard_worker<F, S>(
-    mut kernel: ASketch<F, S>,
+    kernel: ASketch<F, S>,
     rx: Receiver<ToShard>,
+    ring_rx: Option<ring::Consumer<RingBatch>>,
     out: Sender<FromShard<ASketch<F, S>>>,
     snap: Arc<ShardSnapshot<S>>,
     depth: Arc<AtomicUsize>,
     gen: u64,
     cfg: ConcurrentConfig,
+    pin: Option<(usize, Arc<AtomicUsize>)>,
 ) -> ASketch<F, S>
 where
     F: Filter + Clone + Send + 'static,
     S: SharedView + UpdateEstimate + Clone + Send + 'static,
 {
-    let publish_interval = cfg.publish_interval.max(1);
-    let view_interval = cfg.view_interval.max(1);
-    let checkpoint_interval = cfg.supervision.checkpoint_interval.max(1);
-    let mut items: Vec<FilterItem> = Vec::new();
-    let mut tuples: Vec<Tuple> = Vec::with_capacity(cfg.batch);
-    let (mut since_pub, mut since_view, mut since_ckpt) = (0u64, 0u64, 0u64);
+    if let Some((core, slot)) = pin {
+        if affinity::pin_current_thread(core).is_ok() {
+            slot.store(core, Ordering::Release);
+        }
+    }
+    let mut ctx = WorkerCtx {
+        kernel,
+        out,
+        snap,
+        depth,
+        gen,
+        publish_interval: cfg.publish_interval.max(1),
+        view_interval: cfg.view_interval.max(1),
+        checkpoint_interval: cfg.supervision.checkpoint_interval.max(1),
+        items: Vec::new(),
+        tuples: Vec::with_capacity(cfg.batch),
+        since_pub: 0,
+        since_view: 0,
+        since_ckpt: 0,
+    };
     // Fresh (or respawned) worker: make the snapshot reflect this kernel
     // immediately so readers never regress behind a restart.
-    publish_filter(&kernel, &snap, &mut items, gen);
-    publish_view(&kernel, &snap, gen);
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ToShard::Batch { seq, keys } => {
-                depth.fetch_sub(1, Ordering::Relaxed);
-                tuples.clear();
-                tuples.extend(keys.iter().map(|&k| (k, 1i64)));
-                kernel.update_batch(&tuples);
-                let n = keys.len() as u64;
-                since_pub += n;
-                since_view += n;
-                since_ckpt += n;
-                if since_pub >= publish_interval {
-                    since_pub = 0;
-                    publish_filter(&kernel, &snap, &mut items, gen);
+    ctx.publish_all();
+    match ring_rx {
+        Some(ring) => loop {
+            let mut busy = false;
+            while let Some((seq, keys)) = ring.try_pop() {
+                busy = true;
+                ctx.apply(seq, &keys);
+            }
+            match rx.try_recv() {
+                Ok(ToShard::Batch { seq, keys }) => ctx.apply(seq, &keys),
+                Ok(ToShard::Sync { reply }) => {
+                    // Everything pushed before the barrier is visible
+                    // (see above): drain, then publish and answer.
+                    while let Some((seq, keys)) = ring.try_pop() {
+                        ctx.apply(seq, &keys);
+                    }
+                    ctx.publish_all();
+                    let _ = reply.send(ctx.kernel.ops_applied());
                 }
-                if since_view >= view_interval {
-                    since_view = 0;
-                    publish_view(&kernel, &snap, gen);
+                Err(TryRecvError::Empty) => {
+                    if !busy {
+                        ring.park(WORKER_PARK_SLICE);
+                    }
                 }
-                if since_ckpt >= checkpoint_interval {
-                    since_ckpt = 0;
-                    let _ = out.send(FromShard::Checkpoint {
-                        seq,
-                        snapshot: kernel.clone(),
-                    });
+                Err(TryRecvError::Disconnected) => {
+                    while let Some((seq, keys)) = ring.try_pop() {
+                        ctx.apply(seq, &keys);
+                    }
+                    break;
                 }
             }
-            ToShard::Sync { reply } => {
-                publish_filter(&kernel, &snap, &mut items, gen);
-                publish_view(&kernel, &snap, gen);
-                let _ = reply.send(kernel.ops_applied());
+        },
+        None => {
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    ToShard::Batch { seq, keys } => ctx.apply(seq, &keys),
+                    ToShard::Sync { reply } => {
+                        ctx.publish_all();
+                        let _ = reply.send(ctx.kernel.ops_applied());
+                    }
+                }
             }
         }
     }
-    // Channel disconnected: final publish so handles outlive the runtime
+    // Disconnected: final publish so handles outlive the runtime
     // (dropped if this worker was abandoned and its generation retired).
-    publish_filter(&kernel, &snap, &mut items, gen);
-    publish_view(&kernel, &snap, gen);
-    kernel
+    ctx.publish_all();
+    ctx.kernel
+}
+
+/// The core a pinned worker for `shard_idx` targets, `None` when pinning
+/// is off.
+fn worker_core(cfg: &ConcurrentConfig, shard_idx: usize) -> Option<usize> {
+    cfg.pin_workers
+        .then(|| shard_idx % affinity::available_cores())
 }
 
 fn spawn_shard_worker<F, S>(
@@ -687,6 +1032,8 @@ fn spawn_shard_worker<F, S>(
     depth: &Arc<AtomicUsize>,
     gen: u64,
     cfg: &ConcurrentConfig,
+    shard_idx: usize,
+    pinned: &Arc<AtomicUsize>,
 ) -> ShardLink<ASketch<F, S>>
 where
     F: Filter + Clone + Send + 'static,
@@ -695,13 +1042,26 @@ where
     let (tx, rx) = channel::bounded::<ToShard>(cfg.supervision.queue_capacity);
     // Checkpoints are unbounded: the worker must never block on the caller.
     let (out_tx, out_rx) = channel::unbounded::<FromShard<ASketch<F, S>>>();
+    let (ring_tx, ring_rx, capacity) = match cfg.data_plane {
+        DataPlane::Ring => {
+            let (p, c) = ring::spsc::<RingBatch>(cfg.supervision.queue_capacity.max(2));
+            let capacity = p.capacity();
+            (Some(p), Some(c), capacity)
+        }
+        DataPlane::Channel => (None, None, cfg.supervision.queue_capacity),
+    };
+    let pin = worker_core(cfg, shard_idx).map(|core| (core, Arc::clone(pinned)));
+    pinned.store(UNPINNED, Ordering::Release);
     let snap = Arc::clone(snap);
     let depth = Arc::clone(depth);
     let cfg = cfg.clone();
-    let handle =
-        std::thread::spawn(move || run_shard_worker(kernel, rx, out_tx, snap, depth, gen, cfg));
+    let handle = std::thread::spawn(move || {
+        run_shard_worker(kernel, rx, ring_rx, out_tx, snap, depth, gen, cfg, pin)
+    });
     ShardLink {
         tx,
+        ring: ring_tx,
+        capacity,
         rx: out_rx,
         handle,
     }
@@ -714,9 +1074,14 @@ where
     F: Filter + Clone + Send + 'static,
     S: SharedView + UpdateEstimate + Clone + Send + 'static,
 {
+    shard_idx: usize,
     link: Option<ShardLink<ASketch<F, S>>>,
     journal: Journal<ASketch<F, S>>,
     snap: Arc<ShardSnapshot<S>>,
+    /// Core the live worker pinned itself to ([`UNPINNED`] when pinning
+    /// is off, failed, or the worker hasn't started yet). Written by the
+    /// worker thread at startup, read by the gauge.
+    pinned: Arc<AtomicUsize>,
     /// The snapshot's current writer generation: held by the live worker
     /// (or the inline kernel once degraded), bumped on every fail-over.
     writer_gen: u64,
@@ -745,6 +1110,7 @@ where
     S: SharedView + UpdateEstimate + Clone + Send + 'static,
 {
     fn new(
+        shard_idx: usize,
         kernel: ASketch<F, S>,
         cfg: &ConcurrentConfig,
         durable: Option<DurableShard<ASketch<F, S>>>,
@@ -760,11 +1126,14 @@ where
         snap.filter.publish(&items, kernel.ops_applied());
         let journal = Journal::new(kernel.clone());
         let depth = Arc::new(AtomicUsize::new(0));
-        let link = spawn_shard_worker(kernel, &snap, &depth, 0, cfg);
+        let pinned = Arc::new(AtomicUsize::new(UNPINNED));
+        let link = spawn_shard_worker(kernel, &snap, &depth, 0, cfg, shard_idx, &pinned);
         Self {
+            shard_idx,
             link: Some(link),
             journal,
             snap,
+            pinned,
             writer_gen: 0,
             depth,
             spill: VecDeque::new(),
@@ -868,13 +1237,18 @@ where
             }
             self.journal.reset(restored.clone());
             // The respawned worker publishes the restored state on entry,
-            // so readers catch up without waiting a publish interval.
+            // so readers catch up without waiting a publish interval. It
+            // gets a *fresh* ring (like the fresh depth gauge): batches
+            // stranded in the abandoned worker's ring are journaled, so
+            // the restore already covers them.
             self.link = Some(spawn_shard_worker(
                 restored,
                 &self.snap,
                 &self.depth,
                 self.writer_gen,
                 cfg,
+                self.shard_idx,
+                &self.pinned,
             ));
         } else {
             let mut items = Vec::new();
@@ -896,7 +1270,7 @@ where
                 return;
             };
             self.depth.fetch_add(1, Ordering::Relaxed);
-            match link.tx.try_send(msg) {
+            match link.try_send_data(msg) {
                 Ok(()) => {}
                 Err(TrySendError::Full(m)) => {
                     self.depth.fetch_sub(1, Ordering::Relaxed);
@@ -920,7 +1294,7 @@ where
                 return;
             };
             self.depth.fetch_add(1, Ordering::Relaxed);
-            match link.tx.send_timeout(msg, cfg.supervision.send_timeout) {
+            match link.send_data_timeout(msg, cfg.supervision.send_timeout) {
                 Ok(()) => {}
                 Err(SendTimeoutError::Timeout(_)) => {
                     self.depth.fetch_sub(1, Ordering::Relaxed);
@@ -958,7 +1332,7 @@ where
             return;
         };
         self.depth.fetch_add(1, Ordering::Relaxed);
-        match link.tx.send_timeout(msg, cfg.supervision.send_timeout) {
+        match link.send_data_timeout(msg, cfg.supervision.send_timeout) {
             Ok(()) => {}
             Err(SendTimeoutError::Timeout(_)) => {
                 self.depth.fetch_sub(1, Ordering::Relaxed);
@@ -1009,8 +1383,7 @@ where
             .link
             .as_ref()
             .expect("worker link checked above")
-            .tx
-            .try_send(msg);
+            .try_send_data(msg);
         match sent {
             Ok(()) => {}
             Err(TrySendError::Full(m)) => {
@@ -1043,6 +1416,10 @@ where
                 ToShard::Sync { reply: reply_tx },
                 cfg.supervision.send_timeout,
             );
+            // A ring-plane worker may be parked on an empty ring; the
+            // control send doesn't touch the park flag, so nudge it
+            // rather than waiting out a park slice.
+            link.wake_worker();
             match sent {
                 Ok(()) => match reply_rx.recv_timeout(cfg.supervision.send_timeout) {
                     Ok(_epoch) => {
@@ -1063,10 +1440,14 @@ where
     }
 
     fn gauge(&self, shard: usize, cfg: &ConcurrentConfig) -> ShardGauge {
+        let pinned = self.pinned.load(Ordering::Acquire);
         ShardGauge {
             shard,
             queue_depth: self.depth.load(Ordering::Relaxed),
-            queue_capacity: cfg.supervision.queue_capacity,
+            queue_capacity: self
+                .link
+                .as_ref()
+                .map_or(cfg.supervision.queue_capacity, |l| l.capacity),
             routed_ops: self.routed,
             published_epoch: self.snap.filter_epoch(),
             view_epoch: self.snap.view_epoch(),
@@ -1085,10 +1466,9 @@ where
                 .durable
                 .as_ref()
                 .is_some_and(|d| d.degraded.is_some() || d.has_pending_fatal()),
-            wal_retries: self
-                .durable
-                .as_ref()
-                .map_or(0, |d| d.wal_retries.load(Ordering::Relaxed)),
+            wal_retries: self.durable.as_ref().map_or(0, |d| {
+                d.wal_retries.load(Ordering::Relaxed) + d.bg_sync_retries.load(Ordering::Relaxed)
+            }),
             snapshot_retries: self
                 .durable
                 .as_ref()
@@ -1106,6 +1486,15 @@ where
                 .durable
                 .as_ref()
                 .map_or(0, |d| d.scrub.quarantined.load(Ordering::Relaxed)),
+            data_plane: cfg.data_plane.name().to_string(),
+            ring_depth: self
+                .link
+                .as_ref()
+                .and_then(|l| l.ring.as_ref())
+                .map_or(0, ring::Producer::len),
+            wal_group_commits: self.durable.as_ref().map_or(0, |d| d.wal.group_commits()),
+            wal_deferred_fsyncs: self.durable.as_ref().map_or(0, |d| d.deferred_fsyncs),
+            pinned_core: (pinned != UNPINNED).then_some(pinned),
         }
     }
 }
@@ -1223,6 +1612,11 @@ where
     /// Background snapshot writer (durable runtimes only); exits when the
     /// last shard's job sender drops, joined in `finish`.
     snapshotter: Option<JoinHandle<()>>,
+    /// Background WAL fsync thread (durable runtimes only): runs the
+    /// interval fsyncs the writers defer so ingest never blocks on
+    /// writeback. Exits when the last shard's job sender drops; joined in
+    /// `finish` before the final snapshots.
+    wal_syncer: Option<JoinHandle<()>>,
     /// Background integrity scrubber (durable runtimes with a scrub
     /// interval only): stop flag + thread, joined in `finish`.
     scrubber: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
@@ -1241,7 +1635,7 @@ where
     pub fn spawn(cfg: ConcurrentConfig, make_kernel: impl Fn(usize) -> ASketch<F, S>) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
         let shards: Vec<ShardState<F, S>> = (0..cfg.shards)
-            .map(|i| ShardState::new(make_kernel(i), &cfg, None))
+            .map(|i| ShardState::new(i, make_kernel(i), &cfg, None))
             .collect();
         let snaps = Arc::new(shards.iter().map(|s| Arc::clone(&s.snap)).collect());
         let router = KeyRouter::new(KeyPartition::new(cfg.shards), cfg.batch.max(1));
@@ -1251,6 +1645,7 @@ where
             snaps,
             cfg,
             snapshotter: None,
+            wal_syncer: None,
             scrubber: None,
         }
     }
@@ -1430,6 +1825,12 @@ where
         if let Some(handle) = self.snapshotter.take() {
             let _ = handle.join();
         }
+        // The WAL syncer drains its deferred fsyncs and exits the same
+        // way; joining it before `finalize` keeps each shard's caller the
+        // sole toucher of its segments during the final snapshot + prune.
+        if let Some(handle) = self.wal_syncer.take() {
+            let _ = handle.join();
+        }
         // Final snapshots: each shard's caller is now the *sole* writer to
         // its directory, and any persistent snapshotter failure parked by
         // a drained job is promoted (finalize → check_snapshotter) before
@@ -1474,7 +1875,7 @@ where
                 if let Some(e) = &d.degraded {
                     return Err(e.clone());
                 }
-                let synced = with_storage_retries(&d.policy, &d.wal_retries, || d.wal.sync());
+                let synced = d.sync_with_retries();
                 if let Err(e) = synced {
                     d.degraded = Some(e.clone());
                     return Err(e);
@@ -1545,8 +1946,17 @@ where
         make_kernel: impl Fn(usize) -> ASketch<F, S>,
     ) -> Result<(Self, Vec<RecoveryReport>), DurabilityError> {
         assert!(cfg.shards > 0, "need at least one shard");
+        // With pinning on, every background thread (snapshotter, WAL
+        // syncer, scrubber) is herded onto the last core so writeback
+        // and serialization stalls stay off the ingest cores.
+        let bg_core = cfg
+            .pin_workers
+            .then(|| affinity::available_cores().saturating_sub(1));
         let (snap_tx, snap_rx) = channel::unbounded::<SnapshotJob<ASketch<F, S>>>();
         let snapshotter = std::thread::spawn(move || {
+            if let Some(core) = bg_core {
+                let _ = affinity::pin_current_thread(core);
+            }
             while let Ok(job) = snap_rx.recv() {
                 let written = with_storage_retries(&job.policy, &job.retries, || {
                     write_snapshot_with(&job.vfs, &job.dir, job.meta, &job.kernel)
@@ -1572,6 +1982,46 @@ where
                 job.busy.store(false, Ordering::Release);
             }
         });
+        // Deferred interval fsyncs run here, off the ingest path.
+        // `fdatasync` is cumulative — the newest request for a segment
+        // covers every older one — so the syncer dwells briefly after the
+        // first request and coalesces everything that arrives in the
+        // window into one fsync per distinct segment. Under steady ingest
+        // (shards requesting every few ms) this turns a train of
+        // per-shard fsyncs into a handful per dwell window, which matters
+        // on starved hosts where each fsync steals the core from ingest.
+        // The dwell widens Interval's crash window by at most
+        // WAL_SYNC_DWELL beyond the deferral itself; the `sync`/
+        // `wal_checkpoint` ack barrier stays inline and is unaffected.
+        let (sync_tx, sync_rx) = channel::unbounded::<SyncJob>();
+        let wal_syncer = std::thread::spawn(move || {
+            if let Some(core) = bg_core {
+                let _ = affinity::pin_current_thread(core);
+            }
+            while let Ok(first) = sync_rx.recv() {
+                let mut pending: Vec<SyncJob> = vec![first];
+                let deadline = Instant::now() + WAL_SYNC_DWELL;
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match sync_rx.recv_timeout(deadline - now) {
+                        Ok(next) => {
+                            if let Some(p) = pending.iter_mut().find(|p| p.path == next.path) {
+                                *p = next;
+                            } else {
+                                pending.push(next);
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for job in &pending {
+                    run_sync_job(job);
+                }
+            }
+        });
         let mut reports = Vec::with_capacity(cfg.shards);
         let mut shards = Vec::with_capacity(cfg.shards);
         let mut scrub_targets = Vec::with_capacity(cfg.shards);
@@ -1579,13 +2029,18 @@ where
             let dir = opts.shard_dir(i);
             let (kernel, report) =
                 recover_kernel_with(&opts.vfs, &dir, opts.dedup, || make_kernel(i))?;
-            let wal = WalWriter::create_with(
+            let mut wal = WalWriter::create_with(
                 Arc::clone(&opts.vfs),
                 &dir,
                 report.last_seq,
                 opts.fsync,
                 opts.segment_bytes,
             )?;
+            // Interval fsyncs defer to the background syncer; PerBatch
+            // stays inline — its contract is "durable when append
+            // returns", which a deferral would silently break.
+            let defer = matches!(opts.fsync, FsyncPolicy::Interval(_));
+            wal.set_group_commit(opts.group_commit, defer);
             let scrub = Arc::new(ScrubShared::default());
             scrub_targets.push((dir.clone(), Arc::clone(&scrub)));
             let durable = DurableShard {
@@ -1606,20 +2061,27 @@ where
                 vfs: Arc::clone(&opts.vfs),
                 policy: opts.policy,
                 wal_retries: AtomicU64::new(0),
+                sync_tx: defer.then(|| sync_tx.clone()),
+                bg_sync_retries: Arc::new(AtomicU64::new(0)),
+                deferred_fsyncs: 0,
                 snap_retries: Arc::new(AtomicU64::new(0)),
                 snap_fatal: Arc::new(Mutex::new(None)),
                 scrub,
                 degraded: None,
             };
             reports.push(report);
-            shards.push(ShardState::new(kernel, &cfg, Some(durable)));
+            shards.push(ShardState::new(i, kernel, &cfg, Some(durable)));
         }
         drop(snap_tx);
+        drop(sync_tx);
         let scrubber = opts.scrub_interval.map(|interval| {
             let stop = Arc::new(AtomicBool::new(false));
             let thread_stop = Arc::clone(&stop);
             let vfs = Arc::clone(&opts.vfs);
             let handle = std::thread::spawn(move || {
+                if let Some(core) = bg_core {
+                    let _ = affinity::pin_current_thread(core);
+                }
                 // Sleep in short slices so shutdown never waits out a long
                 // scrub interval.
                 let tick = Duration::from_millis(10).min(interval);
@@ -1646,6 +2108,7 @@ where
                 snaps,
                 cfg,
                 snapshotter: Some(snapshotter),
+                wal_syncer: Some(wal_syncer),
                 scrubber,
             },
             reports,
@@ -1888,6 +2351,7 @@ mod tests {
                 restart_backoff: Duration::from_millis(1),
                 ..SupervisionConfig::default()
             },
+            ..ConcurrentConfig::default()
         };
         let make = |i: usize| {
             ASketch::new(
@@ -1996,6 +2460,7 @@ mod tests {
                 restart_backoff: Duration::from_millis(1),
                 ..SupervisionConfig::default()
             },
+            ..ConcurrentConfig::default()
         };
         // Wedge for 100ms on the 200th sketch op; the restored clone is
         // disarmed (FaultPlan disarms on clone), so exactly one worker
@@ -2136,6 +2601,7 @@ mod tests {
                 checkpoint_interval: 256,
                 ..SupervisionConfig::default()
             },
+            ..ConcurrentConfig::default()
         };
         let data = stream(20_000);
         let (mut rt, reports) =
@@ -2195,6 +2661,7 @@ mod tests {
                 checkpoint_interval: 128,
                 ..SupervisionConfig::default()
             },
+            ..ConcurrentConfig::default()
         };
         let data = stream(12_000);
         let (mut rt, _) =
@@ -2342,6 +2809,7 @@ mod tests {
                 checkpoint_interval: 1024,
                 ..SupervisionConfig::default()
             },
+            ..ConcurrentConfig::default()
         };
         let data = stream(4_096);
         let (mut rt, _) =
@@ -2420,6 +2888,7 @@ mod tests {
                 restart_backoff: Duration::from_millis(1),
                 ..SupervisionConfig::default()
             },
+            ..ConcurrentConfig::default()
         };
         let make = |_: usize| {
             ASketch::new(
@@ -2475,6 +2944,7 @@ mod tests {
                 checkpoint_interval: 1 << 30, // no background snapshots unless asked
                 ..SupervisionConfig::default()
             },
+            ..ConcurrentConfig::default()
         }
     }
 
@@ -2691,6 +3161,7 @@ mod tests {
                 checkpoint_interval: 1 << 30,
                 ..SupervisionConfig::default()
             },
+            ..ConcurrentConfig::default()
         };
         let data = stream(2_000);
         let (mut rt, _) =
@@ -2793,6 +3264,7 @@ mod tests {
                 checkpoint_interval: 512, // frequent background snapshots
                 ..SupervisionConfig::default()
             },
+            ..ConcurrentConfig::default()
         };
         let data = stream(8_000);
         let (mut rt, _) =
@@ -2877,6 +3349,7 @@ mod tests {
                 checkpoint_interval: 512,
                 ..SupervisionConfig::default()
             },
+            ..ConcurrentConfig::default()
         };
         let data = stream(8_000);
         let (mut rt, _) =
@@ -2904,6 +3377,206 @@ mod tests {
         assert!(g.scrub_passes >= 1, "scrubber must have run: {g:?}");
         assert_eq!(g.snapshots_quarantined, 1, "rot must be quarantined: {g:?}");
         drop(rt);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The two data planes are semantically interchangeable: the same
+    /// stream through a ring-plane and a channel-plane runtime answers
+    /// every key identically, and both match the sequential reference.
+    #[test]
+    fn ring_and_channel_planes_answer_identically() {
+        let data = stream(25_000);
+        let mut results = Vec::new();
+        for plane in [DataPlane::Ring, DataPlane::Channel] {
+            let cfg = ConcurrentConfig {
+                shards: 3,
+                batch: 32,
+                publish_interval: 128,
+                view_interval: 512,
+                data_plane: plane,
+                ..ConcurrentConfig::default()
+            };
+            let mut rt = ConcurrentASketch::spawn(cfg, |i| kernel(200 + i as u64));
+            rt.insert_batch(&data);
+            rt.sync();
+            let health = rt.health();
+            for g in &health.shards {
+                assert_eq!(g.data_plane, plane.name());
+                assert_eq!(g.ring_depth, 0, "post-sync ring must be drained: {g:?}");
+            }
+            results.push(rt);
+        }
+        let p = results[0].partition();
+        let reference = sequential_reference(&data, p, |i| kernel(200 + i as u64));
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            let expected = reference[p.shard_of(key)].estimate(key);
+            assert_eq!(results[0].estimate(key), expected, "ring plane, key {key}");
+            assert_eq!(
+                results[1].estimate(key),
+                expected,
+                "channel plane, key {key}"
+            );
+        }
+    }
+
+    /// Chaos: a tiny ring under a panicking worker. The ring fills (Full →
+    /// backpressure policy), the panic abandons batches *inside* the ring,
+    /// and fail-over must replace the ring wholesale — the journal restore
+    /// covers the stranded batches, so nothing is lost and nothing is
+    /// applied twice (the PR-1 generation-check discipline, now over the
+    /// ring plane).
+    #[test]
+    fn ring_full_backpressure_with_worker_panic_stays_exact() {
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 16,
+            publish_interval: 64,
+            view_interval: 256,
+            data_plane: DataPlane::Ring,
+            supervision: SupervisionConfig {
+                queue_capacity: 4, // ring rounds to 4 slots — fills constantly
+                checkpoint_interval: 64,
+                max_restarts: 3,
+                restart_backoff: Duration::from_millis(1),
+                send_timeout: Duration::from_millis(50),
+                ..SupervisionConfig::default()
+            },
+            ..ConcurrentConfig::default()
+        };
+        let make = |i: usize| {
+            ASketch::new(
+                VectorFilter::new(8),
+                FaultyEstimator::new(
+                    CountMin::new(140 + i as u64, 4, 1 << 12).unwrap(),
+                    FaultPlan::panic_at(500).with_message("injected ring-plane crash"),
+                ),
+            )
+        };
+        let data = stream(30_000);
+        let mut rt = ConcurrentASketch::spawn(cfg, make);
+        rt.insert_batch(&data);
+        rt.sync();
+        let health = rt.health();
+        assert!(
+            health.total_restarts() >= 1,
+            "fault plan must trigger at least one restart: {health:?}"
+        );
+        assert!(!health.any_degraded(), "restart budget not exhausted");
+        let p = rt.partition();
+        let mut reference: Vec<_> = (0..2)
+            .map(|i| {
+                ASketch::new(
+                    VectorFilter::new(8),
+                    CountMin::new(140 + i as u64, 4, 1 << 12).unwrap(),
+                )
+            })
+            .collect();
+        for &key in &data {
+            reference[p.shard_of(key)].insert(key);
+        }
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(
+                rt.estimate(key),
+                reference[p.shard_of(key)].estimate(key),
+                "post-restart divergence for key {key}"
+            );
+        }
+    }
+
+    /// Pinning is best-effort: with `pin_workers` on, the runtime must
+    /// behave identically whether or not the host lets `taskset` through,
+    /// and the per-shard gauge must report a coherent outcome.
+    #[test]
+    fn pinned_workers_are_best_effort_and_exact() {
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 16,
+            publish_interval: 64,
+            view_interval: 256,
+            pin_workers: true,
+            ..ConcurrentConfig::default()
+        };
+        let data = stream(10_000);
+        let mut rt = ConcurrentASketch::spawn(cfg, |i| kernel(300 + i as u64));
+        rt.insert_batch(&data);
+        rt.sync();
+        let cores = affinity::available_cores();
+        for g in &rt.health().shards {
+            if let Some(core) = g.pinned_core {
+                assert_eq!(core, g.shard % cores, "worker pinned to the wrong core");
+            }
+        }
+        let p = rt.partition();
+        let reference = sequential_reference(&data, p, |i| kernel(300 + i as u64));
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(rt.estimate(key), reference[p.shard_of(key)].estimate(key));
+        }
+    }
+
+    /// Group commit + deferred fsync surface through health, the deferred
+    /// fsyncs actually run (no fatal parked), and the ack barrier still
+    /// holds: after `wal_checkpoint` a reopened runtime answers exactly.
+    #[test]
+    fn group_commit_defers_fsyncs_and_survives_reopen() {
+        use asketch::FsyncPolicy;
+        let dir = tmp_dir("groupdefer");
+        let opts = DurabilityOptions::new(&dir).fsync(FsyncPolicy::Interval(8));
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 16,
+            publish_interval: 64,
+            view_interval: 256,
+            supervision: SupervisionConfig {
+                checkpoint_interval: 1 << 30,
+                ..SupervisionConfig::default()
+            },
+            ..ConcurrentConfig::default()
+        };
+        let data = stream(20_000);
+        let (mut rt, _) =
+            ConcurrentASketch::spawn_durable(cfg.clone(), &opts, |i| kernel(400 + i as u64))
+                .unwrap();
+        rt.insert_batch(&data);
+        rt.sync();
+        let acked = rt.wal_checkpoint().unwrap();
+        assert_eq!(acked, data.len() as u64);
+        let health = rt.health();
+        assert!(
+            health.total_group_commits() >= 2,
+            "records must coalesce into groups: {health:?}"
+        );
+        assert!(
+            health.total_deferred_fsyncs() >= 1,
+            "interval fsyncs must defer to the background syncer: {health:?}"
+        );
+        assert!(
+            !health.any_durability_degraded(),
+            "background fsyncs must not park a fatal: {health:?}"
+        );
+        let kernels = rt.finish();
+        let (rt2, _) =
+            ConcurrentASketch::spawn_durable(cfg, &opts, |i| kernel(400 + i as u64)).unwrap();
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        let p = rt2.partition();
+        for &key in &keys {
+            assert_eq!(
+                rt2.estimate(key),
+                kernels[p.shard_of(key)].estimate(key),
+                "reopen divergence for key {key}"
+            );
+        }
+        drop(rt2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

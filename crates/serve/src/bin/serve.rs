@@ -4,6 +4,7 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--shards N] [--batch N] [--queue N]
 //!       [--bytes N] [--depth N] [--filter-items N] [--seed N]
+//!       [--data-plane ring|channel] [--pin-workers]
 //!       [--shed] [--verbose]
 //! ```
 //!
@@ -21,7 +22,7 @@ use std::process::ExitCode;
 
 use asketch::filter::VectorFilter;
 use asketch::ASketch;
-use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, ConcurrentConfig};
+use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, ConcurrentConfig, DataPlane};
 use asketch_serve::{ServeConfig, Server};
 use sketches::CountMin;
 
@@ -34,6 +35,8 @@ struct Args {
     depth: usize,
     filter_items: usize,
     seed: u64,
+    data_plane: DataPlane,
+    pin_workers: bool,
     shed: bool,
     verbose: bool,
 }
@@ -49,6 +52,8 @@ impl Default for Args {
             depth: 4,
             filter_items: 32,
             seed: 0x5EED_2016,
+            data_plane: DataPlane::default(),
+            pin_workers: false,
             shed: false,
             verbose: false,
         }
@@ -69,6 +74,14 @@ fn parse_args() -> Result<Args, String> {
             "--depth" => args.depth = parse_num(&value("--depth")?)?,
             "--filter-items" => args.filter_items = parse_num(&value("--filter-items")?)?,
             "--seed" => args.seed = parse_num(&value("--seed")?)? as u64,
+            "--data-plane" => {
+                args.data_plane = match value("--data-plane")?.as_str() {
+                    "ring" => DataPlane::Ring,
+                    "channel" => DataPlane::Channel,
+                    other => return Err(format!("bad --data-plane {other} (ring|channel)")),
+                }
+            }
+            "--pin-workers" => args.pin_workers = true,
             "--shed" => args.shed = true,
             "--verbose" => args.verbose = true,
             "--help" | "-h" => return Err("help".to_string()),
@@ -95,7 +108,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: serve [--addr HOST:PORT] [--shards N] [--batch N] [--queue N] \
-                 [--bytes N] [--depth N] [--filter-items N] [--seed N] [--shed] [--verbose]"
+                 [--bytes N] [--depth N] [--filter-items N] [--seed N] \
+                 [--data-plane ring|channel] [--pin-workers] [--shed] [--verbose]"
             );
             return ExitCode::from(2);
         }
@@ -106,6 +120,8 @@ fn main() -> ExitCode {
     let rt_cfg = ConcurrentConfig {
         shards,
         batch: args.batch.max(1),
+        data_plane: args.data_plane,
+        pin_workers: args.pin_workers,
         ..ConcurrentConfig::default()
     };
     let (depth, items, seed) = (args.depth, args.filter_items, args.seed);

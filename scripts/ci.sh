@@ -19,10 +19,30 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+CORES="$(nproc 2>/dev/null || echo 1)"
+
 echo "==> throughput bench smoke (batched vs scalar gate)"
 cargo run -q -p asketch-bench --release --bin throughput -- --smoke --out BENCH_throughput.json
 cargo run -q -p asketch-bench --release --bin throughput -- \
     --validate BENCH_throughput.json --min-speedup 1.5
+
+echo "==> ingest spine gate (SPSC ring vs channel data plane)"
+# The smoke above also swept the router->worker data plane (spine rows in
+# BENCH_throughput.json). The ring must beat the channel by 1.2x in its
+# best cell -- but the ring's win is avoided cross-core handoff cost, so
+# it needs at least two real cores to exist: on one CPU the router and
+# workers time-slice the same core and both planes degenerate into the
+# same serialized memcpy (measured ~1.0-1.15x there). Hold a structural
+# no-regression line (ring not slower than 0.9x channel) and say so.
+if [ "$CORES" -ge 2 ]; then
+    MIN_RING=1.2
+else
+    MIN_RING=0.9
+    echo "WARNING: only $CORES CPU(s); relaxing ring-vs-channel gate to ${MIN_RING}x" \
+         "(full bar is 1.2x on >=2 cores, where the ring skips a cross-core hop)"
+fi
+cargo run -q -p asketch-bench --release --bin throughput -- \
+    --validate-spine BENCH_throughput.json --min-ring-speedup "$MIN_RING"
 
 echo "==> concurrent runtime smoke (wait-free read + shard-scaling gate)"
 # The wait-free gate (measured reader_blocked == 0 on every row) is
@@ -31,7 +51,6 @@ echo "==> concurrent runtime smoke (wait-free read + shard-scaling gate)"
 # on fewer than 4 CPUs the shard workers time-slice one core and the full
 # 2.0x bar is physically unreachable, so we hold the line at 1.2x there
 # (pipelining + smaller per-shard tables still must win) and say so loudly.
-CORES="$(nproc 2>/dev/null || echo 1)"
 if [ "$CORES" -ge 4 ]; then
     MIN_SCALING=2.0
 else
@@ -67,17 +86,17 @@ cargo run -q -p asketch-bench --release --bin throughput -- \
 
 echo "==> durability: recovery bench gate"
 # WAL-on ingest overhead at fsync=interval must stay within budget and
-# replay must beat half of live batched ingest. The 25% overhead bar
-# assumes the WAL append (caller thread) and background snapshotter can
-# overlap worker ingest; on a single CPU everything time-slices one core,
-# the overlap is physically impossible, and the measured floor is ~30%,
-# so we hold the line at 50% there — loudly — like the scaling gate above.
+# replay must beat half of live batched ingest. Group commit + key-width
+# packing + dwell-coalesced background fsyncs brought the measured floor
+# down to ~5% even on one CPU, so the bar is 15% where durability work
+# can overlap ingest and 25% on a single time-sliced core (background
+# fsyncs there steal the only core, and scheduler noise is real).
 if [ "$CORES" -ge 2 ]; then
-    MAX_OVERHEAD=0.25
+    MAX_OVERHEAD=0.15
 else
-    MAX_OVERHEAD=0.50
+    MAX_OVERHEAD=0.25
     echo "WARNING: only $CORES CPU(s); relaxing WAL overhead gate to ${MAX_OVERHEAD}" \
-         "(full bar is 0.25 on >=2 cores, where durability work overlaps ingest)"
+         "(full bar is 0.15 on >=2 cores, where durability work overlaps ingest)"
 fi
 cargo run -q -p asketch-bench --release --bin throughput -- \
     --recovery --smoke --out BENCH_recovery.json
