@@ -5,8 +5,12 @@
 //! ```text
 //! serving                                   # full sweep -> BENCH_serving.json
 //! serving --smoke                           # small sweep + exact-count check
+//! serving --io-model reactor|threaded|both  # which engines to sweep
+//! serving --conns 1,8 --fracs 0.5 --duration-ms 2000   # subset sweep
+//! serving --many-conns 512                  # many-connection smoke
 //! serving --validate-serving BENCH_serving.json \
 //!         [--min-qps X] [--max-p99-ms X]    # CI gate
+//! serving --regress OLD.json NEW.json [--tolerance 0.15]  # perf gate
 //! ```
 //!
 //! The sweep runs an in-process [`asketch_serve::Server`] on an ephemeral
@@ -24,10 +28,20 @@
 //! estimates, then after SYNC every distinct key's networked answer must
 //! equal a local runtime fed the identical stream.
 //!
-//! The gate (`--validate-serving`) holds three lines: a hardware-aware
+//! Each sweep cell runs per io_model (the epoll reactor and the
+//! thread-per-connection fallback share every other knob), and every row
+//! ends with a SYNC barrier on a control connection: the row records the
+//! number of write ops acknowledged over the wire (`writes_sent`) and
+//! the runtime's post-barrier routed total (`synced_routed`) — the two
+//! must agree exactly, or the row itself is a correctness bug.
+//!
+//! The gate (`--validate-serving`) holds four lines: a hardware-aware
 //! aggregate-QPS floor, `updates_shed == 0` + `reader_blocked == 0` on
 //! every row (Block policy backpressure + wait-free reads under live
-//! writes), and a read-p99 ceiling.
+//! writes), `writes_sent == synced_routed` on every row, and a read-p99
+//! ceiling. `--regress OLD NEW` compares two artifacts row-by-row
+//! (matched on io_model/connections/read_frac/target_qps) and fails on
+//! a >tolerance achieved-QPS drop or read-p99 rise.
 
 use std::fmt::Write as _;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -41,7 +55,7 @@ use asketch::filter::VectorFilter;
 use asketch::ASketch;
 use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, ConcurrentConfig};
 use asketch_serve::{
-    decode_response, encode_request, Client, Request, Response, ServeConfig, Server,
+    decode_response, encode_request, Client, IoModel, Request, Response, ServeConfig, Server,
 };
 use sketches::CountMin;
 use streamgen::{ExactCounter, StreamSpec};
@@ -71,13 +85,30 @@ fn runtime() -> ConcurrentASketch<VectorFilter, CountMin> {
     ConcurrentASketch::spawn(cfg, kernel)
 }
 
-fn spawn_server() -> Server<VectorFilter, CountMin> {
+fn spawn_server(io_model: IoModel) -> Server<VectorFilter, CountMin> {
     let cfg = ServeConfig {
         ingest_queue: 1024,
         policy: BackpressurePolicy::Block,
+        io_model,
         ..ServeConfig::default()
     };
     Server::spawn(cfg, runtime()).expect("bind ephemeral port")
+}
+
+/// The io_models this build can actually run (`Reactor` degrades to the
+/// threaded engine off Linux, so sweeping it twice would double-count).
+fn sweepable_models(requested: &str) -> Vec<IoModel> {
+    match requested {
+        "reactor" => vec![IoModel::Reactor],
+        "threaded" => vec![IoModel::Threaded],
+        _ => {
+            if IoModel::Reactor.effective() == IoModel::Reactor {
+                vec![IoModel::Reactor, IoModel::Threaded]
+            } else {
+                vec![IoModel::Threaded]
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -173,9 +204,14 @@ fn drive_connection(
         if writer.write_all(&frame).is_err() {
             break;
         }
-        // Flush in small pipeline bursts so frames actually hit the wire
-        // without a syscall per op.
-        if i % 16 == 15 && writer.flush().is_err() {
+        // Flush whenever the pipeline is about to go idle: if the next
+        // scheduled op is already due, keep batching (bounded at 16 ops)
+        // so a saturated sender still amortizes the syscall; if it is in
+        // the future, holding frames in the buffer until the burst ends
+        // would charge that scheduling gap to the server as a latency
+        // floor Nagle usually gets blamed for.
+        let next_due = start + interval.mul_f64((i + 1) as f64);
+        if (i % 16 == 15 || next_due > Instant::now()) && writer.flush().is_err() {
             break;
         }
         ticket_tx
@@ -193,6 +229,7 @@ fn drive_connection(
 // ---------------------------------------------------------------------------
 
 struct Row {
+    io_model: &'static str,
     connections: usize,
     read_frac: f64,
     target_qps: f64,
@@ -204,6 +241,8 @@ struct Row {
     write_p50_us: f64,
     write_p99_us: f64,
     write_p999_us: f64,
+    writes_sent: u64,
+    synced_routed: u64,
     updates_shed: u64,
     reader_blocked: u64,
     reader_retries: u64,
@@ -217,8 +256,14 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1_000.0
 }
 
-fn run_row(connections: usize, read_frac: f64, target_qps: f64, duration: Duration) -> Row {
-    let server = spawn_server();
+fn run_row(
+    io_model: IoModel,
+    connections: usize,
+    read_frac: f64,
+    target_qps: f64,
+    duration: Duration,
+) -> Row {
+    let server = spawn_server(io_model);
     let addr = server.addr();
     let spec = StreamSpec {
         len: 65_536,
@@ -255,9 +300,19 @@ fn run_row(connections: usize, read_frac: f64, target_qps: f64, duration: Durati
     reads.sort_unstable();
     writes.sort_unstable();
 
+    // Exactness rides every perf row: each acked write carried exactly
+    // one key, so after a SYNC barrier the runtime's routed total must
+    // equal the number of write OKs the drivers counted.
+    let writes_sent = writes.len() as u64;
+    let synced_routed = Client::connect(addr)
+        .expect("control connect")
+        .sync()
+        .expect("control sync");
+
     let gauge = server.stats();
     server.shutdown();
     Row {
+        io_model: io_model.effective().name(),
         connections,
         read_frac,
         target_qps,
@@ -269,6 +324,8 @@ fn run_row(connections: usize, read_frac: f64, target_qps: f64, duration: Durati
         write_p50_us: percentile_us(&writes, 0.50),
         write_p99_us: percentile_us(&writes, 0.99),
         write_p999_us: percentile_us(&writes, 0.999),
+        writes_sent,
+        synced_routed,
         updates_shed: gauge.updates_shed + shed_seen.load(Ordering::Relaxed),
         reader_blocked: gauge.reader_blocked,
         reader_retries: gauge.reader_retries,
@@ -281,8 +338,8 @@ fn run_row(connections: usize, read_frac: f64, target_qps: f64, duration: Durati
 
 /// Returns the number of distinct keys checked; panics (nonzero exit) on
 /// any networked-vs-local mismatch.
-fn smoke_exactness() -> usize {
-    let server = spawn_server();
+fn smoke_exactness(io_model: IoModel) -> usize {
+    let server = spawn_server(io_model);
     let addr = server.addr();
     let spec = StreamSpec {
         len: 120_000,
@@ -360,12 +417,70 @@ fn smoke_exactness() -> usize {
     );
     let _ = reference.finish();
     println!(
-        "smoke exactness OK: {} distinct keys, {} live reads, reader_retries={}",
+        "smoke exactness OK ({}): {} distinct keys, {} live reads, reader_retries={}",
+        io_model.effective().name(),
         keys.len(),
         reads_served,
         gauge.reader_retries
     );
     keys.len()
+}
+
+// ---------------------------------------------------------------------------
+// Many-connection smoke
+// ---------------------------------------------------------------------------
+
+/// N concurrent connections (one worker thread each) against one server:
+/// all sockets open before the first write, every worker streams batches
+/// and reads live estimates, then a control SYNC must account for every
+/// accepted key exactly. Proves accept fan-out, per-reactor connection
+/// bookkeeping, and cross-connection staging at counts far beyond the
+/// latency sweep's.
+fn many_conns_smoke(n: usize, io_model: IoModel) {
+    const BATCHES: usize = 4;
+    const BATCH: usize = 128;
+    let server = spawn_server(io_model);
+    let addr = server.addr();
+    let barrier = Arc::new(std::sync::Barrier::new(n));
+    let workers: Vec<_> = (0..n)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("worker connect");
+                barrier.wait(); // every socket open before anyone writes
+                let keys: Vec<u64> = (0..BATCH as u64)
+                    .map(|i| i.wrapping_mul(31).wrapping_add(c as u64))
+                    .collect();
+                for _ in 0..BATCHES {
+                    assert_eq!(
+                        client.update_batch(&keys).expect("worker update"),
+                        BATCH as u32
+                    );
+                }
+                let est = client.estimate(c as u64 % 64).expect("worker estimate");
+                assert!(est >= 0);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    let routed = Client::connect(addr)
+        .expect("control connect")
+        .sync()
+        .expect("control sync");
+    let expected = (n * BATCHES * BATCH) as u64;
+    assert_eq!(routed, expected, "post-sync count across {n} connections");
+    let stats = server.stats();
+    assert!(stats.connections_accepted > n as u64);
+    let (_, health, gauge) = server.shutdown();
+    assert_eq!(health.total_routed(), expected);
+    assert_eq!(gauge.updates_shed, 0, "Block policy shed");
+    assert_eq!(gauge.protocol_errors, 0);
+    println!(
+        "many-conns smoke OK ({}): {n} connections, {expected} keys routed exactly",
+        io_model.effective().name()
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -394,7 +509,7 @@ fn json_f64(v: f64) -> String {
 fn write_json(path: &str, smoke: bool, exact_keys: usize, rows: &[Row]) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"schema_version\": 2,");
     let _ = writeln!(out, "  \"commit\": \"{}\",", git_commit());
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(
@@ -409,11 +524,14 @@ fn write_json(path: &str, smoke: bool, exact_keys: usize, rows: &[Row]) -> std::
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"connections\": {}, \"read_frac\": {}, \"target_qps\": {}, \
+            "    {{\"io_model\": \"{}\", \"connections\": {}, \"read_frac\": {}, \
+             \"target_qps\": {}, \
              \"achieved_qps\": {}, \"total_ops\": {}, \
              \"read_p50_us\": {}, \"read_p99_us\": {}, \"read_p999_us\": {}, \
              \"write_p50_us\": {}, \"write_p99_us\": {}, \"write_p999_us\": {}, \
+             \"writes_sent\": {}, \"synced_routed\": {}, \
              \"updates_shed\": {}, \"reader_blocked\": {}, \"reader_retries\": {}}}{comma}",
+            r.io_model,
             r.connections,
             json_f64(r.read_frac),
             json_f64(r.target_qps),
@@ -425,6 +543,8 @@ fn write_json(path: &str, smoke: bool, exact_keys: usize, rows: &[Row]) -> std::
             json_f64(r.write_p50_us),
             json_f64(r.write_p99_us),
             json_f64(r.write_p999_us),
+            r.writes_sent,
+            r.synced_routed,
             r.updates_shed,
             r.reader_blocked,
             r.reader_retries,
@@ -445,8 +565,9 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 
 /// Validate `BENCH_serving.json`: schema shape; `updates_shed == 0` and
 /// `reader_blocked == 0` on every row (Block backpressure + wait-free
-/// reads); best aggregate QPS over the floor; read p99 under the ceiling
-/// on every row that served reads.
+/// reads); `writes_sent == synced_routed` on every row (exact accounting
+/// through the staging/mega-batch path); best aggregate QPS over the
+/// floor; read p99 under the ceiling on every row that served reads.
 fn validate_serving(path: &str, min_qps: f64, max_p99_ms: f64) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     for key in [
@@ -469,6 +590,9 @@ fn validate_serving(path: &str, min_qps: f64, max_p99_ms: f64) -> Result<(), Str
         let qps: f64 = get("achieved_qps")?
             .parse()
             .map_err(|e| format!("bad achieved_qps: {e}"))?;
+        let target: f64 = get("target_qps")?
+            .parse()
+            .map_err(|e| format!("bad target_qps: {e}"))?;
         let read_frac: f64 = get("read_frac")?
             .parse()
             .map_err(|e| format!("bad read_frac: {e}"))?;
@@ -481,18 +605,34 @@ fn validate_serving(path: &str, min_qps: f64, max_p99_ms: f64) -> Result<(), Str
         let blocked: u64 = get("reader_blocked")?
             .parse()
             .map_err(|e| format!("bad reader_blocked: {e}"))?;
+        let writes_sent: u64 = get("writes_sent")?
+            .parse()
+            .map_err(|e| format!("bad writes_sent: {e}"))?;
+        let synced: u64 = get("synced_routed")?
+            .parse()
+            .map_err(|e| format!("bad synced_routed: {e}"))?;
         get("total_ops")?;
+        get("io_model")?;
         if shed != 0 {
             return Err(format!("updates shed under Block policy: {line}"));
         }
         if blocked != 0 {
             return Err(format!("reader blocked (reads not wait-free): {line}"));
         }
+        if writes_sent != synced {
+            return Err(format!(
+                "acked writes ({writes_sent}) != post-sync routed ({synced}): {line}"
+            ));
+        }
         if qps <= 0.0 {
             return Err(format!("non-positive achieved_qps: {line}"));
         }
         best_qps = best_qps.max(qps);
-        if read_frac > 0.0 {
+        // The latency ceiling only applies to rows that kept up with
+        // their schedule: an oversaturated (ceiling) row measures peak
+        // throughput, and its open-loop latencies are queueing delay by
+        // construction.
+        if read_frac > 0.0 && qps >= 0.98 * target {
             worst_p99_us = worst_p99_us.max(p99);
         }
     }
@@ -513,67 +653,172 @@ fn validate_serving(path: &str, min_qps: f64, max_p99_ms: f64) -> Result<(), Str
     println!(
         "OK: {rows} rows, best QPS {best_qps:.0} >= {min_qps:.0}, \
          worst read p99 {worst_p99_us:.0}us <= {max_p99_us:.0}us, \
-         zero shed, zero blocked reads"
+         zero shed, zero blocked reads, exact post-sync counts"
+    );
+    Ok(())
+}
+
+/// Extract `(match_key, achieved_qps, read_p99_us)` per result row. Rows
+/// from pre-io_model artifacts (schema 1) match as "threaded" — that is
+/// the engine those artifacts measured.
+fn regress_rows(text: &str) -> Vec<(String, f64, f64)> {
+    text.lines()
+        .filter(|l| l.contains("\"achieved_qps\""))
+        .filter_map(|line| {
+            let io = field(line, "io_model").unwrap_or("threaded");
+            let key = format!(
+                "io={io} conns={} frac={} target={}",
+                field(line, "connections")?,
+                field(line, "read_frac")?,
+                field(line, "target_qps")?,
+            );
+            let qps: f64 = field(line, "achieved_qps")?.parse().ok()?;
+            let p99: f64 = field(line, "read_p99_us")?.parse().ok()?;
+            Some((key, qps, p99))
+        })
+        .collect()
+}
+
+/// Sub-100us p99s are scheduler jitter at these row durations; a relative
+/// gate alone would flag 60us -> 75us as a regression.
+const REGRESS_P99_SLACK_US: f64 = 100.0;
+
+/// Row-by-row perf gate between two artifacts: rows matched on
+/// `(io_model, connections, read_frac, target_qps)` must not lose more
+/// than `tolerance` achieved QPS nor gain more than `tolerance` read p99
+/// (plus a small absolute slack). Rows present in only one artifact are
+/// reported but not failed — sweeps may legitimately grow or shrink.
+fn regress(old_path: &str, new_path: &str, tolerance: f64) -> Result<(), String> {
+    let old_text =
+        std::fs::read_to_string(old_path).map_err(|e| format!("read {old_path}: {e}"))?;
+    let new_text =
+        std::fs::read_to_string(new_path).map_err(|e| format!("read {new_path}: {e}"))?;
+    let old_rows = regress_rows(&old_text);
+    let new_rows = regress_rows(&new_text);
+    if old_rows.is_empty() {
+        return Err(format!("no result rows in {old_path}"));
+    }
+    let mut matched = 0usize;
+    let mut failures = Vec::new();
+    for (key, old_qps, old_p99) in &old_rows {
+        let Some((_, new_qps, new_p99)) = new_rows.iter().find(|(k, _, _)| k == key) else {
+            println!("  (row {key} absent in {new_path}; skipped)");
+            continue;
+        };
+        matched += 1;
+        if *new_qps < old_qps * (1.0 - tolerance) {
+            failures.push(format!(
+                "{key}: achieved_qps {new_qps:.0} fell below {old_qps:.0} by more than \
+                 {:.0}%",
+                tolerance * 100.0
+            ));
+        }
+        if *new_p99 > old_p99 * (1.0 + tolerance) + REGRESS_P99_SLACK_US {
+            failures.push(format!(
+                "{key}: read_p99_us {new_p99:.0} rose above {old_p99:.0} by more than \
+                 {:.0}% (+{REGRESS_P99_SLACK_US:.0}us slack)",
+                tolerance * 100.0
+            ));
+        }
+    }
+    if matched == 0 {
+        return Err(format!(
+            "no comparable rows between {old_path} and {new_path}"
+        ));
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("\n"));
+    }
+    println!(
+        "OK: {matched} rows within ±{:.0}% (qps and read p99) of {old_path}",
+        tolerance * 100.0
     );
     Ok(())
 }
 
 // ---------------------------------------------------------------------------
 
+fn parse_list<T: std::str::FromStr>(s: &str, flag: &str) -> Vec<T> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad {flag} element {p:?}"))
+        })
+        .collect()
+}
+
+fn flag_value(args: &[String], i: &mut usize, name: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| panic!("{name} needs a value"))
+        .clone()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut out_path = "BENCH_serving.json".to_string();
     let mut validate_path: Option<String> = None;
+    let mut regress_paths: Option<(String, String)> = None;
+    let mut tolerance = 0.15f64;
     let mut min_qps = 10_000.0f64;
     let mut max_p99_ms = 200.0f64;
     let mut target_qps: Option<f64> = None;
+    let mut io_model_arg = "both".to_string();
+    let mut conns_override: Option<Vec<usize>> = None;
+    let mut fracs_override: Option<Vec<f64>> = None;
+    let mut duration_override: Option<Duration> = None;
+    let mut many_conns: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
+        macro_rules! value {
+            ($name:literal) => {
+                flag_value(&args, &mut i, $name)
+            };
+        }
         match args[i].as_str() {
             "--smoke" => smoke = true,
-            "--out" => {
-                i += 1;
-                out_path = args.get(i).expect("--out needs a path").clone();
+            "--out" => out_path = value!("--out"),
+            "--validate-serving" => validate_path = Some(value!("--validate-serving")),
+            "--regress" => {
+                let old = value!("--regress");
+                let new = value!("--regress");
+                regress_paths = Some((old, new));
             }
-            "--validate-serving" => {
-                i += 1;
-                validate_path = Some(
-                    args.get(i)
-                        .expect("--validate-serving needs a path")
-                        .clone(),
-                );
-            }
-            "--min-qps" => {
-                i += 1;
-                min_qps = args
-                    .get(i)
-                    .expect("--min-qps needs a value")
-                    .parse()
-                    .expect("bad --min-qps");
-            }
+            "--tolerance" => tolerance = value!("--tolerance").parse().expect("bad --tolerance"),
+            "--min-qps" => min_qps = value!("--min-qps").parse().expect("bad --min-qps"),
             "--max-p99-ms" => {
-                i += 1;
-                max_p99_ms = args
-                    .get(i)
-                    .expect("--max-p99-ms needs a value")
-                    .parse()
-                    .expect("bad --max-p99-ms");
+                max_p99_ms = value!("--max-p99-ms").parse().expect("bad --max-p99-ms");
             }
             "--target-qps" => {
-                i += 1;
-                target_qps = Some(
-                    args.get(i)
-                        .expect("--target-qps needs a value")
-                        .parse()
-                        .expect("bad --target-qps"),
-                );
+                target_qps = Some(value!("--target-qps").parse().expect("bad --target-qps"));
+            }
+            "--io-model" => {
+                io_model_arg = value!("--io-model");
+                if !matches!(io_model_arg.as_str(), "reactor" | "threaded" | "both") {
+                    eprintln!("bad --io-model {io_model_arg} (reactor|threaded|both)");
+                    std::process::exit(2);
+                }
+            }
+            "--conns" => conns_override = Some(parse_list(&value!("--conns"), "--conns")),
+            "--fracs" => fracs_override = Some(parse_list(&value!("--fracs"), "--fracs")),
+            "--duration-ms" => {
+                duration_override = Some(Duration::from_millis(
+                    value!("--duration-ms").parse().expect("bad --duration-ms"),
+                ));
+            }
+            "--many-conns" => {
+                many_conns = Some(value!("--many-conns").parse().expect("bad --many-conns"));
             }
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: serving [--smoke] [--out FILE] \
-                     [--target-qps X] \
-                     [--validate-serving FILE [--min-qps X] [--max-p99-ms X]]"
+                     [--io-model reactor|threaded|both] [--conns A,B] [--fracs X,Y] \
+                     [--duration-ms N] [--target-qps X] [--many-conns N] \
+                     [--validate-serving FILE [--min-qps X] [--max-p99-ms X]] \
+                     [--regress OLD NEW [--tolerance X]]"
                 );
                 std::process::exit(2);
             }
@@ -588,35 +833,73 @@ fn main() {
         }
         return;
     }
+    if let Some((old, new)) = regress_paths {
+        if let Err(e) = regress(&old, &new, tolerance) {
+            eprintln!("serving regression gate FAILED:\n{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let models = sweepable_models(&io_model_arg);
+
+    if let Some(n) = many_conns {
+        for &m in &models {
+            many_conns_smoke(n, m);
+        }
+        return;
+    }
 
     // Exactness first (smoke only): a perf artifact from a wrong server
     // is worthless.
-    let exact_keys = if smoke { smoke_exactness() } else { 0 };
+    let mut exact_keys = 0;
+    if smoke {
+        for &m in &models {
+            exact_keys = smoke_exactness(m);
+        }
+    }
 
-    let (conns, fracs, duration, qps): (&[usize], &[f64], Duration, f64) = if smoke {
+    let (conns, fracs, duration, qps): (Vec<usize>, Vec<f64>, Duration, f64) = if smoke {
         (
-            &[2, 4],
-            &[0.5, 0.9],
-            Duration::from_millis(1_500),
+            conns_override.unwrap_or_else(|| vec![2, 4]),
+            fracs_override.unwrap_or_else(|| vec![0.5, 0.9]),
+            duration_override.unwrap_or(Duration::from_millis(1_500)),
             target_qps.unwrap_or(30_000.0),
         )
     } else {
         (
-            &[1, 4, 8],
-            &[0.1, 0.5, 0.9],
-            Duration::from_secs(4),
+            conns_override.unwrap_or_else(|| vec![1, 4, 8]),
+            fracs_override.unwrap_or_else(|| vec![0.1, 0.5, 0.9]),
+            duration_override.unwrap_or(Duration::from_secs(4)),
             target_qps.unwrap_or(60_000.0),
         )
     };
 
+    // Cell list: the rate-controlled latency grid, plus (full runs only)
+    // one deliberately oversaturated cell per model at the sweep's widest
+    // connection count — the throughput ceiling the io_models are
+    // ultimately compared on.
+    let mut cells: Vec<(usize, f64, f64)> = Vec::new();
+    for &c in &conns {
+        for &f in &fracs {
+            cells.push((c, f, qps));
+        }
+    }
+    if !smoke {
+        let wide = conns.iter().copied().max().unwrap_or(8);
+        cells.push((wide, 0.5, 400_000.0));
+    }
+
     let mut rows = Vec::new();
-    for &c in conns {
-        for &f in fracs {
-            let row = run_row(c, f, qps, duration);
+    for &m in &models {
+        for &(c, f, cell_qps) in &cells {
+            let row = run_row(m, c, f, cell_qps, duration);
             println!(
-                "conns={c} read_frac={f:.1}: {:.0} qps (target {:.0}), \
+                "io={} conns={c} read_frac={f:.1}: {:.0} qps (target {:.0}), \
                  read p50/p99/p999 = {:.0}/{:.0}/{:.0} us, \
-                 write p50/p99 = {:.0}/{:.0} us, shed={} blocked={}",
+                 write p50/p99 = {:.0}/{:.0} us, \
+                 writes {}=={} routed, shed={} blocked={}",
+                row.io_model,
                 row.achieved_qps,
                 row.target_qps,
                 row.read_p50_us,
@@ -624,8 +907,14 @@ fn main() {
                 row.read_p999_us,
                 row.write_p50_us,
                 row.write_p99_us,
+                row.writes_sent,
+                row.synced_routed,
                 row.updates_shed,
                 row.reader_blocked,
+            );
+            assert_eq!(
+                row.writes_sent, row.synced_routed,
+                "acked writes lost before the sync barrier"
             );
             rows.push(row);
         }

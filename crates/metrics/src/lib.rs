@@ -18,6 +18,6 @@ pub use error::{
     EstimatePair, Misclassification,
 };
 pub use runtime::{ShardGauge, ShardedHealth, StorageFault};
-pub use serving::{ConnectionGauge, ServerGauge};
+pub use serving::{ConnectionGauge, ReactorGauge, ServerGauge};
 pub use table::{fnum, Table};
 pub use throughput::{median_throughput, time_ops, Stopwatch, Throughput};

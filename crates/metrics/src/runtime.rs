@@ -139,6 +139,12 @@ impl ShardGauge {
 pub struct ShardedHealth {
     /// Per-shard gauges, indexed by shard.
     pub shards: Vec<ShardGauge>,
+    /// Per-reactor serving I/O gauges. The runtime itself always leaves
+    /// this empty; the serving layer fills it in when an epoll-reactor
+    /// front door sits above this runtime, so one health snapshot carries
+    /// the whole ingest path (absent from gauges predating the reactor).
+    #[serde(default)]
+    pub reactors: Vec<crate::serving::ReactorGauge>,
 }
 
 impl ShardedHealth {
@@ -302,6 +308,7 @@ mod tests {
                     ..ShardGauge::default()
                 },
             ],
+            reactors: Vec::new(),
         };
         assert_eq!(health.total_routed(), 15);
         assert_eq!(health.total_reader_retries(), 1);
@@ -333,6 +340,7 @@ mod tests {
                     ..ShardGauge::default()
                 },
             ],
+            reactors: Vec::new(),
         };
         assert!(health.any_durability_degraded());
         assert_eq!(health.degraded_durability_shards(), 1);
@@ -378,6 +386,7 @@ mod tests {
                     ..ShardGauge::default()
                 },
             ],
+            reactors: Vec::new(),
         };
         // The lossy summary: reports "io" and hides the ENOSPC entirely.
         assert_eq!(
@@ -434,6 +443,7 @@ mod tests {
                     ..ShardGauge::default()
                 },
             ],
+            reactors: Vec::new(),
         };
         assert_eq!(health.worst_durability_error().unwrap().0, 0);
         let empty = ShardedHealth::default();

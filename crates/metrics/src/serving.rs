@@ -26,6 +26,72 @@ pub struct ConnectionGauge {
     pub protocol_errors: u64,
 }
 
+/// Point-in-time I/O counters for one reactor thread of the event-driven
+/// serving data plane. All zeros (and the owning list empty) when the
+/// server runs the threaded io_model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReactorGauge {
+    /// Reactor index within the server.
+    pub reactor: usize,
+    /// Connections currently owned by this reactor.
+    pub connections: u64,
+    /// `epoll_wait` returns that reported at least one event.
+    pub wakeups: u64,
+    /// Request frames decoded by this reactor.
+    pub frames_in: u64,
+    /// Socket read syscalls issued (vectored reads count once).
+    pub read_syscalls: u64,
+    /// Socket write syscalls issued (one gathered write per connection
+    /// per wakeup in steady state).
+    pub write_syscalls: u64,
+    /// Bytes read off sockets.
+    pub bytes_read: u64,
+    /// Bytes written to sockets.
+    pub bytes_written: u64,
+    /// Shard-affine mega-batches flushed straight into the runtime's
+    /// shard rings (one journal seq + one ring push per shard each).
+    pub mega_batches: u64,
+    /// Keys carried by those mega-batches.
+    pub mega_batch_keys: u64,
+    /// Staging-buffer key bound: the fill-ratio denominator for
+    /// [`ReactorGauge::fill_ratio`].
+    pub staging_bound: u64,
+}
+
+impl ReactorGauge {
+    /// Average request frames handled per epoll wakeup.
+    pub fn frames_per_wakeup(&self) -> f64 {
+        ratio(self.frames_in, self.wakeups)
+    }
+
+    /// Average bytes moved per socket syscall (reads + writes).
+    pub fn bytes_per_syscall(&self) -> f64 {
+        ratio(
+            self.bytes_read + self.bytes_written,
+            self.read_syscalls + self.write_syscalls,
+        )
+    }
+
+    /// Average mega-batch fill ratio against the staging bound, in
+    /// `[0, 1]` territory (can exceed 1 when a single oversized request
+    /// blows past the bound and is flushed whole).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.mega_batches == 0 || self.staging_bound == 0 {
+            0.0
+        } else {
+            ratio(self.mega_batch_keys, self.mega_batches) / self.staging_bound as f64
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 /// Point-in-time health of the whole serving layer.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerGauge {
@@ -101,5 +167,30 @@ mod tests {
         assert_eq!(server.updates_shed, 1);
         assert_eq!(server.protocol_errors, 1);
         assert_eq!(server.connections_accepted, 2, "absorb never re-counts");
+    }
+
+    #[test]
+    fn reactor_gauge_derived_ratios() {
+        let g = ReactorGauge::default();
+        assert_eq!(g.frames_per_wakeup(), 0.0);
+        assert_eq!(g.bytes_per_syscall(), 0.0);
+        assert_eq!(g.fill_ratio(), 0.0, "zero denominators never divide");
+
+        let g = ReactorGauge {
+            reactor: 1,
+            connections: 8,
+            wakeups: 10,
+            frames_in: 400,
+            read_syscalls: 10,
+            write_syscalls: 10,
+            bytes_read: 1500,
+            bytes_written: 500,
+            mega_batches: 4,
+            mega_batch_keys: 8192,
+            staging_bound: 4096,
+        };
+        assert!((g.frames_per_wakeup() - 40.0).abs() < 1e-12);
+        assert!((g.bytes_per_syscall() - 100.0).abs() < 1e-12);
+        assert!((g.fill_ratio() - 0.5).abs() < 1e-12);
     }
 }

@@ -1401,6 +1401,20 @@ where
         }
     }
 
+    /// Whether one more shipped batch stays within `bound` in-flight
+    /// batches on this shard's data plane (clamped to the plane's real
+    /// capacity). Degraded shards apply inline — always room; a non-empty
+    /// spill means the plane is already backed up past its capacity.
+    fn data_room(&self, bound: usize) -> bool {
+        let Some(link) = self.link.as_ref() else {
+            return true;
+        };
+        if !self.spill.is_empty() {
+            return false;
+        }
+        self.depth.load(Ordering::Relaxed) < bound.min(link.capacity).max(1)
+    }
+
     /// Barrier against this shard: every routed batch applied and published.
     /// Bounded retries — each failed round trip consumes a restart (or ends
     /// degraded, where state is already published inline).
@@ -1666,6 +1680,57 @@ where
         }
     }
 
+    /// Ship pre-partitioned mega-batches straight to their shards,
+    /// bypassing the router's per-key accumulation: `batches[i]` goes to
+    /// shard `i` whole — one journal sequence, one WAL record, and one
+    /// data-plane push per non-empty shard batch, however many network
+    /// requests were coalesced into it. The caller owns partitioning
+    /// (via [`KeyPartition::shard_of`] from [`partition`](Self::partition))
+    /// and per-shard key order; within a shard this is equivalent to
+    /// routing the same keys through [`insert_batch`](Self::insert_batch).
+    /// Shipped batches are drained to empty; empty slots are untouched.
+    ///
+    /// # Panics
+    /// Panics if `batches.len()` differs from the shard count; debug
+    /// builds also assert every key is in its owning shard's batch.
+    pub fn insert_sharded(&mut self, batches: &mut [Vec<u64>]) {
+        assert_eq!(batches.len(), self.shards.len(), "one batch slot per shard");
+        for (shard, batch) in batches.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            debug_assert!(
+                batch
+                    .iter()
+                    .all(|&k| self.router.partition().shard_of(k) == shard),
+                "mis-partitioned key in shard {shard} batch"
+            );
+            let keys = std::mem::take(batch);
+            self.shards[shard].ship(keys, &self.cfg);
+        }
+    }
+
+    /// All-or-nothing [`insert_sharded`](Self::insert_sharded): ship only
+    /// if every targeted shard's data plane has room under `max_depth`
+    /// in-flight batches (capacity-clamped). Returns `false` — leaving
+    /// every batch untouched for the caller to retry or shed — when any
+    /// target is backed up. The probe-then-ship pair is race-free because
+    /// `&mut self` is the sole producer and workers only drain.
+    ///
+    /// # Panics
+    /// Same contract as [`insert_sharded`](Self::insert_sharded).
+    pub fn try_insert_sharded(&mut self, batches: &mut [Vec<u64>], max_depth: usize) -> bool {
+        assert_eq!(batches.len(), self.shards.len(), "one batch slot per shard");
+        let room = batches
+            .iter()
+            .enumerate()
+            .all(|(shard, batch)| batch.is_empty() || self.shards[shard].data_room(max_depth));
+        if room {
+            self.insert_sharded(batches);
+        }
+        room
+    }
+
     /// Flush every router partial to its shard.
     fn flush_router(&mut self) {
         for shard in 0..self.shards.len() {
@@ -1722,6 +1787,7 @@ where
                 .enumerate()
                 .map(|(i, s)| s.gauge(i, &self.cfg))
                 .collect(),
+            reactors: Vec::new(),
         }
     }
 
@@ -1850,6 +1916,7 @@ where
                 .enumerate()
                 .map(|(i, s)| s.gauge(i, &self.cfg))
                 .collect(),
+            reactors: Vec::new(),
         };
         for st in self.shards.iter_mut() {
             st.durable = None;
@@ -2239,6 +2306,99 @@ mod tests {
                 reference[p.shard_of(key)].estimate(key)
             );
         }
+    }
+
+    /// The reactor's bypass path must be indistinguishable from routing
+    /// the same stream through the router: pre-partition the stream into
+    /// per-shard mega-batches (order preserved within each shard, as the
+    /// serving layer does), ship via `insert_sharded`, and compare every
+    /// distinct key against the sequential reference.
+    #[test]
+    fn insert_sharded_matches_routed_ingest_exactly() {
+        let cfg = ConcurrentConfig {
+            shards: 3,
+            batch: 64,
+            publish_interval: 256,
+            view_interval: 1024,
+            ..ConcurrentConfig::default()
+        };
+        let data = stream(40_000);
+        let mut rt = ConcurrentASketch::spawn(cfg, |i| kernel(10 + i as u64));
+        let p = rt.partition();
+        // Coalesce in chunks, as a reactor would across wakeups.
+        let mut staging: Vec<Vec<u64>> = vec![Vec::new(); p.shards()];
+        for chunk in data.chunks(7_777) {
+            for &key in chunk {
+                staging[p.shard_of(key)].push(key);
+            }
+            rt.insert_sharded(&mut staging);
+            assert!(staging.iter().all(Vec::is_empty), "batches drain on ship");
+        }
+        rt.sync();
+        let reference = sequential_reference(&data, p, |i| kernel(10 + i as u64));
+        let handle = rt.query_handle();
+        let mut keys: Vec<u64> = data.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(
+                handle.estimate(key),
+                reference[p.shard_of(key)].estimate(key),
+                "key {key} diverges via the sharded bypass"
+            );
+        }
+        let health = rt.health();
+        assert_eq!(health.total_routed(), data.len() as u64);
+        rt.finish();
+    }
+
+    /// `try_insert_sharded` is all-or-nothing: with a worker wedged (slow
+    /// kernel) and a depth bound of 1, the probe refuses while a batch is
+    /// in flight and leaves the staging buffers untouched; accepted books
+    /// stay exact (total routed == keys accepted).
+    #[test]
+    fn try_insert_sharded_is_all_or_nothing_under_depth_bound() {
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 64,
+            publish_interval: 16,
+            view_interval: 64,
+            ..ConcurrentConfig::default()
+        };
+        let mut rt = ConcurrentASketch::spawn(cfg, |i| kernel(30 + i as u64));
+        let p = rt.partition();
+        let mut accepted = 0u64;
+        let mut refused = 0u64;
+        let mut staging: Vec<Vec<u64>> = vec![Vec::new(); p.shards()];
+        for round in 0..200u64 {
+            for i in 0..500u64 {
+                let key = round * 1_000 + i;
+                staging[p.shard_of(key)].push(key);
+            }
+            let staged: u64 = staging.iter().map(|b| b.len() as u64).sum();
+            if rt.try_insert_sharded(&mut staging, 1) {
+                accepted += staged;
+                assert!(staging.iter().all(Vec::is_empty), "shipped batches drain");
+            } else {
+                refused += 1;
+                assert_eq!(
+                    staging.iter().map(|b| b.len() as u64).sum::<u64>(),
+                    staged,
+                    "a refused flush must leave staging untouched"
+                );
+                for b in staging.iter_mut() {
+                    b.clear(); // caller sheds
+                }
+            }
+        }
+        rt.sync();
+        assert_eq!(
+            rt.health().total_routed(),
+            accepted,
+            "books must balance: accepted keys and only accepted keys routed \
+             ({refused} flushes refused)"
+        );
+        rt.finish();
     }
 
     #[test]

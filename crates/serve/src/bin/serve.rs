@@ -5,6 +5,7 @@
 //! serve [--addr HOST:PORT] [--shards N] [--batch N] [--queue N]
 //!       [--bytes N] [--depth N] [--filter-items N] [--seed N]
 //!       [--data-plane ring|channel] [--pin-workers]
+//!       [--io-model reactor|threaded] [--reactors N] [--staging-keys N]
 //!       [--shed] [--verbose]
 //! ```
 //!
@@ -23,7 +24,7 @@ use std::process::ExitCode;
 use asketch::filter::VectorFilter;
 use asketch::ASketch;
 use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, ConcurrentConfig, DataPlane};
-use asketch_serve::{ServeConfig, Server};
+use asketch_serve::{IoModel, ServeConfig, Server};
 use sketches::CountMin;
 
 struct Args {
@@ -37,6 +38,9 @@ struct Args {
     seed: u64,
     data_plane: DataPlane,
     pin_workers: bool,
+    io_model: IoModel,
+    reactors: usize,
+    staging_keys: usize,
     shed: bool,
     verbose: bool,
 }
@@ -54,6 +58,9 @@ impl Default for Args {
             seed: 0x5EED_2016,
             data_plane: DataPlane::default(),
             pin_workers: false,
+            io_model: IoModel::default(),
+            reactors: 0,
+            staging_keys: 0,
             shed: false,
             verbose: false,
         }
@@ -82,6 +89,15 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--pin-workers" => args.pin_workers = true,
+            "--io-model" => {
+                args.io_model = match value("--io-model")?.as_str() {
+                    "reactor" => IoModel::Reactor,
+                    "threaded" => IoModel::Threaded,
+                    other => return Err(format!("bad --io-model {other} (reactor|threaded)")),
+                }
+            }
+            "--reactors" => args.reactors = parse_num(&value("--reactors")?)?,
+            "--staging-keys" => args.staging_keys = parse_num(&value("--staging-keys")?)?,
             "--shed" => args.shed = true,
             "--verbose" => args.verbose = true,
             "--help" | "-h" => return Err("help".to_string()),
@@ -109,7 +125,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: serve [--addr HOST:PORT] [--shards N] [--batch N] [--queue N] \
                  [--bytes N] [--depth N] [--filter-items N] [--seed N] \
-                 [--data-plane ring|channel] [--pin-workers] [--shed] [--verbose]"
+                 [--data-plane ring|channel] [--pin-workers] \
+                 [--io-model reactor|threaded] [--reactors N] [--staging-keys N] \
+                 [--shed] [--verbose]"
             );
             return ExitCode::from(2);
         }
@@ -145,6 +163,9 @@ fn main() -> ExitCode {
             BackpressurePolicy::Block
         },
         log_disconnects: args.verbose,
+        io_model: args.io_model,
+        reactors: args.reactors,
+        staging_keys: args.staging_keys,
         ..ServeConfig::default()
     };
     let server = match Server::spawn(serve_cfg, rt) {

@@ -102,6 +102,83 @@ impl FrameError {
     }
 }
 
+/// Key bytes borrowed straight out of a frame payload: a byte slice
+/// whose length is a multiple of 8, viewed as little-endian `u64` keys.
+/// This is the zero-copy half of the codec — the reactor stages these
+/// straight into per-shard batches without ever materializing a `Vec`
+/// per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyBytes<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> KeyBytes<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        debug_assert_eq!(bytes.len() % 8, 0, "KeyBytes needs whole u64s");
+        Self { bytes }
+    }
+
+    /// Number of keys in the view.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 8
+    }
+
+    /// True when the view carries no keys.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Iterate the keys without allocating.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + 'a {
+        self.bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+    }
+
+    /// Copy the keys out into an owned vector.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+}
+
+/// A client request decoded without copying its key payload: batch
+/// variants borrow [`KeyBytes`] views into the caller's buffer. The
+/// owned [`Request`] decode is defined as `decode_request_ref` +
+/// [`RequestRef::to_owned`], so the two can never disagree (the fuzz
+/// suite still checks the equivalence independently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestRef<'a> {
+    /// Ingest one key.
+    Update(u64),
+    /// Ingest a batch of keys in order (borrowed).
+    UpdateBatch(KeyBytes<'a>),
+    /// Point estimate for one key.
+    Estimate(u64),
+    /// Point estimates for a batch of keys (borrowed), answers in order.
+    EstimateBatch(KeyBytes<'a>),
+    /// Top-k heavy hitters across shards.
+    TopK(u32),
+    /// Server + runtime health gauges.
+    Health,
+    /// Durability/visibility barrier.
+    Sync,
+}
+
+impl RequestRef<'_> {
+    /// Copy out into the owned [`Request`] form.
+    pub fn to_owned(&self) -> Request {
+        match self {
+            RequestRef::Update(k) => Request::Update(*k),
+            RequestRef::UpdateBatch(keys) => Request::UpdateBatch(keys.to_vec()),
+            RequestRef::Estimate(k) => Request::Estimate(*k),
+            RequestRef::EstimateBatch(keys) => Request::EstimateBatch(keys.to_vec()),
+            RequestRef::TopK(k) => Request::TopK(*k),
+            RequestRef::Health => Request::Health,
+            RequestRef::Sync => Request::Sync,
+        }
+    }
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -134,6 +211,32 @@ pub struct ShardHealthWire {
     pub fault_class: String,
 }
 
+/// Per-reactor I/O gauges as carried by a `HEALTH_INFO` frame. All zero
+/// (and the list empty) under the threaded io_model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorHealthWire {
+    /// Connections currently owned by this reactor.
+    pub connections: u64,
+    /// `epoll_wait` returns that reported at least one event.
+    pub wakeups: u64,
+    /// Request frames decoded.
+    pub frames_in: u64,
+    /// Socket read syscalls issued.
+    pub read_syscalls: u64,
+    /// Socket write syscalls issued.
+    pub write_syscalls: u64,
+    /// Payload bytes read off sockets.
+    pub bytes_read: u64,
+    /// Payload bytes written to sockets.
+    pub bytes_written: u64,
+    /// Shard-affine mega-batches flushed into the runtime.
+    pub mega_batches: u64,
+    /// Keys carried by those mega-batches.
+    pub mega_batch_keys: u64,
+    /// Staging-buffer key bound (mega-batch fill ratio denominator).
+    pub staging_bound: u64,
+}
+
 /// Server + runtime health as carried by a `HEALTH_INFO` frame.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HealthInfoWire {
@@ -149,6 +252,8 @@ pub struct HealthInfoWire {
     pub worst_fault_class: String,
     /// Per-shard health, indexed by shard.
     pub shards: Vec<ShardHealthWire>,
+    /// Per-reactor I/O gauges (empty under the threaded io_model).
+    pub reactors: Vec<ReactorHealthWire>,
 }
 
 /// A server response.
@@ -241,13 +346,14 @@ impl<'a> Cursor<'a> {
         Ok(self.u64()? as i64)
     }
 
-    /// `n` u64s, validated against the bytes actually present *before*
-    /// any allocation — a hostile count cannot drive an OOM.
-    fn u64s(&mut self, n: usize) -> Result<Vec<u64>, FrameError> {
+    /// `n` u64s as a borrowed [`KeyBytes`] view, validated against the
+    /// bytes actually present *before* anything else — a hostile count
+    /// cannot drive an OOM (nothing is allocated at all here).
+    fn key_bytes(&mut self, n: usize) -> Result<KeyBytes<'a>, FrameError> {
         if self.remaining().checked_div(8).is_none_or(|cap| cap < n) {
             return Err(FrameError::BadCount);
         }
-        (0..n).map(|_| self.u64()).collect()
+        Ok(KeyBytes::new(self.take(n * 8)?))
     }
 
     fn finish(&self) -> Result<(), FrameError> {
@@ -329,6 +435,23 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
                 out.push(flags);
                 put_str(out, &s.fault_class);
             }
+            out.extend_from_slice(&(info.reactors.len() as u32).to_le_bytes());
+            for r in &info.reactors {
+                for v in [
+                    r.connections,
+                    r.wakeups,
+                    r.frames_in,
+                    r.read_syscalls,
+                    r.write_syscalls,
+                    r.bytes_read,
+                    r.bytes_written,
+                    r.mega_batches,
+                    r.mega_batch_keys,
+                    r.staging_bound,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
         }
         Response::Synced(total) => {
             out.push(OP_SYNCED);
@@ -346,32 +469,44 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
     end_frame(out, start);
 }
 
-/// Decode one request from a frame payload (length prefix stripped).
+/// Decode one request from a frame payload (length prefix stripped),
+/// borrowing batch keys from `payload` instead of allocating.
+///
+/// # Errors
+/// [`FrameError`] naming exactly what is wrong; never panics, for any
+/// input bytes.
+pub fn decode_request_ref(payload: &[u8]) -> Result<RequestRef<'_>, FrameError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    let req = match op {
+        OP_UPDATE => RequestRef::Update(c.u64()?),
+        OP_UPDATE_BATCH => {
+            let n = c.u32()? as usize;
+            RequestRef::UpdateBatch(c.key_bytes(n)?)
+        }
+        OP_ESTIMATE => RequestRef::Estimate(c.u64()?),
+        OP_ESTIMATE_BATCH => {
+            let n = c.u32()? as usize;
+            RequestRef::EstimateBatch(c.key_bytes(n)?)
+        }
+        OP_TOPK => RequestRef::TopK(c.u32()?),
+        OP_HEALTH => RequestRef::Health,
+        OP_SYNC => RequestRef::Sync,
+        other => return Err(FrameError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decode one request from a frame payload (length prefix stripped) into
+/// the owned form. Defined as [`decode_request_ref`] + copy-out, so the
+/// borrowed and owned decoders agree by construction.
 ///
 /// # Errors
 /// [`FrameError`] naming exactly what is wrong; never panics, for any
 /// input bytes.
 pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
-    let mut c = Cursor::new(payload);
-    let op = c.u8()?;
-    let req = match op {
-        OP_UPDATE => Request::Update(c.u64()?),
-        OP_UPDATE_BATCH => {
-            let n = c.u32()? as usize;
-            Request::UpdateBatch(c.u64s(n)?)
-        }
-        OP_ESTIMATE => Request::Estimate(c.u64()?),
-        OP_ESTIMATE_BATCH => {
-            let n = c.u32()? as usize;
-            Request::EstimateBatch(c.u64s(n)?)
-        }
-        OP_TOPK => Request::TopK(c.u32()?),
-        OP_HEALTH => Request::Health,
-        OP_SYNC => Request::Sync,
-        other => return Err(FrameError::UnknownOpcode(other)),
-    };
-    c.finish()?;
-    Ok(req)
+    decode_request_ref(payload).map(|r| r.to_owned())
 }
 
 /// Decode one response from a frame payload (length prefix stripped).
@@ -429,6 +564,29 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
                     fault_class,
                 });
             }
+            let reactor_count = c.u32()? as usize;
+            // Each reactor entry is exactly 10 u64s (80 bytes).
+            if c.remaining()
+                .checked_div(80)
+                .is_none_or(|cap| cap < reactor_count)
+            {
+                return Err(FrameError::BadCount);
+            }
+            let mut reactors = Vec::with_capacity(reactor_count);
+            for _ in 0..reactor_count {
+                reactors.push(ReactorHealthWire {
+                    connections: c.u64()?,
+                    wakeups: c.u64()?,
+                    frames_in: c.u64()?,
+                    read_syscalls: c.u64()?,
+                    write_syscalls: c.u64()?,
+                    bytes_read: c.u64()?,
+                    bytes_written: c.u64()?,
+                    mega_batches: c.u64()?,
+                    mega_batch_keys: c.u64()?,
+                    staging_bound: c.u64()?,
+                });
+            }
             Response::HealthInfo(HealthInfoWire {
                 total_routed,
                 reader_retries,
@@ -436,6 +594,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
                 worst_fault_shard: (worst_raw != u32::MAX).then_some(worst_raw),
                 worst_fault_class,
                 shards,
+                reactors,
             })
         }
         OP_SYNCED => Response::Synced(c.u64()?),
@@ -550,7 +709,43 @@ mod tests {
                     fault_class: "no-space".into(),
                 },
             ],
+            reactors: vec![ReactorHealthWire {
+                connections: 3,
+                wakeups: 40,
+                frames_in: 200,
+                read_syscalls: 41,
+                write_syscalls: 39,
+                bytes_read: 9000,
+                bytes_written: 4200,
+                mega_batches: 12,
+                mega_batch_keys: 3000,
+                staging_bound: 16384,
+            }],
         }));
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned_and_borrows_in_place() {
+        let keys = vec![7u64, 0, u64::MAX, 42];
+        let mut buf = Vec::new();
+        encode_request(&Request::UpdateBatch(keys.clone()), &mut buf);
+        let payload = &buf[4..];
+        let borrowed = decode_request_ref(payload).unwrap();
+        match borrowed {
+            RequestRef::UpdateBatch(kb) => {
+                assert_eq!(kb.len(), keys.len());
+                assert!(!kb.is_empty());
+                assert_eq!(kb.to_vec(), keys);
+                assert_eq!(kb.iter().collect::<Vec<_>>(), keys);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(borrowed.to_owned(), decode_request(payload).unwrap());
+
+        // Hostile count is still rejected before any allocation.
+        let mut body = vec![0x02];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request_ref(&body), Err(FrameError::BadCount));
     }
 
     #[test]

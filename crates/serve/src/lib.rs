@@ -2,19 +2,30 @@
 //!
 //! A pipelined, length-prefixed binary protocol (see [`frame`] and
 //! DESIGN.md §14) with the split the runtime was built for: writes flow
-//! through the supervised shard channels of
+//! into the supervised shard data plane of
 //! [`asketch_parallel::ConcurrentASketch`], reads come straight off the
 //! seqlock filter snapshots via [`asketch_parallel::QueryHandle`] and
 //! never queue behind ingest.
 //!
-//! - [`frame`] — pure codec: request/response types, encode/decode,
-//!   never panics on hostile bytes.
-//! - [`server`] — acceptor/connection/writer threads, backpressure,
-//!   ordering, graceful shutdown.
+//! Two I/O engines sit behind one facade ([`ServeConfig::io_model`]):
+//!
+//! - [`reactor`] *(Linux, default)* — N epoll reactor threads, in-place
+//!   frame decode, cross-connection shard-affine staging flushed as
+//!   mega-batches, one gathered write syscall per connection per wakeup.
+//!   See DESIGN.md §16.
+//! - [`threaded`] *(portable fallback)* — the original
+//!   thread-per-connection loop over blocking sockets.
+//!
+//! Modules:
+//!
+//! - [`frame`] — pure codec: request/response types, encode/decode
+//!   (owned and zero-copy borrowed forms), never panics on hostile bytes.
+//! - [`server`] — the [`Server`] facade: config, counters, engine
+//!   selection, graceful shutdown.
 //! - [`client`] — minimal blocking client used by tests, the CI smoke,
 //!   and the load generator.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // sys.rs scopes a documented allow for the epoll FFI
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -22,9 +33,18 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
+mod conn;
+#[cfg(target_os = "linux")]
+mod reactor;
+mod staging;
+#[cfg(target_os = "linux")]
+mod sys;
+mod threaded;
+
 pub use client::Client;
 pub use frame::{
-    decode_request, decode_response, encode_request, encode_response, ErrorCode, FrameError,
-    HealthInfoWire, Request, Response, ShardHealthWire, MAX_BATCH, MAX_FRAME,
+    decode_request, decode_request_ref, decode_response, encode_request, encode_response,
+    ErrorCode, FrameError, HealthInfoWire, KeyBytes, ReactorHealthWire, Request, RequestRef,
+    Response, ShardHealthWire, MAX_BATCH, MAX_FRAME,
 };
-pub use server::{ServeConfig, Server, ServerStats};
+pub use server::{IoModel, ServeConfig, Server, ServerStats};

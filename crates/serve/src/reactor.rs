@@ -1,0 +1,841 @@
+//! The event-driven serving data plane (Linux): N epoll reactor threads
+//! own disjoint nonblocking connection sets and drive the whole
+//! request/response cycle without per-connection threads.
+//!
+//! # Wakeup anatomy
+//!
+//! One `epoll_wait` wakeup on a reactor:
+//!
+//! 1. **Adopt** — new sockets the acceptor round-robined into this
+//!    reactor's inbox (eventfd-signalled) are registered, level-triggered.
+//! 2. **Read + decode** — each readable connection is drained with
+//!    vectored reads (bounded per connection per wakeup, so one firehose
+//!    cannot starve its neighbours), and complete frames are decoded **in
+//!    place** ([`decode_request_ref`]) from the connection buffer.
+//!    Reads (`ESTIMATE`/`ESTIMATE_BATCH`/`TOPK`) are answered immediately
+//!    from the wait-free [`QueryHandle`] seqlock snapshots; write keys are
+//!    partitioned into the reactor's cross-connection [`Staging`]
+//!    buckets. Responses are appended to the connection's gather buffer —
+//!    nothing touches the socket yet.
+//! 3. **Flush** — staged keys ship to the runtime as one mega-batch per
+//!    shard ([`ConcurrentASketch::insert_sharded`]): one journal sequence
+//!    and one ring push per shard per wakeup instead of one per frame.
+//! 4. **Write** — each touched connection's responses go out in a single
+//!    write syscall. Short writes arm `EPOLLOUT` and resume exactly where
+//!    they stopped next wakeup.
+//!
+//! # Ordering, backpressure, durability
+//!
+//! *Ordering*: frames are decoded and answered sequentially per
+//! connection, and the gather buffer preserves append order across
+//! partial writes — response order equals request order under pipelining,
+//! exactly as in the threaded engine.
+//!
+//! *Backpressure*: under [`BackpressurePolicy::Block`] the staging flush
+//! blocks until the rings accept the batch; reads are bounded per wakeup,
+//! so a flooding client fills its kernel buffers and stalls (end-to-end
+//! TCP backpressure, zero shed). Under `InlineFallback` an arriving frame
+//! that cannot fit probes the runtime's in-flight depth
+//! ([`ConcurrentASketch::try_insert_sharded`], all-or-nothing) and the
+//! frame is shed whole with `ERROR overloaded` when there is no room —
+//! accepted keys are never dropped, shed keys are never staged, so the
+//! books stay exact.
+//!
+//! *Durability*: the staging flush runs **before** the write pass, and
+//! `insert_sharded` journals before it sends — so by the time an `OK`
+//! reaches a client, its keys have a journal sequence and a ring slot
+//! (at least as strong as the threaded engine's accepted-queue
+//! guarantee). SYNC flushes this reactor's staging, then runs the
+//! runtime barrier + WAL checkpoint under the core lock.
+//!
+//! # The core lock
+//!
+//! The runtime lives in an `Arc<Mutex<Option<..>>>` shared by the
+//! reactors. The mutex serializes flushes, which is what preserves the
+//! ring's single-producer invariant with N reactor threads; it is taken
+//! once per mega-batch (not per frame), so it is far off the hot path.
+//! Shutdown joins the reactors first (each does a final blocking flush),
+//! then takes the runtime out and finishes it with its documented
+//! shutdown ordering.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use asketch::Filter;
+use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, QueryHandle};
+use eval_metrics::{ConnectionGauge, ReactorGauge, ShardedHealth};
+use sketches::{SharedView, UpdateEstimate};
+
+use crate::conn::{Conn, ReadProgress, OUT_HIGH_WATER, OUT_LOW_WATER, READ_CHUNK};
+use crate::frame::{
+    decode_request_ref, encode_response, ErrorCode, RequestRef, Response, MAX_FRAME,
+};
+use crate::server::{health_wire, shutting_down, Finished, ServeConfig, ServerStats};
+use crate::staging::Staging;
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Vectored reads per connection per wakeup: bounds how much one
+/// connection can monopolize a wakeup (level-triggered epoll re-reports
+/// anything left unread).
+const MAX_READS_PER_WAKEUP: usize = 4;
+
+/// Idle `epoll_wait` timeout; wakes are eventfd-driven, this only bounds
+/// how stale the stop-flag check can get.
+const IDLE_TIMEOUT_MS: i32 = 200;
+
+/// How long shutdown keeps trying to drain pending response bytes.
+const SHUTDOWN_DRAIN: Duration = Duration::from_millis(500);
+
+/// Live per-reactor I/O counters, shared so any reactor can snapshot the
+/// whole set for a HEALTH frame.
+#[derive(Default)]
+struct GaugeCells {
+    connections: AtomicU64,
+    wakeups: AtomicU64,
+    frames_in: AtomicU64,
+    read_syscalls: AtomicU64,
+    write_syscalls: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    mega_batches: AtomicU64,
+    mega_batch_keys: AtomicU64,
+    staging_bound: AtomicU64,
+}
+
+impl GaugeCells {
+    fn snapshot(&self, reactor: usize) -> ReactorGauge {
+        ReactorGauge {
+            reactor,
+            connections: self.connections.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            read_syscalls: self.read_syscalls.load(Ordering::Relaxed),
+            write_syscalls: self.write_syscalls.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            mega_batches: self.mega_batches.load(Ordering::Relaxed),
+            mega_batch_keys: self.mega_batch_keys.load(Ordering::Relaxed),
+            staging_bound: self.staging_bound.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The acceptor→reactor handoff: accepted sockets parked under a mutex,
+/// an eventfd to lift the reactor out of `epoll_wait`.
+struct Inbox {
+    incoming: Mutex<Vec<TcpStream>>,
+    wake: EventFd,
+}
+
+/// The shared, reactor-flushed runtime. `None` once shutdown took it.
+type IngestCore<F, S> = Arc<Mutex<Option<ConcurrentASketch<F, S>>>>;
+
+/// The running reactor engine behind the [`crate::Server`] facade.
+pub(crate) struct ReactorEngine<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    stop: Arc<AtomicBool>,
+    core: IngestCore<F, S>,
+    acceptor: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    inboxes: Arc<Vec<Inbox>>,
+    gauges: Arc<Vec<GaugeCells>>,
+}
+
+impl<F, S> ReactorEngine<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    /// Start serving `rt` on an already-bound nonblocking `listener`.
+    ///
+    /// # Errors
+    /// epoll/eventfd creation or thread-spawn failures.
+    pub(crate) fn spawn(
+        listener: TcpListener,
+        cfg: ServeConfig,
+        rt: ConcurrentASketch<F, S>,
+        stats: Arc<ServerStats>,
+        handle: QueryHandle<S>,
+    ) -> io::Result<Self> {
+        let n = cfg.reactor_count();
+        let partition = rt.partition();
+        let stop = Arc::new(AtomicBool::new(false));
+        let core: IngestCore<F, S> = Arc::new(Mutex::new(Some(rt)));
+
+        let mut inboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            inboxes.push(Inbox {
+                incoming: Mutex::new(Vec::new()),
+                wake: EventFd::new()?,
+            });
+        }
+        let inboxes = Arc::new(inboxes);
+
+        let gauges: Arc<Vec<GaugeCells>> = Arc::new(
+            (0..n)
+                .map(|_| {
+                    let cells = GaugeCells::default();
+                    cells
+                        .staging_bound
+                        .store(cfg.staging_bound() as u64, Ordering::Relaxed);
+                    cells
+                })
+                .collect(),
+        );
+
+        let mut reactors = Vec::with_capacity(n);
+        for idx in 0..n {
+            let reactor = Reactor {
+                idx,
+                epoll: Epoll::new()?,
+                stop: Arc::clone(&stop),
+                core: Arc::clone(&core),
+                inboxes: Arc::clone(&inboxes),
+                gauges: Arc::clone(&gauges),
+                handle: handle.clone(),
+                stats: Arc::clone(&stats),
+                cfg: cfg.clone(),
+                staging: Staging::new(partition, cfg.staging_bound()),
+                max_depth: cfg.ingest_queue.max(1),
+                conns: Vec::new(),
+                free: Vec::new(),
+                touched: Vec::new(),
+                scratch: Box::new([0u8; READ_CHUNK]),
+            };
+            let t = std::thread::Builder::new()
+                .name(format!("serve-reactor-{idx}"))
+                .spawn(move || reactor.run())?;
+            reactors.push(t);
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let inboxes = Arc::clone(&inboxes);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || {
+                    let mut next = 0usize;
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((sock, _peer)) => {
+                                let _ = sock.set_nodelay(true);
+                                if sock.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                                let inbox = &inboxes[next % inboxes.len()];
+                                next = next.wrapping_add(1);
+                                inbox
+                                    .incoming
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .push(sock);
+                                inbox.wake.wake();
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })?
+        };
+
+        Ok(Self {
+            stop,
+            core,
+            acceptor: Some(acceptor),
+            reactors,
+            inboxes,
+            gauges,
+        })
+    }
+
+    /// Graceful shutdown: stop accepting, let every reactor drain its
+    /// connections and blocking-flush its staging, then take the runtime
+    /// and finish it. The returned health carries the final per-reactor
+    /// I/O gauges.
+    pub(crate) fn finish(&mut self) -> Finished<F, S> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for inbox in self.inboxes.iter() {
+            inbox.wake.wake();
+        }
+        for t in self.reactors.drain(..) {
+            let _ = t.join();
+        }
+        let rt = self
+            .core
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        match rt {
+            Some(rt) => {
+                let (kernels, mut health) = rt.finish_with_health();
+                health.reactors = self
+                    .gauges
+                    .iter()
+                    .enumerate()
+                    .map(|(i, g)| g.snapshot(i))
+                    .collect();
+                (kernels, health)
+            }
+            None => (Vec::new(), ShardedHealth::default()),
+        }
+    }
+}
+
+impl<F, S> Drop for ReactorEngine<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    /// Best-effort teardown when dropped without a graceful finish:
+    /// signal stop and wake the reactors; they flush and wind down on
+    /// their own, and the runtime drops with the last core reference.
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for inbox in self.inboxes.iter() {
+            inbox.wake.wake();
+        }
+    }
+}
+
+/// One reactor thread's state: its epoll instance, its connection slab,
+/// and its cross-connection staging.
+struct Reactor<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    idx: usize,
+    epoll: Epoll,
+    stop: Arc<AtomicBool>,
+    core: IngestCore<F, S>,
+    inboxes: Arc<Vec<Inbox>>,
+    gauges: Arc<Vec<GaugeCells>>,
+    handle: QueryHandle<S>,
+    stats: Arc<ServerStats>,
+    cfg: ServeConfig,
+    staging: Staging,
+    max_depth: usize,
+    /// Connection slab; epoll token = slot + 1 (token 0 is the eventfd).
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Slots that produced output this wakeup (write-pass worklist).
+    touched: Vec<usize>,
+    scratch: Box<[u8; READ_CHUNK]>,
+}
+
+impl<F, S> Reactor<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    fn run(mut self) {
+        if self
+            .epoll
+            .add(self.inboxes[self.idx].wake.raw_fd(), EPOLLIN, 0)
+            .is_err()
+        {
+            return;
+        }
+        let mut events = vec![EpollEvent::zeroed(); 256];
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            // Mid-wakeup state never survives: staging flushes and
+            // touched drains at the end of every wakeup, so the idle
+            // timeout only bounds stop-flag staleness.
+            let n = match self.epoll.wait(&mut events, IDLE_TIMEOUT_MS) {
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            self.gauges[self.idx]
+                .wakeups
+                .fetch_add(1, Ordering::Relaxed);
+            for ev in &events[..n] {
+                let token = ev.token();
+                if token == 0 {
+                    self.inboxes[self.idx].wake.drain();
+                    self.adopt_incoming();
+                } else {
+                    self.handle_conn_event((token - 1) as usize, ev.mask());
+                }
+            }
+            // Flush BEFORE the write pass: an OK that reaches a socket is
+            // always backed by journaled, ring-resident keys.
+            self.flush_blocking();
+            self.write_pass();
+        }
+        self.shutdown_drain();
+    }
+
+    /// Register sockets the acceptor handed to this reactor.
+    fn adopt_incoming(&mut self) {
+        let sockets: Vec<TcpStream> = self.inboxes[self.idx]
+            .incoming
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for sock in sockets {
+            let slot = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.conns.len() - 1
+            });
+            let mut conn = Conn::new(sock);
+            conn.interest = EPOLLIN | EPOLLRDHUP;
+            if self
+                .epoll
+                .add(conn.sock().as_raw_fd(), conn.interest, (slot + 1) as u64)
+                .is_err()
+            {
+                self.free.push(slot);
+                continue;
+            }
+            self.stats
+                .connections_active
+                .fetch_add(1, Ordering::Relaxed);
+            self.gauges[self.idx]
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            self.conns[slot] = Some(conn);
+        }
+    }
+
+    /// React to one epoll event on a connection.
+    fn handle_conn_event(&mut self, slot: usize, mask: u32) {
+        let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let mut alive = mask & EPOLLERR == 0;
+        if alive && mask & EPOLLIN != 0 && !conn.read_parked && !conn.closing {
+            alive = self.read_and_process(&mut conn);
+        } else if alive && mask & (EPOLLHUP | EPOLLRDHUP) != 0 && !conn.closing {
+            // Peer hung up with nothing readable: drain what we owe,
+            // then close.
+            conn.closing = true;
+        }
+        if !alive {
+            self.close_conn(slot, conn);
+            return;
+        }
+        if !conn.touched {
+            conn.touched = true;
+            self.touched.push(slot);
+        }
+        self.conns[slot] = Some(conn);
+    }
+
+    /// Drain the socket (bounded) and process every complete frame.
+    /// Returns `false` when the transport is unusable.
+    fn read_and_process(&mut self, conn: &mut Conn) -> bool {
+        for _ in 0..MAX_READS_PER_WAKEUP {
+            match conn.read_some(&mut self.scratch) {
+                ReadProgress::Data(n) => {
+                    let cells = &self.gauges[self.idx];
+                    cells.read_syscalls.fetch_add(1, Ordering::Relaxed);
+                    cells.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+                    self.process_frames(conn);
+                    if conn.closing || conn.read_parked {
+                        break;
+                    }
+                    if n < READ_CHUNK {
+                        break;
+                    }
+                }
+                ReadProgress::Eof => {
+                    // Complete frames were already answered after each
+                    // read; whatever remains is a torn frame and is
+                    // deliberately not applied. Deliver what we owe,
+                    // then close.
+                    conn.closing = true;
+                    break;
+                }
+                ReadProgress::WouldBlock => break,
+                ReadProgress::Broken => return false,
+            }
+        }
+        true
+    }
+
+    /// Decode and answer every complete frame in `conn.buf`, in place.
+    fn process_frames(&mut self, conn: &mut Conn) {
+        // Move the buffers out so the borrow of `buf` inside
+        // `decode_request_ref` leaves `self`/`conn` free for staging,
+        // stats, and the query handle.
+        let buf = std::mem::take(&mut conn.buf);
+        let mut out = std::mem::take(&mut conn.out);
+        let mut off = 0usize;
+        while buf.len() - off >= 4 {
+            let declared = u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]);
+            if declared > MAX_FRAME {
+                // Framing is unrecoverable: answer why, then close once
+                // the answer drains.
+                self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.gauge.protocol_errors += 1;
+                let resp = Response::Error {
+                    code: ErrorCode::TooLarge,
+                    detail: format!("declared frame length {declared} exceeds {MAX_FRAME}"),
+                };
+                encode_response(&resp, &mut out);
+                self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                conn.gauge.frames_out += 1;
+                conn.closing = true;
+                off = buf.len();
+                break;
+            }
+            let len = declared as usize;
+            if buf.len() - off - 4 < len {
+                break; // partial frame; resume after the next read
+            }
+            let payload = &buf[off + 4..off + 4 + len];
+            off += 4 + len;
+            self.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+            self.gauges[self.idx]
+                .frames_in
+                .fetch_add(1, Ordering::Relaxed);
+            conn.gauge.frames_in += 1;
+            let resp = match decode_request_ref(payload) {
+                Ok(req) => self.answer(req, &mut conn.gauge),
+                Err(e) => {
+                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    conn.gauge.protocol_errors += 1;
+                    Response::Error {
+                        code: e.code(),
+                        detail: e.detail(),
+                    }
+                }
+            };
+            encode_response(&resp, &mut out);
+            self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+            conn.gauge.frames_out += 1;
+        }
+        conn.buf = buf;
+        conn.out = out;
+        conn.consume(off);
+        if conn.closing {
+            conn.buf.clear();
+        }
+    }
+
+    /// Answer one decoded request. Reads come straight off the snapshot
+    /// handle; writes go through the staging path under the configured
+    /// backpressure policy.
+    fn answer(&mut self, req: RequestRef<'_>, gauge: &mut ConnectionGauge) -> Response {
+        match req {
+            RequestRef::Update(key) => self.ingest(1, std::iter::once(key), gauge),
+            RequestRef::UpdateBatch(keys) => self.ingest(keys.len(), keys.iter(), gauge),
+            RequestRef::Estimate(key) => {
+                let before = self.handle.reader_retries();
+                let value = self.handle.estimate(key);
+                self.track_read(self.handle.reader_retries() - before, 1, gauge);
+                Response::Value(value)
+            }
+            RequestRef::EstimateBatch(keys) => {
+                let owned = keys.to_vec();
+                let before = self.handle.reader_retries();
+                let values = self.handle.estimate_batch(&owned);
+                self.track_read(
+                    self.handle.reader_retries() - before,
+                    owned.len() as u64,
+                    gauge,
+                );
+                Response::Values(values)
+            }
+            RequestRef::TopK(k) => {
+                let items = self.handle.top_k((k as usize).min(1 << 16));
+                self.stats.topk_served.fetch_add(1, Ordering::Relaxed);
+                Response::TopKItems(items)
+            }
+            RequestRef::Health => self.health(),
+            RequestRef::Sync => self.sync(),
+        }
+    }
+
+    /// Stage one write frame's keys under the backpressure policy.
+    fn ingest(
+        &mut self,
+        n: usize,
+        keys: impl Iterator<Item = u64>,
+        gauge: &mut ConnectionGauge,
+    ) -> Response {
+        match self.cfg.policy {
+            BackpressurePolicy::Block => {
+                self.staging.stage(keys);
+                if self.staging.at_bound() {
+                    self.flush_blocking();
+                }
+            }
+            BackpressurePolicy::InlineFallback => {
+                if self.staging.staged() + n > self.staging.bound() {
+                    // Make room first; all-or-nothing against the
+                    // in-flight depth bound.
+                    self.try_flush();
+                    if !self.staging.is_empty() {
+                        // Still no room for already-accepted keys: this
+                        // frame is shed whole, never staged.
+                        return self.shed_frame(gauge);
+                    }
+                    if n > self.staging.bound() {
+                        // Oversized frame: stage it alone and ship
+                        // all-or-nothing right now.
+                        self.staging.stage(keys);
+                        if !self.try_flush() {
+                            // Staging holds exactly this frame; dropping
+                            // it keeps the books whole-frame exact.
+                            self.staging.shed();
+                            return self.shed_frame(gauge);
+                        }
+                        return self.accepted(n, gauge);
+                    }
+                }
+                self.staging.stage(keys);
+            }
+        }
+        self.accepted(n, gauge)
+    }
+
+    fn accepted(&self, n: usize, gauge: &mut ConnectionGauge) -> Response {
+        self.stats
+            .updates_ingested
+            .fetch_add(n as u64, Ordering::Relaxed);
+        gauge.updates += n as u64;
+        Response::Ok(n as u32)
+    }
+
+    fn shed_frame(&self, gauge: &mut ConnectionGauge) -> Response {
+        self.stats.updates_shed.fetch_add(1, Ordering::Relaxed);
+        gauge.shed += 1;
+        Response::Error {
+            code: ErrorCode::Overloaded,
+            detail: "ingest queue full; batch shed".to_string(),
+        }
+    }
+
+    /// Account one read's seqlock retry delta against the wait-free
+    /// gauge (same policy as the threaded engine).
+    fn track_read(&self, delta: u64, reads: u64, gauge: &mut ConnectionGauge) {
+        self.stats
+            .estimates_served
+            .fetch_add(reads, Ordering::Relaxed);
+        gauge.estimates += reads;
+        if delta > 0 {
+            self.stats
+                .reader_retries
+                .fetch_add(delta, Ordering::Relaxed);
+        }
+        if delta > self.cfg.read_retry_bound {
+            self.stats.reader_blocked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Publish the cumulative mega-batch counters to the shared cells.
+    fn publish_mega_counters(staging: &Staging, cells: &GaugeCells) {
+        let (batches, keys) = staging.counters();
+        cells.mega_batches.store(batches, Ordering::Relaxed);
+        cells.mega_batch_keys.store(keys, Ordering::Relaxed);
+    }
+
+    /// Ship everything staged, blocking on ring room if needed. Never
+    /// loses accepted keys.
+    fn flush_blocking(&mut self) {
+        if self.staging.is_empty() {
+            return;
+        }
+        let mut guard = self.core.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.as_mut() {
+            Some(rt) => {
+                self.staging.flush_blocking(rt);
+                Self::publish_mega_counters(&self.staging, &self.gauges[self.idx]);
+            }
+            // Shutdown already took the runtime; nothing can apply these.
+            None => {
+                self.staging.shed();
+            }
+        }
+    }
+
+    /// Ship everything staged iff every shard has depth room; on `false`
+    /// the staged keys are untouched.
+    fn try_flush(&mut self) -> bool {
+        if self.staging.is_empty() {
+            return true;
+        }
+        let mut guard = self.core.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.as_mut() {
+            Some(rt) => {
+                let shipped = self.staging.try_flush(rt, self.max_depth);
+                if shipped {
+                    Self::publish_mega_counters(&self.staging, &self.gauges[self.idx]);
+                }
+                shipped
+            }
+            None => false,
+        }
+    }
+
+    /// SYNC barrier: flush this reactor's staging, then run the runtime
+    /// barrier and WAL checkpoint. Keys acknowledged by other reactors
+    /// are already shipped (flush-before-write), so the returned total
+    /// covers every acknowledged write anywhere.
+    fn sync(&mut self) -> Response {
+        let mut guard = self.core.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(rt) = guard.as_mut() else {
+            return shutting_down();
+        };
+        self.staging.flush_blocking(rt);
+        Self::publish_mega_counters(&self.staging, &self.gauges[self.idx]);
+        rt.sync();
+        // Durable runtimes: fsync the WALs so SYNCED means "will survive
+        // a crash". Non-durable: documented no-op. A degraded shard's
+        // error is already in health; the barrier still answers.
+        let total = match rt.wal_checkpoint() {
+            Ok(n) => n,
+            Err(_) => rt.health().total_routed(),
+        };
+        Response::Synced(total)
+    }
+
+    /// HEALTH probe: runtime health plus the live per-reactor I/O gauges.
+    fn health(&mut self) -> Response {
+        let mut guard = self.core.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(rt) = guard.as_mut() else {
+            return shutting_down();
+        };
+        self.staging.flush_blocking(rt);
+        Self::publish_mega_counters(&self.staging, &self.gauges[self.idx]);
+        let mut health = rt.health();
+        health.reactors = self
+            .gauges
+            .iter()
+            .enumerate()
+            .map(|(i, g)| g.snapshot(i))
+            .collect();
+        Response::HealthInfo(health_wire(&health, &self.stats))
+    }
+
+    /// One write syscall per touched connection; arm/disarm `EPOLLOUT`
+    /// and the slow-reader park as the pending level dictates.
+    fn write_pass(&mut self) {
+        let touched = std::mem::take(&mut self.touched);
+        for slot in touched {
+            let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+                continue;
+            };
+            conn.touched = false;
+            if !self.flush_conn(&mut conn) {
+                self.close_conn(slot, conn);
+                continue;
+            }
+            if conn.closing && conn.pending_out() == 0 {
+                self.close_conn(slot, conn);
+                continue;
+            }
+            self.update_interest(slot, &mut conn);
+            self.conns[slot] = Some(conn);
+        }
+    }
+
+    /// One write syscall for `conn` (no-op when nothing is pending).
+    /// Returns `false` on transport failure.
+    fn flush_conn(&mut self, conn: &mut Conn) -> bool {
+        if conn.pending_out() == 0 {
+            return true;
+        }
+        match conn.flush_out() {
+            Ok(0) => true,
+            Ok(n) => {
+                let cells = &self.gauges[self.idx];
+                cells.write_syscalls.fetch_add(1, Ordering::Relaxed);
+                cells.bytes_written.fetch_add(n as u64, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Recompute and apply the epoll interest mask for `conn`.
+    fn update_interest(&mut self, slot: usize, conn: &mut Conn) {
+        let pending = conn.pending_out();
+        if pending > OUT_HIGH_WATER {
+            conn.read_parked = true;
+        } else if conn.read_parked && pending < OUT_LOW_WATER {
+            conn.read_parked = false;
+        }
+        let mut want = 0u32;
+        if pending > 0 {
+            want |= EPOLLOUT;
+        }
+        if !conn.closing && !conn.read_parked {
+            want |= EPOLLIN | EPOLLRDHUP;
+        }
+        if want != conn.interest
+            && self
+                .epoll
+                .modify(conn.sock().as_raw_fd(), want, (slot + 1) as u64)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    /// Deregister, close, and recycle one connection slot.
+    fn close_conn(&mut self, slot: usize, conn: Conn) {
+        self.epoll.delete(conn.sock().as_raw_fd());
+        let _ = conn.sock().shutdown(std::net::Shutdown::Both);
+        self.stats
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+        self.gauges[self.idx]
+            .connections
+            .fetch_sub(1, Ordering::Relaxed);
+        if self.cfg.log_disconnects {
+            eprintln!("serve: connection closed: {:?}", conn.gauge);
+        }
+        self.free.push(slot);
+    }
+
+    /// Stop-path drain: ship everything staged (blocking — accepted keys
+    /// are never dropped), then briefly keep writing so every response
+    /// already produced reaches its peer, then close everything.
+    fn shutdown_drain(&mut self) {
+        self.flush_blocking();
+        let deadline = Instant::now() + SHUTDOWN_DRAIN;
+        loop {
+            let mut pending = false;
+            for conn in self.conns.iter_mut().flatten() {
+                if conn.pending_out() > 0 && conn.flush_out().is_ok() && conn.pending_out() > 0 {
+                    pending = true;
+                }
+            }
+            if !pending || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for conn in self.conns.drain(..).flatten() {
+            let _ = conn.sock().shutdown(std::net::Shutdown::Both);
+        }
+        // Sockets the acceptor parked after our last adopt never became
+        // connections; dropping them sends FIN.
+        self.inboxes[self.idx]
+            .incoming
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+}

@@ -1,77 +1,109 @@
-//! The serving loop: one acceptor thread, one connection thread per
-//! client, one writer thread owning the [`ConcurrentASketch`] runtime.
+//! The serving front door: config, whole-server counters, and the
+//! [`Server`] facade that runs one of two I/O engines over a single
+//! [`ConcurrentASketch`] runtime.
 //!
-//! # Data flow
+//! # I/O models
 //!
-//! Writes (`UPDATE`, `UPDATE_BATCH`) are enqueued to the writer thread
-//! over a bounded channel and applied through
-//! [`ConcurrentASketch::insert_batch`] — the existing journal-before-send
-//! supervised shard channels, checkpoint/replay restarts and all. Reads
-//! (`ESTIMATE`, `ESTIMATE_BATCH`, `TOPK`) never touch that path: each
-//! connection thread answers them directly from its [`QueryHandle`]
-//! seqlock snapshots, wait-free, concurrently with live ingest.
+//! - [`IoModel::Reactor`] (default on Linux) — the event-driven data
+//!   plane in [`crate::reactor`]: N epoll reactor threads own disjoint
+//!   nonblocking connection sets, decode frames in place, coalesce
+//!   UPDATE keys **across connections** into per-shard staging buffers
+//!   flushed straight into the runtime's shard rings (one journal seq +
+//!   one ring push per shard mega-batch), and answer reads on the
+//!   reactor thread from the wait-free [`QueryHandle`] snapshots.
+//! - [`IoModel::Threaded`] — the portable thread-per-connection engine
+//!   in [`crate::threaded`]: blocking sockets, a bounded ingest channel,
+//!   and one writer thread owning the runtime.
 //!
-//! # Backpressure
-//!
-//! [`BackpressurePolicy::Block`]: a full ingest queue blocks the
-//! connection thread's enqueue, which stops it reading its socket, which
-//! fills the kernel TCP buffers, which stalls the client — end-to-end
-//! backpressure with zero shed (the CI gate asserts `updates_shed == 0`
-//! under this policy). [`BackpressurePolicy::InlineFallback`] sheds
-//! instead: a full queue answers an `ERROR overloaded` frame immediately
-//! and drops the batch, keeping read latency flat under write overload.
-//!
-//! # Ordering
-//!
-//! Pipelining is per-connection: a client may stream any number of
-//! request frames without waiting; the connection thread decodes and
-//! answers strictly sequentially, so response order always equals request
-//! order on that connection. Responses are buffered and flushed when the
-//! input buffer runs dry, so deep pipelines batch their syscalls.
-//!
-//! # Shutdown
-//!
-//! [`Server::shutdown`] stops the acceptor, shuts both directions of
-//! every live socket (unblocking reads), joins connection threads, then
-//! drops the last ingest sender so the writer drains every accepted
-//! batch before running [`ConcurrentASketch::finish_with_health`] — no
-//! accepted write is dropped, and the runtime's own shutdown ordering
-//! (workers → scrubber → snapshotter → final snapshots) holds.
+//! Both engines speak the same protocol with the same ordering
+//! (per-connection pipelining), backpressure ([`BackpressurePolicy`] —
+//! under the reactor it guards the staging buffer instead of a channel),
+//! and shutdown (drain every accepted write) semantics; the socket-level
+//! integration suite runs unmodified against either. See DESIGN.md §14
+//! (protocol/semantics) and §16 (reactor architecture).
 
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use asketch::{ASketch, Filter};
 use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, QueryHandle};
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use eval_metrics::{ConnectionGauge, ServerGauge, ShardedHealth};
+use eval_metrics::{ServerGauge, ShardedHealth};
 use sketches::{SharedView, UpdateEstimate};
 
-use crate::frame::{
-    decode_request, encode_response, ErrorCode, HealthInfoWire, Request, Response, ShardHealthWire,
-    MAX_FRAME,
-};
+use crate::frame::{ErrorCode, HealthInfoWire, ReactorHealthWire, Response, ShardHealthWire};
+
+/// Which I/O engine drives the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// Event-driven epoll reactor (Linux only; falls back to
+    /// [`IoModel::Threaded`] elsewhere).
+    Reactor,
+    /// Portable thread-per-connection engine.
+    Threaded,
+}
+
+impl Default for IoModel {
+    /// Reactor on Linux, threaded elsewhere.
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            IoModel::Reactor
+        } else {
+            IoModel::Threaded
+        }
+    }
+}
+
+impl IoModel {
+    /// Stable lowercase name (artifact rows, flags).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IoModel::Reactor => "reactor",
+            IoModel::Threaded => "threaded",
+        }
+    }
+
+    /// The model that will actually run on this platform: `Reactor`
+    /// degrades to `Threaded` off Linux.
+    pub fn effective(&self) -> Self {
+        if *self == IoModel::Reactor && !cfg!(target_os = "linux") {
+            IoModel::Threaded
+        } else {
+            *self
+        }
+    }
+}
 
 /// Serving-layer tunables.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; use port 0 for an ephemeral port (tests, CI smoke).
     pub addr: String,
-    /// Ingest command queue capacity (batches, not keys) between the
-    /// connection threads and the writer thread.
+    /// Ingest backpressure depth, in batches. Threaded engine: capacity
+    /// of the command queue between connection threads and the writer.
+    /// Reactor engine: the bound on in-flight mega-batches per shard
+    /// data plane that the shed policy probes before accepting more.
     pub ingest_queue: usize,
-    /// What a full ingest queue does to an UPDATE: `Block` (TCP
+    /// What ingest saturation does to an UPDATE: `Block` (TCP
     /// backpressure) or `InlineFallback` (shed with an error frame).
     pub policy: BackpressurePolicy,
     /// Per-read seqlock retry budget for the wait-free gauge: a read
     /// whose retry delta exceeds this counts as `reader_blocked`.
     pub read_retry_bound: u64,
-    /// Print a per-connection [`ConnectionGauge`] summary on disconnect.
+    /// Print a per-connection [`eval_metrics::ConnectionGauge`] summary
+    /// on disconnect.
     pub log_disconnects: bool,
+    /// Which I/O engine to run. [`IoModel::Reactor`] silently runs the
+    /// threaded engine on non-Linux platforms.
+    pub io_model: IoModel,
+    /// Reactor thread count (reactor model only). `0` = auto: half the
+    /// available cores, clamped to `[1, 4]`.
+    pub reactors: usize,
+    /// Staging-buffer key bound per reactor (reactor model only): a
+    /// wakeup flushes once this many UPDATE keys are staged (and always
+    /// at end of wakeup). `0` = auto (16384 keys).
+    pub staging_keys: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +114,29 @@ impl Default for ServeConfig {
             policy: BackpressurePolicy::Block,
             read_retry_bound: 64,
             log_disconnects: false,
+            io_model: IoModel::default(),
+            reactors: 0,
+            staging_keys: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Resolved reactor-thread count.
+    pub(crate) fn reactor_count(&self) -> usize {
+        if self.reactors > 0 {
+            return self.reactors;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (cores / 2).clamp(1, 4)
+    }
+
+    /// Resolved staging-buffer key bound.
+    pub(crate) fn staging_bound(&self) -> usize {
+        if self.staging_keys > 0 {
+            self.staging_keys
+        } else {
+            16384
         }
     }
 }
@@ -90,17 +145,17 @@ impl Default for ServeConfig {
 /// them into the serializable [`ServerGauge`]).
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    connections_accepted: AtomicU64,
-    connections_active: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    updates_ingested: AtomicU64,
-    estimates_served: AtomicU64,
-    topk_served: AtomicU64,
-    updates_shed: AtomicU64,
-    protocol_errors: AtomicU64,
-    reader_retries: AtomicU64,
-    reader_blocked: AtomicU64,
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_active: AtomicU64,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) frames_out: AtomicU64,
+    pub(crate) updates_ingested: AtomicU64,
+    pub(crate) estimates_served: AtomicU64,
+    pub(crate) topk_served: AtomicU64,
+    pub(crate) updates_shed: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) reader_retries: AtomicU64,
+    pub(crate) reader_blocked: AtomicU64,
 }
 
 impl ServerStats {
@@ -122,19 +177,18 @@ impl ServerStats {
     }
 }
 
-/// What the writer thread hands back when the runtime finishes: the
-/// per-shard kernels and the runtime's final health.
-type Finished<F, S> = (Vec<ASketch<F, S>>, ShardedHealth);
+/// What an engine hands back when the runtime finishes: the per-shard
+/// kernels and the runtime's final health.
+pub(crate) type Finished<F, S> = (Vec<ASketch<F, S>>, ShardedHealth);
 
-/// Commands the connection threads hand to the writer thread. Reads never
-/// appear here — they are served from snapshots on the connection thread.
-enum IngestCmd {
-    /// Apply a batch of keys in order.
-    Update(Vec<u64>),
-    /// Visibility + durability barrier; replies with total keys routed.
-    Sync(Sender<u64>),
-    /// Runtime health snapshot (the writer owns the runtime).
-    Health(Sender<ShardedHealth>),
+enum Engine<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    Threaded(crate::threaded::ThreadedEngine<F, S>),
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::ReactorEngine<F, S>),
 }
 
 /// A running serving instance over one [`ConcurrentASketch`] runtime.
@@ -144,14 +198,9 @@ where
     S: SharedView + UpdateEstimate + Clone + Send + 'static,
 {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     handle: QueryHandle<S>,
-    ingest_tx: Option<Sender<IngestCmd>>,
-    acceptor: Option<JoinHandle<()>>,
-    writer: Option<JoinHandle<Finished<F, S>>>,
-    conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    engine: Engine<F, S>,
 }
 
 impl<F, S> Server<F, S>
@@ -159,92 +208,43 @@ where
     F: Filter + Clone + Send + 'static,
     S: SharedView + UpdateEstimate + Clone + Send + 'static,
 {
-    /// Bind `cfg.addr` and start serving `rt`. Returns once the listener
-    /// is accepting (the bound address is [`Server::addr`]).
+    /// Bind `cfg.addr` and start serving `rt` with the configured
+    /// [`IoModel`]. Returns once the listener is accepting (the bound
+    /// address is [`Server::addr`]).
     ///
     /// # Errors
-    /// Socket bind/configure failures.
+    /// Socket bind/configure failures (reactor model: epoll/eventfd
+    /// creation failures too).
     pub fn spawn(cfg: ServeConfig, rt: ConcurrentASketch<F, S>) -> io::Result<Self> {
-        let listener = TcpListener::bind(&cfg.addr)?;
+        let listener = std::net::TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let handle = rt.query_handle();
-        let (ingest_tx, ingest_rx) = bounded::<IngestCmd>(cfg.ingest_queue.max(1));
-        let writer = std::thread::spawn(move || writer_loop(rt, ingest_rx));
-        let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
-        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
-        let acceptor = {
-            let stop = Arc::clone(&stop);
-            let stats = Arc::clone(&stats);
-            let handle = handle.clone();
-            let ingest_tx = ingest_tx.clone();
-            let conns = Arc::clone(&conns);
-            let conn_threads = Arc::clone(&conn_threads);
-            let cfg = cfg.clone();
-            std::thread::spawn(move || {
-                let mut next_conn_id: u64 = 0;
-                while !stop.load(Ordering::Acquire) {
-                    match listener.accept() {
-                        Ok((sock, _peer)) => {
-                            let _ = sock.set_nodelay(true);
-                            stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
-                            let conn_id = next_conn_id;
-                            next_conn_id += 1;
-                            if let Ok(registered) = sock.try_clone() {
-                                conns
-                                    .lock()
-                                    .unwrap_or_else(PoisonError::into_inner)
-                                    .push((conn_id, registered));
-                            }
-                            let stats = Arc::clone(&stats);
-                            let handle = handle.clone();
-                            let ingest = ingest_tx.clone();
-                            let cfg = cfg.clone();
-                            let conns = Arc::clone(&conns);
-                            let t = std::thread::spawn(move || {
-                                stats.connections_active.fetch_add(1, Ordering::Relaxed);
-                                let gauge = serve_connection(sock, &handle, &ingest, &stats, &cfg);
-                                stats.connections_active.fetch_sub(1, Ordering::Relaxed);
-                                // Deregister (and fully close) our socket:
-                                // the registered clone would otherwise keep
-                                // the fd open and the peer waiting on FIN.
-                                let mut reg = conns.lock().unwrap_or_else(PoisonError::into_inner);
-                                if let Some(pos) = reg.iter().position(|(id, _)| *id == conn_id) {
-                                    let (_, sock) = reg.swap_remove(pos);
-                                    let _ = sock.shutdown(std::net::Shutdown::Both);
-                                }
-                                drop(reg);
-                                if cfg.log_disconnects {
-                                    eprintln!("serve: connection closed: {gauge:?}");
-                                }
-                            });
-                            conn_threads
-                                .lock()
-                                .unwrap_or_else(PoisonError::into_inner)
-                                .push(t);
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(1));
-                        }
-                        Err(_) => break,
-                    }
-                }
-            })
+        let engine = match cfg.io_model.effective() {
+            IoModel::Threaded => Engine::Threaded(crate::threaded::ThreadedEngine::spawn(
+                listener,
+                cfg,
+                rt,
+                Arc::clone(&stats),
+                handle.clone(),
+            )),
+            #[cfg(target_os = "linux")]
+            IoModel::Reactor => Engine::Reactor(crate::reactor::ReactorEngine::spawn(
+                listener,
+                cfg,
+                rt,
+                Arc::clone(&stats),
+                handle.clone(),
+            )?),
+            #[cfg(not(target_os = "linux"))]
+            IoModel::Reactor => unreachable!("effective() degrades Reactor off Linux"),
         };
-
         Ok(Self {
             addr,
-            stop,
             stats,
             handle,
-            ingest_tx: Some(ingest_tx),
-            acceptor: Some(acceptor),
-            writer: Some(writer),
-            conns,
-            conn_threads,
+            engine,
         })
     }
 
@@ -264,325 +264,22 @@ where
         self.handle.clone()
     }
 
-    /// Graceful shutdown: stop accepting, unblock and join every
-    /// connection, drain every accepted write through the runtime, then
-    /// finish it. Returns the finished kernels, the runtime's final
-    /// health, and the server counters.
+    /// Graceful shutdown: stop accepting, drain every accepted write
+    /// through the runtime, then finish it. Returns the finished
+    /// kernels, the runtime's final health (reactor model: with the
+    /// per-reactor I/O gauges attached), and the server counters.
     pub fn shutdown(mut self) -> (Vec<ASketch<F, S>>, ShardedHealth, ServerGauge) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        // Unblock connection threads parked in a socket read. Sockets
-        // whose clients already left error harmlessly.
-        for (_, sock) in self
-            .conns
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .drain(..)
-        {
-            let _ = sock.shutdown(std::net::Shutdown::Both);
-        }
-        let threads: Vec<JoinHandle<()>> = self
-            .conn_threads
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .drain(..)
-            .collect();
-        for t in threads {
-            let _ = t.join();
-        }
-        // Connection threads are gone; dropping the last sender lets the
-        // writer drain the queue (every accepted batch applies) and then
-        // finish the runtime with its documented shutdown ordering.
-        self.ingest_tx = None;
-        let (kernels, health) = match self.writer.take() {
-            Some(w) => w.join().unwrap_or_default(),
-            None => (Vec::new(), ShardedHealth::default()),
+        let (kernels, health) = match &mut self.engine {
+            Engine::Threaded(t) => t.finish(),
+            #[cfg(target_os = "linux")]
+            Engine::Reactor(r) => r.finish(),
         };
         (kernels, health, self.stats.gauge())
     }
 }
 
-impl<F, S> Drop for Server<F, S>
-where
-    F: Filter + Clone + Send + 'static,
-    S: SharedView + UpdateEstimate + Clone + Send + 'static,
-{
-    /// Best-effort teardown when dropped without [`Server::shutdown`]:
-    /// signal stop and unblock sockets; threads wind down on their own
-    /// (the writer exits when the last queued sender drops).
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        for (_, sock) in self
-            .conns
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .drain(..)
-        {
-            let _ = sock.shutdown(std::net::Shutdown::Both);
-        }
-    }
-}
-
-/// The writer loop: sole owner of the runtime; applies batches in arrival
-/// order, answers barriers and health probes, finishes on disconnect.
-fn writer_loop<F, S>(mut rt: ConcurrentASketch<F, S>, rx: Receiver<IngestCmd>) -> Finished<F, S>
-where
-    F: Filter + Clone + Send + 'static,
-    S: SharedView + UpdateEstimate + Clone + Send + 'static,
-{
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            IngestCmd::Update(keys) => rt.insert_batch(&keys),
-            IngestCmd::Sync(reply) => {
-                rt.sync();
-                // Durable runtimes: fsync the WALs so SYNCED means "will
-                // survive a crash". Non-durable: documented no-op. A
-                // degraded shard's error is already in health; the
-                // barrier still answers.
-                let total = match rt.wal_checkpoint() {
-                    Ok(n) => n,
-                    Err(_) => rt.health().total_routed(),
-                };
-                let _ = reply.send(total);
-            }
-            IngestCmd::Health(reply) => {
-                let _ = reply.send(rt.health());
-            }
-        }
-    }
-    rt.finish_with_health()
-}
-
-/// Read one length-prefixed frame payload.
-enum ReadOutcome {
-    /// A complete payload (opcode + body).
-    Frame(Vec<u8>),
-    /// Clean EOF at a frame boundary.
-    Eof,
-    /// Declared length exceeds [`MAX_FRAME`]; framing is unrecoverable.
-    TooLarge(u32),
-    /// Transport error or EOF inside a frame.
-    Broken,
-}
-
-fn read_frame(r: &mut impl BufRead) -> ReadOutcome {
-    let mut prefix = [0u8; 4];
-    // A clean EOF before any prefix byte is a normal disconnect; EOF
-    // mid-prefix or mid-payload is a torn frame.
-    let mut got = 0usize;
-    while got < 4 {
-        match r.read(&mut prefix[got..]) {
-            Ok(0) => {
-                return if got == 0 {
-                    ReadOutcome::Eof
-                } else {
-                    ReadOutcome::Broken
-                }
-            }
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return ReadOutcome::Broken,
-        }
-    }
-    let len = u32::from_le_bytes(prefix);
-    if len > MAX_FRAME {
-        return ReadOutcome::TooLarge(len);
-    }
-    let mut payload = vec![0u8; len as usize];
-    match r.read_exact(&mut payload) {
-        Ok(()) => ReadOutcome::Frame(payload),
-        Err(_) => ReadOutcome::Broken,
-    }
-}
-
-/// Serve one connection until EOF, transport damage, or shutdown.
-/// Sequential per-connection processing is what guarantees response
-/// ordering under pipelining.
-fn serve_connection<S>(
-    sock: TcpStream,
-    handle: &QueryHandle<S>,
-    ingest: &Sender<IngestCmd>,
-    stats: &ServerStats,
-    cfg: &ServeConfig,
-) -> ConnectionGauge
-where
-    S: SharedView + UpdateEstimate + Clone + Send + 'static,
-{
-    let mut gauge = ConnectionGauge::default();
-    let Ok(read_half) = sock.try_clone() else {
-        return gauge;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(sock);
-    let mut out = Vec::new();
-    loop {
-        let payload = match read_frame(&mut reader) {
-            ReadOutcome::Frame(p) => p,
-            ReadOutcome::Eof | ReadOutcome::Broken => break,
-            ReadOutcome::TooLarge(len) => {
-                // Answer why, then close: the stream cannot be resynced.
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                gauge.protocol_errors += 1;
-                let resp = Response::Error {
-                    code: ErrorCode::TooLarge,
-                    detail: format!("declared frame length {len} exceeds {MAX_FRAME}"),
-                };
-                out.clear();
-                encode_response(&resp, &mut out);
-                let _ = writer.write_all(&out);
-                let _ = writer.flush();
-                break;
-            }
-        };
-        stats.frames_in.fetch_add(1, Ordering::Relaxed);
-        gauge.frames_in += 1;
-        let resp = match decode_request(&payload) {
-            Ok(req) => answer(req, handle, ingest, stats, cfg, &mut gauge),
-            Err(e) => {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                gauge.protocol_errors += 1;
-                Response::Error {
-                    code: e.code(),
-                    detail: e.detail(),
-                }
-            }
-        };
-        out.clear();
-        encode_response(&resp, &mut out);
-        if writer.write_all(&out).is_err() {
-            break;
-        }
-        stats.frames_out.fetch_add(1, Ordering::Relaxed);
-        gauge.frames_out += 1;
-        // Flush when the pipeline runs dry; deep pipelines batch writes.
-        if reader.buffer().is_empty() && writer.flush().is_err() {
-            break;
-        }
-    }
-    let _ = writer.flush();
-    gauge
-}
-
-/// Answer one decoded request. Reads are served inline from the snapshot
-/// handle; writes are enqueued to the writer under the configured
-/// backpressure policy.
-fn answer<S>(
-    req: Request,
-    handle: &QueryHandle<S>,
-    ingest: &Sender<IngestCmd>,
-    stats: &ServerStats,
-    cfg: &ServeConfig,
-    gauge: &mut ConnectionGauge,
-) -> Response
-where
-    S: SharedView + UpdateEstimate + Clone + Send + 'static,
-{
-    match req {
-        Request::Update(key) => enqueue(vec![key], ingest, stats, cfg, gauge),
-        Request::UpdateBatch(keys) => enqueue(keys, ingest, stats, cfg, gauge),
-        Request::Estimate(key) => {
-            let before = handle.reader_retries();
-            let value = handle.estimate(key);
-            track_read(handle.reader_retries() - before, 1, stats, cfg, gauge);
-            Response::Value(value)
-        }
-        Request::EstimateBatch(keys) => {
-            let before = handle.reader_retries();
-            let values = handle.estimate_batch(&keys);
-            track_read(
-                handle.reader_retries() - before,
-                keys.len() as u64,
-                stats,
-                cfg,
-                gauge,
-            );
-            Response::Values(values)
-        }
-        Request::TopK(k) => {
-            // Cap k at the filters' total capacity upper bound; the
-            // snapshot read is bounded anyway, this bounds the reply.
-            let items = handle.top_k((k as usize).min(1 << 16));
-            stats.topk_served.fetch_add(1, Ordering::Relaxed);
-            Response::TopKItems(items)
-        }
-        Request::Health => {
-            let (tx, rx) = bounded(1);
-            if ingest.send(IngestCmd::Health(tx)).is_err() {
-                return shutting_down();
-            }
-            match rx.recv() {
-                Ok(health) => Response::HealthInfo(health_wire(&health, stats)),
-                Err(_) => shutting_down(),
-            }
-        }
-        Request::Sync => {
-            let (tx, rx) = bounded(1);
-            if ingest.send(IngestCmd::Sync(tx)).is_err() {
-                return shutting_down();
-            }
-            match rx.recv() {
-                Ok(total) => Response::Synced(total),
-                Err(_) => shutting_down(),
-            }
-        }
-    }
-}
-
-/// Enqueue a write batch under the backpressure policy.
-fn enqueue(
-    keys: Vec<u64>,
-    ingest: &Sender<IngestCmd>,
-    stats: &ServerStats,
-    cfg: &ServeConfig,
-    gauge: &mut ConnectionGauge,
-) -> Response {
-    let n = keys.len() as u32;
-    let accepted = match cfg.policy {
-        BackpressurePolicy::Block => ingest.send(IngestCmd::Update(keys)).is_ok(),
-        BackpressurePolicy::InlineFallback => match ingest.try_send(IngestCmd::Update(keys)) {
-            Ok(()) => true,
-            Err(TrySendError::Full(_)) => {
-                stats.updates_shed.fetch_add(1, Ordering::Relaxed);
-                gauge.shed += 1;
-                return Response::Error {
-                    code: ErrorCode::Overloaded,
-                    detail: "ingest queue full; batch shed".to_string(),
-                };
-            }
-            Err(TrySendError::Disconnected(_)) => false,
-        },
-    };
-    if !accepted {
-        return shutting_down();
-    }
-    stats
-        .updates_ingested
-        .fetch_add(u64::from(n), Ordering::Relaxed);
-    gauge.updates += u64::from(n);
-    Response::Ok(n)
-}
-
-/// Account one read's seqlock retry delta against the wait-free gauge.
-fn track_read(
-    delta: u64,
-    reads: u64,
-    stats: &ServerStats,
-    cfg: &ServeConfig,
-    gauge: &mut ConnectionGauge,
-) {
-    stats.estimates_served.fetch_add(reads, Ordering::Relaxed);
-    gauge.estimates += reads;
-    if delta > 0 {
-        stats.reader_retries.fetch_add(delta, Ordering::Relaxed);
-    }
-    if delta > cfg.read_retry_bound {
-        stats.reader_blocked.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-fn shutting_down() -> Response {
+/// The canonical "engine is gone" error response.
+pub(crate) fn shutting_down() -> Response {
     Response::Error {
         code: ErrorCode::Internal,
         detail: "server shutting down".to_string(),
@@ -592,8 +289,9 @@ fn shutting_down() -> Response {
 /// Project runtime health + server counters into the wire form. Per-shard
 /// fault classes are carried individually — two shards degraded with
 /// different classes both report their own — and the worst class is
-/// ranked by severity, never by shard order.
-fn health_wire(health: &ShardedHealth, stats: &ServerStats) -> HealthInfoWire {
+/// ranked by severity, never by shard order. Reactor I/O gauges (when the
+/// event-driven engine filled them in) ride along per reactor.
+pub(crate) fn health_wire(health: &ShardedHealth, stats: &ServerStats) -> HealthInfoWire {
     let worst = health.worst_durability_error();
     HealthInfoWire {
         total_routed: health.total_routed(),
@@ -612,6 +310,22 @@ fn health_wire(health: &ShardedHealth, stats: &ServerStats) -> HealthInfoWire {
                     .as_ref()
                     .map(|f| f.class.clone())
                     .unwrap_or_default(),
+            })
+            .collect(),
+        reactors: health
+            .reactors
+            .iter()
+            .map(|r| ReactorHealthWire {
+                connections: r.connections,
+                wakeups: r.wakeups,
+                frames_in: r.frames_in,
+                read_syscalls: r.read_syscalls,
+                write_syscalls: r.write_syscalls,
+                bytes_read: r.bytes_read,
+                bytes_written: r.bytes_written,
+                mega_batches: r.mega_batches,
+                mega_batch_keys: r.mega_batch_keys,
+                staging_bound: r.staging_bound,
             })
             .collect(),
     }

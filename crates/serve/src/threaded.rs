@@ -1,0 +1,488 @@
+//! The portable thread-per-connection engine: one acceptor thread, one
+//! connection thread per client, one writer thread owning the
+//! [`ConcurrentASketch`] runtime. This is the original serving loop,
+//! kept behind [`crate::server::IoModel::Threaded`] as the fallback for
+//! platforms without epoll and as the baseline the reactor is measured
+//! against.
+//!
+//! # Data flow
+//!
+//! Writes (`UPDATE`, `UPDATE_BATCH`) are enqueued to the writer thread
+//! over a bounded channel and applied through
+//! [`ConcurrentASketch::insert_batch`] — the existing journal-before-send
+//! supervised shard channels, checkpoint/replay restarts and all. Reads
+//! (`ESTIMATE`, `ESTIMATE_BATCH`, `TOPK`) never touch that path: each
+//! connection thread answers them directly from its [`QueryHandle`]
+//! seqlock snapshots, wait-free, concurrently with live ingest.
+//!
+//! # Backpressure
+//!
+//! [`BackpressurePolicy::Block`]: a full ingest queue blocks the
+//! connection thread's enqueue, which stops it reading its socket, which
+//! fills the kernel TCP buffers, which stalls the client — end-to-end
+//! backpressure with zero shed (the CI gate asserts `updates_shed == 0`
+//! under this policy). [`BackpressurePolicy::InlineFallback`] sheds
+//! instead: a full queue answers an `ERROR overloaded` frame immediately
+//! and drops the batch, keeping read latency flat under write overload.
+//!
+//! # Ordering
+//!
+//! Pipelining is per-connection: a client may stream any number of
+//! request frames without waiting; the connection thread decodes and
+//! answers strictly sequentially, so response order always equals request
+//! order on that connection. Responses are buffered and flushed when the
+//! input buffer runs dry, so deep pipelines batch their syscalls.
+//!
+//! # Shutdown
+//!
+//! Shutdown stops the acceptor, shuts both directions of every live
+//! socket (unblocking reads), joins connection threads, then drops the
+//! last ingest sender so the writer drains every accepted batch before
+//! running [`ConcurrentASketch::finish_with_health`] — no accepted write
+//! is dropped, and the runtime's own shutdown ordering (workers →
+//! scrubber → snapshotter → final snapshots) holds.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use asketch::Filter;
+use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, QueryHandle};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use eval_metrics::{ConnectionGauge, ShardedHealth};
+use sketches::{SharedView, UpdateEstimate};
+
+use crate::frame::{decode_request, encode_response, ErrorCode, Request, Response, MAX_FRAME};
+use crate::server::{health_wire, shutting_down, Finished, ServeConfig, ServerStats};
+
+/// Commands the connection threads hand to the writer thread. Reads never
+/// appear here — they are served from snapshots on the connection thread.
+enum IngestCmd {
+    /// Apply a batch of keys in order.
+    Update(Vec<u64>),
+    /// Visibility + durability barrier; replies with total keys routed.
+    Sync(Sender<u64>),
+    /// Runtime health snapshot (the writer owns the runtime).
+    Health(Sender<ShardedHealth>),
+}
+
+/// The running thread-per-connection engine behind the [`crate::Server`]
+/// facade.
+pub(crate) struct ThreadedEngine<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    stop: Arc<AtomicBool>,
+    ingest_tx: Option<Sender<IngestCmd>>,
+    acceptor: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<Finished<F, S>>>,
+    conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl<F, S> ThreadedEngine<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    /// Start serving `rt` on an already-bound nonblocking `listener`.
+    pub(crate) fn spawn(
+        listener: TcpListener,
+        cfg: ServeConfig,
+        rt: ConcurrentASketch<F, S>,
+        stats: Arc<ServerStats>,
+        handle: QueryHandle<S>,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (ingest_tx, ingest_rx) = bounded::<IngestCmd>(cfg.ingest_queue.max(1));
+        let writer = std::thread::spawn(move || writer_loop(rt, ingest_rx));
+        let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let handle = handle.clone();
+            let ingest_tx = ingest_tx.clone();
+            let conns = Arc::clone(&conns);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::spawn(move || {
+                let mut next_conn_id: u64 = 0;
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((sock, _peer)) => {
+                            let _ = sock.set_nodelay(true);
+                            stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                            let conn_id = next_conn_id;
+                            next_conn_id += 1;
+                            if let Ok(registered) = sock.try_clone() {
+                                conns
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .push((conn_id, registered));
+                            }
+                            let stats = Arc::clone(&stats);
+                            let handle = handle.clone();
+                            let ingest = ingest_tx.clone();
+                            let cfg = cfg.clone();
+                            let conns = Arc::clone(&conns);
+                            let t = std::thread::spawn(move || {
+                                stats.connections_active.fetch_add(1, Ordering::Relaxed);
+                                let gauge = serve_connection(sock, &handle, &ingest, &stats, &cfg);
+                                stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+                                // Deregister (and fully close) our socket:
+                                // the registered clone would otherwise keep
+                                // the fd open and the peer waiting on FIN.
+                                let mut reg = conns.lock().unwrap_or_else(PoisonError::into_inner);
+                                if let Some(pos) = reg.iter().position(|(id, _)| *id == conn_id) {
+                                    let (_, sock) = reg.swap_remove(pos);
+                                    let _ = sock.shutdown(std::net::Shutdown::Both);
+                                }
+                                drop(reg);
+                                if cfg.log_disconnects {
+                                    eprintln!("serve: connection closed: {gauge:?}");
+                                }
+                            });
+                            conn_threads
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .push(t);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        Self {
+            stop,
+            ingest_tx: Some(ingest_tx),
+            acceptor: Some(acceptor),
+            writer: Some(writer),
+            conns,
+            conn_threads,
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, unblock and join every
+    /// connection, drain every accepted write through the runtime, then
+    /// finish it.
+    pub(crate) fn finish(&mut self) -> Finished<F, S> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Unblock connection threads parked in a socket read. Sockets
+        // whose clients already left error harmlessly.
+        for (_, sock) in self
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = sock.shutdown(std::net::Shutdown::Both);
+        }
+        let threads: Vec<JoinHandle<()>> = self
+            .conn_threads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for t in threads {
+            let _ = t.join();
+        }
+        // Connection threads are gone; dropping the last sender lets the
+        // writer drain the queue (every accepted batch applies) and then
+        // finish the runtime with its documented shutdown ordering.
+        self.ingest_tx = None;
+        match self.writer.take() {
+            Some(w) => w.join().unwrap_or_default(),
+            None => (Vec::new(), ShardedHealth::default()),
+        }
+    }
+}
+
+impl<F, S> Drop for ThreadedEngine<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    /// Best-effort teardown when dropped without a graceful finish:
+    /// signal stop and unblock sockets; threads wind down on their own
+    /// (the writer exits when the last queued sender drops).
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for (_, sock) in self
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = sock.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// The writer loop: sole owner of the runtime; applies batches in arrival
+/// order, answers barriers and health probes, finishes on disconnect.
+fn writer_loop<F, S>(mut rt: ConcurrentASketch<F, S>, rx: Receiver<IngestCmd>) -> Finished<F, S>
+where
+    F: Filter + Clone + Send + 'static,
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            IngestCmd::Update(keys) => rt.insert_batch(&keys),
+            IngestCmd::Sync(reply) => {
+                rt.sync();
+                // Durable runtimes: fsync the WALs so SYNCED means "will
+                // survive a crash". Non-durable: documented no-op. A
+                // degraded shard's error is already in health; the
+                // barrier still answers.
+                let total = match rt.wal_checkpoint() {
+                    Ok(n) => n,
+                    Err(_) => rt.health().total_routed(),
+                };
+                let _ = reply.send(total);
+            }
+            IngestCmd::Health(reply) => {
+                let _ = reply.send(rt.health());
+            }
+        }
+    }
+    rt.finish_with_health()
+}
+
+/// Read one length-prefixed frame payload.
+enum ReadOutcome {
+    /// A complete payload (opcode + body).
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// Declared length exceeds [`MAX_FRAME`]; framing is unrecoverable.
+    TooLarge(u32),
+    /// Transport error or EOF inside a frame.
+    Broken,
+}
+
+fn read_frame(r: &mut impl BufRead) -> ReadOutcome {
+    let mut prefix = [0u8; 4];
+    // A clean EOF before any prefix byte is a normal disconnect; EOF
+    // mid-prefix or mid-payload is a torn frame.
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Broken
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Broken,
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME {
+        return ReadOutcome::TooLarge(len);
+    }
+    let mut payload = vec![0u8; len as usize];
+    match r.read_exact(&mut payload) {
+        Ok(()) => ReadOutcome::Frame(payload),
+        Err(_) => ReadOutcome::Broken,
+    }
+}
+
+/// Serve one connection until EOF, transport damage, or shutdown.
+/// Sequential per-connection processing is what guarantees response
+/// ordering under pipelining.
+fn serve_connection<S>(
+    sock: TcpStream,
+    handle: &QueryHandle<S>,
+    ingest: &Sender<IngestCmd>,
+    stats: &ServerStats,
+    cfg: &ServeConfig,
+) -> ConnectionGauge
+where
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    let mut gauge = ConnectionGauge::default();
+    let Ok(read_half) = sock.try_clone() else {
+        return gauge;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(sock);
+    let mut out = Vec::new();
+    loop {
+        let payload = match read_frame(&mut reader) {
+            ReadOutcome::Frame(p) => p,
+            ReadOutcome::Eof | ReadOutcome::Broken => break,
+            ReadOutcome::TooLarge(len) => {
+                // Answer why, then close: the stream cannot be resynced.
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                gauge.protocol_errors += 1;
+                let resp = Response::Error {
+                    code: ErrorCode::TooLarge,
+                    detail: format!("declared frame length {len} exceeds {MAX_FRAME}"),
+                };
+                out.clear();
+                encode_response(&resp, &mut out);
+                let _ = writer.write_all(&out);
+                let _ = writer.flush();
+                break;
+            }
+        };
+        stats.frames_in.fetch_add(1, Ordering::Relaxed);
+        gauge.frames_in += 1;
+        let resp = match decode_request(&payload) {
+            Ok(req) => answer(req, handle, ingest, stats, cfg, &mut gauge),
+            Err(e) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                gauge.protocol_errors += 1;
+                Response::Error {
+                    code: e.code(),
+                    detail: e.detail(),
+                }
+            }
+        };
+        out.clear();
+        encode_response(&resp, &mut out);
+        if writer.write_all(&out).is_err() {
+            break;
+        }
+        stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        gauge.frames_out += 1;
+        // Flush when the pipeline runs dry; deep pipelines batch writes.
+        if reader.buffer().is_empty() && writer.flush().is_err() {
+            break;
+        }
+    }
+    let _ = writer.flush();
+    gauge
+}
+
+/// Answer one decoded request. Reads are served inline from the snapshot
+/// handle; writes are enqueued to the writer under the configured
+/// backpressure policy.
+fn answer<S>(
+    req: Request,
+    handle: &QueryHandle<S>,
+    ingest: &Sender<IngestCmd>,
+    stats: &ServerStats,
+    cfg: &ServeConfig,
+    gauge: &mut ConnectionGauge,
+) -> Response
+where
+    S: SharedView + UpdateEstimate + Clone + Send + 'static,
+{
+    match req {
+        Request::Update(key) => enqueue(vec![key], ingest, stats, cfg, gauge),
+        Request::UpdateBatch(keys) => enqueue(keys, ingest, stats, cfg, gauge),
+        Request::Estimate(key) => {
+            let before = handle.reader_retries();
+            let value = handle.estimate(key);
+            track_read(handle.reader_retries() - before, 1, stats, cfg, gauge);
+            Response::Value(value)
+        }
+        Request::EstimateBatch(keys) => {
+            let before = handle.reader_retries();
+            let values = handle.estimate_batch(&keys);
+            track_read(
+                handle.reader_retries() - before,
+                keys.len() as u64,
+                stats,
+                cfg,
+                gauge,
+            );
+            Response::Values(values)
+        }
+        Request::TopK(k) => {
+            // Cap k at the filters' total capacity upper bound; the
+            // snapshot read is bounded anyway, this bounds the reply.
+            let items = handle.top_k((k as usize).min(1 << 16));
+            stats.topk_served.fetch_add(1, Ordering::Relaxed);
+            Response::TopKItems(items)
+        }
+        Request::Health => {
+            let (tx, rx) = bounded(1);
+            if ingest.send(IngestCmd::Health(tx)).is_err() {
+                return shutting_down();
+            }
+            match rx.recv() {
+                Ok(health) => Response::HealthInfo(health_wire(&health, stats)),
+                Err(_) => shutting_down(),
+            }
+        }
+        Request::Sync => {
+            let (tx, rx) = bounded(1);
+            if ingest.send(IngestCmd::Sync(tx)).is_err() {
+                return shutting_down();
+            }
+            match rx.recv() {
+                Ok(total) => Response::Synced(total),
+                Err(_) => shutting_down(),
+            }
+        }
+    }
+}
+
+/// Enqueue a write batch under the backpressure policy.
+fn enqueue(
+    keys: Vec<u64>,
+    ingest: &Sender<IngestCmd>,
+    stats: &ServerStats,
+    cfg: &ServeConfig,
+    gauge: &mut ConnectionGauge,
+) -> Response {
+    let n = keys.len() as u32;
+    let accepted = match cfg.policy {
+        BackpressurePolicy::Block => ingest.send(IngestCmd::Update(keys)).is_ok(),
+        BackpressurePolicy::InlineFallback => match ingest.try_send(IngestCmd::Update(keys)) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                stats.updates_shed.fetch_add(1, Ordering::Relaxed);
+                gauge.shed += 1;
+                return Response::Error {
+                    code: ErrorCode::Overloaded,
+                    detail: "ingest queue full; batch shed".to_string(),
+                };
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        },
+    };
+    if !accepted {
+        return shutting_down();
+    }
+    stats
+        .updates_ingested
+        .fetch_add(u64::from(n), Ordering::Relaxed);
+    gauge.updates += u64::from(n);
+    Response::Ok(n)
+}
+
+/// Account one read's seqlock retry delta against the wait-free gauge.
+fn track_read(
+    delta: u64,
+    reads: u64,
+    stats: &ServerStats,
+    cfg: &ServeConfig,
+    gauge: &mut ConnectionGauge,
+) {
+    stats.estimates_served.fetch_add(reads, Ordering::Relaxed);
+    gauge.estimates += reads;
+    if delta > 0 {
+        stats.reader_retries.fetch_add(delta, Ordering::Relaxed);
+    }
+    if delta > cfg.read_retry_bound {
+        stats.reader_blocked.fetch_add(1, Ordering::Relaxed);
+    }
+}

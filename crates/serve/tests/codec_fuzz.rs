@@ -4,8 +4,9 @@
 //! the invariants the connection loop's never-panic guarantee rests on.
 
 use asketch_serve::{
-    decode_request, decode_response, encode_request, encode_response, ErrorCode, HealthInfoWire,
-    Request, Response, ShardHealthWire, MAX_BATCH, MAX_FRAME,
+    decode_request, decode_request_ref, decode_response, encode_request, encode_response,
+    ErrorCode, HealthInfoWire, ReactorHealthWire, Request, Response, ShardHealthWire, MAX_BATCH,
+    MAX_FRAME,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -80,6 +81,22 @@ fn build_health(scalar: u64, vals: &[i64], raw: &[u8]) -> HealthInfoWire {
             .then_some((scalar as u32) % (u32::MAX - 1)),
         worst_fault_class: ascii_of(raw),
         shards,
+        reactors: vals
+            .iter()
+            .take(4)
+            .map(|&v| ReactorHealthWire {
+                connections: v as u64,
+                wakeups: scalar ^ v as u64,
+                frames_in: scalar.wrapping_add(v as u64),
+                read_syscalls: scalar.rotate_left(7),
+                write_syscalls: scalar.rotate_left(11),
+                bytes_read: v as u64 ^ 0x5555,
+                bytes_written: v as u64 ^ 0xAAAA,
+                mega_batches: scalar % 1024,
+                mega_batch_keys: scalar % (1 << 20),
+                staging_bound: 16384,
+            })
+            .collect(),
     }
 }
 
@@ -210,6 +227,41 @@ proptest! {
             payload[i] ^= xor;
         }
         let _ = decode_request(&payload);
+    }
+
+    /// The zero-copy decoder and the owned decoder must agree on every
+    /// encodable request: same message on success (after materializing
+    /// the borrowed form), since the reactor serves from one and the
+    /// threaded engine from the other.
+    #[test]
+    fn borrowed_decode_equals_owned_on_valid_frames(
+        kind in 0usize..7,
+        key in any::<u64>(),
+        keys in vec(any::<u64>(), 0..512),
+        k in any::<u32>(),
+    ) {
+        let req = build_request(kind, key, &keys, k);
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let payload = payload_of(&buf);
+        let borrowed = decode_request_ref(payload).expect("valid frame");
+        prop_assert_eq!(borrowed.to_owned(), req);
+        prop_assert_eq!(decode_request(payload), Ok(borrowed.to_owned()));
+    }
+
+    /// ...and on arbitrary garbage: both decoders accept or both reject,
+    /// and acceptance always produces the same message. One decoder being
+    /// stricter than the other would make the two io_models diverge on
+    /// hostile input.
+    #[test]
+    fn borrowed_decode_matches_owned_on_garbage(bytes in vec(any::<u8>(), 0..4096)) {
+        let owned = decode_request(&bytes);
+        let borrowed = decode_request_ref(&bytes);
+        match (owned, borrowed) {
+            (Ok(o), Ok(b)) => prop_assert_eq!(o, b.to_owned()),
+            (Err(_), Err(_)) => {}
+            (o, b) => prop_assert!(false, "decoders disagree: owned={o:?} borrowed={b:?}"),
+        }
     }
 
     /// A declared batch count larger than the bytes present is rejected

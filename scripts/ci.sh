@@ -150,11 +150,44 @@ cargo run -q -p asketch-bench --release --bin serving -- \
     --smoke --target-qps "$SERVE_TARGET_QPS" --out BENCH_serving_smoke.json
 cargo run -q -p asketch-bench --release --bin serving -- \
     --validate-serving BENCH_serving_smoke.json --min-qps "$SERVE_MIN_QPS" --max-p99-ms 200
-rm -f BENCH_serving_smoke.json
 # The committed full-sweep artifact must stay structurally valid too
 # (pure JSON-contents check, no re-measurement, so no QPS bar).
 cargo run -q -p asketch-bench --release --bin serving -- \
     --validate-serving BENCH_serving.json --min-qps 1 --max-p99-ms 1000000
+
+echo "==> serving regression gate (working-tree artifact vs committed baseline)"
+# Row-by-row comparison (matched on io_model, connections, read_frac,
+# target_qps) of the working-tree BENCH_serving.json against the committed
+# baseline: >15% achieved-QPS loss or read-p99 rise on any matched row
+# fails, so a PR that regenerates the artifact cannot silently regress it.
+# Timing comparisons need an unshared core — on one CPU the numbers are
+# scheduler noise, so skip loudly (same rule as the throughput gate).
+SERVING_BASELINE_TMP="$(mktemp)"
+if ! git show HEAD:BENCH_serving.json > "$SERVING_BASELINE_TMP" 2>/dev/null; then
+    echo "WARNING: no committed BENCH_serving.json baseline; skipping serving regression gate"
+elif [ "$CORES" -lt 2 ]; then
+    echo "WARNING: only $CORES CPU(s); skipping serving regression gate" \
+         "(timings on a time-sliced core are not comparable)"
+else
+    cargo run -q -p asketch-bench --release --bin serving -- \
+        --regress "$SERVING_BASELINE_TMP" BENCH_serving.json --tolerance 0.15
+fi
+rm -f "$SERVING_BASELINE_TMP" BENCH_serving_smoke.json
+
+echo "==> serving many-connection smoke (accept fan-out + exact accounting)"
+# 512 concurrent connections against both io_models; every accepted key
+# must be accounted for exactly at the post-sync barrier. Needs a core
+# for the server beside the 512 worker threads: on one CPU the thread
+# storm is all scheduler pressure and no signal, so run a token count
+# there — loudly — to keep the code path exercised.
+if [ "$CORES" -ge 2 ]; then
+    MANY_CONNS=512
+else
+    MANY_CONNS=64
+    echo "WARNING: only $CORES CPU(s); reducing many-connection smoke to ${MANY_CONNS}" \
+         "(full bar is 512 connections on >=2 cores)"
+fi
+cargo run -q -p asketch-bench --release --bin serving -- --many-conns "$MANY_CONNS"
 
 echo "==> ThreadSanitizer pass (concurrent runtime, nightly-only)"
 # TSan needs nightly + rust-src (-Zbuild-std). Skip gracefully when the
