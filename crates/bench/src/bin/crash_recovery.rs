@@ -43,10 +43,10 @@
 //! while ingest stays exact. Results land in `BENCH_faults.json`;
 //! `--validate-faults` re-checks the committed artifact in CI.
 
-use std::io::Write as _;
+use std::io::{BufRead as _, Write as _};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -56,7 +56,13 @@ use asketch_durable::vfs::{self as storage_vfs, FaultKind, FaultPlan, FaultVfs, 
 use asketch_durable::{
     recover_kernel, scrub_shard_dir, DurabilityError, ErrorClass, StoragePolicy,
 };
-use asketch_parallel::{ConcurrentASketch, ConcurrentConfig, KeyPartition, SupervisionConfig};
+use asketch_parallel::{
+    BackpressurePolicy, ConcurrentASketch, ConcurrentConfig, KeyPartition, SupervisionConfig,
+};
+use asketch_serve::{
+    ChaosConfig, ChaosProxy, FaultKind as NetFault, ResilientClient, RetryPolicy, ServeConfig,
+    Server,
+};
 use sketches::CountMin;
 
 /// Distinct keys in the child's round-robin stream. Must stay below
@@ -1058,8 +1064,508 @@ fn validate_faults(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Network-chaos mode (`--net-chaos` / `--validate-chaos`, DESIGN.md §17).
+// ---------------------------------------------------------------------------
+
+/// Batches each net-chaos trial pushes through the proxy.
+const NET_BATCHES: u64 = 60;
+/// Keys per sequenced batch.
+const NET_BATCH: u64 = 64;
+
+/// The four network fault modes a trial grid covers.
+const NET_FAULTS: [NetFault; 4] = [
+    NetFault::Reset,
+    NetFault::Stall,
+    NetFault::PartialWrite,
+    NetFault::Partition,
+];
+
+fn net_fault_name(f: NetFault) -> &'static str {
+    match f {
+        NetFault::None => "none",
+        NetFault::Reset => "reset",
+        NetFault::Stall => "stall",
+        NetFault::PartialWrite => "partial-write",
+        NetFault::Partition => "partition",
+    }
+}
+
+/// `serve-child` mode: a durable sharded runtime behind the network
+/// server, recovering from whatever `dir` already holds. Prints
+/// `listening <addr>` then parks forever — the harness ends it with
+/// SIGKILL only, so every shutdown this child ever sees is a crash.
+fn run_serve_child(dir: &Path, policy: &str) -> ! {
+    std::fs::create_dir_all(dir).expect("create trial dir");
+    let opts = DurabilityOptions::new(dir).fsync(FsyncPolicy::Interval(8));
+    let (rt, _reports) = match ConcurrentASketch::spawn_durable(config(), &opts, kernel) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve-child: spawn_durable failed: {e}");
+            std::process::exit(3);
+        }
+    };
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ingest_queue: 64,
+        policy: match policy {
+            "block" => BackpressurePolicy::Block,
+            "shed" => BackpressurePolicy::InlineFallback,
+            other => {
+                eprintln!("serve-child: unknown policy {other:?}");
+                std::process::exit(2);
+            }
+        },
+        // Low enough that bursts exercise OVERLOADED sheds, high enough
+        // that the retrying client always gets through.
+        admission_high_water: 8,
+        ..ServeConfig::default()
+    };
+    let server = match Server::spawn(cfg, rt) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve-child: bind failed: {e}");
+            std::process::exit(3);
+        }
+    };
+    println!("listening {}", server.addr());
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Spawn a serve child over `dir` and scrape its bound address.
+fn spawn_serve(
+    exe: &Path,
+    dir: &Path,
+    policy: &'static str,
+) -> Result<(Child, std::net::SocketAddr), String> {
+    let mut child = Command::new(exe)
+        .arg("serve-child")
+        .arg(dir)
+        .arg(policy)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn serve-child: {e}"))?;
+    let stdout = child.stdout.take().ok_or("serve-child stdout missing")?;
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(l)) => {
+                if let Some(rest) = l.strip_prefix("listening ") {
+                    break rest
+                        .trim()
+                        .parse::<std::net::SocketAddr>()
+                        .map_err(|e| format!("bad listen addr {rest:?}: {e}"))?;
+                }
+            }
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err("serve-child exited before binding".to_string());
+            }
+        }
+    };
+    Ok((child, addr))
+}
+
+/// One row of `BENCH_chaos.json`.
+struct NetRow {
+    fault: &'static str,
+    policy: &'static str,
+    seed: u64,
+    keys: u64,
+    batches: u64,
+    restarts: u64,
+    reconnects: u64,
+    replays: u64,
+    duplicate_acks: u64,
+    sheds_retried: u64,
+    faulted_conns: u64,
+    exact: bool,
+    panicked: bool,
+    passed: bool,
+    detail: String,
+}
+
+#[derive(Default)]
+struct NetTrialStats {
+    keys: u64,
+    restarts: u64,
+    reconnects: u64,
+    replays: u64,
+    duplicate_acks: u64,
+    sheds_retried: u64,
+    faulted_conns: u64,
+    exact: bool,
+}
+
+/// Offline recovery check: dedup-recover every shard directory and
+/// compare against the exact oracle counts of everything the client
+/// acked. The final `SYNC` barrier fsynced the WALs, so equality — not
+/// just `>=` — must hold even though the server died by SIGKILL.
+fn verify_net_offline(dir: &Path, oracle: &[i64]) -> Result<(), String> {
+    let part = KeyPartition::new(SHARDS);
+    let opts = DurabilityOptions::new(dir);
+    for shard in 0..SHARDS {
+        let shard_dir = opts.shard_dir(shard);
+        let (exact, _report) = recover_kernel(&shard_dir, true, || kernel(shard))
+            .map_err(|e| format!("shard {shard}: dedup recovery failed: {e}"))?;
+        for k in 0..DISTINCT {
+            if part.shard_of(k) != shard {
+                continue;
+            }
+            let est = exact.estimate(k);
+            if est != oracle[k as usize] {
+                return Err(format!(
+                    "shard {shard} key {k}: offline recovery estimate {est} != oracle \
+                     {} — acked writes were lost or duplicated on disk",
+                    oracle[k as usize]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One network-chaos trial: drive sequenced batches from a
+/// [`ResilientClient`] through a seeded [`ChaosProxy`] into a durable
+/// serve child, SIGKILL + restart the server mid-stream (repointing the
+/// proxy like a VIP), finish with a `SYNC` barrier, then assert the live
+/// estimates and the offline-recovered state both equal the exact
+/// oracle — zero acked writes lost, zero duplicates.
+fn net_trial_body(
+    fault: NetFault,
+    policy: &'static str,
+    trial_seed: u64,
+    dir: &Path,
+    exe: &Path,
+) -> Result<NetTrialStats, String> {
+    let _ = std::fs::remove_dir_all(dir);
+    let (mut server, addr) = spawn_serve(exe, dir, policy)?;
+    let chaos_cfg = ChaosConfig {
+        seed: trial_seed,
+        fault,
+        fault_rate: 128,
+        budget_max: 16 * 1024,
+        stall: Duration::from_millis(500),
+    };
+    let proxy = ChaosProxy::start("127.0.0.1:0", addr, chaos_cfg)
+        .map_err(|e| format!("start proxy: {e}"))?;
+    let retry = RetryPolicy {
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        op_deadline: Duration::from_secs(60),
+        // Shorter than the proxy's stall window so blackholed
+        // connections surface as timeouts, not hangs.
+        read_timeout: Duration::from_millis(250),
+        max_reconnects: 100_000,
+        retry_sheds: true,
+        jitter_seed: trial_seed,
+    };
+    let mut client = ResilientClient::new(proxy.addr().to_string(), trial_seed | 1, retry);
+    let mut oracle = vec![0i64; DISTINCT as usize];
+    let mut sent = 0u64;
+    let mut restarts = 0u64;
+    let result: Result<(), String> = (|| {
+        for batch_n in 0..NET_BATCHES {
+            let keys: Vec<u64> = (0..NET_BATCH)
+                .map(|_| {
+                    let k = key_at(sent);
+                    sent += 1;
+                    k
+                })
+                .collect();
+            client
+                .update_batch(&keys)
+                .map_err(|e| format!("batch {batch_n}: {e}"))?;
+            // The ack is the contract: once update_batch returns Ok the
+            // keys count toward the oracle, whatever happens next.
+            for &k in &keys {
+                oracle[k as usize] += 1;
+            }
+            if batch_n + 1 == NET_BATCHES / 2 {
+                // Crash the server mid-stream; acked-but-unfsynced
+                // batches must survive via client replay + dedup.
+                server.kill().map_err(|e| format!("SIGKILL server: {e}"))?;
+                let _ = server.wait();
+                let (s, new_addr) = spawn_serve(exe, dir, policy)?;
+                server = s;
+                proxy.retarget(new_addr);
+                restarts += 1;
+            }
+        }
+        // Durability + visibility barrier, then the end-to-end check.
+        client.sync().map_err(|e| format!("final sync: {e}"))?;
+        let all_keys: Vec<u64> = (0..DISTINCT).collect();
+        let estimates = client
+            .estimate_batch(&all_keys)
+            .map_err(|e| format!("final estimates: {e}"))?;
+        for k in 0..DISTINCT as usize {
+            if estimates[k] != oracle[k] {
+                return Err(format!(
+                    "key {k}: live estimate {} != oracle {} — \
+                     {} lost or duplicated acked updates end-to-end",
+                    estimates[k],
+                    oracle[k],
+                    (estimates[k] - oracle[k]).abs()
+                ));
+            }
+        }
+        Ok(())
+    })();
+    let stats = client.stats();
+    let faulted_conns = proxy
+        .stats()
+        .faulted
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let _ = server.kill();
+    let _ = server.wait();
+    result?;
+    // The server is dead (SIGKILL); the synced on-disk state must still
+    // reproduce the oracle exactly under dedup recovery.
+    verify_net_offline(dir, &oracle)?;
+    Ok(NetTrialStats {
+        keys: sent,
+        restarts,
+        reconnects: u64::from(stats.reconnects),
+        replays: stats.replays,
+        duplicate_acks: stats.duplicate_acks,
+        sheds_retried: stats.sheds_retried,
+        faulted_conns,
+        exact: true,
+    })
+}
+
+fn write_chaos_json(path: &Path, rows: &[NetRow], seed: u64) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"net-chaos\",");
+    let _ = writeln!(out, "  \"commit\": \"{}\",", git_commit());
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"shards\": {SHARDS}, \"distinct\": {DISTINCT}, \
+         \"batches\": {NET_BATCHES}, \"batch\": {NET_BATCH}, \"seed\": {seed}, \
+         \"fault_rate\": 128, \"restarts_per_trial\": 1}},"
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"fault\": \"{}\", \"policy\": \"{}\", \"seed\": {}, \
+             \"keys\": {}, \"batches\": {}, \"restarts\": {}, \"reconnects\": {}, \
+             \"replays\": {}, \"duplicate_acks\": {}, \"sheds_retried\": {}, \
+             \"faulted_conns\": {}, \"exact\": {}, \"panicked\": {}, \
+             \"passed\": {}, \"detail\": \"{}\"}}{}",
+            r.fault,
+            r.policy,
+            r.seed,
+            r.keys,
+            r.batches,
+            r.restarts,
+            r.reconnects,
+            r.replays,
+            r.duplicate_acks,
+            r.sheds_retried,
+            r.faulted_conns,
+            r.exact,
+            r.panicked,
+            r.passed,
+            json_escape(&r.detail),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// The full survivability sweep: every fault kind × both backpressure
+/// policies × `seeds_per_cell` seeds, one SIGKILL restart per trial.
+fn run_net_chaos(seeds_per_cell: u64, seed: u64, base: &Path, out: &Path) -> ! {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut rows: Vec<NetRow> = Vec::new();
+    let mut failures = 0usize;
+    for &fault in NET_FAULTS.iter() {
+        for &policy in &["block", "shed"] {
+            for s in 0..seeds_per_cell {
+                let trial_seed = seed ^ (s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let name = net_fault_name(fault);
+                let dir = base.join(format!("net-{name}-{policy}-{s}"));
+                let started = Instant::now();
+                let (stats, panicked, passed, detail) =
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        net_trial_body(fault, policy, trial_seed, &dir, &exe)
+                    })) {
+                        Ok(Ok(stats)) => (stats, false, true, String::new()),
+                        Ok(Err(e)) => (NetTrialStats::default(), false, false, e),
+                        Err(payload) => {
+                            (NetTrialStats::default(), true, false, panic_text(payload))
+                        }
+                    };
+                let row = NetRow {
+                    fault: name,
+                    policy,
+                    seed: trial_seed,
+                    keys: stats.keys,
+                    batches: NET_BATCHES,
+                    restarts: stats.restarts,
+                    reconnects: stats.reconnects,
+                    replays: stats.replays,
+                    duplicate_acks: stats.duplicate_acks,
+                    sheds_retried: stats.sheds_retried,
+                    faulted_conns: stats.faulted_conns,
+                    exact: stats.exact,
+                    panicked,
+                    passed,
+                    detail,
+                };
+                if row.passed {
+                    println!(
+                        "net trial {name:<13} {policy:<5} seed {s} ok in {:>5}ms \
+                         ({} keys, {} restart(s), {} reconnect(s), {} replay(s), \
+                         {} dup ack(s), {} shed(s), {} faulted conn(s))",
+                        started.elapsed().as_millis(),
+                        row.keys,
+                        row.restarts,
+                        row.reconnects,
+                        row.replays,
+                        row.duplicate_acks,
+                        row.sheds_retried,
+                        row.faulted_conns
+                    );
+                    let _ = std::fs::remove_dir_all(&dir);
+                } else {
+                    eprintln!(
+                        "net trial {name:<13} {policy:<5} seed {s} FAIL{}: {}",
+                        if row.panicked { " (panicked)" } else { "" },
+                        row.detail
+                    );
+                    eprintln!("  state kept in {}", dir.display());
+                    failures += 1;
+                }
+                rows.push(row);
+            }
+        }
+    }
+    let total = rows.len();
+    if let Err(e) = write_chaos_json(out, &rows, seed) {
+        eprintln!("write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {} ({total} trials)", out.display());
+    if failures > 0 {
+        eprintln!("{failures}/{total} net-chaos trials FAILED");
+        std::process::exit(1);
+    }
+    println!("all {total} net-chaos trials passed (exactly-once held under every fault)");
+    std::process::exit(0);
+}
+
+/// Validate a committed `BENCH_chaos.json`: every trial passed with
+/// exact end-to-end counts, the fault × policy grid is fully covered,
+/// every trial survived a restart and at least one reconnect, and the
+/// sweep as a whole exercised replay (otherwise the window logic went
+/// untested and "exactly-once" is vacuous).
+fn validate_chaos(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    for key in [
+        "\"schema_version\"",
+        "\"bench\": \"net-chaos\"",
+        "\"commit\"",
+        "\"results\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("{path}: missing {key}"));
+        }
+    }
+    let mut seen: Vec<(String, String)> = Vec::new();
+    let mut total_replays = 0u64;
+    let mut total_dups = 0u64;
+    for line in text.lines().filter(|l| l.contains("\"fault\"")) {
+        let get =
+            |k: &str| field(line, k).ok_or_else(|| format!("{path}: row missing \"{k}\": {line}"));
+        let num = |k: &str| -> Result<u64, String> {
+            get(k)?
+                .parse::<u64>()
+                .map_err(|e| format!("{path}: bad \"{k}\": {e}: {line}"))
+        };
+        let fault = get("fault")?.to_string();
+        let policy = get("policy")?.to_string();
+        if get("panicked")? != "false" {
+            return Err(format!(
+                "{path}: a panic escaped trial {fault}/{policy}: {}",
+                get("detail")?
+            ));
+        }
+        if get("passed")? != "true" || get("exact")? != "true" {
+            return Err(format!(
+                "{path}: trial {fault}/{policy} failed: {}",
+                get("detail")?
+            ));
+        }
+        if num("restarts")? == 0 {
+            return Err(format!(
+                "{path}: {fault}/{policy} never crash-restarted the server"
+            ));
+        }
+        if num("reconnects")? == 0 {
+            return Err(format!(
+                "{path}: {fault}/{policy} never reconnected — the fault path went \
+                 unexercised"
+            ));
+        }
+        total_replays += num("replays")?;
+        total_dups += num("duplicate_acks")?;
+        seen.push((fault, policy));
+    }
+    if seen.len() < 8 {
+        return Err(format!(
+            "{path}: only {} trials — the 4-fault x 2-policy grid needs at least 8",
+            seen.len()
+        ));
+    }
+    for fault in ["reset", "stall", "partial-write", "partition"] {
+        for policy in ["block", "shed"] {
+            let want = (fault.to_string(), policy.to_string());
+            if !seen.contains(&want) {
+                return Err(format!("{path}: sweep missing trial {fault}/{policy}"));
+            }
+        }
+    }
+    if total_replays == 0 {
+        return Err(format!(
+            "{path}: no trial replayed a batch — the replay window went untested"
+        ));
+    }
+    println!(
+        "{path}: {} net-chaos trials validated (full fault x policy grid, \
+         {total_replays} replays, {total_dups} duplicate acks absorbed)",
+        seen.len()
+    );
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve-child") {
+        if args.len() != 3 {
+            eprintln!("usage: crash_recovery serve-child <dir> <block|shed>");
+            std::process::exit(2);
+        }
+        let policy: &'static str = match args[2].as_str() {
+            "block" => "block",
+            "shed" => "shed",
+            other => {
+                eprintln!("unknown policy: {other}");
+                std::process::exit(2);
+            }
+        };
+        run_serve_child(Path::new(&args[1]), policy);
+    }
     if args.first().map(String::as_str) == Some("child") {
         if args.len() != 5 {
             eprintln!("usage: crash_recovery child <dir> <fsync> <keys> <ckpt-every>");
@@ -1077,19 +1583,36 @@ fn main() {
     let mut seed = SEED;
     let mut dir: Option<PathBuf> = None;
     let mut faults = false;
-    let mut out = PathBuf::from("BENCH_faults.json");
+    let mut net_chaos = false;
+    let mut net_seeds = 4u64;
+    let mut out: Option<PathBuf> = None;
     let mut validate_path: Option<String> = None;
+    let mut validate_chaos_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--faults" => faults = true,
+            "--net-chaos" => net_chaos = true,
+            "--net-seeds" => {
+                i += 1;
+                net_seeds = args
+                    .get(i)
+                    .expect("--net-seeds needs a value")
+                    .parse()
+                    .expect("net-seeds must be a number");
+            }
             "--out" => {
                 i += 1;
-                out = PathBuf::from(args.get(i).expect("--out needs a path"));
+                out = Some(PathBuf::from(args.get(i).expect("--out needs a path")));
             }
             "--validate-faults" => {
                 i += 1;
                 validate_path = Some(args.get(i).expect("--validate-faults needs a path").clone());
+            }
+            "--validate-chaos" => {
+                i += 1;
+                validate_chaos_path =
+                    Some(args.get(i).expect("--validate-chaos needs a path").clone());
             }
             "--trials" => {
                 i += 1;
@@ -1126,7 +1649,10 @@ fn main() {
                     "usage: crash_recovery [--trials N] [--keys N] [--seed S] [--dir PATH]\n\
                      \x20      crash_recovery --faults [--keys N] [--seed S] [--dir PATH] \
                      [--out BENCH_faults.json]\n\
-                     \x20      crash_recovery --validate-faults BENCH_faults.json"
+                     \x20      crash_recovery --net-chaos [--net-seeds N] [--seed S] \
+                     [--dir PATH] [--out BENCH_chaos.json]\n\
+                     \x20      crash_recovery --validate-faults BENCH_faults.json\n\
+                     \x20      crash_recovery --validate-chaos BENCH_chaos.json"
                 );
                 std::process::exit(2);
             }
@@ -1140,10 +1666,22 @@ fn main() {
         }
         std::process::exit(0);
     }
+    if let Some(path) = validate_chaos_path {
+        if let Err(e) = validate_chaos(&path) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
     let base = dir.unwrap_or_else(|| {
         std::env::temp_dir().join(format!("asketch-crash-{}", std::process::id()))
     });
+    if net_chaos {
+        let out = out.unwrap_or_else(|| PathBuf::from("BENCH_chaos.json"));
+        run_net_chaos(net_seeds, seed, &base, &out);
+    }
     if faults {
+        let out = out.unwrap_or_else(|| PathBuf::from("BENCH_faults.json"));
         run_faults(keys.unwrap_or(65_536), seed, &base, &out);
     }
     run_harness(trials, keys.unwrap_or(400_000), seed, &base);

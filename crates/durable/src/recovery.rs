@@ -19,9 +19,9 @@ use sketches::persist::Persist;
 use sketches::FrequencyEstimator;
 
 use crate::error::DurabilityError;
-use crate::snapshot::{load_latest_with, SnapshotMeta};
+use crate::snapshot::{load_latest_sessions_with, SnapshotMeta};
 use crate::vfs::{real, Vfs};
-use crate::wal::{replay_with, truncate_torn_with, TornTail};
+use crate::wal::{replay_annotated_with, truncate_torn_with, TornTail};
 
 /// What recovery found and did — surfaced so callers (and the crash
 /// harness) can assert on it instead of trusting silence.
@@ -45,6 +45,12 @@ pub struct RecoveryReport {
     pub last_seq: u64,
     /// Set when replay stopped at a torn/corrupt record.
     pub torn: Option<TornTail>,
+    /// Serving-session high-water marks rebuilt from the snapshot's
+    /// session table max-folded with every intact record's annotation:
+    /// `(session_id, highest durable client_seq)`, sorted by session id.
+    /// A torn tail shrinks these together with the keys they covered, so
+    /// the dedup table can never run ahead of the recovered counts.
+    pub sessions: Vec<(u64, u64)>,
 }
 
 /// Rebuild a shard kernel from `shard_dir` (holding `snap-*.bin` and
@@ -79,12 +85,14 @@ pub fn recover_kernel_with<K: Persist + FrequencyEstimator>(
     fresh: impl FnOnce() -> K,
 ) -> Result<(K, RecoveryReport), DurabilityError> {
     let mut report = RecoveryReport::default();
-    let (loaded, rejected) = load_latest_with::<K>(vfs, shard_dir)?;
+    let (loaded, rejected) = load_latest_sessions_with::<K>(vfs, shard_dir)?;
     report.rejected_snapshots = rejected;
+    let mut sessions: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     let mut kernel = match loaded {
-        Some((meta, kernel)) => {
+        Some((meta, kernel, snap_sessions)) => {
             report.snapshot = Some(meta);
             report.last_seq = meta.wal_seq;
+            sessions.extend(snap_sessions);
             kernel
         }
         None => fresh(),
@@ -94,7 +102,14 @@ pub fn recover_kernel_with<K: Persist + FrequencyEstimator>(
     let mut applied = 0u64;
     let mut applied_keys = 0u64;
     let mut deduped = 0u64;
-    let scan = replay_with(vfs, shard_dir, |seq, keys| {
+    let scan = replay_annotated_with(vfs, shard_dir, |seq, keys, ann| {
+        // Session marks fold from *every* intact record — deduped ones
+        // included (max-fold makes that idempotent) — so the table is
+        // correct whether or not the snapshot already covered a record.
+        if let Some((sid, cseq)) = ann {
+            let hwm = sessions.entry(sid).or_insert(0);
+            *hwm = (*hwm).max(cseq);
+        }
         if dedup && seq <= gate {
             deduped += 1;
             return;
@@ -105,6 +120,9 @@ pub fn recover_kernel_with<K: Persist + FrequencyEstimator>(
         applied += 1;
         applied_keys += keys.len() as u64;
     })?;
+    let mut session_list: Vec<(u64, u64)> = sessions.into_iter().collect();
+    session_list.sort_unstable();
+    report.sessions = session_list;
     report.wal_records = scan.records;
     report.replayed_records = applied;
     report.replayed_keys = applied_keys;
@@ -210,6 +228,50 @@ mod tests {
                 "seq {seq}"
             );
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sessions_rebuild_from_snapshot_and_annotations() {
+        let dir = tmp_dir("sessions");
+        // Snapshot at gate 2 carries session 7 at hwm 2; the WAL holds
+        // annotated batches for sessions 7 and 9 on both sides of the gate.
+        let mut snap_state = fresh();
+        snap_state.update(1, 1);
+        crate::snapshot::write_snapshot_sessions_with(
+            &real(),
+            &dir,
+            SnapshotMeta {
+                shard: 0,
+                wal_seq: 2,
+                ops: 1,
+            },
+            &snap_state,
+            &[(7, 2)],
+        )
+        .unwrap();
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::PerBatch, 1 << 20).unwrap();
+        w.append_record_annotated(3, &[10], Some((7, 3))).unwrap();
+        w.append_record_annotated(4, &[11], Some((9, 1))).unwrap();
+        w.append_record_annotated(5, &[12], Some((7, 4))).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let (_, report) = recover_kernel(&dir, true, fresh).unwrap();
+        assert_eq!(report.sessions, vec![(7, 4), (9, 1)]);
+
+        // A torn tail drops the hwm bump together with the keys: cut the
+        // last record and session 7 falls back to 3.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "log"))
+            .unwrap();
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).unwrap();
+        let (_, report) = recover_kernel(&dir, true, fresh).unwrap();
+        assert_eq!(report.sessions, vec![(7, 3), (9, 1)]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

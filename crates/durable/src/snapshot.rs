@@ -5,14 +5,25 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic "ASKSNAP1"
-//!      8     4  version (= 1)
+//!      8     4  version (1 = payload only, 2 = payload + sessions)
 //!     12     8  shard index
 //!     20     8  wal_seq   — highest WAL sequence folded into this state
 //!     28     8  ops       — tuples applied to the state (informational)
 //!     36     8  payload_len
 //!     44     n  payload   — `Persist::write_state` bytes of the kernel
-//!   44+n     4  crc32c over bytes [8 .. 44+n] (everything after magic)
+//!   (version 2 only, between payload and crc:)
+//!   44+n     4  session count s
+//!   48+n  16·s  sessions  — s × (session_id u64, high-water seq u64),
+//!                the serving layer's dedup table *as of wal_seq*
+//!    ...     4  crc32c over bytes [8 .. end-4] (everything after magic)
 //! ```
+//!
+//! Version 1 files (and version-2 files with zero sessions, which are
+//! written as version 1 for byte compatibility) read back with an empty
+//! session table. The session section must reflect the high-water marks
+//! as of `wal_seq` — not the writer's live state — or a torn WAL tail
+//! could leave a session's mark ahead of the replayable records, silently
+//! deduplicating (dropping) legitimately retried writes.
 //!
 //! Files are named `snap-<wal_seq, zero-padded>.bin` so lexicographic
 //! order is recovery order, and are written atomically: tmp file →
@@ -36,8 +47,10 @@ use crate::vfs::{real, Vfs};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ASKSNAP1";
-/// Current snapshot format version.
+/// Snapshot format version without a session section.
 pub const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot format version carrying a session high-water-mark section.
+pub const SNAPSHOT_VERSION_SESSIONS: u32 = 2;
 
 /// Suffix appended to a quarantined (corrupt) snapshot's file name.
 pub const QUARANTINE_SUFFIX: &str = ".corrupt";
@@ -97,17 +110,45 @@ pub fn write_snapshot_with<P: Persist>(
     meta: SnapshotMeta,
     state: &P,
 ) -> Result<PathBuf, DurabilityError> {
+    write_snapshot_sessions_with(vfs, dir, meta, state, &[])
+}
+
+/// [`write_snapshot_with`], additionally persisting the serving layer's
+/// per-session high-water marks **as of `meta.wal_seq`**. Zero sessions
+/// write the byte-identical version-1 format.
+///
+/// # Errors
+/// Any I/O failure; the directory is created if missing.
+pub fn write_snapshot_sessions_with<P: Persist>(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+    meta: SnapshotMeta,
+    state: &P,
+    sessions: &[(u64, u64)],
+) -> Result<PathBuf, DurabilityError> {
     vfs.create_dir_all(dir)
         .map_err(io_err("create snapshot dir", dir))?;
     let payload = state.to_state_bytes();
+    let version = if sessions.is_empty() {
+        SNAPSHOT_VERSION
+    } else {
+        SNAPSHOT_VERSION_SESSIONS
+    };
     // Everything after the magic is covered by the trailing CRC.
-    let mut body = Vec::with_capacity(36 + payload.len());
-    body.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    let mut body = Vec::with_capacity(36 + payload.len() + 4 + sessions.len() * 16);
+    body.extend_from_slice(&version.to_le_bytes());
     body.extend_from_slice(&meta.shard.to_le_bytes());
     body.extend_from_slice(&meta.wal_seq.to_le_bytes());
     body.extend_from_slice(&meta.ops.to_le_bytes());
     body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     body.extend_from_slice(&payload);
+    if version == SNAPSHOT_VERSION_SESSIONS {
+        body.extend_from_slice(&(sessions.len() as u32).to_le_bytes());
+        for &(sid, hwm) in sessions {
+            body.extend_from_slice(&sid.to_le_bytes());
+            body.extend_from_slice(&hwm.to_le_bytes());
+        }
+    }
     let crc = crc32c(&body);
 
     let final_path = dir.join(snapshot_file_name(meta.wal_seq));
@@ -134,9 +175,17 @@ pub fn write_snapshot_with<P: Persist>(
     Ok(final_path)
 }
 
+/// Validated snapshot framing: the meta plus where the payload ends and
+/// how many session entries follow it.
+struct SnapshotFrames {
+    meta: SnapshotMeta,
+    payload_len: usize,
+    sessions: usize,
+}
+
 /// Validate the framing of already-read snapshot bytes: magic, length,
-/// CRC, version, payload-length consistency. Returns the meta on success.
-fn validate_snapshot_bytes(path: &Path, bytes: &[u8]) -> Result<SnapshotMeta, DurabilityError> {
+/// CRC, version, payload/session-length consistency.
+fn validate_snapshot_bytes(path: &Path, bytes: &[u8]) -> Result<SnapshotFrames, DurabilityError> {
     if bytes.len() < 8 || bytes[..8] != SNAPSHOT_MAGIC {
         return Err(DurabilityError::BadMagic {
             path: path.to_path_buf(),
@@ -186,7 +235,7 @@ fn validate_snapshot_bytes(path: &Path, bytes: &[u8]) -> Result<SnapshotMeta, Du
             path: path.to_path_buf(),
             what: "snapshot header",
         })?;
-    if version != SNAPSHOT_VERSION {
+    if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_SESSIONS {
         return Err(DurabilityError::UnsupportedVersion {
             path: path.to_path_buf(),
             found: version,
@@ -197,14 +246,45 @@ fn validate_snapshot_bytes(path: &Path, bytes: &[u8]) -> Result<SnapshotMeta, Du
         wal_seq: le_u64(12)?,
         ops: le_u64(20)?,
     };
-    let payload_len = le_u64(28)?;
-    if payload_len != (body.len() - 36) as u64 {
+    let payload_len = le_u64(28)? as usize;
+    // Guard the arithmetic below against a corrupt (huge) length field.
+    if payload_len > body.len() {
         return Err(DurabilityError::Truncated {
             path: path.to_path_buf(),
             what: "snapshot payload",
         });
     }
-    Ok(meta)
+    let sessions = if version == SNAPSHOT_VERSION {
+        if payload_len != body.len() - 36 {
+            return Err(DurabilityError::Truncated {
+                path: path.to_path_buf(),
+                what: "snapshot payload",
+            });
+        }
+        0
+    } else {
+        // v2: `u32 count | count × 16 bytes` sits between payload and CRC.
+        let count = body
+            .get(36 + payload_len..36 + payload_len + 4)
+            .and_then(|s| s.try_into().ok())
+            .map(u32::from_le_bytes)
+            .ok_or_else(|| DurabilityError::Truncated {
+                path: path.to_path_buf(),
+                what: "snapshot session count",
+            })? as usize;
+        if body.len() - 36 != payload_len + 4 + count * 16 {
+            return Err(DurabilityError::Truncated {
+                path: path.to_path_buf(),
+                what: "snapshot session table",
+            });
+        }
+        count
+    };
+    Ok(SnapshotFrames {
+        meta,
+        payload_len,
+        sessions,
+    })
 }
 
 /// Read and fully validate one snapshot file.
@@ -225,14 +305,42 @@ pub fn read_snapshot_with<P: Persist>(
     vfs: &Arc<dyn Vfs>,
     path: &Path,
 ) -> Result<(SnapshotMeta, P), DurabilityError> {
+    let (meta, state, _) = read_snapshot_sessions_with(vfs, path)?;
+    Ok((meta, state))
+}
+
+/// [`read_snapshot_with`], additionally returning the persisted session
+/// high-water marks (empty for version-1 files).
+///
+/// # Errors
+/// See [`read_snapshot`].
+#[allow(clippy::type_complexity)]
+pub fn read_snapshot_sessions_with<P: Persist>(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+) -> Result<(SnapshotMeta, P, Vec<(u64, u64)>), DurabilityError> {
     let bytes = vfs.read(path).map_err(io_err("read snapshot", path))?;
-    let meta = validate_snapshot_bytes(path, &bytes)?;
-    let payload = &bytes[44..bytes.len() - 4];
+    let frames = validate_snapshot_bytes(path, &bytes)?;
+    let payload = &bytes[44..44 + frames.payload_len];
     let state = P::from_state_bytes(payload).map_err(|source| DurabilityError::Persist {
         path: path.to_path_buf(),
         source,
     })?;
-    Ok((meta, state))
+    let mut sessions = Vec::with_capacity(frames.sessions);
+    let mut at = 44 + frames.payload_len + 4;
+    for _ in 0..frames.sessions {
+        // In-bounds by the validated session-table framing.
+        let word = |a: usize| {
+            bytes
+                .get(a..a + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+                .unwrap_or(0)
+        };
+        sessions.push((word(at), word(at + 8)));
+        at += 16;
+    }
+    Ok((frames.meta, state, sessions))
 }
 
 /// Verify a snapshot's integrity — magic, version, length framing, CRC —
@@ -247,7 +355,7 @@ pub fn verify_snapshot_with(
     path: &Path,
 ) -> Result<SnapshotMeta, DurabilityError> {
     let bytes = vfs.read(path).map_err(io_err("read snapshot", path))?;
-    validate_snapshot_bytes(path, &bytes)
+    validate_snapshot_bytes(path, &bytes).map(|f| f.meta)
 }
 
 /// All snapshot files in `dir`, sorted by sequence ascending.
@@ -303,9 +411,29 @@ pub fn load_latest_with<P: Persist>(
     vfs: &Arc<dyn Vfs>,
     dir: &Path,
 ) -> Result<(Option<(SnapshotMeta, P)>, Vec<(PathBuf, DurabilityError)>), DurabilityError> {
+    let (loaded, rejected) = load_latest_sessions_with::<P>(vfs, dir)?;
+    Ok((loaded.map(|(meta, state, _)| (meta, state)), rejected))
+}
+
+/// [`load_latest_with`], additionally returning the newest valid
+/// snapshot's persisted session table (empty for version-1 files).
+///
+/// # Errors
+/// See [`load_latest`].
+#[allow(clippy::type_complexity)]
+pub fn load_latest_sessions_with<P: Persist>(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+) -> Result<
+    (
+        Option<(SnapshotMeta, P, Vec<(u64, u64)>)>,
+        Vec<(PathBuf, DurabilityError)>,
+    ),
+    DurabilityError,
+> {
     let mut rejected = Vec::new();
     for (_, path) in list_snapshots_with(vfs, dir)?.into_iter().rev() {
-        match read_snapshot_with::<P>(vfs, &path) {
+        match read_snapshot_sessions_with::<P>(vfs, &path) {
             Ok(loaded) => return Ok((Some(loaded), rejected)),
             Err(e) => rejected.push((path, e)),
         }
@@ -388,6 +516,66 @@ mod tests {
             cms.update(k % 37, 1 + (k % 3) as i64);
         }
         cms
+    }
+
+    #[test]
+    fn session_snapshot_round_trip_and_v1_reads_empty() {
+        let dir = tmp_dir("sessions");
+        let state = sample();
+        let meta = SnapshotMeta {
+            shard: 1,
+            wal_seq: 42,
+            ops: 10,
+        };
+        let sessions = vec![(7u64, 42u64), (9, 17), (u64::MAX, 1)];
+        write_snapshot_sessions_with(&real(), &dir, meta, &state, &sessions).unwrap();
+        let (got, rejected) = load_latest_sessions_with::<CountMin>(&real(), &dir).unwrap();
+        assert!(rejected.is_empty());
+        let (m, _, s) = got.unwrap();
+        assert_eq!(m.wal_seq, 42);
+        assert_eq!(s, sessions);
+        // The sessions-blind readers accept the v2 file too.
+        let (got, _) = load_latest_with::<CountMin>(&real(), &dir).unwrap();
+        assert_eq!(got.unwrap().0.wal_seq, 42);
+
+        // An empty session table writes the byte-identical v1 format,
+        // and v1 files read back with an empty table.
+        let dir2 = tmp_dir("sessions-v1");
+        write_snapshot(&dir2, meta, &state).unwrap();
+        let (got, _) = load_latest_sessions_with::<CountMin>(&real(), &dir2).unwrap();
+        let (_, _, s) = got.unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn corrupt_session_table_is_rejected_not_misread() {
+        let dir = tmp_dir("sessions-corrupt");
+        let meta = SnapshotMeta {
+            shard: 0,
+            wal_seq: 5,
+            ops: 3,
+        };
+        let path = write_snapshot_sessions_with(&real(), &dir, meta, &sample(), &[(1, 2), (3, 4)])
+            .unwrap();
+        let good = fs::read(&path).unwrap();
+
+        // Truncating into the session table: typed rejection.
+        fs::write(&path, &good[..good.len() - 8]).unwrap();
+        assert!(verify_snapshot_with(&real(), &path).is_err());
+
+        // Flipping a session byte: the CRC catches it.
+        let mut flipped = good.clone();
+        let at = flipped.len() - 10;
+        flipped[at] ^= 0xFF;
+        fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            verify_snapshot_with(&real(), &path),
+            Err(DurabilityError::ChecksumMismatch { .. })
+        ));
+
+        // Restored bytes validate again.
+        fs::write(&path, &good).unwrap();
+        assert!(verify_snapshot_with(&real(), &path).is_ok());
     }
 
     #[test]

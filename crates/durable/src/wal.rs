@@ -7,9 +7,13 @@
 //! body:
 //!   seq   u64  — monotone per-shard sequence number (one per batch)
 //!   count u32  — low 24 bits: keys in this batch;
-//!                high 8 bits: key width tag (0 = legacy 8-byte keys,
-//!                else 1/2/4/8 = bytes per key)
+//!                high 8 bits: key width tag (low 7 bits: 0 = legacy
+//!                8-byte keys, else 1/2/4/8 = bytes per key; bit 0x80 =
+//!                a 16-byte session annotation follows the keys)
 //!   keys  count × width bytes (little-endian truncation of each u64)
+//!   ann   (only when tag bit 0x80 is set)
+//!         session_id u64 | client_seq u64 — the serving session and
+//!         per-session sequence number this batch was accepted under
 //! crc   u32  — CRC32C of the body
 //! ```
 //!
@@ -21,7 +25,15 @@
 //! fsync writeback), and real streams skew small. Full-range (hashed)
 //! keys pay nothing: the tag rides in a count byte that was always zero,
 //! and width 8 is the old layout. Tag 0 decodes as width 8, so segments
-//! written before packing replay unchanged. Segments are
+//! written before packing replay unchanged.
+//!
+//! The optional **session annotation** (tag bit `0x80`) persists the
+//! serving layer's per-session high-water mark piggyback on the data
+//! record it gates: the annotation is inside the same CRC-covered body,
+//! so a batch and the session sequence that admitted it are durable
+//! atomically — replay can rebuild the exactly-once dedup table by
+//! max-folding annotations, and a torn tail loses the hwm bump together
+//! with the keys it covered (never one without the other). Segments are
 //! named `wal-<first_seq, zero-padded>.log`; the writer rolls to a new
 //! segment once the current one exceeds its byte target, so snapshot
 //! rotation can delete whole covered segments without rewriting.
@@ -320,6 +332,20 @@ impl WalWriter {
     /// Debug-asserts sequence monotonicity — a caller bug, not a runtime
     /// condition.
     pub fn append_record(&mut self, seq: u64, keys: &[u64]) -> Result<(), DurabilityError> {
+        self.append_record_annotated(seq, keys, None)
+    }
+
+    /// [`WalWriter::append_record`] with an optional `(session_id,
+    /// client_seq)` annotation persisted atomically with the batch.
+    ///
+    /// # Errors
+    /// See [`WalWriter::append_record`].
+    pub fn append_record_annotated(
+        &mut self,
+        seq: u64,
+        keys: &[u64],
+        ann: Option<(u64, u64)>,
+    ) -> Result<(), DurabilityError> {
         debug_assert!(seq > self.last_seq, "WAL sequence must be monotone");
         if self.poisoned {
             return Err(DurabilityError::Poisoned {
@@ -328,7 +354,7 @@ impl WalWriter {
         }
         self.scratch.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
-        encode_record(&mut scratch, seq, keys);
+        encode_record(&mut scratch, seq, keys, ann);
         let record_len = scratch.len() as u64;
         let wrote = self.file.write_all(&scratch);
         self.scratch = scratch;
@@ -358,13 +384,27 @@ impl WalWriter {
     /// Debug-asserts sequence monotonicity — a caller bug, not a runtime
     /// condition.
     pub fn stage_record(&mut self, seq: u64, keys: &[u64]) -> Result<(), DurabilityError> {
+        self.stage_record_annotated(seq, keys, None)
+    }
+
+    /// [`WalWriter::stage_record`] with an optional `(session_id,
+    /// client_seq)` annotation persisted atomically with the batch.
+    ///
+    /// # Errors
+    /// See [`WalWriter::stage_record`].
+    pub fn stage_record_annotated(
+        &mut self,
+        seq: u64,
+        keys: &[u64],
+        ann: Option<(u64, u64)>,
+    ) -> Result<(), DurabilityError> {
         debug_assert!(seq > self.last_seq, "WAL sequence must be monotone");
         if self.poisoned {
             return Err(DurabilityError::Poisoned {
                 path: self.path.clone(),
             });
         }
-        encode_record(&mut self.group, seq, keys);
+        encode_record(&mut self.group, seq, keys, ann);
         self.group_records += 1;
         if self.group_since.is_none() {
             self.group_since = Some(Instant::now());
@@ -589,17 +629,27 @@ fn key_width(keys: &[u64]) -> usize {
     }
 }
 
+/// Tag bit marking a record that carries a trailing 16-byte session
+/// annotation (`session_id u64 | client_seq u64`) after its packed keys.
+const ANN_TAG: u32 = 0x80;
+/// Byte length of the session annotation trailer.
+const ANN_BYTES: usize = 16;
+
 /// Encode one record (`len | body | crc`, see module docs) onto `buf`,
 /// packing keys at the batch's natural width.
-fn encode_record(buf: &mut Vec<u8>, seq: u64, keys: &[u64]) {
+fn encode_record(buf: &mut Vec<u8>, seq: u64, keys: &[u64], ann: Option<(u64, u64)>) {
     debug_assert!(keys.len() < 1 << 24, "batch count must fit in 24 bits");
     let width = key_width(keys);
-    buf.reserve(4 + 12 + keys.len() * width + 4);
+    let ann_bytes = if ann.is_some() { ANN_BYTES } else { 0 };
+    buf.reserve(4 + 12 + keys.len() * width + ann_bytes + 4);
     let start = buf.len();
-    let body_len = (12 + keys.len() * width) as u32;
+    let body_len = (12 + keys.len() * width + ann_bytes) as u32;
     buf.extend_from_slice(&body_len.to_le_bytes());
     buf.extend_from_slice(&seq.to_le_bytes());
-    let tagged = keys.len() as u32 | (width as u32) << 24;
+    let mut tagged = keys.len() as u32 | (width as u32) << 24;
+    if ann.is_some() {
+        tagged |= ANN_TAG << 24;
+    }
     buf.extend_from_slice(&tagged.to_le_bytes());
     // Fixed-width store loops (not a per-key `extend_from_slice` of a
     // runtime-length slice): each arm compiles to straight-line stores
@@ -629,6 +679,10 @@ fn encode_record(buf: &mut Vec<u8>, seq: u64, keys: &[u64]) {
                 o.copy_from_slice(&k.to_le_bytes());
             }
         }
+    }
+    if let Some((sid, cseq)) = ann {
+        buf.extend_from_slice(&sid.to_le_bytes());
+        buf.extend_from_slice(&cseq.to_le_bytes());
     }
     let crc = crc32c(&buf[start + 4..]);
     buf.extend_from_slice(&crc.to_le_bytes());
@@ -685,7 +739,7 @@ fn scan_segment_bytes(
     bytes: &[u8],
     path: &Path,
     scan: &mut WalScan,
-    apply: &mut impl FnMut(u64, &[u64]),
+    apply: &mut impl FnMut(u64, &[u64], Option<(u64, u64)>),
 ) -> Result<bool, DurabilityError> {
     let mut pos = 0usize;
     let mut keys: Vec<u64> = Vec::new();
@@ -721,8 +775,10 @@ fn scan_segment_bytes(
             return Ok(false);
         };
         let count = (tagged & 0x00FF_FFFF) as usize;
+        let tag = tagged >> 24;
+        let annotated = tag & ANN_TAG != 0;
         // Width tag 0 = segments written before key packing (always u64).
-        let width = match tagged >> 24 {
+        let width = match tag & !ANN_TAG {
             0 | 8 => 8usize,
             w @ (1 | 2 | 4) => w as usize,
             _ => {
@@ -730,7 +786,8 @@ fn scan_segment_bytes(
                 return Ok(false);
             }
         };
-        if body_len != 12 + count * width {
+        let ann_bytes = if annotated { ANN_BYTES } else { 0 };
+        if body_len != 12 + count * width + ann_bytes {
             scan.torn = Some(torn("record count disagrees with length"));
             return Ok(false);
         }
@@ -753,7 +810,20 @@ fn scan_segment_bytes(
             le[..width].copy_from_slice(raw);
             keys.push(u64::from_le_bytes(le));
         }
-        apply(seq, &keys);
+        let ann = if annotated {
+            let at = 12 + count * width;
+            match (le_u64(body, at), le_u64(body, at + 8)) {
+                (Some(sid), Some(cseq)) => Some((sid, cseq)),
+                _ => {
+                    // Unreachable given the body_len check, but checked.
+                    scan.torn = Some(torn("record annotation cut short"));
+                    return Ok(false);
+                }
+            }
+        } else {
+            None
+        };
+        apply(seq, &keys, ann);
         scan.records += 1;
         scan.keys += count as u64;
         scan.last_seq = seq;
@@ -870,8 +940,8 @@ pub fn list_segments_with(
 /// Directory/file I/O failures and sequence regressions; torn tails are
 /// *not* errors (they are the expected crash signature) and land in
 /// [`WalScan::torn`].
-pub fn replay(dir: &Path, apply: impl FnMut(u64, &[u64])) -> Result<WalScan, DurabilityError> {
-    replay_with(&real(), dir, apply)
+pub fn replay(dir: &Path, mut apply: impl FnMut(u64, &[u64])) -> Result<WalScan, DurabilityError> {
+    replay_annotated_with(&real(), dir, |seq, keys, _| apply(seq, keys))
 }
 
 /// [`replay`] over an explicit storage backend.
@@ -882,6 +952,22 @@ pub fn replay_with(
     vfs: &Arc<dyn Vfs>,
     dir: &Path,
     mut apply: impl FnMut(u64, &[u64]),
+) -> Result<WalScan, DurabilityError> {
+    replay_annotated_with(vfs, dir, |seq, keys, _| apply(seq, keys))
+}
+
+/// [`replay_with`], additionally handing each record's session annotation
+/// (`Some((session_id, client_seq))` on records appended through the
+/// `_annotated` writers, `None` otherwise) to the apply callback —
+/// recovery rebuilds the serving layer's exactly-once dedup table from
+/// these.
+///
+/// # Errors
+/// See [`replay`].
+pub fn replay_annotated_with(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+    mut apply: impl FnMut(u64, &[u64], Option<(u64, u64)>),
 ) -> Result<WalScan, DurabilityError> {
     let mut scan = WalScan::default();
     for (_, path) in list_segments_with(vfs, dir)? {
@@ -904,7 +990,7 @@ pub fn replay_with(
 pub fn verify_segment_with(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<WalScan, DurabilityError> {
     let bytes = vfs.read(path).map_err(io_err("read wal segment", path))?;
     let mut scan = WalScan::default();
-    scan_segment_bytes(&bytes, path, &mut scan, &mut |_, _| {})?;
+    scan_segment_bytes(&bytes, path, &mut scan, &mut |_, _, _| {})?;
     Ok(scan)
 }
 
@@ -931,6 +1017,77 @@ mod tests {
         })
         .unwrap();
         (recs, scan)
+    }
+
+    #[test]
+    fn annotated_records_roundtrip_and_interleave_with_plain() {
+        let dir = tmp_dir("annotated");
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::PerBatch, 1 << 20).unwrap();
+        w.append_record_annotated(1, &[1, 2, 300], Some((0xAB, 7)))
+            .unwrap();
+        w.policy_sync().unwrap();
+        w.append(2, &[5]).unwrap();
+        w.append_record_annotated(3, &[u64::MAX, 0], Some((0xCD, u64::MAX)))
+            .unwrap();
+        w.sync().unwrap();
+
+        let mut seen = Vec::new();
+        let scan = replay_annotated_with(&real(), &dir, |seq, keys, ann| {
+            seen.push((seq, keys.to_vec(), ann));
+        })
+        .unwrap();
+        assert!(scan.torn.is_none());
+        assert_eq!(
+            seen,
+            vec![
+                (1, vec![1, 2, 300], Some((0xAB, 7))),
+                (2, vec![5], None),
+                (3, vec![u64::MAX, 0], Some((0xCD, u64::MAX))),
+            ]
+        );
+
+        // The annotation-blind replay surface sees the same batches.
+        let (recs, scan) = collect(&dir);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(scan.keys, 6);
+    }
+
+    #[test]
+    fn staged_annotated_records_survive_group_commit() {
+        let dir = tmp_dir("annotated-group");
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::Interval(8), 1 << 20).unwrap();
+        w.set_group_commit(Some(GroupCommit::default()), false);
+        for seq in 1..=10u64 {
+            let ann = (seq % 2 == 0).then_some((seq * 11, seq));
+            w.stage_record_annotated(seq, &[seq, seq + 1], ann).unwrap();
+            w.flush_due().unwrap();
+        }
+        w.sync().unwrap();
+
+        let mut anns = Vec::new();
+        let scan = replay_annotated_with(&real(), &dir, |_, _, ann| anns.push(ann)).unwrap();
+        assert_eq!(scan.records, 10);
+        for (i, ann) in anns.iter().enumerate() {
+            let seq = i as u64 + 1;
+            assert_eq!(*ann, (seq % 2 == 0).then_some((seq * 11, seq)));
+        }
+    }
+
+    #[test]
+    fn torn_annotation_is_a_torn_tail_not_a_partial_hwm_bump() {
+        let dir = tmp_dir("annotated-torn");
+        let mut w = WalWriter::create(&dir, 0, FsyncPolicy::PerBatch, 1 << 20).unwrap();
+        w.append_record_annotated(1, &[9, 9], Some((3, 4))).unwrap();
+        let path = w.active_segment().to_path_buf();
+        drop(w);
+        // Cut into the annotation trailer: the CRC no longer matches, so
+        // the whole record (keys *and* hwm bump) is rejected together.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+        let mut seen = 0u64;
+        let scan = replay_annotated_with(&real(), &dir, |_, _, _| seen += 1).unwrap();
+        assert_eq!(seen, 0, "torn annotated record must not apply at all");
+        assert!(scan.torn.is_some());
     }
 
     #[test]
@@ -971,7 +1128,7 @@ mod tests {
         w.sync().unwrap();
         // Byte check: the width-2 batch spent 2 bytes per key, not 8.
         let mut two = Vec::new();
-        encode_record(&mut two, 99, &batches[1]);
+        encode_record(&mut two, 99, &batches[1], None);
         assert_eq!(two.len(), 4 + 12 + 2 * 2 + 4);
         // Legacy record (width tag 0, 8-byte keys) appended raw to the
         // segment: replay must decode it exactly as before packing.

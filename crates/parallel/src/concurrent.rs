@@ -69,7 +69,7 @@
 //! so a stale writer's later publishes are dropped. Readers never touch
 //! the gate — the read path stays wait-free.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -81,7 +81,7 @@ use crossbeam::channel::{
 };
 
 use asketch::{ASketch, DurabilityError, DurabilityOptions, Filter, FilterItem, RecoveryReport};
-use asketch_durable::snapshot::{prune_snapshots_with, write_snapshot_with, SnapshotMeta};
+use asketch_durable::snapshot::{prune_snapshots_with, write_snapshot_sessions_with, SnapshotMeta};
 use asketch_durable::vfs::Vfs;
 use asketch_durable::wal::{list_segments_with, sync_segment_with};
 use asketch_durable::{
@@ -96,6 +96,7 @@ use crate::affinity;
 use crate::ring;
 use crate::router::KeyRouter;
 use crate::seqlock::FilterSnapshot;
+use crate::session::{SessionOutcome, SessionTable};
 use crate::spmd::KeyPartition;
 use crate::supervisor::{
     panic_message, BackpressurePolicy, Journal, PipelineError, SupervisionConfig,
@@ -148,6 +149,11 @@ pub struct ConcurrentConfig {
     /// Best-effort (see [`crate::affinity`]); off by default so CI
     /// containers with masked cpusets behave identically.
     pub pin_workers: bool,
+    /// Most sessions tracked by the exactly-once ingest table (both the
+    /// in-memory [`SessionTable`] and each shard's persisted mark map);
+    /// past the cap the least-recently-touched session is evicted and its
+    /// unacked retries degrade to at-least-once (see [`crate::session`]).
+    pub session_cap: usize,
     /// Channel, journal, backpressure, restart, and timeout parameters,
     /// shared with the pipeline runtime.
     pub supervision: SupervisionConfig,
@@ -162,6 +168,7 @@ impl Default for ConcurrentConfig {
             view_interval: 8192,
             data_plane: DataPlane::default(),
             pin_workers: false,
+            session_cap: 1024,
             supervision: SupervisionConfig::default(),
         }
     }
@@ -474,6 +481,10 @@ struct SnapshotJob<K> {
     dir: PathBuf,
     meta: SnapshotMeta,
     kernel: K,
+    /// Session high-water marks as of `meta.wal_seq` (never the live
+    /// table — marks durable only *past* the gate would dedup replayed
+    /// retries against records a torn tail lost).
+    sessions: Vec<(u64, u64)>,
     keep: usize,
     busy: Arc<AtomicBool>,
     snapped_seq: Arc<AtomicU64>,
@@ -516,11 +527,11 @@ fn run_sync_job(job: &SyncJob) {
     }
 }
 
-/// Monomorphized snapshot writer (`write_snapshot_with`), kept as a plain
-/// fn pointer so the non-`Persist`-bounded `finish` path can still write
-/// the final snapshot.
+/// Monomorphized snapshot writer (`write_snapshot_sessions_with`), kept
+/// as a plain fn pointer so the non-`Persist`-bounded `finish` path can
+/// still write the final snapshot.
 type SnapshotWriteFn<K> =
-    fn(&Arc<dyn Vfs>, &Path, SnapshotMeta, &K) -> Result<PathBuf, DurabilityError>;
+    fn(&Arc<dyn Vfs>, &Path, SnapshotMeta, &K, &[(u64, u64)]) -> Result<PathBuf, DurabilityError>;
 
 /// Per-shard durability state: the WAL appender on the caller's ship path
 /// plus the handles feeding the shared background snapshotter thread.
@@ -578,6 +589,17 @@ struct DurableShard<K> {
     snap_retries: Arc<AtomicU64>,
     /// First persistent snapshotter failure, promoted to `degraded` here.
     snap_fatal: Arc<Mutex<Option<DurabilityError>>>,
+    /// Session annotations appended this session and not yet folded into
+    /// a snapshot's mark table: `(wal_seq, session_id, client_seq)` in
+    /// WAL order. Drained up to the gate at every scheduled snapshot, so
+    /// the queue holds at most one checkpoint interval of batches.
+    pending_ann: VecDeque<(u64, u64, u64)>,
+    /// Session high-water marks as of the last snapshot gate, carried
+    /// across restarts via the snapshot's session section (seeded from
+    /// the `RecoveryReport` at spawn — WAL pruning must not lose marks).
+    snap_sessions: HashMap<u64, u64>,
+    /// Eviction cap for `snap_sessions` (mirrors the in-memory table).
+    session_cap: usize,
     /// Scrubber state shared with the background scrub thread.
     scrub: Arc<ScrubShared>,
     /// **Disk-sick degraded mode**: set when a storage fault survived the
@@ -636,20 +658,25 @@ impl<K> DurableShard<K> {
     /// sequence — replay dedups nothing because nothing was committed);
     /// the fsync and roll phases are idempotent and retried in place. A
     /// fault that survives the budget degrades the shard.
-    fn append(&mut self, seq: u64, keys: &[u64]) {
+    fn append(&mut self, seq: u64, keys: &[u64], ann: Option<(u64, u64)>) {
         self.check_snapshotter();
         if self.degraded.is_some() {
             return;
         }
         let wal_seq = self.wal_base + seq;
         let result = if self.wal.group_commit_enabled() {
-            self.append_grouped(wal_seq, keys)
+            self.append_grouped(wal_seq, keys, ann)
         } else {
-            self.append_immediate(wal_seq, keys)
+            self.append_immediate(wal_seq, keys, ann)
         };
         if let Err(e) = result {
             self.degraded = Some(e);
             return;
+        }
+        // The annotation is durable with the record; queue it for the
+        // next snapshot's session-mark table.
+        if let Some((sid, cseq)) = ann {
+            self.pending_ann.push_back((wal_seq, sid, cseq));
         }
         // An interval fsync the writer deferred goes to the background
         // syncer so ingest never waits on writeback. The active segment
@@ -689,10 +716,15 @@ impl<K> DurableShard<K> {
     /// retry, and when that rollback *also* failed the writer is
     /// poisoned — retrying would just report the poisoning instead of
     /// the root cause (e.g. ENOSPC), so break out on the original error.
-    fn append_immediate(&mut self, wal_seq: u64, keys: &[u64]) -> Result<(), DurabilityError> {
+    fn append_immediate(
+        &mut self,
+        wal_seq: u64,
+        keys: &[u64],
+        ann: Option<(u64, u64)>,
+    ) -> Result<(), DurabilityError> {
         let mut attempt = 0u32;
         loop {
-            match self.wal.append_record(wal_seq, keys) {
+            match self.wal.append_record_annotated(wal_seq, keys, ann) {
                 Ok(()) => break,
                 Err(e) => {
                     if !e.is_retryable() || self.wal.is_poisoned() || attempt >= self.policy.retries
@@ -719,8 +751,13 @@ impl<K> DurableShard<K> {
     /// staged group so the retry rewrites the identical bytes, but a
     /// failed rollback poisons the writer and must surface the root
     /// cause, not the poisoning.
-    fn append_grouped(&mut self, wal_seq: u64, keys: &[u64]) -> Result<(), DurabilityError> {
-        self.wal.stage_record(wal_seq, keys)?;
+    fn append_grouped(
+        &mut self,
+        wal_seq: u64,
+        keys: &[u64],
+        ann: Option<(u64, u64)>,
+    ) -> Result<(), DurabilityError> {
+        self.wal.stage_record_annotated(wal_seq, keys, ann)?;
         let mut attempt = 0u32;
         loop {
             match self.wal.flush_due() {
@@ -753,20 +790,26 @@ impl<K> DurableShard<K> {
         K: Clone,
     {
         self.check_snapshotter();
-        let Some(snap_tx) = self.snap_tx.as_ref() else {
+        if self.snap_tx.is_none() {
             return;
-        };
+        }
         if self.degraded.is_some() || self.busy.swap(true, Ordering::AcqRel) {
             return;
         }
+        let wal_seq = self.wal_base + seq;
+        // Fold only once the job is definitely enqueued, and only marks
+        // durable at or below the gate: a mark ahead of the snapshot's
+        // WAL coverage would dedup retries whose records a crash lost.
+        self.fold_sessions_upto(wal_seq);
         let job = SnapshotJob {
             dir: self.dir.clone(),
             meta: SnapshotMeta {
                 shard: self.shard_idx as u64,
-                wal_seq: self.wal_base + seq,
+                wal_seq,
                 ops,
             },
             kernel: kernel.clone(),
+            sessions: self.sessions_vec(),
             keep: self.keep,
             busy: Arc::clone(&self.busy),
             snapped_seq: Arc::clone(&self.snapped_seq),
@@ -777,7 +820,12 @@ impl<K> DurableShard<K> {
             fatal: Arc::clone(&self.snap_fatal),
             scrub: Arc::clone(&self.scrub),
         };
-        if snap_tx.send(job).is_err() {
+        let sent = self
+            .snap_tx
+            .as_ref()
+            .expect("sender checked above")
+            .send(job);
+        if sent.is_err() {
             self.busy.store(false, Ordering::Release);
         }
     }
@@ -809,6 +857,34 @@ impl<K> DurableShard<K> {
         }
     }
 
+    /// Max-fold every pending session annotation whose WAL sequence is at
+    /// or below `gate` into the persistent mark table, then enforce the
+    /// eviction cap (stalest mark — the lowest client seq — goes first).
+    fn fold_sessions_upto(&mut self, gate: u64) {
+        while let Some(&(wal_seq, sid, cseq)) = self.pending_ann.front() {
+            if wal_seq > gate {
+                break;
+            }
+            self.pending_ann.pop_front();
+            let hwm = self.snap_sessions.entry(sid).or_insert(0);
+            *hwm = (*hwm).max(cseq);
+        }
+        while self.snap_sessions.len() > self.session_cap {
+            let Some((&evict, _)) = self.snap_sessions.iter().min_by_key(|&(_, &c)| c) else {
+                break;
+            };
+            self.snap_sessions.remove(&evict);
+        }
+    }
+
+    /// The persistent mark table in snapshot-section form (sorted by
+    /// session id for deterministic bytes).
+    fn sessions_vec(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.snap_sessions.iter().map(|(&s, &c)| (s, c)).collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Drop this shard's background-job senders (snapshots + deferred
     /// fsyncs). Once every shard has closed, the snapshotter and WAL
     /// syncer drain their queues and exit, making their joins bounded —
@@ -834,7 +910,11 @@ impl<K> DurableShard<K> {
             wal_seq: self.wal.last_seq(),
             ops,
         };
-        if (self.write)(&self.vfs, &self.dir, meta, kernel).is_ok() {
+        // The final snapshot covers the whole WAL, so every pending
+        // annotation is at or below its gate.
+        self.fold_sessions_upto(u64::MAX);
+        let sessions = self.sessions_vec();
+        if (self.write)(&self.vfs, &self.dir, meta, kernel, &sessions).is_ok() {
             prune_snapshots_with(&self.vfs, &self.dir, self.keep);
             self.wal.prune_covered(meta.wal_seq);
         } else {
@@ -1352,10 +1432,19 @@ where
     /// the worker, so the on-disk log is always a prefix-or-equal of what
     /// any worker has applied.
     fn ship(&mut self, keys: Vec<u64>, cfg: &ConcurrentConfig) {
+        self.ship_annotated(keys, cfg, None);
+    }
+
+    /// [`ship`](Self::ship) with an optional exactly-once session
+    /// annotation `(session_id, client_seq)` riding the batch's WAL
+    /// record: the mark becomes durable atomically with the keys it
+    /// covers, so crash replay can never dedup a write it lost (or
+    /// re-apply one it kept).
+    fn ship_annotated(&mut self, keys: Vec<u64>, cfg: &ConcurrentConfig, ann: Option<(u64, u64)>) {
         self.routed += keys.len() as u64;
         let seq = self.journal.next_seq();
         if let Some(d) = self.durable.as_mut() {
-            d.append(seq, &keys);
+            d.append(seq, &keys, ann);
         }
         if self.link.is_none() {
             self.apply_inline(&keys);
@@ -1623,6 +1712,12 @@ where
     router: KeyRouter,
     snaps: Arc<Vec<Arc<ShardSnapshot<S>>>>,
     cfg: ConcurrentConfig,
+    /// Per-session per-shard high-water marks for exactly-once sequenced
+    /// ingest ([`insert_sessioned`](Self::insert_sessioned)); bounded by
+    /// [`ConcurrentConfig::session_cap`] with LRU eviction. Durable
+    /// runtimes seed it from recovery and persist it piggyback on WAL
+    /// records and snapshots.
+    sessions: SessionTable,
     /// Background snapshot writer (durable runtimes only); exits when the
     /// last shard's job sender drops, joined in `finish`.
     snapshotter: Option<JoinHandle<()>>,
@@ -1653,11 +1748,13 @@ where
             .collect();
         let snaps = Arc::new(shards.iter().map(|s| Arc::clone(&s.snap)).collect());
         let router = KeyRouter::new(KeyPartition::new(cfg.shards), cfg.batch.max(1));
+        let sessions = SessionTable::new(cfg.session_cap);
         Self {
             shards,
             router,
             snaps,
             cfg,
+            sessions,
             snapshotter: None,
             wal_syncer: None,
             scrubber: None,
@@ -1729,6 +1826,135 @@ where
             self.insert_sharded(batches);
         }
         room
+    }
+
+    /// Session handshake for exactly-once sequenced ingest: register (or
+    /// touch) `session_id`, lift every shard mark to at least
+    /// `resume_seq` (the client's claimed floor), and return the highest
+    /// client sequence that is **fully applied** across shards — the
+    /// client may discard everything at or below it and must replay the
+    /// rest, which [`insert_sessioned`](Self::insert_sessioned) dedups
+    /// shard-by-shard.
+    pub fn hello(&mut self, session_id: u64, resume_seq: u64) -> u64 {
+        let shards = self.shards.len();
+        self.sessions.hello(session_id, resume_seq, shards)
+    }
+
+    /// Exactly-once [`insert_sharded`](Self::insert_sharded): apply one
+    /// client write (`session_id`, strictly increasing `seq`) at most
+    /// once per shard. Shards whose session mark already covers `seq`
+    /// skip their part (a retry of an acked-or-applied write); the rest
+    /// ship with the `(session_id, seq)` annotation riding their WAL
+    /// record so the dedup decision survives crash+replay. Batches are
+    /// drained whether shipped or deduped.
+    ///
+    /// Client sequences must be issued in order per session; replaying a
+    /// suffix of unacked writes (in order, any number of times) is the
+    /// supported retry shape and never double-counts.
+    ///
+    /// # Panics
+    /// Same contract as [`insert_sharded`](Self::insert_sharded).
+    pub fn insert_sessioned(
+        &mut self,
+        session_id: u64,
+        seq: u64,
+        batches: &mut [Vec<u64>],
+    ) -> SessionOutcome {
+        assert_eq!(batches.len(), self.shards.len(), "one batch slot per shard");
+        let hwms = self.sessions.touch(session_id, batches.len());
+        let mut applied = 0usize;
+        let mut any_nonempty = false;
+        let mut shipped = false;
+        for (shard, batch) in batches.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            any_nonempty = true;
+            if hwms[shard] >= seq {
+                batch.clear();
+                continue;
+            }
+            debug_assert!(
+                batch
+                    .iter()
+                    .all(|&k| self.router.partition().shard_of(k) == shard),
+                "mis-partitioned key in shard {shard} batch"
+            );
+            let keys = std::mem::take(batch);
+            applied += keys.len();
+            shipped = true;
+            self.shards[shard].ship_annotated(keys, &self.cfg, Some((session_id, seq)));
+        }
+        // Every shard's in-memory mark advances — including shards that
+        // received no keys this seq — so a later retry of the same seq is
+        // a full duplicate. Only shards that wrote a record advance
+        // durably; after a crash the replayed retry re-partitions
+        // identically, so the unmarked shards see only parts they never
+        // applied.
+        for h in hwms.iter_mut() {
+            *h = (*h).max(seq);
+        }
+        SessionOutcome {
+            applied,
+            duplicate: any_nonempty && !shipped,
+            degraded: self.durability_degraded(),
+        }
+    }
+
+    /// All-or-nothing [`insert_sessioned`](Self::insert_sessioned):
+    /// admission-probe the data plane of every shard that would actually
+    /// receive keys (non-empty and not deduped) and return `None` —
+    /// batches untouched, marks unmoved — when any is backed up past
+    /// `max_depth` in-flight batches. A write the marks fully cover is
+    /// applied as a duplicate regardless of backpressure: dedup is free
+    /// and the client needs the ack.
+    ///
+    /// # Panics
+    /// Same contract as [`insert_sharded`](Self::insert_sharded).
+    pub fn try_insert_sessioned(
+        &mut self,
+        session_id: u64,
+        seq: u64,
+        batches: &mut [Vec<u64>],
+        max_depth: usize,
+    ) -> Option<SessionOutcome> {
+        assert_eq!(batches.len(), self.shards.len(), "one batch slot per shard");
+        let hwms = self.sessions.touch(session_id, batches.len());
+        let room = batches.iter().enumerate().all(|(shard, batch)| {
+            batch.is_empty() || hwms[shard] >= seq || self.shards[shard].data_room(max_depth)
+        });
+        if !room {
+            return None;
+        }
+        Some(self.insert_sessioned(session_id, seq, batches))
+    }
+
+    /// Deepest data-plane queue across shards, in in-flight batches — the
+    /// admission-control signal serving layers compare against their
+    /// high-water mark.
+    pub fn max_queue_depth(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.depth.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether any shard has lost durability (disk-sick degraded mode or
+    /// a pending background fault): writes are still applied one-sidedly
+    /// but may not survive a crash, so serving acks should carry a
+    /// `DEGRADED` flag.
+    pub fn durability_degraded(&self) -> bool {
+        self.shards.iter().any(|s| {
+            s.durable
+                .as_ref()
+                .is_some_and(|d| d.degraded.is_some() || d.has_pending_fatal())
+        })
+    }
+
+    /// Sessions currently tracked by the exactly-once table.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
     }
 
     /// Flush every router partial to its shard.
@@ -2026,7 +2252,13 @@ where
             }
             while let Ok(job) = snap_rx.recv() {
                 let written = with_storage_retries(&job.policy, &job.retries, || {
-                    write_snapshot_with(&job.vfs, &job.dir, job.meta, &job.kernel)
+                    write_snapshot_sessions_with(
+                        &job.vfs,
+                        &job.dir,
+                        job.meta,
+                        &job.kernel,
+                        &job.sessions,
+                    )
                 });
                 match written {
                     Ok(_) => {
@@ -2121,7 +2353,7 @@ where
                 snapped_seq: Arc::new(AtomicU64::new(report.snapshot.map_or(0, |m| m.wal_seq))),
                 snap_errors: Arc::new(AtomicU64::new(0)),
                 pruned_seq: 0,
-                write: write_snapshot_with::<ASketch<F, S>>,
+                write: write_snapshot_sessions_with::<ASketch<F, S>>,
                 recovered: report.snapshot.is_some() || report.wal_records > 0,
                 replayed_keys: report.replayed_keys,
                 wal_records: 0,
@@ -2134,6 +2366,9 @@ where
                 snap_retries: Arc::new(AtomicU64::new(0)),
                 snap_fatal: Arc::new(Mutex::new(None)),
                 scrub,
+                pending_ann: VecDeque::new(),
+                snap_sessions: report.sessions.iter().copied().collect(),
+                session_cap: cfg.session_cap.max(1),
                 degraded: None,
             };
             reports.push(report);
@@ -2168,12 +2403,22 @@ where
         });
         let snaps = Arc::new(shards.iter().map(|s| Arc::clone(&s.snap)).collect());
         let router = KeyRouter::new(KeyPartition::new(cfg.shards), cfg.batch.max(1));
+        // Seed the in-memory session table from what recovery found so a
+        // client reconnecting after a crash+restart deduplicates exactly
+        // as it would have against the pre-crash process.
+        let mut sessions = SessionTable::new(cfg.session_cap);
+        for (shard, report) in reports.iter().enumerate() {
+            for &(sid, hwm) in &report.sessions {
+                sessions.seed(sid, shard, hwm, cfg.shards);
+            }
+        }
         Ok((
             Self {
                 shards,
                 router,
                 snaps,
                 cfg,
+                sessions,
                 snapshotter: Some(snapshotter),
                 wal_syncer: Some(wal_syncer),
                 scrubber,
@@ -3738,5 +3983,242 @@ mod tests {
         }
         drop(rt2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Split one client batch into per-shard slots for `insert_sessioned`.
+    fn partitioned(p: KeyPartition, keys: &[u64]) -> Vec<Vec<u64>> {
+        let mut slots = vec![Vec::new(); p.shards()];
+        for &k in keys {
+            slots[p.shard_of(k)].push(k);
+        }
+        slots
+    }
+
+    #[test]
+    fn sessioned_retries_are_deduped_exactly_once() {
+        let cfg = ConcurrentConfig {
+            shards: 3,
+            batch: 8,
+            publish_interval: 16,
+            view_interval: 64,
+            ..ConcurrentConfig::default()
+        };
+        let mut rt = ConcurrentASketch::spawn(cfg, |i| kernel(i as u64));
+        let p = rt.partition();
+        assert_eq!(rt.hello(42, 0), 0);
+        let batches: Vec<Vec<u64>> = (0..6u64)
+            .map(|i| (0..5).map(|j| i * 3 + j % 4).collect())
+            .collect();
+        for (i, batch) in batches.iter().enumerate() {
+            let seq = i as u64 + 1;
+            let out = rt.insert_sessioned(42, seq, &mut partitioned(p, batch));
+            assert_eq!(out.applied, batch.len());
+            assert!(!out.duplicate);
+            // Retry storm: the same seq any number of times is a no-op.
+            for _ in 0..3 {
+                let retry = rt.insert_sessioned(42, seq, &mut partitioned(p, batch));
+                assert_eq!(retry.applied, 0, "retry of seq {seq} re-applied keys");
+                assert!(retry.duplicate);
+            }
+        }
+        // Replay the entire window once more, in order.
+        for (i, batch) in batches.iter().enumerate() {
+            let out = rt.insert_sessioned(42, i as u64 + 1, &mut partitioned(p, batch));
+            assert_eq!(out.applied, 0);
+        }
+        rt.sync();
+        let all: Vec<u64> = batches.iter().flatten().copied().collect();
+        let reference = sequential_reference(&all, p, |i| kernel(i as u64));
+        let mut keys = all.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(
+                rt.estimate(key),
+                reference[p.shard_of(key)].estimate(key),
+                "retries double-counted key {key}"
+            );
+        }
+        rt.finish();
+    }
+
+    #[test]
+    fn sessioned_marks_survive_restart_and_still_dedup() {
+        use asketch::FsyncPolicy;
+        let dir = tmp_dir("sess");
+        let opts = DurabilityOptions::new(&dir).fsync(FsyncPolicy::PerBatch);
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 8,
+            publish_interval: 16,
+            view_interval: 64,
+            ..ConcurrentConfig::default()
+        };
+        let batches: Vec<Vec<u64>> = (0..4u64).map(|i| vec![i, i + 1, 7]).collect();
+        let (mut rt, _) =
+            ConcurrentASketch::spawn_durable(cfg.clone(), &opts, |i| kernel(50 + i as u64))
+                .unwrap();
+        let p = rt.partition();
+        rt.hello(9, 0);
+        for (i, batch) in batches.iter().enumerate() {
+            let out = rt.insert_sessioned(9, i as u64 + 1, &mut partitioned(p, batch));
+            assert_eq!(out.applied, batch.len());
+        }
+        rt.sync();
+        rt.wal_checkpoint().unwrap();
+        rt.finish();
+        // Restart: the client reconnects knowing nothing was acked past
+        // seq 2 (say) and replays 3 and 4 — plus a stale retry of 1.
+        let (mut rt2, reports) =
+            ConcurrentASketch::spawn_durable(cfg, &opts, |i| kernel(50 + i as u64)).unwrap();
+        assert!(
+            reports.iter().any(|r| !r.sessions.is_empty()),
+            "recovery must surface the session marks: {reports:?}"
+        );
+        let resumable = rt2.hello(9, 0);
+        assert_eq!(
+            resumable, 4,
+            "all four writes were durable before the restart"
+        );
+        for (i, batch) in batches.iter().enumerate() {
+            let out = rt2.insert_sessioned(9, i as u64 + 1, &mut partitioned(p, batch));
+            assert_eq!(out.applied, 0, "replayed seq {} re-applied", i + 1);
+            assert!(out.duplicate);
+        }
+        // A genuinely new write still lands.
+        let fresh = vec![3u64, 7];
+        let out = rt2.insert_sessioned(9, 5, &mut partitioned(p, &fresh));
+        assert_eq!(out.applied, fresh.len());
+        rt2.sync();
+        let mut all: Vec<u64> = batches.iter().flatten().copied().collect();
+        all.extend_from_slice(&fresh);
+        let reference = sequential_reference(&all, p, |i| kernel(50 + i as u64));
+        let mut keys = all.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        for &key in &keys {
+            assert_eq!(
+                rt2.estimate(key),
+                reference[p.shard_of(key)].estimate(key),
+                "post-restart replay double-counted key {key}"
+            );
+        }
+        rt2.finish();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn try_insert_sessioned_acks_duplicates_even_when_backed_up() {
+        let cfg = ConcurrentConfig {
+            shards: 2,
+            batch: 4,
+            ..ConcurrentConfig::default()
+        };
+        let mut rt = ConcurrentASketch::spawn(cfg, |i| kernel(i as u64));
+        let p = rt.partition();
+        let batch = vec![1u64, 2, 3, 4];
+        let out = rt
+            .try_insert_sessioned(5, 1, &mut partitioned(p, &batch), usize::MAX)
+            .expect("plane has room");
+        assert_eq!(out.applied, batch.len());
+        // With a zero-depth probe a *fresh* write may be shed, but a
+        // fully-deduped retry must still come back as an ack — the
+        // client needs it and dedup ships nothing.
+        let dup = rt
+            .try_insert_sessioned(5, 1, &mut partitioned(p, &batch), usize::MAX)
+            .expect("duplicate must be admitted");
+        assert!(dup.duplicate);
+        assert_eq!(rt.session_count(), 1);
+        rt.finish();
+    }
+
+    mod session_proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of a client's life: issue the next write, replay the
+        /// unacked window (a reconnect), or observe a sync barrier's acks
+        /// (trim the window).
+        #[derive(Debug, Clone)]
+        enum Op {
+            Advance(Vec<u64>),
+            Replay,
+            Trim,
+        }
+
+        struct OpStrategy;
+
+        impl Strategy for OpStrategy {
+            type Value = Op;
+            fn sample(&self, rng: &mut proptest::TestRng) -> Op {
+                match rng.next_u64() % 6 {
+                    0..=2 => {
+                        let n = 1 + rng.next_u64() % 5;
+                        Op::Advance((0..n).map(|_| rng.next_u64() % 12).collect())
+                    }
+                    3 | 4 => Op::Replay,
+                    _ => Op::Trim,
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig {
+                cases: 24,
+                ..ProptestConfig::default()
+            })]
+
+            /// Session-seq dedup is idempotent under arbitrary retry
+            /// interleavings: whatever mix of advances, whole-window
+            /// replays, and ack-trims the client performs, every issued
+            /// batch counts exactly once.
+            #[test]
+            fn sessioned_dedup_is_idempotent_under_retries(ops in proptest::collection::vec(OpStrategy, 1..40)) {
+                let cfg = ConcurrentConfig {
+                    shards: 2,
+                    batch: 4,
+                    publish_interval: 8,
+                    view_interval: 32,
+                    ..ConcurrentConfig::default()
+                };
+                let mut rt = ConcurrentASketch::spawn(cfg, |i| kernel(i as u64));
+                let p = rt.partition();
+                rt.hello(1, 0);
+                let mut next_seq = 1u64;
+                let mut unacked: Vec<(u64, Vec<u64>)> = Vec::new();
+                let mut issued: Vec<u64> = Vec::new();
+                for op in &ops {
+                    match op {
+                        Op::Advance(batch) => {
+                            let seq = next_seq;
+                            next_seq += 1;
+                            issued.extend_from_slice(batch);
+                            unacked.push((seq, batch.clone()));
+                            rt.insert_sessioned(1, seq, &mut partitioned(p, batch));
+                        }
+                        Op::Replay => {
+                            for (seq, batch) in unacked.clone() {
+                                let out = rt.insert_sessioned(1, seq, &mut partitioned(p, &batch));
+                                prop_assert_eq!(out.applied, 0, "replay re-applied seq {}", seq);
+                            }
+                        }
+                        Op::Trim => unacked.clear(),
+                    }
+                }
+                rt.sync();
+                let reference = sequential_reference(&issued, p, |i| kernel(i as u64));
+                let mut keys = issued.clone();
+                keys.sort_unstable();
+                keys.dedup();
+                for &key in &keys {
+                    prop_assert_eq!(
+                        rt.estimate(key),
+                        reference[p.shard_of(key)].estimate(key),
+                        "key {} not counted exactly once", key
+                    );
+                }
+                rt.finish();
+            }
+        }
     }
 }

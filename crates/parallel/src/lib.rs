@@ -43,6 +43,7 @@ pub mod pipeline_hudaf;
 pub mod ring;
 pub mod router;
 pub mod seqlock;
+pub mod session;
 pub mod spmd;
 pub mod supervisor;
 
@@ -52,6 +53,7 @@ pub use pipeline::PipelineASketch;
 pub use pipeline_hudaf::PipelineHUdaf;
 pub use router::KeyRouter;
 pub use seqlock::FilterSnapshot;
+pub use session::{SessionOutcome, SessionTable};
 pub use spmd::{
     hash_shards, round_robin_shards, KeyPartition, KeyShards, ShardRecovery, SpmdGroup, SpmdReport,
 };

@@ -1,0 +1,179 @@
+//! Bounded per-session high-water-mark table for exactly-once network
+//! ingest.
+//!
+//! A serving client identifies itself with a `session_id` and stamps every
+//! write with a strictly increasing client sequence number. The runtime
+//! keeps, per session, one high-water mark **per shard**: the highest
+//! client sequence whose keys this shard has applied. A retried write is
+//! re-applied only to the shards whose mark is still below its sequence —
+//! so an ack lost in transit (the classic ambiguous-outcome window) leads
+//! to a replay that is deduped shard-by-shard, never double-counted. The
+//! ASketch estimate is one-sided (over-count only), which makes duplicate
+//! application the *only* way a retry can corrupt results; this table plus
+//! at-least-once client retries is therefore exactly-once end-to-end.
+//!
+//! # Bounded memory
+//!
+//! The table holds at most `cap` sessions. Inserting a new session past
+//! the cap evicts the least-recently-touched one (every `hello` and every
+//! sequenced write touches its session). An evicted session that later
+//! reconnects starts from mark 0: its unacked replays degrade to
+//! at-least-once for exactly the writes that were applied-but-unacked
+//! before eviction. Size the cap above the live-client count to keep the
+//! exactly-once guarantee; the durable side persists the same marks
+//! piggyback on WAL records and snapshots so the guarantee survives
+//! crash+replay (see `asketch-durable`).
+
+use std::collections::HashMap;
+
+/// What happened to one sequenced, pre-partitioned write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// Keys actually shipped to shard workers (0 for a full duplicate).
+    pub applied: usize,
+    /// Every non-empty shard slot was deduped by the session marks — the
+    /// write had already been applied in full and this was a retry.
+    pub duplicate: bool,
+    /// Some shard has lost durability (disk-sick degraded mode): the
+    /// write was applied and stays one-sided, but may not survive a
+    /// crash. Serving layers surface this as a `DEGRADED` ack flag.
+    pub degraded: bool,
+}
+
+/// One session's per-shard high-water marks plus its LRU clock.
+struct SessionEntry {
+    /// `hwm[shard]` = highest client seq whose keys that shard applied.
+    hwm: Vec<u64>,
+    /// Logical touch time for least-recently-used eviction.
+    touched: u64,
+}
+
+/// Bounded map from `session_id` to per-shard high-water marks with
+/// least-recently-used eviction. Single-writer (owned by the runtime's
+/// ingest thread behind `&mut self`), so no interior synchronization.
+pub struct SessionTable {
+    cap: usize,
+    clock: u64,
+    map: HashMap<u64, SessionEntry>,
+}
+
+impl SessionTable {
+    /// An empty table holding at most `cap` sessions (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            clock: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Live sessions currently tracked.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no session is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The eviction capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Seed one shard's recovered mark for a session (from a
+    /// `RecoveryReport`), without counting as a touch.
+    pub fn seed(&mut self, sid: u64, shard: usize, hwm: u64, shards: usize) {
+        let entry = self.entry(sid, shards);
+        entry.hwm[shard] = entry.hwm[shard].max(hwm);
+    }
+
+    /// Handshake: register (or touch) the session, fold the client's
+    /// claimed floor into every shard mark, and return the sequence the
+    /// client may safely resume *after* — the **minimum** mark across
+    /// shards, since a batch spans shards and is only fully applied once
+    /// every shard that received a part has passed it.
+    pub fn hello(&mut self, sid: u64, resume_seq: u64, shards: usize) -> u64 {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entry(sid, shards);
+        entry.touched = clock;
+        for h in entry.hwm.iter_mut() {
+            *h = (*h).max(resume_seq);
+        }
+        entry.hwm.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Touch the session and expose its per-shard marks for one sequenced
+    /// write. The caller skips shards whose mark already covers the seq
+    /// and bumps every mark afterwards.
+    pub fn touch(&mut self, sid: u64, shards: usize) -> &mut [u64] {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entry(sid, shards);
+        entry.touched = clock;
+        &mut entry.hwm
+    }
+
+    /// Fetch-or-create the entry, evicting the least-recently-touched
+    /// session when a new one would exceed the cap.
+    fn entry(&mut self, sid: u64, shards: usize) -> &mut SessionEntry {
+        if !self.map.contains_key(&sid) && self.map.len() >= self.cap {
+            if let Some((&old, _)) = self.map.iter().min_by_key(|&(_, e)| e.touched) {
+                self.map.remove(&old);
+            }
+        }
+        let entry = self.map.entry(sid).or_insert_with(|| SessionEntry {
+            hwm: vec![0; shards],
+            touched: 0,
+        });
+        // A table created before the runtime knew its shard count (or a
+        // seed from an older layout) widens in place; marks never shrink.
+        if entry.hwm.len() < shards {
+            entry.hwm.resize(shards, 0);
+        }
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_returns_min_mark_across_shards() {
+        let mut t = SessionTable::new(8);
+        t.seed(7, 0, 5, 3);
+        t.seed(7, 1, 3, 3);
+        // Shard 2 never saw keys from this session: its mark stays 0, so
+        // the resumable floor is 0 — the client replays everything
+        // unacked and per-shard dedup drops the already-applied parts.
+        assert_eq!(t.hello(7, 0, 3), 0);
+        // A client floor lifts every mark.
+        assert_eq!(t.hello(7, 4, 3), 4);
+        assert_eq!(t.touch(7, 3), &[5, 4, 4]);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_touched_sessions() {
+        let mut t = SessionTable::new(2);
+        t.hello(1, 0, 1);
+        t.hello(2, 0, 1);
+        t.touch(1, 1); // 2 is now the stalest
+        t.hello(3, 0, 1);
+        assert_eq!(t.len(), 2);
+        t.touch(1, 1)[0] = 9;
+        assert_eq!(t.touch(1, 1), &[9]);
+        // Session 2 was evicted: it comes back fresh.
+        assert_eq!(t.hello(2, 0, 1), 0);
+    }
+
+    #[test]
+    fn seed_folds_by_max_and_never_regresses() {
+        let mut t = SessionTable::new(4);
+        t.seed(5, 0, 10, 2);
+        t.seed(5, 0, 4, 2);
+        assert_eq!(t.touch(5, 2), &[10, 0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Standalone chaos proxy: seeded TCP fault injection between a client
+//! and a serve instance. Thin CLI over [`asketch_serve::chaos`]; the
+//! crash-recovery harness links the library directly, this bin exists
+//! for manual poking and soak runs:
+//!
+//! ```text
+//! chaos_proxy --upstream 127.0.0.1:7464 --fault stall --seed 7
+//! ```
+//!
+//! Prints `listening <addr>` once bound, forwards until stdin closes
+//! (same lifecycle contract as the serve daemon).
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used)]
+
+use std::io::BufRead;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use asketch_serve::{ChaosConfig, ChaosProxy, FaultKind};
+
+struct Args {
+    listen: String,
+    upstream: String,
+    fault: FaultKind,
+    rate: u16,
+    budget: u64,
+    stall_ms: u64,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        let d = ChaosConfig::default();
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            upstream: String::new(),
+            fault: d.fault,
+            rate: d.fault_rate,
+            budget: d.budget_max,
+            stall_ms: d.stall.as_millis() as u64,
+            seed: d.seed,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = take("--listen")?,
+            "--upstream" => args.upstream = take("--upstream")?,
+            "--fault" => {
+                args.fault = FaultKind::parse(&take("--fault")?)
+                    .map_err(|f| format!("unknown fault kind {f:?}"))?;
+            }
+            "--rate" => {
+                args.rate = take("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+            }
+            "--budget" => {
+                args.budget = take("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--stall-ms" => {
+                args.stall_ms = take("--stall-ms")?
+                    .parse()
+                    .map_err(|e| format!("--stall-ms: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.upstream.is_empty() {
+        return Err("--upstream HOST:PORT is required".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("chaos_proxy: {msg}");
+            }
+            eprintln!(
+                "usage: chaos_proxy --upstream HOST:PORT [--listen HOST:PORT] \
+                 [--fault none|reset|stall|partial-write|partition] \
+                 [--rate N/256] [--budget BYTES] [--stall-ms N] [--seed N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let upstream: SocketAddr = match args.upstream.to_socket_addrs().map(|mut a| a.next()) {
+        Ok(Some(a)) => a,
+        _ => {
+            eprintln!("chaos_proxy: cannot resolve upstream {:?}", args.upstream);
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = ChaosConfig {
+        seed: args.seed,
+        fault: args.fault,
+        fault_rate: args.rate,
+        budget_max: args.budget,
+        stall: Duration::from_millis(args.stall_ms),
+    };
+    let mut proxy = match ChaosProxy::start(&args.listen, upstream, cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("chaos_proxy: bind {} failed: {e}", args.listen);
+            return ExitCode::from(1);
+        }
+    };
+    println!("listening {}", proxy.addr());
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let stats = proxy.stats();
+    println!(
+        "done connections={} faulted={} bytes_up={} bytes_down={}",
+        stats.connections.load(Ordering::Relaxed),
+        stats.faulted.load(Ordering::Relaxed),
+        stats.bytes_up.load(Ordering::Relaxed),
+        stats.bytes_down.load(Ordering::Relaxed),
+    );
+    proxy.shutdown();
+    ExitCode::SUCCESS
+}

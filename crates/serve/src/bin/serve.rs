@@ -177,15 +177,37 @@ fn main() -> ExitCode {
     };
     println!("listening {}", server.addr());
 
-    // Foreground lifecycle: run until stdin closes or says quit. This is
-    // signal-free (no extra deps) and lets harnesses drive shutdown by
-    // closing the pipe.
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        match line {
-            Ok(l) if l.trim() == "quit" => break,
-            Ok(_) => continue,
-            Err(_) => break,
+    // Foreground lifecycle: stdin EOF (or a `quit` line) and SIGTERM
+    // both end in the same graceful drain. glibc installs SIGTERM
+    // handlers with SA_RESTART, so a blocking stdin read would never
+    // observe the signal — stdin is read on its own thread and the main
+    // loop polls both that channel and the signal latch.
+    let term_ok = asketch_serve::signal::install_term_handler();
+    let (line_tx, line_rx) = std::sync::mpsc::channel::<Option<String>>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            match line {
+                Ok(l) => {
+                    if line_tx.send(Some(l)).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let _ = line_tx.send(None); // EOF
+    });
+    loop {
+        if term_ok && asketch_serve::signal::term_requested() {
+            break;
+        }
+        match line_rx.recv_timeout(std::time::Duration::from_millis(50)) {
+            Ok(Some(l)) if l.trim() == "quit" => break,
+            Ok(Some(_)) => continue,
+            Ok(None) => break, // stdin EOF
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
 

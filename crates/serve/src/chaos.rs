@@ -1,0 +1,448 @@
+//! Deterministic userspace TCP fault injection for the serving plane.
+//!
+//! [`ChaosProxy`] sits between a client and a serve instance and breaks
+//! the connection in seeded, reproducible ways: hard resets, stalls
+//! (accepted but never answered — the slow-network/blackhole case),
+//! partial writes that tear a frame mid-payload, and full partitions
+//! that swallow traffic in both directions. Every decision derives from
+//! `splitmix64(seed ^ connection_number)`, so a failing trial replays
+//! exactly from its seed.
+//!
+//! The proxy's upstream address is retargetable at runtime
+//! ([`ChaosProxy::retarget`]): the crash-recovery harness SIGKILLs the
+//! server, restarts it on a fresh port, and repoints the proxy — while
+//! the [`crate::ResilientClient`] under test keeps dialing the one
+//! stable proxy address, exactly like a client behind a VIP.
+//!
+//! This is a *test* component, but it lives in the library (not
+//! `#[cfg(test)]`) because the bench harness and the standalone
+//! `chaos_proxy` bin both link it.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Which failure mode a faulted connection suffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Forward faithfully (control group / pass-through mode).
+    None,
+    /// Forward a seeded number of bytes, then hard-reset both sides.
+    Reset,
+    /// Forward a seeded number of bytes, then stop forwarding while
+    /// holding the sockets open — the peer sees a stall, not an error —
+    /// then reset after [`ChaosConfig::stall`].
+    Stall,
+    /// Tear the stream mid-chunk: forward a prefix of one read, then
+    /// reset. Exercises partial-frame handling on both ends.
+    PartialWrite,
+    /// Blackhole from the first byte: accept, forward nothing either
+    /// way for [`ChaosConfig::stall`], then reset.
+    Partition,
+}
+
+impl FaultKind {
+    /// Parse a CLI name.
+    ///
+    /// # Errors
+    /// Unknown name (returns it for the usage message).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "none" => Ok(Self::None),
+            "reset" => Ok(Self::Reset),
+            "stall" => Ok(Self::Stall),
+            "partial-write" => Ok(Self::PartialWrite),
+            "partition" => Ok(Self::Partition),
+            other => Err(other.to_string()),
+        }
+    }
+}
+
+/// Proxy behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Deterministic seed; trial identity.
+    pub seed: u64,
+    /// The failure mode applied to faulted connections.
+    pub fault: FaultKind,
+    /// Probability (out of 256) that a given connection is faulted;
+    /// un-faulted connections forward faithfully. 256 = every one.
+    pub fault_rate: u16,
+    /// Byte-budget ceiling: a faulted connection forwards a seeded
+    /// amount in `[1, budget_max]` total bytes before the fault fires.
+    pub budget_max: u64,
+    /// How long `Stall`/`Partition` hold the connection dark before
+    /// resetting it. Must exceed the client's read timeout to actually
+    /// exercise the timeout path.
+    pub stall: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EED_2016,
+            fault: FaultKind::Reset,
+            fault_rate: 128,
+            budget_max: 16 * 1024,
+            stall: Duration::from_millis(400),
+        }
+    }
+}
+
+/// Counters the harness prints per trial.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections that drew a fault.
+    pub faulted: AtomicU64,
+    /// Bytes forwarded client→server.
+    pub bytes_up: AtomicU64,
+    /// Bytes forwarded server→client.
+    pub bytes_down: AtomicU64,
+}
+
+/// A running chaos proxy; dropping it stops the accept loop.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    upstream: Arc<Mutex<SocketAddr>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ChaosStats>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Bind `listen` (use port 0 for ephemeral) and start proxying to
+    /// `upstream` under `cfg`.
+    ///
+    /// # Errors
+    /// Bind failure.
+    pub fn start(listen: &str, upstream: SocketAddr, cfg: ChaosConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        // Accept loop polls so `stop` is honoured promptly.
+        listener.set_nonblocking(true)?;
+        let upstream = Arc::new(Mutex::new(upstream));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ChaosStats::default());
+        let accept_thread = {
+            let (upstream, stop, stats) = (upstream.clone(), stop.clone(), stats.clone());
+            Some(std::thread::spawn(move || {
+                accept_loop(&listener, &upstream, &stop, &stats, &cfg);
+            }))
+        };
+        Ok(Self {
+            addr,
+            upstream,
+            stop,
+            stats,
+            accept_thread,
+        })
+    }
+
+    /// The stable client-facing address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point new connections at a different upstream (the restarted
+    /// server). In-flight connections keep their old upstream and die
+    /// with it — exactly what a real middlebox does.
+    pub fn retarget(&self, upstream: SocketAddr) {
+        if let Ok(mut u) = self.upstream.lock() {
+            *u = upstream;
+        }
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Stop accepting and join the accept loop. Forwarder threads for
+    /// in-flight connections die when their sockets do.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: &Arc<Mutex<SocketAddr>>,
+    stop: &Arc<AtomicBool>,
+    stats: &Arc<ChaosStats>,
+    cfg: &ChaosConfig,
+) {
+    let mut conn_n: u64 = 0;
+    while !stop.load(Ordering::Acquire) {
+        let (client, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(_) => break,
+        };
+        conn_n += 1;
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        let target = match upstream.lock() {
+            Ok(u) => *u,
+            Err(_) => break,
+        };
+        let mut rng = cfg.seed ^ conn_n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let faulted = cfg.fault != FaultKind::None
+            && (splitmix64(&mut rng) & 0xFF) < u64::from(cfg.fault_rate);
+        let plan = if faulted {
+            stats.faulted.fetch_add(1, Ordering::Relaxed);
+            FaultPlan {
+                kind: cfg.fault,
+                budget: 1 + splitmix64(&mut rng) % cfg.budget_max.max(1),
+                stall: cfg.stall,
+            }
+        } else {
+            FaultPlan {
+                kind: FaultKind::None,
+                budget: u64::MAX,
+                stall: cfg.stall,
+            }
+        };
+        let stats = stats.clone();
+        std::thread::spawn(move || proxy_conn(client, target, plan, &stats));
+    }
+}
+
+#[derive(Clone, Copy)]
+struct FaultPlan {
+    kind: FaultKind,
+    budget: u64,
+    stall: Duration,
+}
+
+/// Shared per-connection fault state: total forwarded bytes (both
+/// directions) and the tripped flag.
+struct ConnState {
+    forwarded: AtomicU64,
+    tripped: AtomicBool,
+}
+
+fn proxy_conn(client: TcpStream, target: SocketAddr, plan: FaultPlan, stats: &Arc<ChaosStats>) {
+    let _ = client.set_nodelay(true);
+    if plan.kind == FaultKind::Partition {
+        // Swallow everything: the client sees an accepted connection
+        // that never answers, until the partition "heals" as a reset.
+        std::thread::sleep(plan.stall);
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let server = match TcpStream::connect_timeout(&target, Duration::from_millis(500)) {
+        Ok(s) => s,
+        Err(_) => {
+            // Upstream down (mid-restart): behave like a refused VIP
+            // backend — reset the client.
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let _ = server.set_nodelay(true);
+    let state = Arc::new(ConnState {
+        forwarded: AtomicU64::new(0),
+        tripped: AtomicBool::new(false),
+    });
+    let up = {
+        let (client, server) = (client.try_clone(), server.try_clone());
+        let (state, stats) = (state.clone(), stats.clone());
+        std::thread::spawn(move || {
+            if let (Ok(c), Ok(s)) = (client, server) {
+                pump(c, s, plan, &state, &stats.bytes_up);
+            }
+        })
+    };
+    pump(server, client, plan, &state, &stats.bytes_down);
+    let _ = up.join();
+}
+
+/// Forward `src` → `dst` until EOF, error, or the fault trips. Both
+/// directions share one byte budget; whichever crosses it fires the
+/// fault for the whole connection.
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    plan: FaultPlan,
+    state: &ConnState,
+    counter: &AtomicU64,
+) {
+    // Bounded read timeout so this thread notices `tripped` (set by the
+    // other direction) even when its own side is quiet.
+    let _ = src.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = [0u8; 4096];
+    loop {
+        if state.tripped.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let before = state.forwarded.fetch_add(n as u64, Ordering::AcqRel);
+        let after = before + n as u64;
+        if after >= plan.budget && plan.kind != FaultKind::None {
+            // The fault fires inside this chunk.
+            let allowed = plan.budget.saturating_sub(before) as usize;
+            match plan.kind {
+                FaultKind::PartialWrite => {
+                    // Forward a torn prefix, then reset immediately.
+                    let cut = allowed.min(n).saturating_sub(1).max(1).min(n);
+                    let _ = dst.write_all(&buf[..cut]);
+                    let _ = dst.flush();
+                    counter.fetch_add(cut as u64, Ordering::Relaxed);
+                }
+                FaultKind::Stall => {
+                    // Go dark with the sockets open, then reset.
+                    state.tripped.store(true, Ordering::Release);
+                    std::thread::sleep(plan.stall);
+                }
+                _ => {}
+            }
+            state.tripped.store(true, Ordering::Release);
+            break;
+        }
+        if dst.write_all(&buf[..n]).is_err() || dst.flush().is_err() {
+            break;
+        }
+        counter.fetch_add(n as u64, Ordering::Relaxed);
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo upstream: accept one connection, echo bytes until EOF.
+    fn echo_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let t = std::thread::spawn(move || {
+            while let Ok((mut sock, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    let mut out = sock.try_clone().expect("clone");
+                    while let Ok(n) = sock.read(&mut buf) {
+                        if n == 0 || out.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, t)
+    }
+
+    #[test]
+    fn passthrough_forwards_faithfully() {
+        let (upstream, _t) = echo_server();
+        let cfg = ChaosConfig {
+            fault: FaultKind::None,
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::start("127.0.0.1:0", upstream, cfg).expect("proxy");
+        let mut c = TcpStream::connect(proxy.addr()).expect("connect");
+        c.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        c.write_all(b"ping through the proxy").expect("write");
+        let mut got = [0u8; 22];
+        c.read_exact(&mut got).expect("echo");
+        assert_eq!(&got, b"ping through the proxy");
+    }
+
+    #[test]
+    fn reset_fault_cuts_the_stream() {
+        let (upstream, _t) = echo_server();
+        let cfg = ChaosConfig {
+            fault: FaultKind::Reset,
+            fault_rate: 256, // every connection
+            budget_max: 8,   // trip within the first few bytes
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::start("127.0.0.1:0", upstream, cfg).expect("proxy");
+        let mut c = TcpStream::connect(proxy.addr()).expect("connect");
+        c.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let _ = c.write_all(&[0u8; 256]);
+        let _ = c.flush();
+        // The proxy must cut us off: read eventually reports EOF/reset.
+        let mut buf = [0u8; 64];
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match c.read(&mut buf) {
+                Ok(0) | Err(_) => break, // EOF or reset: fault delivered
+                Ok(_) => {}
+            }
+            assert!(std::time::Instant::now() < deadline, "fault never fired");
+        }
+        assert!(proxy.stats().faulted.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn retarget_moves_new_connections() {
+        let (a, _ta) = echo_server();
+        let cfg = ChaosConfig {
+            fault: FaultKind::None,
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::start("127.0.0.1:0", a, cfg).expect("proxy");
+        // Kill upstream A by pointing at a dead port; the proxy resets
+        // new connections instead of hanging.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+            // listener dropped: the port refuses
+        };
+        proxy.retarget(dead);
+        let mut c = TcpStream::connect(proxy.addr()).expect("connect");
+        c.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut buf = [0u8; 8];
+        match c.read(&mut buf) {
+            Ok(0) | Err(_) => {} // reset, as intended
+            Ok(_) => panic!("dead upstream produced data"),
+        }
+        // Retarget back to the live echo server: service restored.
+        let (b, _tb) = echo_server();
+        proxy.retarget(b);
+        let mut c2 = TcpStream::connect(proxy.addr()).expect("connect");
+        c2.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        c2.write_all(b"back").expect("write");
+        let mut got = [0u8; 4];
+        c2.read_exact(&mut got).expect("echo after retarget");
+        assert_eq!(&got, b"back");
+    }
+}

@@ -11,6 +11,13 @@ use std::time::Duration;
 
 use crate::frame::{decode_response, encode_request, Request, Response, MAX_FRAME};
 
+/// Default read timeout installed by [`Client::connect`]: conservative
+/// enough for any healthy server (including one briefly blocked on
+/// backpressure), but finite — a dead peer or blackholed path surfaces
+/// as a [`std::io::ErrorKind::TimedOut`] error instead of hanging the
+/// caller forever. Clear or change it with [`Client::set_read_timeout`].
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Blocking connection to a serve instance.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -19,13 +26,14 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to `addr`.
+    /// Connect to `addr` with [`DEFAULT_READ_TIMEOUT`] on responses.
     ///
     /// # Errors
     /// Connection or socket-configure failure.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
             reader,
@@ -61,11 +69,24 @@ impl Client {
         self.writer.flush()
     }
 
-    /// Read the next response frame (blocking).
+    /// Read the next response frame (blocking, bounded by the read
+    /// timeout). A socket-level timeout surfaces uniformly as
+    /// [`io::ErrorKind::TimedOut`] (some platforms report `WouldBlock`).
     ///
     /// # Errors
-    /// Transport failure, unexpected EOF, or an undecodable response.
+    /// Transport failure, timeout, unexpected EOF, or an undecodable
+    /// response.
     pub fn recv(&mut self) -> io::Result<Response> {
+        self.recv_inner().map_err(|e| {
+            if e.kind() == io::ErrorKind::WouldBlock {
+                io::Error::new(io::ErrorKind::TimedOut, "read timed out")
+            } else {
+                e
+            }
+        })
+    }
+
+    fn recv_inner(&mut self) -> io::Result<Response> {
         let mut prefix = [0u8; 4];
         self.reader.read_exact(&mut prefix)?;
         let len = u32::from_le_bytes(prefix);
@@ -147,6 +168,44 @@ impl Client {
         }
     }
 
+    /// Session handshake: announce `session_id` with an applied floor of
+    /// `resume_seq`; returns the sequence the server says it has fully
+    /// applied (safe to resume after).
+    ///
+    /// # Errors
+    /// Transport failure or a non-`HELLO_ACK` reply.
+    pub fn hello(&mut self, session_id: u64, resume_seq: u64) -> io::Result<u64> {
+        match self.call(&Request::Hello {
+            session_id,
+            resume_seq,
+        })? {
+            Response::HelloAck { applied_seq } => Ok(applied_seq),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sequenced batch ingest (requires a prior [`Client::hello`] on this
+    /// connection); returns the server's `(applied, duplicate, degraded)`
+    /// ack.
+    ///
+    /// # Errors
+    /// Transport failure or a non-`OK_SEQ` reply (including typed server
+    /// errors such as `OVERLOADED`).
+    pub fn update_batch_seq(&mut self, seq: u64, keys: &[u64]) -> io::Result<(u32, bool, bool)> {
+        match self.call(&Request::UpdateBatchSeq {
+            seq,
+            keys: keys.to_vec(),
+        })? {
+            Response::OkSeq {
+                seq: acked,
+                applied,
+                duplicate,
+                degraded,
+            } if acked == seq => Ok((applied, duplicate, degraded)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Raw access to the underlying stream (tests: half-close, torn
     /// writes).
     pub fn stream(&self) -> &TcpStream {
@@ -156,7 +215,7 @@ impl Client {
 
 fn unexpected(resp: &Response) -> io::Error {
     match resp {
-        Response::Error { code, detail } => {
+        Response::Error { code, detail, .. } => {
             io::Error::other(format!("server error {code:?}: {detail}"))
         }
         other => io::Error::new(

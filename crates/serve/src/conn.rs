@@ -15,6 +15,7 @@
 
 use std::io::{self, IoSliceMut, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 use eval_metrics::ConnectionGauge;
 
@@ -62,6 +63,12 @@ pub(crate) struct Conn {
     pub(crate) read_parked: bool,
     /// Queued for this wakeup's write pass.
     pub(crate) touched: bool,
+    /// The ingest session this connection's sequenced writes belong to,
+    /// registered by its HELLO handshake.
+    pub(crate) session: Option<u64>,
+    /// Last time bytes arrived from the peer; drives the idle-eviction
+    /// and partial-frame (slowloris) reapers.
+    pub(crate) last_activity: Instant,
     /// Per-connection traffic counters (logged on disconnect).
     pub(crate) gauge: ConnectionGauge,
 }
@@ -77,6 +84,8 @@ impl Conn {
             closing: false,
             read_parked: false,
             touched: false,
+            session: None,
+            last_activity: Instant::now(),
             gauge: ConnectionGauge::default(),
         }
     }

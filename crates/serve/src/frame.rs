@@ -12,12 +12,21 @@
 //!
 //! Requests: `UPDATE(0x01) u64` · `UPDATE_BATCH(0x02) u32 n, n×u64` ·
 //! `ESTIMATE(0x03) u64` · `ESTIMATE_BATCH(0x04) u32 n, n×u64` ·
-//! `TOPK(0x05) u32 k` · `HEALTH(0x06)` · `SYNC(0x07)`.
+//! `TOPK(0x05) u32 k` · `HEALTH(0x06)` · `SYNC(0x07)` ·
+//! `HELLO(0x08) u64 session, u64 resume` ·
+//! `UPDATE_SEQ(0x09) u64 seq, u64 key` ·
+//! `UPDATE_BATCH_SEQ(0x0A) u64 seq, u32 n, n×u64`.
 //!
 //! Responses: `OK(0x81) u32` · `VALUE(0x82) i64` ·
 //! `VALUES(0x83) u32 n, n×i64` · `TOPK_ITEMS(0x84) u32 n, n×(u64,i64)` ·
 //! `HEALTH_INFO(0x85)` · `SYNCED(0x86) u64` ·
-//! `ERROR(0xEE) u8 code, u16 len, utf8 detail`.
+//! `HELLO_ACK(0x87) u64 applied` ·
+//! `OK_SEQ(0x88) u64 seq, u32 applied, u8 flags` ·
+//! `ERROR(0xEE) u8 code, u16 len, utf8 detail, [u32 retry_after_ms]`.
+//!
+//! The `ERROR` retry hint trails the legacy string detail so pre-hint
+//! decoders still find the fields they know at the same offsets; this
+//! decoder reads it when present and defaults it to zero otherwise.
 //!
 //! This module is pure — bytes in, values out — so the fuzz/proptest
 //! suite can drive it without sockets. Decoding NEVER panics on any
@@ -32,6 +41,10 @@ pub const MAX_FRAME: u32 = 1 << 20;
 /// Largest batch an UPDATE_BATCH / ESTIMATE_BATCH may carry — implied by
 /// [`MAX_FRAME`]: `(payload - opcode - count) / 8` keys.
 pub const MAX_BATCH: usize = ((MAX_FRAME as usize) - 5) / 8;
+
+/// Largest batch an UPDATE_BATCH_SEQ may carry: the sequence number costs
+/// 8 more header bytes than the unsequenced form.
+pub const MAX_BATCH_SEQ: usize = ((MAX_FRAME as usize) - 13) / 8;
 
 /// Machine-readable error codes carried by an `ERROR` frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +62,14 @@ pub enum ErrorCode {
     TooLarge = 4,
     /// Server-side failure unrelated to the request bytes.
     Internal = 5,
+    /// A shard has lost durability (disk-sick): the write was NOT taken
+    /// on paths that refuse best-effort ingest, or — as an ack flag on
+    /// `OK_SEQ` — was taken without a durability promise.
+    Degraded = 6,
+    /// The server is draining for shutdown: no new work is accepted, the
+    /// connection is closing. Reconnecting gets the same answer until
+    /// the process exits.
+    ShuttingDown = 7,
 }
 
 impl ErrorCode {
@@ -60,6 +81,8 @@ impl ErrorCode {
             3 => Some(ErrorCode::Overloaded),
             4 => Some(ErrorCode::TooLarge),
             5 => Some(ErrorCode::Internal),
+            6 => Some(ErrorCode::Degraded),
+            7 => Some(ErrorCode::ShuttingDown),
             _ => None,
         }
     }
@@ -162,6 +185,27 @@ pub enum RequestRef<'a> {
     Health,
     /// Durability/visibility barrier.
     Sync,
+    /// Session handshake for exactly-once sequenced ingest.
+    Hello {
+        /// Client-chosen session identity (survives reconnects).
+        session_id: u64,
+        /// The client's claimed applied floor (0 for a fresh session).
+        resume_seq: u64,
+    },
+    /// Sequenced ingest of one key (requires a prior `Hello`).
+    UpdateSeq {
+        /// Strictly increasing per-session write sequence.
+        seq: u64,
+        /// The key.
+        key: u64,
+    },
+    /// Sequenced ingest of a batch (borrowed; requires a prior `Hello`).
+    UpdateBatchSeq {
+        /// Strictly increasing per-session write sequence.
+        seq: u64,
+        /// The keys, in order.
+        keys: KeyBytes<'a>,
+    },
 }
 
 impl RequestRef<'_> {
@@ -175,6 +219,21 @@ impl RequestRef<'_> {
             RequestRef::TopK(k) => Request::TopK(*k),
             RequestRef::Health => Request::Health,
             RequestRef::Sync => Request::Sync,
+            RequestRef::Hello {
+                session_id,
+                resume_seq,
+            } => Request::Hello {
+                session_id: *session_id,
+                resume_seq: *resume_seq,
+            },
+            RequestRef::UpdateSeq { seq, key } => Request::UpdateSeq {
+                seq: *seq,
+                key: *key,
+            },
+            RequestRef::UpdateBatchSeq { seq, keys } => Request::UpdateBatchSeq {
+                seq: *seq,
+                keys: keys.to_vec(),
+            },
         }
     }
 }
@@ -197,6 +256,27 @@ pub enum Request {
     /// Durability/visibility barrier: apply everything accepted so far,
     /// fsync WALs on durable runtimes, then answer.
     Sync,
+    /// Session handshake for exactly-once sequenced ingest.
+    Hello {
+        /// Client-chosen session identity (survives reconnects).
+        session_id: u64,
+        /// The client's claimed applied floor (0 for a fresh session).
+        resume_seq: u64,
+    },
+    /// Sequenced ingest of one key (requires a prior `Hello`).
+    UpdateSeq {
+        /// Strictly increasing per-session write sequence.
+        seq: u64,
+        /// The key.
+        key: u64,
+    },
+    /// Sequenced ingest of a batch of keys (requires a prior `Hello`).
+    UpdateBatchSeq {
+        /// Strictly increasing per-session write sequence.
+        seq: u64,
+        /// The keys, in order.
+        keys: Vec<u64>,
+    },
 }
 
 /// Per-shard health as carried by a `HEALTH_INFO` frame.
@@ -271,6 +351,24 @@ pub enum Response {
     HealthInfo(HealthInfoWire),
     /// Barrier complete; carries total keys routed.
     Synced(u64),
+    /// Handshake accepted; carries the highest client sequence fully
+    /// applied across shards (the client may discard everything at or
+    /// below it and must replay the rest).
+    HelloAck {
+        /// Resumable floor for the session.
+        applied_seq: u64,
+    },
+    /// Sequenced write acknowledged (applied or deduped).
+    OkSeq {
+        /// The client sequence this ack covers.
+        seq: u64,
+        /// Keys actually applied (0 for a full duplicate).
+        applied: u32,
+        /// Every key was already applied — this was a retry.
+        duplicate: bool,
+        /// Applied without a durability promise (disk-sick shard).
+        degraded: bool,
+    },
     /// Request-level failure; the connection survives unless the
     /// transport itself is damaged.
     Error {
@@ -278,6 +376,10 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail (bounded at u16::MAX bytes on the wire).
         detail: String,
+        /// For `Overloaded`/`ShuttingDown`: how long the client should
+        /// back off before retrying (0 = no hint). Encoded trailing the
+        /// detail; absent on frames from pre-hint encoders, decoded as 0.
+        retry_after_ms: u32,
     },
 }
 
@@ -288,6 +390,9 @@ const OP_ESTIMATE_BATCH: u8 = 0x04;
 const OP_TOPK: u8 = 0x05;
 const OP_HEALTH: u8 = 0x06;
 const OP_SYNC: u8 = 0x07;
+const OP_HELLO: u8 = 0x08;
+const OP_UPDATE_SEQ: u8 = 0x09;
+const OP_UPDATE_BATCH_SEQ: u8 = 0x0A;
 
 const OP_OK: u8 = 0x81;
 const OP_VALUE: u8 = 0x82;
@@ -295,7 +400,14 @@ const OP_VALUES: u8 = 0x83;
 const OP_TOPK_ITEMS: u8 = 0x84;
 const OP_HEALTH_INFO: u8 = 0x85;
 const OP_SYNCED: u8 = 0x86;
+const OP_HELLO_ACK: u8 = 0x87;
+const OP_OK_SEQ: u8 = 0x88;
 const OP_ERROR: u8 = 0xEE;
+
+/// `OK_SEQ` flag: the write was a full duplicate (a deduped retry).
+const OK_SEQ_DUPLICATE: u8 = 1;
+/// `OK_SEQ` flag: applied without a durability promise.
+const OK_SEQ_DEGRADED: u8 = 1 << 1;
 
 /// Bounds-checked little-endian reader over a frame body.
 struct Cursor<'a> {
@@ -391,6 +503,24 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         }
         Request::Health => out.push(OP_HEALTH),
         Request::Sync => out.push(OP_SYNC),
+        Request::Hello {
+            session_id,
+            resume_seq,
+        } => {
+            out.push(OP_HELLO);
+            out.extend_from_slice(&session_id.to_le_bytes());
+            out.extend_from_slice(&resume_seq.to_le_bytes());
+        }
+        Request::UpdateSeq { seq, key } => {
+            out.push(OP_UPDATE_SEQ);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        Request::UpdateBatchSeq { seq, keys } => {
+            out.push(OP_UPDATE_BATCH_SEQ);
+            out.extend_from_slice(&seq.to_le_bytes());
+            put_u64s(out, keys);
+        }
     }
     end_frame(out, start);
 }
@@ -457,13 +587,35 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.push(OP_SYNCED);
             out.extend_from_slice(&total.to_le_bytes());
         }
-        Response::Error { code, detail } => {
+        Response::HelloAck { applied_seq } => {
+            out.push(OP_HELLO_ACK);
+            out.extend_from_slice(&applied_seq.to_le_bytes());
+        }
+        Response::OkSeq {
+            seq,
+            applied,
+            duplicate,
+            degraded,
+        } => {
+            out.push(OP_OK_SEQ);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&applied.to_le_bytes());
+            let flags = if *duplicate { OK_SEQ_DUPLICATE } else { 0 }
+                | if *degraded { OK_SEQ_DEGRADED } else { 0 };
+            out.push(flags);
+        }
+        Response::Error {
+            code,
+            detail,
+            retry_after_ms,
+        } => {
             out.push(OP_ERROR);
             out.push(*code as u8);
             let bytes = detail.as_bytes();
             let len = bytes.len().min(u16::MAX as usize);
             out.extend_from_slice(&(len as u16).to_le_bytes());
             out.extend_from_slice(&bytes[..len]);
+            out.extend_from_slice(&retry_after_ms.to_le_bytes());
         }
     }
     end_frame(out, start);
@@ -492,6 +644,22 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<RequestRef<'_>, FrameError> 
         OP_TOPK => RequestRef::TopK(c.u32()?),
         OP_HEALTH => RequestRef::Health,
         OP_SYNC => RequestRef::Sync,
+        OP_HELLO => RequestRef::Hello {
+            session_id: c.u64()?,
+            resume_seq: c.u64()?,
+        },
+        OP_UPDATE_SEQ => RequestRef::UpdateSeq {
+            seq: c.u64()?,
+            key: c.u64()?,
+        },
+        OP_UPDATE_BATCH_SEQ => {
+            let seq = c.u64()?;
+            let n = c.u32()? as usize;
+            RequestRef::UpdateBatchSeq {
+                seq,
+                keys: c.key_bytes(n)?,
+            }
+        }
         other => return Err(FrameError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -598,12 +766,33 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
             })
         }
         OP_SYNCED => Response::Synced(c.u64()?),
+        OP_HELLO_ACK => Response::HelloAck {
+            applied_seq: c.u64()?,
+        },
+        OP_OK_SEQ => {
+            let seq = c.u64()?;
+            let applied = c.u32()?;
+            let flags = c.u8()?;
+            Response::OkSeq {
+                seq,
+                applied,
+                duplicate: flags & OK_SEQ_DUPLICATE != 0,
+                degraded: flags & OK_SEQ_DEGRADED != 0,
+            }
+        }
         OP_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?).ok_or(FrameError::BadErrorFrame)?;
             let len = c.u16()? as usize;
             let detail =
                 String::from_utf8(c.take(len)?.to_vec()).map_err(|_| FrameError::BadErrorFrame)?;
-            Response::Error { code, detail }
+            // The retry hint trails the legacy fields; frames from older
+            // encoders simply end here.
+            let retry_after_ms = if c.remaining() >= 4 { c.u32()? } else { 0 };
+            Response::Error {
+                code,
+                detail,
+                retry_after_ms,
+            }
         }
         other => return Err(FrameError::UnknownOpcode(other)),
     };
@@ -678,6 +867,19 @@ mod tests {
         roundtrip_request(Request::TopK(16));
         roundtrip_request(Request::Health);
         roundtrip_request(Request::Sync);
+        roundtrip_request(Request::Hello {
+            session_id: u64::MAX,
+            resume_seq: 17,
+        });
+        roundtrip_request(Request::UpdateSeq { seq: 9, key: 1234 });
+        roundtrip_request(Request::UpdateBatchSeq {
+            seq: 10,
+            keys: vec![1, 2, u64::MAX],
+        });
+        roundtrip_request(Request::UpdateBatchSeq {
+            seq: 11,
+            keys: vec![],
+        });
     }
 
     #[test]
@@ -687,9 +889,28 @@ mod tests {
         roundtrip_response(Response::Values(vec![0, i64::MAX, i64::MIN]));
         roundtrip_response(Response::TopKItems(vec![(1, 10), (2, 5)]));
         roundtrip_response(Response::Synced(12345));
+        roundtrip_response(Response::HelloAck { applied_seq: 41 });
+        roundtrip_response(Response::OkSeq {
+            seq: 42,
+            applied: 100,
+            duplicate: false,
+            degraded: true,
+        });
+        roundtrip_response(Response::OkSeq {
+            seq: 43,
+            applied: 0,
+            duplicate: true,
+            degraded: false,
+        });
         roundtrip_response(Response::Error {
             code: ErrorCode::Overloaded,
             detail: "queue full".into(),
+            retry_after_ms: 25,
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::ShuttingDown,
+            detail: "draining".into(),
+            retry_after_ms: 0,
         });
         roundtrip_response(Response::HealthInfo(HealthInfoWire {
             total_routed: 100,
@@ -778,6 +999,23 @@ mod tests {
         let mut payload = buf[4..].to_vec();
         payload.push(0);
         assert_eq!(decode_request(&payload), Err(FrameError::TrailingBytes));
+    }
+
+    #[test]
+    fn legacy_error_frames_without_retry_hint_decode_as_zero() {
+        // Hand-build the pre-hint layout: code, u16 len, detail, nothing
+        // trailing.
+        let mut body = vec![OP_ERROR, ErrorCode::Overloaded as u8];
+        body.extend_from_slice(&(4u16).to_le_bytes());
+        body.extend_from_slice(b"full");
+        assert_eq!(
+            decode_response(&body).unwrap(),
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                detail: "full".into(),
+                retry_after_ms: 0,
+            }
+        );
     }
 
     #[test]

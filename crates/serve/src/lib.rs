@@ -24,14 +24,21 @@
 //!   selection, graceful shutdown.
 //! - [`client`] — minimal blocking client used by tests, the CI smoke,
 //!   and the load generator.
+//! - [`resilient`] — reconnecting exactly-once session client: replay
+//!   window, typed failures, deadline-driven retries (DESIGN.md §17).
+//! - [`chaos`] — deterministic userspace TCP fault proxy backing the
+//!   `--net-chaos` survivability harness and the `chaos_proxy` bin.
 
 #![deny(unsafe_code)] // sys.rs scopes a documented allow for the epoll FFI
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod chaos;
 pub mod client;
 pub mod frame;
+pub mod resilient;
 pub mod server;
+pub mod signal;
 
 mod conn;
 #[cfg(target_os = "linux")]
@@ -41,10 +48,12 @@ mod staging;
 mod sys;
 mod threaded;
 
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, FaultKind};
 pub use client::Client;
 pub use frame::{
     decode_request, decode_request_ref, decode_response, encode_request, encode_response,
     ErrorCode, FrameError, HealthInfoWire, KeyBytes, ReactorHealthWire, Request, RequestRef,
     Response, ShardHealthWire, MAX_BATCH, MAX_FRAME,
 };
+pub use resilient::{BatchAck, ClientError, ResilienceStats, ResilientClient, RetryPolicy};
 pub use server::{IoModel, ServeConfig, Server, ServerStats};

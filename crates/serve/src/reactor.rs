@@ -67,7 +67,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use asketch::Filter;
-use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, QueryHandle};
+use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, KeyPartition, QueryHandle};
 use eval_metrics::{ConnectionGauge, ReactorGauge, ShardedHealth};
 use sketches::{SharedView, UpdateEstimate};
 
@@ -75,7 +75,9 @@ use crate::conn::{Conn, ReadProgress, OUT_HIGH_WATER, OUT_LOW_WATER, READ_CHUNK}
 use crate::frame::{
     decode_request_ref, encode_response, ErrorCode, RequestRef, Response, MAX_FRAME,
 };
-use crate::server::{health_wire, shutting_down, Finished, ServeConfig, ServerStats};
+use crate::server::{
+    health_wire, overloaded, refuse, shutting_down, Finished, ServeConfig, ServerStats,
+};
 use crate::staging::Staging;
 use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
@@ -88,8 +90,8 @@ const MAX_READS_PER_WAKEUP: usize = 4;
 /// how stale the stop-flag check can get.
 const IDLE_TIMEOUT_MS: i32 = 200;
 
-/// How long shutdown keeps trying to drain pending response bytes.
-const SHUTDOWN_DRAIN: Duration = Duration::from_millis(500);
+/// How often the idle/slowloris reaper sweeps a reactor's connections.
+const REAP_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Live per-reactor I/O counters, shared so any reactor can snapshot the
 /// whole set for a HEALTH frame.
@@ -142,6 +144,12 @@ where
     S: SharedView + UpdateEstimate + Clone + Send + 'static,
 {
     stop: Arc<AtomicBool>,
+    /// Set before `stop` during graceful shutdown: the acceptor answers
+    /// new connections with one `SHUTTING_DOWN` frame and closes them
+    /// while the reactors drain.
+    draining: Arc<AtomicBool>,
+    /// Final acceptor exit flag, set after the reactors joined.
+    accept_stop: Arc<AtomicBool>,
     core: IngestCore<F, S>,
     acceptor: Option<JoinHandle<()>>,
     reactors: Vec<JoinHandle<()>>,
@@ -168,6 +176,8 @@ where
         let n = cfg.reactor_count();
         let partition = rt.partition();
         let stop = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::new(AtomicBool::new(false));
         let core: IngestCore<F, S> = Arc::new(Mutex::new(Some(rt)));
 
         let mut inboxes = Vec::with_capacity(n);
@@ -204,11 +214,13 @@ where
                 stats: Arc::clone(&stats),
                 cfg: cfg.clone(),
                 staging: Staging::new(partition, cfg.staging_bound()),
+                partition,
                 max_depth: cfg.ingest_queue.max(1),
                 conns: Vec::new(),
                 free: Vec::new(),
                 touched: Vec::new(),
                 scratch: Box::new([0u8; READ_CHUNK]),
+                last_reap: Instant::now(),
             };
             let t = std::thread::Builder::new()
                 .name(format!("serve-reactor-{idx}"))
@@ -217,16 +229,29 @@ where
         }
 
         let acceptor = {
-            let stop = Arc::clone(&stop);
+            let accept_stop = Arc::clone(&accept_stop);
+            let draining = Arc::clone(&draining);
             let stats = Arc::clone(&stats);
             let inboxes = Arc::clone(&inboxes);
+            let max_connections = cfg.max_connections;
             std::thread::Builder::new()
                 .name("serve-acceptor".to_string())
                 .spawn(move || {
                     let mut next = 0usize;
-                    while !stop.load(Ordering::Acquire) {
+                    while !accept_stop.load(Ordering::Acquire) {
                         match listener.accept() {
                             Ok((sock, _peer)) => {
+                                if draining.load(Ordering::Acquire) {
+                                    refuse(sock, &shutting_down());
+                                    continue;
+                                }
+                                if max_connections > 0
+                                    && stats.connections_active.load(Ordering::Relaxed)
+                                        >= max_connections as u64
+                                {
+                                    refuse(sock, &overloaded("connection cap reached"));
+                                    continue;
+                                }
                                 let _ = sock.set_nodelay(true);
                                 if sock.set_nonblocking(true).is_err() {
                                     continue;
@@ -252,6 +277,8 @@ where
 
         Ok(Self {
             stop,
+            draining,
+            accept_stop,
             core,
             acceptor: Some(acceptor),
             reactors,
@@ -260,20 +287,25 @@ where
         })
     }
 
-    /// Graceful shutdown: stop accepting, let every reactor drain its
-    /// connections and blocking-flush its staging, then take the runtime
-    /// and finish it. The returned health carries the final per-reactor
-    /// I/O gauges.
+    /// Graceful shutdown: enter the drain phase (new connections get one
+    /// `SHUTTING_DOWN` frame), let every reactor drain its connections
+    /// and blocking-flush its staging, then stop the acceptor, take the
+    /// runtime and finish it. The returned health carries the final
+    /// per-reactor I/O gauges.
     pub(crate) fn finish(&mut self) -> Finished<F, S> {
+        // Drain phase: a client reconnecting while the reactors wind
+        // down gets a typed refusal at the socket, not a silent drop.
+        self.draining.store(true, Ordering::Release);
         self.stop.store(true, Ordering::Release);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
         for inbox in self.inboxes.iter() {
             inbox.wake.wake();
         }
         for t in self.reactors.drain(..) {
             let _ = t.join();
+        }
+        self.accept_stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
         }
         let rt = self
             .core
@@ -305,7 +337,9 @@ where
     /// signal stop and wake the reactors; they flush and wind down on
     /// their own, and the runtime drops with the last core reference.
     fn drop(&mut self) {
+        self.draining.store(true, Ordering::Release);
         self.stop.store(true, Ordering::Release);
+        self.accept_stop.store(true, Ordering::Release);
         for inbox in self.inboxes.iter() {
             inbox.wake.wake();
         }
@@ -329,6 +363,9 @@ where
     stats: Arc<ServerStats>,
     cfg: ServeConfig,
     staging: Staging,
+    /// The runtime's key partition, for sessioned writes (which bypass
+    /// staging and apply per frame with session dedup).
+    partition: KeyPartition,
     max_depth: usize,
     /// Connection slab; epoll token = slot + 1 (token 0 is the eventfd).
     conns: Vec<Option<Conn>>,
@@ -336,6 +373,8 @@ where
     /// Slots that produced output this wakeup (write-pass worklist).
     touched: Vec<usize>,
     scratch: Box<[u8; READ_CHUNK]>,
+    /// Last idle/slowloris reaper sweep.
+    last_reap: Instant,
 }
 
 impl<F, S> Reactor<F, S>
@@ -378,6 +417,9 @@ where
             // Flush BEFORE the write pass: an OK that reaches a socket is
             // always backed by journaled, ring-resident keys.
             self.flush_blocking();
+            if self.last_reap.elapsed() >= REAP_INTERVAL {
+                self.reap();
+            }
             self.write_pass();
         }
         self.shutdown_drain();
@@ -446,6 +488,7 @@ where
         for _ in 0..MAX_READS_PER_WAKEUP {
             match conn.read_some(&mut self.scratch) {
                 ReadProgress::Data(n) => {
+                    conn.last_activity = Instant::now();
                     let cells = &self.gauges[self.idx];
                     cells.read_syscalls.fetch_add(1, Ordering::Relaxed);
                     cells.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
@@ -490,6 +533,7 @@ where
                 let resp = Response::Error {
                     code: ErrorCode::TooLarge,
                     detail: format!("declared frame length {declared} exceeds {MAX_FRAME}"),
+                    retry_after_ms: 0,
                 };
                 encode_response(&resp, &mut out);
                 self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
@@ -510,13 +554,14 @@ where
                 .fetch_add(1, Ordering::Relaxed);
             conn.gauge.frames_in += 1;
             let resp = match decode_request_ref(payload) {
-                Ok(req) => self.answer(req, &mut conn.gauge),
+                Ok(req) => self.answer(req, &mut conn.gauge, &mut conn.session),
                 Err(e) => {
                     self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     conn.gauge.protocol_errors += 1;
                     Response::Error {
                         code: e.code(),
                         detail: e.detail(),
+                        retry_after_ms: 0,
                     }
                 }
             };
@@ -535,10 +580,25 @@ where
     /// Answer one decoded request. Reads come straight off the snapshot
     /// handle; writes go through the staging path under the configured
     /// backpressure policy.
-    fn answer(&mut self, req: RequestRef<'_>, gauge: &mut ConnectionGauge) -> Response {
+    fn answer(
+        &mut self,
+        req: RequestRef<'_>,
+        gauge: &mut ConnectionGauge,
+        session: &mut Option<u64>,
+    ) -> Response {
         match req {
             RequestRef::Update(key) => self.ingest(1, std::iter::once(key), gauge),
             RequestRef::UpdateBatch(keys) => self.ingest(keys.len(), keys.iter(), gauge),
+            RequestRef::Hello {
+                session_id,
+                resume_seq,
+            } => self.hello_session(session, session_id, resume_seq),
+            RequestRef::UpdateSeq { seq, key } => {
+                self.ingest_sessioned(*session, seq, std::iter::once(key), gauge)
+            }
+            RequestRef::UpdateBatchSeq { seq, keys } => {
+                self.ingest_sessioned(*session, seq, keys.iter(), gauge)
+            }
             RequestRef::Estimate(key) => {
                 let before = self.handle.reader_retries();
                 let value = self.handle.estimate(key);
@@ -573,6 +633,9 @@ where
         keys: impl Iterator<Item = u64>,
         gauge: &mut ConnectionGauge,
     ) -> Response {
+        if self.cfg.admission_high_water > 0 && self.admission_over() {
+            return self.shed_frame(gauge);
+        }
         match self.cfg.policy {
             BackpressurePolicy::Block => {
                 self.staging.stage(keys);
@@ -620,9 +683,147 @@ where
     fn shed_frame(&self, gauge: &mut ConnectionGauge) -> Response {
         self.stats.updates_shed.fetch_add(1, Ordering::Relaxed);
         gauge.shed += 1;
-        Response::Error {
-            code: ErrorCode::Overloaded,
-            detail: "ingest queue full; batch shed".to_string(),
+        overloaded("ingest queue full; batch shed")
+    }
+
+    /// Queue-depth admission probe: true when the runtime's deepest
+    /// shard queue has backed up past the configured high-water mark.
+    /// Only consulted when `admission_high_water > 0`, so the default
+    /// hot path never takes this lock per frame.
+    fn admission_over(&self) -> bool {
+        let mut guard = self.core.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.as_mut() {
+            Some(rt) => rt.max_queue_depth() >= self.cfg.admission_high_water,
+            None => false,
+        }
+    }
+
+    /// HELLO handshake: register the session on this connection, fold
+    /// the client's resume floor into the runtime's session table, and
+    /// answer the sequence the client may safely resume after.
+    fn hello_session(
+        &mut self,
+        conn_session: &mut Option<u64>,
+        session_id: u64,
+        resume_seq: u64,
+    ) -> Response {
+        let mut guard = self.core.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(rt) = guard.as_mut() else {
+            return shutting_down();
+        };
+        let applied = rt.hello(session_id, resume_seq);
+        *conn_session = Some(session_id);
+        Response::HelloAck {
+            applied_seq: applied,
+        }
+    }
+
+    /// One sequenced write: partition, then apply under the core lock
+    /// with per-shard session dedup — bypassing the cross-connection
+    /// staging so the (session, seq) annotation rides the exact shard
+    /// batches this frame produced. Duplicates are always admitted even
+    /// when backed up: dedup ships nothing, and the retrying client
+    /// needs the ack.
+    fn ingest_sessioned(
+        &mut self,
+        session: Option<u64>,
+        seq: u64,
+        keys: impl Iterator<Item = u64>,
+        gauge: &mut ConnectionGauge,
+    ) -> Response {
+        let Some(sid) = session else {
+            return Response::Error {
+                code: ErrorCode::Malformed,
+                detail: "sequenced update before HELLO".to_string(),
+                retry_after_ms: 0,
+            };
+        };
+        let mut batches: Vec<Vec<u64>> = vec![Vec::new(); self.partition.shards()];
+        for key in keys {
+            batches[self.partition.shard_of(key)].push(key);
+        }
+        let outcome = {
+            let mut guard = self.core.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(rt) = guard.as_mut() else {
+                return shutting_down();
+            };
+            let depth_bound = if self.cfg.admission_high_water > 0 {
+                Some(self.cfg.admission_high_water)
+            } else if matches!(self.cfg.policy, BackpressurePolicy::InlineFallback) {
+                Some(self.max_depth)
+            } else {
+                None
+            };
+            match depth_bound {
+                Some(bound) => rt.try_insert_sessioned(sid, seq, &mut batches, bound),
+                None => Some(rt.insert_sessioned(sid, seq, &mut batches)),
+            }
+        };
+        match outcome {
+            Some(o) => {
+                self.stats
+                    .updates_ingested
+                    .fetch_add(o.applied as u64, Ordering::Relaxed);
+                gauge.updates += o.applied as u64;
+                Response::OkSeq {
+                    seq,
+                    applied: o.applied as u32,
+                    duplicate: o.duplicate,
+                    degraded: o.degraded,
+                }
+            }
+            None => self.shed_frame(gauge),
+        }
+    }
+
+    /// The idle/slowloris reaper: close connections with no traffic past
+    /// the idle window, and answer-then-close connections that have held
+    /// a partial frame past the partial-frame window (a peer feeding
+    /// bytes too slowly to ever complete a frame ties up a slot
+    /// otherwise).
+    fn reap(&mut self) {
+        self.last_reap = Instant::now();
+        let idle = self.cfg.idle_timeout_ms;
+        let partial = self.cfg.partial_frame_timeout_ms;
+        if idle == 0 && partial == 0 {
+            return;
+        }
+        for slot in 0..self.conns.len() {
+            let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+                continue;
+            };
+            if conn.closing {
+                self.conns[slot] = Some(conn);
+                continue;
+            }
+            let quiet = conn.last_activity.elapsed();
+            if partial > 0 && !conn.buf.is_empty() && quiet >= Duration::from_millis(partial) {
+                self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.gauge.protocol_errors += 1;
+                let resp = Response::Error {
+                    code: ErrorCode::Malformed,
+                    detail: "partial frame timed out".to_string(),
+                    retry_after_ms: 0,
+                };
+                encode_response(&resp, &mut conn.out);
+                self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                conn.gauge.frames_out += 1;
+                conn.closing = true;
+                conn.buf.clear();
+                if !conn.touched {
+                    conn.touched = true;
+                    self.touched.push(slot);
+                }
+                self.conns[slot] = Some(conn);
+            } else if idle > 0
+                && conn.buf.is_empty()
+                && conn.pending_out() == 0
+                && quiet >= Duration::from_millis(idle)
+            {
+                self.close_conn(slot, conn);
+            } else {
+                self.conns[slot] = Some(conn);
+            }
         }
     }
 
@@ -814,7 +1015,7 @@ where
     /// already produced reaches its peer, then close everything.
     fn shutdown_drain(&mut self) {
         self.flush_blocking();
-        let deadline = Instant::now() + SHUTDOWN_DRAIN;
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.drain_ms);
         loop {
             let mut pending = false;
             for conn in self.conns.iter_mut().flatten() {

@@ -104,6 +104,29 @@ pub struct ServeConfig {
     /// wakeup flushes once this many UPDATE keys are staged (and always
     /// at end of wakeup). `0` = auto (16384 keys).
     pub staging_keys: usize,
+    /// Queue-depth admission high-water mark for writes, in in-flight
+    /// batches per shard. Past it, writes (sequenced or not) are shed
+    /// with `ERROR OVERLOADED{retry_after_ms}` while wait-free reads
+    /// keep serving. `0` = disabled (the default: hot path unchanged).
+    pub admission_high_water: usize,
+    /// Maximum simultaneously-served connections. New connections past
+    /// the cap are answered with one `ERROR OVERLOADED` frame and
+    /// closed. `0` = unlimited.
+    pub max_connections: usize,
+    /// Idle-session eviction: a connection with no traffic for this long
+    /// is closed. `0` = disabled.
+    pub idle_timeout_ms: u64,
+    /// Slowloris reaper: a connection holding a *partial frame* (bytes
+    /// buffered but no complete frame) for longer than this is answered
+    /// with `ERROR MALFORMED` and closed. `0` = disabled; the default
+    /// (10s) tolerates legitimately slow frame dribble.
+    pub partial_frame_timeout_ms: u64,
+    /// How long graceful shutdown keeps draining pending response bytes
+    /// to connected peers.
+    pub drain_ms: u64,
+    /// Bound on tracked ingest sessions (exactly-once dedup state);
+    /// least-recently-active sessions are evicted past it.
+    pub session_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +140,12 @@ impl Default for ServeConfig {
             io_model: IoModel::default(),
             reactors: 0,
             staging_keys: 0,
+            admission_high_water: 0,
+            max_connections: 0,
+            idle_timeout_ms: 0,
+            partial_frame_timeout_ms: 10_000,
+            drain_ms: 500,
+            session_cap: 1024,
         }
     }
 }
@@ -278,12 +307,41 @@ where
     }
 }
 
+/// Retry hint carried on shed/refused frames, in milliseconds. A small
+/// constant: the queues this guards drain in single-digit milliseconds,
+/// and clients jitter their own backoff on top.
+pub(crate) const RETRY_AFTER_MS: u32 = 25;
+
 /// The canonical "engine is gone" error response.
 pub(crate) fn shutting_down() -> Response {
     Response::Error {
-        code: ErrorCode::Internal,
+        code: ErrorCode::ShuttingDown,
         detail: "server shutting down".to_string(),
+        retry_after_ms: RETRY_AFTER_MS,
     }
+}
+
+/// The canonical admission-shed error response.
+pub(crate) fn overloaded(detail: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::Overloaded,
+        detail: detail.to_string(),
+        retry_after_ms: RETRY_AFTER_MS,
+    }
+}
+
+/// Encode `resp` and push it at a just-accepted socket best-effort, then
+/// drop the socket (refusal path: drain cap and shutdown races). Failures
+/// are ignored — the peer learns from the close either way.
+pub(crate) fn refuse(sock: std::net::TcpStream, resp: &Response) {
+    use std::io::Write;
+    let mut buf = Vec::new();
+    crate::frame::encode_response(resp, &mut buf);
+    let _ = sock.set_write_timeout(Some(std::time::Duration::from_millis(100)));
+    let mut sock = sock;
+    let _ = sock.write_all(&buf);
+    let _ = sock.flush();
+    let _ = sock.shutdown(std::net::Shutdown::Both);
 }
 
 /// Project runtime health + server counters into the wire form. Per-shard

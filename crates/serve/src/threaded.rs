@@ -44,25 +44,48 @@
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use asketch::Filter;
-use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, QueryHandle};
+use asketch_parallel::{BackpressurePolicy, ConcurrentASketch, QueryHandle, SessionOutcome};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use eval_metrics::{ConnectionGauge, ShardedHealth};
 use sketches::{SharedView, UpdateEstimate};
 
 use crate::frame::{decode_request, encode_response, ErrorCode, Request, Response, MAX_FRAME};
-use crate::server::{health_wire, shutting_down, Finished, ServeConfig, ServerStats};
+use crate::server::{
+    health_wire, overloaded, refuse, shutting_down, Finished, ServeConfig, ServerStats,
+};
 
 /// Commands the connection threads hand to the writer thread. Reads never
 /// appear here — they are served from snapshots on the connection thread.
 enum IngestCmd {
     /// Apply a batch of keys in order.
     Update(Vec<u64>),
+    /// Session handshake: fold the client's resume floor, reply with the
+    /// sequence it may resume after.
+    Hello {
+        /// Client-chosen session identity.
+        sid: u64,
+        /// The client's claimed applied floor.
+        resume: u64,
+        /// Replies with the safe resume sequence.
+        reply: Sender<u64>,
+    },
+    /// Apply one sequenced write with per-shard session dedup.
+    UpdateSeq {
+        /// Session the sequence number belongs to.
+        sid: u64,
+        /// Strictly increasing per-session client sequence.
+        seq: u64,
+        /// The write's keys (unpartitioned; the writer partitions).
+        keys: Vec<u64>,
+        /// Replies with what the runtime did (applied/duplicate/degraded).
+        reply: Sender<SessionOutcome>,
+    },
     /// Visibility + durability barrier; replies with total keys routed.
     Sync(Sender<u64>),
     /// Runtime health snapshot (the writer owns the runtime).
@@ -77,6 +100,10 @@ where
     S: SharedView + UpdateEstimate + Clone + Send + 'static,
 {
     stop: Arc<AtomicBool>,
+    /// Set before `stop` during graceful shutdown: the acceptor answers
+    /// new connections with one `SHUTTING_DOWN` frame and closes them
+    /// while the live ones drain.
+    draining: Arc<AtomicBool>,
     ingest_tx: Option<Sender<IngestCmd>>,
     acceptor: Option<JoinHandle<()>>,
     writer: Option<JoinHandle<Finished<F, S>>>,
@@ -98,16 +125,25 @@ where
         handle: QueryHandle<S>,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
         let (ingest_tx, ingest_rx) = bounded::<IngestCmd>(cfg.ingest_queue.max(1));
-        let writer = std::thread::spawn(move || writer_loop(rt, ingest_rx));
+        // Live command-queue depth, mirrored around the channel so the
+        // admission probe never needs channel introspection.
+        let depth = Arc::new(AtomicUsize::new(0));
+        let writer = {
+            let depth = Arc::clone(&depth);
+            std::thread::spawn(move || writer_loop(rt, ingest_rx, &depth))
+        };
         let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let acceptor = {
             let stop = Arc::clone(&stop);
+            let draining = Arc::clone(&draining);
             let stats = Arc::clone(&stats);
             let handle = handle.clone();
             let ingest_tx = ingest_tx.clone();
+            let depth = Arc::clone(&depth);
             let conns = Arc::clone(&conns);
             let conn_threads = Arc::clone(&conn_threads);
             std::thread::spawn(move || {
@@ -115,7 +151,26 @@ where
                 while !stop.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((sock, _peer)) => {
+                            if draining.load(Ordering::Acquire) {
+                                refuse(sock, &shutting_down());
+                                continue;
+                            }
+                            if cfg.max_connections > 0
+                                && stats.connections_active.load(Ordering::Relaxed)
+                                    >= cfg.max_connections as u64
+                            {
+                                refuse(sock, &overloaded("connection cap reached"));
+                                continue;
+                            }
                             let _ = sock.set_nodelay(true);
+                            if cfg.idle_timeout_ms > 0 {
+                                // Idle eviction for the blocking engine: a
+                                // read parked past the window errors out
+                                // and the connection thread winds down.
+                                let _ = sock.set_read_timeout(Some(Duration::from_millis(
+                                    cfg.idle_timeout_ms,
+                                )));
+                            }
                             stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
                             let conn_id = next_conn_id;
                             next_conn_id += 1;
@@ -128,11 +183,13 @@ where
                             let stats = Arc::clone(&stats);
                             let handle = handle.clone();
                             let ingest = ingest_tx.clone();
+                            let depth = Arc::clone(&depth);
                             let cfg = cfg.clone();
                             let conns = Arc::clone(&conns);
                             let t = std::thread::spawn(move || {
                                 stats.connections_active.fetch_add(1, Ordering::Relaxed);
-                                let gauge = serve_connection(sock, &handle, &ingest, &stats, &cfg);
+                                let gauge =
+                                    serve_connection(sock, &handle, &ingest, &depth, &stats, &cfg);
                                 stats.connections_active.fetch_sub(1, Ordering::Relaxed);
                                 // Deregister (and fully close) our socket:
                                 // the registered clone would otherwise keep
@@ -163,6 +220,7 @@ where
 
         Self {
             stop,
+            draining,
             ingest_tx: Some(ingest_tx),
             acceptor: Some(acceptor),
             writer: Some(writer),
@@ -171,14 +229,13 @@ where
         }
     }
 
-    /// Graceful shutdown: stop accepting, unblock and join every
-    /// connection, drain every accepted write through the runtime, then
-    /// finish it.
+    /// Graceful shutdown: enter the drain phase (new connections get one
+    /// `SHUTTING_DOWN` frame), unblock and join every live connection,
+    /// drain every accepted write through the runtime, then finish it.
     pub(crate) fn finish(&mut self) -> Finished<F, S> {
-        self.stop.store(true, Ordering::Release);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
+        // Drain phase first: a client reconnecting while live
+        // connections wind down gets a typed refusal, not a silent drop.
+        self.draining.store(true, Ordering::Release);
         // Unblock connection threads parked in a socket read. Sockets
         // whose clients already left error harmlessly.
         for (_, sock) in self
@@ -198,9 +255,14 @@ where
         for t in threads {
             let _ = t.join();
         }
-        // Connection threads are gone; dropping the last sender lets the
-        // writer drain the queue (every accepted batch applies) and then
-        // finish the runtime with its documented shutdown ordering.
+        self.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Acceptor and connection threads are gone; dropping the last
+        // sender lets the writer drain the queue (every accepted batch
+        // applies) and then finish the runtime with its documented
+        // shutdown ordering.
         self.ingest_tx = None;
         match self.writer.take() {
             Some(w) => w.join().unwrap_or_default(),
@@ -232,14 +294,41 @@ where
 
 /// The writer loop: sole owner of the runtime; applies batches in arrival
 /// order, answers barriers and health probes, finishes on disconnect.
-fn writer_loop<F, S>(mut rt: ConcurrentASketch<F, S>, rx: Receiver<IngestCmd>) -> Finished<F, S>
+fn writer_loop<F, S>(
+    mut rt: ConcurrentASketch<F, S>,
+    rx: Receiver<IngestCmd>,
+    depth: &AtomicUsize,
+) -> Finished<F, S>
 where
     F: Filter + Clone + Send + 'static,
     S: SharedView + UpdateEstimate + Clone + Send + 'static,
 {
+    let partition = rt.partition();
+    let mut batches: Vec<Vec<u64>> = vec![Vec::new(); partition.shards()];
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            IngestCmd::Update(keys) => rt.insert_batch(&keys),
+            IngestCmd::Update(keys) => {
+                rt.insert_batch(&keys);
+                depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            IngestCmd::Hello { sid, resume, reply } => {
+                let _ = reply.send(rt.hello(sid, resume));
+            }
+            IngestCmd::UpdateSeq {
+                sid,
+                seq,
+                keys,
+                reply,
+            } => {
+                for b in &mut batches {
+                    b.clear();
+                }
+                for key in keys {
+                    batches[partition.shard_of(key)].push(key);
+                }
+                let _ = reply.send(rt.insert_sessioned(sid, seq, &mut batches));
+                depth.fetch_sub(1, Ordering::Relaxed);
+            }
             IngestCmd::Sync(reply) => {
                 rt.sync();
                 // Durable runtimes: fsync the WALs so SYNCED means "will
@@ -309,6 +398,7 @@ fn serve_connection<S>(
     sock: TcpStream,
     handle: &QueryHandle<S>,
     ingest: &Sender<IngestCmd>,
+    depth: &AtomicUsize,
     stats: &ServerStats,
     cfg: &ServeConfig,
 ) -> ConnectionGauge
@@ -322,6 +412,9 @@ where
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(sock);
     let mut out = Vec::new();
+    // The session this connection's sequenced writes belong to,
+    // registered by its HELLO handshake.
+    let mut session: Option<u64> = None;
     loop {
         let payload = match read_frame(&mut reader) {
             ReadOutcome::Frame(p) => p,
@@ -333,6 +426,7 @@ where
                 let resp = Response::Error {
                     code: ErrorCode::TooLarge,
                     detail: format!("declared frame length {len} exceeds {MAX_FRAME}"),
+                    retry_after_ms: 0,
                 };
                 out.clear();
                 encode_response(&resp, &mut out);
@@ -344,13 +438,23 @@ where
         stats.frames_in.fetch_add(1, Ordering::Relaxed);
         gauge.frames_in += 1;
         let resp = match decode_request(&payload) {
-            Ok(req) => answer(req, handle, ingest, stats, cfg, &mut gauge),
+            Ok(req) => answer(
+                req,
+                handle,
+                ingest,
+                depth,
+                stats,
+                cfg,
+                &mut gauge,
+                &mut session,
+            ),
             Err(e) => {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 gauge.protocol_errors += 1;
                 Response::Error {
                     code: e.code(),
                     detail: e.detail(),
+                    retry_after_ms: 0,
                 }
             }
         };
@@ -373,20 +477,52 @@ where
 /// Answer one decoded request. Reads are served inline from the snapshot
 /// handle; writes are enqueued to the writer under the configured
 /// backpressure policy.
+#[allow(clippy::too_many_arguments)]
 fn answer<S>(
     req: Request,
     handle: &QueryHandle<S>,
     ingest: &Sender<IngestCmd>,
+    depth: &AtomicUsize,
     stats: &ServerStats,
     cfg: &ServeConfig,
     gauge: &mut ConnectionGauge,
+    session: &mut Option<u64>,
 ) -> Response
 where
     S: SharedView + UpdateEstimate + Clone + Send + 'static,
 {
     match req {
-        Request::Update(key) => enqueue(vec![key], ingest, stats, cfg, gauge),
-        Request::UpdateBatch(keys) => enqueue(keys, ingest, stats, cfg, gauge),
+        Request::Update(key) => enqueue(vec![key], ingest, depth, stats, cfg, gauge),
+        Request::UpdateBatch(keys) => enqueue(keys, ingest, depth, stats, cfg, gauge),
+        Request::Hello {
+            session_id,
+            resume_seq,
+        } => {
+            let (tx, rx) = bounded(1);
+            let cmd = IngestCmd::Hello {
+                sid: session_id,
+                resume: resume_seq,
+                reply: tx,
+            };
+            if ingest.send(cmd).is_err() {
+                return shutting_down();
+            }
+            match rx.recv() {
+                Ok(applied) => {
+                    *session = Some(session_id);
+                    Response::HelloAck {
+                        applied_seq: applied,
+                    }
+                }
+                Err(_) => shutting_down(),
+            }
+        }
+        Request::UpdateSeq { seq, key } => {
+            enqueue_seq(seq, vec![key], *session, ingest, depth, stats, cfg, gauge)
+        }
+        Request::UpdateBatchSeq { seq, keys } => {
+            enqueue_seq(seq, keys, *session, ingest, depth, stats, cfg, gauge)
+        }
         Request::Estimate(key) => {
             let before = handle.reader_retries();
             let value = handle.estimate(key);
@@ -439,27 +575,31 @@ where
 fn enqueue(
     keys: Vec<u64>,
     ingest: &Sender<IngestCmd>,
+    depth: &AtomicUsize,
     stats: &ServerStats,
     cfg: &ServeConfig,
     gauge: &mut ConnectionGauge,
 ) -> Response {
     let n = keys.len() as u32;
+    if admission_shed(depth, stats, cfg, gauge) {
+        return overloaded("ingest queue past admission high water; batch shed");
+    }
+    depth.fetch_add(1, Ordering::Relaxed);
     let accepted = match cfg.policy {
         BackpressurePolicy::Block => ingest.send(IngestCmd::Update(keys)).is_ok(),
         BackpressurePolicy::InlineFallback => match ingest.try_send(IngestCmd::Update(keys)) {
             Ok(()) => true,
             Err(TrySendError::Full(_)) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
                 stats.updates_shed.fetch_add(1, Ordering::Relaxed);
                 gauge.shed += 1;
-                return Response::Error {
-                    code: ErrorCode::Overloaded,
-                    detail: "ingest queue full; batch shed".to_string(),
-                };
+                return overloaded("ingest queue full; batch shed");
             }
             Err(TrySendError::Disconnected(_)) => false,
         },
     };
     if !accepted {
+        depth.fetch_sub(1, Ordering::Relaxed);
         return shutting_down();
     }
     stats
@@ -467,6 +607,91 @@ fn enqueue(
         .fetch_add(u64::from(n), Ordering::Relaxed);
     gauge.updates += u64::from(n);
     Response::Ok(n)
+}
+
+/// Deadline-driven admission: when the high-water mark is configured and
+/// the ingest queue has backed up past it, shed the write up front with a
+/// retry hint instead of letting it deepen the queue. Reads never pass
+/// through here, so they keep serving from snapshots regardless.
+fn admission_shed(
+    depth: &AtomicUsize,
+    stats: &ServerStats,
+    cfg: &ServeConfig,
+    gauge: &mut ConnectionGauge,
+) -> bool {
+    if cfg.admission_high_water == 0 || depth.load(Ordering::Relaxed) < cfg.admission_high_water {
+        return false;
+    }
+    stats.updates_shed.fetch_add(1, Ordering::Relaxed);
+    gauge.shed += 1;
+    true
+}
+
+/// Enqueue one sequenced write and wait for the runtime's session
+/// outcome. Requires a prior HELLO on this connection; duplicates are
+/// always admitted (the retryer needs the ack more than we need the
+/// queue slot — dedup ships nothing anyway).
+#[allow(clippy::too_many_arguments)]
+fn enqueue_seq(
+    seq: u64,
+    keys: Vec<u64>,
+    session: Option<u64>,
+    ingest: &Sender<IngestCmd>,
+    depth: &AtomicUsize,
+    stats: &ServerStats,
+    cfg: &ServeConfig,
+    gauge: &mut ConnectionGauge,
+) -> Response {
+    let Some(sid) = session else {
+        return Response::Error {
+            code: ErrorCode::Malformed,
+            detail: "sequenced update before HELLO".to_string(),
+            retry_after_ms: 0,
+        };
+    };
+    if admission_shed(depth, stats, cfg, gauge) {
+        return overloaded("ingest queue past admission high water; batch shed");
+    }
+    let (tx, rx) = bounded(1);
+    let cmd = IngestCmd::UpdateSeq {
+        sid,
+        seq,
+        keys,
+        reply: tx,
+    };
+    depth.fetch_add(1, Ordering::Relaxed);
+    let accepted = match cfg.policy {
+        BackpressurePolicy::Block => ingest.send(cmd).is_ok(),
+        BackpressurePolicy::InlineFallback => match ingest.try_send(cmd) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                stats.updates_shed.fetch_add(1, Ordering::Relaxed);
+                gauge.shed += 1;
+                return overloaded("ingest queue full; batch shed");
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        },
+    };
+    if !accepted {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        return shutting_down();
+    }
+    match rx.recv() {
+        Ok(outcome) => {
+            stats
+                .updates_ingested
+                .fetch_add(outcome.applied as u64, Ordering::Relaxed);
+            gauge.updates += outcome.applied as u64;
+            Response::OkSeq {
+                seq,
+                applied: outcome.applied as u32,
+                duplicate: outcome.duplicate,
+                degraded: outcome.degraded,
+            }
+        }
+        Err(_) => shutting_down(),
+    }
 }
 
 /// Account one read's seqlock retry delta against the wait-free gauge.

@@ -13,20 +13,32 @@ use proptest::prelude::*;
 
 /// Deterministically build one of every request shape from fuzz inputs.
 fn build_request(kind: usize, key: u64, keys: &[u64], k: u32) -> Request {
-    match kind % 7 {
+    match kind % 10 {
         0 => Request::Update(key),
         1 => Request::UpdateBatch(keys.to_vec()),
         2 => Request::Estimate(key),
         3 => Request::EstimateBatch(keys.to_vec()),
         4 => Request::TopK(k),
         5 => Request::Health,
+        6 => Request::Hello {
+            session_id: key,
+            resume_seq: key.rotate_left(17),
+        },
+        7 => Request::UpdateSeq {
+            seq: key.rotate_left(31),
+            key,
+        },
+        8 => Request::UpdateBatchSeq {
+            seq: key.rotate_left(7),
+            keys: keys.to_vec(),
+        },
         _ => Request::Sync,
     }
 }
 
 /// Deterministically build one of every response shape from fuzz inputs.
 fn build_response(kind: usize, scalar: u64, vals: &[i64], raw: &[u8]) -> Response {
-    match kind % 7 {
+    match kind % 9 {
         0 => Response::Ok(scalar as u32),
         1 => Response::Value(scalar as i64),
         2 => Response::Values(vals.to_vec()),
@@ -38,19 +50,31 @@ fn build_response(kind: usize, scalar: u64, vals: &[i64], raw: &[u8]) -> Respons
         ),
         4 => Response::HealthInfo(build_health(scalar, vals, raw)),
         5 => Response::Synced(scalar),
+        6 => Response::HelloAck {
+            applied_seq: scalar,
+        },
+        7 => Response::OkSeq {
+            seq: scalar.rotate_left(23),
+            applied: scalar as u32,
+            duplicate: scalar & 1 != 0,
+            degraded: scalar & 2 != 0,
+        },
         _ => Response::Error {
             code: build_code(scalar),
             detail: ascii_of(raw),
+            retry_after_ms: (scalar >> 32) as u32,
         },
     }
 }
 
 fn build_code(n: u64) -> ErrorCode {
-    match n % 5 {
+    match n % 7 {
         0 => ErrorCode::Malformed,
         1 => ErrorCode::UnknownOpcode,
         2 => ErrorCode::Overloaded,
         3 => ErrorCode::TooLarge,
+        4 => ErrorCode::Degraded,
+        5 => ErrorCode::ShuttingDown,
         _ => ErrorCode::Internal,
     }
 }
@@ -149,7 +173,7 @@ proptest! {
     /// Every encodable request survives the wire byte-exactly.
     #[test]
     fn requests_roundtrip(
-        kind in 0usize..7,
+        kind in 0usize..10,
         key in any::<u64>(),
         keys in vec(any::<u64>(), 0..512),
         k in any::<u32>(),
@@ -163,7 +187,7 @@ proptest! {
     /// Every encodable response survives the wire byte-exactly.
     #[test]
     fn responses_roundtrip(
-        kind in 0usize..7,
+        kind in 0usize..9,
         scalar in any::<u64>(),
         vals in vec(any::<i64>(), 0..256),
         raw in vec(any::<u8>(), 0..24),
@@ -179,7 +203,7 @@ proptest! {
     /// complete message.
     #[test]
     fn truncated_requests_always_error(
-        kind in 0usize..7,
+        kind in 0usize..10,
         key in any::<u64>(),
         keys in vec(any::<u64>(), 0..64),
         frac in 0.0f64..1.0,
@@ -194,25 +218,39 @@ proptest! {
 
     #[test]
     fn truncated_responses_always_error(
-        kind in 0usize..7,
+        kind in 0usize..9,
         scalar in any::<u64>(),
         vals in vec(any::<i64>(), 0..64),
         raw in vec(any::<u8>(), 0..24),
         frac in 0.0f64..1.0,
     ) {
         let resp = build_response(kind, scalar, &vals, &raw);
+        let is_error = matches!(resp, Response::Error { .. });
         let mut buf = Vec::new();
         encode_response(&resp, &mut buf);
         let payload = payload_of(&buf);
         let cut = ((payload.len() as f64) * frac) as usize;
-        prop_assert!(decode_response(&payload[..cut]).is_err());
+        // One deliberate exception: an Error frame's 4-byte retry hint
+        // trails the legacy fields and decodes tolerantly, so cutting
+        // exactly the whole hint off yields a *valid* pre-hint frame
+        // (retry_after_ms = 0). Every other strict prefix must error.
+        if is_error && cut == payload.len() - 4 {
+            match decode_response(&payload[..cut]) {
+                Ok(Response::Error { retry_after_ms, .. }) => {
+                    prop_assert_eq!(retry_after_ms, 0)
+                }
+                other => prop_assert!(false, "hint-stripped frame must decode: {other:?}"),
+            }
+        } else {
+            prop_assert!(decode_response(&payload[..cut]).is_err());
+        }
     }
 
     /// Single-byte corruption of a valid frame must decode to Ok (a
     /// different message) or a typed error — never a panic.
     #[test]
     fn bit_flips_never_panic(
-        kind in 0usize..7,
+        kind in 0usize..10,
         key in any::<u64>(),
         keys in vec(any::<u64>(), 0..64),
         pos in any::<usize>(),
@@ -235,7 +273,7 @@ proptest! {
     /// threaded engine from the other.
     #[test]
     fn borrowed_decode_equals_owned_on_valid_frames(
-        kind in 0usize..7,
+        kind in 0usize..10,
         key in any::<u64>(),
         keys in vec(any::<u64>(), 0..512),
         k in any::<u32>(),

@@ -1,0 +1,125 @@
+//! Lifecycle regression tests for the `serve` daemon binary: SIGTERM
+//! and stdin EOF must both produce the same graceful drain (accepted
+//! writes survive into the final counters, the process exits 0 and
+//! prints the `done ...` summary).
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use asketch_serve::Client;
+
+/// Spawn the daemon on an ephemeral port and scrape its bound address;
+/// the returned reader continues from just after the `listening` line.
+fn spawn_daemon() -> (Child, String, BufReader<ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--io-model",
+            "threaded",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn serve daemon");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read daemon stdout");
+        assert!(n > 0, "daemon exited before binding");
+        if let Some(rest) = line.strip_prefix("listening ") {
+            break rest.trim().to_string();
+        }
+    };
+    (child, addr, reader)
+}
+
+/// Wait (bounded) for the child to exit; return the rest of its stdout.
+fn reap(mut child: Child, mut reader: BufReader<ChildStdout>, what: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("poll daemon") {
+            Some(status) => {
+                assert!(status.success(), "{what}: daemon exited {status}");
+                let mut out = String::new();
+                std::io::Read::read_to_string(&mut reader, &mut out).expect("read summary");
+                return out;
+            }
+            None => {
+                assert!(
+                    Instant::now() < deadline,
+                    "{what}: daemon did not exit within 30s"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn ingest_some(addr: &str) {
+    let mut c = Client::connect(addr).expect("connect");
+    let keys: Vec<u64> = (0..256u64).collect();
+    let n = c.update_batch(&keys).expect("update_batch");
+    assert_eq!(n, 256);
+    let routed = c.sync().expect("sync");
+    assert!(routed >= 256, "sync covers the accepted batch");
+}
+
+#[test]
+fn sigterm_drains_gracefully() {
+    let (child, addr, reader) = spawn_daemon();
+    ingest_some(&addr);
+    // Deliver a real SIGTERM via kill(1), exactly like an init system.
+    let rc = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(rc.success(), "kill -TERM failed");
+    let out = reap(child, reader, "sigterm");
+    assert!(
+        out.contains("done routed="),
+        "graceful summary missing after SIGTERM: {out:?}"
+    );
+    // The accepted batch survived the drain into the final counters.
+    let routed: u64 = out
+        .split("routed=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("parse routed count");
+    assert!(routed >= 256, "drain lost accepted writes: {out:?}");
+}
+
+#[test]
+fn stdin_eof_drains_identically() {
+    let (mut child, addr, reader) = spawn_daemon();
+    ingest_some(&addr);
+    drop(child.stdin.take()); // EOF, the harness path
+    let out = reap(child, reader, "stdin-eof");
+    assert!(
+        out.contains("done routed="),
+        "graceful summary missing after stdin EOF: {out:?}"
+    );
+}
+
+#[test]
+fn quit_line_still_works() {
+    let (mut child, addr, reader) = spawn_daemon();
+    ingest_some(&addr);
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin.write_all(b"quit\n").expect("send quit");
+    stdin.flush().expect("flush quit");
+    drop(stdin);
+    let out = reap(child, reader, "quit");
+    assert!(
+        out.contains("done routed="),
+        "graceful summary missing after quit: {out:?}"
+    );
+}

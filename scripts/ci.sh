@@ -126,6 +126,35 @@ cargo run -q -p asketch-bench --release --bin crash_recovery -- \
 cargo run -q -p asketch-bench --release --bin crash_recovery -- \
     --validate-faults BENCH_faults.json
 
+echo "==> serving survivability: network-chaos sweep (exactly-once over reconnects)"
+# Seeded TCP fault injection (reset, stall, partial-write, partition)
+# between a resilient session client and a durable serve child that is
+# SIGKILL-restarted mid-stream behind the proxy. Every trial must end
+# with the live estimates AND the offline dedup recovery exactly equal
+# to the acked oracle — zero lost acks, zero duplicates. Full bar is 4
+# seeds per fault x policy cell (32 trials, the committed acceptance
+# run); CI smokes a reduced grid. The proxy, client, and both server
+# generations need to overlap in time: on one CPU the stall/partition
+# windows stretch under time-slicing, so run the minimum grid there
+# loudly rather than flake.
+if [ "$CORES" -ge 2 ]; then
+    NET_SEEDS=2
+else
+    NET_SEEDS=1
+    echo "WARNING: only $CORES CPU(s); reducing net-chaos smoke to 1 seed per cell" \
+         "(full bar is 4 seeds per cell = 32 trials, the committed BENCH_chaos.json run)"
+fi
+cargo run -q -p asketch-bench --release --bin crash_recovery -- \
+    --net-chaos --net-seeds "$NET_SEEDS" --seed 1592598550 --out BENCH_chaos_smoke.json
+cargo run -q -p asketch-bench --release --bin crash_recovery -- \
+    --validate-chaos BENCH_chaos_smoke.json
+# The committed full-sweep artifact must stay valid too (pure JSON
+# check: full grid, every trial exact, restarts + reconnects + replays
+# all exercised — no re-measurement).
+cargo run -q -p asketch-bench --release --bin crash_recovery -- \
+    --validate-chaos BENCH_chaos.json
+rm -f BENCH_chaos_smoke.json
+
 echo "==> serving layer smoke (exact networked counts + open-loop load gate)"
 # The smoke first proves exactness over real sockets on an ephemeral port:
 # one write connection streams a skewed workload (arrival order matters to
